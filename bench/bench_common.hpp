@@ -1,0 +1,69 @@
+// Shared infrastructure for the experiment harness.
+//
+// Every bench binary regenerates one table/figure of the paper (see
+// DESIGN.md's per-experiment index): it first prints the table the paper
+// reports, then runs google-benchmark timings of the underlying analysis
+// so the cost of each pipeline stage is tracked too.
+//
+// The dataset is a deterministic simulated Mira trace at 1/10 paper
+// scale (override with FAILMINE_BENCH_SCALE=<float> in the environment;
+// scale 1.0 regenerates the paper-sized trace, ~500k jobs / ~5M events).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/joint_analyzer.hpp"
+#include "sim/simulator.hpp"
+
+namespace failmine::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("FAILMINE_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 0.1;
+}
+
+inline const sim::SimConfig& dataset_config() {
+  static const sim::SimConfig config = [] {
+    sim::SimConfig c;
+    c.scale = bench_scale();
+    return c;
+  }();
+  return config;
+}
+
+inline const sim::SimResult& dataset() {
+  static const sim::SimResult result = sim::simulate(dataset_config());
+  return result;
+}
+
+inline const core::JointAnalyzer& analyzer() {
+  static const core::JointAnalyzer instance(
+      dataset().job_log, dataset().task_log, dataset().ras_log,
+      dataset().io_log, dataset_config().machine);
+  return instance;
+}
+
+inline void print_header(const char* experiment, const char* title,
+                         const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", experiment, title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("trace: scale=%.3g seed=%llu (%d days)\n", dataset_config().scale,
+              static_cast<unsigned long long>(dataset_config().seed),
+              dataset_config().observation_days);
+  std::printf("================================================================\n");
+}
+
+/// Rescales a trace-level count to its paper-scale equivalent.
+inline double to_paper_scale(double measured) {
+  return measured / dataset_config().scale;
+}
+
+}  // namespace failmine::bench

@@ -1,0 +1,69 @@
+// E01 — Table 1: data-source summary.
+// Paper claim (T-F): 2001 days of observation, 32.44 B core-hours, four
+// joined log sources.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  const auto s = a.dataset_summary();
+  bench::print_header("E01", "data-source summary",
+                      "Table 1 (dataset overview); abstract totals");
+  std::printf("%-28s %16s %18s\n", "metric", "measured", "paper-scale equiv");
+  std::printf("%-28s %16.1f %18s\n", "observation span (days)", s.span_days,
+              "2001");
+  std::printf("%-28s %16llu %18.0f\n", "jobs (scheduling log)",
+              static_cast<unsigned long long>(s.jobs),
+              bench::to_paper_scale(static_cast<double>(s.jobs)));
+  std::printf("%-28s %16llu %18.0f\n", "tasks (runjob log)",
+              static_cast<unsigned long long>(s.tasks),
+              bench::to_paper_scale(static_cast<double>(s.tasks)));
+  std::printf("%-28s %16llu %18.0f\n", "RAS events",
+              static_cast<unsigned long long>(s.ras_events),
+              bench::to_paper_scale(static_cast<double>(s.ras_events)));
+  std::printf("%-28s %16llu %18s\n", "  of which INFO",
+              static_cast<unsigned long long>(s.ras_by_severity[0]), "-");
+  std::printf("%-28s %16llu %18s\n", "  of which WARN",
+              static_cast<unsigned long long>(s.ras_by_severity[1]), "-");
+  std::printf("%-28s %16llu %18s\n", "  of which FATAL",
+              static_cast<unsigned long long>(s.ras_by_severity[2]), "-");
+  std::printf("%-28s %16llu %18.0f\n", "I/O (Darshan) records",
+              static_cast<unsigned long long>(s.io_records),
+              bench::to_paper_scale(static_cast<double>(s.io_records)));
+  std::printf("%-28s %16.3e %18.3e   (paper: 3.244e+10)\n",
+              "total core-hours", s.total_core_hours,
+              bench::to_paper_scale(s.total_core_hours));
+}
+
+void BM_DatasetSummary(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto s = a.dataset_summary();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_DatasetSummary);
+
+void BM_SimulateTrace(benchmark::State& state) {
+  auto config = failmine::sim::SimConfig::test_scale();
+  for (auto _ : state) {
+    auto r = failmine::sim::simulate(config);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimulateTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E02 — Table 2 / Fig. 2: job exit-status breakdown.
+// Paper claim (T-A): 99,245 failed jobs, 99.4 % user-caused, 0.6 %
+// system-caused.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "joblog/exit_status.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  const auto b = a.exit_breakdown();
+  bench::print_header("E02", "job exit-status breakdown",
+                      "Table 2 / Fig. 2; abstract: 99,245 failures, 99.4% user-caused");
+  std::printf("%-20s %10s %9s %9s %14s\n", "exit class", "jobs", "of jobs",
+              "of fails", "core-hours");
+  for (const auto& row : b.rows) {
+    std::printf("%-20s %10llu %8.2f%% %8.2f%% %14.3e\n",
+                joblog::exit_class_name(row.exit_class).c_str(),
+                static_cast<unsigned long long>(row.jobs),
+                100.0 * row.share_of_jobs, 100.0 * row.share_of_failures,
+                row.core_hours);
+  }
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("total jobs      %llu\n",
+              static_cast<unsigned long long>(b.total_jobs));
+  std::printf("total failures  %llu   (paper-scale equiv %.0f, paper 99245)\n",
+              static_cast<unsigned long long>(b.total_failures),
+              bench::to_paper_scale(static_cast<double>(b.total_failures)));
+  std::printf("user-caused     %.2f%%  (paper 99.4%%)\n",
+              100.0 * b.user_caused_share);
+  std::printf("system-caused   %.2f%%  (paper 0.6%%)\n",
+              100.0 * b.system_caused_share);
+}
+
+void BM_ExitBreakdown(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto b = a.exit_breakdown();
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_ExitBreakdown)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyExit(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    auto c = joblog::classify_exit(i % 256, i % 32, false);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyExit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

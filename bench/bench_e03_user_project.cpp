@@ -1,0 +1,80 @@
+// E03 — Fig: failures per user/project (concentration / Lorenz view).
+// Paper claim (T-B): failures correlate with users and projects; a small
+// population accounts for most failures.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/user_stats.hpp"
+#include "stats/concentration.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_group(const char* label,
+                 const std::vector<analysis::GroupStats>& stats) {
+  for (auto metric : {analysis::GroupMetric::kJobs,
+                      analysis::GroupMetric::kFailures,
+                      analysis::GroupMetric::kCoreHours}) {
+    const auto c = analysis::concentration(stats, metric);
+    const char* metric_name = metric == analysis::GroupMetric::kJobs ? "jobs"
+                              : metric == analysis::GroupMetric::kFailures
+                                  ? "failures"
+                                  : "core-hours";
+    std::printf("%-8s %-10s gini=%.3f top1=%5.1f%% top10=%5.1f%% half@%zu/%zu\n",
+                label, metric_name, c.gini, 100.0 * c.top1_share,
+                100.0 * c.top10_share, c.groups_for_half, c.group_count);
+  }
+}
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("E03", "failure concentration across users/projects",
+                      "Fig: failures per user and per project (CDF / Lorenz)");
+  const auto users = analysis::per_user_stats(a.jobs(), a.machine());
+  const auto projects = analysis::per_project_stats(a.jobs(), a.machine());
+  print_group("user", users);
+  print_group("project", projects);
+
+  // Lorenz curve of failures per user (deciles) — the figure's series.
+  const auto lorenz = stats::lorenz_curve(
+      analysis::metric_column(users, analysis::GroupMetric::kFailures));
+  std::printf("\nLorenz curve of failures per user (population share -> failure share):\n");
+  for (double p = 0.1; p <= 1.0001; p += 0.1) {
+    // Find the curve point at population share p.
+    double share = 0.0;
+    for (const auto& pt : lorenz) {
+      if (pt.population_share <= p + 1e-12) share = pt.value_share;
+    }
+    std::printf("  %3.0f%% -> %5.1f%%\n", 100.0 * p, 100.0 * share);
+  }
+}
+
+void BM_PerUserStats(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto stats = analysis::per_user_stats(a.jobs(), a.machine());
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_PerUserStats)->Unit(benchmark::kMillisecond);
+
+void BM_Concentration(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  const auto stats = analysis::per_user_stats(a.jobs(), a.machine());
+  for (auto _ : state) {
+    auto c = analysis::concentration(stats, analysis::GroupMetric::kFailures);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Concentration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

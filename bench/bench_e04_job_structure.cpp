@@ -1,0 +1,64 @@
+// E04 — Fig: failure rate vs job execution structure.
+// Paper claim (T-B): job failures correlate with the execution structure —
+// number of tasks, scale (node count) and core-hours.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/structure.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_buckets(const char* title,
+                   const std::vector<analysis::StructureBucket>& buckets) {
+  std::printf("\n%s (Spearman trend rho = %.3f)\n", title,
+              analysis::bucket_trend(buckets));
+  std::printf("  %-22s %10s %10s %9s\n", "bucket", "jobs", "failures", "rate");
+  for (const auto& b : buckets) {
+    if (b.jobs == 0) continue;
+    std::printf("  %-22s %10llu %10llu %8.2f%%\n", b.label.c_str(),
+                static_cast<unsigned long long>(b.jobs),
+                static_cast<unsigned long long>(b.failures),
+                100.0 * b.failure_rate());
+  }
+}
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("E04", "failure rate vs job structure",
+                      "Fig: failure rate vs scale / #tasks / core-hours");
+  print_buckets("by allocation scale", analysis::failure_rate_by_scale(a.jobs()));
+  print_buckets("by task count",
+                analysis::failure_rate_by_task_count(a.jobs(), 8));
+  print_buckets("by consumed core-hours",
+                analysis::failure_rate_by_core_hours(a.jobs(), a.machine(), 8));
+}
+
+void BM_StructureByScale(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto b = analysis::failure_rate_by_scale(a.jobs());
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_StructureByScale)->Unit(benchmark::kMillisecond);
+
+void BM_StructureByCoreHours(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto b = analysis::failure_rate_by_core_hours(a.jobs(), a.machine(), 8);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_StructureByCoreHours)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

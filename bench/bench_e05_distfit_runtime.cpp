@@ -1,0 +1,86 @@
+// E05 — Table: best-fit distribution of failed-job execution lengths per
+// exit-code class.
+// Paper claim (T-C): the best-fit family depends on the error type —
+// Weibull, Pareto, inverse Gaussian and Erlang/exponential all appear.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/distfit_study.hpp"
+#include "distfit/fit.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("E05", "distribution fit of failed-job execution length",
+                      "Table: best-fit family per exit-code class (T-C)");
+  const auto rows = a.runtime_distribution_study(40);
+  std::printf("%-20s %7s | %-16s %8s | %-16s | %-16s\n", "exit class", "n",
+              "best (KS)", "D", "best (AIC)", "best (BIC)");
+  for (const auto& row : rows) {
+    const auto& ks_fit = row.fits[row.best_by_ks];
+    std::printf("%-20s %7zu | %-16s %8.4f | %-16s | %-16s\n",
+                joblog::exit_class_name(row.exit_class).c_str(),
+                row.sample_size,
+                distfit::family_name(ks_fit.family).c_str(),
+                ks_fit.ks.statistic,
+                distfit::family_name(row.fits[row.best_by_aic].family).c_str(),
+                distfit::family_name(row.fits[row.best_by_bic].family).c_str());
+    // Full candidate ranking for the figure's per-class panel.
+    for (const auto& fit : row.fits) {
+      std::printf("    %-16s D=%.4f  logL=%.1f  AIC=%.1f",
+                  distfit::family_name(fit.family).c_str(), fit.ks.statistic,
+                  fit.log_lik, fit.aic);
+      for (const auto& p : fit.dist->params())
+        std::printf("  %s=%.4g", p.name.c_str(), p.value);
+      std::printf("\n");
+    }
+  }
+  // Joint system-failure sample (small per-class counts at reduced scale).
+  std::vector<double> sys;
+  for (auto cls : {joblog::ExitClass::kSystemHardware,
+                   joblog::ExitClass::kSystemSoftware,
+                   joblog::ExitClass::kSystemIo}) {
+    const auto part = core::runtime_sample(a.jobs(), cls);
+    sys.insert(sys.end(), part.begin(), part.end());
+  }
+  if (sys.size() >= 30) {
+    const auto row = core::fit_sample(sys);
+    std::printf("%-20s %7zu | %-16s %8.4f |\n", "SYSTEM_* (joint)",
+                row.sample_size,
+                distfit::family_name(row.fits[row.best_by_ks].family).c_str(),
+                row.fits[row.best_by_ks].ks.statistic);
+  }
+}
+
+void BM_FitStudy(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto rows = a.runtime_distribution_study(40);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_FitStudy)->Unit(benchmark::kMillisecond);
+
+void BM_FitWeibullOnly(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  const auto sample =
+      core::runtime_sample(a.jobs(), joblog::ExitClass::kUserAppError);
+  for (auto _ : state) {
+    auto fit = distfit::fit_weibull(sample);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_FitWeibullOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

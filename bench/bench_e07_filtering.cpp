@@ -1,0 +1,80 @@
+// E07 — Fig: the similarity-based event-filtering pipeline.
+// Paper method behind T-E: raw FATAL events -> temporal filtering ->
+// spatial filtering -> deduplicated interruptions. This bench prints the
+// per-stage reduction and the cluster-size distribution.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/event_filter.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& log = bench::dataset().ras_log;
+  bench::print_header("E07", "similarity-based event filtering pipeline",
+                      "Fig: raw FATALs -> temporal -> spatial -> combined");
+  const core::FilterConfig config;
+  const auto pipeline = core::filtering_pipeline(log, config);
+  std::printf("window=%llds  spatial radius=%s\n",
+              static_cast<long long>(config.window_seconds),
+              topology::level_name(config.spatial_level).c_str());
+  std::printf("%-28s %10s %12s\n", "stage", "count", "reduction");
+  const double raw = static_cast<double>(pipeline.raw);
+  std::printf("%-28s %10llu %11.1fx\n", "raw FATAL events",
+              static_cast<unsigned long long>(pipeline.raw), 1.0);
+  std::printf("%-28s %10llu %11.1fx\n", "temporal-only clusters",
+              static_cast<unsigned long long>(pipeline.temporal_only),
+              raw / static_cast<double>(pipeline.temporal_only));
+  std::printf("%-28s %10llu %11.1fx\n", "spatial-only components",
+              static_cast<unsigned long long>(pipeline.spatial_only),
+              raw / static_cast<double>(pipeline.spatial_only));
+  std::printf("%-28s %10llu %11.1fx\n", "combined (similarity) filter",
+              static_cast<unsigned long long>(pipeline.combined),
+              raw / static_cast<double>(pipeline.combined));
+  std::printf("ground-truth episodes in trace: %zu\n",
+              bench::dataset().episodes.size());
+
+  // Cluster-size distribution (the burst-size histogram of the figure).
+  const auto result = core::filter_events(log, config);
+  std::map<std::uint64_t, std::uint64_t> size_hist;
+  for (const auto& c : result.clusters) ++size_hist[c.member_count];
+  std::printf("\ncluster size -> frequency:\n");
+  for (const auto& [size, freq] : size_hist)
+    std::printf("  %4llu events: %llu clusters\n",
+                static_cast<unsigned long long>(size),
+                static_cast<unsigned long long>(freq));
+}
+
+void BM_SimilarityFilter(benchmark::State& state) {
+  const auto& log = bench::dataset().ras_log;
+  const core::FilterConfig config;
+  for (auto _ : state) {
+    auto r = core::filter_events(log, config);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimilarityFilter)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& log = bench::dataset().ras_log;
+  const core::FilterConfig config;
+  for (auto _ : state) {
+    auto p = core::filtering_pipeline(log, config);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

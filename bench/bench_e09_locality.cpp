@@ -1,0 +1,78 @@
+// E09 — Fig: spatial locality of fatal RAS events.
+// Paper claim (T-D): RAS events affecting jobs have a strong locality
+// feature — a small fraction of hardware absorbs most fatal events.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/locality.hpp"
+#include "analysis/torus_locality.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& log = bench::dataset().ras_log;
+  const auto& machine = bench::dataset_config().machine;
+  bench::print_header("E09", "spatial locality of fatal events",
+                      "Fig: fatal-event share per rack/midplane/board");
+  std::printf("%-12s %8s %8s %8s %8s %10s %7s\n", "level", "hit", "total",
+              "top1", "top5", "top10pct", "gini");
+  for (auto level : {topology::Level::kRack, topology::Level::kMidplane,
+                     topology::Level::kNodeBoard}) {
+    const auto s = analysis::locality_summary(log, machine, level);
+    std::printf("%-12s %8zu %8zu %7.1f%% %7.1f%% %9.1f%% %7.3f\n",
+                topology::level_name(level).c_str(), s.components_hit,
+                s.components_total, 100.0 * s.top1_share, 100.0 * s.top5_share,
+                100.0 * s.top10pct_share, s.gini);
+  }
+  std::printf("\nhottest 10 boards by fatal events:\n");
+  const auto hot = analysis::events_per_component(
+      log, topology::Level::kNodeBoard, raslog::Severity::kFatal);
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, hot.size()); ++i)
+    std::printf("  %-14s %6llu\n", hot[i].location.to_string().c_str(),
+                static_cast<unsigned long long>(hot[i].events));
+  util::Rng rng(bench::dataset_config().seed);
+  const auto torus = analysis::torus_locality(log, machine, rng);
+  std::printf("\n5D-torus view: %zu located fatals, mean pair distance %.2f "
+              "hops vs %.2f baseline (ratio %.3f; < 1 = clustered)\n",
+              torus.located_events, torus.mean_pair_distance,
+              torus.baseline_distance, torus.clustering_ratio);
+  std::printf("weak boards injected by the fault model: %zu (%.1f%% of %zu)\n",
+              static_cast<std::size_t>(
+                  bench::dataset_config().weak_board_fraction * 1536),
+              100.0 * bench::dataset_config().weak_board_fraction,
+              analysis::components_at_level(machine,
+                                            topology::Level::kNodeBoard));
+}
+
+void BM_LocalitySummary(benchmark::State& state) {
+  const auto& log = bench::dataset().ras_log;
+  const auto& machine = bench::dataset_config().machine;
+  for (auto _ : state) {
+    auto s = analysis::locality_summary(log, machine,
+                                        topology::Level::kNodeBoard);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LocalitySummary)->Unit(benchmark::kMillisecond);
+
+void BM_EventsPerComponent(benchmark::State& state) {
+  const auto& log = bench::dataset().ras_log;
+  for (auto _ : state) {
+    auto counts = analysis::events_per_component(
+        log, topology::Level::kRack, raslog::Severity::kInfo);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_EventsPerComponent)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E10 — Fig: correlation of job-affecting RAS events with users and
+// core-hours.
+// Paper claim (T-D): RAS events affecting job executions exhibit a high
+// correlation with users and core-hours.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/attribution.hpp"
+#include "stats/correlation.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("E10", "RAS events vs user activity",
+                      "Fig: attributed events vs per-user core-hours/jobs");
+  const auto c = a.ras_user_correlations();
+  std::printf("users with activity: %zu\n", c.users);
+  std::printf("%-44s %8s\n", "pair (Spearman rank correlation)", "rho");
+  std::printf("%-44s %8.3f\n", "attributed events  vs core-hours",
+              c.events_vs_core_hours);
+  std::printf("%-44s %8.3f\n", "attributed events  vs job count",
+              c.events_vs_jobs);
+  std::printf("%-44s %8.3f\n", "attributed FATALs  vs core-hours",
+              c.fatals_vs_core_hours);
+
+  // Top-user table: the figure's scatter, reduced to its extremes.
+  const auto input = core::user_event_correlation_input(
+      a.jobs(), a.ras(), a.machine());
+  std::vector<std::size_t> order(input.user_ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return input.events_per_user[x] > input.events_per_user[y];
+  });
+  std::printf("\ntop 8 users by attributed events:\n");
+  std::printf("  %-8s %10s %10s %14s\n", "user", "events", "jobs",
+              "core-hours");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size()); ++i) {
+    const std::size_t r = order[i];
+    std::printf("  %-8u %10.0f %10.0f %14.3e\n", input.user_ids[r],
+                input.events_per_user[r], input.jobs_per_user[r],
+                input.core_hours_per_user[r]);
+  }
+}
+
+void BM_BuildAttributionIndex(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    core::AttributionIndex index(a.jobs(), a.machine());
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_BuildAttributionIndex)->Unit(benchmark::kMillisecond);
+
+void BM_AttributeAllEvents(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  const core::AttributionIndex index(a.jobs(), a.machine());
+  for (auto _ : state) {
+    auto stats = index.attribute_all(a.ras());
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_AttributeAllEvents)->Unit(benchmark::kMillisecond);
+
+void BM_UserCorrelations(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto c = a.ras_user_correlations();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_UserCorrelations)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

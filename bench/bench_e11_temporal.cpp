@@ -1,0 +1,81 @@
+// E11 — Fig: temporal patterns of submissions, failures and RAS events
+// (hour-of-day, day-of-week, monthly series over the 2001 days).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/temporal.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_profile(const char* label, const analysis::HourlyProfile& p) {
+  std::printf("%-14s", label);
+  std::uint64_t mx = 1;
+  for (auto c : p) mx = std::max(mx, c);
+  for (std::size_t h = 0; h < 24; ++h) {
+    const int bars = static_cast<int>(8.0 * static_cast<double>(p[h]) /
+                                      static_cast<double>(mx));
+    std::printf("%c", " .:-=+*#@"[bars]);
+  }
+  std::printf("  peak/trough=%.2f\n", analysis::peak_to_trough(p));
+}
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("E11", "temporal patterns",
+                      "Fig: diurnal/weekly/monthly series of jobs and events");
+  std::printf("hour-of-day profiles (0..23):\n");
+  print_profile("submissions", analysis::submissions_by_hour(a.jobs()));
+  print_profile("failures", analysis::failures_by_hour(a.jobs()));
+  print_profile("RAS events", analysis::events_by_hour(a.ras()));
+
+  const auto weekday = analysis::submissions_by_weekday(a.jobs());
+  std::printf("\nsubmissions by weekday (Mon..Sun):");
+  for (auto c : weekday) std::printf(" %llu", static_cast<unsigned long long>(c));
+  std::printf("\n  weekend dampening: Sat+Sun vs weekday mean = %.2f\n",
+              (static_cast<double>(weekday[5] + weekday[6]) / 2.0) /
+                  (static_cast<double>(weekday[0] + weekday[1] + weekday[2] +
+                                       weekday[3] + weekday[4]) /
+                   5.0));
+
+  const auto origin = bench::dataset_config().observation_start;
+  const auto monthly = analysis::monthly_submissions(a.jobs(), origin);
+  const auto monthly_fail = analysis::monthly_failures(a.jobs(), origin);
+  std::printf("\nfirst 12 months (submissions / failures):\n");
+  for (std::size_t m = 0; m < std::min<std::size_t>(12, monthly.size()); ++m)
+    std::printf("  month %2zu: %6llu / %llu\n", m,
+                static_cast<unsigned long long>(monthly[m]),
+                static_cast<unsigned long long>(
+                    m < monthly_fail.size() ? monthly_fail[m] : 0));
+  std::printf("  ... (%zu months total)\n", monthly.size());
+}
+
+void BM_HourlyProfiles(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto p = analysis::submissions_by_hour(a.jobs());
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_HourlyProfiles)->Unit(benchmark::kMillisecond);
+
+void BM_MonthlySeries(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  const auto origin = bench::dataset_config().observation_start;
+  for (auto _ : state) {
+    auto m = analysis::monthly_submissions(a.jobs(), origin);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MonthlySeries)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

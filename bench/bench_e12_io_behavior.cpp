@@ -1,0 +1,61 @@
+// E12 — Fig: I/O behaviour of failed vs successful jobs (Darshan join).
+// The paper contrasts the I/O volumes of the two populations; failed jobs
+// record less written output (lost final checkpoints).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/io_behavior.hpp"
+#include "bench_common.hpp"
+#include "stats/ecdf.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("E12", "I/O behaviour of failed vs successful jobs",
+                      "Fig: per-job bytes read/written by outcome");
+  const auto c = analysis::compare_io(a.jobs(), a.io());
+  std::printf("%-26s %16s %16s\n", "metric", "successful", "failed");
+  std::printf("%-26s %16llu %16llu\n", "jobs",
+              static_cast<unsigned long long>(c.successful.jobs_total),
+              static_cast<unsigned long long>(c.failed.jobs_total));
+  std::printf("%-26s %15.1f%% %15.1f%%\n", "Darshan coverage",
+              100.0 * c.successful.coverage, 100.0 * c.failed.coverage);
+  std::printf("%-26s %16.3e %16.3e\n", "median bytes read",
+              c.successful.median_read_bytes, c.failed.median_read_bytes);
+  std::printf("%-26s %16.3e %16.3e\n", "median bytes written",
+              c.successful.median_write_bytes, c.failed.median_write_bytes);
+  std::printf("%-26s %16.3e %16.3e\n", "mean bytes written",
+              c.successful.mean_write_bytes, c.failed.mean_write_bytes);
+  std::printf("failed/successful median write ratio: %.2f (< 1: lost checkpoints)\n",
+              c.write_median_ratio());
+
+  // ECDF deciles of written bytes, the figure's two curves.
+  const auto ok = analysis::write_bytes_sample(a.jobs(), a.io(), false);
+  const auto bad = analysis::write_bytes_sample(a.jobs(), a.io(), true);
+  const stats::Ecdf f_ok(ok), f_bad(bad);
+  std::printf("\nwritten-bytes quantiles (successful | failed):\n");
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99})
+    std::printf("  p%-4.0f %12.3e | %12.3e\n", 100.0 * p, f_ok.quantile(p),
+                f_bad.quantile(p));
+}
+
+void BM_CompareIo(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto c = analysis::compare_io(a.jobs(), a.io());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CompareIo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E13 — Fig/Table: distribution fit of the intervals between filtered
+// system interruptions.
+// Paper claim (T-C, interruption intervals): the best-fitting families
+// include Weibull, Pareto, inverse Gaussian and Erlang/exponential.
+// Idle-uniform interruptions over a long window should look close to
+// exponential/Weibull-shape~1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/distfit_study.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("E13", "interruption-interval distribution fit",
+                      "Fig: inter-interruption times after filtering (T-C)");
+  const auto row = a.interruption_interval_fit(core::FilterConfig{});
+  std::printf("intervals: %zu\n", row.sample_size);
+  std::printf("%-18s %8s %10s %10s %10s   params\n", "family", "KS D",
+              "p-value", "AIC", "BIC");
+  for (const auto& fit : row.fits) {
+    std::printf("%-18s %8.4f %10.3g %10.1f %10.1f  ",
+                distfit::family_name(fit.family).c_str(), fit.ks.statistic,
+                fit.ks.p_value, fit.aic, fit.bic);
+    for (const auto& p : fit.dist->params())
+      std::printf(" %s=%.4g", p.name.c_str(), p.value);
+    std::printf("\n");
+  }
+  std::printf("best by KS:  %s\n",
+              distfit::family_name(row.fits[row.best_by_ks].family).c_str());
+  std::printf("best by AIC: %s\n",
+              distfit::family_name(row.fits[row.best_by_aic].family).c_str());
+  std::printf("best by BIC: %s\n",
+              distfit::family_name(row.fits[row.best_by_bic].family).c_str());
+}
+
+void BM_IntervalFit(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto row = a.interruption_interval_fit(core::FilterConfig{});
+    benchmark::DoNotOptimize(row);
+  }
+}
+BENCHMARK(BM_IntervalFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

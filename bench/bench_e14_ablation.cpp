@@ -1,0 +1,82 @@
+// E14 — Ablation: sensitivity of the filtered MTTI to the similarity
+// filter's parameters (DESIGN.md design-choice ablation).
+// Sweeps the temporal window and the spatial radius; also compares
+// message-id-strict matching.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/mtti.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  const double s = bench::dataset_config().scale;
+  bench::print_header("E14", "filter-parameter ablation",
+                      "sensitivity of MTTI to window / radius / message match");
+
+  std::printf("temporal window sweep (radius=midplane):\n");
+  std::printf("  %-10s %14s %18s\n", "window", "interruptions",
+              "MTTI (paper-scale d)");
+  for (std::int64_t window : {60, 300, 900, 1800, 3600, 7200, 21600}) {
+    core::FilterConfig config;
+    config.window_seconds = window;
+    const auto r = a.interruption_analysis(config);
+    std::printf("  %8llds %14llu %18.2f\n", static_cast<long long>(window),
+                static_cast<unsigned long long>(r.mtti.interruptions),
+                r.mtti.mtti_days * s);
+  }
+
+  std::printf("\nspatial radius sweep (window=900s):\n");
+  std::printf("  %-14s %14s %18s\n", "radius", "interruptions",
+              "MTTI (paper-scale d)");
+  for (auto level : {topology::Level::kRack, topology::Level::kMidplane,
+                     topology::Level::kNodeBoard,
+                     topology::Level::kComputeCard}) {
+    core::FilterConfig config;
+    config.spatial_level = level;
+    const auto r = a.interruption_analysis(config);
+    std::printf("  %-14s %14llu %18.2f\n",
+                topology::level_name(level).c_str(),
+                static_cast<unsigned long long>(r.mtti.interruptions),
+                r.mtti.mtti_days * s);
+  }
+
+  std::printf("\nmessage-id matching (window=900s, radius=midplane):\n");
+  for (bool strict : {false, true}) {
+    core::FilterConfig config;
+    config.require_same_message = strict;
+    const auto r = a.interruption_analysis(config);
+    std::printf("  require_same_message=%-5s interruptions=%llu MTTI=%.2f d\n",
+                strict ? "true" : "false",
+                static_cast<unsigned long long>(r.mtti.interruptions),
+                r.mtti.mtti_days * s);
+  }
+  const double episodes = static_cast<double>(bench::dataset().episodes.size());
+  std::printf("\nground truth: %.0f episodes -> MTTI %.2f paper-scale days\n",
+              episodes, episodes > 0 ? 2001.0 / episodes * s : 2001.0);
+}
+
+void BM_FilterWindowSweep(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  core::FilterConfig config;
+  config.window_seconds = state.range(0);
+  for (auto _ : state) {
+    auto r = a.interruption_analysis(config);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FilterWindowSweep)->Arg(60)->Arg(900)->Arg(21600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

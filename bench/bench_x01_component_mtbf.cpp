@@ -1,0 +1,88 @@
+// X01 (extension) — MTBF by component/category and system availability.
+// Extends E08 along the paper's RAS discussion: which subsystems drive
+// the interruption rate, and what the interruptions cost in availability.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/mtbf.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("X01", "MTBF by component/category + availability",
+                      "extension of E08 (per-subsystem interruption rates)");
+  const auto filtered = a.interruption_analysis(core::FilterConfig{});
+  const auto begin = a.window_begin();
+  const auto end = a.window_end();
+  const double s = bench::dataset_config().scale;
+
+  std::printf("%-12s %14s %16s %8s\n", "component", "interruptions",
+              "MTBF (paper d)", "share");
+  for (const auto& [component, row] :
+       core::mtbf_by_component(filtered.filter.clusters, begin, end)) {
+    std::printf("%-12s %14llu %16.1f %7.1f%%\n",
+                raslog::component_name(component).c_str(),
+                static_cast<unsigned long long>(row.interruptions),
+                row.mtbf_days * s, 100.0 * row.share);
+  }
+  std::printf("\n%-12s %14s %16s %8s\n", "category", "interruptions",
+              "MTBF (paper d)", "share");
+  for (const auto& [category, row] :
+       core::mtbf_by_category(filtered.filter.clusters, begin, end)) {
+    std::printf("%-12s %14llu %16.1f %7.1f%%\n",
+                raslog::category_name(category).c_str(),
+                static_cast<unsigned long long>(row.interruptions),
+                row.mtbf_days * s, 100.0 * row.share);
+  }
+
+  std::printf("\navailability (MTTR sweep, midplane blast radius):\n");
+  std::printf("  %-12s %14s %14s\n", "MTTR (h)", "lost mp-hours",
+              "availability");
+  for (double mttr : {1.0, 4.0, 8.0, 24.0}) {
+    core::AvailabilityConfig config;
+    config.mean_repair_hours = mttr;
+    const auto r = core::estimate_availability(
+        filtered.filter.clusters, a.machine(), begin, end, config);
+    std::printf("  %-12.1f %14.1f %13.5f%%\n", mttr, r.lost_midplane_hours,
+                100.0 * r.availability);
+  }
+  std::printf("(note: at scale %.3g the trace has 1/%.0f of the paper's\n"
+              " interruptions, so trace availability is optimistic by the\n"
+              " same factor; MTBF columns above are already rescaled)\n",
+              s, 1.0 / s);
+}
+
+void BM_MtbfByComponent(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  const auto filtered = a.interruption_analysis(core::FilterConfig{});
+  for (auto _ : state) {
+    auto rows = core::mtbf_by_component(filtered.filter.clusters,
+                                        a.window_begin(), a.window_end());
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_MtbfByComponent);
+
+void BM_Availability(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  const auto filtered = a.interruption_analysis(core::FilterConfig{});
+  for (auto _ : state) {
+    auto r = core::estimate_availability(filtered.filter.clusters, a.machine(),
+                                         a.window_begin(), a.window_end());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Availability);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

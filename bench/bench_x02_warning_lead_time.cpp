@@ -1,0 +1,65 @@
+// X02 (extension) — WARN -> FATAL lead-time analysis.
+// How much warning does the RAS stream give before an interruption, and
+// which warning messages are the best precursors?
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/lead_time.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("X02", "warning lead time before interruptions",
+                      "extension: precursor WARNs of filtered FATAL clusters");
+  const auto filtered = a.interruption_analysis(core::FilterConfig{});
+
+  for (std::int64_t horizon : {900LL, 3600LL, 7200LL, 86400LL}) {
+    core::LeadTimeConfig config;
+    config.horizon_seconds = horizon;
+    const auto r =
+        core::warning_lead_times(a.ras(), filtered.filter.clusters, config);
+    std::printf("horizon %6llds: coverage %5.1f%%  median lead %7.0fs  "
+                "mean %7.0fs\n",
+                static_cast<long long>(horizon), 100.0 * r.coverage,
+                r.median_lead_seconds, r.mean_lead_seconds);
+  }
+
+  core::LeadTimeConfig config;
+  config.horizon_seconds = 7200;
+  const auto r =
+      core::warning_lead_times(a.ras(), filtered.filter.clusters, config);
+  std::map<std::string, int> by_message;
+  for (const auto& p : r.per_interruption)
+    if (p.lead_seconds) ++by_message[p.warn_message_id];
+  std::printf("\nprecursor WARN message ids (7200s horizon):\n");
+  for (const auto& [msg, count] : by_message)
+    std::printf("  %s  %d\n", msg.c_str(), count);
+  std::printf("interruptions without any precursor: %llu of %zu\n",
+              static_cast<unsigned long long>(r.without_precursor),
+              r.per_interruption.size());
+}
+
+void BM_LeadTimes(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  const auto filtered = a.interruption_analysis(core::FilterConfig{});
+  for (auto _ : state) {
+    auto r = core::warning_lead_times(a.ras(), filtered.filter.clusters);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LeadTimes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// X04 (extension) — queue wait-time characterization of the scheduling
+// log: wait vs allocation size, per queue, and failed vs successful jobs.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/queue_wait.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("X04", "queue wait times",
+                      "extension: scheduling-log wait characterization");
+  std::printf("by allocation size (Spearman size-vs-median-wait rho = %.3f):\n",
+              analysis::wait_scale_trend(a.jobs()));
+  std::printf("  %-10s %8s %10s %10s %10s\n", "nodes", "jobs", "mean (s)",
+              "median", "p90");
+  for (const auto& [nodes, w] : analysis::wait_by_scale(a.jobs()))
+    std::printf("  %-10u %8llu %10.0f %10.0f %10.0f\n", nodes,
+                static_cast<unsigned long long>(w.jobs), w.mean_wait_seconds,
+                w.median_wait_seconds, w.p90_wait_seconds);
+
+  std::printf("\nby queue:\n");
+  for (const auto& [queue, w] : analysis::wait_by_queue(a.jobs()))
+    std::printf("  %-18s jobs=%-8llu median=%.0fs p90=%.0fs\n", queue.c_str(),
+                static_cast<unsigned long long>(w.jobs),
+                w.median_wait_seconds, w.p90_wait_seconds);
+
+  const auto outcome = analysis::wait_by_outcome(a.jobs());
+  std::printf("\nby outcome: successful median=%.0fs, failed median=%.0fs\n",
+              outcome.successful.median_wait_seconds,
+              outcome.failed.median_wait_seconds);
+}
+
+void BM_WaitByScale(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto w = analysis::wait_by_scale(a.jobs());
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_WaitByScale)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

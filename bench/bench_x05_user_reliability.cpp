@@ -1,0 +1,63 @@
+// X05 (extension) — user-perceived reliability.
+// The machine-level MTTI is not what a user experiences: interruption
+// exposure follows node-time. This bench reports per-user system-kill
+// rates and the exposure/kill correlation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/user_reliability.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& a = bench::analyzer();
+  bench::print_header("X05", "user-perceived reliability",
+                      "extension: per-user system-kill exposure");
+  const auto study = core::user_reliability_study(a.jobs(), a.machine());
+  std::printf("users: %zu, of which %llu experienced a system kill\n",
+              study.users.size(),
+              static_cast<unsigned long long>(study.users_with_kills));
+  std::printf("machine-wide exposure per kill: %.3e node-days\n",
+              study.machine_node_days_per_kill);
+  std::printf("exposure vs kills Spearman rho: %.3f\n",
+              study.exposure_kill_correlation);
+  std::printf("core-hours lost to system kills: %.3e\n",
+              study.total_lost_core_hours);
+
+  std::printf("\ntop 10 users by exposure:\n");
+  std::printf("  %-8s %8s %10s %14s %8s %12s\n", "user", "jobs", "kills",
+              "node-days", "lost%", "nd/kill");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, study.users.size());
+       ++i) {
+    const auto& u = study.users[i];
+    std::printf("  %-8u %8llu %10llu %14.3e %7.2f%% %12s\n", u.user_id,
+                static_cast<unsigned long long>(u.jobs),
+                static_cast<unsigned long long>(u.system_kills), u.node_days,
+                100.0 * u.loss_fraction(),
+                u.system_kills > 0
+                    ? util::format_double(u.node_days_between_kills, 0).c_str()
+                    : "inf");
+  }
+}
+
+void BM_UserReliability(benchmark::State& state) {
+  const auto& a = bench::analyzer();
+  for (auto _ : state) {
+    auto study = core::user_reliability_study(a.jobs(), a.machine());
+    benchmark::DoNotOptimize(study);
+  }
+}
+BENCHMARK(BM_UserReliability)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// X07 (extension) — error-propagation channels between RAS categories.
+// For every ordered category pair: how much likelier is a follower event
+// within 10 minutes on the same midplane than its base rate predicts?
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cooccurrence.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace failmine;
+
+void print_table() {
+  const auto& log = bench::dataset().ras_log;
+  bench::print_header("X07", "category co-occurrence (error propagation)",
+                      "extension: lift matrix of WARN+/FATAL event pairs");
+  analysis::CooccurrenceConfig config;
+  const auto r = analysis::category_cooccurrence(log, config);
+  std::printf("qualifying events (WARN+): %llu over %.0f days\n",
+              static_cast<unsigned long long>(r.qualifying_events),
+              r.span_seconds / 86400.0);
+
+  std::printf("\nlift matrix (row triggers column; >1 = propagation):\n%-11s",
+              "");
+  for (auto c : raslog::kAllCategories)
+    std::printf(" %8.8s", raslog::category_name(c).c_str());
+  std::printf("\n");
+  for (std::size_t a = 0; a < analysis::kCategoryCount; ++a) {
+    std::printf("%-11s",
+                raslog::category_name(raslog::kAllCategories[a]).c_str());
+    for (std::size_t b = 0; b < analysis::kCategoryCount; ++b)
+      std::printf(" %8.2f", r.lift[a][b]);
+    std::printf("\n");
+  }
+
+  std::printf("\nstrongest channels (lift >= 2, >= 5 observations):\n");
+  for (const auto& ch : analysis::top_channels(r)) {
+    std::printf("  %-10s -> %-10s lift=%7.1f (n=%llu)\n",
+                raslog::category_name(ch.trigger).c_str(),
+                raslog::category_name(ch.follower).c_str(), ch.lift,
+                static_cast<unsigned long long>(ch.count));
+  }
+}
+
+void BM_Cooccurrence(benchmark::State& state) {
+  const auto& log = bench::dataset().ras_log;
+  for (auto _ : state) {
+    auto r = analysis::category_cooccurrence(log);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Cooccurrence)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

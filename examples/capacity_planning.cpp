@@ -1,0 +1,57 @@
+// capacity_planning — "what if the hardware were less reliable?"
+//
+// Sweeps the system-failure hazard over a 10x range and reports how the
+// filtered MTTI, the system-caused failure share, and the core-hours lost
+// to interruptions respond. This is the question a facility asks when
+// deciding between early replacement and riding out component aging.
+//
+// Usage: capacity_planning [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/joint_analyzer.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace failmine;
+
+  sim::SimConfig base;
+  base.scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+
+  std::printf("hazard sweep at scale %.3g (base hazard %.3g per node-second)\n\n",
+              base.scale, base.system_hazard_per_node_second);
+  std::printf("%-10s %10s %12s %14s %16s\n", "hazard x", "sys fails",
+              "sys share", "MTTI (paper d)", "lost core-hours");
+
+  for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0, 10.0}) {
+    sim::SimConfig config = base;
+    config.system_hazard_per_node_second *= factor;
+    const sim::SimResult trace = sim::simulate(config);
+    const core::JointAnalyzer analyzer(trace.job_log, trace.task_log,
+                                       trace.ras_log, trace.io_log,
+                                       config.machine);
+    const auto breakdown = analyzer.exit_breakdown();
+    const auto fm = analyzer.interruption_analysis(core::FilterConfig{});
+
+    // Core-hours consumed by jobs that died of system causes: work that
+    // has to be re-run from the last checkpoint.
+    double lost = 0.0;
+    std::uint64_t sys_failures = 0;
+    for (const auto& job : trace.job_log.jobs()) {
+      if (!joblog::is_system_caused(job.exit_class)) continue;
+      ++sys_failures;
+      lost += job.core_hours(config.machine);
+    }
+
+    std::printf("%-10.2f %10llu %11.2f%% %14.2f %16.3e\n", factor,
+                static_cast<unsigned long long>(sys_failures),
+                100.0 * breakdown.system_caused_share,
+                fm.mtti.mtti_days * config.scale, lost);
+  }
+
+  std::printf("\nReading: MTTI scales inversely with the hazard; the system\n"
+              "share of failures stays small because user failures dominate\n"
+              "(paper: 99.4%% user-caused even on aging hardware).\n");
+  return 0;
+}

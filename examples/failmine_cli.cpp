@@ -1,0 +1,209 @@
+// failmine_cli — command-line driver for the toolkit.
+//
+// Subcommands:
+//   simulate --out DIR [--scale S] [--seed N] [--days D]
+//       generate a four-log dataset as CSV files
+//   summary  --data DIR
+//       dataset totals (E01)
+//   report   --data DIR [--scale S]
+//       machine-checkable takeaway report against the paper's claims
+//   mtti     --data DIR [--window SEC] [--radius rack|midplane|board|card]
+//       similarity filtering + MTTI
+//   fit      --data DIR [--min-sample N]
+//       per-exit-class execution-length distribution study (E05)
+//
+// Exit status: 0 on success (and, for `report`, only if all claims pass).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/report.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace failmine;
+
+/// Minimal --key value argument parser.
+class ArgMap {
+ public:
+  ArgMap(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0)
+        throw failmine::ParseError("expected --option, got '" + key + "'");
+      if (i + 1 >= argc)
+        throw failmine::ParseError("missing value for " + key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: failmine_cli <simulate|summary|report|mtti|fit> "
+               "[options]\n"
+               "  simulate --out DIR [--scale S] [--seed N] [--days D]\n"
+               "  summary  --data DIR\n"
+               "  report   --data DIR [--scale S] [--format text|json]\n"
+               "  mtti     --data DIR [--window SEC] [--radius LEVEL]\n"
+               "  fit      --data DIR [--min-sample N]\n");
+  return 2;
+}
+
+sim::SimResult load(const ArgMap& args) {
+  const std::string dir = args.get("data", "");
+  if (dir.empty()) throw failmine::ParseError("--data DIR is required");
+  return sim::load_dataset(dir, topology::MachineConfig::mira());
+}
+
+core::JointAnalyzer make_analyzer(const sim::SimResult& data) {
+  return core::JointAnalyzer(data.job_log, data.task_log, data.ras_log,
+                             data.io_log, topology::MachineConfig::mira());
+}
+
+int cmd_simulate(const ArgMap& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) throw failmine::ParseError("--out DIR is required");
+  sim::SimConfig config;
+  config.scale = args.get_double("scale", 0.05);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20130409));
+  config.observation_days =
+      static_cast<int>(args.get_int("days", config.observation_days));
+  std::printf("simulating %d days at scale %.3g (seed %llu)...\n",
+              config.observation_days, config.scale,
+              static_cast<unsigned long long>(config.seed));
+  const auto trace = sim::simulate(config);
+  std::filesystem::create_directories(out);
+  sim::write_dataset(trace, out);
+  std::printf("wrote %zu jobs, %zu tasks, %zu RAS events, %zu I/O records "
+              "to %s/\n",
+              trace.job_log.size(), trace.task_log.size(),
+              trace.ras_log.size(), trace.io_log.size(), out.c_str());
+  return 0;
+}
+
+int cmd_summary(const ArgMap& args) {
+  const auto data = load(args);
+  const auto analyzer = make_analyzer(data);
+  const auto s = analyzer.dataset_summary();
+  std::printf("span            %.1f days\n", s.span_days);
+  std::printf("jobs            %llu\n", static_cast<unsigned long long>(s.jobs));
+  std::printf("tasks           %llu\n", static_cast<unsigned long long>(s.tasks));
+  std::printf("RAS events      %llu (INFO %llu / WARN %llu / FATAL %llu)\n",
+              static_cast<unsigned long long>(s.ras_events),
+              static_cast<unsigned long long>(s.ras_by_severity[0]),
+              static_cast<unsigned long long>(s.ras_by_severity[1]),
+              static_cast<unsigned long long>(s.ras_by_severity[2]));
+  std::printf("I/O records     %llu\n",
+              static_cast<unsigned long long>(s.io_records));
+  std::printf("core-hours      %.4e\n", s.total_core_hours);
+  return 0;
+}
+
+int cmd_report(const ArgMap& args) {
+  const auto data = load(args);
+  const auto analyzer = make_analyzer(data);
+  core::ReportConfig rc;
+  rc.trace_scale = args.get_double("scale", 1.0);
+  const auto takeaways = core::evaluate_takeaways(analyzer, rc);
+  if (args.get("format", "text") == "json")
+    std::fputs(core::format_report_json(takeaways).c_str(), stdout);
+  else
+    std::fputs(core::format_report(takeaways).c_str(), stdout);
+  return core::all_pass(takeaways) ? 0 : 1;
+}
+
+topology::Level parse_radius(const std::string& name) {
+  if (name == "rack") return topology::Level::kRack;
+  if (name == "midplane") return topology::Level::kMidplane;
+  if (name == "board") return topology::Level::kNodeBoard;
+  if (name == "card") return topology::Level::kComputeCard;
+  throw failmine::ParseError("unknown radius '" + name +
+                             "' (rack|midplane|board|card)");
+}
+
+int cmd_mtti(const ArgMap& args) {
+  const auto data = load(args);
+  const auto analyzer = make_analyzer(data);
+  core::FilterConfig config;
+  config.window_seconds = args.get_int("window", config.window_seconds);
+  config.spatial_level = parse_radius(args.get("radius", "midplane"));
+  const auto r = analyzer.interruption_analysis(config);
+  std::printf("raw FATALs       %llu\n",
+              static_cast<unsigned long long>(r.filter.input_events));
+  std::printf("interruptions    %zu (%.1fx reduction)\n",
+              r.filter.clusters.size(), r.filter.reduction_factor());
+  std::printf("MTTI             %.3f days\n", r.mtti.mtti_days);
+  if (!r.mtti.intervals_days.empty())
+    std::printf("interval median  %.3f days\n", r.mtti.median_interval_days);
+  return 0;
+}
+
+int cmd_fit(const ArgMap& args) {
+  const auto data = load(args);
+  const auto analyzer = make_analyzer(data);
+  const auto min_sample =
+      static_cast<std::size_t>(args.get_int("min-sample", 40));
+  const auto rows = analyzer.runtime_distribution_study(min_sample);
+  if (rows.empty()) {
+    std::printf("no failure class reaches %zu samples\n", min_sample);
+    return 1;
+  }
+  for (const auto& row : rows) {
+    const auto& best = row.fits[row.best_by_ks];
+    std::printf("%-20s n=%-7zu best=%s (D=%.4f",
+                joblog::exit_class_name(row.exit_class).c_str(),
+                row.sample_size, distfit::family_name(best.family).c_str(),
+                best.ks.statistic);
+    for (const auto& p : best.dist->params())
+      std::printf(", %s=%.4g", p.name.c_str(), p.value);
+    std::printf(")\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const ArgMap args(argc, argv, 2);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "summary") return cmd_summary(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "mtti") return cmd_mtti(args);
+    if (command == "fit") return cmd_fit(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const failmine::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,66 @@
+// failmine/analysis/cooccurrence.hpp
+//
+// Co-occurrence structure between RAS event categories.
+//
+// Error propagation shows up in RAS logs as cross-category co-occurrence:
+// a torus link failure drags messaging-unit errors with it, a power fault
+// precedes node fatals. We quantify this with a lift matrix: for every
+// ordered category pair (A, B), how much more often does a B event follow
+// an A event within (window, same-midplane) than the B base rate predicts?
+// Lift >> 1 marks propagation channels; lift ~ 1 marks independence.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "raslog/category.hpp"
+#include "raslog/event.hpp"
+
+namespace failmine::analysis {
+
+inline constexpr std::size_t kCategoryCount =
+    sizeof(raslog::kAllCategories) / sizeof(raslog::kAllCategories[0]);
+
+struct CooccurrenceConfig {
+  std::int64_t window_seconds = 600;   ///< forward window after the trigger
+  /// Spatial scope: pairs must share an ancestor at (or deeper than) this.
+  topology::Level spatial_level = topology::Level::kMidplane;
+  /// Only consider events at or above this severity as triggers/followers.
+  raslog::Severity min_severity = raslog::Severity::kWarn;
+};
+
+/// Lift matrix over the category set (row = trigger, column = follower).
+struct CooccurrenceResult {
+  /// follows[a][b]: events of category b that followed an event of
+  /// category a within the window on the same hardware neighbourhood.
+  std::array<std::array<std::uint64_t, kCategoryCount>, kCategoryCount>
+      follows{};
+  /// Number of qualifying (severity-filtered) events per category.
+  std::array<std::uint64_t, kCategoryCount> totals{};
+  /// lift[a][b] = P(b follows a) / P(b anywhere in a same-length window).
+  std::array<std::array<double, kCategoryCount>, kCategoryCount> lift{};
+  std::uint64_t qualifying_events = 0;
+  double span_seconds = 0.0;
+};
+
+/// Computes the lift matrix over `log`.
+CooccurrenceResult category_cooccurrence(const raslog::RasLog& log,
+                                         const CooccurrenceConfig& config = {});
+
+/// The strongest propagation channels: ordered (trigger, follower, lift)
+/// rows with lift above `min_lift` and at least `min_count` follows,
+/// sorted by lift descending.
+struct PropagationChannel {
+  raslog::Category trigger;
+  raslog::Category follower;
+  double lift = 0.0;
+  std::uint64_t count = 0;
+};
+
+std::vector<PropagationChannel> top_channels(const CooccurrenceResult& result,
+                                             double min_lift = 2.0,
+                                             std::uint64_t min_count = 5);
+
+}  // namespace failmine::analysis

@@ -1,0 +1,65 @@
+#include "analysis/io_behavior.hpp"
+
+#include "stats/summary.hpp"
+
+namespace failmine::analysis {
+
+namespace {
+
+IoPopulationSummary summarize_population(const joblog::JobLog& jobs,
+                                         const iolog::IoLog& io,
+                                         bool failed_population) {
+  IoPopulationSummary s;
+  std::vector<double> reads;
+  std::vector<double> writes;
+  for (const auto& job : jobs.jobs()) {
+    if (job.failed() != failed_population) continue;
+    ++s.jobs_total;
+    if (!io.contains(job.job_id)) continue;
+    ++s.jobs_covered;
+    const auto& r = io.by_job(job.job_id);
+    reads.push_back(static_cast<double>(r.bytes_read));
+    writes.push_back(static_cast<double>(r.bytes_written));
+    s.total_read_bytes += static_cast<double>(r.bytes_read);
+    s.total_write_bytes += static_cast<double>(r.bytes_written);
+  }
+  s.coverage = s.jobs_total == 0
+                   ? 0.0
+                   : static_cast<double>(s.jobs_covered) /
+                         static_cast<double>(s.jobs_total);
+  if (!reads.empty()) {
+    s.median_read_bytes = stats::median(reads);
+    s.median_write_bytes = stats::median(writes);
+    s.mean_read_bytes = stats::mean(reads);
+    s.mean_write_bytes = stats::mean(writes);
+  }
+  return s;
+}
+
+}  // namespace
+
+double IoComparison::write_median_ratio() const {
+  if (successful.median_write_bytes <= 0.0) return 0.0;
+  return failed.median_write_bytes / successful.median_write_bytes;
+}
+
+IoComparison compare_io(const joblog::JobLog& jobs, const iolog::IoLog& io) {
+  IoComparison c;
+  c.successful = summarize_population(jobs, io, /*failed_population=*/false);
+  c.failed = summarize_population(jobs, io, /*failed_population=*/true);
+  return c;
+}
+
+std::vector<double> write_bytes_sample(const joblog::JobLog& jobs,
+                                       const iolog::IoLog& io,
+                                       bool failed_population) {
+  std::vector<double> out;
+  for (const auto& job : jobs.jobs()) {
+    if (job.failed() != failed_population) continue;
+    if (!io.contains(job.job_id)) continue;
+    out.push_back(static_cast<double>(io.by_job(job.job_id).bytes_written));
+  }
+  return out;
+}
+
+}  // namespace failmine::analysis

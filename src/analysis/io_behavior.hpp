@@ -1,0 +1,48 @@
+// failmine/analysis/io_behavior.hpp
+//
+// Joint analysis of the Darshan-style I/O log with the job log
+// (experiment E12): do failed jobs read/write differently?
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iolog/io_record.hpp"
+#include "joblog/job.hpp"
+
+namespace failmine::analysis {
+
+/// Summary of one job population's I/O behaviour.
+struct IoPopulationSummary {
+  std::uint64_t jobs_covered = 0;      ///< jobs with a Darshan record
+  std::uint64_t jobs_total = 0;        ///< jobs in the population
+  double coverage = 0.0;
+  double median_read_bytes = 0.0;
+  double median_write_bytes = 0.0;
+  double mean_read_bytes = 0.0;
+  double mean_write_bytes = 0.0;
+  double total_read_bytes = 0.0;
+  double total_write_bytes = 0.0;
+};
+
+/// Side-by-side I/O comparison of failed vs successful jobs.
+struct IoComparison {
+  IoPopulationSummary successful;
+  IoPopulationSummary failed;
+
+  /// Ratio of failed to successful median written bytes (< 1 when failed
+  /// jobs lose their final checkpoint, as the paper observes).
+  double write_median_ratio() const;
+};
+
+/// Joins the two logs and computes the comparison.
+IoComparison compare_io(const joblog::JobLog& jobs, const iolog::IoLog& io);
+
+/// Per-job written bytes of a population (for distribution plots);
+/// `failed_population` selects failed or successful jobs.
+std::vector<double> write_bytes_sample(const joblog::JobLog& jobs,
+                                       const iolog::IoLog& io,
+                                       bool failed_population);
+
+}  // namespace failmine::analysis

@@ -1,0 +1,72 @@
+#include "analysis/locality.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/concentration.hpp"
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+
+using topology::Level;
+
+std::vector<LocationCount> events_per_component(const raslog::RasLog& log,
+                                                Level level,
+                                                raslog::Severity min_severity) {
+  std::map<topology::Location, std::uint64_t> counts;
+  for (const auto& e : log.events()) {
+    if (static_cast<int>(e.severity) < static_cast<int>(min_severity)) continue;
+    if (e.location.level() < level) continue;  // cannot localize deeper
+    ++counts[e.location.ancestor(level)];
+  }
+  std::vector<LocationCount> out;
+  out.reserve(counts.size());
+  for (const auto& [loc, n] : counts) out.push_back({loc, n});
+  std::sort(out.begin(), out.end(),
+            [](const LocationCount& a, const LocationCount& b) {
+              return a.events > b.events;
+            });
+  return out;
+}
+
+std::size_t components_at_level(const topology::MachineConfig& machine,
+                                Level level) {
+  const std::size_t racks = static_cast<std::size_t>(machine.racks());
+  switch (level) {
+    case Level::kRack: return racks;
+    case Level::kMidplane:
+      return racks * static_cast<std::size_t>(machine.midplanes_per_rack);
+    case Level::kNodeBoard:
+      return racks * static_cast<std::size_t>(machine.midplanes_per_rack) *
+             static_cast<std::size_t>(machine.boards_per_midplane);
+    case Level::kComputeCard: return machine.total_nodes();
+    case Level::kCore: return machine.total_nodes() *
+                              static_cast<std::size_t>(machine.cores_per_node);
+  }
+  throw failmine::DomainError("unknown level");
+}
+
+LocalitySummary locality_summary(const raslog::RasLog& log,
+                                 const topology::MachineConfig& machine,
+                                 Level level) {
+  const auto counts =
+      events_per_component(log, level, raslog::Severity::kFatal);
+  LocalitySummary s;
+  s.level = level;
+  s.components_total = components_at_level(machine, level);
+  s.components_hit = counts.size();
+  if (counts.empty()) return s;
+
+  std::vector<double> values;
+  values.reserve(counts.size());
+  for (const auto& c : counts) values.push_back(static_cast<double>(c.events));
+  s.top1_share = stats::top_k_share(values, 1);
+  s.top5_share = stats::top_k_share(values, std::min<std::size_t>(5, values.size()));
+  const std::size_t top10pct =
+      std::max<std::size_t>(1, counts.size() / 10);
+  s.top10pct_share = stats::top_k_share(values, top10pct);
+  s.gini = values.size() > 1 ? stats::gini(values) : 0.0;
+  return s;
+}
+
+}  // namespace failmine::analysis

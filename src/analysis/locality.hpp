@@ -1,0 +1,53 @@
+// failmine/analysis/locality.hpp
+//
+// Spatial locality of RAS events (takeaway T-D): how concentrated fatal
+// events are across racks, midplanes and node boards, and how much of the
+// fatal mass the top-k hottest components absorb.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raslog/event.hpp"
+#include "topology/location.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::analysis {
+
+/// Event count at one hardware component.
+struct LocationCount {
+  topology::Location location = topology::Location::rack(0, 0);
+  std::uint64_t events = 0;
+};
+
+/// Counts events per component at `level` (rack/midplane/board), sorted
+/// hottest-first. Events whose location is shallower than `level` are
+/// attributed to their own (shallower) component only if `level` equals
+/// their depth; otherwise they are skipped (cannot be localized deeper).
+std::vector<LocationCount> events_per_component(
+    const raslog::RasLog& log, topology::Level level,
+    raslog::Severity min_severity = raslog::Severity::kFatal);
+
+/// Locality summary at one level.
+struct LocalitySummary {
+  topology::Level level = topology::Level::kRack;
+  std::size_t components_hit = 0;    ///< components with >= 1 event
+  std::size_t components_total = 0;  ///< all components at this level
+  double top1_share = 0.0;
+  double top5_share = 0.0;
+  double top10pct_share = 0.0;  ///< share held by the hottest 10 % of hit components
+  double gini = 0.0;
+};
+
+/// Computes the locality summary of fatal events at `level`.
+LocalitySummary locality_summary(const raslog::RasLog& log,
+                                 const topology::MachineConfig& machine,
+                                 topology::Level level);
+
+/// Number of components the machine has at `level`.
+std::size_t components_at_level(const topology::MachineConfig& machine,
+                                topology::Level level);
+
+}  // namespace failmine::analysis

@@ -1,0 +1,71 @@
+#include "analysis/queue_wait.hpp"
+
+#include <algorithm>
+
+#include "stats/correlation.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+
+namespace {
+
+WaitSummary summarize_waits(std::vector<double>& waits) {
+  WaitSummary s;
+  s.jobs = waits.size();
+  if (waits.empty()) return s;
+  std::sort(waits.begin(), waits.end());
+  s.mean_wait_seconds = stats::mean(waits);
+  s.median_wait_seconds = stats::quantile_sorted(waits, 0.5);
+  s.p90_wait_seconds = stats::quantile_sorted(waits, 0.9);
+  s.max_wait_seconds = waits.back();
+  return s;
+}
+
+template <typename Key, typename KeyOf>
+std::map<Key, WaitSummary> waits_grouped(const joblog::JobLog& log,
+                                         KeyOf key_of) {
+  std::map<Key, std::vector<double>> buckets;
+  for (const auto& j : log.jobs())
+    buckets[key_of(j)].push_back(static_cast<double>(j.wait_seconds()));
+  std::map<Key, WaitSummary> out;
+  for (auto& [key, waits] : buckets) out[key] = summarize_waits(waits);
+  return out;
+}
+
+}  // namespace
+
+std::map<std::uint32_t, WaitSummary> wait_by_scale(const joblog::JobLog& log) {
+  return waits_grouped<std::uint32_t>(
+      log, [](const joblog::JobRecord& j) { return j.nodes_used; });
+}
+
+std::map<std::string, WaitSummary> wait_by_queue(const joblog::JobLog& log) {
+  return waits_grouped<std::string>(
+      log, [](const joblog::JobRecord& j) { return j.queue; });
+}
+
+WaitByOutcome wait_by_outcome(const joblog::JobLog& log) {
+  std::vector<double> ok, bad;
+  for (const auto& j : log.jobs())
+    (j.failed() ? bad : ok).push_back(static_cast<double>(j.wait_seconds()));
+  WaitByOutcome out;
+  out.successful = summarize_waits(ok);
+  out.failed = summarize_waits(bad);
+  return out;
+}
+
+double wait_scale_trend(const joblog::JobLog& log) {
+  const auto by_scale = wait_by_scale(log);
+  std::vector<double> sizes, medians;
+  for (const auto& [nodes, summary] : by_scale) {
+    if (summary.jobs == 0) continue;
+    sizes.push_back(static_cast<double>(nodes));
+    medians.push_back(summary.median_wait_seconds);
+  }
+  if (sizes.size() < 2)
+    throw failmine::DomainError("wait_scale_trend needs >= 2 size buckets");
+  return stats::spearman(sizes, medians);
+}
+
+}  // namespace failmine::analysis

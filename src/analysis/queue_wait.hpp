@@ -1,0 +1,48 @@
+// failmine/analysis/queue_wait.hpp
+//
+// Queue wait-time analysis of the scheduling log.
+//
+// The study's scheduling-log characterization includes how long jobs sit
+// in the queue before starting, and how the wait scales with the
+// allocation size (big partitions wait for drains). We report wait-time
+// summaries per allocation size and per queue, plus whether failed jobs
+// waited differently from successful ones.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "joblog/job.hpp"
+
+namespace failmine::analysis {
+
+/// Wait-time summary of one job group.
+struct WaitSummary {
+  std::uint64_t jobs = 0;
+  double mean_wait_seconds = 0.0;
+  double median_wait_seconds = 0.0;
+  double p90_wait_seconds = 0.0;
+  double max_wait_seconds = 0.0;
+};
+
+/// Wait summaries keyed by allocation size (node count).
+std::map<std::uint32_t, WaitSummary> wait_by_scale(const joblog::JobLog& log);
+
+/// Wait summaries keyed by queue name.
+std::map<std::string, WaitSummary> wait_by_queue(const joblog::JobLog& log);
+
+/// Wait summaries for the failed and successful populations.
+struct WaitByOutcome {
+  WaitSummary successful;
+  WaitSummary failed;
+};
+WaitByOutcome wait_by_outcome(const joblog::JobLog& log);
+
+/// Spearman correlation between per-size-bucket node count and median
+/// wait (monotonicity of "bigger waits longer").
+double wait_scale_trend(const joblog::JobLog& log);
+
+}  // namespace failmine::analysis

@@ -1,0 +1,99 @@
+#include "analysis/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/correlation.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace failmine::analysis {
+
+std::vector<StructureBucket> failure_rate_by_scale(const joblog::JobLog& log) {
+  std::map<std::uint32_t, StructureBucket> by_size;
+  for (const auto& job : log.jobs()) {
+    StructureBucket& b = by_size[job.nodes_used];
+    ++b.jobs;
+    if (job.failed()) ++b.failures;
+  }
+  std::vector<StructureBucket> out;
+  for (auto& [nodes, b] : by_size) {
+    b.label = std::to_string(nodes) + " nodes";
+    b.lower = static_cast<double>(nodes);
+    b.upper = static_cast<double>(nodes) + 1.0;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<StructureBucket> failure_rate_by_task_count(const joblog::JobLog& log,
+                                                        std::uint32_t cap) {
+  if (cap < 2) throw failmine::DomainError("task-count cap must be >= 2");
+  std::vector<StructureBucket> buckets(cap);
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    buckets[i].lower = static_cast<double>(i + 1);
+    buckets[i].upper = static_cast<double>(i + 2);
+    buckets[i].label = i + 1 == cap ? ">=" + std::to_string(cap) + " tasks"
+                                    : std::to_string(i + 1) + " tasks";
+  }
+  buckets[cap - 1].upper = 1e18;
+  for (const auto& job : log.jobs()) {
+    const std::uint32_t t = std::max<std::uint32_t>(1, job.task_count);
+    StructureBucket& b = buckets[std::min(t, cap) - 1];
+    ++b.jobs;
+    if (job.failed()) ++b.failures;
+  }
+  return buckets;
+}
+
+std::vector<StructureBucket> failure_rate_by_core_hours(
+    const joblog::JobLog& log, const topology::MachineConfig& machine,
+    std::size_t buckets) {
+  if (buckets < 2) throw failmine::DomainError("need >= 2 core-hour buckets");
+  if (log.empty()) throw failmine::DomainError("empty job log");
+  double lo = 1e300, hi = 0.0;
+  for (const auto& job : log.jobs()) {
+    const double ch = std::max(1e-3, job.core_hours(machine));
+    lo = std::min(lo, ch);
+    hi = std::max(hi, ch);
+  }
+  if (hi <= lo) hi = lo * 10.0;
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi * 1.0000001);
+  std::vector<StructureBucket> out(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    out[i].lower = std::exp(log_lo + (log_hi - log_lo) *
+                                         static_cast<double>(i) /
+                                         static_cast<double>(buckets));
+    out[i].upper = std::exp(log_lo + (log_hi - log_lo) *
+                                         static_cast<double>(i + 1) /
+                                         static_cast<double>(buckets));
+    out[i].label = util::format_double(out[i].lower, 0) + ".." +
+                   util::format_double(out[i].upper, 0) + " core-h";
+  }
+  for (const auto& job : log.jobs()) {
+    const double ch = std::max(1e-3, job.core_hours(machine));
+    const double pos = (std::log(ch) - log_lo) / (log_hi - log_lo) *
+                       static_cast<double>(buckets);
+    std::size_t idx = static_cast<std::size_t>(
+        std::clamp(pos, 0.0, static_cast<double>(buckets) - 1.0));
+    ++out[idx].jobs;
+    if (job.failed()) ++out[idx].failures;
+  }
+  return out;
+}
+
+double bucket_trend(const std::vector<StructureBucket>& buckets) {
+  std::vector<double> x, y;
+  for (const auto& b : buckets) {
+    if (b.jobs == 0) continue;  // empty buckets carry no information
+    x.push_back(b.lower);
+    y.push_back(b.failure_rate());
+  }
+  if (x.size() < 2)
+    throw failmine::DomainError("bucket_trend needs >= 2 populated buckets");
+  return stats::spearman(x, y);
+}
+
+}  // namespace failmine::analysis

@@ -1,0 +1,47 @@
+// failmine/analysis/structure.hpp
+//
+// Failure rate versus job execution structure (takeaway T-B): allocation
+// scale (node count), task count, and consumed core-hours.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "joblog/job.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::analysis {
+
+/// One bucket of the structure analysis.
+struct StructureBucket {
+  std::string label;
+  double lower = 0.0;   ///< inclusive lower edge of the bucket
+  double upper = 0.0;   ///< exclusive upper edge
+  std::uint64_t jobs = 0;
+  std::uint64_t failures = 0;
+
+  double failure_rate() const {
+    return jobs == 0 ? 0.0 : static_cast<double>(failures) / static_cast<double>(jobs);
+  }
+};
+
+/// Failure rate per allocation size; one bucket per distinct power-of-two
+/// node count present in the log.
+std::vector<StructureBucket> failure_rate_by_scale(const joblog::JobLog& log);
+
+/// Failure rate per task count (1, 2, ..., cap; last bucket is ">= cap").
+std::vector<StructureBucket> failure_rate_by_task_count(const joblog::JobLog& log,
+                                                        std::uint32_t cap = 8);
+
+/// Failure rate per log-spaced core-hour bucket.
+std::vector<StructureBucket> failure_rate_by_core_hours(
+    const joblog::JobLog& log, const topology::MachineConfig& machine,
+    std::size_t buckets = 8);
+
+/// Spearman rank correlation between a per-bucket structural metric and
+/// the bucket failure rates (monotonicity check for T-B).
+double bucket_trend(const std::vector<StructureBucket>& buckets);
+
+}  // namespace failmine::analysis

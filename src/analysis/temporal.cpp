@@ -1,0 +1,82 @@
+#include "analysis/temporal.hpp"
+
+#include <algorithm>
+
+namespace failmine::analysis {
+
+HourlyProfile submissions_by_hour(const joblog::JobLog& log) {
+  HourlyProfile p{};
+  for (const auto& j : log.jobs())
+    ++p[static_cast<std::size_t>(util::hour_of_day(j.submit_time))];
+  return p;
+}
+
+WeekdayProfile submissions_by_weekday(const joblog::JobLog& log) {
+  WeekdayProfile p{};
+  for (const auto& j : log.jobs())
+    ++p[static_cast<std::size_t>(util::day_of_week(j.submit_time))];
+  return p;
+}
+
+HourlyProfile failures_by_hour(const joblog::JobLog& log) {
+  HourlyProfile p{};
+  for (const auto& j : log.jobs())
+    if (j.failed()) ++p[static_cast<std::size_t>(util::hour_of_day(j.end_time))];
+  return p;
+}
+
+HourlyProfile events_by_hour(const raslog::RasLog& log) {
+  HourlyProfile p{};
+  for (const auto& e : log.events())
+    ++p[static_cast<std::size_t>(util::hour_of_day(e.timestamp))];
+  return p;
+}
+
+namespace {
+
+template <typename Records, typename TimeOf, typename Keep>
+std::vector<std::uint64_t> monthly_series(const Records& records,
+                                          util::UnixSeconds origin,
+                                          TimeOf time_of, Keep keep) {
+  std::vector<std::uint64_t> series;
+  for (const auto& r : records) {
+    if (!keep(r)) continue;
+    const int idx = util::month_index(origin, time_of(r));
+    if (idx < 0) continue;
+    if (static_cast<std::size_t>(idx) >= series.size())
+      series.resize(static_cast<std::size_t>(idx) + 1, 0);
+    ++series[static_cast<std::size_t>(idx)];
+  }
+  return series;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> monthly_submissions(const joblog::JobLog& log,
+                                               util::UnixSeconds origin) {
+  return monthly_series(
+      log.jobs(), origin, [](const auto& j) { return j.submit_time; },
+      [](const auto&) { return true; });
+}
+
+std::vector<std::uint64_t> monthly_failures(const joblog::JobLog& log,
+                                            util::UnixSeconds origin) {
+  return monthly_series(
+      log.jobs(), origin, [](const auto& j) { return j.end_time; },
+      [](const auto& j) { return j.failed(); });
+}
+
+std::vector<std::uint64_t> monthly_fatal_events(const raslog::RasLog& log,
+                                                util::UnixSeconds origin) {
+  return monthly_series(
+      log.events(), origin, [](const auto& e) { return e.timestamp; },
+      [](const auto& e) { return e.severity == raslog::Severity::kFatal; });
+}
+
+double peak_to_trough(const HourlyProfile& profile) {
+  const std::uint64_t mx = *std::max_element(profile.begin(), profile.end());
+  const std::uint64_t mn = *std::min_element(profile.begin(), profile.end());
+  return static_cast<double>(mx) / static_cast<double>(std::max<std::uint64_t>(1, mn));
+}
+
+}  // namespace failmine::analysis

@@ -1,0 +1,48 @@
+// failmine/analysis/temporal.hpp
+//
+// Temporal patterns of job submissions, failures and RAS events
+// (experiment E11): hour-of-day, day-of-week and per-month series.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "joblog/job.hpp"
+#include "raslog/event.hpp"
+#include "util/time.hpp"
+
+namespace failmine::analysis {
+
+/// 24-entry hourly profile (counts per hour of day).
+using HourlyProfile = std::array<std::uint64_t, 24>;
+
+/// 7-entry weekday profile, 0 = Monday.
+using WeekdayProfile = std::array<std::uint64_t, 7>;
+
+/// Job submissions per hour of day.
+HourlyProfile submissions_by_hour(const joblog::JobLog& log);
+
+/// Job submissions per day of week.
+WeekdayProfile submissions_by_weekday(const joblog::JobLog& log);
+
+/// Failed-job terminations per hour of day.
+HourlyProfile failures_by_hour(const joblog::JobLog& log);
+
+/// RAS events (any severity) per hour of day.
+HourlyProfile events_by_hour(const raslog::RasLog& log);
+
+/// Monthly series from `origin`: counts per calendar month index.
+std::vector<std::uint64_t> monthly_submissions(const joblog::JobLog& log,
+                                               util::UnixSeconds origin);
+std::vector<std::uint64_t> monthly_failures(const joblog::JobLog& log,
+                                            util::UnixSeconds origin);
+std::vector<std::uint64_t> monthly_fatal_events(const raslog::RasLog& log,
+                                                util::UnixSeconds origin);
+
+/// Peak-to-trough ratio of a profile (max count / min count, with min
+/// clamped to 1 to avoid division by zero).
+double peak_to_trough(const HourlyProfile& profile);
+
+}  // namespace failmine::analysis

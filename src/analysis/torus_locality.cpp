@@ -1,0 +1,73 @@
+#include "analysis/torus_locality.hpp"
+
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+
+TorusLocalityResult torus_locality(const raslog::RasLog& log,
+                                   const topology::MachineConfig& machine,
+                                   util::Rng& rng, raslog::Severity severity,
+                                   std::size_t max_nodes,
+                                   std::size_t baseline_pairs) {
+  if (max_nodes < 2) throw failmine::DomainError("need >= 2 nodes for pairs");
+  if (baseline_pairs < 1)
+    throw failmine::DomainError("need >= 1 baseline pair");
+
+  const topology::TorusShape torus = topology::TorusShape::for_machine(machine);
+
+  // Collect node coordinates of located events of the requested severity.
+  std::vector<topology::TorusCoord> coords;
+  for (const auto& e : log.events()) {
+    if (e.severity != severity) continue;
+    if (e.location.level() < topology::Level::kComputeCard) continue;
+    coords.push_back(torus.coord_of(e.location.node_index(machine)));
+  }
+
+  TorusLocalityResult result;
+  result.located_events = coords.size();
+  if (coords.size() < 2) return result;
+
+  // Deterministic reservoir-style subsample to bound the O(n^2) pass.
+  if (coords.size() > max_nodes) {
+    std::vector<topology::TorusCoord> sampled;
+    sampled.reserve(max_nodes);
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      if (sampled.size() < max_nodes) {
+        sampled.push_back(coords[i]);
+      } else {
+        const std::uint64_t j = rng.uniform_index(i + 1);
+        if (j < max_nodes) sampled[j] = coords[i];
+      }
+    }
+    coords = std::move(sampled);
+  }
+
+  double total = 0.0;
+  std::uint64_t pairs = 0;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    for (std::size_t j = i + 1; j < coords.size(); ++j) {
+      total += torus.torus_distance(coords[i], coords[j]);
+      ++pairs;
+    }
+  }
+  result.mean_pair_distance = total / static_cast<double>(pairs);
+
+  double baseline_total = 0.0;
+  const std::uint64_t node_count = torus.volume();
+  for (std::size_t k = 0; k < baseline_pairs; ++k) {
+    const auto a = torus.coord_of(
+        static_cast<topology::NodeIndex>(rng.uniform_index(node_count)));
+    const auto b = torus.coord_of(
+        static_cast<topology::NodeIndex>(rng.uniform_index(node_count)));
+    baseline_total += torus.torus_distance(a, b);
+  }
+  result.baseline_distance =
+      baseline_total / static_cast<double>(baseline_pairs);
+  result.clustering_ratio =
+      result.baseline_distance > 0
+          ? result.mean_pair_distance / result.baseline_distance
+          : 0.0;
+  return result;
+}
+
+}  // namespace failmine::analysis

@@ -1,0 +1,42 @@
+// failmine/analysis/torus_locality.hpp
+//
+// Network-topology view of fatal-event locality.
+//
+// The containment-hierarchy locality (analysis/locality.hpp) asks "do
+// fatal events share racks/boards?". The 5D torus view asks a different
+// question: are fatal events *close in the interconnect*, i.e. would a
+// topology-aware scheduler be able to route jobs around them? We measure
+// the mean pairwise torus hop distance of fatal-event nodes and compare
+// it against the machine-wide expectation for uniformly random nodes; a
+// ratio < 1 is network-level clustering.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raslog/event.hpp"
+#include "topology/machine.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::analysis {
+
+struct TorusLocalityResult {
+  std::size_t located_events = 0;      ///< events with card-level locations
+  double mean_pair_distance = 0.0;     ///< over fatal-event node pairs
+  double baseline_distance = 0.0;      ///< uniform-random expectation
+  /// mean / baseline; < 1 = clustered in the interconnect, ~1 = spread.
+  double clustering_ratio = 0.0;
+};
+
+/// Computes pairwise torus distance statistics of the `severity` events
+/// with card-level (node-resolvable) locations. If more than `max_nodes`
+/// events qualify, a deterministic subsample keeps the pair enumeration
+/// bounded. The baseline is estimated from `baseline_pairs` uniformly
+/// random node pairs drawn with `rng`.
+TorusLocalityResult torus_locality(
+    const raslog::RasLog& log, const topology::MachineConfig& machine,
+    util::Rng& rng, raslog::Severity severity = raslog::Severity::kFatal,
+    std::size_t max_nodes = 800, std::size_t baseline_pairs = 20000);
+
+}  // namespace failmine::analysis

@@ -1,0 +1,84 @@
+#include "analysis/user_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/concentration.hpp"
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+
+namespace {
+
+template <typename KeyOf>
+std::vector<GroupStats> aggregate(const joblog::JobLog& log,
+                                  const topology::MachineConfig& machine,
+                                  KeyOf key_of) {
+  std::unordered_map<std::uint32_t, GroupStats> by_key;
+  for (const auto& job : log.jobs()) {
+    GroupStats& g = by_key[key_of(job)];
+    g.group_id = key_of(job);
+    ++g.jobs;
+    const double ch = job.core_hours(machine);
+    g.core_hours += ch;
+    if (job.failed()) {
+      ++g.failures;
+      g.failed_core_hours += ch;
+      if (joblog::is_user_caused(job.exit_class)) ++g.user_caused_failures;
+      if (joblog::is_system_caused(job.exit_class)) ++g.system_caused_failures;
+    }
+  }
+  std::vector<GroupStats> out;
+  out.reserve(by_key.size());
+  for (const auto& [id, g] : by_key) out.push_back(g);
+  std::sort(out.begin(), out.end(), [](const GroupStats& a, const GroupStats& b) {
+    return a.group_id < b.group_id;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<GroupStats> per_user_stats(const joblog::JobLog& log,
+                                       const topology::MachineConfig& machine) {
+  return aggregate(log, machine,
+                   [](const joblog::JobRecord& j) { return j.user_id; });
+}
+
+std::vector<GroupStats> per_project_stats(const joblog::JobLog& log,
+                                          const topology::MachineConfig& machine) {
+  return aggregate(log, machine,
+                   [](const joblog::JobRecord& j) { return j.project_id; });
+}
+
+std::vector<double> metric_column(const std::vector<GroupStats>& stats,
+                                  GroupMetric metric) {
+  std::vector<double> col;
+  col.reserve(stats.size());
+  for (const auto& g : stats) {
+    switch (metric) {
+      case GroupMetric::kJobs: col.push_back(static_cast<double>(g.jobs)); break;
+      case GroupMetric::kFailures:
+        col.push_back(static_cast<double>(g.failures));
+        break;
+      case GroupMetric::kCoreHours: col.push_back(g.core_hours); break;
+    }
+  }
+  return col;
+}
+
+ConcentrationSummary concentration(const std::vector<GroupStats>& stats,
+                                   GroupMetric metric) {
+  if (stats.empty())
+    throw failmine::DomainError("concentration requires non-empty stats");
+  const auto col = metric_column(stats, metric);
+  ConcentrationSummary s;
+  s.group_count = stats.size();
+  s.gini = stats::gini(col);
+  s.top1_share = stats::top_k_share(col, 1);
+  s.top10_share = stats::top_k_share(col, 10);
+  s.groups_for_half = stats::contributors_for_share(col, 0.5);
+  return s;
+}
+
+}  // namespace failmine::analysis

@@ -1,0 +1,130 @@
+#include "core/attribution.hpp"
+
+#include <algorithm>
+
+#include "topology/partition.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+using topology::Level;
+using util::UnixSeconds;
+
+AttributionIndex::AttributionIndex(const joblog::JobLog& jobs,
+                                   const topology::MachineConfig& machine)
+    : machine_(machine) {
+  const int total_mids = machine.racks() * machine.midplanes_per_rack;
+  occupations_.resize(static_cast<std::size_t>(total_mids));
+  for (const auto& job : jobs.jobs()) {
+    const auto partition = job.partition(machine);
+    for (int m = partition.first_midplane();
+         m < partition.first_midplane() + partition.midplane_count(); ++m) {
+      occupations_[static_cast<std::size_t>(m)].push_back(
+          Occupation{job.start_time, job.end_time, job.job_id});
+    }
+  }
+  for (auto& lane : occupations_)
+    std::sort(lane.begin(), lane.end(),
+              [](const Occupation& a, const Occupation& b) {
+                return a.start < b.start;
+              });
+}
+
+std::optional<std::uint64_t> AttributionIndex::lookup_midplane(
+    int global_midplane, UnixSeconds t) const {
+  if (global_midplane < 0 ||
+      static_cast<std::size_t>(global_midplane) >= occupations_.size())
+    throw failmine::DomainError("midplane index out of machine");
+  const auto& lane = occupations_[static_cast<std::size_t>(global_midplane)];
+  // Candidates start at or before t; walk back from the last such start.
+  // Allocations on one midplane rarely nest deeply, so the walk is short.
+  auto it = std::upper_bound(
+      lane.begin(), lane.end(), t,
+      [](UnixSeconds value, const Occupation& o) { return value < o.start; });
+  const int kMaxWalk = 64;
+  int walked = 0;
+  while (it != lane.begin() && walked++ < kMaxWalk) {
+    --it;
+    if (it->start <= t && t <= it->end) return it->job_id;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> AttributionIndex::attribute(
+    const raslog::RasEvent& event) const {
+  if (event.location.level() >= Level::kMidplane) {
+    const int mid =
+        topology::Partition::global_midplane_index(event.location, machine_);
+    return lookup_midplane(mid, event.timestamp);
+  }
+  // Rack-level event: any job on either midplane of the rack is affected;
+  // report the first match.
+  const int rack = event.location.rack_index(machine_);
+  for (int m = 0; m < machine_.midplanes_per_rack; ++m) {
+    const auto hit =
+        lookup_midplane(rack * machine_.midplanes_per_rack + m, event.timestamp);
+    if (hit) return hit;
+  }
+  return std::nullopt;
+}
+
+std::vector<JobEventStats> AttributionIndex::attribute_all(
+    const raslog::RasLog& log) const {
+  std::unordered_map<std::uint64_t, JobEventStats> by_job;
+  for (const auto& event : log.events()) {
+    const auto job = attribute(event);
+    if (!job) continue;
+    JobEventStats& s = by_job[*job];
+    s.job_id = *job;
+    switch (event.severity) {
+      case raslog::Severity::kInfo: ++s.info_events; break;
+      case raslog::Severity::kWarn: ++s.warn_events; break;
+      case raslog::Severity::kFatal: ++s.fatal_events; break;
+    }
+  }
+  std::vector<JobEventStats> out;
+  out.reserve(by_job.size());
+  for (const auto& [id, s] : by_job) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const JobEventStats& a, const JobEventStats& b) {
+              return a.job_id < b.job_id;
+            });
+  return out;
+}
+
+UserEventCorrelationInput user_event_correlation_input(
+    const joblog::JobLog& jobs, const raslog::RasLog& ras,
+    const topology::MachineConfig& machine) {
+  const AttributionIndex index(jobs, machine);
+  const auto per_job = index.attribute_all(ras);
+
+  std::unordered_map<std::uint32_t, std::size_t> row_of_user;
+  UserEventCorrelationInput input;
+  auto row_for = [&](std::uint32_t user) {
+    const auto it = row_of_user.find(user);
+    if (it != row_of_user.end()) return it->second;
+    const std::size_t row = input.user_ids.size();
+    row_of_user.emplace(user, row);
+    input.user_ids.push_back(user);
+    input.events_per_user.push_back(0.0);
+    input.fatal_events_per_user.push_back(0.0);
+    input.core_hours_per_user.push_back(0.0);
+    input.jobs_per_user.push_back(0.0);
+    return row;
+  };
+
+  for (const auto& job : jobs.jobs()) {
+    const std::size_t row = row_for(job.user_id);
+    input.core_hours_per_user[row] += job.core_hours(machine);
+    input.jobs_per_user[row] += 1.0;
+  }
+  for (const auto& s : per_job) {
+    const auto& job = jobs.by_id(s.job_id);
+    const std::size_t row = row_for(job.user_id);
+    input.events_per_user[row] += static_cast<double>(s.total());
+    input.fatal_events_per_user[row] += static_cast<double>(s.fatal_events);
+  }
+  return input;
+}
+
+}  // namespace failmine::core

@@ -1,0 +1,81 @@
+// failmine/core/attribution.hpp
+//
+// Joint job <-> RAS-event attribution.
+//
+// The central instrument of the paper's joint analysis: given a located,
+// timestamped RAS event, find the job whose partition covered that
+// hardware at that moment. Built once per dataset, the index answers
+// point queries in O(log n) by keeping, per global midplane, the
+// time-sorted list of job occupations.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "joblog/job.hpp"
+#include "raslog/event.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::core {
+
+/// Per-job attribution counters.
+struct JobEventStats {
+  std::uint64_t job_id = 0;
+  std::uint64_t info_events = 0;
+  std::uint64_t warn_events = 0;
+  std::uint64_t fatal_events = 0;
+
+  std::uint64_t total() const { return info_events + warn_events + fatal_events; }
+};
+
+/// Spatio-temporal index from hardware locations to running jobs.
+class AttributionIndex {
+ public:
+  AttributionIndex(const joblog::JobLog& jobs,
+                   const topology::MachineConfig& machine);
+
+  /// The job whose partition covered `event.location` at `event.timestamp`
+  /// (latest-starting match if allocations overlap). Events located above
+  /// midplane level (rack-level) match any job on either midplane of the
+  /// rack. Returns nullopt for events on idle hardware.
+  std::optional<std::uint64_t> attribute(const raslog::RasEvent& event) const;
+
+  /// Attributes every event of the log; returns per-job counters for jobs
+  /// with at least one attributed event.
+  std::vector<JobEventStats> attribute_all(const raslog::RasLog& log) const;
+
+ private:
+  struct Occupation {
+    util::UnixSeconds start;
+    util::UnixSeconds end;
+    std::uint64_t job_id;
+  };
+
+  std::optional<std::uint64_t> lookup_midplane(int global_midplane,
+                                               util::UnixSeconds t) const;
+
+  // By value, for the same lifetime-safety reason as JointAnalyzer.
+  topology::MachineConfig machine_;
+  /// occupations_[midplane] sorted by start time.
+  std::vector<std::vector<Occupation>> occupations_;
+};
+
+/// Per-user aggregation of attributed events joined with core-hours —
+/// the inputs to the paper's RAS/user and RAS/core-hour correlations
+/// (experiment E10).
+struct UserEventCorrelationInput {
+  std::vector<double> events_per_user;       ///< attributed events
+  std::vector<double> fatal_events_per_user; ///< attributed FATALs
+  std::vector<double> core_hours_per_user;
+  std::vector<double> jobs_per_user;
+  std::vector<std::uint32_t> user_ids;       ///< row labels
+};
+
+UserEventCorrelationInput user_event_correlation_input(
+    const joblog::JobLog& jobs, const raslog::RasLog& ras,
+    const topology::MachineConfig& machine);
+
+}  // namespace failmine::core

@@ -1,0 +1,98 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+HazardEstimate estimate_hazard(const joblog::JobLog& jobs) {
+  if (jobs.empty()) throw failmine::DomainError("estimate_hazard requires jobs");
+  HazardEstimate h;
+  for (const auto& job : jobs.jobs()) {
+    h.node_seconds += static_cast<double>(job.nodes_used) *
+                      static_cast<double>(job.runtime_seconds());
+    if (joblog::is_system_caused(job.exit_class)) ++h.system_kills;
+  }
+  if (h.node_seconds <= 0)
+    throw failmine::DomainError("job log has no exposure");
+  h.per_node_second = static_cast<double>(h.system_kills) / h.node_seconds;
+  return h;
+}
+
+double young_interval(double checkpoint_seconds, double mtbf_seconds) {
+  if (checkpoint_seconds <= 0 || mtbf_seconds <= 0)
+    throw failmine::DomainError("checkpoint/MTBF must be positive");
+  return std::sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
+}
+
+double daly_interval(double checkpoint_seconds, double mtbf_seconds) {
+  if (checkpoint_seconds <= 0 || mtbf_seconds <= 0)
+    throw failmine::DomainError("checkpoint/MTBF must be positive");
+  // Daly (2006): for delta < 2M,
+  //   tau* = sqrt(2 delta M) [1 + 1/3 sqrt(delta/2M) + (1/9)(delta/2M)] - delta
+  // and tau* = M when delta >= 2M (checkpointing cannot pay off).
+  if (checkpoint_seconds >= 2.0 * mtbf_seconds) return mtbf_seconds;
+  const double ratio = checkpoint_seconds / (2.0 * mtbf_seconds);
+  const double base = std::sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
+  const double tau =
+      base * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - checkpoint_seconds;
+  return std::max(tau, checkpoint_seconds);
+}
+
+double waste_fraction(double interval, double checkpoint_seconds,
+                      double mtbf_seconds) {
+  if (interval <= 0 || checkpoint_seconds <= 0 || mtbf_seconds <= 0)
+    throw failmine::DomainError("waste_fraction requires positive inputs");
+  // First-order model: per segment of useful work `interval` we pay
+  // `checkpoint_seconds` of overhead, and on average half a segment
+  // (plus its checkpoint) is lost per interruption.
+  const double overhead = checkpoint_seconds / (interval + checkpoint_seconds);
+  const double lost = (interval + checkpoint_seconds) / (2.0 * mtbf_seconds);
+  return std::min(1.0, overhead + lost);
+}
+
+std::vector<CheckpointAdvice> recommend_checkpoints(
+    const joblog::JobLog& jobs, double checkpoint_seconds,
+    double reference_runtime_seconds) {
+  if (checkpoint_seconds <= 0 || reference_runtime_seconds <= 0)
+    throw failmine::DomainError("recommend_checkpoints requires positive inputs");
+  const HazardEstimate hazard = estimate_hazard(jobs);
+
+  std::map<std::uint32_t, std::uint64_t> sizes;
+  for (const auto& job : jobs.jobs()) ++sizes[job.nodes_used];
+
+  std::vector<CheckpointAdvice> advice;
+  for (const auto& [nodes, count] : sizes) {
+    CheckpointAdvice a;
+    a.nodes = nodes;
+    if (hazard.per_node_second <= 0) {
+      // No observed system kills: effectively infinite MTBF.
+      a.job_mtbf_hours = std::numeric_limits<double>::infinity();
+      a.optimal_interval_hours = std::numeric_limits<double>::infinity();
+      a.waste_at_optimum = 0.0;
+      a.waste_without = 0.0;
+      advice.push_back(a);
+      continue;
+    }
+    const double mtbf =
+        1.0 / (hazard.per_node_second * static_cast<double>(nodes));
+    const double tau = daly_interval(checkpoint_seconds, mtbf);
+    a.job_mtbf_hours = mtbf / 3600.0;
+    a.optimal_interval_hours = tau / 3600.0;
+    a.waste_at_optimum = waste_fraction(tau, checkpoint_seconds, mtbf);
+    // Without checkpoints, an interruption at time t < T loses t; the
+    // expected loss fraction for a run of length T is
+    // P(interrupt) * E[t | t < T] / T; with exponential interruptions
+    // this is 1 - (M/T)(1 - e^{-T/M}).
+    const double T = reference_runtime_seconds;
+    a.waste_without = 1.0 - (mtbf / T) * (1.0 - std::exp(-T / mtbf));
+    advice.push_back(a);
+  }
+  return advice;
+}
+
+}  // namespace failmine::core

@@ -1,0 +1,70 @@
+// failmine/core/checkpoint.hpp
+//
+// Checkpoint-interval advisor.
+//
+// The operational payoff of a failure characterization: given the measured
+// system hazard (interruptions per node-second) and a job's size, how
+// often should it checkpoint? We estimate the hazard directly from the
+// job log (system kills / node-seconds of exposure — the same quantity the
+// study's MTTI rests on), then apply the Young/Daly optimum
+//     tau* = sqrt(2 * delta * M) - delta        (first order)
+// with Daly's higher-order refinement for short-MTBF regimes, and report
+// the expected waste fraction (checkpoint overhead + lost recompute).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "joblog/job.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::core {
+
+/// Hazard estimated from a job log.
+struct HazardEstimate {
+  double per_node_second = 0.0;   ///< interruption rate per node-second
+  std::uint64_t system_kills = 0;
+  double node_seconds = 0.0;      ///< total exposure observed
+};
+
+/// MLE of the per-node-second interruption hazard (kills / exposure).
+/// Throws DomainError on an empty log; a log with zero kills returns a
+/// zero hazard (callers should treat recommendations as "no checkpoints
+/// needed" in that case).
+HazardEstimate estimate_hazard(const joblog::JobLog& jobs);
+
+/// Young's first-order optimum: sqrt(2 * delta * mtbf) (valid for
+/// delta << mtbf). Throws DomainError for non-positive inputs.
+double young_interval(double checkpoint_seconds, double mtbf_seconds);
+
+/// Daly's higher-order optimum, accurate also when delta / mtbf is not
+/// small; falls back to mtbf when checkpointing cannot pay off.
+double daly_interval(double checkpoint_seconds, double mtbf_seconds);
+
+/// Expected fraction of wall-clock time wasted when checkpointing every
+/// `interval` seconds (writing costs `checkpoint_seconds`) on a machine
+/// with exponential interruptions of mean `mtbf_seconds`:
+/// overhead delta/tau plus expected lost recompute (tau+delta)/(2 M).
+double waste_fraction(double interval, double checkpoint_seconds,
+                      double mtbf_seconds);
+
+/// One recommendation row (per allocation size).
+struct CheckpointAdvice {
+  std::uint32_t nodes = 0;
+  double job_mtbf_hours = 0.0;       ///< 1 / (hazard * nodes), in hours
+  double optimal_interval_hours = 0.0;
+  double waste_at_optimum = 0.0;     ///< expected waste fraction
+  double waste_without = 0.0;        ///< expected loss fraction for a
+                                     ///< walltime-length run w/o checkpoints
+};
+
+/// Recommends checkpoint intervals for every allocation size present in
+/// the log, assuming a checkpoint write of `checkpoint_seconds` (a full
+/// memory dump through the I/O subsystem). `reference_runtime_seconds`
+/// sizes the no-checkpoint comparison (default: 6 h).
+std::vector<CheckpointAdvice> recommend_checkpoints(
+    const joblog::JobLog& jobs, double checkpoint_seconds = 600.0,
+    double reference_runtime_seconds = 6.0 * 3600.0);
+
+}  // namespace failmine::core

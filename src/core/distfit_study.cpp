@@ -1,0 +1,52 @@
+#include "core/distfit_study.hpp"
+
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+std::vector<double> runtime_sample(const joblog::JobLog& log,
+                                   joblog::ExitClass exit_class) {
+  std::vector<double> sample;
+  for (const auto& job : log.jobs())
+    if (job.exit_class == exit_class)
+      sample.push_back(static_cast<double>(job.runtime_seconds()));
+  return sample;
+}
+
+ClassFitRow fit_sample(std::vector<double> sample,
+                       const std::vector<distfit::Family>& families) {
+  if (sample.size() < 2)
+    throw failmine::DomainError("fit_sample requires >= 2 observations");
+  ClassFitRow row;
+  row.sample_size = sample.size();
+  row.fits = distfit::fit_all(sample, families);
+  if (row.fits.empty())
+    throw failmine::DomainError("no family could fit the sample");
+  row.best_by_ks =
+      distfit::best_fit_index(row.fits, distfit::Criterion::kKsDistance);
+  row.best_by_aic = distfit::best_fit_index(row.fits, distfit::Criterion::kAic);
+  row.best_by_bic = distfit::best_fit_index(row.fits, distfit::Criterion::kBic);
+  return row;
+}
+
+std::vector<ClassFitRow> fit_by_exit_class(
+    const joblog::JobLog& log, std::size_t min_sample, bool include_walltime,
+    const std::vector<distfit::Family>& families) {
+  std::vector<ClassFitRow> rows;
+  for (joblog::ExitClass cls : joblog::kAllExitClasses) {
+    if (!joblog::is_failure(cls)) continue;
+    if (!include_walltime && cls == joblog::ExitClass::kWalltimeLimit) continue;
+    auto sample = runtime_sample(log, cls);
+    if (sample.size() < min_sample) continue;
+    ClassFitRow row = fit_sample(std::move(sample), families);
+    row.exit_class = cls;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string best_family_name(const ClassFitRow& row) {
+  return distfit::family_name(row.fits.at(row.best_by_ks).family);
+}
+
+}  // namespace failmine::core

@@ -1,0 +1,52 @@
+// failmine/core/distfit_study.hpp
+//
+// The per-exit-class distribution-fitting study (takeaway T-C,
+// experiments E05 and E13): which parametric family best describes the
+// execution length of failed jobs, per error type, and the intervals
+// between filtered system interruptions.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "distfit/selection.hpp"
+#include "joblog/job.hpp"
+
+namespace failmine::core {
+
+/// One row of the study: an exit class, its sample, and the ranked fits.
+struct ClassFitRow {
+  joblog::ExitClass exit_class{};
+  std::size_t sample_size = 0;
+  std::vector<distfit::FitResult> fits;  ///< all candidate fits
+  std::size_t best_by_ks = 0;            ///< index into fits
+  std::size_t best_by_aic = 0;
+  std::size_t best_by_bic = 0;
+};
+
+/// Extracts the execution-length sample (seconds) of failed jobs with the
+/// given exit class.
+std::vector<double> runtime_sample(const joblog::JobLog& log,
+                                   joblog::ExitClass exit_class);
+
+/// Runs the fitting study over every failure class with at least
+/// `min_sample` observations. Walltime-limit jobs are excluded by default:
+/// their lengths are deterministic (a point mass no continuous family
+/// should be asked to fit).
+std::vector<ClassFitRow> fit_by_exit_class(
+    const joblog::JobLog& log, std::size_t min_sample = 50,
+    bool include_walltime = false,
+    const std::vector<distfit::Family>& families = distfit::all_families());
+
+/// Fits candidate families to a plain sample (used for interruption
+/// intervals in E13) and ranks them.
+ClassFitRow fit_sample(std::vector<double> sample,
+                       const std::vector<distfit::Family>& families =
+                           distfit::all_families());
+
+/// Name of the winning family of a row under the KS criterion.
+std::string best_family_name(const ClassFitRow& row);
+
+}  // namespace failmine::core

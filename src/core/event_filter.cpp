@@ -1,0 +1,115 @@
+#include "core/event_filter.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+using raslog::RasEvent;
+using topology::Level;
+
+bool spatially_similar(const RasEvent& a, const RasEvent& b,
+                       const FilterConfig& config) {
+  if (config.require_same_message && a.message_id != b.message_id) return false;
+  const auto common = a.location.common_level(b.location);
+  if (!common.has_value()) return false;  // different racks
+  // A location shallower than the configured radius covers everything
+  // beneath it, so the requirement relaxes to the shallowest of the three.
+  const Level required = std::min(
+      {config.spatial_level, a.location.level(), b.location.level()});
+  return *common >= required;
+}
+
+namespace {
+
+std::vector<const RasEvent*> select_severity(const raslog::RasLog& log,
+                                             raslog::Severity severity) {
+  std::vector<const RasEvent*> out;
+  for (const auto& e : log.events())
+    if (e.severity == severity) out.push_back(&e);
+  return out;
+}
+
+}  // namespace
+
+FilterResult filter_events(const raslog::RasLog& log, const FilterConfig& config) {
+  if (config.window_seconds < 0)
+    throw failmine::DomainError("filter window must be non-negative");
+  const auto selected = select_severity(log, config.severity);
+
+  FilterResult result;
+  result.input_events = selected.size();
+
+  // Open clusters: indexes into result.clusters whose last_time is still
+  // within the window of the current event. The stream is time-sorted, so
+  // clusters expire monotonically from the front of the open list.
+  std::vector<std::size_t> open;
+  for (const RasEvent* event : selected) {
+    // Expire stale clusters.
+    std::erase_if(open, [&](std::size_t idx) {
+      return result.clusters[idx].last_time <
+             event->timestamp - config.window_seconds;
+    });
+
+    // Join the most recently touched similar cluster.
+    std::size_t joined = static_cast<std::size_t>(-1);
+    for (auto it = open.rbegin(); it != open.rend(); ++it) {
+      EventCluster& c = result.clusters[*it];
+      if (spatially_similar(c.representative, *event, config)) {
+        joined = *it;
+        break;
+      }
+    }
+    if (joined != static_cast<std::size_t>(-1)) {
+      EventCluster& c = result.clusters[joined];
+      ++c.member_count;
+      c.last_time = event->timestamp;
+      if (!c.job_id && event->job_id) c.job_id = event->job_id;
+    } else {
+      EventCluster c;
+      c.representative = *event;
+      c.member_count = 1;
+      c.first_time = event->timestamp;
+      c.last_time = event->timestamp;
+      c.job_id = event->job_id;
+      result.clusters.push_back(std::move(c));
+      open.push_back(result.clusters.size() - 1);
+    }
+  }
+  return result;
+}
+
+PipelineCounts filtering_pipeline(const raslog::RasLog& log,
+                                  const FilterConfig& config) {
+  PipelineCounts counts;
+  const auto selected = select_severity(log, config.severity);
+  counts.raw = selected.size();
+
+  // Temporal-only: split the time-sorted stream wherever the gap to the
+  // previous event exceeds the window.
+  std::uint64_t temporal = 0;
+  util::UnixSeconds last = 0;
+  bool first = true;
+  for (const RasEvent* e : selected) {
+    if (first || e->timestamp - last > config.window_seconds) ++temporal;
+    last = e->timestamp;
+    first = false;
+  }
+  counts.temporal_only = temporal;
+
+  // Spatial-only: distinct components at the effective level, ignoring
+  // time entirely.
+  std::set<topology::Location> components;
+  for (const RasEvent* e : selected) {
+    const Level effective = std::min(config.spatial_level, e->location.level());
+    components.insert(e->location.ancestor(effective));
+  }
+  counts.spatial_only = components.size();
+
+  counts.combined = filter_events(log, config).clusters.size();
+  return counts;
+}
+
+}  // namespace failmine::core

@@ -1,0 +1,127 @@
+#include "core/joint_analyzer.hpp"
+
+#include <algorithm>
+
+#include "stats/correlation.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+JointAnalyzer::JointAnalyzer(const joblog::JobLog& jobs,
+                             const tasklog::TaskLog& tasks,
+                             const raslog::RasLog& ras, const iolog::IoLog& io,
+                             const topology::MachineConfig& machine)
+    : jobs_(jobs), tasks_(tasks), ras_(ras), io_(io), machine_(machine) {
+  if (jobs.empty()) throw failmine::DomainError("JointAnalyzer needs jobs");
+}
+
+util::UnixSeconds JointAnalyzer::window_begin() const {
+  util::UnixSeconds lo = jobs_.jobs().front().submit_time;
+  for (const auto& j : jobs_.jobs()) lo = std::min(lo, j.submit_time);
+  if (!ras_.empty()) lo = std::min(lo, ras_.events().front().timestamp);
+  return lo;
+}
+
+util::UnixSeconds JointAnalyzer::window_end() const {
+  util::UnixSeconds hi = jobs_.jobs().front().end_time;
+  for (const auto& j : jobs_.jobs()) hi = std::max(hi, j.end_time);
+  if (!ras_.empty()) hi = std::max(hi, ras_.events().back().timestamp + 1);
+  return hi;
+}
+
+DatasetSummary JointAnalyzer::dataset_summary() const {
+  DatasetSummary s;
+  s.span_days = static_cast<double>(window_end() - window_begin()) /
+                static_cast<double>(util::kSecondsPerDay);
+  s.jobs = jobs_.size();
+  s.tasks = tasks_.size();
+  s.ras_events = ras_.size();
+  s.ras_by_severity = ras_.severity_counts();
+  s.io_records = io_.size();
+  s.total_core_hours = jobs_.total_core_hours(machine_);
+  return s;
+}
+
+ExitBreakdown JointAnalyzer::exit_breakdown() const {
+  ExitBreakdown b;
+  b.total_jobs = jobs_.size();
+  std::map<joblog::ExitClass, ExitBreakdownRow> rows;
+  std::uint64_t user_caused = 0;
+  std::uint64_t system_caused = 0;
+  for (const auto& job : jobs_.jobs()) {
+    ExitBreakdownRow& row = rows[job.exit_class];
+    row.exit_class = job.exit_class;
+    ++row.jobs;
+    row.core_hours += job.core_hours(machine_);
+    if (job.failed()) {
+      ++b.total_failures;
+      if (joblog::is_user_caused(job.exit_class)) ++user_caused;
+      if (joblog::is_system_caused(job.exit_class)) ++system_caused;
+    }
+  }
+  for (joblog::ExitClass cls : joblog::kAllExitClasses) {
+    const auto it = rows.find(cls);
+    if (it == rows.end()) continue;
+    ExitBreakdownRow row = it->second;
+    row.share_of_jobs =
+        static_cast<double>(row.jobs) / static_cast<double>(b.total_jobs);
+    row.share_of_failures =
+        joblog::is_failure(cls) && b.total_failures > 0
+            ? static_cast<double>(row.jobs) /
+                  static_cast<double>(b.total_failures)
+            : 0.0;
+    b.rows.push_back(row);
+  }
+  if (b.total_failures > 0) {
+    b.user_caused_share = static_cast<double>(user_caused) /
+                          static_cast<double>(b.total_failures);
+    b.system_caused_share = static_cast<double>(system_caused) /
+                            static_cast<double>(b.total_failures);
+  }
+  return b;
+}
+
+std::vector<ClassFitRow> JointAnalyzer::runtime_distribution_study(
+    std::size_t min_sample) const {
+  return fit_by_exit_class(jobs_, min_sample);
+}
+
+FilteredMtti JointAnalyzer::interruption_analysis(
+    const FilterConfig& config) const {
+  return filtered_mtti(ras_, config, window_begin(), window_end());
+}
+
+ClassFitRow JointAnalyzer::interruption_interval_fit(
+    const FilterConfig& config) const {
+  const FilteredMtti fm = interruption_analysis(config);
+  if (fm.mtti.intervals_days.size() < 2)
+    throw failmine::DomainError(
+        "not enough interruptions to fit an interval distribution");
+  return fit_sample(fm.mtti.intervals_days);
+}
+
+JointAnalyzer::RasCorrelations JointAnalyzer::ras_user_correlations() const {
+  const auto input = user_event_correlation_input(jobs_, ras_, machine_);
+  RasCorrelations c;
+  c.users = input.user_ids.size();
+  if (c.users < 3) throw failmine::DomainError("too few users to correlate");
+  // A tiny trace can leave a column constant (e.g. no attributed FATALs at
+  // all); report 0 correlation for that column instead of failing the
+  // whole joint analysis.
+  auto safe_spearman = [](const std::vector<double>& x,
+                          const std::vector<double>& y) {
+    try {
+      return stats::spearman(x, y);
+    } catch (const failmine::DomainError&) {
+      return 0.0;
+    }
+  };
+  c.events_vs_core_hours =
+      safe_spearman(input.events_per_user, input.core_hours_per_user);
+  c.events_vs_jobs = safe_spearman(input.events_per_user, input.jobs_per_user);
+  c.fatals_vs_core_hours =
+      safe_spearman(input.fatal_events_per_user, input.core_hours_per_user);
+  return c;
+}
+
+}  // namespace failmine::core

@@ -1,0 +1,67 @@
+#include "core/lead_time.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+LeadTimeResult warning_lead_times(const raslog::RasLog& log,
+                                  const std::vector<EventCluster>& clusters,
+                                  const LeadTimeConfig& config) {
+  if (config.horizon_seconds <= 0)
+    throw failmine::DomainError("lead-time horizon must be positive");
+
+  // Collect the WARN stream once (already time-sorted inside the log).
+  std::vector<const raslog::RasEvent*> warns;
+  for (const auto& e : log.events())
+    if (e.severity == raslog::Severity::kWarn) warns.push_back(&e);
+
+  LeadTimeResult result;
+  std::vector<double> leads;
+  FilterConfig similarity;
+  similarity.spatial_level = config.spatial_level;
+
+  for (const auto& cluster : clusters) {
+    Precursor p;
+    p.interruption_time = cluster.first_time;
+
+    // Binary search the first WARN at or after the window start, then
+    // walk forward to the interruption instant keeping the latest match.
+    const util::UnixSeconds window_start =
+        cluster.first_time - config.horizon_seconds;
+    auto it = std::lower_bound(
+        warns.begin(), warns.end(), window_start,
+        [](const raslog::RasEvent* e, util::UnixSeconds t) {
+          return e->timestamp < t;
+        });
+    const raslog::RasEvent* best = nullptr;
+    for (; it != warns.end() && (*it)->timestamp <= cluster.first_time; ++it) {
+      if (spatially_similar(**it, cluster.representative, similarity))
+        best = *it;  // keep the latest (shortest lead)
+    }
+    if (best != nullptr) {
+      p.lead_seconds = cluster.first_time - best->timestamp;
+      p.warn_message_id = best->message_id;
+      ++result.with_precursor;
+      leads.push_back(static_cast<double>(*p.lead_seconds));
+    } else {
+      ++result.without_precursor;
+    }
+    result.per_interruption.push_back(std::move(p));
+  }
+
+  const std::uint64_t total = result.with_precursor + result.without_precursor;
+  result.coverage =
+      total > 0 ? static_cast<double>(result.with_precursor) /
+                      static_cast<double>(total)
+                : 0.0;
+  if (!leads.empty()) {
+    result.median_lead_seconds = stats::median(leads);
+    result.mean_lead_seconds = stats::mean(leads);
+  }
+  return result;
+}
+
+}  // namespace failmine::core

@@ -1,0 +1,54 @@
+// failmine/core/lead_time.hpp
+//
+// WARN -> FATAL lead-time analysis.
+//
+// Real RAS streams show precursor warnings (correctable-error thresholds,
+// link retrains, voltage deviations) in the minutes before a fatal fault;
+// the paper's discussion of error propagation motivates asking how much
+// warning time an online monitor would have had. For every filtered
+// interruption we look back a bounded horizon for the nearest WARN on the
+// same hardware neighbourhood and report the lead-time distribution and
+// the fraction of interruptions that had any precursor at all.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/event_filter.hpp"
+#include "raslog/event.hpp"
+
+namespace failmine::core {
+
+struct LeadTimeConfig {
+  /// How far back to search for a precursor.
+  std::int64_t horizon_seconds = 7200;
+  /// Spatial closeness required between WARN and interruption (same as
+  /// the similarity filter's radius semantics).
+  topology::Level spatial_level = topology::Level::kMidplane;
+};
+
+/// Precursor finding for one interruption.
+struct Precursor {
+  util::UnixSeconds interruption_time = 0;
+  std::optional<std::int64_t> lead_seconds;  ///< nullopt: no precursor found
+  std::string warn_message_id;               ///< empty when none
+};
+
+/// Aggregate results.
+struct LeadTimeResult {
+  std::vector<Precursor> per_interruption;  ///< one per cluster, time order
+  std::uint64_t with_precursor = 0;
+  std::uint64_t without_precursor = 0;
+  double coverage = 0.0;            ///< with / total
+  double median_lead_seconds = 0.0; ///< over covered interruptions
+  double mean_lead_seconds = 0.0;
+};
+
+/// Searches the WARN stream of `log` for precursors of each filtered
+/// interruption in `clusters`.
+LeadTimeResult warning_lead_times(const raslog::RasLog& log,
+                                  const std::vector<EventCluster>& clusters,
+                                  const LeadTimeConfig& config = {});
+
+}  // namespace failmine::core

@@ -1,0 +1,88 @@
+#include "core/mtbf.hpp"
+
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+namespace {
+
+double window_days(util::UnixSeconds begin, util::UnixSeconds end) {
+  if (end <= begin) throw failmine::DomainError("empty observation window");
+  return static_cast<double>(end - begin) /
+         static_cast<double>(util::kSecondsPerDay);
+}
+
+template <typename Key, typename KeyOf>
+std::map<Key, MtbfRow> mtbf_grouped(const std::vector<EventCluster>& clusters,
+                                    util::UnixSeconds begin,
+                                    util::UnixSeconds end, KeyOf key_of) {
+  const double span = window_days(begin, end);
+  std::map<Key, MtbfRow> rows;
+  std::uint64_t total = 0;
+  for (const auto& c : clusters) {
+    if (c.first_time < begin || c.first_time >= end) continue;
+    ++rows[key_of(c)].interruptions;
+    ++total;
+  }
+  for (auto& [key, row] : rows) {
+    row.mtbf_days = row.interruptions > 0
+                        ? span / static_cast<double>(row.interruptions)
+                        : span;
+    row.share = total > 0 ? static_cast<double>(row.interruptions) /
+                                static_cast<double>(total)
+                          : 0.0;
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::map<raslog::Component, MtbfRow> mtbf_by_component(
+    const std::vector<EventCluster>& clusters, util::UnixSeconds begin,
+    util::UnixSeconds end) {
+  return mtbf_grouped<raslog::Component>(
+      clusters, begin, end,
+      [](const EventCluster& c) { return c.representative.component; });
+}
+
+std::map<raslog::Category, MtbfRow> mtbf_by_category(
+    const std::vector<EventCluster>& clusters, util::UnixSeconds begin,
+    util::UnixSeconds end) {
+  return mtbf_grouped<raslog::Category>(
+      clusters, begin, end,
+      [](const EventCluster& c) { return c.representative.category; });
+}
+
+AvailabilityResult estimate_availability(
+    const std::vector<EventCluster>& clusters,
+    const topology::MachineConfig& machine, util::UnixSeconds begin,
+    util::UnixSeconds end, const AvailabilityConfig& config) {
+  if (config.mean_repair_hours < 0)
+    throw failmine::DomainError("repair time must be non-negative");
+  if (config.default_blast_midplanes < 1)
+    throw failmine::DomainError("blast radius must be >= 1 midplane");
+
+  AvailabilityResult r;
+  r.span_days = window_days(begin, end);
+  const int total_midplanes = machine.racks() * machine.midplanes_per_rack;
+  r.total_midplane_hours =
+      static_cast<double>(total_midplanes) * r.span_days * 24.0;
+
+  for (const auto& c : clusters) {
+    if (c.first_time < begin || c.first_time >= end) continue;
+    ++r.interruptions;
+    int blast = config.default_blast_midplanes;
+    if (c.representative.location.level() < topology::Level::kMidplane) {
+      // Rack-level fault: both midplanes of the rack go down.
+      blast = machine.midplanes_per_rack;
+    }
+    r.lost_midplane_hours +=
+        static_cast<double>(blast) * config.mean_repair_hours;
+  }
+  r.availability = r.total_midplane_hours > 0
+                       ? 1.0 - r.lost_midplane_hours / r.total_midplane_hours
+                       : 1.0;
+  return r;
+}
+
+}  // namespace failmine::core

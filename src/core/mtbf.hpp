@@ -1,0 +1,69 @@
+// failmine/core/mtbf.hpp
+//
+// MTBF by component/category and system availability estimation.
+//
+// Extends the MTTI analysis (E08) along two axes the paper's RAS
+// discussion motivates:
+//  * per-component / per-category mean time between (filtered) failures —
+//    which subsystems drive the interruption rate;
+//  * an availability estimate: each interruption takes the affected
+//    partition down for a repair interval, so availability follows from
+//    the filtered interruption stream, a mean-time-to-repair assumption
+//    and the blast radius of each interruption.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/event_filter.hpp"
+#include "raslog/category.hpp"
+#include "raslog/component.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::core {
+
+/// Interruption counts and MTBF for one grouping key.
+struct MtbfRow {
+  std::uint64_t interruptions = 0;
+  double mtbf_days = 0.0;  ///< span / interruptions (censored = span)
+  double share = 0.0;      ///< fraction of all interruptions
+};
+
+/// MTBF of filtered interruptions grouped by the representative event's
+/// component.
+std::map<raslog::Component, MtbfRow> mtbf_by_component(
+    const std::vector<EventCluster>& clusters, util::UnixSeconds begin,
+    util::UnixSeconds end);
+
+/// Same, grouped by functional category.
+std::map<raslog::Category, MtbfRow> mtbf_by_category(
+    const std::vector<EventCluster>& clusters, util::UnixSeconds begin,
+    util::UnixSeconds end);
+
+/// Availability model inputs.
+struct AvailabilityConfig {
+  double mean_repair_hours = 4.0;  ///< MTTR per interruption
+  /// Midplanes taken down per interruption when the event cannot be
+  /// localized below rack level (rack = 2 midplanes on BG/Q).
+  int default_blast_midplanes = 1;
+};
+
+/// System availability over the window.
+struct AvailabilityResult {
+  double span_days = 0.0;
+  std::uint64_t interruptions = 0;
+  double lost_midplane_hours = 0.0;   ///< sum of blast x repair time
+  double total_midplane_hours = 0.0;  ///< machine capacity over the window
+  double availability = 1.0;          ///< 1 - lost/total
+};
+
+/// Estimates availability from filtered interruptions: each cluster takes
+/// its origin's midplane(s) down for the configured repair time. Rack- or
+/// shallower-located interruptions take the whole rack down.
+AvailabilityResult estimate_availability(
+    const std::vector<EventCluster>& clusters,
+    const topology::MachineConfig& machine, util::UnixSeconds begin,
+    util::UnixSeconds end, const AvailabilityConfig& config = {});
+
+}  // namespace failmine::core

@@ -1,0 +1,62 @@
+#include "core/trend.hpp"
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+namespace {
+
+TrendResult trend_from_counts(std::vector<std::uint64_t> counts) {
+  if (counts.size() < 3)
+    throw failmine::DomainError("trend requires >= 3 months");
+  TrendResult r;
+  r.monthly_counts = std::move(counts);
+  std::vector<double> x, y;
+  x.reserve(r.monthly_counts.size());
+  for (std::size_t m = 0; m < r.monthly_counts.size(); ++m) {
+    x.push_back(static_cast<double>(m));
+    y.push_back(static_cast<double>(r.monthly_counts[m]));
+  }
+  r.fit = stats::linear_regression(x, y);
+  r.mean_per_month = stats::mean(y);
+  r.relative_slope =
+      r.mean_per_month > 0 ? r.fit.slope / r.mean_per_month : 0.0;
+  return r;
+}
+
+std::size_t month_count(util::UnixSeconds origin, util::UnixSeconds end) {
+  if (end <= origin) throw failmine::DomainError("empty trend window");
+  const int months = util::month_index(origin, end - 1) + 1;
+  return static_cast<std::size_t>(std::max(months, 1));
+}
+
+}  // namespace
+
+TrendResult interruption_trend(const std::vector<EventCluster>& clusters,
+                               util::UnixSeconds origin,
+                               util::UnixSeconds end) {
+  std::vector<std::uint64_t> counts(month_count(origin, end), 0);
+  for (const auto& c : clusters) {
+    if (c.first_time < origin || c.first_time >= end) continue;
+    const int m = util::month_index(origin, c.first_time);
+    if (m >= 0 && static_cast<std::size_t>(m) < counts.size())
+      ++counts[static_cast<std::size_t>(m)];
+  }
+  return trend_from_counts(std::move(counts));
+}
+
+TrendResult failure_trend(const joblog::JobLog& jobs, util::UnixSeconds origin,
+                          util::UnixSeconds end) {
+  std::vector<std::uint64_t> counts(month_count(origin, end), 0);
+  for (const auto& j : jobs.jobs()) {
+    if (!j.failed()) continue;
+    if (j.end_time < origin || j.end_time >= end) continue;
+    const int m = util::month_index(origin, j.end_time);
+    if (m >= 0 && static_cast<std::size_t>(m) < counts.size())
+      ++counts[static_cast<std::size_t>(m)];
+  }
+  return trend_from_counts(std::move(counts));
+}
+
+}  // namespace failmine::core

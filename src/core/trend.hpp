@@ -1,0 +1,43 @@
+// failmine/core/trend.hpp
+//
+// Reliability trend over the system lifetime.
+//
+// The study covers the *entire* 2001-day production life of Mira, which
+// invites the aging question: did the interruption rate drift over the
+// years? We bin filtered interruptions (and failed jobs) per month and
+// fit a linear trend; a slope indistinguishable from zero means the
+// system's reliability was stationary over its life.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event_filter.hpp"
+#include "joblog/job.hpp"
+#include "stats/correlation.hpp"
+#include "util/time.hpp"
+
+namespace failmine::core {
+
+/// Monthly reliability series with a fitted linear trend.
+struct TrendResult {
+  std::vector<std::uint64_t> monthly_counts;
+  stats::LinearFit fit;            ///< count = intercept + slope * month
+  double mean_per_month = 0.0;
+  /// Slope as a fraction of the mean monthly count (relative drift per
+  /// month); near zero = stationary.
+  double relative_slope = 0.0;
+};
+
+/// Trend of filtered interruptions per calendar month from `origin`.
+/// Months after the last interruption but inside [origin, end) count as
+/// zero. Requires >= 3 months of span.
+TrendResult interruption_trend(const std::vector<EventCluster>& clusters,
+                               util::UnixSeconds origin, util::UnixSeconds end);
+
+/// Trend of failed-job terminations per month.
+TrendResult failure_trend(const joblog::JobLog& jobs, util::UnixSeconds origin,
+                          util::UnixSeconds end);
+
+}  // namespace failmine::core

@@ -1,0 +1,70 @@
+#include "core/user_reliability.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "stats/correlation.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+
+UserReliabilityStudy user_reliability_study(
+    const joblog::JobLog& jobs, const topology::MachineConfig& machine) {
+  if (jobs.empty())
+    throw failmine::DomainError("user_reliability_study requires jobs");
+
+  std::unordered_map<std::uint32_t, UserReliability> by_user;
+  for (const auto& job : jobs.jobs()) {
+    UserReliability& u = by_user[job.user_id];
+    u.user_id = job.user_id;
+    ++u.jobs;
+    const double ch = job.core_hours(machine);
+    u.core_hours += ch;
+    u.node_days += static_cast<double>(job.nodes_used) *
+                   static_cast<double>(job.runtime_seconds()) /
+                   static_cast<double>(util::kSecondsPerDay);
+    if (joblog::is_system_caused(job.exit_class)) {
+      ++u.system_kills;
+      u.lost_core_hours += ch;
+    }
+  }
+
+  UserReliabilityStudy study;
+  double total_node_days = 0.0;
+  std::uint64_t total_kills = 0;
+  for (auto& [id, u] : by_user) {
+    u.node_days_between_kills =
+        u.system_kills > 0
+            ? u.node_days / static_cast<double>(u.system_kills)
+            : std::numeric_limits<double>::infinity();
+    if (u.system_kills > 0) ++study.users_with_kills;
+    study.total_lost_core_hours += u.lost_core_hours;
+    total_node_days += u.node_days;
+    total_kills += u.system_kills;
+    study.users.push_back(u);
+  }
+  std::sort(study.users.begin(), study.users.end(),
+            [](const UserReliability& a, const UserReliability& b) {
+              return a.node_days > b.node_days;
+            });
+  study.machine_node_days_per_kill =
+      total_kills > 0 ? total_node_days / static_cast<double>(total_kills)
+                      : std::numeric_limits<double>::infinity();
+
+  if (study.users.size() >= 3) {
+    std::vector<double> exposure, kills;
+    for (const auto& u : study.users) {
+      exposure.push_back(u.node_days);
+      kills.push_back(static_cast<double>(u.system_kills));
+    }
+    try {
+      study.exposure_kill_correlation = stats::spearman(exposure, kills);
+    } catch (const failmine::DomainError&) {
+      study.exposure_kill_correlation = 0.0;  // no kills anywhere
+    }
+  }
+  return study;
+}
+
+}  // namespace failmine::core

@@ -1,0 +1,57 @@
+// failmine/core/user_reliability.hpp
+//
+// User-perceived reliability.
+//
+// The paper frames its analysis as understanding "the system's reliability
+// from the perspective of jobs and users": the machine-level MTTI is not
+// what a user experiences — a user running wide, long jobs intersects far
+// more hardware-time and is interrupted far more often than a user running
+// small jobs on the same machine. This module computes per-user
+// system-interruption counts, the user-perceived mean time between
+// system kills, and the core-hours each user lost to them.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "joblog/job.hpp"
+#include "topology/machine.hpp"
+#include "util/time.hpp"
+
+namespace failmine::core {
+
+/// One user's experienced reliability.
+struct UserReliability {
+  std::uint32_t user_id = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t system_kills = 0;      ///< jobs lost to system causes
+  double core_hours = 0.0;             ///< total consumption
+  double lost_core_hours = 0.0;        ///< consumption of system-killed jobs
+  double node_days = 0.0;              ///< total node-time exposure
+  /// Node-days of exposure per system kill; exposure/0 kills = +inf.
+  double node_days_between_kills = 0.0;
+
+  double loss_fraction() const {
+    return core_hours > 0 ? lost_core_hours / core_hours : 0.0;
+  }
+};
+
+/// Aggregate view used by the extension experiment (X05).
+struct UserReliabilityStudy {
+  std::vector<UserReliability> users;   ///< sorted by exposure, descending
+  std::uint64_t users_with_kills = 0;
+  double total_lost_core_hours = 0.0;
+  /// Machine-wide exposure per system kill (node-days / kills).
+  double machine_node_days_per_kill = 0.0;
+  /// Spearman correlation between per-user exposure and kill count —
+  /// the "interruptions follow exposure" claim, per user.
+  double exposure_kill_correlation = 0.0;
+};
+
+/// Computes per-user reliability from the job log alone (system kills are
+/// identified by the exit class, which the joint analysis assigns).
+UserReliabilityStudy user_reliability_study(
+    const joblog::JobLog& jobs, const topology::MachineConfig& machine);
+
+}  // namespace failmine::core

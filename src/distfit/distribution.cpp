@@ -1,0 +1,53 @@
+#include "distfit/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+double Distribution::quantile(double p) const { return quantile_by_bisection(p); }
+
+double Distribution::log_likelihood(std::span<const double> sample) const {
+  if (sample.empty())
+    throw failmine::DomainError("log_likelihood requires a non-empty sample");
+  double ll = 0.0;
+  for (double x : sample) {
+    const double d = pdf(x);
+    if (d <= 0.0) return -std::numeric_limits<double>::infinity();
+    ll += std::log(d);
+  }
+  return ll;
+}
+
+std::vector<double> Distribution::sample_many(util::Rng& rng, std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+double Distribution::quantile_by_bisection(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw failmine::DomainError("quantile requires p in (0,1)");
+  double lo = support_lower();
+  double hi = lo + 1.0;
+  // Expand upper bracket geometrically.
+  int guard = 0;
+  while (cdf(hi) < p) {
+    hi = lo + (hi - lo) * 2.0;
+    if (++guard > 400) throw failmine::DomainError("quantile bracket failed to expand");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-12 * (1.0 + std::fabs(hi))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace failmine::distfit

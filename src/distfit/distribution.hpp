@@ -1,0 +1,81 @@
+// failmine/distfit/distribution.hpp
+//
+// Abstract interface for the parametric families used in the paper's
+// execution-length / interruption-interval fitting study. The abstract's
+// claim (T-C) is that the best-fit family depends on the exit-code type:
+// Weibull, Pareto, inverse Gaussian and Erlang/exponential all appear.
+//
+// Concrete families implement pdf/cdf/sampling analytically; `quantile`
+// has a generic bisection fallback that concrete classes may override
+// with a closed form.
+
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace failmine::distfit {
+
+/// A named parameter of a fitted distribution.
+struct Param {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Interface for a univariate continuous distribution on (part of) the
+/// real line. All families used here are supported on [0, inf) except
+/// Normal.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Family name ("weibull", "pareto", ...).
+  virtual std::string name() const = 0;
+
+  /// Probability density at x.
+  virtual double pdf(double x) const = 0;
+
+  /// Cumulative distribution function at x.
+  virtual double cdf(double x) const = 0;
+
+  /// Inverse CDF for p in (0,1). Default: bisection over cdf().
+  virtual double quantile(double p) const;
+
+  /// Distribution mean. May be +inf (e.g. Pareto with alpha <= 1).
+  virtual double mean() const = 0;
+
+  /// Distribution variance. May be +inf.
+  virtual double variance() const = 0;
+
+  /// Draws one variate.
+  virtual double sample(util::Rng& rng) const = 0;
+
+  /// Number of free parameters (for AIC/BIC).
+  virtual std::size_t param_count() const = 0;
+
+  /// Named parameter values, for report printing.
+  virtual std::vector<Param> params() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+
+  /// Sum of log pdf over the sample; -inf if any point has zero density.
+  double log_likelihood(std::span<const double> sample) const;
+
+  /// Draws n variates.
+  std::vector<double> sample_many(util::Rng& rng, std::size_t n) const;
+
+  /// Lower end of the support (used by the generic quantile bisection).
+  virtual double support_lower() const { return 0.0; }
+
+ protected:
+  /// Bisection solve of cdf(x) = p on [lo, expanding-hi].
+  double quantile_by_bisection(double p) const;
+};
+
+}  // namespace failmine::distfit

@@ -1,0 +1,40 @@
+// failmine/distfit/erlang.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Erlang distribution: Gamma with integer shape k >= 1 and rate lambda > 0.
+/// Kept distinct from GammaDist because the paper treats "Erlang/exponential"
+/// as its own candidate family for some exit-code classes.
+class Erlang final : public Distribution {
+ public:
+  Erlang(int k, double rate);
+
+  std::string name() const override { return "erlang"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double mean() const override { return static_cast<double>(k_) / rate_; }
+  double variance() const override {
+    return static_cast<double>(k_) / (rate_ * rate_);
+  }
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 2; }
+  std::vector<Param> params() const override {
+    return {{"k", static_cast<double>(k_)}, {"rate", rate_}};
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Erlang>(*this);
+  }
+
+  int k() const { return k_; }
+  double rate() const { return rate_; }
+
+ private:
+  int k_;
+  double rate_;
+};
+
+}  // namespace failmine::distfit

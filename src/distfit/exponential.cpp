@@ -1,0 +1,31 @@
+#include "distfit/exponential.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (rate <= 0) throw failmine::DomainError("exponential rate must be positive");
+}
+
+double Exponential::pdf(double x) const {
+  if (x < 0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0) return 0.0;
+  return 1.0 - std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw failmine::DomainError("quantile requires p in (0,1)");
+  return -std::log(1.0 - p) / rate_;
+}
+
+double Exponential::sample(util::Rng& rng) const { return rng.exponential(rate_); }
+
+}  // namespace failmine::distfit

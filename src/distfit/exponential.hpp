@@ -1,0 +1,33 @@
+// failmine/distfit/exponential.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Exponential distribution with rate lambda > 0; support [0, inf).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+
+  std::string name() const override { return "exponential"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 1; }
+  std::vector<Param> params() const override { return {{"rate", rate_}}; }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Exponential>(*this);
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace failmine::distfit

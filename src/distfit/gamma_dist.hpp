@@ -1,0 +1,36 @@
+// failmine/distfit/gamma_dist.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Gamma distribution with shape k > 0 and scale theta > 0.
+class GammaDist final : public Distribution {
+ public:
+  GammaDist(double shape, double scale);
+
+  std::string name() const override { return "gamma"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double mean() const override { return shape_ * scale_; }
+  double variance() const override { return shape_ * scale_ * scale_; }
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 2; }
+  std::vector<Param> params() const override {
+    return {{"shape", shape_}, {"scale", scale_}};
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<GammaDist>(*this);
+  }
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace failmine::distfit

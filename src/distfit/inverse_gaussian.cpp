@@ -1,0 +1,39 @@
+#include "distfit/inverse_gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+InverseGaussian::InverseGaussian(double mu, double lambda)
+    : mu_(mu), lambda_(lambda) {
+  if (mu <= 0 || lambda <= 0)
+    throw failmine::DomainError("inverse gaussian parameters must be positive");
+}
+
+double InverseGaussian::pdf(double x) const {
+  if (x <= 0) return 0.0;
+  const double d = x - mu_;
+  return std::sqrt(lambda_ / (2.0 * std::numbers::pi * x * x * x)) *
+         std::exp(-lambda_ * d * d / (2.0 * mu_ * mu_ * x));
+}
+
+double InverseGaussian::cdf(double x) const {
+  if (x <= 0) return 0.0;
+  const double s = std::sqrt(lambda_ / x);
+  const double a = stats::normal_cdf(s * (x / mu_ - 1.0));
+  const double b = stats::normal_cdf(-s * (x / mu_ + 1.0));
+  // The second term underflows to 0 for large lambda/mu; exp guard below.
+  const double log_corr = 2.0 * lambda_ / mu_;
+  const double corr = log_corr < 700.0 ? std::exp(log_corr) * b : 0.0;
+  return std::fmin(1.0, a + corr);
+}
+
+double InverseGaussian::sample(util::Rng& rng) const {
+  return rng.inverse_gaussian(mu_, lambda_);
+}
+
+}  // namespace failmine::distfit

@@ -1,0 +1,37 @@
+// failmine/distfit/inverse_gaussian.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Inverse Gaussian (Wald) distribution with mean mu > 0 and shape
+/// lambda > 0; support (0, inf).
+class InverseGaussian final : public Distribution {
+ public:
+  InverseGaussian(double mu, double lambda);
+
+  std::string name() const override { return "inverse_gaussian"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double mean() const override { return mu_; }
+  double variance() const override { return mu_ * mu_ * mu_ / lambda_; }
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 2; }
+  std::vector<Param> params() const override {
+    return {{"mu", mu_}, {"lambda", lambda_}};
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<InverseGaussian>(*this);
+  }
+
+  double mu() const { return mu_; }
+  double lambda() const { return lambda_; }
+
+ private:
+  double mu_;
+  double lambda_;
+};
+
+}  // namespace failmine::distfit

@@ -1,0 +1,44 @@
+#include "distfit/lognormal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0) throw failmine::DomainError("lognormal sigma must be positive");
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (x * sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0) return 0.0;
+  return stats::normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw failmine::DomainError("quantile requires p in (0,1)");
+  return std::exp(mu_ + sigma_ * stats::normal_quantile(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::sample(util::Rng& rng) const {
+  return rng.lognormal(mu_, sigma_);
+}
+
+}  // namespace failmine::distfit

@@ -1,0 +1,37 @@
+// failmine/distfit/lognormal.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Log-normal: log X ~ N(mu, sigma^2), sigma > 0; support (0, inf).
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+
+  std::string name() const override { return "lognormal"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 2; }
+  std::vector<Param> params() const override {
+    return {{"mu", mu_}, {"sigma", sigma_}};
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<LogNormal>(*this);
+  }
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace failmine::distfit

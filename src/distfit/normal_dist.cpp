@@ -1,0 +1,34 @@
+#include "distfit/normal_dist.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+NormalDist::NormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0) throw failmine::DomainError("normal sigma must be positive");
+}
+
+double NormalDist::pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double NormalDist::cdf(double x) const {
+  return stats::normal_cdf((x - mu_) / sigma_);
+}
+
+double NormalDist::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw failmine::DomainError("quantile requires p in (0,1)");
+  return mu_ + sigma_ * stats::normal_quantile(p);
+}
+
+double NormalDist::sample(util::Rng& rng) const {
+  return rng.normal(mu_, sigma_);
+}
+
+}  // namespace failmine::distfit

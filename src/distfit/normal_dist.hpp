@@ -1,0 +1,40 @@
+// failmine/distfit/normal_dist.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Normal distribution with mean mu and stddev sigma > 0.
+/// Included as a sanity baseline in the fitting study (heavy-tailed
+/// runtimes should reject it).
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mu, double sigma);
+
+  std::string name() const override { return "normal"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mu_; }
+  double variance() const override { return sigma_ * sigma_; }
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 2; }
+  std::vector<Param> params() const override {
+    return {{"mu", mu_}, {"sigma", sigma_}};
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<NormalDist>(*this);
+  }
+  double support_lower() const override { return mu_ - 40.0 * sigma_; }
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace failmine::distfit

@@ -1,0 +1,116 @@
+#include "distfit/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, const NelderMeadOptions& options) {
+  const std::size_t n = start.size();
+  if (n == 0) throw failmine::DomainError("nelder_mead requires >= 1 dimension");
+  if (options.max_iterations < 1)
+    throw failmine::DomainError("nelder_mead requires >= 1 iteration");
+
+  // Standard coefficients.
+  constexpr double kReflect = 1.0;
+  constexpr double kExpand = 2.0;
+  constexpr double kContract = 0.5;
+  constexpr double kShrink = 0.5;
+
+  // Initial simplex: start plus one perturbed vertex per dimension.
+  std::vector<std::vector<double>> simplex;
+  simplex.push_back(start);
+  for (std::size_t d = 0; d < n; ++d) {
+    auto vertex = start;
+    const double step =
+        options.initial_step * (std::fabs(vertex[d]) > 1e-12
+                                    ? std::fabs(vertex[d])
+                                    : 1.0);
+    vertex[d] += step;
+    simplex.push_back(std::move(vertex));
+  }
+  std::vector<double> values(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i) values[i] = f(simplex[i]);
+
+  NelderMeadResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Order vertices by value.
+    std::vector<std::size_t> order(simplex.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[order.size() - 2];
+
+    result.iterations = iter + 1;
+    if (std::isfinite(values[best]) &&
+        std::fabs(values[worst] - values[best]) <
+            options.tolerance * (1.0 + std::fabs(values[best]))) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < simplex.size(); ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d)
+        p[d] = centroid[d] + coeff * (centroid[d] - simplex[worst][d]);
+      return p;
+    };
+
+    const auto reflected = blend(kReflect);
+    const double f_reflected = f(reflected);
+    if (f_reflected < values[best]) {
+      const auto expanded = blend(kExpand);
+      const double f_expanded = f(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+    } else if (f_reflected < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+    } else {
+      const auto contracted = blend(-kContract);
+      const double f_contracted = f(contracted);
+      if (f_contracted < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = f_contracted;
+      } else {
+        // Shrink towards the best vertex.
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d)
+            simplex[i][d] = simplex[best][d] +
+                            kShrink * (simplex[i][d] - simplex[best][d]);
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < simplex.size(); ++i)
+    if (values[i] < values[best]) best = i;
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+}  // namespace failmine::distfit

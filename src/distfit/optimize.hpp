@@ -1,0 +1,33 @@
+// failmine/distfit/optimize.hpp
+//
+// Derivative-free minimization (Nelder-Mead) for fitters whose likelihood
+// equations have no closed form or stable Newton iteration (log-logistic,
+// and any future family a user plugs in).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace failmine::distfit {
+
+struct NelderMeadOptions {
+  double initial_step = 0.5;     ///< relative simplex size around the start
+  double tolerance = 1e-10;      ///< spread of simplex values at convergence
+  int max_iterations = 2000;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `f` starting from `start`. The objective may return +inf to
+/// reject infeasible points (e.g. non-positive parameters).
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace failmine::distfit

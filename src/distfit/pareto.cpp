@@ -1,0 +1,43 @@
+#include "distfit/pareto.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  if (xm <= 0 || alpha <= 0)
+    throw failmine::DomainError("pareto parameters must be positive");
+}
+
+double Pareto::pdf(double x) const {
+  if (x < xm_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw failmine::DomainError("quantile requires p in (0,1)");
+  return xm_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  return xm_ * xm_ * alpha_ / ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+double Pareto::sample(util::Rng& rng) const { return rng.pareto(xm_, alpha_); }
+
+}  // namespace failmine::distfit

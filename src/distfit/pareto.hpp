@@ -1,0 +1,39 @@
+// failmine/distfit/pareto.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Classic (type I) Pareto with scale xm > 0 and shape alpha > 0;
+/// support [xm, inf).
+class Pareto final : public Distribution {
+ public:
+  Pareto(double xm, double alpha);
+
+  std::string name() const override { return "pareto"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;      ///< +inf when alpha <= 1
+  double variance() const override;  ///< +inf when alpha <= 2
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 2; }
+  std::vector<Param> params() const override {
+    return {{"xm", xm_}, {"alpha", alpha_}};
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Pareto>(*this);
+  }
+  double support_lower() const override { return xm_; }
+
+  double xm() const { return xm_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+}  // namespace failmine::distfit

@@ -1,0 +1,43 @@
+#include "distfit/rayleigh.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+Rayleigh::Rayleigh(double sigma) : sigma_(sigma) {
+  if (sigma <= 0) throw failmine::DomainError("rayleigh sigma must be positive");
+}
+
+double Rayleigh::pdf(double x) const {
+  if (x < 0) return 0.0;
+  const double s2 = sigma_ * sigma_;
+  return (x / s2) * std::exp(-x * x / (2.0 * s2));
+}
+
+double Rayleigh::cdf(double x) const {
+  if (x <= 0) return 0.0;
+  return 1.0 - std::exp(-x * x / (2.0 * sigma_ * sigma_));
+}
+
+double Rayleigh::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw failmine::DomainError("quantile requires p in (0,1)");
+  return sigma_ * std::sqrt(-2.0 * std::log(1.0 - p));
+}
+
+double Rayleigh::mean() const {
+  return sigma_ * std::sqrt(std::numbers::pi / 2.0);
+}
+
+double Rayleigh::variance() const {
+  return (2.0 - std::numbers::pi / 2.0) * sigma_ * sigma_;
+}
+
+double Rayleigh::sample(util::Rng& rng) const {
+  return quantile(std::fmax(1e-16, std::fmin(1.0 - 1e-16, rng.uniform())));
+}
+
+}  // namespace failmine::distfit

@@ -1,0 +1,33 @@
+// failmine/distfit/rayleigh.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Rayleigh distribution with scale sigma > 0 (Weibull with shape 2).
+class Rayleigh final : public Distribution {
+ public:
+  explicit Rayleigh(double sigma);
+
+  std::string name() const override { return "rayleigh"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 1; }
+  std::vector<Param> params() const override { return {{"sigma", sigma_}}; }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Rayleigh>(*this);
+  }
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+}  // namespace failmine::distfit

@@ -1,0 +1,127 @@
+#include "distfit/selection.hpp"
+
+#include <cmath>
+
+#include "distfit/fit.hpp"
+#include "distfit/loglogistic.hpp"
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+std::vector<Family> all_families() {
+  return {Family::kExponential, Family::kWeibull,   Family::kPareto,
+          Family::kLogNormal,   Family::kGamma,     Family::kErlang,
+          Family::kInverseGaussian, Family::kNormal, Family::kRayleigh,
+          Family::kLogLogistic};
+}
+
+std::string family_name(Family family) {
+  switch (family) {
+    case Family::kExponential: return "exponential";
+    case Family::kWeibull: return "weibull";
+    case Family::kPareto: return "pareto";
+    case Family::kLogNormal: return "lognormal";
+    case Family::kGamma: return "gamma";
+    case Family::kErlang: return "erlang";
+    case Family::kInverseGaussian: return "inverse_gaussian";
+    case Family::kNormal: return "normal";
+    case Family::kRayleigh: return "rayleigh";
+    case Family::kLogLogistic: return "loglogistic";
+  }
+  throw failmine::DomainError("unknown family");
+}
+
+Family family_from_name(const std::string& name) {
+  for (Family f : all_families())
+    if (family_name(f) == name) return f;
+  throw failmine::ParseError("unknown distribution family: '" + name + "'");
+}
+
+namespace {
+
+std::unique_ptr<Distribution> fit_dispatch(Family family,
+                                           std::span<const double> sample) {
+  switch (family) {
+    case Family::kExponential:
+      return std::make_unique<Exponential>(fit_exponential(sample));
+    case Family::kWeibull:
+      return std::make_unique<Weibull>(fit_weibull(sample));
+    case Family::kPareto:
+      return std::make_unique<Pareto>(fit_pareto(sample));
+    case Family::kLogNormal:
+      return std::make_unique<LogNormal>(fit_lognormal(sample));
+    case Family::kGamma:
+      return std::make_unique<GammaDist>(fit_gamma(sample));
+    case Family::kErlang:
+      return std::make_unique<Erlang>(fit_erlang(sample));
+    case Family::kInverseGaussian:
+      return std::make_unique<InverseGaussian>(fit_inverse_gaussian(sample));
+    case Family::kNormal:
+      return std::make_unique<NormalDist>(fit_normal(sample));
+    case Family::kRayleigh:
+      return std::make_unique<Rayleigh>(fit_rayleigh(sample));
+    case Family::kLogLogistic:
+      return std::make_unique<LogLogistic>(fit_loglogistic(sample));
+  }
+  throw failmine::DomainError("unknown family");
+}
+
+}  // namespace
+
+std::optional<FitResult> fit_family(Family family, std::span<const double> sample) {
+  std::unique_ptr<Distribution> dist;
+  try {
+    dist = fit_dispatch(family, sample);
+  } catch (const failmine::DomainError&) {
+    return std::nullopt;  // fitter rejected this sample; skip the family
+  }
+  FitResult r;
+  r.family = family;
+  r.log_lik = dist->log_likelihood(sample);
+  const double k = static_cast<double>(dist->param_count());
+  const double n = static_cast<double>(sample.size());
+  r.aic = 2.0 * k - 2.0 * r.log_lik;
+  r.bic = k * std::log(n) - 2.0 * r.log_lik;
+  const Distribution* raw = dist.get();
+  r.ks = stats::ks_test(sample, [raw](double x) { return raw->cdf(x); });
+  r.dist = std::move(dist);
+  return r;
+}
+
+std::vector<FitResult> fit_all(std::span<const double> sample,
+                               const std::vector<Family>& families) {
+  std::vector<FitResult> results;
+  for (Family f : families) {
+    auto r = fit_family(f, sample);
+    if (r.has_value()) results.push_back(std::move(*r));
+  }
+  return results;
+}
+
+std::size_t best_fit_index(const std::vector<FitResult>& fits, Criterion criterion) {
+  if (fits.empty()) throw failmine::DomainError("best_fit_index on empty fit list");
+  std::size_t best = 0;
+  auto better = [criterion](const FitResult& a, const FitResult& b) {
+    switch (criterion) {
+      case Criterion::kKsDistance: return a.ks.statistic < b.ks.statistic;
+      case Criterion::kLogLikelihood: return a.log_lik > b.log_lik;
+      case Criterion::kAic: return a.aic < b.aic;
+      case Criterion::kBic: return a.bic < b.bic;
+    }
+    return false;
+  };
+  for (std::size_t i = 1; i < fits.size(); ++i)
+    if (better(fits[i], fits[best])) best = i;
+  return best;
+}
+
+FitResult select_best(std::span<const double> sample, Criterion criterion,
+                      const std::vector<Family>& families) {
+  auto fits = fit_all(sample, families);
+  if (fits.empty())
+    throw failmine::DomainError("no candidate family could fit the sample");
+  const std::size_t idx = best_fit_index(fits, criterion);
+  return std::move(fits[idx]);
+}
+
+}  // namespace failmine::distfit

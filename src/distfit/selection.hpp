@@ -1,0 +1,86 @@
+// failmine/distfit/selection.hpp
+//
+// Fit-all + model-selection driver for the distribution study (E05, E13).
+//
+// For a given positive sample, fits every requested family, computes the
+// log-likelihood, AIC, BIC and the KS distance/p-value of each fit, and
+// ranks them by a chosen criterion. The paper reports the best-fitting
+// family per exit-code class; the ablation in DESIGN.md compares criteria.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "distfit/distribution.hpp"
+#include "stats/hypothesis.hpp"
+
+namespace failmine::distfit {
+
+/// Candidate families the driver knows how to fit.
+enum class Family {
+  kExponential,
+  kWeibull,
+  kPareto,
+  kLogNormal,
+  kGamma,
+  kErlang,
+  kInverseGaussian,
+  kNormal,
+  kRayleigh,
+  kLogLogistic,
+};
+
+/// All families, in a stable order.
+std::vector<Family> all_families();
+
+/// Canonical name of a family (matches Distribution::name()).
+std::string family_name(Family family);
+
+/// Parses the canonical name back to the enum; throws ParseError.
+Family family_from_name(const std::string& name);
+
+/// Metric used to rank fits.
+enum class Criterion {
+  kKsDistance,      ///< smaller D wins (paper's primary instrument)
+  kLogLikelihood,   ///< larger wins
+  kAic,             ///< smaller wins
+  kBic,             ///< smaller wins
+};
+
+/// One family's fit on a sample with every quality metric attached.
+struct FitResult {
+  Family family{};
+  std::unique_ptr<Distribution> dist;
+  double log_lik = 0.0;
+  double aic = 0.0;
+  double bic = 0.0;
+  stats::TestResult ks;
+
+  FitResult() = default;
+  FitResult(FitResult&&) = default;
+  FitResult& operator=(FitResult&&) = default;
+};
+
+/// Fits one family; returns nullopt if the fitter rejects the sample
+/// (e.g. Pareto on a constant sample) rather than throwing, so the driver
+/// can keep going with the remaining candidates.
+std::optional<FitResult> fit_family(Family family, std::span<const double> sample);
+
+/// Fits every requested family; families whose fitter rejects the sample
+/// are omitted from the result.
+std::vector<FitResult> fit_all(std::span<const double> sample,
+                               const std::vector<Family>& families = all_families());
+
+/// Index of the best fit under `criterion`; throws DomainError if empty.
+std::size_t best_fit_index(const std::vector<FitResult>& fits, Criterion criterion);
+
+/// Convenience: fit all and return the winning result directly.
+FitResult select_best(std::span<const double> sample,
+                      Criterion criterion = Criterion::kKsDistance,
+                      const std::vector<Family>& families = all_families());
+
+}  // namespace failmine::distfit

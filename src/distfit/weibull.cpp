@@ -1,0 +1,47 @@
+#include "distfit/weibull.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace failmine::distfit {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (shape <= 0 || scale <= 0)
+    throw failmine::DomainError("weibull parameters must be positive");
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0) return 0.0;
+  if (x == 0) return shape_ < 1.0 ? 0.0 : (shape_ == 1.0 ? 1.0 / scale_ : 0.0);
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw failmine::DomainError("quantile requires p in (0,1)");
+  return scale_ * std::pow(-std::log(1.0 - p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double Weibull::sample(util::Rng& rng) const {
+  return rng.weibull(shape_, scale_);
+}
+
+}  // namespace failmine::distfit

@@ -1,0 +1,37 @@
+// failmine/distfit/weibull.hpp
+
+#pragma once
+
+#include "distfit/distribution.hpp"
+
+namespace failmine::distfit {
+
+/// Weibull distribution with shape k > 0 and scale lambda > 0.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+
+  std::string name() const override { return "weibull"; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  double sample(util::Rng& rng) const override;
+  std::size_t param_count() const override { return 2; }
+  std::vector<Param> params() const override {
+    return {{"shape", shape_}, {"scale", scale_}};
+  }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Weibull>(*this);
+  }
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace failmine::distfit

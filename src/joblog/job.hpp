@@ -1,0 +1,93 @@
+// failmine/joblog/job.hpp
+//
+// Cobalt-style job scheduling records and the JobLog container.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "joblog/exit_status.hpp"
+#include "topology/machine.hpp"
+#include "topology/partition.hpp"
+#include "util/time.hpp"
+
+namespace failmine::joblog {
+
+/// One record from the job scheduling log.
+struct JobRecord {
+  std::uint64_t job_id = 0;
+  std::uint32_t user_id = 0;
+  std::uint32_t project_id = 0;
+  std::string queue;                     ///< "prod-capability", "prod-short", ...
+  util::UnixSeconds submit_time = 0;
+  util::UnixSeconds start_time = 0;
+  util::UnixSeconds end_time = 0;
+  std::uint32_t nodes_used = 0;          ///< allocation size in nodes
+  std::uint32_t task_count = 0;          ///< runjob tasks launched by the script
+  std::int64_t requested_walltime = 0;   ///< seconds
+  int exit_code = 0;
+  int exit_signal = 0;
+  ExitClass exit_class = ExitClass::kSuccess;
+  int partition_first_midplane = 0;      ///< allocation placement
+
+  /// Wall-clock runtime in seconds (end - start).
+  std::int64_t runtime_seconds() const { return end_time - start_time; }
+
+  /// Queue wait in seconds (start - submit).
+  std::int64_t wait_seconds() const { return start_time - submit_time; }
+
+  /// Core-hours consumed (nodes * cores/node * hours).
+  double core_hours(const topology::MachineConfig& config) const;
+
+  /// The partition the allocation occupied.
+  topology::Partition partition(const topology::MachineConfig& config) const;
+
+  bool failed() const { return is_failure(exit_class); }
+
+  friend bool operator==(const JobRecord&, const JobRecord&) = default;
+};
+
+/// In-memory job log, ordered by start time.
+class JobLog {
+ public:
+  JobLog() = default;
+  explicit JobLog(std::vector<JobRecord> jobs);
+
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  void append(JobRecord job);
+  void finalize();  ///< sort by (start_time, job_id) and rebuild the index
+
+  /// Looks up a job by id; throws DomainError if absent.
+  const JobRecord& by_id(std::uint64_t job_id) const;
+  bool contains(std::uint64_t job_id) const;
+
+  /// All failed jobs in time order.
+  std::vector<JobRecord> failures() const;
+
+  /// Total core-hours over all jobs.
+  double total_core_hours(const topology::MachineConfig& config) const;
+
+  /// Observation span in days (first submit to last end).
+  double span_days() const;
+
+  void write_csv(const std::string& path) const;
+  static JobLog read_csv(const std::string& path);
+
+  /// Streams a CSV job log row by row in O(1) memory; `callback` returns
+  /// false to stop early.
+  static void for_each_csv(const std::string& path,
+                           const std::function<bool(const JobRecord&)>& callback);
+
+ private:
+  std::vector<JobRecord> jobs_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace failmine::joblog

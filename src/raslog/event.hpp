@@ -1,0 +1,86 @@
+// failmine/raslog/event.hpp
+//
+// One RAS event record plus the RasLog container with CSV round-tripping.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "raslog/category.hpp"
+#include "raslog/component.hpp"
+#include "raslog/severity.hpp"
+#include "topology/location.hpp"
+#include "topology/machine.hpp"
+#include "util/time.hpp"
+
+namespace failmine::raslog {
+
+/// One event from the RAS log.
+struct RasEvent {
+  std::uint64_t record_id = 0;               ///< unique, ascending
+  util::UnixSeconds timestamp = 0;
+  std::string message_id;                    ///< 8-hex-digit catalog id
+  Severity severity = Severity::kInfo;
+  Component component = Component::kCnk;
+  Category category = Category::kSoftware;
+  topology::Location location = topology::Location::rack(0, 0);
+  std::optional<std::uint64_t> job_id;       ///< control-system association
+  std::string text;
+
+  friend bool operator==(const RasEvent&, const RasEvent&) = default;
+};
+
+/// In-memory RAS log: events in non-decreasing timestamp order.
+class RasLog {
+ public:
+  RasLog() = default;
+
+  /// Takes ownership; sorts by (timestamp, record_id).
+  explicit RasLog(std::vector<RasEvent> events);
+
+  const std::vector<RasEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Appends one event (re-sorting deferred until finalize()).
+  void append(RasEvent event);
+
+  /// Sorts by (timestamp, record_id); call after a batch of appends.
+  void finalize();
+
+  /// Events with the given severity, in time order.
+  std::vector<RasEvent> filter_severity(Severity severity) const;
+
+  /// Events in [begin, end).
+  std::vector<RasEvent> filter_time(util::UnixSeconds begin,
+                                    util::UnixSeconds end) const;
+
+  /// Count per severity (indexed INFO, WARN, FATAL).
+  std::array<std::uint64_t, 3> severity_counts() const;
+
+  /// Writes the log as CSV. Throws IoError.
+  void write_csv(const std::string& path) const;
+
+  /// Reads a log written by write_csv, validating every field against the
+  /// machine config and catalog. Throws ParseError / IoError.
+  static RasLog read_csv(const std::string& path,
+                         const topology::MachineConfig& config);
+
+  /// Streams a CSV log row by row without materializing it: `callback` is
+  /// invoked once per event in file order. Returning false stops early.
+  /// Memory use is O(1) in the log size — the right entry point for
+  /// paper-scale (multi-GB) RAS logs.
+  static void for_each_csv(const std::string& path,
+                           const topology::MachineConfig& config,
+                           const std::function<bool(const RasEvent&)>& callback);
+
+ private:
+  std::vector<RasEvent> events_;
+};
+
+}  // namespace failmine::raslog

@@ -1,0 +1,197 @@
+#include "raslog/message_catalog.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace failmine::raslog {
+
+namespace {
+
+using topology::Level;
+
+// Weights are relative emission rates. The catalog is deliberately
+// INFO-heavy (correctable errors and state-change chatter dominate real
+// RAS logs by orders of magnitude) with FATAL mass concentrated in a small
+// number of memory/network/software ids — the property the
+// similarity-based filter (core/event_filter) exploits.
+constexpr std::array<MessageDef, 64> kCatalog = {{
+    // --- Memory (DDR / BQC caches) -------------------------------------
+    {"00010001", Component::kDdr, Category::kMemory, Severity::kInfo, Level::kComputeCard, 2600.0, false,
+     "DDR correctable error summary on node"},
+    {"00010002", Component::kDdr, Category::kMemory, Severity::kInfo, Level::kComputeCard, 900.0, false,
+     "DDR single-symbol correctable error"},
+    {"00010003", Component::kDdr, Category::kMemory, Severity::kWarn, Level::kComputeCard, 60.0, false,
+     "DDR correctable error threshold exceeded"},
+    {"00010004", Component::kDdr, Category::kMemory, Severity::kWarn, Level::kComputeCard, 22.0, false,
+     "DDR chipkill event corrected"},
+    {"00010005", Component::kDdr, Category::kMemory, Severity::kFatal, Level::kComputeCard, 2.2, true,
+     "DDR uncorrectable memory error"},
+    {"00010006", Component::kDdr, Category::kMemory, Severity::kFatal, Level::kComputeCard, 0.7, true,
+     "DDR controller initialization failure"},
+    {"00010101", Component::kBqc, Category::kMemory, Severity::kInfo, Level::kCore, 1400.0, false,
+     "L2 cache correctable error"},
+    {"00010102", Component::kBqc, Category::kMemory, Severity::kWarn, Level::kCore, 35.0, false,
+     "L2 cache correctable error threshold"},
+    {"00010103", Component::kBqc, Category::kMemory, Severity::kFatal, Level::kCore, 1.1, true,
+     "L2 cache uncorrectable error"},
+    {"00010104", Component::kBqc, Category::kMemory, Severity::kInfo, Level::kCore, 520.0, false,
+     "L1P prefetch parity error corrected"},
+
+    // --- Processor (BQC chip) ------------------------------------------
+    {"00020001", Component::kBqc, Category::kProcessor, Severity::kInfo, Level::kCore, 310.0, false,
+     "Processor core recoverable machine check"},
+    {"00020002", Component::kBqc, Category::kProcessor, Severity::kWarn, Level::kCore, 18.0, false,
+     "Processor core repeated recoverable machine checks"},
+    {"00020003", Component::kBqc, Category::kProcessor, Severity::kFatal, Level::kCore, 0.9, true,
+     "Processor core unrecoverable machine check"},
+    {"00020004", Component::kBqc, Category::kProcessor, Severity::kFatal, Level::kComputeCard, 0.5, true,
+     "BQC chip fatal condition; node halted"},
+    {"00020005", Component::kFirmware, Category::kProcessor, Severity::kWarn, Level::kComputeCard, 9.0, false,
+     "Firmware detected DCR parity anomaly"},
+    {"00020006", Component::kBqc, Category::kProcessor, Severity::kInfo, Level::kComputeCard, 140.0, false,
+     "Thermal throttle engaged on compute chip"},
+
+    // --- Network (5D torus / messaging unit) ---------------------------
+    {"00040001", Component::kNd, Category::kNetwork, Severity::kInfo, Level::kComputeCard, 1900.0, false,
+     "Torus link correctable CRC retry"},
+    {"00040002", Component::kNd, Category::kNetwork, Severity::kInfo, Level::kComputeCard, 650.0, false,
+     "Torus receiver resynchronization"},
+    {"00040003", Component::kNd, Category::kNetwork, Severity::kWarn, Level::kComputeCard, 48.0, false,
+     "Torus link retry threshold exceeded"},
+    {"00040004", Component::kNd, Category::kNetwork, Severity::kFatal, Level::kNodeBoard, 1.6, true,
+     "Torus link failure; board isolated"},
+    {"00040005", Component::kNd, Category::kNetwork, Severity::kFatal, Level::kComputeCard, 1.0, true,
+     "Network device fatal error on node"},
+    {"00040006", Component::kMudm, Category::kNetwork, Severity::kInfo, Level::kComputeCard, 420.0, false,
+     "Messaging unit descriptor retry"},
+    {"00040007", Component::kMudm, Category::kNetwork, Severity::kWarn, Level::kComputeCard, 14.0, false,
+     "Messaging unit FIFO overflow recovered"},
+    {"00040008", Component::kMudm, Category::kNetwork, Severity::kFatal, Level::kComputeCard, 0.6, true,
+     "Messaging unit unrecoverable DMA error"},
+    {"00040009", Component::kNd, Category::kNetwork, Severity::kInfo, Level::kNodeBoard, 230.0, false,
+     "Optical module power adjusted"},
+    {"0004000A", Component::kNd, Category::kNetwork, Severity::kWarn, Level::kNodeBoard, 11.0, false,
+     "Optical module degraded signal"},
+
+    // --- I/O (PCIe, ION Linux, GPFS) ------------------------------------
+    {"00080001", Component::kPci, Category::kIo, Severity::kInfo, Level::kNodeBoard, 240.0, false,
+     "PCIe correctable error on I/O link"},
+    {"00080002", Component::kPci, Category::kIo, Severity::kWarn, Level::kNodeBoard, 13.0, false,
+     "PCIe link retrain"},
+    {"00080003", Component::kPci, Category::kIo, Severity::kFatal, Level::kNodeBoard, 0.7, true,
+     "PCIe unrecoverable error; I/O path lost"},
+    {"00080101", Component::kLinux, Category::kIo, Severity::kInfo, Level::kNodeBoard, 310.0, false,
+     "I/O node kernel message"},
+    {"00080102", Component::kLinux, Category::kIo, Severity::kWarn, Level::kNodeBoard, 17.0, false,
+     "I/O node memory pressure"},
+    {"00080103", Component::kLinux, Category::kIo, Severity::kFatal, Level::kNodeBoard, 0.8, true,
+     "I/O node kernel panic"},
+    {"00080201", Component::kGpfs, Category::kIo, Severity::kInfo, Level::kRack, 180.0, false,
+     "GPFS client reconnect"},
+    {"00080202", Component::kGpfs, Category::kIo, Severity::kWarn, Level::kRack, 16.0, false,
+     "GPFS long waiter detected"},
+    {"00080203", Component::kGpfs, Category::kIo, Severity::kFatal, Level::kRack, 0.9, true,
+     "GPFS filesystem unmounted under load"},
+
+    // --- Software (CNK / MMCS / firmware) -------------------------------
+    {"00100001", Component::kCnk, Category::kSoftware, Severity::kInfo, Level::kComputeCard, 2100.0, false,
+     "Application exited with nonzero status"},
+    {"00100002", Component::kCnk, Category::kSoftware, Severity::kInfo, Level::kComputeCard, 860.0, false,
+     "Application received signal"},
+    {"00100003", Component::kCnk, Category::kSoftware, Severity::kWarn, Level::kComputeCard, 90.0, false,
+     "CNK detected stuck thread"},
+    {"00100004", Component::kCnk, Category::kSoftware, Severity::kFatal, Level::kComputeCard, 1.4, true,
+     "CNK kernel assertion failure"},
+    {"00100005", Component::kMmcs, Category::kSoftware, Severity::kWarn, Level::kMidplane, 24.0, false,
+     "MMCS lost heartbeat to node; retrying"},
+    {"00100006", Component::kMmcs, Category::kSoftware, Severity::kFatal, Level::kMidplane, 1.0, true,
+     "MMCS declared midplane in error state"},
+    {"00100007", Component::kMc, Category::kSoftware, Severity::kInfo, Level::kRack, 260.0, false,
+     "Machine controller state transition"},
+    {"00100008", Component::kMc, Category::kSoftware, Severity::kWarn, Level::kRack, 12.0, false,
+     "Machine controller command timeout"},
+    {"00100009", Component::kFirmware, Category::kSoftware, Severity::kFatal, Level::kComputeCard, 0.6, true,
+     "Firmware boot verification failure"},
+    {"0010000A", Component::kCnk, Category::kSoftware, Severity::kInfo, Level::kComputeCard, 540.0, false,
+     "Job start on compute node"},
+    {"0010000B", Component::kCnk, Category::kSoftware, Severity::kInfo, Level::kComputeCard, 540.0, false,
+     "Job end on compute node"},
+
+    // --- Power ----------------------------------------------------------
+    {"00200001", Component::kBulkPower, Category::kPower, Severity::kInfo, Level::kRack, 150.0, false,
+     "Bulk power module status report"},
+    {"00200002", Component::kBulkPower, Category::kPower, Severity::kWarn, Level::kRack, 10.0, false,
+     "Bulk power module degraded output"},
+    {"00200003", Component::kBulkPower, Category::kPower, Severity::kFatal, Level::kRack, 0.5, true,
+     "Bulk power module failure; rack on redundant supply"},
+    {"00200004", Component::kCard, Category::kPower, Severity::kWarn, Level::kNodeBoard, 19.0, false,
+     "Node board power domain voltage deviation"},
+    {"00200005", Component::kCard, Category::kPower, Severity::kFatal, Level::kNodeBoard, 0.8, true,
+     "Node board power domain fault; board powered off"},
+    {"00200006", Component::kCard, Category::kPower, Severity::kInfo, Level::kNodeBoard, 120.0, false,
+     "Node board power-on sequence complete"},
+
+    // --- Cooling ---------------------------------------------------------
+    {"00400001", Component::kCoolant, Category::kCooling, Severity::kInfo, Level::kRack, 130.0, false,
+     "Coolant temperature report"},
+    {"00400002", Component::kCoolant, Category::kCooling, Severity::kWarn, Level::kRack, 9.0, false,
+     "Coolant flow below threshold"},
+    {"00400003", Component::kCoolant, Category::kCooling, Severity::kFatal, Level::kRack, 0.4, true,
+     "Coolant failure; emergency power-down of rack"},
+    {"00400004", Component::kCoolant, Category::kCooling, Severity::kWarn, Level::kMidplane, 8.0, false,
+     "Midplane inlet temperature high"},
+
+    // --- Control ----------------------------------------------------------
+    {"00800001", Component::kMc, Category::kControl, Severity::kInfo, Level::kRack, 420.0, false,
+     "Service action started on hardware"},
+    {"00800002", Component::kMc, Category::kControl, Severity::kInfo, Level::kRack, 410.0, false,
+     "Service action completed on hardware"},
+    {"00800003", Component::kMmcs, Category::kControl, Severity::kInfo, Level::kMidplane, 380.0, false,
+     "Block boot initiated"},
+    {"00800004", Component::kMmcs, Category::kControl, Severity::kInfo, Level::kMidplane, 370.0, false,
+     "Block freed"},
+    {"00800005", Component::kMmcs, Category::kControl, Severity::kWarn, Level::kMidplane, 21.0, false,
+     "Block boot retry"},
+    {"00800006", Component::kMmcs, Category::kControl, Severity::kFatal, Level::kMidplane, 0.5, true,
+     "Block boot failed after retries"},
+    {"00800007", Component::kMc, Category::kControl, Severity::kWarn, Level::kRack, 10.0, false,
+     "Control network packet loss to rack"},
+    {"00800008", Component::kMc, Category::kControl, Severity::kFatal, Level::kRack, 0.3, true,
+     "Control network connection to rack lost"},
+}};
+
+const std::unordered_map<std::string_view, const MessageDef*>& catalog_index() {
+  static const auto* index = [] {
+    auto* map = new std::unordered_map<std::string_view, const MessageDef*>();
+    for (const auto& def : kCatalog) (*map)[def.id] = &def;
+    return map;
+  }();
+  return *index;
+}
+
+}  // namespace
+
+std::span<const MessageDef> message_catalog() { return kCatalog; }
+
+const MessageDef& message_by_id(std::string_view id) {
+  const auto& index = catalog_index();
+  const auto it = index.find(id);
+  if (it == index.end())
+    throw failmine::ParseError("unknown RAS message id: '" + std::string(id) + "'");
+  return *it->second;
+}
+
+bool is_known_message(std::string_view id) {
+  return catalog_index().contains(id);
+}
+
+std::size_t count_by_severity(Severity severity) {
+  std::size_t n = 0;
+  for (const auto& def : kCatalog)
+    if (def.severity == severity) ++n;
+  return n;
+}
+
+}  // namespace failmine::raslog

@@ -1,0 +1,51 @@
+// failmine/raslog/message_catalog.hpp
+//
+// Catalog of RAS message types.
+//
+// BG/Q RAS events carry an 8-hex-digit message id (e.g. "00040035") that
+// determines the emitting component, the functional category, the severity
+// and the hardware level the location code points at. Mira's production
+// catalog has a few hundred ids; we model the 64 that dominate the counts
+// in studies of this system class, with relative rate weights the fault
+// model uses to draw a realistic severity/category mix (INFO-heavy, a thin
+// FATAL tail concentrated in memory/network ids).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "raslog/category.hpp"
+#include "raslog/component.hpp"
+#include "raslog/severity.hpp"
+#include "topology/location.hpp"
+
+namespace failmine::raslog {
+
+/// Static description of one RAS message type.
+struct MessageDef {
+  std::string_view id;         ///< 8 hex digits, unique
+  Component component;
+  Category category;
+  Severity severity;
+  topology::Level level;       ///< hardware level of the location code
+  double rate_weight;          ///< relative emission rate in the fault model
+  bool job_fatal;              ///< kills jobs overlapping the location
+  std::string_view text;       ///< human-readable message template
+};
+
+/// The full built-in catalog (stable order, unique ids).
+std::span<const MessageDef> message_catalog();
+
+/// Looks up a message definition by id; throws ParseError if unknown.
+const MessageDef& message_by_id(std::string_view id);
+
+/// True if the catalog contains `id`.
+bool is_known_message(std::string_view id);
+
+/// Number of catalog entries with the given severity.
+std::size_t count_by_severity(Severity severity);
+
+}  // namespace failmine::raslog

@@ -1,0 +1,72 @@
+#include "raslog/category.hpp"
+#include "raslog/component.hpp"
+#include "raslog/severity.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace failmine::raslog {
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarn: return "WARN";
+    case Severity::kFatal: return "FATAL";
+  }
+  throw failmine::DomainError("unknown severity");
+}
+
+Severity severity_from_name(std::string_view name) {
+  const std::string up = util::to_lower(name);
+  if (up == "info") return Severity::kInfo;
+  if (up == "warn" || up == "warning") return Severity::kWarn;
+  if (up == "fatal") return Severity::kFatal;
+  throw failmine::ParseError("unknown severity: '" + std::string(name) + "'");
+}
+
+std::string component_name(Component component) {
+  switch (component) {
+    case Component::kCnk: return "CNK";
+    case Component::kMmcs: return "MMCS";
+    case Component::kMc: return "MC";
+    case Component::kBqc: return "BQC";
+    case Component::kDdr: return "DDR";
+    case Component::kNd: return "ND";
+    case Component::kMudm: return "MUDM";
+    case Component::kPci: return "PCI";
+    case Component::kCard: return "CARD";
+    case Component::kFirmware: return "FIRMWARE";
+    case Component::kLinux: return "LINUX";
+    case Component::kGpfs: return "GPFS";
+    case Component::kCoolant: return "COOLANT";
+    case Component::kBulkPower: return "BULKPOWER";
+  }
+  throw failmine::DomainError("unknown component");
+}
+
+Component component_from_name(std::string_view name) {
+  for (Component c : kAllComponents)
+    if (component_name(c) == name) return c;
+  throw failmine::ParseError("unknown component: '" + std::string(name) + "'");
+}
+
+std::string category_name(Category category) {
+  switch (category) {
+    case Category::kMemory: return "MEMORY";
+    case Category::kProcessor: return "PROCESSOR";
+    case Category::kNetwork: return "NETWORK";
+    case Category::kIo: return "IO";
+    case Category::kSoftware: return "SOFTWARE";
+    case Category::kPower: return "POWER";
+    case Category::kCooling: return "COOLING";
+    case Category::kControl: return "CONTROL";
+  }
+  throw failmine::DomainError("unknown category");
+}
+
+Category category_from_name(std::string_view name) {
+  for (Category c : kAllCategories)
+    if (category_name(c) == name) return c;
+  throw failmine::ParseError("unknown category: '" + std::string(name) + "'");
+}
+
+}  // namespace failmine::raslog

@@ -1,0 +1,57 @@
+#include "sim/config.hpp"
+
+#include "util/error.hpp"
+
+namespace failmine::sim {
+
+SimConfig SimConfig::scaled(double s) const {
+  if (s <= 0) throw failmine::DomainError("scale must be positive");
+  SimConfig c = *this;
+  c.scale = scale * s;
+  return c;
+}
+
+SimConfig SimConfig::paper_scale() { return SimConfig{}; }
+
+SimConfig SimConfig::bench_scale() {
+  SimConfig c;
+  c.scale = 0.1;
+  return c;
+}
+
+SimConfig SimConfig::test_scale() {
+  SimConfig c;
+  c.scale = 0.01;
+  c.user_count = 120;
+  c.project_count = 50;
+  return c;
+}
+
+void SimConfig::validate() const {
+  if (observation_days <= 0)
+    throw failmine::DomainError("observation_days must be positive");
+  if (scale <= 0) throw failmine::DomainError("scale must be positive");
+  if (user_count < 1 || project_count < 1)
+    throw failmine::DomainError("population must be non-empty");
+  if (project_count > user_count)
+    throw failmine::DomainError("more projects than users is not modeled");
+  if (jobs_per_day <= 0)
+    throw failmine::DomainError("jobs_per_day must be positive");
+  if (user_failure_probability < 0 || user_failure_probability > 1)
+    throw failmine::DomainError("user_failure_probability must be in [0,1]");
+  if (io_coverage < 0 || io_coverage > 1)
+    throw failmine::DomainError("io_coverage must be in [0,1]");
+  const double mix = user_app_error_weight + user_config_error_weight +
+                     user_kill_weight + walltime_weight;
+  if (mix <= 0) throw failmine::DomainError("user failure mix must be positive");
+  if (weak_board_fraction <= 0 || weak_board_fraction >= 1)
+    throw failmine::DomainError("weak_board_fraction must be in (0,1)");
+  if (weak_board_event_share < 0 || weak_board_event_share > 1)
+    throw failmine::DomainError("weak_board_event_share must be in [0,1]");
+  if (idle_fatal_episodes_per_day < 0 || fatal_events_per_episode < 1)
+    throw failmine::DomainError("fault episode parameters out of range");
+  if (system_hazard_per_node_second < 0)
+    throw failmine::DomainError("system hazard must be non-negative");
+}
+
+}  // namespace failmine::sim

@@ -1,0 +1,60 @@
+#include "sim/io_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace failmine::sim {
+
+IoModel::IoModel(const SimConfig& config) : config_(config) {
+  config.validate();
+}
+
+std::vector<iolog::IoRecord> IoModel::generate(
+    const std::vector<joblog::JobRecord>& jobs, util::Rng& rng) const {
+  std::vector<iolog::IoRecord> records;
+  records.reserve(static_cast<std::size_t>(
+      static_cast<double>(jobs.size()) * config_.io_coverage));
+  for (const auto& job : jobs) {
+    if (!rng.bernoulli(config_.io_coverage)) continue;
+    iolog::IoRecord r;
+    r.job_id = job.job_id;
+
+    const double core_hours = job.core_hours(config_.machine);
+    // Checkpoint-dominated scaling: bytes ~ core_hours^0.8 with a wide
+    // log-normal spread; ~1 GiB per (core_hour)^0.8 median.
+    const double base =
+        std::pow(std::max(core_hours, 1.0), 0.8) * 1.0e9;
+    const double total = base * rng.lognormal(0.0, 1.1);
+    double read_share = std::clamp(rng.normal(0.35, 0.15), 0.02, 0.95);
+
+    // Failed jobs lose their final checkpoint: written volume shrinks by
+    // the fraction of the run they completed (success keeps everything).
+    double write_completion = 1.0;
+    if (job.failed()) {
+      const double frac =
+          static_cast<double>(job.runtime_seconds()) /
+          std::max(1.0, static_cast<double>(job.requested_walltime));
+      write_completion = std::clamp(0.2 + 0.8 * frac, 0.05, 1.0);
+    }
+    r.bytes_read = static_cast<std::uint64_t>(total * read_share);
+    r.bytes_written =
+        static_cast<std::uint64_t>(total * (1.0 - read_share) * write_completion);
+
+    // Aggregate bandwidths in the single-digit GB/s regime.
+    const double read_bw = rng.lognormal(std::log(2.0e9), 0.6);
+    const double write_bw = rng.lognormal(std::log(1.5e9), 0.6);
+    r.read_time_seconds = static_cast<double>(r.bytes_read) / read_bw;
+    r.write_time_seconds = static_cast<double>(r.bytes_written) / write_bw;
+
+    r.files_accessed = static_cast<std::uint32_t>(
+        1 + rng.poisson(4.0 + std::log2(std::max(1.0, core_hours))));
+    r.ranks_doing_io = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<double>(job.nodes_used) *
+               std::clamp(rng.normal(0.25, 0.2), 0.01, 1.0)));
+    records.push_back(r);
+  }
+  return records;
+}
+
+}  // namespace failmine::sim

@@ -1,0 +1,35 @@
+// failmine/sim/io_model.hpp
+//
+// Darshan-style I/O behaviour generator (experiment E12's substrate).
+//
+// I/O volume scales sublinearly with core-hours (checkpoint-dominated
+// codes); failed jobs record less written output because they die before
+// their final checkpoint. Coverage is partial, as on Mira, where Darshan
+// only instruments dynamically-linked MPI codes.
+
+#pragma once
+
+#include <vector>
+
+#include "iolog/io_record.hpp"
+#include "joblog/job.hpp"
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::sim {
+
+class IoModel {
+ public:
+  explicit IoModel(const SimConfig& config);
+
+  /// Generates I/O records for a covered subset of jobs.
+  std::vector<iolog::IoRecord> generate(
+      const std::vector<joblog::JobRecord>& jobs, util::Rng& rng) const;
+
+ private:
+  // By value: a reference would dangle when callers construct the model
+  // from a temporary config.
+  SimConfig config_;
+};
+
+}  // namespace failmine::sim

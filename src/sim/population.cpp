@@ -1,0 +1,72 @@
+#include "sim/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace failmine::sim {
+
+namespace {
+
+std::vector<double> zipf_weights(const SimConfig& config, util::Rng& rng) {
+  config.validate();
+  std::vector<double> weights(static_cast<std::size_t>(config.user_count));
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                                config.user_zipf_exponent);
+  // Shuffle so user_id order doesn't encode the rank (analyses must
+  // discover the concentration, not read it off the id).
+  for (std::size_t i = weights.size(); i > 1; --i)
+    std::swap(weights[i - 1], weights[rng.uniform_index(i)]);
+  return weights;
+}
+
+}  // namespace
+
+Population::Population(const SimConfig& config, util::Rng& rng)
+    : Population(config, rng, zipf_weights(config, rng)) {}
+
+Population::Population(const SimConfig& config, util::Rng& rng,
+                       std::vector<double> weights)
+    : activity_table_(weights) {
+  users_.resize(weights.size());
+  project_count_ = static_cast<std::uint32_t>(config.project_count);
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    UserProfile& u = users_[i];
+    u.user_id = static_cast<std::uint32_t>(i);
+    u.activity_weight = weights[i];
+    // Several users share each project; assignment is random, so project
+    // activity inherits a (milder) heavy tail from its members.
+    u.project_id = static_cast<std::uint32_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(config.project_count)));
+    // Log-normal failure-rate heterogeneity with median 1: some users are
+    // persistently ~4x more failure-prone than others (debug-heavy
+    // development projects vs. stable production codes).
+    u.failure_multiplier = std::clamp(rng.lognormal(0.0, 0.55), 0.15, 4.5);
+    u.scale_preference = rng.uniform();
+  }
+  // Normalize failure multipliers so the activity-weighted mean is exactly
+  // 1: the config's base failure probability then stays the population
+  // average regardless of which users happen to dominate the workload.
+  double weight_sum = 0.0;
+  double weighted = 0.0;
+  for (const UserProfile& u : users_) {
+    weight_sum += u.activity_weight;
+    weighted += u.activity_weight * u.failure_multiplier;
+  }
+  const double norm = weighted / weight_sum;
+  for (UserProfile& u : users_) u.failure_multiplier /= norm;
+}
+
+std::uint32_t Population::sample_user(util::Rng& rng) const {
+  return static_cast<std::uint32_t>(activity_table_.sample(rng));
+}
+
+const UserProfile& Population::user(std::uint32_t user_id) const {
+  if (user_id >= users_.size())
+    throw failmine::DomainError("unknown user id " + std::to_string(user_id));
+  return users_[user_id];
+}
+
+}  // namespace failmine::sim

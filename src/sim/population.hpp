@@ -1,0 +1,55 @@
+// failmine/sim/population.hpp
+//
+// The user/project population of the simulated machine.
+//
+// Real HPC centers have heavy-tailed user activity: a handful of heroic
+// users submit a large share of all jobs, and failure-proneness differs
+// by an order of magnitude between users (takeaway T-B ties failures to
+// users and projects). We draw per-user activity weights from a Zipf law
+// over a shuffled rank order, give each user a persistent failure-rate
+// multiplier, and assign each user to one primary project.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::sim {
+
+/// One simulated user.
+struct UserProfile {
+  std::uint32_t user_id = 0;
+  std::uint32_t project_id = 0;
+  double activity_weight = 1.0;     ///< relative job-submission rate
+  double failure_multiplier = 1.0;  ///< scales user_failure_probability
+  double scale_preference = 0.0;    ///< bias towards large allocations, [0,1]
+};
+
+/// Immutable population generated from the config + RNG.
+class Population {
+ public:
+  Population(const SimConfig& config, util::Rng& rng);
+
+  const std::vector<UserProfile>& users() const { return users_; }
+  std::size_t user_count() const { return users_.size(); }
+
+  /// Draws a user id proportional to activity weights.
+  std::uint32_t sample_user(util::Rng& rng) const;
+
+  const UserProfile& user(std::uint32_t user_id) const;
+
+  /// Number of distinct projects actually assigned.
+  std::uint32_t project_count() const { return project_count_; }
+
+ private:
+  Population(const SimConfig& config, util::Rng& rng, std::vector<double> weights);
+
+  std::vector<UserProfile> users_;
+  std::uint32_t project_count_ = 0;
+  util::AliasTable activity_table_;
+};
+
+}  // namespace failmine::sim

@@ -1,0 +1,184 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace failmine::sim {
+
+using joblog::ExitClass;
+using util::UnixSeconds;
+
+WorkloadModel::WorkloadModel(const SimConfig& config, const Population& population)
+    : config_(config), population_(population) {
+  config.validate();
+  const std::uint32_t per_mid = config.machine.nodes_per_midplane();
+  const std::uint32_t total = config.machine.total_nodes();
+  // Midplane-multiple allocation sizes doubling up to the full machine,
+  // with Mira's characteristic head-heavy popularity.
+  for (std::uint32_t n = per_mid; n <= total; n *= 2) sizes_.push_back(n);
+  if (sizes_.empty() || sizes_.back() != total) sizes_.push_back(total);
+  static constexpr double kBaseWeights[] = {0.40, 0.25, 0.15, 0.10,
+                                            0.05, 0.03, 0.015, 0.005};
+  for (std::size_t i = 0; i < sizes_.size(); ++i)
+    size_weights_.push_back(
+        i < std::size(kBaseWeights) ? kBaseWeights[i] : kBaseWeights[7] / 2.0);
+}
+
+double WorkloadModel::seasonality(UnixSeconds t) const {
+  const int hour = util::hour_of_day(t);
+  const int dow = util::day_of_week(t);
+  // Submissions peak mid-afternoon; the cosine trough lands at ~03:00.
+  const double diurnal =
+      1.0 + config_.diurnal_amplitude *
+                std::cos(2.0 * std::numbers::pi * (hour - 15) / 24.0);
+  const double weekly = (dow >= 5) ? config_.weekend_factor : 1.0;
+  return diurnal * weekly;
+}
+
+std::vector<joblog::JobRecord> WorkloadModel::generate(util::Rng& rng) const {
+  std::vector<joblog::JobRecord> jobs;
+  const double rate_per_hour = config_.jobs_per_day * config_.scale / 24.0;
+  jobs.reserve(static_cast<std::size_t>(rate_per_hour * 24.0 *
+                                        config_.observation_days * 1.1));
+  const UnixSeconds end = config_.observation_end();
+  std::uint64_t next_id = 1'000'000;  // Cobalt ids on Mira started ~7 digits
+
+  // Thinned NHPP: draw homogeneous arrivals at the peak rate, keep each
+  // with probability seasonality/peak.
+  const double peak = (1.0 + config_.diurnal_amplitude);
+  const double peak_rate_per_sec = rate_per_hour * peak / 3600.0;
+  UnixSeconds t = config_.observation_start;
+  while (t < end) {
+    t += static_cast<UnixSeconds>(
+        std::max(1.0, rng.exponential(peak_rate_per_sec)));
+    if (t >= end) break;
+    if (!rng.bernoulli(seasonality(t) / peak)) continue;
+    jobs.push_back(make_job(next_id++, t, rng));
+  }
+  return jobs;
+}
+
+joblog::JobRecord WorkloadModel::make_job(std::uint64_t job_id,
+                                          UnixSeconds submit,
+                                          util::Rng& rng) const {
+  joblog::JobRecord j;
+  j.job_id = job_id;
+  j.user_id = population_.sample_user(rng);
+  const UserProfile& user = population_.user(j.user_id);
+  j.project_id = user.project_id;
+
+  // Allocation size: users with a high scale preference shift probability
+  // mass one or two steps towards larger partitions.
+  std::vector<double> weights = size_weights_;
+  const int shift = user.scale_preference > 0.9 ? 2
+                    : user.scale_preference > 0.6 ? 1
+                                                  : 0;
+  for (int s = 0; s < shift; ++s) {
+    for (std::size_t i = weights.size() - 1; i > 0; --i)
+      weights[i] += 0.5 * weights[i - 1];
+  }
+  const std::size_t size_idx = rng.categorical(weights);
+  j.nodes_used = sizes_[size_idx];
+  j.queue = j.nodes_used >= config_.machine.total_nodes() / 3
+                ? "prod-capability"
+                : "prod-short";
+
+  // Requested walltime from the standard menu, longer for larger jobs.
+  static constexpr int kWalltimeHours[] = {1, 2, 4, 6, 8, 12, 24};
+  const std::size_t wt_idx = std::min<std::size_t>(
+      std::size(kWalltimeHours) - 1,
+      static_cast<std::size_t>(rng.categorical({0.25, 0.25, 0.20, 0.12, 0.10,
+                                                0.05, 0.03}) +
+                               (size_idx >= 4 ? 1 : 0)));
+  j.requested_walltime =
+      static_cast<std::int64_t>(kWalltimeHours[wt_idx]) * 3600;
+
+  // Queue wait: exponential with mean growing in job size.
+  const double mean_wait = 1800.0 * (1.0 + static_cast<double>(size_idx));
+  j.submit_time = submit;
+  j.start_time =
+      submit + static_cast<UnixSeconds>(rng.exponential(1.0 / mean_wait));
+
+  // Task structure: 1 + geometric; mean config_.mean_tasks_per_job.
+  const double extra = std::max(0.0, config_.mean_tasks_per_job - 1.0);
+  const double p_stop = 1.0 / (1.0 + extra);
+  std::uint32_t tasks = 1;
+  while (!rng.bernoulli(p_stop) && tasks < 64) ++tasks;
+  j.task_count = tasks;
+
+  // User-side outcome.
+  const double node_doublings =
+      std::log2(static_cast<double>(j.nodes_used) /
+                static_cast<double>(config_.machine.nodes_per_midplane()));
+  const double p_fail =
+      std::clamp(config_.user_failure_probability * user.failure_multiplier *
+                     (1.0 + config_.task_failure_boost *
+                                (static_cast<double>(tasks) - 1.0)) *
+                     (1.0 + config_.scale_failure_boost * node_doublings),
+                 0.0, 0.95);
+
+  const double walltime = static_cast<double>(j.requested_walltime);
+  double runtime = 0.0;
+  if (!rng.bernoulli(p_fail)) {
+    j.exit_class = ExitClass::kSuccess;
+    j.exit_code = 0;
+    j.exit_signal = 0;
+    // Log-normal around a size-dependent median, capped at walltime.
+    const double median = 0.18 * walltime;
+    runtime = std::min(walltime - 1.0, rng.lognormal(std::log(median), 0.8));
+  } else {
+    const std::size_t cls = rng.categorical(
+        {config_.user_app_error_weight, config_.user_config_error_weight,
+         config_.user_kill_weight, config_.walltime_weight});
+    switch (cls) {
+      case 0:  // application bug: Weibull with decreasing hazard
+        j.exit_class = ExitClass::kUserAppError;
+        j.exit_code = 1 + static_cast<int>(rng.uniform_index(120));
+        j.exit_signal = rng.bernoulli(0.25)
+                            ? (rng.bernoulli(0.6) ? 11 : 6)  // SIGSEGV/SIGABRT
+                            : 0;
+        // A single global scale keeps the class marginal a clean Weibull
+        // (a walltime-proportional scale would yield a Weibull mixture,
+        // which fits log-normal better) while the walltime cap below
+        // truncates only a few percent of the mass.
+        runtime = rng.weibull(0.72, 1800.0);
+        break;
+      case 1:  // config error: dies within minutes (Erlang-2)
+        j.exit_class = ExitClass::kUserConfigError;
+        j.exit_code = 125 + static_cast<int>(rng.uniform_index(3));
+        j.exit_signal = 0;
+        runtime = rng.erlang(2, 1.0 / 90.0);
+        break;
+      case 2:  // user kill: Pareto patience
+        j.exit_class = ExitClass::kUserKill;
+        j.exit_code = 0;
+        j.exit_signal = rng.bernoulli(0.7) ? 15 : 2;
+        runtime = rng.pareto(300.0, 1.3);
+        break;
+      default:  // walltime overrun
+        j.exit_class = ExitClass::kWalltimeLimit;
+        j.exit_code = 24;
+        j.exit_signal = 9;
+        runtime = walltime;
+        break;
+    }
+    runtime = std::min(runtime, walltime);
+  }
+  runtime = std::max(runtime, 10.0);
+  j.end_time = j.start_time + static_cast<UnixSeconds>(runtime);
+
+  // Aligned partition placement.
+  const int mids = topology::midplanes_for_nodes(j.nodes_used, config_.machine);
+  const int total_mids =
+      config_.machine.racks() * config_.machine.midplanes_per_rack;
+  const int slots = std::max(1, total_mids / mids);
+  j.partition_first_midplane =
+      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(slots))) *
+      mids;
+  return j;
+}
+
+}  // namespace failmine::sim

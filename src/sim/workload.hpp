@@ -1,0 +1,61 @@
+// failmine/sim/workload.hpp
+//
+// Job arrival and lifecycle model.
+//
+// Arrivals follow a non-homogeneous Poisson process with diurnal and
+// weekly seasonality. Allocation sizes are midplane multiples (512 ..
+// 49,152 nodes) drawn from a heavy-headed mix biased by the user's scale
+// preference. Exit classes for user-side outcomes are drawn per job; the
+// execution length of a failed job is drawn from the class's generative
+// family — the calibration behind takeaway T-C:
+//
+//   USER_APP_ERROR   -> Weibull(shape < 1)   (early-failure hazard)
+//   USER_CONFIG_ERROR-> Erlang(2)            (fails within minutes)
+//   USER_KILL        -> Pareto               (heavy-tailed patience)
+//   WALLTIME_LIMIT   -> deterministic at the requested walltime
+//   SUCCESS          -> log-normal capped at walltime
+//
+// System-caused failures are NOT decided here; the fault model converts
+// exposed jobs afterwards (see fault_model.hpp).
+
+#pragma once
+
+#include <vector>
+
+#include "joblog/job.hpp"
+#include "sim/config.hpp"
+#include "sim/population.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::sim {
+
+/// Generates the complete set of job records for the observation window.
+class WorkloadModel {
+ public:
+  WorkloadModel(const SimConfig& config, const Population& population);
+
+  /// Draws every job in the observation window, in arrival order, with
+  /// user-side exit classes and runtimes assigned. Job ids are unique and
+  /// ascending; partitions are placed (aligned) uniformly at random.
+  std::vector<joblog::JobRecord> generate(util::Rng& rng) const;
+
+  /// Arrival-rate multiplier at time t (diurnal x weekly seasonality),
+  /// mean ~1 over a week. Exposed for the temporal-pattern tests.
+  double seasonality(util::UnixSeconds t) const;
+
+  /// Allocation sizes the model draws from (midplane multiples).
+  const std::vector<std::uint32_t>& size_menu() const { return sizes_; }
+
+ private:
+  joblog::JobRecord make_job(std::uint64_t job_id, util::UnixSeconds submit,
+                             util::Rng& rng) const;
+
+  // By value: a reference would dangle when callers construct the model
+  // from a temporary config.
+  SimConfig config_;
+  const Population& population_;
+  std::vector<std::uint32_t> sizes_;
+  std::vector<double> size_weights_;
+};
+
+}  // namespace failmine::sim

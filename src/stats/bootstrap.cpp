@@ -1,0 +1,66 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/concentration.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stats {
+
+BootstrapResult bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double confidence, util::Rng& rng) {
+  if (sample.empty())
+    throw failmine::DomainError("bootstrap requires a non-empty sample");
+  if (replicates < 20)
+    throw failmine::DomainError("bootstrap requires >= 20 replicates");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw failmine::DomainError("bootstrap confidence must be in (0,1)");
+
+  BootstrapResult result;
+  result.point_estimate = statistic(sample);
+  result.replicates = replicates;
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> estimates;
+  estimates.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& v : resample) v = sample[rng.uniform_index(sample.size())];
+    estimates.push_back(statistic(resample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  result.lower = quantile_sorted(estimates, alpha);
+  result.upper = quantile_sorted(estimates, 1.0 - alpha);
+  result.standard_error = estimates.size() > 1 ? stddev(estimates) : 0.0;
+  return result;
+}
+
+BootstrapResult bootstrap_mean(std::span<const double> sample,
+                               std::size_t replicates, double confidence,
+                               util::Rng& rng) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> s) { return mean(s); }, replicates,
+      confidence, rng);
+}
+
+BootstrapResult bootstrap_median(std::span<const double> sample,
+                                 std::size_t replicates, double confidence,
+                                 util::Rng& rng) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> s) { return median(s); }, replicates,
+      confidence, rng);
+}
+
+BootstrapResult bootstrap_gini(std::span<const double> sample,
+                               std::size_t replicates, double confidence,
+                               util::Rng& rng) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> s) { return gini(s); }, replicates,
+      confidence, rng);
+}
+
+}  // namespace failmine::stats

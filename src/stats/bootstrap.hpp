@@ -1,0 +1,48 @@
+// failmine/stats/bootstrap.hpp
+//
+// Nonparametric bootstrap confidence intervals.
+//
+// The study's headline point estimates (MTTI, Gini, medians) come from one
+// observed trace; bootstrap resampling quantifies how much they would move
+// under re-observation. Used by the extension experiments (X03) and
+// available to library users for any statistic expressible as a function
+// of a double sample.
+
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace failmine::stats {
+
+/// A two-sided percentile confidence interval plus the point estimate.
+struct BootstrapResult {
+  double point_estimate = 0.0;
+  double lower = 0.0;          ///< (1-confidence)/2 percentile
+  double upper = 0.0;          ///< 1-(1-confidence)/2 percentile
+  double standard_error = 0.0; ///< stddev of the bootstrap replicates
+  std::size_t replicates = 0;
+};
+
+/// Percentile bootstrap of `statistic` over `sample`.
+/// Requires a non-empty sample, replicates >= 20, confidence in (0,1).
+BootstrapResult bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double confidence, util::Rng& rng);
+
+/// Convenience wrappers for the statistics the experiments report.
+BootstrapResult bootstrap_mean(std::span<const double> sample,
+                               std::size_t replicates, double confidence,
+                               util::Rng& rng);
+BootstrapResult bootstrap_median(std::span<const double> sample,
+                                 std::size_t replicates, double confidence,
+                                 util::Rng& rng);
+BootstrapResult bootstrap_gini(std::span<const double> sample,
+                               std::size_t replicates, double confidence,
+                               util::Rng& rng);
+
+}  // namespace failmine::stats

@@ -1,0 +1,78 @@
+#include "stats/concentration.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace failmine::stats {
+
+namespace {
+
+std::vector<double> sorted_non_negative(std::span<const double> values) {
+  if (values.empty())
+    throw failmine::DomainError("concentration measures require a non-empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  for (double v : sorted)
+    if (v < 0)
+      throw failmine::DomainError("concentration measures require non-negative values");
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+std::vector<LorenzPoint> lorenz_curve(std::span<const double> values) {
+  const auto sorted = sorted_non_negative(values);
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0) throw failmine::DomainError("lorenz_curve requires a positive total");
+  std::vector<LorenzPoint> curve;
+  curve.reserve(sorted.size() + 1);
+  curve.push_back({0.0, 0.0});
+  double running = 0.0;
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    running += sorted[i];
+    curve.push_back({static_cast<double>(i + 1) / n, running / total});
+  }
+  return curve;
+}
+
+double gini(std::span<const double> values) {
+  const auto sorted = sorted_non_negative(values);
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0) throw failmine::DomainError("gini requires a positive total");
+  const double n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double top_k_share(std::span<const double> values, std::size_t k) {
+  if (k == 0) throw failmine::DomainError("top_k_share requires k >= 1");
+  const auto sorted = sorted_non_negative(values);
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0) throw failmine::DomainError("top_k_share requires a positive total");
+  k = std::min(k, sorted.size());
+  double top = 0.0;
+  for (std::size_t i = 0; i < k; ++i) top += sorted[sorted.size() - 1 - i];
+  return top / total;
+}
+
+std::size_t contributors_for_share(std::span<const double> values, double share) {
+  if (share <= 0.0 || share > 1.0)
+    throw failmine::DomainError("contributors_for_share requires share in (0,1]");
+  const auto sorted = sorted_non_negative(values);
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0)
+    throw failmine::DomainError("contributors_for_share requires a positive total");
+  double running = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    running += sorted[sorted.size() - 1 - i];
+    if (running / total >= share) return i + 1;
+  }
+  return sorted.size();
+}
+
+}  // namespace failmine::stats

@@ -1,0 +1,35 @@
+// failmine/stats/concentration.hpp
+//
+// Concentration / inequality measures for the "few users account for most
+// failures" analyses (paper takeaway T-B): Lorenz curve, Gini coefficient
+// and top-k share.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace failmine::stats {
+
+/// Point on a Lorenz curve: cumulative population share vs cumulative
+/// value share, both in [0,1].
+struct LorenzPoint {
+  double population_share = 0.0;
+  double value_share = 0.0;
+};
+
+/// Lorenz curve of a non-negative sample (sorted ascending internally).
+/// Always starts at (0,0) and ends at (1,1). Requires a positive total.
+std::vector<LorenzPoint> lorenz_curve(std::span<const double> values);
+
+/// Gini coefficient in [0,1); 0 = perfectly equal.
+double gini(std::span<const double> values);
+
+/// Share of the total contributed by the k largest values (k >= 1).
+double top_k_share(std::span<const double> values, std::size_t k);
+
+/// Smallest number of (largest) contributors whose combined share
+/// reaches `share` of the total (share in (0,1]).
+std::size_t contributors_for_share(std::span<const double> values, double share);
+
+}  // namespace failmine::stats

@@ -1,0 +1,96 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stats {
+
+namespace {
+
+void check_paired(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw failmine::DomainError("correlation requires equal-length samples");
+  if (x.size() < 2)
+    throw failmine::DomainError("correlation requires >= 2 observations");
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  check_paired(x, y);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0)
+    throw failmine::DomainError("pearson requires non-constant samples");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  check_paired(x, y);
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  check_paired(x, y);
+  const std::size_t n = x.size();
+  std::int64_t concordant = 0, discordant = 0;
+  std::int64_t ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;  // tied in both: excluded from all terms
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = concordant + discordant;
+  const double denom = std::sqrt((n0 + static_cast<double>(ties_x)) *
+                                 (n0 + static_cast<double>(ties_y)));
+  if (denom == 0.0)
+    throw failmine::DomainError("kendall_tau requires non-constant samples");
+  return (static_cast<double>(concordant) - static_cast<double>(discordant)) / denom;
+}
+
+LinearFit linear_regression(std::span<const double> x, std::span<const double> y) {
+  check_paired(x, y);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0)
+    throw failmine::DomainError("linear_regression requires non-constant x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace failmine::stats

@@ -1,0 +1,33 @@
+// failmine/stats/correlation.hpp
+//
+// Correlation coefficients used in the RAS-event / job-attribute joint
+// analyses (paper takeaway T-B and T-D).
+
+#pragma once
+
+#include <span>
+
+namespace failmine::stats {
+
+/// Pearson product-moment correlation. Requires equal sizes >= 2 and
+/// non-zero variance in both samples; returns a value in [-1, 1].
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on mid-ranks, so ties are handled).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Kendall tau-b (tie-corrected). O(n^2) pair enumeration — fine for the
+/// per-user / per-project vectors in this study (hundreds of entries).
+double kendall_tau(std::span<const double> x, std::span<const double> y);
+
+/// Simple linear regression y = a + b x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit. Requires equal sizes >= 2 and non-constant x.
+LinearFit linear_regression(std::span<const double> x, std::span<const double> y);
+
+}  // namespace failmine::stats

@@ -1,0 +1,41 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace failmine::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) throw failmine::DomainError("Ecdf requires a non-empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  if (p < 0.0 || p > 1.0) throw failmine::DomainError("Ecdf quantile p must be in [0,1]");
+  if (p == 0.0) return sorted_.front();
+  const double target = p * static_cast<double>(sorted_.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(target));
+  if (idx == 0) idx = 1;
+  if (idx > sorted_.size()) idx = sorted_.size();
+  return sorted_[idx - 1];
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve() const {
+  std::vector<std::pair<double, double>> pts;
+  const double n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    pts.emplace_back(sorted_[i], static_cast<double>(i + 1) / n);
+  }
+  return pts;
+}
+
+}  // namespace failmine::stats

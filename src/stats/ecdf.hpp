@@ -1,0 +1,37 @@
+// failmine/stats/ecdf.hpp
+//
+// Empirical cumulative distribution function.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace failmine::stats {
+
+/// Right-continuous empirical CDF built from a sample.
+class Ecdf {
+ public:
+  /// Copies and sorts the sample. Throws DomainError if empty.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// F(x) = (# sample values <= x) / n.
+  double operator()(double x) const;
+
+  /// Empirical quantile: smallest sample value v with F(v) >= p.
+  double quantile(double p) const;
+
+  /// The sorted sample.
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Evaluation points and cumulative probabilities for plotting:
+  /// unique sorted values paired with F at each value.
+  std::vector<std::pair<double, double>> curve() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace failmine::stats

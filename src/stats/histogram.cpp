@@ -1,0 +1,78 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace failmine::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2) throw failmine::DomainError("histogram needs >= 2 edges");
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    if (edges_[i] <= edges_[i - 1])
+      throw failmine::DomainError("histogram edges must be strictly increasing");
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  if (bins == 0) throw failmine::DomainError("histogram needs >= 1 bin");
+  if (hi <= lo) throw failmine::DomainError("histogram range must be non-empty");
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i)
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(bins);
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  if (bins == 0) throw failmine::DomainError("histogram needs >= 1 bin");
+  if (lo <= 0 || hi <= lo)
+    throw failmine::DomainError("log histogram requires 0 < lo < hi");
+  std::vector<double> edges(bins + 1);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (std::size_t i = 0; i <= bins; ++i)
+    edges[i] = std::exp(log_lo + (log_hi - log_lo) * static_cast<double>(i) /
+                                     static_cast<double>(bins));
+  edges.front() = lo;  // cancel rounding at the extremes
+  edges.back() = hi;
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (value > edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  if (value == edges_.back()) {
+    ++counts_.back();
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const std::size_t bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> sample) {
+  for (double v : sample) add(v);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(in_range);
+}
+
+std::string Histogram::bin_label(std::size_t bin, int precision) const {
+  if (bin + 1 >= edges_.size()) throw failmine::DomainError("bin out of range");
+  return failmine::util::format_double(edges_[bin], precision) + ".." +
+         failmine::util::format_double(edges_[bin + 1], precision);
+}
+
+}  // namespace failmine::stats

@@ -1,0 +1,56 @@
+// failmine/stats/histogram.hpp
+//
+// Fixed-bin histograms with linear or logarithmic bucket edges. Used by
+// the job-structure analyses (node-count / core-hour buckets) and the
+// temporal series.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace failmine::stats {
+
+/// Bucket edges: bin i covers [edges[i], edges[i+1]).
+/// The last bin additionally includes the upper edge.
+class Histogram {
+ public:
+  /// Uses explicit edges (strictly increasing, >= 2 entries).
+  explicit Histogram(std::vector<double> edges);
+
+  /// Evenly spaced bins over [lo, hi].
+  static Histogram linear(double lo, double hi, std::size_t bins);
+
+  /// Log-spaced bins over [lo, hi]; requires 0 < lo < hi.
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation; out-of-range values are counted separately.
+  void add(double value);
+
+  /// Adds every value in the sample.
+  void add_all(std::span<const double> sample);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// Fraction of in-range mass in `bin` (0 when the histogram is empty).
+  double fraction(std::size_t bin) const;
+
+  /// "lo..hi" label for a bin, for report printing.
+  std::string bin_label(std::size_t bin, int precision = 0) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace failmine::stats

@@ -1,0 +1,104 @@
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stats {
+
+TestResult ks_test(std::span<const double> sample,
+                   const std::function<double(double)>& cdf) {
+  if (sample.empty()) throw failmine::DomainError("ks_test requires a non-empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    if (f < -1e-12 || f > 1.0 + 1e-12)
+      throw failmine::DomainError("ks_test model CDF out of [0,1]");
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(hi - f), std::fabs(f - lo)});
+  }
+  TestResult r;
+  r.statistic = d;
+  const double en = std::sqrt(n);
+  // Stephens' small-sample correction before the asymptotic survival.
+  r.p_value = kolmogorov_survival((en + 0.12 + 0.11 / en) * d);
+  return r;
+}
+
+TestResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw failmine::DomainError("ks_two_sample requires non-empty samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double v = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= v) ++i;
+    while (j < sb.size() && sb[j] <= v) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  TestResult r;
+  r.statistic = d;
+  const double en = std::sqrt(na * nb / (na + nb));
+  r.p_value = kolmogorov_survival((en + 0.12 + 0.11 / en) * d);
+  return r;
+}
+
+double kolmogorov_survival(double x) {
+  if (x <= 0) return 1.0;
+  // Q(x) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2); converges very fast.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+TestResult chi_square_test(std::span<const double> observed,
+                           std::span<const double> expected,
+                           std::size_t extra_constraints) {
+  if (observed.size() != expected.size())
+    throw failmine::DomainError("chi_square_test requires equal-length vectors");
+  if (observed.size() < 2)
+    throw failmine::DomainError("chi_square_test requires >= 2 cells");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0)
+      throw failmine::DomainError("chi_square_test expected counts must be positive");
+    const double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  const std::size_t dof_raw = observed.size() - 1;
+  if (extra_constraints >= dof_raw)
+    throw failmine::DomainError("chi_square_test has no degrees of freedom left");
+  const double dof = static_cast<double>(dof_raw - extra_constraints);
+  TestResult r;
+  r.statistic = stat;
+  r.p_value = chi_square_survival(stat, dof);
+  return r;
+}
+
+double chi_square_survival(double statistic, double dof) {
+  if (dof <= 0) throw failmine::DomainError("chi_square_survival requires dof > 0");
+  if (statistic <= 0) return 1.0;
+  return gamma_q(dof / 2.0, statistic / 2.0);
+}
+
+}  // namespace failmine::stats

@@ -1,0 +1,45 @@
+// failmine/stats/hypothesis.hpp
+//
+// Goodness-of-fit machinery for the distribution-fitting study (E05, E13).
+//
+// The paper selects best-fit families for failed-job execution lengths by
+// error type; the standard instrument for that is the Kolmogorov-Smirnov
+// distance plus likelihood criteria. We provide one-sample KS against an
+// arbitrary CDF, two-sample KS, the asymptotic Kolmogorov p-value, and a
+// chi-square goodness-of-fit test.
+
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace failmine::stats {
+
+/// Result of a goodness-of-fit test.
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+};
+
+/// One-sample KS: D = sup |F_n(x) - F(x)| against the model CDF.
+/// The sample is copied and sorted internally.
+TestResult ks_test(std::span<const double> sample,
+                   const std::function<double(double)>& cdf);
+
+/// Two-sample KS.
+TestResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic Kolmogorov survival function: P(sqrt(n) D > x).
+double kolmogorov_survival(double x);
+
+/// Chi-square goodness of fit from observed counts and expected counts.
+/// `extra_constraints` = number of parameters estimated from the data
+/// (subtracted from the degrees of freedom along with the usual 1).
+TestResult chi_square_test(std::span<const double> observed,
+                           std::span<const double> expected,
+                           std::size_t extra_constraints = 0);
+
+/// Chi-square survival function via the regularized incomplete gamma.
+double chi_square_survival(double statistic, double dof);
+
+}  // namespace failmine::stats

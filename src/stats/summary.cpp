@@ -1,0 +1,114 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace failmine::stats {
+
+Summary summarize(std::span<const double> sample) {
+  if (sample.empty()) throw failmine::DomainError("summarize requires a non-empty sample");
+  Summary s;
+  s.count = sample.size();
+  s.min = sample[0];
+  s.max = sample[0];
+  double sum = 0.0;
+  for (double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.sum = sum;
+  s.mean = sum / static_cast<double>(s.count);
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double v : sample) {
+    const double d = v - s.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  const double n = static_cast<double>(s.count);
+  s.variance = s.count > 1 ? m2 / (n - 1.0) : 0.0;
+  s.stddev = std::sqrt(s.variance);
+  if (s.count > 2 && m2 > 0) {
+    const double g1 = (m3 / n) / std::pow(m2 / n, 1.5);
+    s.skewness = std::sqrt(n * (n - 1.0)) / (n - 2.0) * g1;
+  }
+  if (s.count > 3 && m2 > 0) {
+    const double g2 = (m4 / n) / ((m2 / n) * (m2 / n)) - 3.0;
+    s.kurtosis = (n - 1.0) / ((n - 2.0) * (n - 3.0)) * ((n + 1.0) * g2 + 6.0);
+  }
+  return s;
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) throw failmine::DomainError("mean requires a non-empty sample");
+  return std::accumulate(sample.begin(), sample.end(), 0.0) /
+         static_cast<double>(sample.size());
+}
+
+double variance(std::span<const double> sample) {
+  if (sample.empty()) throw failmine::DomainError("variance requires a non-empty sample");
+  if (sample.size() == 1) return 0.0;
+  const double m = mean(sample);
+  double m2 = 0.0;
+  for (double v : sample) m2 += (v - m) * (v - m);
+  return m2 / (static_cast<double>(sample.size()) - 1.0);
+}
+
+double stddev(std::span<const double> sample) { return std::sqrt(variance(sample)); }
+
+double median(std::span<const double> sample) { return quantile(sample, 0.5); }
+
+double quantile(std::span<const double> sample, double p) {
+  if (sample.empty()) throw failmine::DomainError("quantile requires a non-empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, p);
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) throw failmine::DomainError("quantile requires a non-empty sample");
+  if (p < 0.0 || p > 1.0) throw failmine::DomainError("quantile p must be in [0,1]");
+  const double h = (static_cast<double>(sorted.size()) - 1.0) * p;
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double geometric_mean(std::span<const double> sample) {
+  if (sample.empty())
+    throw failmine::DomainError("geometric_mean requires a non-empty sample");
+  double log_sum = 0.0;
+  for (double v : sample) {
+    if (v <= 0)
+      throw failmine::DomainError("geometric_mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+std::vector<double> ranks(std::span<const double> sample) {
+  const std::size_t n = sample.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sample[a] < sample[b]; });
+  std::vector<double> result(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && sample[order[j + 1]] == sample[order[i]]) ++j;
+    // Mid-rank for the tie group [i, j].
+    const double mid_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) result[order[k]] = mid_rank;
+    i = j + 1;
+  }
+  return result;
+}
+
+}  // namespace failmine::stats

@@ -1,0 +1,53 @@
+// failmine/stats/summary.hpp
+//
+// Descriptive statistics over double samples.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace failmine::stats {
+
+/// One-pass descriptive summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double skewness = 0.0;  ///< adjusted Fisher-Pearson
+  double kurtosis = 0.0;  ///< excess kurtosis
+};
+
+/// Computes the summary; throws DomainError on an empty sample.
+Summary summarize(std::span<const double> sample);
+
+/// Arithmetic mean; throws DomainError on an empty sample.
+double mean(std::span<const double> sample);
+
+/// Unbiased sample variance; 0 for samples of size 1.
+double variance(std::span<const double> sample);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> sample);
+
+/// Median (average of middle two for even sizes). Copies and sorts.
+double median(std::span<const double> sample);
+
+/// Quantile with linear interpolation between order statistics (type 7,
+/// the R default). p in [0,1]. Copies and sorts.
+double quantile(std::span<const double> sample, double p);
+
+/// Quantile on an already-sorted sample (no copy).
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Geometric mean; requires strictly positive values.
+double geometric_mean(std::span<const double> sample);
+
+/// Ranks with ties broken by mid-rank averaging (1-based ranks).
+std::vector<double> ranks(std::span<const double> sample);
+
+}  // namespace failmine::stats

@@ -1,0 +1,95 @@
+#include "tasklog/task.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace failmine::tasklog {
+
+namespace {
+
+const std::vector<std::string>& csv_header() {
+  static const std::vector<std::string> header = {
+      "task_id", "job_id",     "sequence",      "start_time", "end_time",
+      "nodes_used", "ranks_per_node", "exit_code", "exit_signal"};
+  return header;
+}
+
+}  // namespace
+
+TaskLog::TaskLog(std::vector<TaskRecord> tasks) : tasks_(std::move(tasks)) {
+  finalize();
+}
+
+void TaskLog::append(TaskRecord task) { tasks_.push_back(std::move(task)); }
+
+void TaskLog::finalize() {
+  std::sort(tasks_.begin(), tasks_.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              if (a.job_id != b.job_id) return a.job_id < b.job_id;
+              return a.sequence < b.sequence;
+            });
+  by_job_.clear();
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    by_job_[tasks_[i].job_id].push_back(i);
+}
+
+std::vector<TaskRecord> TaskLog::tasks_of_job(std::uint64_t job_id) const {
+  std::vector<TaskRecord> out;
+  const auto it = by_job_.find(job_id);
+  if (it == by_job_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(tasks_[i]);
+  return out;
+}
+
+std::size_t TaskLog::task_count(std::uint64_t job_id) const {
+  const auto it = by_job_.find(job_id);
+  return it == by_job_.end() ? 0 : it->second.size();
+}
+
+void TaskLog::write_csv(const std::string& path) const {
+  util::CsvWriter writer(path, csv_header());
+  for (const auto& t : tasks_) {
+    writer.write_row({
+        std::to_string(t.task_id),
+        std::to_string(t.job_id),
+        std::to_string(t.sequence),
+        util::format_timestamp(t.start_time),
+        util::format_timestamp(t.end_time),
+        std::to_string(t.nodes_used),
+        std::to_string(t.ranks_per_node),
+        std::to_string(t.exit_code),
+        std::to_string(t.exit_signal),
+    });
+  }
+  writer.close();
+}
+
+TaskLog TaskLog::read_csv(const std::string& path) {
+  util::CsvReader reader(path);
+  if (reader.header() != csv_header())
+    throw failmine::ParseError("unexpected task log header in " + path);
+  std::vector<TaskRecord> tasks;
+  std::vector<std::string> row;
+  while (reader.next(row)) {
+    TaskRecord t;
+    t.task_id = util::parse_uint(row[0]);
+    t.job_id = util::parse_uint(row[1]);
+    t.sequence = static_cast<std::uint32_t>(util::parse_uint(row[2]));
+    t.start_time = util::parse_timestamp(row[3]);
+    t.end_time = util::parse_timestamp(row[4]);
+    t.nodes_used = static_cast<std::uint32_t>(util::parse_uint(row[5]));
+    t.ranks_per_node = static_cast<std::uint32_t>(util::parse_uint(row[6]));
+    t.exit_code = static_cast<int>(util::parse_int(row[7]));
+    t.exit_signal = static_cast<int>(util::parse_int(row[8]));
+    if (t.end_time < t.start_time)
+      throw failmine::ParseError("task " + row[0] + " ends before it starts");
+    tasks.push_back(t);
+  }
+  return TaskLog(std::move(tasks));
+}
+
+}  // namespace failmine::tasklog

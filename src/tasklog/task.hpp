@@ -1,0 +1,67 @@
+// failmine/tasklog/task.hpp
+//
+// runjob-style task execution records.
+//
+// One Cobalt job script typically launches several physical execution
+// tasks (runjob invocations); the paper's job-structure analysis (T-B)
+// correlates failures with the number of tasks. Each task records its own
+// time window, node usage and exit status within the parent job.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "joblog/exit_status.hpp"
+#include "util/time.hpp"
+
+namespace failmine::tasklog {
+
+/// One physical execution task of a job.
+struct TaskRecord {
+  std::uint64_t task_id = 0;
+  std::uint64_t job_id = 0;
+  std::uint32_t sequence = 0;       ///< task index within the job, 0-based
+  util::UnixSeconds start_time = 0;
+  util::UnixSeconds end_time = 0;
+  std::uint32_t nodes_used = 0;
+  std::uint32_t ranks_per_node = 1;
+  int exit_code = 0;
+  int exit_signal = 0;
+
+  std::int64_t runtime_seconds() const { return end_time - start_time; }
+  bool failed() const { return exit_code != 0 || exit_signal != 0; }
+
+  friend bool operator==(const TaskRecord&, const TaskRecord&) = default;
+};
+
+/// In-memory task log with a per-job index.
+class TaskLog {
+ public:
+  TaskLog() = default;
+  explicit TaskLog(std::vector<TaskRecord> tasks);
+
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  void append(TaskRecord task);
+  void finalize();
+
+  /// Tasks belonging to a job, in sequence order (empty if none).
+  std::vector<TaskRecord> tasks_of_job(std::uint64_t job_id) const;
+
+  /// Number of tasks of a job.
+  std::size_t task_count(std::uint64_t job_id) const;
+
+  void write_csv(const std::string& path) const;
+  static TaskLog read_csv(const std::string& path);
+
+ private:
+  std::vector<TaskRecord> tasks_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_job_;
+};
+
+}  // namespace failmine::tasklog

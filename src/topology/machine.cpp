@@ -1,0 +1,78 @@
+#include "topology/machine.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace failmine::topology {
+
+MachineConfig MachineConfig::mira() { return MachineConfig{}; }
+
+MachineConfig MachineConfig::single_rack() {
+  MachineConfig c;
+  c.rack_rows = 1;
+  c.rack_columns = 1;
+  return c;
+}
+
+TorusShape TorusShape::for_machine(const MachineConfig& config) {
+  // Mira's published torus is 8x12x16x16x2 = 49,152. For arbitrary configs
+  // we keep the B..E extents fixed to the midplane-internal geometry
+  // (midplane = 4x4x4x4x2 torus per BG/Q wiring; two midplanes pair in E...
+  // the precise cabling is proprietary) and scale A with the rack count so
+  // that volume == total_nodes. What the analyses need is a consistent,
+  // invertible node<->coordinate map with wraparound distance, which this
+  // provides.
+  TorusShape s;
+  const std::uint32_t nodes = config.total_nodes();
+  s.extent = {1, 12, 16, 16, 2};
+  const std::uint64_t base = 12ULL * 16 * 16 * 2;
+  if (nodes % base == 0) {
+    s.extent[0] = static_cast<int>(nodes / base);
+  } else {
+    // Fall back to a flat 1D "torus" over the node count.
+    s.extent = {static_cast<int>(nodes), 1, 1, 1, 1};
+  }
+  return s;
+}
+
+std::uint64_t TorusShape::volume() const {
+  std::uint64_t v = 1;
+  for (int e : extent) v *= static_cast<std::uint64_t>(e);
+  return v;
+}
+
+TorusCoord TorusShape::coord_of(NodeIndex node) const {
+  if (node >= volume()) throw failmine::DomainError("node index out of torus");
+  TorusCoord c;
+  std::uint64_t rest = node;
+  for (int d = 4; d >= 0; --d) {
+    c.dims[static_cast<std::size_t>(d)] =
+        static_cast<int>(rest % static_cast<std::uint64_t>(extent[static_cast<std::size_t>(d)]));
+    rest /= static_cast<std::uint64_t>(extent[static_cast<std::size_t>(d)]);
+  }
+  return c;
+}
+
+NodeIndex TorusShape::node_of(const TorusCoord& coord) const {
+  std::uint64_t idx = 0;
+  for (std::size_t d = 0; d < 5; ++d) {
+    if (coord.dims[d] < 0 || coord.dims[d] >= extent[d])
+      throw failmine::DomainError("torus coordinate out of range");
+    idx = idx * static_cast<std::uint64_t>(extent[d]) +
+          static_cast<std::uint64_t>(coord.dims[d]);
+  }
+  return static_cast<NodeIndex>(idx);
+}
+
+int TorusShape::torus_distance(const TorusCoord& a, const TorusCoord& b) const {
+  int dist = 0;
+  for (std::size_t d = 0; d < 5; ++d) {
+    const int e = extent[d];
+    int diff = std::abs(a.dims[d] - b.dims[d]);
+    dist += std::min(diff, e - diff);
+  }
+  return dist;
+}
+
+}  // namespace failmine::topology

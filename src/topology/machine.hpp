@@ -1,0 +1,91 @@
+// failmine/topology/machine.hpp
+//
+// IBM Blue Gene/Q machine model.
+//
+// Mira (the system studied in the paper) is 48 racks; each rack holds two
+// midplanes, each midplane 16 node boards, each node board 32 compute
+// cards, each compute card one node with 16 application cores:
+//   48 x 2 x 16 x 32 = 49,152 nodes = 786,432 cores.
+// Racks are laid out in 3 rows x 16 columns and named R<row><col-hex>
+// (R00..R2F). Full-machine node coordinates form a 5D torus
+// (A,B,C,D,E) = (8,12,16,16,2).
+//
+// `MachineConfig` parameterizes the hierarchy so tests and small
+// simulations can run on fractional machines while production analyses use
+// the full Mira geometry.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace failmine::topology {
+
+/// Node index into the linearized machine, in [0, total_nodes()).
+using NodeIndex = std::uint32_t;
+
+/// Dimensions of a Blue Gene/Q-style machine.
+struct MachineConfig {
+  int rack_rows = 3;
+  int rack_columns = 16;
+  int midplanes_per_rack = 2;
+  int boards_per_midplane = 16;
+  int cards_per_board = 32;
+  int cores_per_node = 16;
+
+  /// The full Mira configuration (48 racks, 49,152 nodes).
+  static MachineConfig mira();
+
+  /// A single-rack machine, handy for unit tests.
+  static MachineConfig single_rack();
+
+  int racks() const { return rack_rows * rack_columns; }
+  std::uint32_t nodes_per_board() const {
+    return static_cast<std::uint32_t>(cards_per_board);
+  }
+  std::uint32_t nodes_per_midplane() const {
+    return static_cast<std::uint32_t>(boards_per_midplane * cards_per_board);
+  }
+  std::uint32_t nodes_per_rack() const {
+    return nodes_per_midplane() * static_cast<std::uint32_t>(midplanes_per_rack);
+  }
+  std::uint32_t total_nodes() const {
+    return nodes_per_rack() * static_cast<std::uint32_t>(racks());
+  }
+  std::uint64_t total_cores() const {
+    return static_cast<std::uint64_t>(total_nodes()) *
+           static_cast<std::uint64_t>(cores_per_node);
+  }
+
+  friend bool operator==(const MachineConfig&, const MachineConfig&) = default;
+};
+
+/// 5D torus coordinate (A, B, C, D, E).
+struct TorusCoord {
+  std::array<int, 5> dims{};
+
+  friend bool operator==(const TorusCoord&, const TorusCoord&) = default;
+};
+
+/// The 5D torus shape of a machine (full Mira: 8 x 12 x 16 x 16 x 2).
+struct TorusShape {
+  std::array<int, 5> extent{};
+
+  /// Derives a torus shape covering all nodes of `config`. The A dimension
+  /// absorbs the rack rows/columns so any config maps onto a valid torus.
+  static TorusShape for_machine(const MachineConfig& config);
+
+  std::uint64_t volume() const;
+
+  /// Maps a node index to its torus coordinate (row-major unfolding).
+  TorusCoord coord_of(NodeIndex node) const;
+
+  /// Inverse of coord_of.
+  NodeIndex node_of(const TorusCoord& coord) const;
+
+  /// Hop distance with wraparound in every dimension.
+  int torus_distance(const TorusCoord& a, const TorusCoord& b) const;
+};
+
+}  // namespace failmine::topology

@@ -1,0 +1,71 @@
+#include "topology/partition.hpp"
+
+#include "util/error.hpp"
+
+namespace failmine::topology {
+
+Partition::Partition(int first_midplane, int midplane_count,
+                     const MachineConfig& config)
+    : first_(first_midplane), count_(midplane_count) {
+  const int total = config.racks() * config.midplanes_per_rack;
+  if (midplane_count < 1) throw failmine::DomainError("partition needs >= 1 midplane");
+  if (first_midplane < 0 || first_midplane + midplane_count > total)
+    throw failmine::DomainError("partition outside machine");
+}
+
+std::uint32_t Partition::node_count(const MachineConfig& config) const {
+  return static_cast<std::uint32_t>(count_) * config.nodes_per_midplane();
+}
+
+bool Partition::covers(const Location& loc, const MachineConfig& config) const {
+  if (loc.level() < Level::kMidplane) return false;
+  const int idx = global_midplane_index(loc, config);
+  return idx >= first_ && idx < first_ + count_;
+}
+
+std::vector<Location> Partition::midplanes(const MachineConfig& config) const {
+  std::vector<Location> result;
+  result.reserve(static_cast<std::size_t>(count_));
+  for (int i = first_; i < first_ + count_; ++i)
+    result.push_back(midplane_location(i, config));
+  return result;
+}
+
+std::string Partition::to_string() const {
+  return "MID[" + std::to_string(first_) + ".." +
+         std::to_string(first_ + count_ - 1) + "]";
+}
+
+int Partition::global_midplane_index(const Location& loc,
+                                     const MachineConfig& config) {
+  if (loc.level() < Level::kMidplane)
+    throw failmine::DomainError("location lacks a midplane component");
+  return loc.rack_index(config) * config.midplanes_per_rack + loc.midplane();
+}
+
+Location Partition::midplane_location(int global_index, const MachineConfig& config) {
+  const int total = config.racks() * config.midplanes_per_rack;
+  if (global_index < 0 || global_index >= total)
+    throw failmine::DomainError("global midplane index out of machine");
+  const int rack = global_index / config.midplanes_per_rack;
+  const int mid = global_index % config.midplanes_per_rack;
+  return Location::rack(rack / config.rack_columns, rack % config.rack_columns)
+      .with_midplane(mid);
+}
+
+int midplanes_for_nodes(std::uint32_t nodes, const MachineConfig& config) {
+  if (nodes == 0) throw failmine::DomainError("job must use >= 1 node");
+  if (nodes > config.total_nodes())
+    throw failmine::DomainError("job larger than machine");
+  const std::uint32_t per_mid = config.nodes_per_midplane();
+  std::uint32_t mids = (nodes + per_mid - 1) / per_mid;
+  // Round up to a power of two (BG/Q partition sizes double).
+  std::uint32_t p2 = 1;
+  while (p2 < mids) p2 *= 2;
+  const std::uint32_t total_mids =
+      static_cast<std::uint32_t>(config.racks() * config.midplanes_per_rack);
+  if (p2 > total_mids) p2 = total_mids;
+  return static_cast<int>(p2);
+}
+
+}  // namespace failmine::topology

@@ -1,0 +1,62 @@
+// failmine/topology/partition.hpp
+//
+// Blue Gene/Q job partitions.
+//
+// Cobalt allocates jobs onto contiguous partitions whose sizes are powers
+// of two from 512 nodes (one midplane) up to the full machine (49,152 on
+// Mira). A partition is described by its first midplane and its midplane
+// count; jobs smaller than one midplane still occupy a full midplane
+// (BG/Q partitions do not subdivide midplanes for scheduling purposes on
+// Mira's production queues). Mapping a job to the set of nodes it occupied
+// is what lets the joint analysis attribute a located RAS event to a job.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/location.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::topology {
+
+/// A contiguous allocation of whole midplanes.
+class Partition {
+ public:
+  /// [first_midplane, first_midplane + midplane_count) in global midplane
+  /// order (rack-major). Throws DomainError if out of machine range.
+  Partition(int first_midplane, int midplane_count, const MachineConfig& config);
+
+  int first_midplane() const { return first_; }
+  int midplane_count() const { return count_; }
+  std::uint32_t node_count(const MachineConfig& config) const;
+
+  /// True if the located event falls inside this partition.
+  bool covers(const Location& loc, const MachineConfig& config) const;
+
+  /// Midplane-level locations making up the partition.
+  std::vector<Location> midplanes(const MachineConfig& config) const;
+
+  /// "MID[first..last]" label for reports.
+  std::string to_string() const;
+
+  /// Global midplane index of a location (rack-major). Requires at least
+  /// midplane depth.
+  static int global_midplane_index(const Location& loc, const MachineConfig& config);
+
+  /// Midplane-level location from a global midplane index.
+  static Location midplane_location(int global_index, const MachineConfig& config);
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  int first_;
+  int count_;
+};
+
+/// Number of midplanes a job of `nodes` nodes occupies (rounded up to a
+/// power-of-two count of midplanes, per BG/Q partitioning).
+int midplanes_for_nodes(std::uint32_t nodes, const MachineConfig& config);
+
+}  // namespace failmine::topology

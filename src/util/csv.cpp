@@ -1,0 +1,109 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace failmine::util {
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) throw ParseError("unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string escape_csv_field(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string join_csv_line(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    line += escape_csv_field(fields[i]);
+  }
+  return line;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw IoError("cannot open for writing: " + path);
+  if (header.empty()) throw DomainError("CSV header must not be empty");
+  out_ << join_csv_line(header) << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (fields.size() != arity_)
+    throw DomainError("CSV row arity " + std::to_string(fields.size()) +
+                      " != header arity " + std::to_string(arity_));
+  out_ << join_csv_line(fields) << '\n';
+  ++rows_;
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+CsvReader::CsvReader(const std::string& path) : in_(path), path_(path) {
+  if (!in_) throw IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in_, line)) throw ParseError("empty CSV file: " + path);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  header_ = split_csv_line(line);
+}
+
+bool CsvReader::next(std::vector<std::string>& fields) {
+  std::string line;
+  if (!std::getline(in_, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  fields = split_csv_line(line);
+  if (fields.size() != header_.size())
+    throw ParseError("row " + std::to_string(rows_ + 2) + " of " + path_ +
+                     " has " + std::to_string(fields.size()) +
+                     " fields, expected " + std::to_string(header_.size()));
+  ++rows_;
+  return true;
+}
+
+}  // namespace failmine::util

@@ -1,0 +1,72 @@
+// failmine/util/csv.hpp
+//
+// Small CSV layer shared by the four log libraries.
+//
+// The simulated logs are plain comma-separated files with a header row.
+// Fields containing commas, quotes or newlines are quoted per RFC 4180.
+// The reader is line-oriented (log records never span lines once quoted
+// newlines are escaped by the writer, which the log libraries guarantee by
+// sanitizing free-text fields).
+
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace failmine::util {
+
+/// Splits one CSV line into fields, honouring RFC 4180 quoting.
+/// Throws ParseError on unterminated quotes.
+std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Quotes a field if (and only if) it needs quoting.
+std::string escape_csv_field(std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string join_csv_line(const std::vector<std::string>& fields);
+
+/// Streaming CSV writer with a mandatory header row.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Throws IoError.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one record; must have the same arity as the header.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; called automatically by the destructor.
+  void close();
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Streaming CSV reader that validates the header on open.
+class CsvReader {
+ public:
+  /// Opens `path` and reads the header row. Throws IoError / ParseError.
+  explicit CsvReader(const std::string& path);
+
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Reads the next record into `fields`. Returns false at end of file.
+  /// Throws ParseError if a row's arity differs from the header's.
+  bool next(std::vector<std::string>& fields);
+
+  std::size_t rows_read() const { return rows_; }
+
+ private:
+  std::ifstream in_;
+  std::vector<std::string> header_;
+  std::size_t rows_ = 0;
+  std::string path_;
+};
+
+}  // namespace failmine::util

@@ -1,0 +1,43 @@
+// failmine/util/error.hpp
+//
+// Exception hierarchy for the failmine toolkit.
+//
+// Every error thrown by the library derives from `failmine::Error`, so
+// callers can catch a single type at an API boundary. More specific types
+// distinguish parse failures (bad log lines, malformed location codes)
+// from domain violations (invalid arguments, empty samples).
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace failmine {
+
+/// Root of the failmine exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A textual record (log line, CSV field, timestamp, location code)
+/// could not be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// An argument violated a documented precondition (e.g. negative window,
+/// empty sample handed to a fitter).
+class DomainError : public Error {
+ public:
+  explicit DomainError(const std::string& what) : Error("domain error: " + what) {}
+};
+
+/// An I/O operation (opening or reading a log file) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+}  // namespace failmine

@@ -1,0 +1,270 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace failmine::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) throw DomainError("uniform_index requires n > 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw DomainError("uniform_int requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+bool Rng::bernoulli(double p) {
+  return uniform() < std::clamp(p, 0.0, 1.0);
+}
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0) throw DomainError("exponential rate must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::weibull(double shape, double scale) {
+  if (shape <= 0 || scale <= 0) throw DomainError("weibull parameters must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  if (xm <= 0 || alpha <= 0) throw DomainError("pareto parameters must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::gamma(double shape, double scale) {
+  if (shape <= 0 || scale <= 0) throw DomainError("gamma parameters must be positive");
+  if (shape < 1.0) {
+    // Johnk/boost: Gamma(k) = Gamma(k+1) * U^{1/k}.
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return scale * d * v;
+  }
+}
+
+double Rng::erlang(int k, double rate) {
+  if (k <= 0) throw DomainError("erlang shape must be a positive integer");
+  return gamma(static_cast<double>(k), 1.0 / rate);
+}
+
+double Rng::inverse_gaussian(double mu, double lambda) {
+  if (mu <= 0 || lambda <= 0)
+    throw DomainError("inverse gaussian parameters must be positive");
+  // Michael, Schucany & Haas (1976).
+  const double v = normal();
+  const double y = v * v;
+  const double x = mu + (mu * mu * y) / (2.0 * lambda) -
+                   (mu / (2.0 * lambda)) *
+                       std::sqrt(4.0 * mu * lambda * y + mu * mu * y * y);
+  const double u = uniform();
+  if (u <= mu / (mu + x)) return x;
+  return mu * mu / x;
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda < 0) throw DomainError("poisson mean must be non-negative");
+  if (lambda == 0) return 0;
+  if (lambda < 30.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // workload-arrival counts the simulator draws (lambda up to ~1e5).
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  if (n == 0) throw DomainError("zipf requires n > 0");
+  if (s <= 0) throw DomainError("zipf exponent must be positive");
+  // Rejection-inversion (Hormann & Derflinger) is overkill here; the
+  // populations we draw from are small (<= ~1000 users), so inversion over
+  // the exact CDF with a cached normalizer is simpler and exact.
+  // To stay O(1) amortized for repeated draws callers should prefer
+  // AliasTable; this method recomputes the normalizer per call only for
+  // small n.
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = uniform() * h;
+  double acc = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= acc) return i;
+  }
+  return n;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  if (weights.empty()) throw DomainError("categorical requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0) throw DomainError("categorical weight must be non-negative");
+    total += w;
+  }
+  if (total <= 0) throw DomainError("categorical weights must sum to > 0");
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  if (weights.empty()) throw DomainError("alias table requires weights");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0) throw DomainError("alias weight must be non-negative");
+    total += w;
+  }
+  if (total <= 0) throw DomainError("alias weights must sum to > 0");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  const std::size_t column = static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace failmine::util

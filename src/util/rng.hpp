@@ -1,0 +1,103 @@
+// failmine/util/rng.hpp
+//
+// Deterministic random-number generation for the simulator.
+//
+// The whole toolkit must be reproducible from a single 64-bit seed, so we
+// ship our own small engine (SplitMix64 seeding a xoshiro256**-style core)
+// instead of relying on the implementation-defined distributions in
+// <random>. All variate generators are implemented from first principles
+// (inversion, Box-Muller, Marsaglia-Tsang, Michael-Schucany-Haas) so the
+// same seed produces the same trace on every platform.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace failmine::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256** core seeded by SplitMix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Standard normal variate (Box-Muller with caching).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal variate: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Weibull variate with shape k and scale lambda (both > 0).
+  double weibull(double shape, double scale);
+
+  /// Classic Pareto variate with scale xm and shape alpha (both > 0).
+  double pareto(double xm, double alpha);
+
+  /// Gamma variate with shape k (> 0) and scale theta (> 0).
+  /// Marsaglia-Tsang squeeze method (with Johnk boost for k < 1).
+  double gamma(double shape, double scale);
+
+  /// Erlang variate: sum of `k` exponentials with the given rate.
+  double erlang(int k, double rate);
+
+  /// Inverse Gaussian (Wald) variate with mean mu and shape lambda.
+  double inverse_gaussian(double mu, double lambda);
+
+  /// Poisson variate with mean lambda (Knuth for small, PTRS-ish normal
+  /// approximation fallback for large lambda).
+  std::uint64_t poisson(double lambda);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (> 0).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Index drawn from the (unnormalized, non-negative) weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// O(1) sampling from a fixed discrete distribution (Vose alias method).
+/// Build once from weights, then draw indices with `sample`.
+class AliasTable {
+ public:
+  /// Weights must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace failmine::util

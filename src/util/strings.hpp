@@ -1,0 +1,38 @@
+// failmine/util/strings.hpp
+//
+// Small string helpers used across the log parsers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace failmine::util {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single-character delimiter (no quoting; empty fields kept).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+/// Parses a signed 64-bit integer; throws ParseError on junk.
+std::int64_t parse_int(std::string_view s);
+
+/// Parses an unsigned 64-bit integer; throws ParseError on junk or sign.
+std::uint64_t parse_uint(std::string_view s);
+
+/// Parses a double; throws ParseError on junk.
+double parse_double(std::string_view s);
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string format_double(double v, int precision = 6);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace failmine::util

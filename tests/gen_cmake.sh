@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates the test list from the test_*.cpp files present.
+cd "$(dirname "$0")"
+{
+  cat <<'HDR'
+function(failmine_test name)
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    failmine_core failmine_analysis failmine_sim failmine_distfit
+    failmine_raslog failmine_joblog failmine_tasklog failmine_iolog
+    failmine_topology failmine_stats failmine_util
+    GTest::gtest GTest::gtest_main)
+  target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR}/src)
+  gtest_discover_tests(${name} DISCOVERY_TIMEOUT 120)
+endfunction()
+
+HDR
+  for f in test_*.cpp; do
+    echo "failmine_test(${f%.cpp})"
+  done
+} > CMakeLists.txt

@@ -1,0 +1,130 @@
+// Unit tests for core/attribution with hand-built jobs and events.
+
+#include "core/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+joblog::JobRecord make_job(std::uint64_t id, util::UnixSeconds start,
+                           util::UnixSeconds end, int first_midplane,
+                           std::uint32_t nodes = 512) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = static_cast<std::uint32_t>(id % 7);
+  j.project_id = 1;
+  j.queue = "prod-short";
+  j.submit_time = start - 10;
+  j.start_time = start;
+  j.end_time = end;
+  j.nodes_used = nodes;
+  j.task_count = 1;
+  j.requested_walltime = end - start + 100;
+  j.partition_first_midplane = first_midplane;
+  return j;
+}
+
+raslog::RasEvent make_event(util::UnixSeconds t, const char* location,
+                            const char* msg = "00010001") {
+  raslog::RasEvent e;
+  e.timestamp = t;
+  e.message_id = msg;
+  const auto& def = raslog::message_by_id(msg);
+  e.severity = def.severity;
+  e.component = def.component;
+  e.category = def.category;
+  e.location = topology::Location::parse(location, kMira);
+  return e;
+}
+
+TEST(Attribution, MatchesEventInsideJobWindowAndPartition) {
+  // Job on midplanes 0..1 (R00), active [100, 200].
+  const joblog::JobLog jobs({make_job(1, 100, 200, 0, 1024)});
+  const AttributionIndex index(jobs, kMira);
+  EXPECT_EQ(index.attribute(make_event(150, "R00-M0-N00-J00")), 1u);
+  EXPECT_EQ(index.attribute(make_event(150, "R00-M1-N15-J31")), 1u);
+  // Outside the time window.
+  EXPECT_EQ(index.attribute(make_event(250, "R00-M0-N00-J00")), std::nullopt);
+  // Outside the partition.
+  EXPECT_EQ(index.attribute(make_event(150, "R01-M0-N00-J00")), std::nullopt);
+}
+
+TEST(Attribution, BoundaryTimesAreInclusive) {
+  const joblog::JobLog jobs({make_job(1, 100, 200, 0)});
+  const AttributionIndex index(jobs, kMira);
+  EXPECT_EQ(index.attribute(make_event(100, "R00-M0-N00-J00")), 1u);
+  EXPECT_EQ(index.attribute(make_event(200, "R00-M0-N00-J00")), 1u);
+  EXPECT_EQ(index.attribute(make_event(99, "R00-M0-N00-J00")), std::nullopt);
+}
+
+TEST(Attribution, RackLevelEventMatchesAnyJobOnTheRack) {
+  // Job on midplane 1 only (second midplane of rack 0).
+  const joblog::JobLog jobs({make_job(1, 100, 200, 1)});
+  const AttributionIndex index(jobs, kMira);
+  EXPECT_EQ(index.attribute(make_event(150, "R00", "00800001")), 1u);
+  EXPECT_EQ(index.attribute(make_event(150, "R01", "00800001")), std::nullopt);
+}
+
+TEST(Attribution, PicksSomeCoveringJobWhenAllocationsOverlap) {
+  // Two jobs share midplane 0 at the same time (the simulator avoids
+  // this but the index must cope with real-world log imperfections).
+  const joblog::JobLog jobs(
+      {make_job(1, 100, 300, 0), make_job(2, 150, 250, 0)});
+  const AttributionIndex index(jobs, kMira);
+  const auto hit = index.attribute(make_event(200, "R00-M0-N00-J00"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(*hit == 1u || *hit == 2u);
+}
+
+TEST(Attribution, AttributeAllCountsBySeverity) {
+  const joblog::JobLog jobs({make_job(1, 100, 200, 0)});
+  std::vector<raslog::RasEvent> events = {
+      make_event(110, "R00-M0-N00-J00", "00010001"),  // INFO
+      make_event(120, "R00-M0-N01-J00", "00010003"),  // WARN
+      make_event(130, "R00-M0-N02-J00", "00010005"),  // FATAL
+      make_event(140, "R20-M0-N00-J00", "00010005"),  // elsewhere
+  };
+  const AttributionIndex index(jobs, kMira);
+  const auto stats = index.attribute_all(raslog::RasLog(std::move(events)));
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].job_id, 1u);
+  EXPECT_EQ(stats[0].info_events, 1u);
+  EXPECT_EQ(stats[0].warn_events, 1u);
+  EXPECT_EQ(stats[0].fatal_events, 1u);
+  EXPECT_EQ(stats[0].total(), 3u);
+}
+
+TEST(Attribution, UserCorrelationInputAlignsRows) {
+  const joblog::JobLog jobs({make_job(1, 100, 200, 0),    // user 1
+                             make_job(2, 300, 400, 2),    // user 2
+                             make_job(8, 500, 600, 4)});  // user 1 again
+  std::vector<raslog::RasEvent> events = {
+      make_event(150, "R00-M0-N00-J00"),  // -> job 1 (user 1)
+      make_event(350, "R01-M0-N00-J00"),  // -> job 2 (user 2)
+      make_event(550, "R02-M0-N00-J00"),  // -> job 8 (user 1)
+  };
+  const auto input = user_event_correlation_input(
+      jobs, raslog::RasLog(std::move(events)), kMira);
+  ASSERT_EQ(input.user_ids.size(), 2u);
+  // Rows must be internally consistent.
+  double total_events = 0.0, total_jobs = 0.0;
+  for (std::size_t i = 0; i < input.user_ids.size(); ++i) {
+    total_events += input.events_per_user[i];
+    total_jobs += input.jobs_per_user[i];
+    if (input.user_ids[i] == 1u) {
+      EXPECT_DOUBLE_EQ(input.events_per_user[i], 2.0);
+      EXPECT_DOUBLE_EQ(input.jobs_per_user[i], 2.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(total_events, 3.0);
+  EXPECT_DOUBLE_EQ(total_jobs, 3.0);
+}
+
+}  // namespace
+}  // namespace failmine::core

@@ -1,0 +1,98 @@
+// Unit + property tests for stats/bootstrap.
+
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal(mean, sd);
+  return v;
+}
+
+TEST(Bootstrap, IntervalBracketsTruthForTheMean) {
+  const auto sample = normal_sample(400, 10.0, 2.0, 7);
+  util::Rng rng(1);
+  const auto r = bootstrap_mean(sample, 500, 0.95, rng);
+  EXPECT_LE(r.lower, r.point_estimate);
+  EXPECT_GE(r.upper, r.point_estimate);
+  EXPECT_LE(r.lower, 10.0);
+  EXPECT_GE(r.upper, 10.0);
+  // Theoretical SE = 2/sqrt(400) = 0.1.
+  EXPECT_NEAR(r.standard_error, 0.1, 0.03);
+}
+
+TEST(Bootstrap, PointEstimateMatchesDirectStatistic) {
+  const auto sample = normal_sample(100, 0.0, 1.0, 9);
+  util::Rng rng(2);
+  const auto r = bootstrap_median(sample, 200, 0.9, rng);
+  EXPECT_DOUBLE_EQ(r.point_estimate, median(sample));
+  EXPECT_EQ(r.replicates, 200u);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+  const auto sample = normal_sample(200, 5.0, 3.0, 11);
+  util::Rng r1(3), r2(3);
+  const auto narrow = bootstrap_mean(sample, 400, 0.80, r1);
+  const auto wide = bootstrap_mean(sample, 400, 0.99, r2);
+  EXPECT_LT(wide.lower, narrow.lower);
+  EXPECT_GT(wide.upper, narrow.upper);
+}
+
+TEST(Bootstrap, GiniWrapperWorksOnSkewedData) {
+  util::Rng data_rng(13);
+  std::vector<double> v(300);
+  for (auto& x : v) x = data_rng.pareto(1.0, 1.5);
+  util::Rng rng(4);
+  const auto r = bootstrap_gini(v, 300, 0.95, rng);
+  EXPECT_GT(r.point_estimate, 0.2);
+  EXPECT_LT(r.upper, 1.0);
+  EXPECT_GT(r.lower, 0.0);
+}
+
+TEST(Bootstrap, DeterministicGivenRngSeed) {
+  const auto sample = normal_sample(50, 1.0, 1.0, 17);
+  util::Rng r1(5), r2(5);
+  const auto a = bootstrap_mean(sample, 100, 0.9, r1);
+  const auto b = bootstrap_mean(sample, 100, 0.9, r2);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  util::Rng rng(6);
+  const std::vector<double> sample = {1.0, 2.0, 3.0};
+  EXPECT_THROW(bootstrap_mean({}, 100, 0.9, rng), failmine::DomainError);
+  EXPECT_THROW(bootstrap_mean(sample, 10, 0.9, rng), failmine::DomainError);
+  EXPECT_THROW(bootstrap_mean(sample, 100, 0.0, rng), failmine::DomainError);
+  EXPECT_THROW(bootstrap_mean(sample, 100, 1.0, rng), failmine::DomainError);
+}
+
+TEST(Bootstrap, CustomStatisticCallable) {
+  const std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8};
+  util::Rng rng(7);
+  const auto r = bootstrap_ci(
+      sample,
+      [](std::span<const double> s) {
+        double mx = s[0];
+        for (double v : s) mx = std::max(mx, v);
+        return mx;
+      },
+      100, 0.9, rng);
+  EXPECT_DOUBLE_EQ(r.point_estimate, 8.0);
+  EXPECT_LE(r.upper, 8.0);  // resample max can never exceed the sample max
+}
+
+}  // namespace
+}  // namespace failmine::stats

@@ -1,0 +1,149 @@
+// Unit tests for the checkpoint-interval advisor.
+
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+joblog::JobRecord make_job(std::uint64_t id, std::uint32_t nodes,
+                           std::int64_t runtime, bool system_killed) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = 1;
+  j.project_id = 1;
+  j.queue = "q";
+  j.submit_time = 0;
+  j.start_time = 0;
+  j.end_time = runtime;
+  j.nodes_used = nodes;
+  j.task_count = 1;
+  j.requested_walltime = runtime * 2;
+  if (system_killed) {
+    j.exit_class = joblog::ExitClass::kSystemHardware;
+    j.exit_code = 139;
+  }
+  return j;
+}
+
+TEST(EstimateHazard, KillsOverExposure) {
+  // 2 kills over (512 + 512 + 1024) * 1000 node-seconds.
+  const joblog::JobLog jobs({make_job(1, 512, 1000, true),
+                             make_job(2, 512, 1000, true),
+                             make_job(3, 1024, 1000, false)});
+  const auto h = estimate_hazard(jobs);
+  EXPECT_EQ(h.system_kills, 2u);
+  EXPECT_DOUBLE_EQ(h.node_seconds, 2048.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(h.per_node_second, 2.0 / 2048000.0);
+}
+
+TEST(EstimateHazard, ZeroKillsGivesZeroHazard) {
+  const joblog::JobLog jobs({make_job(1, 512, 1000, false)});
+  EXPECT_DOUBLE_EQ(estimate_hazard(jobs).per_node_second, 0.0);
+}
+
+TEST(EstimateHazard, EmptyLogRejected) {
+  EXPECT_THROW(estimate_hazard(joblog::JobLog()), failmine::DomainError);
+}
+
+TEST(YoungInterval, ClosedForm) {
+  EXPECT_DOUBLE_EQ(young_interval(100.0, 50000.0),
+                   std::sqrt(2.0 * 100.0 * 50000.0));
+  EXPECT_THROW(young_interval(0.0, 1.0), failmine::DomainError);
+  EXPECT_THROW(young_interval(1.0, -1.0), failmine::DomainError);
+}
+
+TEST(DalyInterval, ApproachesYoungForSmallDelta) {
+  // delta << M: Daly's correction is tiny.
+  const double young = young_interval(10.0, 1e7);
+  const double daly = daly_interval(10.0, 1e7);
+  EXPECT_NEAR(daly, young - 10.0, 0.01 * young);
+}
+
+TEST(DalyInterval, CapsAtMtbfWhenCheckpointTooExpensive) {
+  EXPECT_DOUBLE_EQ(daly_interval(5000.0, 1000.0), 1000.0);  // delta >= 2M
+}
+
+TEST(DalyInterval, MinimizesTheWasteModel) {
+  // The Daly optimum should (approximately) minimize waste_fraction.
+  const double delta = 300.0, mtbf = 3.0e5;
+  const double tau = daly_interval(delta, mtbf);
+  const double at_opt = waste_fraction(tau, delta, mtbf);
+  for (double factor : {0.4, 0.7, 1.5, 2.5}) {
+    EXPECT_LE(at_opt, waste_fraction(tau * factor, delta, mtbf) + 1e-4)
+        << "factor=" << factor;
+  }
+}
+
+TEST(WasteFraction, BehavesAtExtremes) {
+  // Very frequent checkpoints: overhead-dominated (-> ~1).
+  EXPECT_GT(waste_fraction(1.0, 100.0, 1e6), 0.9);
+  // Very rare checkpoints on a flaky machine: loss-dominated.
+  EXPECT_GT(waste_fraction(1e6, 100.0, 1e4), 0.9);
+  // Sane middle: small waste.
+  EXPECT_LT(waste_fraction(77000.0, 300.0, 1e7), 0.01);
+  EXPECT_THROW(waste_fraction(0.0, 1.0, 1.0), failmine::DomainError);
+}
+
+TEST(RecommendCheckpoints, LargerJobsCheckpointMoreOften) {
+  // Build a log with enough exposure and kills to estimate a hazard.
+  std::vector<joblog::JobRecord> records;
+  std::uint64_t id = 1;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(make_job(id++, 512, 36000, i == 0));
+    records.push_back(make_job(id++, 8192, 36000, i < 3));
+  }
+  const joblog::JobLog jobs(std::move(records));
+  // 48 h reference run: long enough relative to the job MTBF that bare
+  // running loses more than the checkpoint overhead costs (for a short
+  // run relative to MTBF, running bare is correctly the better choice).
+  const auto advice = recommend_checkpoints(jobs, 600.0, 48.0 * 3600.0);
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_EQ(advice[0].nodes, 512u);
+  EXPECT_EQ(advice[1].nodes, 8192u);
+  EXPECT_GT(advice[0].job_mtbf_hours, advice[1].job_mtbf_hours);
+  EXPECT_GT(advice[0].optimal_interval_hours,
+            advice[1].optimal_interval_hours);
+  EXPECT_LT(advice[0].waste_at_optimum, advice[1].waste_at_optimum);
+  // Checkpointing at the optimum beats running 6 h bare for the big jobs.
+  EXPECT_LT(advice[1].waste_at_optimum, advice[1].waste_without);
+}
+
+TEST(RecommendCheckpoints, NoKillsMeansNoCheckpointsNeeded) {
+  const joblog::JobLog jobs({make_job(1, 512, 1000, false)});
+  const auto advice = recommend_checkpoints(jobs);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_TRUE(std::isinf(advice[0].job_mtbf_hours));
+  EXPECT_DOUBLE_EQ(advice[0].waste_at_optimum, 0.0);
+}
+
+TEST(RecommendCheckpoints, SimulatedTraceGivesPlausibleIntervals) {
+  sim::SimConfig config = sim::SimConfig::test_scale();
+  config.scale = 0.05;
+  const auto trace = sim::simulate(config);
+  const auto advice = recommend_checkpoints(trace.job_log);
+  ASSERT_GE(advice.size(), 5u);
+  for (const auto& a : advice) {
+    if (std::isinf(a.job_mtbf_hours)) continue;
+    EXPECT_GT(a.optimal_interval_hours, 0.1);   // not absurdly frequent
+    EXPECT_LT(a.optimal_interval_hours, 2000.0);
+    EXPECT_GE(a.waste_at_optimum, 0.0);
+    EXPECT_LT(a.waste_at_optimum, 0.5);
+  }
+}
+
+TEST(RecommendCheckpoints, ValidatesInputs) {
+  const joblog::JobLog jobs({make_job(1, 512, 1000, true)});
+  EXPECT_THROW(recommend_checkpoints(jobs, 0.0), failmine::DomainError);
+  EXPECT_THROW(recommend_checkpoints(jobs, 600.0, 0.0),
+               failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::core

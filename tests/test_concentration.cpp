@@ -1,0 +1,76 @@
+// Unit tests for stats/concentration (Lorenz, Gini, top-k share).
+
+#include "stats/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace failmine::stats {
+namespace {
+
+TEST(Gini, PerfectEqualityIsZero) {
+  EXPECT_NEAR(gini(std::vector<double>{5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(Gini, ExtremeConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  EXPECT_GT(gini(v), 0.95);
+}
+
+TEST(Gini, KnownSmallExample) {
+  // {1, 3}: G = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(gini(std::vector<double>{1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  const std::vector<double> v = {1, 2, 3, 10};
+  std::vector<double> scaled;
+  for (double x : v) scaled.push_back(x * 7.5);
+  EXPECT_NEAR(gini(v), gini(scaled), 1e-12);
+}
+
+TEST(Gini, RejectsInvalidInput) {
+  EXPECT_THROW(gini({}), failmine::DomainError);
+  EXPECT_THROW(gini(std::vector<double>{-1.0, 2.0}), failmine::DomainError);
+  EXPECT_THROW(gini(std::vector<double>{0.0, 0.0}), failmine::DomainError);
+}
+
+TEST(Lorenz, CurveEndsAtOneOne) {
+  const auto curve = lorenz_curve(std::vector<double>{1, 2, 3});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve.front().population_share, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().value_share, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().population_share, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().value_share, 1.0);
+}
+
+TEST(Lorenz, CurveLiesBelowDiagonal) {
+  const auto curve = lorenz_curve(std::vector<double>{1, 1, 1, 10});
+  for (const auto& p : curve) {
+    EXPECT_LE(p.value_share, p.population_share + 1e-12);
+  }
+}
+
+TEST(TopKShare, HandComputed) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(top_k_share(v, 1), 0.4);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 2), 0.7);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 10), 1.0);  // k clamped to size
+  EXPECT_THROW(top_k_share(v, 0), failmine::DomainError);
+}
+
+TEST(ContributorsForShare, HandComputed) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_EQ(contributors_for_share(v, 0.4), 1u);
+  EXPECT_EQ(contributors_for_share(v, 0.5), 2u);
+  EXPECT_EQ(contributors_for_share(v, 1.0), 4u);
+  EXPECT_THROW(contributors_for_share(v, 0.0), failmine::DomainError);
+  EXPECT_THROW(contributors_for_share(v, 1.1), failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::stats

@@ -1,0 +1,116 @@
+// Unit + integration tests for analysis/cooccurrence.
+
+#include "analysis/cooccurrence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+raslog::RasEvent warn_event(util::UnixSeconds t, const char* msg,
+                            const char* loc) {
+  raslog::RasEvent e;
+  e.timestamp = t;
+  e.message_id = msg;
+  const auto& def = raslog::message_by_id(msg);
+  e.severity = def.severity;
+  e.component = def.component;
+  e.category = def.category;
+  e.location = topology::Location::parse(loc, kMira);
+  return e;
+}
+
+TEST(Cooccurrence, CountsFollowersInWindowOnSameHardware) {
+  std::vector<raslog::RasEvent> events = {
+      warn_event(100, "00010003", "R00-M0-N00-J00"),  // MEMORY WARN trigger
+      warn_event(200, "00040003", "R00-M0-N01-J00"),  // NETWORK WARN follows
+      warn_event(250, "00040003", "R10-M0-N00-J00"),  // NETWORK, wrong rack
+      warn_event(90000, "00040003", "R00-M0-N00-J00"),  // outside window
+  };
+  const raslog::RasLog log(std::move(events));
+  const auto r = category_cooccurrence(log);
+  const auto mem = static_cast<std::size_t>(raslog::Category::kMemory);
+  const auto net = static_cast<std::size_t>(raslog::Category::kNetwork);
+  EXPECT_EQ(r.follows[mem][net], 1u);
+  EXPECT_EQ(r.follows[net][mem], 0u);
+  EXPECT_EQ(r.totals[mem], 1u);
+  EXPECT_EQ(r.totals[net], 3u);
+  EXPECT_EQ(r.qualifying_events, 4u);
+}
+
+TEST(Cooccurrence, SeverityThresholdFiltersInfo) {
+  std::vector<raslog::RasEvent> events = {
+      warn_event(100, "00010001", "R00-M0-N00-J00"),  // INFO
+      warn_event(200, "00010003", "R00-M0-N00-J00"),  // WARN
+  };
+  const raslog::RasLog log(std::move(events));
+  const auto r = category_cooccurrence(log);
+  EXPECT_EQ(r.qualifying_events, 1u);
+  CooccurrenceConfig all;
+  all.min_severity = raslog::Severity::kInfo;
+  EXPECT_EQ(category_cooccurrence(log, all).qualifying_events, 2u);
+}
+
+TEST(Cooccurrence, LiftDetectsInjectedPropagation) {
+  // Background: isolated WARNs spread over a long span. Signal: every
+  // MEMORY WARN is followed 60 s later by a NETWORK WARN on its board.
+  std::vector<raslog::RasEvent> events;
+  util::UnixSeconds t = 0;
+  for (int i = 0; i < 60; ++i) {
+    t += 86400;  // one pair per day
+    events.push_back(warn_event(t, "00010003", "R00-M0-N03-J00"));
+    events.push_back(warn_event(t + 60, "00040003", "R00-M0-N03-J01"));
+  }
+  const raslog::RasLog log(std::move(events));
+  const auto r = category_cooccurrence(log);
+  const auto mem = static_cast<std::size_t>(raslog::Category::kMemory);
+  const auto net = static_cast<std::size_t>(raslog::Category::kNetwork);
+  EXPECT_EQ(r.follows[mem][net], 60u);
+  EXPECT_GT(r.lift[mem][net], 20.0);  // massive lift over base rate
+  // The reverse direction has no signal beyond the window overlap.
+  EXPECT_LT(r.lift[net][mem], r.lift[mem][net] / 10.0);
+
+  const auto channels = top_channels(r, 2.0, 5);
+  ASSERT_FALSE(channels.empty());
+  EXPECT_EQ(channels[0].trigger, raslog::Category::kMemory);
+  EXPECT_EQ(channels[0].follower, raslog::Category::kNetwork);
+}
+
+TEST(Cooccurrence, TinyLogsDegradeGracefully) {
+  const auto r = category_cooccurrence(raslog::RasLog());
+  EXPECT_EQ(r.qualifying_events, 0u);
+  EXPECT_TRUE(top_channels(r).empty());
+}
+
+TEST(Cooccurrence, ValidatesWindow) {
+  CooccurrenceConfig bad;
+  bad.window_seconds = 0;
+  EXPECT_THROW(category_cooccurrence(raslog::RasLog(), bad),
+               failmine::DomainError);
+}
+
+TEST(Cooccurrence, SimulatedEpisodesCreateCrossCategoryLift) {
+  // Episode bursts mix fatal categories on one board within minutes, so
+  // some cross-category channel must show lift well above 1.
+  sim::SimConfig config = sim::SimConfig::test_scale();
+  config.scale = 0.05;
+  const auto trace = sim::simulate(config);
+  CooccurrenceConfig cc;
+  cc.min_severity = raslog::Severity::kFatal;
+  cc.window_seconds = 3600;
+  const auto r = category_cooccurrence(trace.ras_log, cc);
+  double max_lift = 0.0;
+  for (std::size_t a = 0; a < kCategoryCount; ++a)
+    for (std::size_t b = 0; b < kCategoryCount; ++b)
+      max_lift = std::max(max_lift, r.lift[a][b]);
+  EXPECT_GT(max_lift, 5.0);
+}
+
+}  // namespace
+}  // namespace failmine::analysis

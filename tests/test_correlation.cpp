@@ -1,0 +1,111 @@
+// Unit tests for stats/correlation.
+
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::stats {
+namespace {
+
+TEST(Pearson, PerfectLinearRelations) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, InvariantToAffineTransforms) {
+  util::Rng rng(5);
+  std::vector<double> x(50), y(50), x2(50), y2(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x[i] = rng.normal();
+    y[i] = 0.6 * x[i] + rng.normal();
+    x2[i] = 3.0 * x[i] - 7.0;
+    y2[i] = -2.0 * y[i] + 11.0;
+  }
+  EXPECT_NEAR(pearson(x, y), -pearson(x2, y2), 1e-12);
+}
+
+TEST(Pearson, RejectsDegenerateInputs) {
+  EXPECT_THROW(pearson(std::vector<double>{1.0},
+                       std::vector<double>{2.0}),
+               failmine::DomainError);
+  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1, 2, 3}),
+               failmine::DomainError);
+  EXPECT_THROW(pearson(std::vector<double>{1, 1}, std::vector<double>{1, 2}),
+               failmine::DomainError);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> y = {1, 8, 27, 64, 125, 216};  // x^3
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(KendallTau, KnownSmallExample) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 3, 2};
+  // Pairs: (1,2) concordant, (1,3) concordant, (2,3) discordant -> 1/3.
+  EXPECT_NEAR(kendall_tau(x, y), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTau, PerfectAgreementAndReversal) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {4, 3, 2, 1};
+  EXPECT_NEAR(kendall_tau(x, x), 1.0, 1e-12);
+  EXPECT_NEAR(kendall_tau(x, y), -1.0, 1e-12);
+}
+
+TEST(KendallTau, AgreesInSignWithSpearman) {
+  util::Rng rng(9);
+  std::vector<double> x(40), y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x[i] = rng.normal();
+    y[i] = x[i] + 0.5 * rng.normal();
+  }
+  EXPECT_GT(kendall_tau(x, y), 0.3);
+  EXPECT_GT(spearman(x, y), 0.3);
+}
+
+TEST(LinearRegression, RecoversExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};  // y = 1 + 2x
+  const LinearFit fit = linear_regression(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearRegression, NoisyDataHasPartialR2) {
+  util::Rng rng(13);
+  std::vector<double> x(200), y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 2.0 * x[i] + 40.0 * rng.normal();
+  }
+  const LinearFit fit = linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.7);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(LinearRegression, ConstantXRejected) {
+  EXPECT_THROW(
+      linear_regression(std::vector<double>{1, 1}, std::vector<double>{1, 2}),
+      failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::stats

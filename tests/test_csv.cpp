@@ -1,0 +1,123 @@
+// Unit tests for util/csv: RFC 4180 quoting, round trips, failure modes.
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace failmine::util {
+namespace {
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("failmine_csv_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST(CsvSplit, PlainFields) {
+  EXPECT_EQ(split_csv_line("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvSplit, EmptyFieldsPreserved) {
+  EXPECT_EQ(split_csv_line(",,"), (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(split_csv_line(""), (std::vector<std::string>{""}));
+}
+
+TEST(CsvSplit, QuotedCommaAndQuote) {
+  EXPECT_EQ(split_csv_line(R"("a,b","say ""hi""")"),
+            (std::vector<std::string>{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvSplit, UnterminatedQuoteThrows) {
+  EXPECT_THROW(split_csv_line("\"abc"), ParseError);
+}
+
+TEST(CsvEscape, OnlyQuotesWhenNeeded) {
+  EXPECT_EQ(escape_csv_field("plain"), "plain");
+  EXPECT_EQ(escape_csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape_csv_field("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvJoin, RoundTripsThroughSplit) {
+  const std::vector<std::string> fields = {"x", "a,b", "\"quoted\"", "", "multi\nline"};
+  EXPECT_EQ(split_csv_line(join_csv_line(fields)), fields);
+}
+
+TEST_F(CsvFileTest, WriteThenReadRoundTrips) {
+  {
+    CsvWriter writer(path_, {"id", "name"});
+    writer.write_row({"1", "alpha,beta"});
+    writer.write_row({"2", "with \"quotes\""});
+    writer.close();
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  CsvReader reader(path_);
+  EXPECT_EQ(reader.header(), (std::vector<std::string>{"id", "name"}));
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "alpha,beta"}));
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"2", "with \"quotes\""}));
+  EXPECT_FALSE(reader.next(row));
+  EXPECT_EQ(reader.rows_read(), 2u);
+}
+
+TEST_F(CsvFileTest, WriterRejectsWrongArity) {
+  CsvWriter writer(path_, {"a", "b"});
+  EXPECT_THROW(writer.write_row({"only-one"}), DomainError);
+}
+
+TEST_F(CsvFileTest, ReaderRejectsWrongArity) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n1,2\n1,2,3\n";
+  }
+  CsvReader reader(path_);
+  std::vector<std::string> row;
+  EXPECT_TRUE(reader.next(row));
+  EXPECT_THROW(reader.next(row), ParseError);
+}
+
+TEST_F(CsvFileTest, ReaderHandlesCrLf) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\r\n1,2\r\n";
+  }
+  CsvReader reader(path_);
+  EXPECT_EQ(reader.header(), (std::vector<std::string>{"a", "b"}));
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(CsvFileTest, EmptyFileThrows) {
+  { std::ofstream out(path_); }
+  EXPECT_THROW(CsvReader reader(path_), ParseError);
+}
+
+TEST(CsvReader, MissingFileThrows) {
+  EXPECT_THROW(CsvReader("/nonexistent/file.csv"), IoError);
+}
+
+TEST(CsvWriter, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv", {"a"}), IoError);
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter("/tmp/failmine_header.csv", {}), DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::util

@@ -1,0 +1,92 @@
+// End-to-end dataset round trip: simulate -> write four CSV logs ->
+// reload -> identical analysis results.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/joint_analyzer.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace failmine::sim {
+namespace {
+
+class DatasetRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("failmine_dataset_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(DatasetRoundTrip, AllFourLogsSurviveCsv) {
+  SimConfig config = SimConfig::test_scale();
+  config.scale = 0.002;  // keep the file I/O fast
+  const SimResult original = simulate(config);
+  write_dataset(original, dir_);
+
+  for (const char* name : {"ras.csv", "jobs.csv", "tasks.csv", "io.csv"})
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir_) / name))
+        << name;
+
+  const SimResult loaded = load_dataset(dir_, config.machine);
+  ASSERT_EQ(loaded.job_log.size(), original.job_log.size());
+  ASSERT_EQ(loaded.task_log.size(), original.task_log.size());
+  ASSERT_EQ(loaded.ras_log.size(), original.ras_log.size());
+  ASSERT_EQ(loaded.io_log.size(), original.io_log.size());
+
+  for (std::size_t i = 0; i < loaded.job_log.size(); ++i)
+    EXPECT_EQ(loaded.job_log.jobs()[i], original.job_log.jobs()[i]);
+  for (std::size_t i = 0; i < loaded.ras_log.size(); i += 17)
+    EXPECT_EQ(loaded.ras_log.events()[i], original.ras_log.events()[i]);
+  for (std::size_t i = 0; i < loaded.task_log.size(); i += 7)
+    EXPECT_EQ(loaded.task_log.tasks()[i], original.task_log.tasks()[i]);
+  for (std::size_t i = 0; i < loaded.io_log.size(); i += 5) {
+    const auto& a = loaded.io_log.records()[i];
+    const auto& b = original.io_log.records()[i];
+    EXPECT_EQ(a.job_id, b.job_id);
+    EXPECT_EQ(a.bytes_read, b.bytes_read);
+    EXPECT_EQ(a.bytes_written, b.bytes_written);
+    EXPECT_EQ(a.files_accessed, b.files_accessed);
+    EXPECT_EQ(a.ranks_doing_io, b.ranks_doing_io);
+    // The CSV schema stores I/O times at millisecond precision.
+    EXPECT_NEAR(a.read_time_seconds, b.read_time_seconds, 5e-4);
+    EXPECT_NEAR(a.write_time_seconds, b.write_time_seconds, 5e-4);
+  }
+}
+
+TEST_F(DatasetRoundTrip, AnalysesAgreeOnLoadedData) {
+  SimConfig config = SimConfig::test_scale();
+  config.scale = 0.002;
+  const SimResult original = simulate(config);
+  write_dataset(original, dir_);
+  const SimResult loaded = load_dataset(dir_, config.machine);
+
+  const core::JointAnalyzer a(original.job_log, original.task_log,
+                              original.ras_log, original.io_log,
+                              config.machine);
+  const core::JointAnalyzer b(loaded.job_log, loaded.task_log, loaded.ras_log,
+                              loaded.io_log, config.machine);
+  const auto ba = a.exit_breakdown();
+  const auto bb = b.exit_breakdown();
+  EXPECT_EQ(ba.total_failures, bb.total_failures);
+  EXPECT_DOUBLE_EQ(ba.user_caused_share, bb.user_caused_share);
+
+  const auto fa = a.interruption_analysis(core::FilterConfig{});
+  const auto fb = b.interruption_analysis(core::FilterConfig{});
+  EXPECT_EQ(fa.mtti.interruptions, fb.mtti.interruptions);
+  EXPECT_DOUBLE_EQ(fa.mtti.mtti_days, fb.mtti.mtti_days);
+}
+
+TEST_F(DatasetRoundTrip, MissingFileFailsCleanly) {
+  EXPECT_THROW(load_dataset(dir_, topology::MachineConfig::mira()),
+               failmine::IoError);
+}
+
+}  // namespace
+}  // namespace failmine::sim

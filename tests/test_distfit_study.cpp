@@ -1,0 +1,96 @@
+// Tests for core/distfit_study: the per-exit-class fitting study must
+// recover the simulator's generative families (takeaway T-C).
+
+#include "core/distfit_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "distfit/fit.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::core {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new sim::SimResult(sim::simulate(sim::SimConfig::test_scale()));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static sim::SimResult* result_;
+};
+
+sim::SimResult* StudyTest::result_ = nullptr;
+
+TEST_F(StudyTest, RuntimeSampleExtractsOnlyTheClass) {
+  const auto sample =
+      runtime_sample(result_->job_log, joblog::ExitClass::kUserAppError);
+  std::size_t expected = 0;
+  for (const auto& j : result_->job_log.jobs())
+    if (j.exit_class == joblog::ExitClass::kUserAppError) ++expected;
+  EXPECT_EQ(sample.size(), expected);
+  for (double v : sample) EXPECT_GT(v, 0.0);
+}
+
+TEST_F(StudyTest, StudyCoversThePopulatedFailureClasses) {
+  const auto rows = fit_by_exit_class(result_->job_log, 50);
+  ASSERT_GE(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(joblog::is_failure(row.exit_class));
+    EXPECT_NE(row.exit_class, joblog::ExitClass::kWalltimeLimit);
+    EXPECT_GE(row.sample_size, 50u);
+    EXPECT_FALSE(row.fits.empty());
+    EXPECT_LT(row.best_by_ks, row.fits.size());
+  }
+}
+
+TEST_F(StudyTest, GenerativeFamiliesAreRecovered) {
+  const auto rows = fit_by_exit_class(result_->job_log, 50);
+  for (const auto& row : rows) {
+    const std::string best = best_family_name(row);
+    switch (row.exit_class) {
+      case joblog::ExitClass::kUserAppError:
+        EXPECT_TRUE(best == "weibull" || best == "gamma") << best;
+        break;
+      case joblog::ExitClass::kUserKill:
+        EXPECT_EQ(best, "pareto");
+        break;
+      case joblog::ExitClass::kUserConfigError:
+        EXPECT_TRUE(best == "erlang" || best == "gamma" ||
+                    best == "exponential")
+            << best;
+        break;
+      default:
+        break;  // small-system classes: no claim at this sample size
+    }
+  }
+}
+
+TEST_F(StudyTest, WalltimeInclusionIsOptIn) {
+  const auto without = fit_by_exit_class(result_->job_log, 50, false);
+  for (const auto& row : without)
+    EXPECT_NE(row.exit_class, joblog::ExitClass::kWalltimeLimit);
+}
+
+TEST(FitSampleUnit, RanksByAllCriteria) {
+  util::Rng rng(5);
+  const auto sample = distfit::Weibull(0.8, 100.0).sample_many(rng, 3000);
+  const ClassFitRow row = fit_sample(sample);
+  EXPECT_EQ(row.sample_size, 3000u);
+  EXPECT_LT(row.best_by_ks, row.fits.size());
+  EXPECT_LT(row.best_by_aic, row.fits.size());
+  EXPECT_LT(row.best_by_bic, row.fits.size());
+  EXPECT_EQ(best_family_name(row), "weibull");
+}
+
+TEST(FitSampleUnit, TinySampleRejected) {
+  EXPECT_THROW(fit_sample({1.0}), failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::core

@@ -1,0 +1,196 @@
+// Property tests over every distribution family: CDF monotonicity and
+// limits, pdf/cdf consistency (numeric differentiation), quantile-CDF
+// inversion, sampling moments, and per-family closed-form spot checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "distfit/erlang.hpp"
+#include "distfit/exponential.hpp"
+#include "distfit/gamma_dist.hpp"
+#include "distfit/inverse_gaussian.hpp"
+#include "distfit/loglogistic.hpp"
+#include "distfit/lognormal.hpp"
+#include "distfit/normal_dist.hpp"
+#include "distfit/pareto.hpp"
+#include "distfit/rayleigh.hpp"
+#include "distfit/weibull.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::distfit {
+namespace {
+
+std::unique_ptr<Distribution> make_distribution(const std::string& name) {
+  if (name == "exponential") return std::make_unique<Exponential>(0.5);
+  if (name == "weibull") return std::make_unique<Weibull>(1.6, 3.0);
+  if (name == "pareto") return std::make_unique<Pareto>(1.5, 2.5);
+  if (name == "lognormal") return std::make_unique<LogNormal>(0.8, 0.6);
+  if (name == "gamma") return std::make_unique<GammaDist>(2.5, 1.4);
+  if (name == "erlang") return std::make_unique<Erlang>(3, 0.7);
+  if (name == "inverse_gaussian")
+    return std::make_unique<InverseGaussian>(2.0, 5.0);
+  if (name == "normal") return std::make_unique<NormalDist>(1.0, 2.0);
+  if (name == "rayleigh") return std::make_unique<Rayleigh>(1.8);
+  if (name == "loglogistic") return std::make_unique<LogLogistic>(2.0, 3.5);
+  throw failmine::DomainError("unknown test family " + name);
+}
+
+class DistributionProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { dist_ = make_distribution(GetParam()); }
+  std::unique_ptr<Distribution> dist_;
+};
+
+TEST_P(DistributionProperty, NameMatchesParameter) {
+  EXPECT_EQ(dist_->name(), GetParam());
+}
+
+TEST_P(DistributionProperty, CdfIsMonotoneWithCorrectLimits) {
+  const double lo = dist_->support_lower();
+  double prev = 0.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double x = lo + static_cast<double>(i) * 0.25;
+    const double f = dist_->cdf(x);
+    EXPECT_GE(f, prev - 1e-12) << "x=" << x;
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_NEAR(dist_->cdf(lo + 1e7), 1.0, 1e-6);
+}
+
+TEST_P(DistributionProperty, PdfIsDerivativeOfCdf) {
+  const double lo = dist_->support_lower();
+  for (double x : {lo + 0.5, lo + 1.0, lo + 2.5, lo + 6.0}) {
+    const double h = 1e-5 * (1.0 + std::fabs(x));
+    const double numeric = (dist_->cdf(x + h) - dist_->cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(dist_->pdf(x), numeric, 1e-4 * (1.0 + dist_->pdf(x)))
+        << "x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, QuantileInvertsCdf) {
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = dist_->quantile(p);
+    EXPECT_NEAR(dist_->cdf(x), p, 1e-6) << "p=" << p;
+  }
+  EXPECT_THROW(dist_->quantile(0.0), failmine::DomainError);
+  EXPECT_THROW(dist_->quantile(1.0), failmine::DomainError);
+}
+
+TEST_P(DistributionProperty, SampleMeanMatchesAnalyticMean) {
+  util::Rng rng(12345);
+  const std::size_t n = 40000;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += dist_->sample(rng);
+  const double analytic = dist_->mean();
+  ASSERT_TRUE(std::isfinite(analytic));
+  EXPECT_NEAR(s / static_cast<double>(n), analytic,
+              0.05 * std::fabs(analytic) + 0.02);
+}
+
+TEST_P(DistributionProperty, SamplesRespectSupport) {
+  util::Rng rng(777);
+  const double lo = dist_->support_lower();
+  for (int i = 0; i < 2000; ++i) EXPECT_GE(dist_->sample(rng), lo - 1e-9);
+}
+
+TEST_P(DistributionProperty, LogLikelihoodIsFiniteOnOwnSample) {
+  util::Rng rng(31);
+  const auto sample = dist_->sample_many(rng, 500);
+  EXPECT_TRUE(std::isfinite(dist_->log_likelihood(sample)));
+}
+
+TEST_P(DistributionProperty, CloneIsIndependentAndEquivalent) {
+  const auto copy = dist_->clone();
+  EXPECT_EQ(copy->name(), dist_->name());
+  for (double p : {0.2, 0.5, 0.8})
+    EXPECT_DOUBLE_EQ(copy->quantile(p), dist_->quantile(p));
+}
+
+TEST_P(DistributionProperty, ParamsAreNamedAndCounted) {
+  const auto params = dist_->params();
+  EXPECT_EQ(params.size(), dist_->param_count());
+  for (const auto& p : params) EXPECT_FALSE(p.name.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DistributionProperty,
+    ::testing::Values("exponential", "weibull", "pareto", "lognormal", "gamma",
+                      "erlang", "inverse_gaussian", "normal", "rayleigh",
+                      "loglogistic"),
+    [](const auto& info) { return info.param; });
+
+// ---- Closed-form spot checks ------------------------------------------
+
+TEST(Exponential, KnownValues) {
+  const Exponential d(2.0);
+  EXPECT_DOUBLE_EQ(d.pdf(0.0), 2.0);
+  EXPECT_NEAR(d.cdf(std::log(2.0) / 2.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.25);
+  EXPECT_THROW(Exponential(0.0), failmine::DomainError);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, 2.0);
+  const Exponential e(0.5);
+  for (double x : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(w.pdf(x), e.pdf(x), 1e-12);
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+  }
+}
+
+TEST(Pareto, DensityZeroBelowScale) {
+  const Pareto p(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(p.pdf(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 3.0);  // alpha*xm/(alpha-1)
+}
+
+TEST(Pareto, InfiniteMomentsForSmallAlpha) {
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 0.9).mean()));
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 1.5).variance()));
+}
+
+TEST(Erlang, MatchesGammaWithIntegerShape) {
+  const Erlang e(3, 0.5);
+  const GammaDist g(3.0, 2.0);
+  for (double x : {0.5, 2.0, 8.0}) {
+    EXPECT_NEAR(e.pdf(x), g.pdf(x), 1e-10);
+    EXPECT_NEAR(e.cdf(x), g.cdf(x), 1e-10);
+  }
+  EXPECT_THROW(Erlang(0, 1.0), failmine::DomainError);
+}
+
+TEST(Rayleigh, IsWeibullShapeTwo) {
+  const Rayleigh r(2.0);
+  const Weibull w(2.0, 2.0 * std::numbers::sqrt2);
+  for (double x : {0.5, 1.5, 4.0}) {
+    EXPECT_NEAR(r.cdf(x), w.cdf(x), 1e-12);
+  }
+}
+
+TEST(InverseGaussian, VarianceFormula) {
+  const InverseGaussian d(2.0, 8.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.0);  // mu^3/lambda
+}
+
+TEST(NormalDist, SymmetryAroundMean) {
+  const NormalDist d(3.0, 1.5);
+  EXPECT_NEAR(d.cdf(3.0), 0.5, 1e-12);
+  EXPECT_NEAR(d.pdf(3.0 + 1.0), d.pdf(3.0 - 1.0), 1e-12);
+}
+
+TEST(LogNormal, MedianIsExpMu) {
+  const LogNormal d(1.2, 0.7);
+  EXPECT_NEAR(d.quantile(0.5), std::exp(1.2), 1e-9);
+}
+
+}  // namespace
+}  // namespace failmine::distfit

@@ -1,0 +1,63 @@
+// Unit tests for stats/ecdf.
+
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace failmine::stats {
+namespace {
+
+TEST(Ecdf, StepValues) {
+  const Ecdf f(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(Ecdf, EmptySampleThrows) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), failmine::DomainError);
+}
+
+TEST(Ecdf, MonotoneNonDecreasing) {
+  const Ecdf f(std::vector<double>{5, 1, 3, 3, 9, 2});
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.25) {
+    const double y = f(x);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const Ecdf f(std::vector<double>{2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(f(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 1.0);
+}
+
+TEST(Ecdf, QuantileIsLeftInverse) {
+  const Ecdf f(std::vector<double>{10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(f.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 10.0);
+  EXPECT_THROW(f.quantile(-0.1), failmine::DomainError);
+}
+
+TEST(Ecdf, CurveCollapsesDuplicatesAndEndsAtOne) {
+  const Ecdf f(std::vector<double>{1, 1, 2, 3, 3, 3});
+  const auto curve = f.curve();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].second, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(curve[2].first, 3.0);
+  EXPECT_DOUBLE_EQ(curve[2].second, 1.0);
+}
+
+}  // namespace
+}  // namespace failmine::stats

@@ -1,0 +1,207 @@
+// Unit + property tests for the similarity-based event filter — the
+// paper's core instrument (takeaway T-E).
+
+#include "core/event_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "raslog/message_catalog.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+raslog::RasEvent make_fatal(std::uint64_t id, util::UnixSeconds t,
+                            const char* location,
+                            const char* msg = "00010005") {
+  raslog::RasEvent e;
+  e.record_id = id;
+  e.timestamp = t;
+  e.message_id = msg;
+  const auto& def = raslog::message_by_id(msg);
+  e.severity = def.severity;
+  e.component = def.component;
+  e.category = def.category;
+  e.location = topology::Location::parse(location, kMira);
+  return e;
+}
+
+raslog::RasLog burst_log() {
+  // One burst of 5 fatals on the same board within 2 minutes, then a
+  // separate fatal a day later on another rack.
+  std::vector<raslog::RasEvent> events;
+  for (int i = 0; i < 5; ++i)
+    events.push_back(make_fatal(static_cast<std::uint64_t>(i + 1),
+                                1000 + i * 30, "R00-M0-N03-J04"));
+  events.push_back(make_fatal(6, 1000 + 86400, "R11-M1-N09-J01"));
+  return raslog::RasLog(std::move(events));
+}
+
+TEST(EventFilter, CollapsesBurstToOneCluster) {
+  const FilterResult r = filter_events(burst_log(), FilterConfig{});
+  EXPECT_EQ(r.input_events, 6u);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  EXPECT_EQ(r.clusters[0].member_count, 5u);
+  EXPECT_EQ(r.clusters[1].member_count, 1u);
+  EXPECT_DOUBLE_EQ(r.reduction_factor(), 3.0);
+}
+
+TEST(EventFilter, RepresentativeIsEarliestMember) {
+  const FilterResult r = filter_events(burst_log(), FilterConfig{});
+  EXPECT_EQ(r.clusters[0].representative.record_id, 1u);
+  EXPECT_EQ(r.clusters[0].first_time, 1000);
+  EXPECT_EQ(r.clusters[0].last_time, 1000 + 4 * 30);
+}
+
+TEST(EventFilter, TemporalWindowSplitsDistantEvents) {
+  std::vector<raslog::RasEvent> events = {
+      make_fatal(1, 0, "R00-M0-N00-J00"),
+      make_fatal(2, 5000, "R00-M0-N00-J00"),  // > 900 s later
+  };
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), FilterConfig{});
+  EXPECT_EQ(r.clusters.size(), 2u);
+}
+
+TEST(EventFilter, SlidingWindowChainsCloseEvents) {
+  // Consecutive gaps of 600 s with a 900 s window chain into one cluster
+  // even though first-to-last exceeds the window.
+  std::vector<raslog::RasEvent> events;
+  for (int i = 0; i < 5; ++i)
+    events.push_back(make_fatal(static_cast<std::uint64_t>(i + 1), i * 600,
+                                "R00-M0-N00-J00"));
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), FilterConfig{});
+  EXPECT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0].member_count, 5u);
+}
+
+TEST(EventFilter, SpatialRadiusSeparatesDistantHardware) {
+  std::vector<raslog::RasEvent> events = {
+      make_fatal(1, 0, "R00-M0-N00-J00"),
+      make_fatal(2, 10, "R00-M1-N00-J00"),   // same rack, other midplane
+      make_fatal(3, 20, "R01-M0-N00-J00"),   // other rack
+  };
+  FilterConfig config;
+  config.spatial_level = topology::Level::kMidplane;
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), config);
+  EXPECT_EQ(r.clusters.size(), 3u);
+}
+
+TEST(EventFilter, RackRadiusMergesAcrossMidplanes) {
+  std::vector<raslog::RasEvent> events = {
+      make_fatal(1, 0, "R00-M0-N00-J00"),
+      make_fatal(2, 10, "R00-M1-N00-J00"),
+      make_fatal(3, 20, "R01-M0-N00-J00"),
+  };
+  FilterConfig config;
+  config.spatial_level = topology::Level::kRack;
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), config);
+  EXPECT_EQ(r.clusters.size(), 2u);
+}
+
+TEST(EventFilter, ShallowLocationCoversItsSubtree) {
+  // A midplane-level event and a card-level event on that midplane are
+  // similar even under a card-level radius, because the shallow location
+  // covers the deep one.
+  std::vector<raslog::RasEvent> events = {
+      make_fatal(1, 0, "R00-M0", "00100006"),
+      make_fatal(2, 10, "R00-M0-N00-J00"),
+  };
+  FilterConfig config;
+  config.spatial_level = topology::Level::kComputeCard;
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), config);
+  EXPECT_EQ(r.clusters.size(), 1u);
+}
+
+TEST(EventFilter, MessageMatchingSplitsDifferentIds) {
+  std::vector<raslog::RasEvent> events = {
+      make_fatal(1, 0, "R00-M0-N00-J00", "00010005"),
+      make_fatal(2, 10, "R00-M0-N00-J00", "00010006"),
+  };
+  FilterConfig config;
+  config.require_same_message = true;
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), config);
+  EXPECT_EQ(r.clusters.size(), 2u);
+}
+
+TEST(EventFilter, SeveritySelectsInputStream) {
+  std::vector<raslog::RasEvent> events = {
+      make_fatal(1, 0, "R00-M0-N00-J00"),
+      make_fatal(2, 10, "R00-M0-N00-J00", "00010001"),  // INFO
+  };
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), FilterConfig{});
+  EXPECT_EQ(r.input_events, 1u);
+}
+
+TEST(EventFilter, JobAssociationPropagatesToCluster) {
+  std::vector<raslog::RasEvent> events = {
+      make_fatal(1, 0, "R00-M0-N00-J00"),
+      make_fatal(2, 10, "R00-M0-N00-J00"),
+  };
+  events[1].job_id = 777;
+  const FilterResult r =
+      filter_events(raslog::RasLog(std::move(events)), FilterConfig{});
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0].job_id, 777u);
+}
+
+TEST(EventFilter, WidenedWindowNeverIncreasesClusterCount) {
+  const raslog::RasLog log = burst_log();
+  std::size_t prev = SIZE_MAX;
+  for (std::int64_t window : {0, 60, 300, 900, 3600, 86400, 7 * 86400}) {
+    FilterConfig config;
+    config.window_seconds = window;
+    const std::size_t n = filter_events(log, config).clusters.size();
+    EXPECT_LE(n, prev) << "window=" << window;
+    prev = n;
+  }
+}
+
+TEST(EventFilter, EmptyLogYieldsNoClusters) {
+  const FilterResult r = filter_events(raslog::RasLog(), FilterConfig{});
+  EXPECT_EQ(r.input_events, 0u);
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_DOUBLE_EQ(r.reduction_factor(), 0.0);
+}
+
+TEST(EventFilter, NegativeWindowRejected) {
+  FilterConfig config;
+  config.window_seconds = -1;
+  EXPECT_THROW(filter_events(raslog::RasLog(), config), failmine::DomainError);
+}
+
+TEST(FilteringPipeline, StageCountsAreOrdered) {
+  const PipelineCounts p = filtering_pipeline(burst_log(), FilterConfig{});
+  EXPECT_EQ(p.raw, 6u);
+  // Combined filtering can never produce fewer clusters than either
+  // single-criterion filter alone.
+  EXPECT_LE(p.temporal_only, p.combined);
+  EXPECT_LE(p.spatial_only, p.combined);
+  EXPECT_LE(p.combined, p.raw);
+  EXPECT_EQ(p.spatial_only, 2u);  // two distinct midplanes
+  EXPECT_EQ(p.temporal_only, 2u);
+  EXPECT_EQ(p.combined, 2u);
+}
+
+TEST(SpatiallySimilar, DirectChecks) {
+  FilterConfig config;
+  config.spatial_level = topology::Level::kNodeBoard;
+  const auto a = make_fatal(1, 0, "R00-M0-N03-J04");
+  const auto b = make_fatal(2, 0, "R00-M0-N03-J09");
+  const auto c = make_fatal(3, 0, "R00-M0-N04-J04");
+  EXPECT_TRUE(spatially_similar(a, b, config));
+  EXPECT_FALSE(spatially_similar(a, c, config));
+}
+
+}  // namespace
+}  // namespace failmine::core

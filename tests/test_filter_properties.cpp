@@ -1,0 +1,101 @@
+// Parameterized property tests of the similarity filter on simulated
+// traces: monotonicity in the window, radius ordering, and agreement with
+// the injected ground truth across seeds.
+
+#include <gtest/gtest.h>
+
+#include "core/event_filter.hpp"
+#include "sim/simulator.hpp"
+
+namespace failmine::core {
+namespace {
+
+sim::SimResult trace_for_seed(std::uint64_t seed) {
+  sim::SimConfig config = sim::SimConfig::test_scale();
+  config.scale = 0.02;
+  config.seed = seed;
+  return sim::simulate(config);
+}
+
+class FilterPropertyOnTrace : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  FilterPropertyOnTrace() : trace_(trace_for_seed(GetParam())) {}
+  sim::SimResult trace_;
+};
+
+TEST_P(FilterPropertyOnTrace, WindowMonotonicity) {
+  std::size_t prev = SIZE_MAX;
+  for (std::int64_t window : {30, 120, 600, 1800, 7200, 43200}) {
+    FilterConfig config;
+    config.window_seconds = window;
+    const auto r = filter_events(trace_.ras_log, config);
+    EXPECT_LE(r.clusters.size(), prev) << "window=" << window;
+    prev = r.clusters.size();
+  }
+}
+
+TEST_P(FilterPropertyOnTrace, CoarserRadiusNeverIncreasesClusters) {
+  std::size_t prev = 0;
+  bool first = true;
+  // Card -> board -> midplane -> rack: strictly coarser merges.
+  for (auto level :
+       {topology::Level::kComputeCard, topology::Level::kNodeBoard,
+        topology::Level::kMidplane, topology::Level::kRack}) {
+    FilterConfig config;
+    config.spatial_level = level;
+    const auto r = filter_events(trace_.ras_log, config);
+    if (!first) EXPECT_LE(r.clusters.size(), prev);
+    prev = r.clusters.size();
+    first = false;
+  }
+}
+
+TEST_P(FilterPropertyOnTrace, MemberCountsSumToInput) {
+  const auto r = filter_events(trace_.ras_log, FilterConfig{});
+  std::uint64_t members = 0;
+  for (const auto& c : r.clusters) members += c.member_count;
+  EXPECT_EQ(members, r.input_events);
+}
+
+TEST_P(FilterPropertyOnTrace, ClusterWindowsAreInternallyConsistent) {
+  const auto r = filter_events(trace_.ras_log, FilterConfig{});
+  for (const auto& c : r.clusters) {
+    EXPECT_LE(c.first_time, c.last_time);
+    EXPECT_EQ(c.representative.timestamp, c.first_time);
+    EXPECT_GE(c.member_count, 1u);
+  }
+  // Clusters come back ordered by first member.
+  for (std::size_t i = 1; i < r.clusters.size(); ++i)
+    EXPECT_GE(r.clusters[i].first_time, r.clusters[i - 1].first_time);
+}
+
+TEST_P(FilterPropertyOnTrace, RecoversGroundTruthEpisodeCount) {
+  const auto r = filter_events(trace_.ras_log, FilterConfig{});
+  const double truth = static_cast<double>(trace_.episodes.size());
+  if (truth == 0) {
+    SUCCEED();
+    return;
+  }
+  // Within 2x of the injected episode count for any seed.
+  EXPECT_GT(static_cast<double>(r.clusters.size()), 0.5 * truth);
+  EXPECT_LT(static_cast<double>(r.clusters.size()), 2.0 * truth);
+}
+
+TEST_P(FilterPropertyOnTrace, MessageStrictFilterIsFiner) {
+  FilterConfig lax;
+  FilterConfig strict;
+  strict.require_same_message = true;
+  const auto r_lax = filter_events(trace_.ras_log, lax);
+  const auto r_strict = filter_events(trace_.ras_log, strict);
+  EXPECT_GE(r_strict.clusters.size(), r_lax.clusters.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterPropertyOnTrace,
+                         ::testing::Values(1ULL, 42ULL, 20130409ULL,
+                                           0xDEADBEEFULL),
+                         [](const auto& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace failmine::core

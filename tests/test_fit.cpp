@@ -1,0 +1,199 @@
+// Property tests for the MLE fitters: each fitter must recover the
+// generating parameters from a large sample of its own family
+// (parameterized over several parameter points per family).
+
+#include "distfit/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::distfit {
+namespace {
+
+constexpr std::size_t kN = 30000;
+
+std::vector<double> draw(const Distribution& d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return d.sample_many(rng, kN);
+}
+
+// ---- Exponential -------------------------------------------------------
+
+class ExponentialRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialRecovery, RateRecovered) {
+  const double rate = GetParam();
+  const auto sample = draw(Exponential(rate), 101);
+  const Exponential fit = fit_exponential(sample);
+  EXPECT_NEAR(fit.rate(), rate, 0.05 * rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialRecovery,
+                         ::testing::Values(0.1, 1.0, 5.0, 40.0));
+
+// ---- Weibull -----------------------------------------------------------
+
+class WeibullRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WeibullRecovery, ShapeAndScaleRecovered) {
+  const auto [shape, scale] = GetParam();
+  const auto sample = draw(Weibull(shape, scale), 103);
+  const Weibull fit = fit_weibull(sample);
+  EXPECT_NEAR(fit.shape(), shape, 0.05 * shape);
+  EXPECT_NEAR(fit.scale(), scale, 0.05 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullRecovery,
+                         ::testing::Values(std::pair{0.7, 100.0},
+                                           std::pair{1.0, 3.0},
+                                           std::pair{2.2, 0.5},
+                                           std::pair{4.0, 1000.0}));
+
+// ---- Pareto ------------------------------------------------------------
+
+class ParetoRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ParetoRecovery, XmAndAlphaRecovered) {
+  const auto [xm, alpha] = GetParam();
+  const auto sample = draw(Pareto(xm, alpha), 107);
+  const Pareto fit = fit_pareto(sample);
+  EXPECT_NEAR(fit.xm(), xm, 0.01 * xm);  // MLE xm is the sample min
+  EXPECT_NEAR(fit.alpha(), alpha, 0.06 * alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, ParetoRecovery,
+                         ::testing::Values(std::pair{1.0, 1.3},
+                                           std::pair{300.0, 2.5},
+                                           std::pair{0.5, 4.0}));
+
+// ---- LogNormal -----------------------------------------------------------
+
+class LogNormalRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LogNormalRecovery, MuSigmaRecovered) {
+  const auto [mu, sigma] = GetParam();
+  const auto sample = draw(LogNormal(mu, sigma), 109);
+  const LogNormal fit = fit_lognormal(sample);
+  EXPECT_NEAR(fit.mu(), mu, 0.03 + 0.03 * std::fabs(mu));
+  EXPECT_NEAR(fit.sigma(), sigma, 0.05 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, LogNormalRecovery,
+                         ::testing::Values(std::pair{0.0, 1.0},
+                                           std::pair{5.0, 0.3},
+                                           std::pair{-2.0, 2.0}));
+
+// ---- Gamma ---------------------------------------------------------------
+
+class GammaRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaRecovery, ShapeScaleRecovered) {
+  const auto [shape, scale] = GetParam();
+  const auto sample = draw(GammaDist(shape, scale), 113);
+  const GammaDist fit = fit_gamma(sample);
+  EXPECT_NEAR(fit.shape(), shape, 0.06 * shape);
+  EXPECT_NEAR(fit.scale(), scale, 0.08 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, GammaRecovery,
+                         ::testing::Values(std::pair{0.5, 2.0},
+                                           std::pair{2.0, 10.0},
+                                           std::pair{9.0, 0.25}));
+
+// ---- Erlang ----------------------------------------------------------------
+
+class ErlangRecovery : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(ErlangRecovery, IntegerShapeRecovered) {
+  const auto [k, rate] = GetParam();
+  const auto sample = draw(Erlang(k, rate), 127);
+  const Erlang fit = fit_erlang(sample);
+  EXPECT_EQ(fit.k(), k);
+  EXPECT_NEAR(fit.rate(), rate, 0.05 * rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, ErlangRecovery,
+                         ::testing::Values(std::pair{1, 0.5}, std::pair{2, 3.0},
+                                           std::pair{6, 0.01}));
+
+// ---- Inverse Gaussian -------------------------------------------------------
+
+class InverseGaussianRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(InverseGaussianRecovery, MuLambdaRecovered) {
+  const auto [mu, lambda] = GetParam();
+  const auto sample = draw(InverseGaussian(mu, lambda), 131);
+  const InverseGaussian fit = fit_inverse_gaussian(sample);
+  EXPECT_NEAR(fit.mu(), mu, 0.05 * mu);
+  EXPECT_NEAR(fit.lambda(), lambda, 0.08 * lambda);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, InverseGaussianRecovery,
+                         ::testing::Values(std::pair{1.0, 1.0},
+                                           std::pair{5.0, 20.0},
+                                           std::pair{0.5, 0.1}));
+
+// ---- Normal / Rayleigh -------------------------------------------------------
+
+TEST(NormalRecovery, MuSigma) {
+  const auto sample = draw(NormalDist(-3.0, 2.5), 137);
+  const NormalDist fit = fit_normal(sample);
+  EXPECT_NEAR(fit.mu(), -3.0, 0.05);
+  EXPECT_NEAR(fit.sigma(), 2.5, 0.05);
+}
+
+TEST(RayleighRecovery, Sigma) {
+  const auto sample = draw(Rayleigh(4.2), 139);
+  const Rayleigh fit = fit_rayleigh(sample);
+  EXPECT_NEAR(fit.sigma(), 4.2, 0.05);
+}
+
+// ---- Error handling -----------------------------------------------------------
+
+TEST(Fitters, RejectEmptyAndNonPositiveSamples) {
+  EXPECT_THROW(fit_exponential({}), failmine::DomainError);
+  EXPECT_THROW(fit_weibull(std::vector<double>{1.0, -1.0}),
+               failmine::DomainError);
+  EXPECT_THROW(fit_pareto(std::vector<double>{0.0, 1.0}),
+               failmine::DomainError);
+  EXPECT_THROW(fit_lognormal(std::vector<double>{1.0}), failmine::DomainError);
+  EXPECT_THROW(fit_gamma(std::vector<double>{2.0, 2.0}),
+               failmine::DomainError);  // constant sample
+  EXPECT_THROW(fit_inverse_gaussian(std::vector<double>{3.0, 3.0}),
+               failmine::DomainError);
+  EXPECT_THROW(fit_normal(std::vector<double>{1.0, 1.0}),
+               failmine::DomainError);
+}
+
+TEST(Fitters, ParetoRejectsConstantSample) {
+  EXPECT_THROW(fit_pareto(std::vector<double>{2.0, 2.0, 2.0}),
+               failmine::DomainError);
+}
+
+TEST(Fitters, ErlangValidatesKMax) {
+  EXPECT_THROW(fit_erlang(std::vector<double>{1.0, 2.0}, 0),
+               failmine::DomainError);
+}
+
+TEST(Fitters, FittedLikelihoodBeatsPerturbedParameters) {
+  // The MLE should out-score nearby non-MLE parameterizations.
+  const auto sample = draw(Weibull(1.5, 10.0), 149);
+  const Weibull fit = fit_weibull(sample);
+  const double best = fit.log_likelihood(sample);
+  EXPECT_GT(best, Weibull(fit.shape() * 1.2, fit.scale()).log_likelihood(sample));
+  EXPECT_GT(best, Weibull(fit.shape(), fit.scale() * 1.2).log_likelihood(sample));
+  EXPECT_GT(best, Weibull(fit.shape() * 0.8, fit.scale() * 0.9).log_likelihood(sample));
+}
+
+}  // namespace
+}  // namespace failmine::distfit

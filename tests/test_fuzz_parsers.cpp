@@ -1,0 +1,172 @@
+// Robustness (fuzz-style) tests: randomly corrupted log files must never
+// crash the parsers — every malformed input surfaces as failmine::Error.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "iolog/io_record.hpp"
+#include "joblog/job.hpp"
+#include "raslog/event.hpp"
+#include "sim/simulator.hpp"
+#include "tasklog/task.hpp"
+#include "topology/location.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace failmine {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+/// Applies one random mutation to `content`: flip, delete or insert a
+/// character, or truncate the file.
+std::string mutate(const std::string& content, util::Rng& rng) {
+  if (content.empty()) return content;
+  std::string out = content;
+  const auto pos = rng.uniform_index(out.size());
+  switch (rng.uniform_index(4)) {
+    case 0:  // flip a character to random printable or control byte
+      out[pos] = static_cast<char>(rng.uniform_int(1, 126));
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, static_cast<char>(rng.uniform_int(1, 126)));
+      break;
+    default:  // truncate
+      out.resize(pos);
+      break;
+  }
+  return out;
+}
+
+class FuzzParsers : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("failmine_fuzz_" + std::to_string(::getpid())))
+            .string());
+    std::filesystem::create_directories(*dir_);
+    sim::SimConfig config = sim::SimConfig::test_scale();
+    config.scale = 0.001;  // tiny but fully populated
+    const auto trace = sim::simulate(config);
+    sim::write_dataset(trace, *dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string read_file(const std::string& name) {
+    std::ifstream in(*dir_ + "/" + name);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  template <typename LoadFn>
+  static void fuzz_one(const std::string& name, LoadFn load, int rounds) {
+    const std::string original = read_file(name);
+    ASSERT_FALSE(original.empty());
+    util::Rng rng(0xF022ED);
+    const std::string path = *dir_ + "/fuzzed_" + name;
+    int parsed_ok = 0;
+    for (int round = 0; round < rounds; ++round) {
+      std::string corrupted = original;
+      // 1..8 stacked mutations per round.
+      const auto n = 1 + rng.uniform_index(8);
+      for (std::uint64_t i = 0; i < n; ++i) corrupted = mutate(corrupted, rng);
+      {
+        std::ofstream out(path);
+        out << corrupted;
+      }
+      try {
+        load(path);
+        ++parsed_ok;  // harmless mutation (e.g. inside a text field)
+      } catch (const Error&) {
+        // expected for most mutations
+      } catch (...) {
+        FAIL() << name << " round " << round
+               << ": parser escaped the failmine::Error hierarchy";
+      }
+    }
+    std::remove(path.c_str());
+    // Sanity: the harness itself must be able to parse the pristine file.
+    ASSERT_NO_THROW(load(*dir_ + "/" + name));
+    // And at least one mutation should have been rejected (otherwise the
+    // mutator or the validation is broken).
+    EXPECT_LT(parsed_ok, rounds);
+  }
+
+  static std::string* dir_;
+};
+
+std::string* FuzzParsers::dir_ = nullptr;
+
+TEST_F(FuzzParsers, RasLogNeverCrashes) {
+  fuzz_one("ras.csv",
+           [](const std::string& p) { raslog::RasLog::read_csv(p, kMira); },
+           150);
+}
+
+TEST_F(FuzzParsers, JobLogNeverCrashes) {
+  fuzz_one("jobs.csv",
+           [](const std::string& p) { joblog::JobLog::read_csv(p); }, 150);
+}
+
+TEST_F(FuzzParsers, TaskLogNeverCrashes) {
+  fuzz_one("tasks.csv",
+           [](const std::string& p) { tasklog::TaskLog::read_csv(p); }, 150);
+}
+
+TEST_F(FuzzParsers, IoLogNeverCrashes) {
+  fuzz_one("io.csv", [](const std::string& p) { iolog::IoLog::read_csv(p); },
+           150);
+}
+
+TEST(FuzzLocation, RandomStringsNeverCrashTheLocationParser) {
+  util::Rng rng(99);
+  int ok = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::string s;
+    const auto len = rng.uniform_index(24);
+    for (std::uint64_t c = 0; c < len; ++c) {
+      static constexpr char kAlphabet[] = "RMNJC0123456789ABCDEF- ";
+      s.push_back(kAlphabet[rng.uniform_index(sizeof(kAlphabet) - 1)]);
+    }
+    try {
+      topology::Location::parse(s, kMira);
+      ++ok;
+    } catch (const Error&) {
+    }
+  }
+  // A few random strings are valid codes; most are rejected.
+  EXPECT_LT(ok, 500);
+}
+
+TEST(FuzzTimestamp, RandomStringsNeverCrashTheTimestampParser) {
+  util::Rng rng(101);
+  for (int i = 0; i < 5000; ++i) {
+    std::string s;
+    const auto len = rng.uniform_index(25);
+    for (std::uint64_t c = 0; c < len; ++c)
+      s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    try {
+      util::parse_timestamp(s);
+    } catch (const Error&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace failmine

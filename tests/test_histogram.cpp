@@ -1,0 +1,85 @@
+// Unit tests for stats/histogram.
+
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace failmine::stats {
+namespace {
+
+TEST(Histogram, LinearBinAssignment) {
+  Histogram h = Histogram::linear(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(10.0);  // upper edge -> last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, UnderflowOverflowTracked) {
+  Histogram h = Histogram::linear(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.1);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 1.0);
+}
+
+TEST(Histogram, LogarithmicEdgesAreGeometric) {
+  Histogram h = Histogram::logarithmic(1.0, 1000.0, 3);
+  const auto& e = h.edges();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e[0], 1.0);
+  EXPECT_NEAR(e[1], 10.0, 1e-9);
+  EXPECT_NEAR(e[2], 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(e[3], 1000.0);
+}
+
+TEST(Histogram, LogRejectsNonPositiveRange) {
+  EXPECT_THROW(Histogram::logarithmic(0.0, 10.0, 3), failmine::DomainError);
+  EXPECT_THROW(Histogram::logarithmic(5.0, 5.0, 3), failmine::DomainError);
+}
+
+TEST(Histogram, ExplicitEdgesValidated) {
+  EXPECT_THROW(Histogram(std::vector<double>{1.0}), failmine::DomainError);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}), failmine::DomainError);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), failmine::DomainError);
+}
+
+TEST(Histogram, AddAllAndFractions) {
+  Histogram h = Histogram::linear(0.0, 4.0, 4);
+  h.add_all(std::vector<double>{0.5, 1.5, 1.6, 3.5});
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.25);
+}
+
+TEST(Histogram, EmptyHistogramFractionIsZero) {
+  Histogram h = Histogram::linear(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, BinLabelFormatting) {
+  Histogram h = Histogram::linear(0.0, 10.0, 2);
+  EXPECT_EQ(h.bin_label(0), "0..5");
+  EXPECT_EQ(h.bin_label(1), "5..10");
+  EXPECT_THROW(h.bin_label(2), failmine::DomainError);
+}
+
+TEST(Histogram, ZeroBinCountRejected) {
+  EXPECT_THROW(Histogram::linear(0.0, 1.0, 0), failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::stats

@@ -1,0 +1,121 @@
+// Unit + property tests for stats/hypothesis (KS, chi-square).
+
+#include "stats/hypothesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::stats {
+namespace {
+
+double uniform_cdf(double x) {
+  if (x < 0) return 0.0;
+  if (x > 1) return 1.0;
+  return x;
+}
+
+TEST(KsTest, AcceptsOwnDistribution) {
+  util::Rng rng(3);
+  std::vector<double> sample(2000);
+  for (auto& v : sample) v = rng.uniform();
+  const TestResult r = ks_test(sample, uniform_cdf);
+  EXPECT_LT(r.statistic, 0.05);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, RejectsWrongDistribution) {
+  util::Rng rng(5);
+  std::vector<double> sample(2000);
+  for (auto& v : sample) v = rng.uniform() * rng.uniform();  // not uniform
+  const TestResult r = ks_test(sample, uniform_cdf);
+  EXPECT_GT(r.statistic, 0.15);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, ExactStatisticOnTinySample) {
+  // Sample {0.5}: F_n jumps 0 -> 1 at 0.5, model F(0.5) = 0.5 -> D = 0.5.
+  const TestResult r = ks_test(std::vector<double>{0.5}, uniform_cdf);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+}
+
+TEST(KsTest, RejectsEmptySampleAndBadCdf) {
+  EXPECT_THROW(ks_test({}, uniform_cdf), failmine::DomainError);
+  EXPECT_THROW(ks_test(std::vector<double>{0.5}, [](double) { return 2.0; }),
+               failmine::DomainError);
+}
+
+TEST(KsTwoSample, SameSourceAccepted) {
+  util::Rng rng(7);
+  std::vector<double> a(1500), b(1500);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  const TestResult r = ks_two_sample(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTwoSample, ShiftedSourceRejected) {
+  util::Rng rng(11);
+  std::vector<double> a(1500), b(1500);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal() + 0.5;
+  const TestResult r = ks_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KolmogorovSurvival, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(-1.0), 1.0);
+  EXPECT_NEAR(kolmogorov_survival(10.0), 0.0, 1e-12);
+  // Known value: Q(1.0) ~= 0.27.
+  EXPECT_NEAR(kolmogorov_survival(1.0), 0.27, 0.01);
+}
+
+TEST(KolmogorovSurvival, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double q = kolmogorov_survival(x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(ChiSquare, UniformDieRolls) {
+  // 600 fair-die rolls with near-expected counts should pass easily.
+  const std::vector<double> observed = {95, 102, 100, 98, 105, 100};
+  const std::vector<double> expected(6, 100.0);
+  const TestResult r = chi_square_test(observed, expected);
+  EXPECT_LT(r.statistic, 2.0);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(ChiSquare, BiasedCountsRejected) {
+  const std::vector<double> observed = {300, 60, 60, 60, 60, 60};
+  const std::vector<double> expected(6, 100.0);
+  const TestResult r = chi_square_test(observed, expected);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquare, DegreesOfFreedomValidation) {
+  const std::vector<double> o = {1, 2};
+  const std::vector<double> e = {1.5, 1.5};
+  EXPECT_NO_THROW(chi_square_test(o, e, 0));
+  EXPECT_THROW(chi_square_test(o, e, 1), failmine::DomainError);
+  EXPECT_THROW(chi_square_test(o, std::vector<double>{1.0, 0.0}),
+               failmine::DomainError);
+}
+
+TEST(ChiSquareSurvival, MatchesExponentialForTwoDof) {
+  // Chi-square with 2 dof is Exp(1/2): Q(x) = exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(chi_square_survival(x, 2.0), std::exp(-x / 2.0), 1e-9);
+  }
+  EXPECT_THROW(chi_square_survival(1.0, 0.0), failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::stats

@@ -1,0 +1,86 @@
+// Unit tests for analysis/io_behavior.
+
+#include "analysis/io_behavior.hpp"
+
+#include <gtest/gtest.h>
+
+namespace failmine::analysis {
+namespace {
+
+joblog::JobRecord make_job(std::uint64_t id, bool failed) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = 1;
+  j.project_id = 1;
+  j.queue = "q";
+  j.submit_time = 0;
+  j.start_time = 0;
+  j.end_time = 3600;
+  j.nodes_used = 512;
+  j.task_count = 1;
+  j.requested_walltime = 7200;
+  if (failed) {
+    j.exit_class = joblog::ExitClass::kUserAppError;
+    j.exit_code = 1;
+  }
+  return j;
+}
+
+iolog::IoRecord make_io(std::uint64_t job, std::uint64_t read,
+                        std::uint64_t write) {
+  iolog::IoRecord r;
+  r.job_id = job;
+  r.bytes_read = read;
+  r.bytes_written = write;
+  r.files_accessed = 1;
+  r.ranks_doing_io = 1;
+  return r;
+}
+
+TEST(CompareIo, SplitsPopulationsAndCoverage) {
+  const joblog::JobLog jobs({make_job(1, false), make_job(2, false),
+                             make_job(3, true), make_job(4, true)});
+  // Only jobs 1 and 3 have Darshan records.
+  const iolog::IoLog io({make_io(1, 100, 1000), make_io(3, 100, 400)});
+  const IoComparison c = compare_io(jobs, io);
+
+  EXPECT_EQ(c.successful.jobs_total, 2u);
+  EXPECT_EQ(c.successful.jobs_covered, 1u);
+  EXPECT_DOUBLE_EQ(c.successful.coverage, 0.5);
+  EXPECT_DOUBLE_EQ(c.successful.median_write_bytes, 1000.0);
+
+  EXPECT_EQ(c.failed.jobs_total, 2u);
+  EXPECT_DOUBLE_EQ(c.failed.median_write_bytes, 400.0);
+  EXPECT_DOUBLE_EQ(c.write_median_ratio(), 0.4);
+}
+
+TEST(CompareIo, EmptyPopulationsAreZeroed) {
+  const joblog::JobLog jobs({make_job(1, false)});
+  const iolog::IoLog io;
+  const IoComparison c = compare_io(jobs, io);
+  EXPECT_EQ(c.successful.jobs_covered, 0u);
+  EXPECT_DOUBLE_EQ(c.successful.median_write_bytes, 0.0);
+  EXPECT_EQ(c.failed.jobs_total, 0u);
+  EXPECT_DOUBLE_EQ(c.write_median_ratio(), 0.0);
+}
+
+TEST(WriteBytesSample, SelectsPopulation) {
+  const joblog::JobLog jobs({make_job(1, false), make_job(2, true)});
+  const iolog::IoLog io({make_io(1, 0, 111), make_io(2, 0, 222)});
+  EXPECT_EQ(write_bytes_sample(jobs, io, false),
+            (std::vector<double>{111.0}));
+  EXPECT_EQ(write_bytes_sample(jobs, io, true),
+            (std::vector<double>{222.0}));
+}
+
+TEST(CompareIo, TotalsAccumulate) {
+  const joblog::JobLog jobs({make_job(1, false), make_job(2, false)});
+  const iolog::IoLog io({make_io(1, 10, 20), make_io(2, 30, 40)});
+  const IoComparison c = compare_io(jobs, io);
+  EXPECT_DOUBLE_EQ(c.successful.total_read_bytes, 40.0);
+  EXPECT_DOUBLE_EQ(c.successful.total_write_bytes, 60.0);
+  EXPECT_DOUBLE_EQ(c.successful.mean_write_bytes, 30.0);
+}
+
+}  // namespace
+}  // namespace failmine::analysis

@@ -1,0 +1,108 @@
+// Unit tests for sim/io_model.
+
+#include "sim/io_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/population.hpp"
+#include "sim/workload.hpp"
+#include "stats/summary.hpp"
+
+namespace failmine::sim {
+namespace {
+
+class IoModelTest : public ::testing::Test {
+ protected:
+  IoModelTest()
+      : config_(SimConfig::test_scale()),
+        rng_(config_.seed),
+        population_(config_, rng_),
+        workload_(config_, population_),
+        io_model_(config_) {
+    jobs_ = workload_.generate(rng_);
+    records_ = io_model_.generate(jobs_, rng_);
+  }
+
+  SimConfig config_;
+  util::Rng rng_;
+  Population population_;
+  WorkloadModel workload_;
+  IoModel io_model_;
+  std::vector<joblog::JobRecord> jobs_;
+  std::vector<iolog::IoRecord> records_;
+};
+
+TEST_F(IoModelTest, CoverageNearConfiguredFraction) {
+  const double coverage = static_cast<double>(records_.size()) /
+                          static_cast<double>(jobs_.size());
+  EXPECT_NEAR(coverage, config_.io_coverage, 0.05);
+}
+
+TEST_F(IoModelTest, EveryRecordRefersToARealJob) {
+  std::set<std::uint64_t> ids;
+  for (const auto& j : jobs_) ids.insert(j.job_id);
+  std::set<std::uint64_t> seen;
+  for (const auto& r : records_) {
+    EXPECT_TRUE(ids.contains(r.job_id));
+    EXPECT_TRUE(seen.insert(r.job_id).second) << "duplicate I/O record";
+  }
+}
+
+TEST_F(IoModelTest, FieldsAreSane) {
+  for (const auto& r : records_) {
+    EXPECT_GE(r.files_accessed, 1u);
+    EXPECT_GE(r.ranks_doing_io, 1u);
+    EXPECT_GE(r.read_time_seconds, 0.0);
+    EXPECT_GE(r.write_time_seconds, 0.0);
+  }
+}
+
+TEST_F(IoModelTest, IoVolumeScalesWithCoreHours) {
+  // Median total bytes of the biggest-quartile jobs should exceed the
+  // smallest-quartile's.
+  std::vector<std::pair<double, double>> ch_bytes;
+  std::map<std::uint64_t, const joblog::JobRecord*> by_id;
+  for (const auto& j : jobs_) by_id[j.job_id] = &j;
+  for (const auto& r : records_)
+    ch_bytes.push_back({by_id[r.job_id]->core_hours(config_.machine),
+                        static_cast<double>(r.total_bytes())});
+  std::sort(ch_bytes.begin(), ch_bytes.end());
+  const std::size_t q = ch_bytes.size() / 4;
+  std::vector<double> low, high;
+  for (std::size_t i = 0; i < q; ++i) low.push_back(ch_bytes[i].second);
+  for (std::size_t i = ch_bytes.size() - q; i < ch_bytes.size(); ++i)
+    high.push_back(ch_bytes[i].second);
+  EXPECT_GT(stats::median(high), 3.0 * stats::median(low));
+}
+
+TEST_F(IoModelTest, FailedJobsWriteLessAtComparableScale) {
+  std::map<std::uint64_t, const joblog::JobRecord*> by_id;
+  for (const auto& j : jobs_) by_id[j.job_id] = &j;
+  std::vector<double> failed_ratio, ok_ratio;
+  for (const auto& r : records_) {
+    const auto* j = by_id[r.job_id];
+    const double ch = j->core_hours(config_.machine);
+    if (ch <= 0) continue;
+    const double per_ch = static_cast<double>(r.bytes_written) / ch;
+    (j->failed() ? failed_ratio : ok_ratio).push_back(per_ch);
+  }
+  ASSERT_GT(failed_ratio.size(), 30u);
+  ASSERT_GT(ok_ratio.size(), 30u);
+  EXPECT_LT(stats::median(failed_ratio), stats::median(ok_ratio));
+}
+
+TEST(IoModel, ZeroCoverageYieldsNoRecords) {
+  SimConfig config = SimConfig::test_scale();
+  config.io_coverage = 0.0;
+  util::Rng rng(3);
+  const Population pop(config, rng);
+  const WorkloadModel workload(config, pop);
+  const auto jobs = workload.generate(rng);
+  const IoModel io(config);
+  EXPECT_TRUE(io.generate(jobs, rng).empty());
+}
+
+}  // namespace
+}  // namespace failmine::sim

@@ -1,0 +1,111 @@
+// Integration tests for core/joint_analyzer on a simulated trace.
+
+#include "core/joint_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+class JointAnalyzerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new sim::SimConfig(sim::SimConfig::test_scale());
+    result_ = new sim::SimResult(sim::simulate(*config_));
+    analyzer_ = new JointAnalyzer(result_->job_log, result_->task_log,
+                                  result_->ras_log, result_->io_log,
+                                  config_->machine);
+  }
+  static void TearDownTestSuite() {
+    delete analyzer_;
+    delete result_;
+    delete config_;
+    analyzer_ = nullptr;
+    result_ = nullptr;
+    config_ = nullptr;
+  }
+  static sim::SimConfig* config_;
+  static sim::SimResult* result_;
+  static JointAnalyzer* analyzer_;
+};
+
+sim::SimConfig* JointAnalyzerTest::config_ = nullptr;
+sim::SimResult* JointAnalyzerTest::result_ = nullptr;
+JointAnalyzer* JointAnalyzerTest::analyzer_ = nullptr;
+
+TEST_F(JointAnalyzerTest, DatasetSummaryTotalsMatchLogs) {
+  const auto s = analyzer_->dataset_summary();
+  EXPECT_EQ(s.jobs, result_->job_log.size());
+  EXPECT_EQ(s.tasks, result_->task_log.size());
+  EXPECT_EQ(s.ras_events, result_->ras_log.size());
+  EXPECT_EQ(s.io_records, result_->io_log.size());
+  EXPECT_NEAR(s.span_days, 2001.0, 2.0);
+  EXPECT_GT(s.total_core_hours, 0.0);
+  EXPECT_EQ(s.ras_by_severity[0] + s.ras_by_severity[1] + s.ras_by_severity[2],
+            s.ras_events);
+}
+
+TEST_F(JointAnalyzerTest, ExitBreakdownSharesSumToOne) {
+  const auto b = analyzer_->exit_breakdown();
+  EXPECT_EQ(b.total_jobs, result_->job_log.size());
+  double job_share = 0.0, failure_share = 0.0;
+  std::uint64_t jobs = 0;
+  for (const auto& row : b.rows) {
+    job_share += row.share_of_jobs;
+    failure_share += row.share_of_failures;
+    jobs += row.jobs;
+  }
+  EXPECT_EQ(jobs, b.total_jobs);
+  EXPECT_NEAR(job_share, 1.0, 1e-9);
+  EXPECT_NEAR(failure_share, 1.0, 1e-9);
+  EXPECT_NEAR(b.user_caused_share + b.system_caused_share, 1.0, 1e-9);
+  EXPECT_GT(b.user_caused_share, 0.97);
+}
+
+TEST_F(JointAnalyzerTest, WindowCoversEveryRecord) {
+  const auto begin = analyzer_->window_begin();
+  const auto end = analyzer_->window_end();
+  EXPECT_LT(begin, end);
+  for (const auto& j : result_->job_log.jobs()) {
+    EXPECT_GE(j.submit_time, begin);
+    EXPECT_LE(j.end_time, end);
+  }
+}
+
+TEST_F(JointAnalyzerTest, InterruptionAnalysisCountsEpisodes) {
+  const auto fm = analyzer_->interruption_analysis(FilterConfig{});
+  // The filter should recover approximately the ground-truth episode count
+  // (within 2x: bursts can occasionally split or merge).
+  const double truth = static_cast<double>(result_->episodes.size());
+  EXPECT_GT(static_cast<double>(fm.mtti.interruptions), 0.5 * truth);
+  EXPECT_LT(static_cast<double>(fm.mtti.interruptions), 2.0 * truth);
+  EXPECT_GT(fm.filter.reduction_factor(), 3.0);
+}
+
+TEST_F(JointAnalyzerTest, RasUserCorrelationsAreStrong) {
+  const auto c = analyzer_->ras_user_correlations();
+  EXPECT_GT(c.users, 50u);
+  EXPECT_GT(c.events_vs_core_hours, 0.5);
+  EXPECT_GT(c.events_vs_jobs, 0.3);
+}
+
+TEST_F(JointAnalyzerTest, RuntimeStudyProducesRows) {
+  const auto rows = analyzer_->runtime_distribution_study();
+  EXPECT_GE(rows.size(), 3u);
+}
+
+TEST(JointAnalyzerUnit, RejectsEmptyJobLog) {
+  const joblog::JobLog jobs;
+  const tasklog::TaskLog tasks;
+  const raslog::RasLog ras;
+  const iolog::IoLog io;
+  EXPECT_THROW(JointAnalyzer(jobs, tasks, ras, io,
+                             topology::MachineConfig::mira()),
+               failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::core

@@ -1,0 +1,119 @@
+// Unit tests for core/lead_time (WARN -> FATAL precursors).
+
+#include "core/lead_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+raslog::RasEvent event_at(util::UnixSeconds t, const char* msg,
+                          const char* loc) {
+  raslog::RasEvent e;
+  e.timestamp = t;
+  e.message_id = msg;
+  const auto& def = raslog::message_by_id(msg);
+  e.severity = def.severity;
+  e.component = def.component;
+  e.category = def.category;
+  e.location = topology::Location::parse(loc, kMira);
+  return e;
+}
+
+EventCluster cluster_of(const raslog::RasEvent& e) {
+  EventCluster c;
+  c.representative = e;
+  c.first_time = e.timestamp;
+  c.last_time = e.timestamp;
+  c.member_count = 1;
+  return c;
+}
+
+TEST(LeadTime, FindsNearestPrecedingWarnOnSameHardware) {
+  std::vector<raslog::RasEvent> events = {
+      event_at(500, "00010003", "R00-M0-N00-J00"),   // WARN (same midplane)
+      event_at(800, "00010004", "R00-M0-N01-J00"),   // WARN (closer in time)
+      event_at(1000, "00010005", "R00-M0-N00-J00"),  // FATAL
+  };
+  const raslog::RasLog log(std::move(events));
+  const auto clusters = filter_events(log, FilterConfig{}).clusters;
+  ASSERT_EQ(clusters.size(), 1u);
+  const auto r = warning_lead_times(log, clusters);
+  ASSERT_EQ(r.per_interruption.size(), 1u);
+  ASSERT_TRUE(r.per_interruption[0].lead_seconds.has_value());
+  EXPECT_EQ(*r.per_interruption[0].lead_seconds, 200);  // latest WARN wins
+  EXPECT_EQ(r.per_interruption[0].warn_message_id, "00010004");
+  EXPECT_EQ(r.with_precursor, 1u);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+TEST(LeadTime, IgnoresWarnsOnOtherHardware) {
+  std::vector<raslog::RasEvent> events = {
+      event_at(900, "00010003", "R10-M0-N00-J00"),   // WARN, wrong rack
+      event_at(1000, "00010005", "R00-M0-N00-J00"),  // FATAL
+  };
+  const raslog::RasLog log(std::move(events));
+  const auto clusters = filter_events(log, FilterConfig{}).clusters;
+  const auto r = warning_lead_times(log, clusters);
+  EXPECT_EQ(r.with_precursor, 0u);
+  EXPECT_EQ(r.without_precursor, 1u);
+  EXPECT_FALSE(r.per_interruption[0].lead_seconds.has_value());
+}
+
+TEST(LeadTime, HorizonBoundsTheSearch) {
+  std::vector<raslog::RasEvent> events = {
+      event_at(100, "00010003", "R00-M0-N00-J00"),      // WARN, too old
+      event_at(100000, "00010005", "R00-M0-N00-J00"),   // FATAL
+  };
+  const raslog::RasLog log(std::move(events));
+  const auto clusters = filter_events(log, FilterConfig{}).clusters;
+  LeadTimeConfig config;
+  config.horizon_seconds = 3600;
+  const auto r = warning_lead_times(log, clusters, config);
+  EXPECT_EQ(r.with_precursor, 0u);
+  LeadTimeConfig wide;
+  wide.horizon_seconds = 200000;
+  const auto r2 = warning_lead_times(log, clusters, wide);
+  EXPECT_EQ(r2.with_precursor, 1u);
+  EXPECT_EQ(*r2.per_interruption[0].lead_seconds, 99900);
+}
+
+TEST(LeadTime, AggregatesAcrossInterruptions) {
+  std::vector<raslog::RasEvent> events = {
+      event_at(900, "00010003", "R00-M0-N00-J00"),
+      event_at(1000, "00010005", "R00-M0-N00-J00"),   // lead 100
+      event_at(50000, "00010003", "R05-M1-N02-J00"),
+      event_at(50300, "00010005", "R05-M1-N02-J00"),  // lead 300
+      event_at(90000, "00010005", "R10-M0-N00-J00"),  // no precursor
+  };
+  const raslog::RasLog log(std::move(events));
+  const auto clusters = filter_events(log, FilterConfig{}).clusters;
+  ASSERT_EQ(clusters.size(), 3u);
+  const auto r = warning_lead_times(log, clusters);
+  EXPECT_EQ(r.with_precursor, 2u);
+  EXPECT_EQ(r.without_precursor, 1u);
+  EXPECT_NEAR(r.coverage, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.median_lead_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(r.mean_lead_seconds, 200.0);
+}
+
+TEST(LeadTime, ValidatesHorizon) {
+  LeadTimeConfig config;
+  config.horizon_seconds = 0;
+  EXPECT_THROW(warning_lead_times(raslog::RasLog(), {}, config),
+               failmine::DomainError);
+}
+
+TEST(LeadTime, EmptyClustersYieldEmptyResult) {
+  const auto r = warning_lead_times(raslog::RasLog(), {});
+  EXPECT_TRUE(r.per_interruption.empty());
+  EXPECT_DOUBLE_EQ(r.coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace failmine::core

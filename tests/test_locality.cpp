@@ -1,0 +1,90 @@
+// Unit tests for analysis/locality.
+
+#include "analysis/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+
+namespace failmine::analysis {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+raslog::RasEvent fatal_at(const char* loc, util::UnixSeconds t = 0) {
+  raslog::RasEvent e;
+  e.timestamp = t;
+  e.message_id = "00010005";
+  e.severity = raslog::Severity::kFatal;
+  e.location = topology::Location::parse(loc, kMira);
+  return e;
+}
+
+raslog::RasLog hotspot_log() {
+  std::vector<raslog::RasEvent> events;
+  for (int i = 0; i < 8; ++i)
+    events.push_back(fatal_at("R00-M0-N03-J01", i * 10));
+  events.push_back(fatal_at("R05-M1-N09-J00", 1000));
+  events.push_back(fatal_at("R11-M0-N00-J00", 2000));
+  return raslog::RasLog(std::move(events));
+}
+
+TEST(EventsPerComponent, CountsAtRequestedLevel) {
+  const auto per_board = events_per_component(
+      hotspot_log(), topology::Level::kNodeBoard);
+  ASSERT_EQ(per_board.size(), 3u);
+  EXPECT_EQ(per_board[0].events, 8u);  // hottest first
+  EXPECT_EQ(per_board[0].location.to_string(), "R00-M0-N03");
+
+  const auto per_rack =
+      events_per_component(hotspot_log(), topology::Level::kRack);
+  ASSERT_EQ(per_rack.size(), 3u);
+  EXPECT_EQ(per_rack[0].events, 8u);
+}
+
+TEST(EventsPerComponent, SkipsShallowerLocations) {
+  std::vector<raslog::RasEvent> events = {fatal_at("R00-M0-N03-J01"),
+                                          fatal_at("R00")};
+  const auto per_board = events_per_component(
+      raslog::RasLog(std::move(events)), topology::Level::kNodeBoard);
+  ASSERT_EQ(per_board.size(), 1u);
+}
+
+TEST(EventsPerComponent, SeverityThresholdFiltersInfos) {
+  std::vector<raslog::RasEvent> events = {fatal_at("R00-M0-N03-J01")};
+  events[0].severity = raslog::Severity::kInfo;
+  const auto counts = events_per_component(raslog::RasLog(std::move(events)),
+                                           topology::Level::kNodeBoard);
+  EXPECT_TRUE(counts.empty());
+  const auto all = events_per_component(
+      raslog::RasLog({fatal_at("R00-M0-N03-J01")}), topology::Level::kNodeBoard,
+      raslog::Severity::kInfo);
+  EXPECT_EQ(all.size(), 1u);
+}
+
+TEST(ComponentsAtLevel, MachineArithmetic) {
+  EXPECT_EQ(components_at_level(kMira, topology::Level::kRack), 48u);
+  EXPECT_EQ(components_at_level(kMira, topology::Level::kMidplane), 96u);
+  EXPECT_EQ(components_at_level(kMira, topology::Level::kNodeBoard), 1536u);
+  EXPECT_EQ(components_at_level(kMira, topology::Level::kComputeCard), 49152u);
+}
+
+TEST(LocalitySummary, HotspotDominatesShares) {
+  const auto s =
+      locality_summary(hotspot_log(), kMira, topology::Level::kNodeBoard);
+  EXPECT_EQ(s.components_hit, 3u);
+  EXPECT_EQ(s.components_total, 1536u);
+  EXPECT_DOUBLE_EQ(s.top1_share, 0.8);
+  EXPECT_DOUBLE_EQ(s.top5_share, 1.0);
+  EXPECT_GT(s.gini, 0.4);
+}
+
+TEST(LocalitySummary, EmptyLogYieldsZeroes) {
+  const auto s =
+      locality_summary(raslog::RasLog(), kMira, topology::Level::kRack);
+  EXPECT_EQ(s.components_hit, 0u);
+  EXPECT_DOUBLE_EQ(s.top1_share, 0.0);
+}
+
+}  // namespace
+}  // namespace failmine::analysis

@@ -1,0 +1,84 @@
+// Unit tests for topology/machine: machine arithmetic and the 5D torus.
+
+#include "topology/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::topology {
+namespace {
+
+TEST(MachineConfig, MiraDimensions) {
+  const MachineConfig m = MachineConfig::mira();
+  EXPECT_EQ(m.racks(), 48);
+  EXPECT_EQ(m.nodes_per_board(), 32u);
+  EXPECT_EQ(m.nodes_per_midplane(), 512u);
+  EXPECT_EQ(m.nodes_per_rack(), 1024u);
+  EXPECT_EQ(m.total_nodes(), 49152u);
+  EXPECT_EQ(m.total_cores(), 786432u);
+}
+
+TEST(MachineConfig, SingleRack) {
+  const MachineConfig m = MachineConfig::single_rack();
+  EXPECT_EQ(m.racks(), 1);
+  EXPECT_EQ(m.total_nodes(), 1024u);
+}
+
+TEST(TorusShape, MiraShapeVolumeMatchesNodes) {
+  const MachineConfig m = MachineConfig::mira();
+  const TorusShape t = TorusShape::for_machine(m);
+  EXPECT_EQ(t.volume(), 49152u);
+  EXPECT_EQ(t.extent[0], 8);
+  EXPECT_EQ(t.extent[1], 12);
+  EXPECT_EQ(t.extent[2], 16);
+  EXPECT_EQ(t.extent[3], 16);
+  EXPECT_EQ(t.extent[4], 2);
+}
+
+TEST(TorusShape, CoordRoundTrips) {
+  const TorusShape t = TorusShape::for_machine(MachineConfig::mira());
+  for (NodeIndex n : {0u, 1u, 511u, 512u, 49151u, 12345u}) {
+    EXPECT_EQ(t.node_of(t.coord_of(n)), n) << "n=" << n;
+  }
+  EXPECT_THROW(t.coord_of(49152u), failmine::DomainError);
+}
+
+TEST(TorusShape, NodeOfValidatesCoordinates) {
+  const TorusShape t = TorusShape::for_machine(MachineConfig::mira());
+  TorusCoord c{};
+  c.dims = {8, 0, 0, 0, 0};  // A extent is 8 -> out of range
+  EXPECT_THROW(t.node_of(c), failmine::DomainError);
+  c.dims = {0, 0, 0, 0, -1};
+  EXPECT_THROW(t.node_of(c), failmine::DomainError);
+}
+
+TEST(TorusShape, DistanceUsesWraparound) {
+  const TorusShape t = TorusShape::for_machine(MachineConfig::mira());
+  TorusCoord a{}, b{};
+  a.dims = {0, 0, 0, 0, 0};
+  b.dims = {7, 0, 0, 0, 0};
+  EXPECT_EQ(t.torus_distance(a, b), 1);  // wrap: 8-7
+  b.dims = {4, 0, 0, 0, 0};
+  EXPECT_EQ(t.torus_distance(a, b), 4);
+  b.dims = {4, 6, 8, 8, 1};
+  EXPECT_EQ(t.torus_distance(a, b), 4 + 6 + 8 + 8 + 1);
+}
+
+TEST(TorusShape, DistanceIsSymmetricAndZeroOnSelf) {
+  const TorusShape t = TorusShape::for_machine(MachineConfig::mira());
+  const TorusCoord a = t.coord_of(1234);
+  const TorusCoord b = t.coord_of(45678);
+  EXPECT_EQ(t.torus_distance(a, b), t.torus_distance(b, a));
+  EXPECT_EQ(t.torus_distance(a, a), 0);
+}
+
+TEST(TorusShape, OddConfigFallsBackTo1D) {
+  MachineConfig m = MachineConfig::single_rack();
+  m.cards_per_board = 31;  // breaks the 12*16*16*2 divisibility
+  const TorusShape t = TorusShape::for_machine(m);
+  EXPECT_EQ(t.volume(), m.total_nodes());
+}
+
+}  // namespace
+}  // namespace failmine::topology

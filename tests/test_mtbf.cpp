@@ -1,0 +1,98 @@
+// Unit tests for core/mtbf (grouped MTBF + availability).
+
+#include "core/mtbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+EventCluster cluster(util::UnixSeconds t, const char* msg, const char* loc) {
+  EventCluster c;
+  c.first_time = t;
+  c.last_time = t;
+  c.member_count = 1;
+  const auto& def = raslog::message_by_id(msg);
+  c.representative.timestamp = t;
+  c.representative.message_id = msg;
+  c.representative.severity = def.severity;
+  c.representative.component = def.component;
+  c.representative.category = def.category;
+  c.representative.location = topology::Location::parse(loc, kMira);
+  return c;
+}
+
+std::vector<EventCluster> sample_clusters() {
+  return {
+      cluster(1 * 86400, "00010005", "R00-M0-N00-J00"),  // DDR / MEMORY
+      cluster(3 * 86400, "00010005", "R01-M0-N00-J00"),  // DDR / MEMORY
+      cluster(5 * 86400, "00040004", "R02-M0-N03"),      // ND / NETWORK
+      cluster(7 * 86400, "00200003", "R03"),             // BULKPOWER / POWER (rack)
+  };
+}
+
+TEST(MtbfByComponent, GroupsAndShares) {
+  const auto rows = mtbf_by_component(sample_clusters(), 0, 10 * 86400);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.at(raslog::Component::kDdr).interruptions, 2u);
+  EXPECT_DOUBLE_EQ(rows.at(raslog::Component::kDdr).mtbf_days, 5.0);
+  EXPECT_DOUBLE_EQ(rows.at(raslog::Component::kDdr).share, 0.5);
+  EXPECT_EQ(rows.at(raslog::Component::kNd).interruptions, 1u);
+  EXPECT_DOUBLE_EQ(rows.at(raslog::Component::kNd).mtbf_days, 10.0);
+}
+
+TEST(MtbfByCategory, GroupsByCategory) {
+  const auto rows = mtbf_by_category(sample_clusters(), 0, 10 * 86400);
+  EXPECT_EQ(rows.at(raslog::Category::kMemory).interruptions, 2u);
+  EXPECT_EQ(rows.at(raslog::Category::kNetwork).interruptions, 1u);
+  EXPECT_EQ(rows.at(raslog::Category::kPower).interruptions, 1u);
+}
+
+TEST(Mtbf, WindowFiltersClusters) {
+  const auto rows = mtbf_by_component(sample_clusters(), 0, 4 * 86400);
+  ASSERT_EQ(rows.size(), 1u);  // only the two DDR clusters fall in window
+  EXPECT_EQ(rows.at(raslog::Component::kDdr).interruptions, 2u);
+}
+
+TEST(Mtbf, EmptyWindowRejected) {
+  EXPECT_THROW(mtbf_by_component({}, 5, 5), failmine::DomainError);
+}
+
+TEST(Availability, HandComputed) {
+  AvailabilityConfig config;
+  config.mean_repair_hours = 4.0;
+  config.default_blast_midplanes = 1;
+  const auto r =
+      estimate_availability(sample_clusters(), kMira, 0, 10 * 86400, config);
+  EXPECT_EQ(r.interruptions, 4u);
+  EXPECT_DOUBLE_EQ(r.span_days, 10.0);
+  EXPECT_DOUBLE_EQ(r.total_midplane_hours, 96.0 * 10.0 * 24.0);
+  // Three midplane-level clusters x 1 midplane + one rack-level x 2.
+  EXPECT_DOUBLE_EQ(r.lost_midplane_hours, (3.0 * 1 + 1.0 * 2) * 4.0);
+  EXPECT_NEAR(r.availability, 1.0 - 20.0 / 23040.0, 1e-12);
+}
+
+TEST(Availability, NoInterruptionsIsFullyAvailable) {
+  const auto r = estimate_availability({}, kMira, 0, 86400);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_EQ(r.interruptions, 0u);
+}
+
+TEST(Availability, ValidatesConfig) {
+  AvailabilityConfig bad;
+  bad.mean_repair_hours = -1.0;
+  EXPECT_THROW(estimate_availability({}, kMira, 0, 86400, bad),
+               failmine::DomainError);
+  bad = AvailabilityConfig{};
+  bad.default_blast_midplanes = 0;
+  EXPECT_THROW(estimate_availability({}, kMira, 0, 86400, bad),
+               failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::core

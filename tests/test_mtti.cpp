@@ -1,0 +1,97 @@
+// Unit tests for core/mtti.
+
+#include "core/mtti.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+EventCluster cluster_at(util::UnixSeconds t) {
+  EventCluster c;
+  c.first_time = t;
+  c.last_time = t;
+  c.member_count = 1;
+  return c;
+}
+
+TEST(Mtti, SpanOverCount) {
+  const std::vector<EventCluster> clusters = {
+      cluster_at(86400), cluster_at(3 * 86400), cluster_at(6 * 86400)};
+  const MttiResult r = compute_mtti(clusters, 0, 10 * 86400);
+  EXPECT_EQ(r.interruptions, 3u);
+  EXPECT_DOUBLE_EQ(r.span_days, 10.0);
+  EXPECT_NEAR(r.mtti_days, 10.0 / 3.0, 1e-12);
+}
+
+TEST(Mtti, IntervalsAreConsecutiveGaps) {
+  const std::vector<EventCluster> clusters = {
+      cluster_at(0), cluster_at(86400), cluster_at(4 * 86400)};
+  const MttiResult r = compute_mtti(clusters, 0, 5 * 86400);
+  ASSERT_EQ(r.intervals_days.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.intervals_days[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.intervals_days[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.mean_interval_days, 2.0);
+  EXPECT_DOUBLE_EQ(r.median_interval_days, 2.0);
+}
+
+TEST(Mtti, ClustersOutsideWindowExcluded) {
+  const std::vector<EventCluster> clusters = {cluster_at(-5), cluster_at(100),
+                                              cluster_at(1'000'000'000)};
+  const MttiResult r = compute_mtti(clusters, 0, 86400);
+  EXPECT_EQ(r.interruptions, 1u);
+}
+
+TEST(Mtti, NoInterruptionsIsCensored) {
+  const MttiResult r = compute_mtti({}, 0, 7 * 86400);
+  EXPECT_EQ(r.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(r.mtti_days, 7.0);
+}
+
+TEST(Mtti, EmptyWindowRejected) {
+  EXPECT_THROW(compute_mtti({}, 100, 100), failmine::DomainError);
+}
+
+raslog::RasEvent fatal_at(util::UnixSeconds t, const char* loc) {
+  raslog::RasEvent e;
+  e.timestamp = t;
+  e.message_id = "00010005";
+  const auto& def = raslog::message_by_id("00010005");
+  e.severity = def.severity;
+  e.component = def.component;
+  e.category = def.category;
+  e.location =
+      topology::Location::parse(loc, topology::MachineConfig::mira());
+  return e;
+}
+
+TEST(Mtti, FilteredVsRawShowTheFilteringEffect) {
+  // Burst of 10 fatals in one minute -> raw MTTI tiny, filtered = 1 event.
+  std::vector<raslog::RasEvent> events;
+  for (int i = 0; i < 10; ++i)
+    events.push_back(fatal_at(1000 + i * 6, "R00-M0-N00-J00"));
+  const raslog::RasLog log(std::move(events));
+
+  const MttiResult raw = raw_mtti(log, raslog::Severity::kFatal, 0, 10 * 86400);
+  EXPECT_EQ(raw.interruptions, 10u);
+
+  const FilteredMtti filtered =
+      filtered_mtti(log, FilterConfig{}, 0, 10 * 86400);
+  EXPECT_EQ(filtered.mtti.interruptions, 1u);
+  EXPECT_DOUBLE_EQ(filtered.mtti.mtti_days, 10.0);
+  EXPECT_DOUBLE_EQ(raw.mtti_days * 10.0, filtered.mtti.mtti_days);
+}
+
+TEST(Mtti, RawCountsOnlyRequestedSeverity) {
+  std::vector<raslog::RasEvent> events = {fatal_at(10, "R00-M0-N00-J00")};
+  events[0].severity = raslog::Severity::kWarn;
+  const raslog::RasLog log(std::move(events));
+  EXPECT_EQ(raw_mtti(log, raslog::Severity::kFatal, 0, 86400).interruptions, 0u);
+  EXPECT_EQ(raw_mtti(log, raslog::Severity::kWarn, 0, 86400).interruptions, 1u);
+}
+
+}  // namespace
+}  // namespace failmine::core

@@ -1,0 +1,108 @@
+// Unit tests for the Nelder-Mead optimizer and the log-logistic fitter
+// built on it.
+
+#include "distfit/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "distfit/loglogistic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace failmine::distfit {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic1D) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return (x[0] - 3.0) * (x[0] - 3.0); },
+      {0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-8);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2D) {
+  const auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 10000;
+  const auto r = nelder_mead(rosenbrock, {-1.2, 1.0}, options);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HandlesInfiniteRegions) {
+  // Objective rejects x < 0 with +inf; minimum at x = 2 is still found.
+  const auto f = [](const std::vector<double>& x) {
+    if (x[0] < 0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 2.0) * (x[0] - 2.0);
+  };
+  const auto r = nelder_mead(f, {5.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMead, ValidatesArguments) {
+  EXPECT_THROW(nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               failmine::DomainError);
+  NelderMeadOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {1.0}, bad),
+      failmine::DomainError);
+}
+
+TEST(NelderMead, ReportsIterations) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return x[0] * x[0]; }, {10.0});
+  EXPECT_GT(r.iterations, 1);
+  EXPECT_LE(r.iterations, 2000);
+}
+
+TEST(LogLogisticFit, RecoversParameters) {
+  util::Rng rng(2024);
+  for (auto [alpha, beta] : {std::pair{2.0, 3.0}, std::pair{500.0, 1.5},
+                             std::pair{0.1, 6.0}}) {
+    const auto sample = LogLogistic(alpha, beta).sample_many(rng, 20000);
+    const LogLogistic fit = fit_loglogistic(sample);
+    EXPECT_NEAR(fit.alpha(), alpha, 0.06 * alpha) << alpha << "," << beta;
+    EXPECT_NEAR(fit.beta(), beta, 0.06 * beta) << alpha << "," << beta;
+  }
+}
+
+TEST(LogLogisticFit, BeatsPerturbedParameters) {
+  util::Rng rng(7);
+  const auto sample = LogLogistic(10.0, 2.0).sample_many(rng, 5000);
+  const LogLogistic fit = fit_loglogistic(sample);
+  const double best = fit.log_likelihood(sample);
+  EXPECT_GE(best,
+            LogLogistic(fit.alpha() * 1.15, fit.beta()).log_likelihood(sample));
+  EXPECT_GE(best,
+            LogLogistic(fit.alpha(), fit.beta() * 1.15).log_likelihood(sample));
+}
+
+TEST(LogLogisticFit, RejectsBadSamples) {
+  EXPECT_THROW(fit_loglogistic(std::vector<double>{1.0}), failmine::DomainError);
+  EXPECT_THROW(fit_loglogistic(std::vector<double>{1.0, -2.0}),
+               failmine::DomainError);
+  EXPECT_THROW(fit_loglogistic(std::vector<double>{3.0, 3.0}),
+               failmine::DomainError);
+}
+
+TEST(LogLogistic, InfiniteMomentsForSmallBeta) {
+  EXPECT_TRUE(std::isinf(LogLogistic(1.0, 0.9).mean()));
+  EXPECT_TRUE(std::isinf(LogLogistic(1.0, 1.8).variance()));
+}
+
+TEST(LogLogistic, MedianIsAlpha) {
+  const LogLogistic d(7.5, 2.2);
+  EXPECT_NEAR(d.quantile(0.5), 7.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace failmine::distfit

@@ -1,0 +1,91 @@
+// Unit tests for topology/partition.
+
+#include "topology/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::topology {
+namespace {
+
+const MachineConfig kMira = MachineConfig::mira();
+
+TEST(Partition, ValidatesBounds) {
+  EXPECT_NO_THROW(Partition(0, 1, kMira));
+  EXPECT_NO_THROW(Partition(95, 1, kMira));
+  EXPECT_NO_THROW(Partition(0, 96, kMira));
+  EXPECT_THROW(Partition(-1, 1, kMira), failmine::DomainError);
+  EXPECT_THROW(Partition(96, 1, kMira), failmine::DomainError);
+  EXPECT_THROW(Partition(95, 2, kMira), failmine::DomainError);
+  EXPECT_THROW(Partition(0, 0, kMira), failmine::DomainError);
+}
+
+TEST(Partition, NodeCount) {
+  EXPECT_EQ(Partition(0, 1, kMira).node_count(kMira), 512u);
+  EXPECT_EQ(Partition(0, 96, kMira).node_count(kMira), 49152u);
+}
+
+TEST(Partition, GlobalMidplaneIndexing) {
+  const Location m0 = Location::parse("R00-M0", kMira);
+  const Location m1 = Location::parse("R00-M1", kMira);
+  const Location r1m0 = Location::parse("R01-M0", kMira);
+  EXPECT_EQ(Partition::global_midplane_index(m0, kMira), 0);
+  EXPECT_EQ(Partition::global_midplane_index(m1, kMira), 1);
+  EXPECT_EQ(Partition::global_midplane_index(r1m0, kMira), 2);
+  EXPECT_THROW(
+      Partition::global_midplane_index(Location::parse("R00", kMira), kMira),
+      failmine::DomainError);
+}
+
+TEST(Partition, MidplaneLocationRoundTrips) {
+  for (int idx : {0, 1, 2, 47, 95}) {
+    const Location loc = Partition::midplane_location(idx, kMira);
+    EXPECT_EQ(Partition::global_midplane_index(loc, kMira), idx);
+  }
+  EXPECT_THROW(Partition::midplane_location(96, kMira), failmine::DomainError);
+  EXPECT_THROW(Partition::midplane_location(-1, kMira), failmine::DomainError);
+}
+
+TEST(Partition, CoversLocationsInsideOnly) {
+  const Partition p(2, 2, kMira);  // R01-M0 and R01-M1
+  EXPECT_TRUE(p.covers(Location::parse("R01-M0", kMira), kMira));
+  EXPECT_TRUE(p.covers(Location::parse("R01-M1-N05-J09", kMira), kMira));
+  EXPECT_FALSE(p.covers(Location::parse("R00-M1", kMira), kMira));
+  EXPECT_FALSE(p.covers(Location::parse("R02-M0", kMira), kMira));
+  // Rack-level locations cannot be localized to a midplane.
+  EXPECT_FALSE(p.covers(Location::parse("R01", kMira), kMira));
+}
+
+TEST(Partition, MidplanesEnumeratesRange) {
+  const Partition p(1, 3, kMira);
+  const auto mids = p.midplanes(kMira);
+  ASSERT_EQ(mids.size(), 3u);
+  EXPECT_EQ(mids[0].to_string(), "R00-M1");
+  EXPECT_EQ(mids[1].to_string(), "R01-M0");
+  EXPECT_EQ(mids[2].to_string(), "R01-M1");
+}
+
+TEST(Partition, ToStringLabel) {
+  EXPECT_EQ(Partition(4, 2, kMira).to_string(), "MID[4..5]");
+}
+
+TEST(MidplanesForNodes, PowerOfTwoRounding) {
+  EXPECT_EQ(midplanes_for_nodes(1, kMira), 1);
+  EXPECT_EQ(midplanes_for_nodes(512, kMira), 1);
+  EXPECT_EQ(midplanes_for_nodes(513, kMira), 2);
+  EXPECT_EQ(midplanes_for_nodes(1024, kMira), 2);
+  EXPECT_EQ(midplanes_for_nodes(1500, kMira), 4);
+  EXPECT_EQ(midplanes_for_nodes(49152, kMira), 96);
+  EXPECT_THROW(midplanes_for_nodes(0, kMira), failmine::DomainError);
+  EXPECT_THROW(midplanes_for_nodes(49153, kMira), failmine::DomainError);
+}
+
+TEST(MidplanesForNodes, ClampsToMachine) {
+  // 33 midplanes round to 64, but 96 total caps apply only above; verify
+  // rounding never exceeds the machine's midplane count.
+  EXPECT_LE(midplanes_for_nodes(25000, kMira), 96);
+}
+
+}  // namespace
+}  // namespace failmine::topology

@@ -1,0 +1,97 @@
+// Unit tests for sim/population.
+
+#include "sim/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace failmine::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig c = SimConfig::test_scale();
+  c.user_count = 100;
+  c.project_count = 20;
+  return c;
+}
+
+TEST(Population, GeneratesRequestedUserCount) {
+  util::Rng rng(1);
+  const Population pop(small_config(), rng);
+  EXPECT_EQ(pop.user_count(), 100u);
+  EXPECT_EQ(pop.project_count(), 20u);
+}
+
+TEST(Population, UsersHaveValidFields) {
+  util::Rng rng(2);
+  const Population pop(small_config(), rng);
+  for (const auto& u : pop.users()) {
+    EXPECT_LT(u.project_id, 20u);
+    EXPECT_GT(u.failure_multiplier, 0.0);
+    EXPECT_GT(u.activity_weight, 0.0);
+    EXPECT_GE(u.scale_preference, 0.0);
+    EXPECT_LE(u.scale_preference, 1.0);
+  }
+}
+
+TEST(Population, ActivityWeightedFailureMultiplierIsNormalized) {
+  util::Rng rng(3);
+  const Population pop(small_config(), rng);
+  double w = 0.0, wm = 0.0;
+  for (const auto& u : pop.users()) {
+    w += u.activity_weight;
+    wm += u.activity_weight * u.failure_multiplier;
+  }
+  EXPECT_NEAR(wm / w, 1.0, 1e-9);
+}
+
+TEST(Population, SamplingIsHeavyTailed) {
+  util::Rng rng(4);
+  const Population pop(small_config(), rng);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[pop.sample_user(rng)];
+  // Zipf(1.05) over 100 users: the busiest user should dwarf the median.
+  int max_count = 0;
+  for (const auto& [id, n] : counts) max_count = std::max(max_count, n);
+  EXPECT_GT(max_count, 5000);
+}
+
+TEST(Population, SampledUsersAreValidIds) {
+  util::Rng rng(5);
+  const Population pop(small_config(), rng);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(pop.sample_user(rng), 100u);
+}
+
+TEST(Population, UserLookupValidatesId) {
+  util::Rng rng(6);
+  const Population pop(small_config(), rng);
+  EXPECT_NO_THROW(pop.user(99));
+  EXPECT_THROW(pop.user(100), failmine::DomainError);
+}
+
+TEST(Population, DeterministicForSameSeed) {
+  util::Rng a(7), b(7);
+  const Population pa(small_config(), a);
+  const Population pb(small_config(), b);
+  for (std::size_t i = 0; i < pa.user_count(); ++i) {
+    EXPECT_EQ(pa.users()[i].project_id, pb.users()[i].project_id);
+    EXPECT_DOUBLE_EQ(pa.users()[i].failure_multiplier,
+                     pb.users()[i].failure_multiplier);
+  }
+}
+
+TEST(Population, RejectsInvalidConfig) {
+  SimConfig c = small_config();
+  c.user_count = 0;
+  util::Rng rng(8);
+  EXPECT_THROW(Population(c, rng), failmine::DomainError);
+  c = small_config();
+  c.project_count = c.user_count + 1;
+  EXPECT_THROW(Population(c, rng), failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::sim

@@ -1,0 +1,87 @@
+// Unit tests for analysis/queue_wait.
+
+#include "analysis/queue_wait.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+namespace {
+
+joblog::JobRecord job_with_wait(std::uint64_t id, std::int64_t wait,
+                                std::uint32_t nodes, const char* queue,
+                                bool failed = false) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = 1;
+  j.project_id = 1;
+  j.queue = queue;
+  j.submit_time = 1000;
+  j.start_time = 1000 + wait;
+  j.end_time = j.start_time + 3600;
+  j.nodes_used = nodes;
+  j.task_count = 1;
+  j.requested_walltime = 7200;
+  if (failed) {
+    j.exit_class = joblog::ExitClass::kUserAppError;
+    j.exit_code = 1;
+  }
+  return j;
+}
+
+joblog::JobLog sample_log() {
+  return joblog::JobLog({
+      job_with_wait(1, 100, 512, "prod-short"),
+      job_with_wait(2, 200, 512, "prod-short", true),
+      job_with_wait(3, 300, 512, "prod-short"),
+      job_with_wait(4, 5000, 4096, "prod-capability"),
+      job_with_wait(5, 7000, 4096, "prod-capability"),
+  });
+}
+
+TEST(WaitByScale, GroupsAndSummaries) {
+  const auto by_scale = wait_by_scale(sample_log());
+  ASSERT_EQ(by_scale.size(), 2u);
+  const auto& small = by_scale.at(512);
+  EXPECT_EQ(small.jobs, 3u);
+  EXPECT_DOUBLE_EQ(small.mean_wait_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(small.median_wait_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(small.max_wait_seconds, 300.0);
+  const auto& big = by_scale.at(4096);
+  EXPECT_DOUBLE_EQ(big.mean_wait_seconds, 6000.0);
+}
+
+TEST(WaitByQueue, GroupsByQueueName) {
+  const auto by_queue = wait_by_queue(sample_log());
+  ASSERT_EQ(by_queue.size(), 2u);
+  EXPECT_EQ(by_queue.at("prod-short").jobs, 3u);
+  EXPECT_EQ(by_queue.at("prod-capability").jobs, 2u);
+}
+
+TEST(WaitByOutcome, SplitsPopulations) {
+  const auto r = wait_by_outcome(sample_log());
+  EXPECT_EQ(r.successful.jobs, 4u);
+  EXPECT_EQ(r.failed.jobs, 1u);
+  EXPECT_DOUBLE_EQ(r.failed.mean_wait_seconds, 200.0);
+}
+
+TEST(WaitScaleTrend, DetectsMonotoneIncrease) {
+  EXPECT_DOUBLE_EQ(wait_scale_trend(sample_log()), 1.0);
+}
+
+TEST(WaitScaleTrend, SingleSizeRejected) {
+  const joblog::JobLog log({job_with_wait(1, 10, 512, "q"),
+                            job_with_wait(2, 20, 512, "q")});
+  EXPECT_THROW(wait_scale_trend(log), failmine::DomainError);
+}
+
+TEST(WaitByOutcome, EmptyPopulationsAreZero) {
+  const joblog::JobLog log({job_with_wait(1, 10, 512, "q")});
+  const auto r = wait_by_outcome(log);
+  EXPECT_EQ(r.failed.jobs, 0u);
+  EXPECT_DOUBLE_EQ(r.failed.mean_wait_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace failmine::analysis

@@ -1,0 +1,137 @@
+// Integration test: the takeaway report must pass end-to-end on the
+// default-seed test-scale trace, and its formatting must be stable.
+
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace failmine::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new sim::SimConfig(sim::SimConfig::test_scale());
+    result_ = new sim::SimResult(sim::simulate(*config_));
+    analyzer_ = new JointAnalyzer(result_->job_log, result_->task_log,
+                                  result_->ras_log, result_->io_log,
+                                  config_->machine);
+  }
+  static void TearDownTestSuite() {
+    delete analyzer_;
+    delete result_;
+    delete config_;
+    analyzer_ = nullptr;
+    result_ = nullptr;
+    config_ = nullptr;
+  }
+  static sim::SimConfig* config_;
+  static sim::SimResult* result_;
+  static JointAnalyzer* analyzer_;
+};
+
+sim::SimConfig* ReportTest::config_ = nullptr;
+sim::SimResult* ReportTest::result_ = nullptr;
+JointAnalyzer* ReportTest::analyzer_ = nullptr;
+
+TEST_F(ReportTest, CoversEveryHeadlineTakeaway) {
+  ReportConfig rc;
+  rc.trace_scale = config_->scale;
+  const auto takeaways = evaluate_takeaways(*analyzer_, rc);
+  ASSERT_EQ(takeaways.size(), 22u);
+  // Every id family from DESIGN.md appears.
+  for (const char* prefix : {"T-A", "T-B", "T-C", "T-D", "T-E", "T-F"}) {
+    bool found = false;
+    for (const auto& t : takeaways)
+      found = found || t.id.rfind(prefix, 0) == 0;
+    EXPECT_TRUE(found) << prefix;
+  }
+}
+
+TEST_F(ReportTest, StructuralTakeawaysPassAtTestScale) {
+  ReportConfig rc;
+  rc.trace_scale = config_->scale;
+  const auto takeaways = evaluate_takeaways(*analyzer_, rc);
+  for (const auto& t : takeaways) {
+    // At 1/100 scale, small-sample noise exempts only the tight
+    // count-calibrated claims from a hard assertion; structural claims
+    // must hold at any scale. T-C4/T-C5 need >= 30 system failures /
+    // >= 20 interruption intervals, which a 1/100 trace does not contain.
+    if (t.id == "T-A1" || t.id == "T-F2" || t.id == "T-E1" ||
+        t.id == "T-C4" || t.id == "T-C5")
+      continue;
+    EXPECT_TRUE(t.pass) << t.id << ": " << t.claim << " expected "
+                        << t.expected << " measured " << t.measured;
+  }
+}
+
+TEST_F(ReportTest, CalibratedCountsAreInTheRightBallpark) {
+  ReportConfig rc;
+  rc.trace_scale = config_->scale;
+  const auto takeaways = evaluate_takeaways(*analyzer_, rc);
+  for (const auto& t : takeaways) {
+    if (t.id == "T-A1") EXPECT_NEAR(t.measured, t.expected, 0.2 * t.expected);
+    if (t.id == "T-F2") EXPECT_NEAR(t.measured, t.expected, 0.3 * t.expected);
+    if (t.id == "T-E1") EXPECT_NEAR(t.measured, t.expected, 0.8 * t.expected);
+  }
+}
+
+TEST_F(ReportTest, FormatProducesOneLinePerTakeawayPlusHeader) {
+  ReportConfig rc;
+  rc.trace_scale = config_->scale;
+  const auto takeaways = evaluate_takeaways(*analyzer_, rc);
+  const std::string text = format_report(takeaways);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(lines, takeaways.size() + 2);
+  EXPECT_NE(text.find("T-A1"), std::string::npos);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonOutputIsWellFormedAndComplete) {
+  ReportConfig rc;
+  rc.trace_scale = config_->scale;
+  const auto takeaways = evaluate_takeaways(*analyzer_, rc);
+  const std::string json = format_report_json(takeaways);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // One object per takeaway, comma-separated.
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"id\":"), takeaways.size());
+  EXPECT_EQ(count("\"pass\":"), takeaways.size());
+  EXPECT_EQ(count("},"), takeaways.size() - 1);
+  EXPECT_NE(json.find("\"T-A1\""), std::string::npos);
+}
+
+TEST(ReportUnit, JsonEscapesSpecialCharacters) {
+  std::vector<Takeaway> takeaways(1);
+  takeaways[0].id = "T-X";
+  takeaways[0].claim = "has \"quotes\" and \\backslash\\ and\nnewline";
+  takeaways[0].unit = "u";
+  const std::string json = format_report_json(takeaways);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\backslash\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(ReportUnit, AllPassDetectsFailure) {
+  std::vector<Takeaway> takeaways(2);
+  takeaways[0].pass = true;
+  takeaways[1].pass = true;
+  EXPECT_TRUE(all_pass(takeaways));
+  takeaways[1].pass = false;
+  EXPECT_FALSE(all_pass(takeaways));
+  EXPECT_TRUE(all_pass({}));
+}
+
+}  // namespace
+}  // namespace failmine::core

@@ -1,0 +1,239 @@
+// Unit + property tests for util/rng: determinism, range invariants, and
+// first/second moments of every variate generator.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace failmine::util {
+namespace {
+
+constexpr std::size_t kN = 20000;
+
+double sample_mean(Rng& rng, double (Rng::*gen)()) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) s += (rng.*gen)();
+  return s / static_cast<double>(kN);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(7);
+  EXPECT_NEAR(sample_mean(rng, &Rng::uniform), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), DomainError);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_int(3, 2), DomainError);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (std::size_t i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.015);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(19);
+  double s = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double v = rng.exponential(0.25);
+    ASSERT_GT(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s / kN, 4.0, 0.15);
+  EXPECT_THROW(rng.exponential(0.0), DomainError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double s = 0.0, s2 = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    s += v;
+    s2 += v * v;
+  }
+  const double mean = s / kN;
+  const double var = s2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.08);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Rng rng(29);
+  std::vector<double> v(kN);
+  for (auto& x : v) x = rng.lognormal(1.0, 0.5);
+  std::nth_element(v.begin(), v.begin() + kN / 2, v.end());
+  EXPECT_NEAR(v[kN / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, WeibullMean) {
+  Rng rng(31);
+  double s = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) s += rng.weibull(2.0, 1.0);
+  EXPECT_NEAR(s / kN, std::tgamma(1.5), 0.02);
+  EXPECT_THROW(rng.weibull(-1.0, 1.0), DomainError);
+}
+
+TEST(Rng, ParetoSupportAndMedian) {
+  Rng rng(37);
+  std::vector<double> v(kN);
+  for (auto& x : v) {
+    x = rng.pareto(2.0, 3.0);
+    ASSERT_GE(x, 2.0);
+  }
+  std::nth_element(v.begin(), v.begin() + kN / 2, v.end());
+  EXPECT_NEAR(v[kN / 2], 2.0 * std::pow(2.0, 1.0 / 3.0), 0.06);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+  Rng rng(41);
+  for (double shape : {0.5, 1.0, 3.0, 9.0}) {
+    double s = 0.0, s2 = 0.0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      const double v = rng.gamma(shape, 2.0);
+      s += v;
+      s2 += v * v;
+    }
+    const double mean = s / kN;
+    const double var = s2 / kN - mean * mean;
+    EXPECT_NEAR(mean, shape * 2.0, 0.15 * shape * 2.0) << "shape=" << shape;
+    EXPECT_NEAR(var, shape * 4.0, 0.25 * shape * 4.0) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, ErlangIsSumOfExponentials) {
+  Rng rng(43);
+  double s = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) s += rng.erlang(4, 0.5);
+  EXPECT_NEAR(s / kN, 8.0, 0.25);
+  EXPECT_THROW(rng.erlang(0, 1.0), DomainError);
+}
+
+TEST(Rng, InverseGaussianMean) {
+  Rng rng(47);
+  double s = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double v = rng.inverse_gaussian(3.0, 6.0);
+    ASSERT_GT(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s / kN, 3.0, 0.15);
+}
+
+TEST(Rng, PoissonSmallAndLargeMeans) {
+  Rng rng(53);
+  for (double lambda : {0.5, 5.0, 80.0}) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < kN; ++i)
+      s += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(s / kN, lambda, 0.05 * lambda + 0.05) << "lambda=" << lambda;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfFavorsSmallRanks) {
+  Rng rng(59);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.2) - 1];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(61);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 30000; ++i) ++counts[rng.categorical({1.0, 2.0, 3.0})];
+  EXPECT_NEAR(counts[0], 5000, 400);
+  EXPECT_NEAR(counts[1], 10000, 500);
+  EXPECT_NEAR(counts[2], 15000, 600);
+  EXPECT_THROW(rng.categorical({}), DomainError);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), DomainError);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), DomainError);
+}
+
+TEST(AliasTable, MatchesWeightsExactly) {
+  Rng rng(67);
+  const AliasTable table({5.0, 1.0, 4.0});
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[table.sample(rng)];
+  EXPECT_NEAR(counts[0], 50000, 1200);
+  EXPECT_NEAR(counts[1], 10000, 700);
+  EXPECT_NEAR(counts[2], 40000, 1200);
+}
+
+TEST(AliasTable, HandlesZeroWeightEntries) {
+  Rng rng(71);
+  const AliasTable table({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable({}), DomainError);
+  EXPECT_THROW(AliasTable({0.0}), DomainError);
+  EXPECT_THROW(AliasTable({-1.0, 2.0}), DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::util

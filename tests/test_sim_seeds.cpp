@@ -1,0 +1,86 @@
+// Parameterized cross-seed invariants: every structural guarantee of the
+// simulator must hold for arbitrary seeds, not just the default one.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/report.hpp"
+#include "sim/simulator.hpp"
+
+namespace failmine::sim {
+namespace {
+
+class SimSeedInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  SimSeedInvariants() {
+    SimConfig config = SimConfig::test_scale();
+    config.scale = 0.02;
+    config.seed = GetParam();
+    config_ = config;
+    trace_ = simulate(config);
+  }
+  SimConfig config_;
+  SimResult trace_;
+};
+
+TEST_P(SimSeedInvariants, FailureShareStaysCalibrated) {
+  std::size_t failures = 0, user = 0;
+  for (const auto& j : trace_.job_log.jobs()) {
+    if (!j.failed()) continue;
+    ++failures;
+    if (joblog::is_user_caused(j.exit_class)) ++user;
+  }
+  ASSERT_GT(failures, 100u);
+  const double rate = static_cast<double>(failures) /
+                      static_cast<double>(trace_.job_log.size());
+  EXPECT_NEAR(rate, 0.198, 0.025);
+  EXPECT_GT(static_cast<double>(user) / static_cast<double>(failures), 0.98);
+}
+
+TEST_P(SimSeedInvariants, TaskStructureConsistent) {
+  for (const auto& j : trace_.job_log.jobs()) {
+    const auto tasks = trace_.task_log.tasks_of_job(j.job_id);
+    ASSERT_EQ(tasks.size(), j.task_count);
+    ASSERT_FALSE(tasks.empty());
+    EXPECT_EQ(tasks.front().start_time, j.start_time);
+    EXPECT_EQ(tasks.back().end_time, j.end_time);
+  }
+}
+
+TEST_P(SimSeedInvariants, SystemKillsAlwaysHaveEpisodes) {
+  std::set<std::uint64_t> victims;
+  for (const auto& ep : trace_.episodes)
+    if (ep.victim_job) victims.insert(*ep.victim_job);
+  for (const auto& j : trace_.job_log.jobs()) {
+    if (joblog::is_system_caused(j.exit_class))
+      EXPECT_TRUE(victims.contains(j.job_id)) << "seed " << GetParam();
+  }
+}
+
+TEST_P(SimSeedInvariants, StructuralTakeawaysHold) {
+  const core::JointAnalyzer analyzer(trace_.job_log, trace_.task_log,
+                                     trace_.ras_log, trace_.io_log,
+                                     config_.machine);
+  core::ReportConfig rc;
+  rc.trace_scale = config_.scale;
+  const auto takeaways = core::evaluate_takeaways(analyzer, rc);
+  for (const auto& t : takeaways) {
+    // Count-calibrated and small-sample claims are noise-exempt at 1/50
+    // scale (same exemptions as the default-seed report test).
+    if (t.id == "T-A1" || t.id == "T-F2" || t.id == "T-E1" ||
+        t.id == "T-C4" || t.id == "T-C5")
+      continue;
+    EXPECT_TRUE(t.pass) << "seed " << GetParam() << " " << t.id << ": "
+                        << t.claim << " measured " << t.measured;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSeedInvariants,
+                         ::testing::Values(7ULL, 1234567ULL, 0xABCDEFULL),
+                         [](const auto& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace failmine::sim

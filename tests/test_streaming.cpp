@@ -1,0 +1,113 @@
+// Tests for the O(1)-memory streaming CSV readers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "joblog/job.hpp"
+#include "raslog/event.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace failmine {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string((std::filesystem::temp_directory_path() /
+                            ("failmine_stream_" + std::to_string(::getpid())))
+                               .string());
+    std::filesystem::create_directories(*dir_);
+    sim::SimConfig config = sim::SimConfig::test_scale();
+    config.scale = 0.002;
+    trace_ = new sim::SimResult(sim::simulate(config));
+    sim::write_dataset(*trace_, *dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete trace_;
+    delete dir_;
+    trace_ = nullptr;
+    dir_ = nullptr;
+  }
+  static std::string* dir_;
+  static sim::SimResult* trace_;
+};
+
+std::string* StreamingTest::dir_ = nullptr;
+sim::SimResult* StreamingTest::trace_ = nullptr;
+
+TEST_F(StreamingTest, RasStreamVisitsEveryEventInFileOrder) {
+  std::size_t count = 0;
+  util::UnixSeconds prev = 0;
+  raslog::RasLog::for_each_csv(*dir_ + "/ras.csv", kMira,
+                               [&](const raslog::RasEvent& e) {
+                                 EXPECT_GE(e.timestamp, prev);
+                                 prev = e.timestamp;
+                                 ++count;
+                                 return true;
+                               });
+  EXPECT_EQ(count, trace_->ras_log.size());
+}
+
+TEST_F(StreamingTest, RasStreamStopsEarlyOnFalse) {
+  std::size_t count = 0;
+  raslog::RasLog::for_each_csv(*dir_ + "/ras.csv", kMira,
+                               [&](const raslog::RasEvent&) {
+                                 return ++count < 10;
+                               });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_F(StreamingTest, RasStreamAgreesWithMaterializedRead) {
+  std::vector<raslog::RasEvent> streamed;
+  raslog::RasLog::for_each_csv(*dir_ + "/ras.csv", kMira,
+                               [&](const raslog::RasEvent& e) {
+                                 streamed.push_back(e);
+                                 return true;
+                               });
+  const auto loaded = raslog::RasLog::read_csv(*dir_ + "/ras.csv", kMira);
+  ASSERT_EQ(streamed.size(), loaded.size());
+  for (std::size_t i = 0; i < streamed.size(); i += 13)
+    EXPECT_EQ(streamed[i], loaded.events()[i]);
+}
+
+TEST_F(StreamingTest, JobStreamVisitsEveryJob) {
+  std::size_t count = 0;
+  std::uint64_t failures = 0;
+  joblog::JobLog::for_each_csv(*dir_ + "/jobs.csv",
+                               [&](const joblog::JobRecord& j) {
+                                 ++count;
+                                 failures += j.failed() ? 1 : 0;
+                                 return true;
+                               });
+  EXPECT_EQ(count, trace_->job_log.size());
+  EXPECT_EQ(failures, trace_->job_log.failures().size());
+}
+
+TEST_F(StreamingTest, JobStreamStopsEarly) {
+  std::size_t count = 0;
+  joblog::JobLog::for_each_csv(*dir_ + "/jobs.csv",
+                               [&](const joblog::JobRecord&) {
+                                 return ++count < 5;
+                               });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Streaming, MissingFileThrows) {
+  EXPECT_THROW(raslog::RasLog::for_each_csv(
+                   "/nonexistent/ras.csv", kMira,
+                   [](const raslog::RasEvent&) { return true; }),
+               IoError);
+  EXPECT_THROW(joblog::JobLog::for_each_csv(
+                   "/nonexistent/jobs.csv",
+                   [](const joblog::JobRecord&) { return true; }),
+               IoError);
+}
+
+}  // namespace
+}  // namespace failmine

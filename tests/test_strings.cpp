@@ -1,0 +1,69 @@
+// Unit tests for util/strings.
+
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::util {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a-b-c", '-'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("--", '-'), (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(split("solo", '-'), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(split("", '-'), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("FaTaL"), "fatal");
+  EXPECT_EQ(to_lower("123-XYZ"), "123-xyz");
+}
+
+TEST(Strings, ParseIntAcceptsSignedValues) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("  8 "), 8);
+}
+
+TEST(Strings, ParseIntRejectsJunk) {
+  EXPECT_THROW(parse_int(""), ParseError);
+  EXPECT_THROW(parse_int("12x"), ParseError);
+  EXPECT_THROW(parse_int("1.5"), ParseError);
+}
+
+TEST(Strings, ParseUintRejectsNegative) {
+  EXPECT_EQ(parse_uint("99"), 99u);
+  EXPECT_THROW(parse_uint("-1"), ParseError);
+  EXPECT_THROW(parse_uint("abc"), ParseError);
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_THROW(parse_double(""), ParseError);
+  EXPECT_THROW(parse_double("1.2.3"), ParseError);
+}
+
+TEST(Strings, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("R00-M1", "R00"));
+  EXPECT_FALSE(starts_with("R0", "R00"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace failmine::util

@@ -1,0 +1,100 @@
+// Unit tests for analysis/structure.
+
+#include "analysis/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+joblog::JobRecord make_job(std::uint64_t id, std::uint32_t nodes,
+                           std::uint32_t tasks, bool failed,
+                           std::int64_t runtime = 3600) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = 1;
+  j.project_id = 1;
+  j.queue = "q";
+  j.submit_time = 0;
+  j.start_time = 0;
+  j.end_time = runtime;
+  j.nodes_used = nodes;
+  j.task_count = tasks;
+  j.requested_walltime = runtime * 2;
+  if (failed) {
+    j.exit_class = joblog::ExitClass::kUserAppError;
+    j.exit_code = 1;
+  }
+  return j;
+}
+
+TEST(FailureRateByScale, OneBucketPerDistinctSize) {
+  const joblog::JobLog log({make_job(1, 512, 1, false),
+                            make_job(2, 512, 1, true),
+                            make_job(3, 1024, 1, true),
+                            make_job(4, 2048, 1, false)});
+  const auto buckets = failure_rate_by_scale(log);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].failure_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(buckets[1].failure_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[2].failure_rate(), 0.0);
+  EXPECT_EQ(buckets[0].label, "512 nodes");
+}
+
+TEST(FailureRateByTaskCount, CapBucketAbsorbsTail) {
+  const joblog::JobLog log({make_job(1, 512, 1, false),
+                            make_job(2, 512, 2, true),
+                            make_job(3, 512, 9, true),
+                            make_job(4, 512, 20, true)});
+  const auto buckets = failure_rate_by_task_count(log, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].jobs, 1u);
+  EXPECT_EQ(buckets[1].jobs, 1u);
+  EXPECT_EQ(buckets[3].jobs, 2u);  // >= 4 tasks
+  EXPECT_EQ(buckets[3].label, ">=4 tasks");
+  EXPECT_THROW(failure_rate_by_task_count(log, 1), failmine::DomainError);
+}
+
+TEST(FailureRateByCoreHours, LogBucketsCoverAllJobs) {
+  const joblog::JobLog log({make_job(1, 512, 1, false, 600),
+                            make_job(2, 1024, 1, true, 3600),
+                            make_job(3, 49152, 1, true, 86400)});
+  const auto buckets = failure_rate_by_core_hours(log, kMira, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& b : buckets) total += b.jobs;
+  EXPECT_EQ(total, 3u);
+  EXPECT_THROW(failure_rate_by_core_hours(joblog::JobLog(), kMira),
+               failmine::DomainError);
+}
+
+TEST(BucketTrend, DetectsMonotoneIncrease) {
+  std::vector<StructureBucket> buckets(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    buckets[i].lower = static_cast<double>(i);
+    buckets[i].jobs = 100;
+    buckets[i].failures = 10 * (i + 1);
+  }
+  EXPECT_DOUBLE_EQ(bucket_trend(buckets), 1.0);
+}
+
+TEST(BucketTrend, IgnoresEmptyBuckets) {
+  std::vector<StructureBucket> buckets(3);
+  buckets[0] = {.label = "", .lower = 1.0, .upper = 2.0, .jobs = 10, .failures = 1};
+  buckets[1] = {.label = "", .lower = 2.0, .upper = 3.0, .jobs = 0, .failures = 0};
+  buckets[2] = {.label = "", .lower = 3.0, .upper = 4.0, .jobs = 10, .failures = 5};
+  EXPECT_DOUBLE_EQ(bucket_trend(buckets), 1.0);
+}
+
+TEST(BucketTrend, TooFewPopulatedBucketsRejected) {
+  std::vector<StructureBucket> buckets(1);
+  buckets[0].jobs = 5;
+  EXPECT_THROW(bucket_trend(buckets), failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::analysis

@@ -1,0 +1,92 @@
+// Unit tests for stats/summary.
+
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace failmine::stats {
+namespace {
+
+TEST(Summary, HandComputedValues) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, EmptySampleThrows) {
+  EXPECT_THROW(summarize({}), failmine::DomainError);
+  EXPECT_THROW(mean({}), failmine::DomainError);
+  EXPECT_THROW(variance({}), failmine::DomainError);
+}
+
+TEST(Summary, SingleValue) {
+  const std::vector<double> v = {3.5};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.skewness, 0.0);
+}
+
+TEST(Summary, SkewnessSignDetectsAsymmetry) {
+  const std::vector<double> right = {1, 1, 1, 2, 2, 3, 10};
+  const std::vector<double> left = {-10, -3, -2, -2, -1, -1, -1};
+  EXPECT_GT(summarize(right).skewness, 0.5);
+  EXPECT_LT(summarize(left).skewness, -0.5);
+}
+
+TEST(Median, OddAndEvenSizes) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+  EXPECT_THROW(quantile(v, 1.5), failmine::DomainError);
+}
+
+TEST(Quantile, SortedVariantAgreesWithUnsorted) {
+  const std::vector<double> unsorted = {9, 2, 7, 4, 1};
+  std::vector<double> sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.1, 0.33, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(quantile(unsorted, p), quantile_sorted(sorted, p));
+  }
+}
+
+TEST(GeometricMean, PositiveValuesOnly) {
+  EXPECT_NEAR(geometric_mean(std::vector<double>{1, 4, 16}), 4.0, 1e-12);
+  EXPECT_THROW(geometric_mean(std::vector<double>{1.0, 0.0}),
+               failmine::DomainError);
+}
+
+TEST(Ranks, TiesGetMidRanks) {
+  const std::vector<double> v = {10, 20, 20, 30};
+  const auto r = ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Ranks, AllEqualValues) {
+  const auto r = ranks(std::vector<double>{5, 5, 5});
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+}  // namespace
+}  // namespace failmine::stats

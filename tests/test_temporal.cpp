@@ -1,0 +1,120 @@
+// Unit tests for analysis/temporal.
+
+#include "analysis/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+
+namespace failmine::analysis {
+namespace {
+
+// 2013-04-08 00:00:00 UTC was a Monday.
+constexpr util::UnixSeconds kMonday = 1365379200;
+
+joblog::JobRecord job_at(std::uint64_t id, util::UnixSeconds submit,
+                         bool failed = false) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = 1;
+  j.project_id = 1;
+  j.queue = "q";
+  j.submit_time = submit;
+  j.start_time = submit + 60;
+  j.end_time = submit + 120;
+  j.nodes_used = 512;
+  j.task_count = 1;
+  j.requested_walltime = 3600;
+  if (failed) {
+    j.exit_class = joblog::ExitClass::kUserAppError;
+    j.exit_code = 1;
+  }
+  return j;
+}
+
+TEST(Temporal, SubmissionsByHourBinsCorrectly) {
+  const joblog::JobLog log({job_at(1, kMonday + 0 * 3600),
+                            job_at(2, kMonday + 13 * 3600),
+                            job_at(3, kMonday + 13 * 3600 + 120),
+                            job_at(4, kMonday + 23 * 3600)});
+  const auto p = submissions_by_hour(log);
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[13], 2u);
+  EXPECT_EQ(p[23], 1u);
+  std::uint64_t total = 0;
+  for (auto c : p) total += c;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Temporal, SubmissionsByWeekday) {
+  const joblog::JobLog log({job_at(1, kMonday),               // Monday
+                            job_at(2, kMonday + 86400),       // Tuesday
+                            job_at(3, kMonday + 5 * 86400)}); // Saturday
+  const auto p = submissions_by_weekday(log);
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[1], 1u);
+  EXPECT_EQ(p[5], 1u);
+  EXPECT_EQ(p[6], 0u);
+}
+
+TEST(Temporal, FailuresByHourUsesEndTime) {
+  const joblog::JobLog log({job_at(1, kMonday + 3600, true),
+                            job_at(2, kMonday + 3600, false)});
+  const auto p = failures_by_hour(log);
+  std::uint64_t total = 0;
+  for (auto c : p) total += c;
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(p[1], 1u);  // ends at +3600+120 -> hour 1
+}
+
+TEST(Temporal, EventsByHour) {
+  raslog::RasEvent e;
+  e.timestamp = kMonday + 7 * 3600;
+  e.message_id = "00010001";
+  e.severity = raslog::Severity::kInfo;
+  e.location = topology::Location::rack(0, 0);
+  const raslog::RasLog log({e});
+  EXPECT_EQ(events_by_hour(log)[7], 1u);
+}
+
+TEST(Temporal, MonthlySeriesIndexesFromOrigin) {
+  const joblog::JobLog log({job_at(1, kMonday),
+                            job_at(2, kMonday + 40 * 86400, true),
+                            job_at(3, kMonday + 70 * 86400)});
+  const auto monthly = monthly_submissions(log, kMonday);
+  ASSERT_EQ(monthly.size(), 3u);
+  EXPECT_EQ(monthly[0], 1u);
+  EXPECT_EQ(monthly[1], 1u);
+  EXPECT_EQ(monthly[2], 1u);
+  const auto failures = monthly_failures(log, kMonday);
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_EQ(failures[1], 1u);
+}
+
+TEST(Temporal, MonthlyFatalEventsFiltersSeverity) {
+  raslog::RasEvent info;
+  info.timestamp = kMonday;
+  info.severity = raslog::Severity::kInfo;
+  info.location = topology::Location::rack(0, 0);
+  raslog::RasEvent fatal = info;
+  fatal.severity = raslog::Severity::kFatal;
+  fatal.timestamp = kMonday + 86400;
+  const raslog::RasLog log({info, fatal});
+  const auto monthly = monthly_fatal_events(log, kMonday);
+  ASSERT_EQ(monthly.size(), 1u);
+  EXPECT_EQ(monthly[0], 1u);
+}
+
+TEST(Temporal, PeakToTroughRatio) {
+  HourlyProfile p{};
+  p.fill(10);
+  p[14] = 40;
+  p[3] = 5;
+  EXPECT_DOUBLE_EQ(peak_to_trough(p), 8.0);
+  HourlyProfile zeros{};
+  zeros[0] = 7;
+  EXPECT_DOUBLE_EQ(peak_to_trough(zeros), 7.0);  // min clamped to 1
+}
+
+}  // namespace
+}  // namespace failmine::analysis

@@ -1,0 +1,125 @@
+// Unit tests for util/time: civil <-> absolute conversion, timestamp
+// parsing/formatting, calendar decompositions.
+
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::util {
+namespace {
+
+TEST(Time, EpochIsZero) {
+  EXPECT_EQ(to_unix({1970, 1, 1, 0, 0, 0}), 0);
+}
+
+TEST(Time, KnownDateRoundTrips) {
+  const CivilTime ct{2013, 4, 9, 0, 0, 0};
+  const UnixSeconds t = to_unix(ct);
+  EXPECT_EQ(t, 1365465600);
+  EXPECT_EQ(to_civil(t), ct);
+}
+
+TEST(Time, DaysFromCivilMatchesKnownValues) {
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(days_from_civil(1970, 1, 2), 1);
+  EXPECT_EQ(days_from_civil(1969, 12, 31), -1);
+  EXPECT_EQ(days_from_civil(2000, 3, 1), 11017);
+}
+
+TEST(Time, CivilFromDaysInvertsDaysFromCivil) {
+  for (std::int64_t day : {-1000000LL, -1LL, 0LL, 1LL, 719468LL, 1000000LL}) {
+    int y, m, d;
+    civil_from_days(day, y, m, d);
+    EXPECT_EQ(days_from_civil(y, m, d), day) << "day=" << day;
+  }
+}
+
+TEST(Time, LeapYearRules) {
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_TRUE(is_leap_year(2016));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2013));
+}
+
+TEST(Time, DaysInMonthHandlesFebruary) {
+  EXPECT_EQ(days_in_month(2016, 2), 29);
+  EXPECT_EQ(days_in_month(2013, 2), 28);
+  EXPECT_EQ(days_in_month(2013, 12), 31);
+  EXPECT_THROW(days_in_month(2013, 13), DomainError);
+}
+
+TEST(Time, ParseFormatsRoundTrip) {
+  const char* samples[] = {"2013-04-09 00:00:00", "2018-09-30 23:59:59",
+                           "1999-12-31 12:30:45", "2016-02-29 06:07:08"};
+  for (const char* s : samples) {
+    EXPECT_EQ(format_timestamp(parse_timestamp(s)), s);
+  }
+}
+
+TEST(Time, ParseAcceptsTSeparator) {
+  EXPECT_EQ(parse_timestamp("2013-04-09T00:00:00"), 1365465600);
+}
+
+TEST(Time, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_timestamp(""), ParseError);
+  EXPECT_THROW(parse_timestamp("2013-04-09"), ParseError);
+  EXPECT_THROW(parse_timestamp("2013/04/09 00:00:00"), ParseError);
+  EXPECT_THROW(parse_timestamp("2013-04-09 00:00:0x"), ParseError);
+  EXPECT_THROW(parse_timestamp("2013-13-09 00:00:00"), ParseError);
+  EXPECT_THROW(parse_timestamp("2013-02-30 00:00:00"), ParseError);
+  EXPECT_THROW(parse_timestamp("2013-04-09 25:00:00"), ParseError);
+}
+
+TEST(Time, ToUnixValidatesFields) {
+  EXPECT_THROW(to_unix({2013, 0, 1, 0, 0, 0}), DomainError);
+  EXPECT_THROW(to_unix({2013, 1, 32, 0, 0, 0}), DomainError);
+  EXPECT_THROW(to_unix({2013, 1, 1, 24, 0, 0}), DomainError);
+  EXPECT_THROW(to_unix({2013, 1, 1, 0, 60, 0}), DomainError);
+  EXPECT_THROW(to_unix({2013, 1, 1, 0, 0, 60}), DomainError);
+}
+
+TEST(Time, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(3600), 1);
+  EXPECT_EQ(hour_of_day(86399), 23);
+  EXPECT_EQ(hour_of_day(-1), 23);  // 1969-12-31 23:59:59
+}
+
+TEST(Time, DayOfWeek) {
+  // 1970-01-01 was a Thursday -> index 3 (Monday = 0).
+  EXPECT_EQ(day_of_week(0), 3);
+  // 2013-04-09 was a Tuesday.
+  EXPECT_EQ(day_of_week(1365465600), 1);
+  // 2018-09-30 was a Sunday.
+  EXPECT_EQ(day_of_week(parse_timestamp("2018-09-30 12:00:00")), 6);
+}
+
+TEST(Time, MonthIndex) {
+  const UnixSeconds origin = parse_timestamp("2013-04-09 00:00:00");
+  EXPECT_EQ(month_index(origin, origin), 0);
+  EXPECT_EQ(month_index(origin, parse_timestamp("2013-05-01 00:00:00")), 1);
+  EXPECT_EQ(month_index(origin, parse_timestamp("2014-04-01 00:00:00")), 12);
+  EXPECT_EQ(month_index(origin, parse_timestamp("2013-03-31 00:00:00")), -1);
+}
+
+TEST(Time, RoundTripAcrossManyDays) {
+  // Sweep a day at a time across the full Mira window.
+  const UnixSeconds start = parse_timestamp("2013-04-09 13:30:11");
+  for (int day = 0; day < 2001; day += 13) {
+    const UnixSeconds t = start + static_cast<UnixSeconds>(day) * kSecondsPerDay;
+    EXPECT_EQ(parse_timestamp(format_timestamp(t)), t) << "day=" << day;
+  }
+}
+
+TEST(Time, NegativeTimesDecomposeCorrectly) {
+  const CivilTime ct = to_civil(-1);
+  EXPECT_EQ(ct.year, 1969);
+  EXPECT_EQ(ct.month, 12);
+  EXPECT_EQ(ct.day, 31);
+  EXPECT_EQ(ct.second, 59);
+}
+
+}  // namespace
+}  // namespace failmine::util

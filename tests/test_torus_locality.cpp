@@ -1,0 +1,107 @@
+// Tests for analysis/torus_locality.
+
+#include "analysis/torus_locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raslog/message_catalog.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+raslog::RasEvent fatal_on_node(topology::NodeIndex node,
+                               util::UnixSeconds t) {
+  raslog::RasEvent e;
+  e.timestamp = t;
+  e.message_id = "00010005";
+  e.severity = raslog::Severity::kFatal;
+  e.location = topology::Location::from_node_index(node, kMira);
+  return e;
+}
+
+TEST(TorusLocality, ClusteredNodesScoreBelowBaseline) {
+  // All fatals on one node board (32 consecutive node indices).
+  std::vector<raslog::RasEvent> events;
+  for (topology::NodeIndex n = 0; n < 32; ++n)
+    events.push_back(fatal_on_node(n, n));
+  const raslog::RasLog log(std::move(events));
+  util::Rng rng(1);
+  const auto r = torus_locality(log, kMira, rng);
+  EXPECT_EQ(r.located_events, 32u);
+  EXPECT_GT(r.baseline_distance, 5.0);
+  EXPECT_LT(r.clustering_ratio, 0.5);
+}
+
+TEST(TorusLocality, UniformNodesScoreNearBaseline) {
+  util::Rng node_rng(7);
+  std::vector<raslog::RasEvent> events;
+  for (int i = 0; i < 300; ++i)
+    events.push_back(fatal_on_node(
+        static_cast<topology::NodeIndex>(node_rng.uniform_index(49152)),
+        i));
+  const raslog::RasLog log(std::move(events));
+  util::Rng rng(2);
+  const auto r = torus_locality(log, kMira, rng);
+  EXPECT_NEAR(r.clustering_ratio, 1.0, 0.1);
+}
+
+TEST(TorusLocality, SkipsNonCardLocationsAndOtherSeverities) {
+  std::vector<raslog::RasEvent> events;
+  events.push_back(fatal_on_node(0, 0));
+  raslog::RasEvent shallow = fatal_on_node(1, 1);
+  shallow.location = topology::Location::parse("R00-M0", kMira);
+  events.push_back(shallow);
+  raslog::RasEvent info = fatal_on_node(2, 2);
+  info.severity = raslog::Severity::kInfo;
+  events.push_back(info);
+  const raslog::RasLog log(std::move(events));
+  util::Rng rng(3);
+  const auto r = torus_locality(log, kMira, rng);
+  EXPECT_EQ(r.located_events, 1u);  // < 2 located -> zeroed result
+  EXPECT_DOUBLE_EQ(r.mean_pair_distance, 0.0);
+}
+
+TEST(TorusLocality, SubsamplingKeepsTheEstimateStable) {
+  // Same clustered layout, once with and once without subsampling.
+  std::vector<raslog::RasEvent> events;
+  for (int i = 0; i < 400; ++i)
+    events.push_back(
+        fatal_on_node(static_cast<topology::NodeIndex>(i % 64), i));
+  const raslog::RasLog log(std::move(events));
+  util::Rng r1(4), r2(4);
+  const auto full = torus_locality(log, kMira, r1, raslog::Severity::kFatal,
+                                   1000, 5000);
+  const auto sub = torus_locality(log, kMira, r2, raslog::Severity::kFatal,
+                                  100, 5000);
+  EXPECT_NEAR(full.mean_pair_distance, sub.mean_pair_distance,
+              0.3 * full.mean_pair_distance + 0.2);
+}
+
+TEST(TorusLocality, SimulatedFatalsAreClustered) {
+  // The fault model's weak boards + episode bursts should produce clear
+  // interconnect-level clustering.
+  const auto trace = sim::simulate(sim::SimConfig::test_scale());
+  util::Rng rng(5);
+  const auto r = torus_locality(trace.ras_log, kMira, rng);
+  EXPECT_GT(r.located_events, 20u);
+  // Cross-episode pairs dominate (episodes land on independent boards), so
+  // the pooled ratio sits only a few percent below 1 — but reliably below.
+  EXPECT_LT(r.clustering_ratio, 0.98);
+}
+
+TEST(TorusLocality, ValidatesArguments) {
+  util::Rng rng(6);
+  EXPECT_THROW(torus_locality(raslog::RasLog(), kMira, rng,
+                              raslog::Severity::kFatal, 1),
+               failmine::DomainError);
+  EXPECT_THROW(torus_locality(raslog::RasLog(), kMira, rng,
+                              raslog::Severity::kFatal, 10, 0),
+               failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::analysis

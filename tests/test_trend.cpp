@@ -1,0 +1,96 @@
+// Unit tests for core/trend (monthly reliability trend).
+
+#include "core/trend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::core {
+namespace {
+
+constexpr util::UnixSeconds kOrigin = 1365465600;  // 2013-04-09
+
+EventCluster cluster_at(util::UnixSeconds t) {
+  EventCluster c;
+  c.first_time = t;
+  c.last_time = t;
+  c.member_count = 1;
+  return c;
+}
+
+TEST(InterruptionTrend, CountsPerCalendarMonth) {
+  const util::UnixSeconds end = kOrigin + 120 * util::kSecondsPerDay;
+  std::vector<EventCluster> clusters = {
+      cluster_at(kOrigin + 1 * util::kSecondsPerDay),
+      cluster_at(kOrigin + 2 * util::kSecondsPerDay),
+      cluster_at(kOrigin + 40 * util::kSecondsPerDay),
+      cluster_at(kOrigin + 100 * util::kSecondsPerDay),
+  };
+  const auto r = interruption_trend(clusters, kOrigin, end);
+  // Apr 9 + 120 days lands in early August: Apr..Aug = 5 calendar months.
+  ASSERT_EQ(r.monthly_counts.size(), 5u);
+  EXPECT_EQ(r.monthly_counts[0], 2u);
+  EXPECT_EQ(r.monthly_counts[1], 1u);
+  EXPECT_EQ(r.monthly_counts[3], 1u);
+}
+
+TEST(InterruptionTrend, StationaryStreamHasSmallRelativeSlope) {
+  const util::UnixSeconds end = kOrigin + 600 * util::kSecondsPerDay;
+  std::vector<EventCluster> clusters;
+  // One interruption every 5 days: perfectly stationary.
+  for (util::UnixSeconds t = kOrigin; t < end; t += 5 * util::kSecondsPerDay)
+    clusters.push_back(cluster_at(t));
+  const auto r = interruption_trend(clusters, kOrigin, end);
+  EXPECT_NEAR(r.relative_slope, 0.0, 0.02);
+  EXPECT_NEAR(r.mean_per_month, 6.0, 0.5);
+}
+
+TEST(InterruptionTrend, DetectsGrowingRate) {
+  const util::UnixSeconds end = kOrigin + 300 * util::kSecondsPerDay;
+  std::vector<EventCluster> clusters;
+  // Month m gets ~m interruptions.
+  for (int month = 0; month < 10; ++month) {
+    for (int k = 0; k < month; ++k) {
+      clusters.push_back(cluster_at(kOrigin +
+                                    (static_cast<util::UnixSeconds>(month) * 30 + k) *
+                                        util::kSecondsPerDay));
+    }
+  }
+  const auto r = interruption_trend(clusters, kOrigin, end);
+  EXPECT_GT(r.fit.slope, 0.5);
+  EXPECT_GT(r.relative_slope, 0.1);
+}
+
+TEST(InterruptionTrend, ValidatesWindow) {
+  EXPECT_THROW(interruption_trend({}, kOrigin, kOrigin), failmine::DomainError);
+  // < 3 months of span.
+  EXPECT_THROW(
+      interruption_trend({}, kOrigin, kOrigin + 20 * util::kSecondsPerDay),
+      failmine::DomainError);
+}
+
+TEST(FailureTrend, CountsFailedJobsByEndMonth) {
+  joblog::JobRecord ok;
+  ok.job_id = 1;
+  ok.submit_time = kOrigin;
+  ok.start_time = kOrigin;
+  ok.end_time = kOrigin + 10;
+  ok.nodes_used = 512;
+  ok.task_count = 1;
+  ok.requested_walltime = 100;
+  joblog::JobRecord bad = ok;
+  bad.job_id = 2;
+  bad.exit_class = joblog::ExitClass::kUserAppError;
+  bad.exit_code = 1;
+  bad.end_time = kOrigin + 45 * util::kSecondsPerDay;
+  const joblog::JobLog jobs({ok, bad});
+  const auto r =
+      failure_trend(jobs, kOrigin, kOrigin + 100 * util::kSecondsPerDay);
+  ASSERT_GE(r.monthly_counts.size(), 3u);
+  EXPECT_EQ(r.monthly_counts[0], 0u);  // successful job doesn't count
+  EXPECT_EQ(r.monthly_counts[1], 1u);
+}
+
+}  // namespace
+}  // namespace failmine::core

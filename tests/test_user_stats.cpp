@@ -1,0 +1,96 @@
+// Unit tests for analysis/user_stats with a hand-built job log.
+
+#include "analysis/user_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace failmine::analysis {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+joblog::JobRecord make_job(std::uint64_t id, std::uint32_t user,
+                           std::uint32_t project, bool failed,
+                           bool system = false) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = user;
+  j.project_id = project;
+  j.queue = "q";
+  j.submit_time = 0;
+  j.start_time = 0;
+  j.end_time = 3600;  // 1 hour on 512 nodes = 8192 core-hours
+  j.nodes_used = 512;
+  j.task_count = 1;
+  j.requested_walltime = 7200;
+  if (failed) {
+    j.exit_class = system ? joblog::ExitClass::kSystemHardware
+                          : joblog::ExitClass::kUserAppError;
+    j.exit_code = system ? 139 : 1;
+  }
+  return j;
+}
+
+joblog::JobLog sample_log() {
+  return joblog::JobLog({
+      make_job(1, 10, 100, false),
+      make_job(2, 10, 100, true),
+      make_job(3, 10, 100, true, /*system=*/true),
+      make_job(4, 20, 100, false),
+      make_job(5, 30, 200, true),
+  });
+}
+
+TEST(PerUserStats, AggregatesCorrectly) {
+  const auto stats = per_user_stats(sample_log(), kMira);
+  ASSERT_EQ(stats.size(), 3u);
+  // Sorted by user id.
+  EXPECT_EQ(stats[0].group_id, 10u);
+  EXPECT_EQ(stats[0].jobs, 3u);
+  EXPECT_EQ(stats[0].failures, 2u);
+  EXPECT_EQ(stats[0].user_caused_failures, 1u);
+  EXPECT_EQ(stats[0].system_caused_failures, 1u);
+  EXPECT_DOUBLE_EQ(stats[0].core_hours, 3.0 * 8192.0);
+  EXPECT_DOUBLE_EQ(stats[0].failed_core_hours, 2.0 * 8192.0);
+  EXPECT_NEAR(stats[0].failure_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats[1].group_id, 20u);
+  EXPECT_EQ(stats[1].failures, 0u);
+  EXPECT_DOUBLE_EQ(stats[1].failure_rate(), 0.0);
+}
+
+TEST(PerProjectStats, GroupsAcrossUsers) {
+  const auto stats = per_project_stats(sample_log(), kMira);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].group_id, 100u);
+  EXPECT_EQ(stats[0].jobs, 4u);
+  EXPECT_EQ(stats[0].failures, 2u);
+  EXPECT_EQ(stats[1].group_id, 200u);
+  EXPECT_EQ(stats[1].jobs, 1u);
+}
+
+TEST(MetricColumn, SelectsRequestedMetric) {
+  const auto stats = per_user_stats(sample_log(), kMira);
+  EXPECT_EQ(metric_column(stats, GroupMetric::kJobs),
+            (std::vector<double>{3.0, 1.0, 1.0}));
+  EXPECT_EQ(metric_column(stats, GroupMetric::kFailures),
+            (std::vector<double>{2.0, 0.0, 1.0}));
+}
+
+TEST(Concentration, SummaryFields) {
+  const auto stats = per_user_stats(sample_log(), kMira);
+  const auto c = concentration(stats, GroupMetric::kJobs);
+  EXPECT_EQ(c.group_count, 3u);
+  EXPECT_DOUBLE_EQ(c.top1_share, 0.6);
+  EXPECT_DOUBLE_EQ(c.top10_share, 1.0);
+  EXPECT_EQ(c.groups_for_half, 1u);
+  EXPECT_GT(c.gini, 0.0);
+}
+
+TEST(Concentration, EmptyStatsRejected) {
+  EXPECT_THROW(concentration({}, GroupMetric::kJobs), failmine::DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::analysis

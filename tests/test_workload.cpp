@@ -1,0 +1,151 @@
+// Unit + property tests for sim/workload: arrival seasonality, job-record
+// invariants and the per-class runtime families.
+
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace failmine::sim {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : config_(SimConfig::test_scale()),
+        rng_(config_.seed),
+        population_(config_, rng_),
+        workload_(config_, population_) {
+    jobs_ = workload_.generate(rng_);
+  }
+
+  SimConfig config_;
+  util::Rng rng_;
+  Population population_;
+  WorkloadModel workload_;
+  std::vector<joblog::JobRecord> jobs_;
+};
+
+TEST_F(WorkloadTest, GeneratesRoughlyExpectedJobCount) {
+  // ~277/day * 0.01 scale * 2001 days * mean seasonality ~0.9.
+  const double expected = 277.0 * 0.01 * 2001.0 * 0.9;
+  EXPECT_NEAR(static_cast<double>(jobs_.size()), expected, 0.15 * expected);
+}
+
+TEST_F(WorkloadTest, JobsAreWithinObservationWindow) {
+  for (const auto& j : jobs_) {
+    EXPECT_GE(j.submit_time, config_.observation_start);
+    EXPECT_LT(j.submit_time, config_.observation_end());
+  }
+}
+
+TEST_F(WorkloadTest, TimelineInvariantsHold) {
+  for (const auto& j : jobs_) {
+    EXPECT_LE(j.submit_time, j.start_time);
+    EXPECT_LT(j.start_time, j.end_time);
+    EXPECT_GE(j.task_count, 1u);
+    EXPECT_GE(j.nodes_used, config_.machine.nodes_per_midplane());
+    EXPECT_LE(j.nodes_used, config_.machine.total_nodes());
+    EXPECT_GT(j.requested_walltime, 0);
+  }
+}
+
+TEST_F(WorkloadTest, JobIdsAreUniqueAndAscending) {
+  std::set<std::uint64_t> ids;
+  for (const auto& j : jobs_) ids.insert(j.job_id);
+  EXPECT_EQ(ids.size(), jobs_.size());
+}
+
+TEST_F(WorkloadTest, RuntimesRespectWalltime) {
+  for (const auto& j : jobs_) {
+    // Walltime overruns end exactly at the limit; everything else under it.
+    EXPECT_LE(j.runtime_seconds(), j.requested_walltime)
+        << "job " << j.job_id;
+  }
+}
+
+TEST_F(WorkloadTest, OnlyUserSideClassesAssigned) {
+  for (const auto& j : jobs_) {
+    EXPECT_FALSE(joblog::is_system_caused(j.exit_class))
+        << "system classes are the fault model's job";
+  }
+}
+
+TEST_F(WorkloadTest, FailureRateNearTarget) {
+  std::size_t failures = 0;
+  for (const auto& j : jobs_)
+    if (j.failed()) ++failures;
+  const double rate =
+      static_cast<double>(failures) / static_cast<double>(jobs_.size());
+  EXPECT_NEAR(rate, 0.198, 0.03);
+}
+
+TEST_F(WorkloadTest, SizesComeFromMidplaneMenu) {
+  const auto& menu = workload_.size_menu();
+  for (const auto& j : jobs_) {
+    EXPECT_NE(std::find(menu.begin(), menu.end(), j.nodes_used), menu.end());
+  }
+}
+
+TEST_F(WorkloadTest, PartitionsAreAlignedAndInMachine) {
+  const int total_mids =
+      config_.machine.racks() * config_.machine.midplanes_per_rack;
+  for (const auto& j : jobs_) {
+    const int mids = topology::midplanes_for_nodes(j.nodes_used, config_.machine);
+    EXPECT_EQ(j.partition_first_midplane % mids, 0);
+    EXPECT_LE(j.partition_first_midplane + mids, total_mids);
+  }
+}
+
+TEST_F(WorkloadTest, WalltimeClassEndsExactlyAtLimit) {
+  bool saw = false;
+  for (const auto& j : jobs_) {
+    if (j.exit_class != joblog::ExitClass::kWalltimeLimit) continue;
+    saw = true;
+    EXPECT_EQ(j.runtime_seconds(), j.requested_walltime);
+  }
+  EXPECT_TRUE(saw) << "test-scale trace should contain walltime overruns";
+}
+
+TEST_F(WorkloadTest, ConfigErrorsDieFast) {
+  std::vector<double> lengths;
+  for (const auto& j : jobs_)
+    if (j.exit_class == joblog::ExitClass::kUserConfigError)
+      lengths.push_back(static_cast<double>(j.runtime_seconds()));
+  ASSERT_GT(lengths.size(), 10u);
+  double mean = 0.0;
+  for (double v : lengths) mean += v;
+  mean /= static_cast<double>(lengths.size());
+  EXPECT_LT(mean, 600.0);  // Erlang(2, 1/90) has mean 180 s
+}
+
+TEST(Workload, SeasonalityPeaksInAfternoonAndDipsOnWeekends) {
+  const SimConfig config = SimConfig::test_scale();
+  util::Rng rng(1);
+  const Population pop(config, rng);
+  const WorkloadModel w(config, pop);
+  // 2013-04-09 was a Tuesday; 15:00 is the diurnal peak.
+  const util::UnixSeconds tue_peak = config.observation_start + 15 * 3600;
+  const util::UnixSeconds tue_trough = config.observation_start + 3 * 3600;
+  EXPECT_GT(w.seasonality(tue_peak), w.seasonality(tue_trough));
+  // Saturday same hour is dampened.
+  const util::UnixSeconds sat_peak = tue_peak + 4 * 86400;
+  EXPECT_LT(w.seasonality(sat_peak), w.seasonality(tue_peak));
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  const SimConfig config = SimConfig::test_scale();
+  util::Rng r1(9), r2(9);
+  const Population p1(config, r1), p2(config, r2);
+  const WorkloadModel w1(config, p1), w2(config, p2);
+  const auto a = w1.generate(r1);
+  const auto b = w2.generate(r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace failmine::sim
