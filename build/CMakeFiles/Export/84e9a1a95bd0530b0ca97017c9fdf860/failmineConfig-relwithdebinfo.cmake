@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "failmine::failmine_util" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_util )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_util "${_IMPORT_PREFIX}/lib/libfailmine_util.a" )
+
+# Import target "failmine::failmine_stats" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_stats )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_stats "${_IMPORT_PREFIX}/lib/libfailmine_stats.a" )
+
+# Import target "failmine::failmine_distfit" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_distfit APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_distfit PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_distfit.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_distfit )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_distfit "${_IMPORT_PREFIX}/lib/libfailmine_distfit.a" )
+
+# Import target "failmine::failmine_topology" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_topology APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_topology PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_topology.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_topology )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_topology "${_IMPORT_PREFIX}/lib/libfailmine_topology.a" )
+
+# Import target "failmine::failmine_raslog" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_raslog APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_raslog PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_raslog.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_raslog )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_raslog "${_IMPORT_PREFIX}/lib/libfailmine_raslog.a" )
+
+# Import target "failmine::failmine_joblog" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_joblog APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_joblog PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_joblog.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_joblog )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_joblog "${_IMPORT_PREFIX}/lib/libfailmine_joblog.a" )
+
+# Import target "failmine::failmine_tasklog" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_tasklog APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_tasklog PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_tasklog.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_tasklog )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_tasklog "${_IMPORT_PREFIX}/lib/libfailmine_tasklog.a" )
+
+# Import target "failmine::failmine_iolog" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_iolog APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_iolog PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_iolog.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_iolog )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_iolog "${_IMPORT_PREFIX}/lib/libfailmine_iolog.a" )
+
+# Import target "failmine::failmine_sim" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_sim )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_sim "${_IMPORT_PREFIX}/lib/libfailmine_sim.a" )
+
+# Import target "failmine::failmine_analysis" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_analysis APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_analysis PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_analysis.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_analysis )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_analysis "${_IMPORT_PREFIX}/lib/libfailmine_analysis.a" )
+
+# Import target "failmine::failmine_core" for configuration "RelWithDebInfo"
+set_property(TARGET failmine::failmine_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(failmine::failmine_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfailmine_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets failmine::failmine_core )
+list(APPEND _cmake_import_check_files_for_failmine::failmine_core "${_IMPORT_PREFIX}/lib/libfailmine_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_user_project.dir/bench_e03_user_project.cpp.o"
+  "CMakeFiles/bench_e03_user_project.dir/bench_e03_user_project.cpp.o.d"
+  "bench_e03_user_project"
+  "bench_e03_user_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_user_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

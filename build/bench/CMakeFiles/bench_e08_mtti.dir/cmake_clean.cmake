@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_mtti.dir/bench_e08_mtti.cpp.o"
+  "CMakeFiles/bench_e08_mtti.dir/bench_e08_mtti.cpp.o.d"
+  "bench_e08_mtti"
+  "bench_e08_mtti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_mtti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_ras_correlation.dir/bench_e10_ras_correlation.cpp.o"
+  "CMakeFiles/bench_e10_ras_correlation.dir/bench_e10_ras_correlation.cpp.o.d"
+  "bench_e10_ras_correlation"
+  "bench_e10_ras_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_ras_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_temporal.dir/bench_e11_temporal.cpp.o"
+  "CMakeFiles/bench_e11_temporal.dir/bench_e11_temporal.cpp.o.d"
+  "bench_e11_temporal"
+  "bench_e11_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_io_behavior.dir/bench_e12_io_behavior.cpp.o"
+  "CMakeFiles/bench_e12_io_behavior.dir/bench_e12_io_behavior.cpp.o.d"
+  "bench_e12_io_behavior"
+  "bench_e12_io_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_io_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_interruption_fit.dir/bench_e13_interruption_fit.cpp.o"
+  "CMakeFiles/bench_e13_interruption_fit.dir/bench_e13_interruption_fit.cpp.o.d"
+  "bench_e13_interruption_fit"
+  "bench_e13_interruption_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_interruption_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

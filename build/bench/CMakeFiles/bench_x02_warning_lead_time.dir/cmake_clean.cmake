@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x02_warning_lead_time.dir/bench_x02_warning_lead_time.cpp.o"
+  "CMakeFiles/bench_x02_warning_lead_time.dir/bench_x02_warning_lead_time.cpp.o.d"
+  "bench_x02_warning_lead_time"
+  "bench_x02_warning_lead_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x02_warning_lead_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_x02_warning_lead_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x03_bootstrap_ci.dir/bench_x03_bootstrap_ci.cpp.o"
+  "CMakeFiles/bench_x03_bootstrap_ci.dir/bench_x03_bootstrap_ci.cpp.o.d"
+  "bench_x03_bootstrap_ci"
+  "bench_x03_bootstrap_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x03_bootstrap_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

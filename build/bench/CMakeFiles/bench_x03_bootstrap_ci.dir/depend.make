@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x03_bootstrap_ci.
+# This may be replaced when dependencies are built.

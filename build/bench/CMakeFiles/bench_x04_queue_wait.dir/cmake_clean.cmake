@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x04_queue_wait.dir/bench_x04_queue_wait.cpp.o"
+  "CMakeFiles/bench_x04_queue_wait.dir/bench_x04_queue_wait.cpp.o.d"
+  "bench_x04_queue_wait"
+  "bench_x04_queue_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x04_queue_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x05_user_reliability.dir/bench_x05_user_reliability.cpp.o"
+  "CMakeFiles/bench_x05_user_reliability.dir/bench_x05_user_reliability.cpp.o.d"
+  "bench_x05_user_reliability"
+  "bench_x05_user_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x05_user_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

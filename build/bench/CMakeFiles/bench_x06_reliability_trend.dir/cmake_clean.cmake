@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x06_reliability_trend.dir/bench_x06_reliability_trend.cpp.o"
+  "CMakeFiles/bench_x06_reliability_trend.dir/bench_x06_reliability_trend.cpp.o.d"
+  "bench_x06_reliability_trend"
+  "bench_x06_reliability_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x06_reliability_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x06_reliability_trend.
+# This may be replaced when dependencies are built.

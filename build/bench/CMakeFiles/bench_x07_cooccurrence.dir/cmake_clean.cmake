@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x07_cooccurrence.dir/bench_x07_cooccurrence.cpp.o"
+  "CMakeFiles/bench_x07_cooccurrence.dir/bench_x07_cooccurrence.cpp.o.d"
+  "bench_x07_cooccurrence"
+  "bench_x07_cooccurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x07_cooccurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x08_checkpoint_advisor.dir/bench_x08_checkpoint_advisor.cpp.o"
+  "CMakeFiles/bench_x08_checkpoint_advisor.dir/bench_x08_checkpoint_advisor.cpp.o.d"
+  "bench_x08_checkpoint_advisor"
+  "bench_x08_checkpoint_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x08_checkpoint_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x08_checkpoint_advisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_cli.dir/failmine_cli.cpp.o"
+  "CMakeFiles/failmine_cli.dir/failmine_cli.cpp.o.d"
+  "failmine_cli"
+  "failmine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

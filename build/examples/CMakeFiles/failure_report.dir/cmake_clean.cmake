@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_report.dir/failure_report.cpp.o"
+  "CMakeFiles/failure_report.dir/failure_report.cpp.o.d"
+  "failure_report"
+  "failure_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

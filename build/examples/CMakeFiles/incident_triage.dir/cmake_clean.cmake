@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_triage.dir/incident_triage.cpp.o"
+  "CMakeFiles/incident_triage.dir/incident_triage.cpp.o.d"
+  "incident_triage"
+  "incident_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

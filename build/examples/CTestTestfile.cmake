@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "0.003")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_incident_triage "/root/repo/build/examples/incident_triage" "3" "0.01")
+set_tests_properties(example_incident_triage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planning "/root/repo/build/examples/capacity_planning" "0.003")
+set_tests_properties(example_capacity_planning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_simulate "/root/repo/build/examples/failmine_cli" "simulate" "--out" "/root/repo/build/examples/smoke_ds" "--scale" "0.003")
+set_tests_properties(example_cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_summary "/root/repo/build/examples/failmine_cli" "summary" "--data" "/root/repo/build/examples/smoke_ds")
+set_tests_properties(example_cli_summary PROPERTIES  DEPENDS "example_cli_simulate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_mtti "/root/repo/build/examples/failmine_cli" "mtti" "--data" "/root/repo/build/examples/smoke_ds")
+set_tests_properties(example_cli_mtti PROPERTIES  DEPENDS "example_cli_simulate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_failure_report "/root/repo/build/examples/failure_report" "/root/repo/build/examples/report_ds" "0.1")
+set_tests_properties(example_failure_report PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

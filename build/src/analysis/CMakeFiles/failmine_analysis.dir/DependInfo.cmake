@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cooccurrence.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/cooccurrence.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/cooccurrence.cpp.o.d"
+  "/root/repo/src/analysis/io_behavior.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/io_behavior.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/io_behavior.cpp.o.d"
+  "/root/repo/src/analysis/locality.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/locality.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/locality.cpp.o.d"
+  "/root/repo/src/analysis/queue_wait.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/queue_wait.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/queue_wait.cpp.o.d"
+  "/root/repo/src/analysis/structure.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/structure.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/structure.cpp.o.d"
+  "/root/repo/src/analysis/temporal.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/temporal.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/temporal.cpp.o.d"
+  "/root/repo/src/analysis/torus_locality.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/torus_locality.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/torus_locality.cpp.o.d"
+  "/root/repo/src/analysis/user_stats.cpp" "src/analysis/CMakeFiles/failmine_analysis.dir/user_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/failmine_analysis.dir/user_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/failmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/failmine_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/failmine_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/joblog/CMakeFiles/failmine_joblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklog/CMakeFiles/failmine_tasklog.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolog/CMakeFiles/failmine_iolog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

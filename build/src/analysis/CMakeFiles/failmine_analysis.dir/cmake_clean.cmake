@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_analysis.dir/cooccurrence.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/cooccurrence.cpp.o.d"
+  "CMakeFiles/failmine_analysis.dir/io_behavior.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/io_behavior.cpp.o.d"
+  "CMakeFiles/failmine_analysis.dir/locality.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/locality.cpp.o.d"
+  "CMakeFiles/failmine_analysis.dir/queue_wait.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/queue_wait.cpp.o.d"
+  "CMakeFiles/failmine_analysis.dir/structure.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/structure.cpp.o.d"
+  "CMakeFiles/failmine_analysis.dir/temporal.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/temporal.cpp.o.d"
+  "CMakeFiles/failmine_analysis.dir/torus_locality.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/torus_locality.cpp.o.d"
+  "CMakeFiles/failmine_analysis.dir/user_stats.cpp.o"
+  "CMakeFiles/failmine_analysis.dir/user_stats.cpp.o.d"
+  "libfailmine_analysis.a"
+  "libfailmine_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribution.cpp" "src/core/CMakeFiles/failmine_core.dir/attribution.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/attribution.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/failmine_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/distfit_study.cpp" "src/core/CMakeFiles/failmine_core.dir/distfit_study.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/distfit_study.cpp.o.d"
+  "/root/repo/src/core/event_filter.cpp" "src/core/CMakeFiles/failmine_core.dir/event_filter.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/event_filter.cpp.o.d"
+  "/root/repo/src/core/joint_analyzer.cpp" "src/core/CMakeFiles/failmine_core.dir/joint_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/joint_analyzer.cpp.o.d"
+  "/root/repo/src/core/lead_time.cpp" "src/core/CMakeFiles/failmine_core.dir/lead_time.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/lead_time.cpp.o.d"
+  "/root/repo/src/core/mtbf.cpp" "src/core/CMakeFiles/failmine_core.dir/mtbf.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/mtbf.cpp.o.d"
+  "/root/repo/src/core/mtti.cpp" "src/core/CMakeFiles/failmine_core.dir/mtti.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/mtti.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/failmine_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/trend.cpp" "src/core/CMakeFiles/failmine_core.dir/trend.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/trend.cpp.o.d"
+  "/root/repo/src/core/user_reliability.cpp" "src/core/CMakeFiles/failmine_core.dir/user_reliability.cpp.o" "gcc" "src/core/CMakeFiles/failmine_core.dir/user_reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/failmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/distfit/CMakeFiles/failmine_distfit.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/failmine_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/failmine_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/joblog/CMakeFiles/failmine_joblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklog/CMakeFiles/failmine_tasklog.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolog/CMakeFiles/failmine_iolog.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/failmine_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

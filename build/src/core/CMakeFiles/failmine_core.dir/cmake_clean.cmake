@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_core.dir/attribution.cpp.o"
+  "CMakeFiles/failmine_core.dir/attribution.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/failmine_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/distfit_study.cpp.o"
+  "CMakeFiles/failmine_core.dir/distfit_study.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/event_filter.cpp.o"
+  "CMakeFiles/failmine_core.dir/event_filter.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/joint_analyzer.cpp.o"
+  "CMakeFiles/failmine_core.dir/joint_analyzer.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/lead_time.cpp.o"
+  "CMakeFiles/failmine_core.dir/lead_time.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/mtbf.cpp.o"
+  "CMakeFiles/failmine_core.dir/mtbf.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/mtti.cpp.o"
+  "CMakeFiles/failmine_core.dir/mtti.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/report.cpp.o"
+  "CMakeFiles/failmine_core.dir/report.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/trend.cpp.o"
+  "CMakeFiles/failmine_core.dir/trend.cpp.o.d"
+  "CMakeFiles/failmine_core.dir/user_reliability.cpp.o"
+  "CMakeFiles/failmine_core.dir/user_reliability.cpp.o.d"
+  "libfailmine_core.a"
+  "libfailmine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distfit/distribution.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/distribution.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/distribution.cpp.o.d"
+  "/root/repo/src/distfit/erlang.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/erlang.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/erlang.cpp.o.d"
+  "/root/repo/src/distfit/exponential.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/exponential.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/exponential.cpp.o.d"
+  "/root/repo/src/distfit/fit.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/fit.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/fit.cpp.o.d"
+  "/root/repo/src/distfit/gamma_dist.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/gamma_dist.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/gamma_dist.cpp.o.d"
+  "/root/repo/src/distfit/inverse_gaussian.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/inverse_gaussian.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/inverse_gaussian.cpp.o.d"
+  "/root/repo/src/distfit/loglogistic.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/loglogistic.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/loglogistic.cpp.o.d"
+  "/root/repo/src/distfit/lognormal.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/lognormal.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/lognormal.cpp.o.d"
+  "/root/repo/src/distfit/normal_dist.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/normal_dist.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/normal_dist.cpp.o.d"
+  "/root/repo/src/distfit/optimize.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/optimize.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/optimize.cpp.o.d"
+  "/root/repo/src/distfit/pareto.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/pareto.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/pareto.cpp.o.d"
+  "/root/repo/src/distfit/rayleigh.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/rayleigh.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/rayleigh.cpp.o.d"
+  "/root/repo/src/distfit/selection.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/selection.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/selection.cpp.o.d"
+  "/root/repo/src/distfit/weibull.cpp" "src/distfit/CMakeFiles/failmine_distfit.dir/weibull.cpp.o" "gcc" "src/distfit/CMakeFiles/failmine_distfit.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/failmine_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

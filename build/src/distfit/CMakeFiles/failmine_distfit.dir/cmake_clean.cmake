@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_distfit.dir/distribution.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/distribution.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/erlang.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/erlang.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/exponential.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/exponential.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/fit.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/fit.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/gamma_dist.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/gamma_dist.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/inverse_gaussian.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/inverse_gaussian.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/loglogistic.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/loglogistic.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/lognormal.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/lognormal.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/normal_dist.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/normal_dist.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/optimize.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/optimize.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/pareto.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/pareto.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/rayleigh.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/rayleigh.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/selection.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/selection.cpp.o.d"
+  "CMakeFiles/failmine_distfit.dir/weibull.cpp.o"
+  "CMakeFiles/failmine_distfit.dir/weibull.cpp.o.d"
+  "libfailmine_distfit.a"
+  "libfailmine_distfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_distfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

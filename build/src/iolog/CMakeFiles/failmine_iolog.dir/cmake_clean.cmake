@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_iolog.dir/io_record.cpp.o"
+  "CMakeFiles/failmine_iolog.dir/io_record.cpp.o.d"
+  "libfailmine_iolog.a"
+  "libfailmine_iolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_iolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for failmine_iolog.
+# This may be replaced when dependencies are built.

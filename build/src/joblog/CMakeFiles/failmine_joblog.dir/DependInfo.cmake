@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/joblog/exit_status.cpp" "src/joblog/CMakeFiles/failmine_joblog.dir/exit_status.cpp.o" "gcc" "src/joblog/CMakeFiles/failmine_joblog.dir/exit_status.cpp.o.d"
+  "/root/repo/src/joblog/job.cpp" "src/joblog/CMakeFiles/failmine_joblog.dir/job.cpp.o" "gcc" "src/joblog/CMakeFiles/failmine_joblog.dir/job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/failmine_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_joblog.dir/exit_status.cpp.o"
+  "CMakeFiles/failmine_joblog.dir/exit_status.cpp.o.d"
+  "CMakeFiles/failmine_joblog.dir/job.cpp.o"
+  "CMakeFiles/failmine_joblog.dir/job.cpp.o.d"
+  "libfailmine_joblog.a"
+  "libfailmine_joblog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_joblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raslog/event.cpp" "src/raslog/CMakeFiles/failmine_raslog.dir/event.cpp.o" "gcc" "src/raslog/CMakeFiles/failmine_raslog.dir/event.cpp.o.d"
+  "/root/repo/src/raslog/message_catalog.cpp" "src/raslog/CMakeFiles/failmine_raslog.dir/message_catalog.cpp.o" "gcc" "src/raslog/CMakeFiles/failmine_raslog.dir/message_catalog.cpp.o.d"
+  "/root/repo/src/raslog/names.cpp" "src/raslog/CMakeFiles/failmine_raslog.dir/names.cpp.o" "gcc" "src/raslog/CMakeFiles/failmine_raslog.dir/names.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/failmine_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_raslog.dir/event.cpp.o"
+  "CMakeFiles/failmine_raslog.dir/event.cpp.o.d"
+  "CMakeFiles/failmine_raslog.dir/message_catalog.cpp.o"
+  "CMakeFiles/failmine_raslog.dir/message_catalog.cpp.o.d"
+  "CMakeFiles/failmine_raslog.dir/names.cpp.o"
+  "CMakeFiles/failmine_raslog.dir/names.cpp.o.d"
+  "libfailmine_raslog.a"
+  "libfailmine_raslog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_raslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/failmine_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/failmine_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/fault_model.cpp" "src/sim/CMakeFiles/failmine_sim.dir/fault_model.cpp.o" "gcc" "src/sim/CMakeFiles/failmine_sim.dir/fault_model.cpp.o.d"
+  "/root/repo/src/sim/io_model.cpp" "src/sim/CMakeFiles/failmine_sim.dir/io_model.cpp.o" "gcc" "src/sim/CMakeFiles/failmine_sim.dir/io_model.cpp.o.d"
+  "/root/repo/src/sim/population.cpp" "src/sim/CMakeFiles/failmine_sim.dir/population.cpp.o" "gcc" "src/sim/CMakeFiles/failmine_sim.dir/population.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/failmine_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/failmine_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/failmine_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/failmine_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/failmine_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/failmine_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/joblog/CMakeFiles/failmine_joblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklog/CMakeFiles/failmine_tasklog.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolog/CMakeFiles/failmine_iolog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_sim.dir/config.cpp.o"
+  "CMakeFiles/failmine_sim.dir/config.cpp.o.d"
+  "CMakeFiles/failmine_sim.dir/fault_model.cpp.o"
+  "CMakeFiles/failmine_sim.dir/fault_model.cpp.o.d"
+  "CMakeFiles/failmine_sim.dir/io_model.cpp.o"
+  "CMakeFiles/failmine_sim.dir/io_model.cpp.o.d"
+  "CMakeFiles/failmine_sim.dir/population.cpp.o"
+  "CMakeFiles/failmine_sim.dir/population.cpp.o.d"
+  "CMakeFiles/failmine_sim.dir/simulator.cpp.o"
+  "CMakeFiles/failmine_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/failmine_sim.dir/workload.cpp.o"
+  "CMakeFiles/failmine_sim.dir/workload.cpp.o.d"
+  "libfailmine_sim.a"
+  "libfailmine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

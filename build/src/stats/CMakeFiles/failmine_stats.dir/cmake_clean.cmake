@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/failmine_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/failmine_stats.dir/concentration.cpp.o"
+  "CMakeFiles/failmine_stats.dir/concentration.cpp.o.d"
+  "CMakeFiles/failmine_stats.dir/correlation.cpp.o"
+  "CMakeFiles/failmine_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/failmine_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/failmine_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/failmine_stats.dir/histogram.cpp.o"
+  "CMakeFiles/failmine_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/failmine_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/failmine_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/failmine_stats.dir/special.cpp.o"
+  "CMakeFiles/failmine_stats.dir/special.cpp.o.d"
+  "CMakeFiles/failmine_stats.dir/summary.cpp.o"
+  "CMakeFiles/failmine_stats.dir/summary.cpp.o.d"
+  "libfailmine_stats.a"
+  "libfailmine_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_tasklog.dir/task.cpp.o"
+  "CMakeFiles/failmine_tasklog.dir/task.cpp.o.d"
+  "libfailmine_tasklog.a"
+  "libfailmine_tasklog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_tasklog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/location.cpp" "src/topology/CMakeFiles/failmine_topology.dir/location.cpp.o" "gcc" "src/topology/CMakeFiles/failmine_topology.dir/location.cpp.o.d"
+  "/root/repo/src/topology/machine.cpp" "src/topology/CMakeFiles/failmine_topology.dir/machine.cpp.o" "gcc" "src/topology/CMakeFiles/failmine_topology.dir/machine.cpp.o.d"
+  "/root/repo/src/topology/partition.cpp" "src/topology/CMakeFiles/failmine_topology.dir/partition.cpp.o" "gcc" "src/topology/CMakeFiles/failmine_topology.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_topology.dir/location.cpp.o"
+  "CMakeFiles/failmine_topology.dir/location.cpp.o.d"
+  "CMakeFiles/failmine_topology.dir/machine.cpp.o"
+  "CMakeFiles/failmine_topology.dir/machine.cpp.o.d"
+  "CMakeFiles/failmine_topology.dir/partition.cpp.o"
+  "CMakeFiles/failmine_topology.dir/partition.cpp.o.d"
+  "libfailmine_topology.a"
+  "libfailmine_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

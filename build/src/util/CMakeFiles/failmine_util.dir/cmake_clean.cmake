@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failmine_util.dir/csv.cpp.o"
+  "CMakeFiles/failmine_util.dir/csv.cpp.o.d"
+  "CMakeFiles/failmine_util.dir/rng.cpp.o"
+  "CMakeFiles/failmine_util.dir/rng.cpp.o.d"
+  "CMakeFiles/failmine_util.dir/strings.cpp.o"
+  "CMakeFiles/failmine_util.dir/strings.cpp.o.d"
+  "CMakeFiles/failmine_util.dir/time.cpp.o"
+  "CMakeFiles/failmine_util.dir/time.cpp.o.d"
+  "libfailmine_util.a"
+  "libfailmine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failmine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

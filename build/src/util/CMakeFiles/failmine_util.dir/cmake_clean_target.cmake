@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfailmine_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concentration.dir/test_concentration.cpp.o"
+  "CMakeFiles/test_concentration.dir/test_concentration.cpp.o.d"
+  "test_concentration"
+  "test_concentration.pdb"
+  "test_concentration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

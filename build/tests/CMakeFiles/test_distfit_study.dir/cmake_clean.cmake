@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distfit_study.dir/test_distfit_study.cpp.o"
+  "CMakeFiles/test_distfit_study.dir/test_distfit_study.cpp.o.d"
+  "test_distfit_study"
+  "test_distfit_study.pdb"
+  "test_distfit_study[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distfit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

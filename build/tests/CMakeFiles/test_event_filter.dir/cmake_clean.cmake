@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_filter.dir/test_event_filter.cpp.o"
+  "CMakeFiles/test_event_filter.dir/test_event_filter.cpp.o.d"
+  "test_event_filter"
+  "test_event_filter.pdb"
+  "test_event_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

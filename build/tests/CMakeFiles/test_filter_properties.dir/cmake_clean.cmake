@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter_properties.dir/test_filter_properties.cpp.o"
+  "CMakeFiles/test_filter_properties.dir/test_filter_properties.cpp.o.d"
+  "test_filter_properties"
+  "test_filter_properties.pdb"
+  "test_filter_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

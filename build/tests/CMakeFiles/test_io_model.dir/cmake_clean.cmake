@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_model.dir/test_io_model.cpp.o"
+  "CMakeFiles/test_io_model.dir/test_io_model.cpp.o.d"
+  "test_io_model"
+  "test_io_model.pdb"
+  "test_io_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

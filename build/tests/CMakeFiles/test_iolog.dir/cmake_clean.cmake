@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iolog.dir/test_iolog.cpp.o"
+  "CMakeFiles/test_iolog.dir/test_iolog.cpp.o.d"
+  "test_iolog"
+  "test_iolog.pdb"
+  "test_iolog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joblog.dir/test_joblog.cpp.o"
+  "CMakeFiles/test_joblog.dir/test_joblog.cpp.o.d"
+  "test_joblog"
+  "test_joblog.pdb"
+  "test_joblog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joint_analyzer.dir/test_joint_analyzer.cpp.o"
+  "CMakeFiles/test_joint_analyzer.dir/test_joint_analyzer.cpp.o.d"
+  "test_joint_analyzer"
+  "test_joint_analyzer.pdb"
+  "test_joint_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joint_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lead_time.dir/test_lead_time.cpp.o"
+  "CMakeFiles/test_lead_time.dir/test_lead_time.cpp.o.d"
+  "test_lead_time"
+  "test_lead_time.pdb"
+  "test_lead_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lead_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_location.cpp" "tests/CMakeFiles/test_location.dir/test_location.cpp.o" "gcc" "tests/CMakeFiles/test_location.dir/test_location.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/failmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/failmine_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/failmine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/distfit/CMakeFiles/failmine_distfit.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/failmine_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/joblog/CMakeFiles/failmine_joblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklog/CMakeFiles/failmine_tasklog.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolog/CMakeFiles/failmine_iolog.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/failmine_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/failmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/failmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

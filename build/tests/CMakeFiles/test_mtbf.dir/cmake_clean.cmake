@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtbf.dir/test_mtbf.cpp.o"
+  "CMakeFiles/test_mtbf.dir/test_mtbf.cpp.o.d"
+  "test_mtbf"
+  "test_mtbf.pdb"
+  "test_mtbf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

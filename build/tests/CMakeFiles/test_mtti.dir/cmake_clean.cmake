@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtti.dir/test_mtti.cpp.o"
+  "CMakeFiles/test_mtti.dir/test_mtti.cpp.o.d"
+  "test_mtti"
+  "test_mtti.pdb"
+  "test_mtti[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_wait.dir/test_queue_wait.cpp.o"
+  "CMakeFiles/test_queue_wait.dir/test_queue_wait.cpp.o.d"
+  "test_queue_wait"
+  "test_queue_wait.pdb"
+  "test_queue_wait[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raslog.dir/test_raslog.cpp.o"
+  "CMakeFiles/test_raslog.dir/test_raslog.cpp.o.d"
+  "test_raslog"
+  "test_raslog.pdb"
+  "test_raslog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_raslog.
+# This may be replaced when dependencies are built.

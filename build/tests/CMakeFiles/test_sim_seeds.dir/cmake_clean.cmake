@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_seeds.dir/test_sim_seeds.cpp.o"
+  "CMakeFiles/test_sim_seeds.dir/test_sim_seeds.cpp.o.d"
+  "test_sim_seeds"
+  "test_sim_seeds.pdb"
+  "test_sim_seeds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

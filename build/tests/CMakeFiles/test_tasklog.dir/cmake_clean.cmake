@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasklog.dir/test_tasklog.cpp.o"
+  "CMakeFiles/test_tasklog.dir/test_tasklog.cpp.o.d"
+  "test_tasklog"
+  "test_tasklog.pdb"
+  "test_tasklog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasklog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

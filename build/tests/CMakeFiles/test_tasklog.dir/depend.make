@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tasklog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torus_locality.dir/test_torus_locality.cpp.o"
+  "CMakeFiles/test_torus_locality.dir/test_torus_locality.cpp.o.d"
+  "test_torus_locality"
+  "test_torus_locality.pdb"
+  "test_torus_locality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torus_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

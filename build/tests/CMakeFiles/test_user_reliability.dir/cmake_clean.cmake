@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_user_reliability.dir/test_user_reliability.cpp.o"
+  "CMakeFiles/test_user_reliability.dir/test_user_reliability.cpp.o.d"
+  "test_user_reliability"
+  "test_user_reliability.pdb"
+  "test_user_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_user_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

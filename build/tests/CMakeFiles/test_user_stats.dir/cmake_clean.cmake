@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_user_stats.dir/test_user_stats.cpp.o"
+  "CMakeFiles/test_user_stats.dir/test_user_stats.cpp.o.d"
+  "test_user_stats"
+  "test_user_stats.pdb"
+  "test_user_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_user_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
