@@ -17,9 +17,35 @@
 #include <string>
 
 #include "core/joint_analyzer.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace failmine::bench {
+
+/// Per-binary observability bootstrap for the bench mains. Construct it
+/// first thing in main(), BEFORE benchmark::Initialize, so the shared
+/// obs flags (--log-level, --metrics-out, --trace-out) are stripped from
+/// argv before google-benchmark rejects them. On destruction it prints
+/// the per-phase wall-time breakdown of everything traced during the run
+/// (dataset build, each analysis span, benchmark iterations) and writes
+/// the JSON exports if requested.
+class ObsSession {
+ public:
+  ObsSession(int* argc, char** argv) : inner_(argc, argv) {}
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    std::printf("\nphase timings (wall time per traced span):\n%s",
+                obs::tracer().summary_text().c_str());
+    // inner_ flushes --metrics-out / --trace-out afterwards.
+  }
+
+ private:
+  obs::ObsSession inner_;
+};
 
 inline double bench_scale() {
   if (const char* env = std::getenv("FAILMINE_BENCH_SCALE")) {
@@ -39,14 +65,20 @@ inline const sim::SimConfig& dataset_config() {
 }
 
 inline const sim::SimResult& dataset() {
-  static const sim::SimResult result = sim::simulate(dataset_config());
+  static const sim::SimResult result = [] {
+    FAILMINE_TRACE_SPAN("bench.dataset_build");
+    return sim::simulate(dataset_config());
+  }();
   return result;
 }
 
 inline const core::JointAnalyzer& analyzer() {
-  static const core::JointAnalyzer instance(
-      dataset().job_log, dataset().task_log, dataset().ras_log,
-      dataset().io_log, dataset_config().machine);
+  static const core::JointAnalyzer instance = [] {
+    FAILMINE_TRACE_SPAN("bench.analyzer_build");
+    return core::JointAnalyzer(dataset().job_log, dataset().task_log,
+                               dataset().ras_log, dataset().io_log,
+                               dataset_config().machine);
+  }();
   return instance;
 }
 

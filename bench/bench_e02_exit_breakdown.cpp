@@ -59,6 +59,7 @@ BENCHMARK(BM_ClassifyExit);
 }  // namespace
 
 int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -77,6 +77,7 @@ BENCHMARK(BM_UserCorrelations)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -74,6 +74,7 @@ BENCHMARK(BM_MonthlySeries)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

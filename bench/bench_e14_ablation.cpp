@@ -75,6 +75,7 @@ BENCHMARK(BM_FilterWindowSweep)->Arg(60)->Arg(900)->Arg(21600)
 }  // namespace
 
 int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

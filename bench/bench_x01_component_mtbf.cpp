@@ -81,6 +81,7 @@ BENCHMARK(BM_Availability);
 }  // namespace
 
 int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

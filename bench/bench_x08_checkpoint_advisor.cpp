@@ -60,6 +60,7 @@ BENCHMARK(BM_DalyInterval);
 }  // namespace
 
 int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,12 @@
 //   fit      --data DIR [--min-sample N]
 //       per-exit-class execution-length distribution study (E05)
 //
+// Global observability options (any subcommand):
+//   --log-level debug|info|warn|error|off   stderr log threshold
+//   --metrics-out PATH   write the metrics registry as JSON on exit
+//   --trace-out PATH     write a chrome-trace JSON (chrome://tracing,
+//                        https://ui.perfetto.dev) on exit
+//
 // Exit status: 0 on success (and, for `report`, only if all claims pass).
 
 #include <cstdio>
@@ -22,6 +28,7 @@
 #include <string>
 
 #include "core/report.hpp"
+#include "obs/session.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 
@@ -72,7 +79,9 @@ int usage() {
                "  summary  --data DIR\n"
                "  report   --data DIR [--scale S] [--format text|json]\n"
                "  mtti     --data DIR [--window SEC] [--radius LEVEL]\n"
-               "  fit      --data DIR [--min-sample N]\n");
+               "  fit      --data DIR [--min-sample N]\n"
+               "global: [--log-level LEVEL] [--metrics-out PATH] "
+               "[--trace-out PATH]\n");
   return 2;
 }
 
@@ -194,14 +203,23 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    // Strips the global observability flags. The explicit flush() after
+    // the subcommand lets an export failure surface as a nonzero exit
+    // (the destructor can only print it).
+    failmine::obs::ObsSession obs_session(&argc, argv);
     const ArgMap args(argc, argv, 2);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "summary") return cmd_summary(args);
-    if (command == "report") return cmd_report(args);
-    if (command == "mtti") return cmd_mtti(args);
-    if (command == "fit") return cmd_fit(args);
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return usage();
+    int rc = -1;
+    if (command == "simulate") rc = cmd_simulate(args);
+    else if (command == "summary") rc = cmd_summary(args);
+    else if (command == "report") rc = cmd_report(args);
+    else if (command == "mtti") rc = cmd_mtti(args);
+    else if (command == "fit") rc = cmd_fit(args);
+    else {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      return usage();
+    }
+    obs_session.flush();
+    return rc;
   } catch (const failmine::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace failmine::analysis {
@@ -25,6 +26,7 @@ bool neighbourhood_match(const raslog::RasEvent& a, const raslog::RasEvent& b,
 
 CooccurrenceResult category_cooccurrence(const raslog::RasLog& log,
                                          const CooccurrenceConfig& config) {
+  FAILMINE_TRACE_SPAN("x07.cooccurrence");
   if (config.window_seconds <= 0)
     throw failmine::DomainError("co-occurrence window must be positive");
 

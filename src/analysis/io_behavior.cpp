@@ -1,5 +1,6 @@
 #include "analysis/io_behavior.hpp"
 
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 
 namespace failmine::analysis {
@@ -44,6 +45,7 @@ double IoComparison::write_median_ratio() const {
 }
 
 IoComparison compare_io(const joblog::JobLog& jobs, const iolog::IoLog& io) {
+  FAILMINE_TRACE_SPAN("e12.io_behavior");
   IoComparison c;
   c.successful = summarize_population(jobs, io, /*failed_population=*/false);
   c.failed = summarize_population(jobs, io, /*failed_population=*/true);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "stats/concentration.hpp"
 #include "util/error.hpp"
 
@@ -49,6 +50,7 @@ std::size_t components_at_level(const topology::MachineConfig& machine,
 LocalitySummary locality_summary(const raslog::RasLog& log,
                                  const topology::MachineConfig& machine,
                                  Level level) {
+  FAILMINE_TRACE_SPAN("e09.locality");
   const auto counts =
       events_per_component(log, level, raslog::Severity::kFatal);
   LocalitySummary s;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "stats/correlation.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
@@ -36,16 +37,19 @@ std::map<Key, WaitSummary> waits_grouped(const joblog::JobLog& log,
 }  // namespace
 
 std::map<std::uint32_t, WaitSummary> wait_by_scale(const joblog::JobLog& log) {
+  FAILMINE_TRACE_SPAN("x04.queue_wait.by_scale");
   return waits_grouped<std::uint32_t>(
       log, [](const joblog::JobRecord& j) { return j.nodes_used; });
 }
 
 std::map<std::string, WaitSummary> wait_by_queue(const joblog::JobLog& log) {
+  FAILMINE_TRACE_SPAN("x04.queue_wait.by_queue");
   return waits_grouped<std::string>(
       log, [](const joblog::JobRecord& j) { return j.queue; });
 }
 
 WaitByOutcome wait_by_outcome(const joblog::JobLog& log) {
+  FAILMINE_TRACE_SPAN("x04.queue_wait.by_outcome");
   std::vector<double> ok, bad;
   for (const auto& j : log.jobs())
     (j.failed() ? bad : ok).push_back(static_cast<double>(j.wait_seconds()));

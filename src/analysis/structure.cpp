@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "stats/correlation.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -11,6 +12,7 @@
 namespace failmine::analysis {
 
 std::vector<StructureBucket> failure_rate_by_scale(const joblog::JobLog& log) {
+  FAILMINE_TRACE_SPAN("e04.structure.by_scale");
   std::map<std::uint32_t, StructureBucket> by_size;
   for (const auto& job : log.jobs()) {
     StructureBucket& b = by_size[job.nodes_used];
@@ -29,6 +31,7 @@ std::vector<StructureBucket> failure_rate_by_scale(const joblog::JobLog& log) {
 
 std::vector<StructureBucket> failure_rate_by_task_count(const joblog::JobLog& log,
                                                         std::uint32_t cap) {
+  FAILMINE_TRACE_SPAN("e04.structure.by_task_count");
   if (cap < 2) throw failmine::DomainError("task-count cap must be >= 2");
   std::vector<StructureBucket> buckets(cap);
   for (std::uint32_t i = 0; i < cap; ++i) {
@@ -50,6 +53,7 @@ std::vector<StructureBucket> failure_rate_by_task_count(const joblog::JobLog& lo
 std::vector<StructureBucket> failure_rate_by_core_hours(
     const joblog::JobLog& log, const topology::MachineConfig& machine,
     std::size_t buckets) {
+  FAILMINE_TRACE_SPAN("e04.structure.by_core_hours");
   if (buckets < 2) throw failmine::DomainError("need >= 2 core-hour buckets");
   if (log.empty()) throw failmine::DomainError("empty job log");
   double lo = 1e300, hi = 0.0;

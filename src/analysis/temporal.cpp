@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace failmine::analysis {
 
 HourlyProfile submissions_by_hour(const joblog::JobLog& log) {
+  FAILMINE_TRACE_SPAN("e11.temporal.submissions_by_hour");
   HourlyProfile p{};
   for (const auto& j : log.jobs())
     ++p[static_cast<std::size_t>(util::hour_of_day(j.submit_time))];
@@ -12,6 +15,7 @@ HourlyProfile submissions_by_hour(const joblog::JobLog& log) {
 }
 
 WeekdayProfile submissions_by_weekday(const joblog::JobLog& log) {
+  FAILMINE_TRACE_SPAN("e11.temporal.submissions_by_weekday");
   WeekdayProfile p{};
   for (const auto& j : log.jobs())
     ++p[static_cast<std::size_t>(util::day_of_week(j.submit_time))];
@@ -19,6 +23,7 @@ WeekdayProfile submissions_by_weekday(const joblog::JobLog& log) {
 }
 
 HourlyProfile failures_by_hour(const joblog::JobLog& log) {
+  FAILMINE_TRACE_SPAN("e11.temporal.failures_by_hour");
   HourlyProfile p{};
   for (const auto& j : log.jobs())
     if (j.failed()) ++p[static_cast<std::size_t>(util::hour_of_day(j.end_time))];
@@ -26,6 +31,7 @@ HourlyProfile failures_by_hour(const joblog::JobLog& log) {
 }
 
 HourlyProfile events_by_hour(const raslog::RasLog& log) {
+  FAILMINE_TRACE_SPAN("e11.temporal.events_by_hour");
   HourlyProfile p{};
   for (const auto& e : log.events())
     ++p[static_cast<std::size_t>(util::hour_of_day(e.timestamp))];

@@ -1,5 +1,6 @@
 #include "analysis/torus_locality.hpp"
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace failmine::analysis {
@@ -9,6 +10,7 @@ TorusLocalityResult torus_locality(const raslog::RasLog& log,
                                    util::Rng& rng, raslog::Severity severity,
                                    std::size_t max_nodes,
                                    std::size_t baseline_pairs) {
+  FAILMINE_TRACE_SPAN("e09.torus_locality");
   if (max_nodes < 2) throw failmine::DomainError("need >= 2 nodes for pairs");
   if (baseline_pairs < 1)
     throw failmine::DomainError("need >= 1 baseline pair");

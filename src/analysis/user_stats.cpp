@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "stats/concentration.hpp"
 #include "util/error.hpp"
 
@@ -41,12 +42,14 @@ std::vector<GroupStats> aggregate(const joblog::JobLog& log,
 
 std::vector<GroupStats> per_user_stats(const joblog::JobLog& log,
                                        const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("e03.user_stats.per_user");
   return aggregate(log, machine,
                    [](const joblog::JobRecord& j) { return j.user_id; });
 }
 
 std::vector<GroupStats> per_project_stats(const joblog::JobLog& log,
                                           const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("e03.user_stats.per_project");
   return aggregate(log, machine,
                    [](const joblog::JobRecord& j) { return j.project_id; });
 }

@@ -1,5 +1,6 @@
 #include "core/distfit_study.hpp"
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace failmine::core {
@@ -15,6 +16,7 @@ std::vector<double> runtime_sample(const joblog::JobLog& log,
 
 ClassFitRow fit_sample(std::vector<double> sample,
                        const std::vector<distfit::Family>& families) {
+  FAILMINE_TRACE_SPAN("distfit.fit_sample");
   if (sample.size() < 2)
     throw failmine::DomainError("fit_sample requires >= 2 observations");
   ClassFitRow row;

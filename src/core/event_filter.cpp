@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace failmine::core {
@@ -35,6 +37,7 @@ std::vector<const RasEvent*> select_severity(const raslog::RasLog& log,
 }  // namespace
 
 FilterResult filter_events(const raslog::RasLog& log, const FilterConfig& config) {
+  FAILMINE_TRACE_SPAN("e07.filtering");
   if (config.window_seconds < 0)
     throw failmine::DomainError("filter window must be non-negative");
   const auto selected = select_severity(log, config.severity);
@@ -78,6 +81,8 @@ FilterResult filter_events(const raslog::RasLog& log, const FilterConfig& config
       open.push_back(result.clusters.size() - 1);
     }
   }
+  obs::metrics().counter("filter.input_events").add(result.input_events);
+  obs::metrics().counter("filter.clusters").add(result.clusters.size());
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "stats/correlation.hpp"
 #include "util/error.hpp"
 
@@ -30,6 +31,7 @@ util::UnixSeconds JointAnalyzer::window_end() const {
 }
 
 DatasetSummary JointAnalyzer::dataset_summary() const {
+  FAILMINE_TRACE_SPAN("e01.dataset_summary");
   DatasetSummary s;
   s.span_days = static_cast<double>(window_end() - window_begin()) /
                 static_cast<double>(util::kSecondsPerDay);
@@ -43,6 +45,7 @@ DatasetSummary JointAnalyzer::dataset_summary() const {
 }
 
 ExitBreakdown JointAnalyzer::exit_breakdown() const {
+  FAILMINE_TRACE_SPAN("e02.exit_breakdown");
   ExitBreakdown b;
   b.total_jobs = jobs_.size();
   std::map<joblog::ExitClass, ExitBreakdownRow> rows;
@@ -83,16 +86,19 @@ ExitBreakdown JointAnalyzer::exit_breakdown() const {
 
 std::vector<ClassFitRow> JointAnalyzer::runtime_distribution_study(
     std::size_t min_sample) const {
+  FAILMINE_TRACE_SPAN("e05.distfit_runtime");
   return fit_by_exit_class(jobs_, min_sample);
 }
 
 FilteredMtti JointAnalyzer::interruption_analysis(
     const FilterConfig& config) const {
+  FAILMINE_TRACE_SPAN("e08.mtti");
   return filtered_mtti(ras_, config, window_begin(), window_end());
 }
 
 ClassFitRow JointAnalyzer::interruption_interval_fit(
     const FilterConfig& config) const {
+  FAILMINE_TRACE_SPAN("e13.interruption_fit");
   const FilteredMtti fm = interruption_analysis(config);
   if (fm.mtti.intervals_days.size() < 2)
     throw failmine::DomainError(
@@ -101,6 +107,7 @@ ClassFitRow JointAnalyzer::interruption_interval_fit(
 }
 
 JointAnalyzer::RasCorrelations JointAnalyzer::ras_user_correlations() const {
+  FAILMINE_TRACE_SPAN("e10.ras_correlation");
   const auto input = user_event_correlation_input(jobs_, ras_, machine_);
   RasCorrelations c;
   c.users = input.user_ids.size();

@@ -1,5 +1,6 @@
 #include "core/mtti.hpp"
 
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
 
@@ -33,6 +34,7 @@ MttiResult from_times(const std::vector<util::UnixSeconds>& times,
 
 MttiResult compute_mtti(const std::vector<EventCluster>& clusters,
                         util::UnixSeconds begin, util::UnixSeconds end) {
+  FAILMINE_TRACE_SPAN("mtti.compute");
   std::vector<util::UnixSeconds> times;
   times.reserve(clusters.size());
   for (const auto& c : clusters)

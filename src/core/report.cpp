@@ -8,6 +8,7 @@
 #include "analysis/structure.hpp"
 #include "analysis/temporal.hpp"
 #include "analysis/user_stats.hpp"
+#include "obs/trace.hpp"
 
 namespace failmine::core {
 
@@ -45,6 +46,7 @@ Takeaway make_at_least(std::string id, std::string claim, double threshold,
 
 std::vector<Takeaway> evaluate_takeaways(const JointAnalyzer& analyzer,
                                          const ReportConfig& config) {
+  FAILMINE_TRACE_SPAN("report.evaluate_takeaways");
   std::vector<Takeaway> out;
   const double s = config.trace_scale;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "stats/special.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
@@ -11,6 +12,13 @@
 namespace failmine::distfit {
 
 namespace {
+
+/// Newton/profile-likelihood iteration counts from the iterative fitters.
+obs::Histogram& iterations_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "distfit.iterations", {1, 2, 5, 10, 20, 50, 100, 200});
+  return h;
+}
 
 void require_positive(std::span<const double> sample, const char* who) {
   if (sample.empty())
@@ -52,7 +60,9 @@ Weibull fit_weibull(std::span<const double> sample) {
   double k = var_log > 0 ? 1.2 / std::sqrt(var_log) : 1.0;
   k = std::clamp(k, 1e-3, 1e3);
 
+  int iterations = 0;
   for (int iter = 0; iter < 200; ++iter) {
+    iterations = iter + 1;
     double s0 = 0.0, s1 = 0.0, s2 = 0.0;
     // Normalize by the max to avoid overflow of x^k for large k.
     double xmax = 0.0;
@@ -75,6 +85,7 @@ Weibull fit_weibull(std::span<const double> sample) {
     }
     k = std::clamp(next, 1e-6, 1e6);
   }
+  iterations_histogram().observe(iterations);
   double sum_pow = 0.0;
   for (double x : sample) sum_pow += std::pow(x, k);
   const double scale = std::pow(sum_pow / n, 1.0 / k);
@@ -120,7 +131,9 @@ GammaDist fit_gamma(std::span<const double> sample) {
   // Initial guess (Minka 2002), then Newton on log(k) - digamma(k) = s.
   double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) / (12.0 * s);
   k = std::clamp(k, 1e-6, 1e6);
+  int iterations = 0;
   for (int iter = 0; iter < 100; ++iter) {
+    iterations = iter + 1;
     const double f = std::log(k) - stats::digamma(k) - s;
     const double fp = 1.0 / k - stats::trigamma(k);
     if (fp == 0.0) break;
@@ -132,6 +145,7 @@ GammaDist fit_gamma(std::span<const double> sample) {
     }
     k = std::clamp(next, 1e-9, 1e9);
   }
+  iterations_histogram().observe(iterations);
   return GammaDist(k, m / k);
 }
 

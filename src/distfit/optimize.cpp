@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace failmine::distfit {
@@ -110,6 +111,11 @@ NelderMeadResult nelder_mead(
     if (values[i] < values[best]) best = i;
   result.x = simplex[best];
   result.value = values[best];
+  obs::metrics().counter("distfit.nm_calls").add();
+  obs::metrics()
+      .histogram("distfit.nm_iterations", {10, 20, 50, 100, 200, 500, 1000})
+      .observe(result.iterations);
+  if (!result.converged) obs::metrics().counter("distfit.nm_unconverged").add();
   return result;
 }
 

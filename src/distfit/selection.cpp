@@ -4,6 +4,9 @@
 
 #include "distfit/fit.hpp"
 #include "distfit/loglogistic.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace failmine::distfit {
@@ -70,10 +73,18 @@ std::unique_ptr<Distribution> fit_dispatch(Family family,
 
 std::optional<FitResult> fit_family(Family family, std::span<const double> sample) {
   std::unique_ptr<Distribution> dist;
+  obs::metrics().counter("distfit.fits_total").add();
   try {
     dist = fit_dispatch(family, sample);
-  } catch (const failmine::DomainError&) {
-    return std::nullopt;  // fitter rejected this sample; skip the family
+  } catch (const failmine::DomainError& e) {
+    // Fitter rejected this sample; skip the family — but say why, so a
+    // surprising hole in a fit table can be traced back to its cause.
+    obs::metrics().counter("distfit.fit_failures").add();
+    obs::logger().info("distfit.family_rejected",
+                       {{"family", family_name(family)},
+                        {"sample_size", sample.size()},
+                        {"error", e.what()}});
+    return std::nullopt;
   }
   FitResult r;
   r.family = family;
@@ -90,6 +101,7 @@ std::optional<FitResult> fit_family(Family family, std::span<const double> sampl
 
 std::vector<FitResult> fit_all(std::span<const double> sample,
                                const std::vector<Family>& families) {
+  FAILMINE_TRACE_SPAN("distfit.fit_all");
   std::vector<FitResult> results;
   for (Family f : families) {
     auto r = fit_family(f, sample);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -64,22 +67,43 @@ void IoLog::write_csv(const std::string& path) const {
   writer.close();
 }
 
+namespace {
+
+iolog::IoRecord parse_row(const std::vector<std::string>& row) {
+  IoRecord r;
+  r.job_id = util::parse_uint(row[0]);
+  r.bytes_read = util::parse_uint(row[1]);
+  r.bytes_written = util::parse_uint(row[2]);
+  r.read_time_seconds = util::parse_double(row[3]);
+  r.write_time_seconds = util::parse_double(row[4]);
+  r.files_accessed = static_cast<std::uint32_t>(util::parse_uint(row[5]));
+  r.ranks_doing_io = static_cast<std::uint32_t>(util::parse_uint(row[6]));
+  return r;
+}
+
+}  // namespace
+
 IoLog IoLog::read_csv(const std::string& path) {
+  FAILMINE_TRACE_SPAN("iolog.read_csv");
   util::CsvReader reader(path);
   if (reader.header() != csv_header())
     throw failmine::ParseError("unexpected I/O log header in " + path);
+  obs::Counter& records_counter = obs::metrics().counter("parse.iolog.records");
   std::vector<IoRecord> records;
   std::vector<std::string> row;
   while (reader.next(row)) {
-    IoRecord r;
-    r.job_id = util::parse_uint(row[0]);
-    r.bytes_read = util::parse_uint(row[1]);
-    r.bytes_written = util::parse_uint(row[2]);
-    r.read_time_seconds = util::parse_double(row[3]);
-    r.write_time_seconds = util::parse_double(row[4]);
-    r.files_accessed = static_cast<std::uint32_t>(util::parse_uint(row[5]));
-    r.ranks_doing_io = static_cast<std::uint32_t>(util::parse_uint(row[6]));
-    records.push_back(r);
+    try {
+      records.push_back(parse_row(row));
+    } catch (const failmine::Error& e) {
+      obs::metrics().counter("parse.lines_rejected").add();
+      obs::logger().warn("parse.record_rejected",
+                         {{"source", "iolog"},
+                          {"file", path},
+                          {"row", reader.rows_read() + 1},
+                          {"error", e.what()}});
+      throw;
+    }
+    records_counter.add();
   }
   return IoLog(std::move(records));
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -149,12 +152,27 @@ JobLog JobLog::read_csv(const std::string& path) {
 void JobLog::for_each_csv(
     const std::string& path,
     const std::function<bool(const JobRecord&)>& callback) {
+  FAILMINE_TRACE_SPAN("joblog.read_csv");
   util::CsvReader reader(path);
   if (reader.header() != csv_header())
     throw failmine::ParseError("unexpected job log header in " + path);
+  obs::Counter& records = obs::metrics().counter("parse.joblog.records");
   std::vector<std::string> row;
   while (reader.next(row)) {
-    if (!callback(parse_row(row))) break;
+    JobRecord j;
+    try {
+      j = parse_row(row);
+    } catch (const failmine::Error& e) {
+      obs::metrics().counter("parse.lines_rejected").add();
+      obs::logger().warn("parse.record_rejected",
+                         {{"source", "joblog"},
+                          {"file", path},
+                          {"row", reader.rows_read() + 1},
+                          {"error", e.what()}});
+      throw;
+    }
+    records.add();
+    if (!callback(j)) break;
   }
 }
 

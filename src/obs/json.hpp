@@ -1,0 +1,49 @@
+// failmine/obs/json.hpp
+//
+// Minimal JSON emission helpers shared by the obs exporters (JSONL log
+// sink, metrics registry, chrome-trace writer). Emission only — the
+// toolkit never parses JSON, so there is deliberately no reader here.
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace failmine::obs {
+
+/// Appends `s` to `out` as a JSON string literal (including the quotes).
+inline void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Formats a double as a JSON number. Non-finite values have no JSON
+/// representation; they degrade to null so exports stay parseable.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace failmine::obs

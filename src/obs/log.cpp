@@ -1,0 +1,172 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+LogLevel log_level_from_name(std::string_view name) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff})
+    if (name == log_level_name(level)) return level;
+  throw failmine::ParseError("unknown log level '" + std::string(name) +
+                             "' (debug|info|warn|error|off)");
+}
+
+std::string Field::value_string() const {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return v;
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, double>) {
+          return json_number(v);
+        } else {
+          return std::to_string(v);
+        }
+      },
+      value);
+}
+
+namespace {
+
+std::string format_time_utc(std::chrono::system_clock::time_point tp) {
+  const std::time_t t = std::chrono::system_clock::to_time_t(tp);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+void append_field_value_json(std::string& out, const Field& field) {
+  std::visit(
+      [&out](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          append_json_string(out, v);
+        } else if constexpr (std::is_same_v<T, bool>) {
+          out += v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, double>) {
+          out += json_number(v);
+        } else {
+          out += std::to_string(v);
+        }
+      },
+      field.value);
+}
+
+}  // namespace
+
+void StderrSink::write(const LogRecord& record) {
+  std::string line = format_time_utc(record.time);
+  line.push_back(' ');
+  std::string_view level = log_level_name(record.level);
+  for (char c : level) line.push_back(static_cast<char>(std::toupper(c)));
+  line.push_back(' ');
+  line += record.event;
+  for (const Field& f : record.fields) {
+    line.push_back(' ');
+    line += f.key;
+    line.push_back('=');
+    line += f.value_string();
+  }
+  line.push_back('\n');
+  std::fputs(line.c_str(), stderr);
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : out_(path, std::ios::app), path_(path) {
+  if (!out_) throw failmine::ObsError("cannot open log sink file: " + path);
+}
+
+void JsonlFileSink::write(const LogRecord& record) {
+  std::string line = "{\"time\":";
+  append_json_string(line, format_time_utc(record.time));
+  line += ",\"level\":";
+  append_json_string(line, log_level_name(record.level));
+  line += ",\"event\":";
+  append_json_string(line, record.event);
+  for (const Field& f : record.fields) {
+    line.push_back(',');
+    append_json_string(line, f.key);
+    line.push_back(':');
+    append_field_value_json(line, f);
+  }
+  line += "}\n";
+  out_ << line;
+  if (!out_) throw failmine::ObsError("write failed on log sink: " + path_);
+}
+
+void JsonlFileSink::flush() {
+  out_.flush();
+  if (!out_) throw failmine::ObsError("flush failed on log sink: " + path_);
+}
+
+Logger::Logger(LogLevel level) : level_(static_cast<int>(level)) {}
+
+void Logger::add_sink(std::shared_ptr<LogSink> sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::set_sinks(std::vector<std::shared_ptr<LogSink>> sinks) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sinks_ = std::move(sinks);
+}
+
+void Logger::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& sink : sinks_) sink->flush();
+}
+
+void Logger::log(LogLevel level, std::string_view event,
+                 std::initializer_list<Field> fields) {
+  if (level == LogLevel::kOff || !enabled(level)) return;
+  LogRecord record;
+  record.time = std::chrono::system_clock::now();
+  record.level = level;
+  record.event = std::string(event);
+  record.fields.assign(fields.begin(), fields.end());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& sink : sinks_) sink->write(record);
+}
+
+Logger& logger() {
+  // Leaked intentionally: instrumented code may log from static
+  // destructors, so the global logger must outlive everything.
+  static Logger* instance = [] {
+    LogLevel level = LogLevel::kWarn;
+    if (const char* env = std::getenv("FAILMINE_LOG_LEVEL")) {
+      try {
+        level = log_level_from_name(env);
+      } catch (const failmine::ParseError&) {
+        // Leave the default; a bad env var must not abort the process.
+      }
+    }
+    auto* l = new Logger(level);
+    l->add_sink(std::make_shared<StderrSink>());
+    return l;
+  }();
+  return *instance;
+}
+
+}  // namespace failmine::obs

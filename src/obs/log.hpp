@@ -1,0 +1,154 @@
+// failmine/obs/log.hpp
+//
+// Structured, leveled logging for the toolkit.
+//
+// A log record is an event name plus key=value fields, not a free-form
+// message: `logger().warn("parse.row_rejected", {{"file", path},
+// {"row", 17}})`. Records go to pluggable sinks; the default global
+// logger writes human-readable text to stderr at WARN and above (override
+// the threshold with FAILMINE_LOG_LEVEL=debug|info|warn|error|off).
+//
+// Sinks that hit I/O failures throw failmine::ObsError — telemetry
+// problems are surfaced, never silently swallowed.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace failmine::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug", "info", "warn", "error", "off".
+std::string_view log_level_name(LogLevel level);
+
+/// Inverse of log_level_name; throws ParseError on unknown names.
+LogLevel log_level_from_name(std::string_view name);
+
+/// One key=value pair attached to a log record.
+struct Field {
+  using Value =
+      std::variant<std::string, std::int64_t, std::uint64_t, double, bool>;
+
+  std::string key;
+  Value value;
+
+  Field(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  Field(std::string k, const char* v) : key(std::move(k)), value(std::string(v)) {}
+  Field(std::string k, std::string_view v)
+      : key(std::move(k)), value(std::string(v)) {}
+  Field(std::string k, bool v) : key(std::move(k)), value(v) {}
+  Field(std::string k, double v) : key(std::move(k)), value(v) {}
+  Field(std::string k, int v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Field(std::string k, long v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Field(std::string k, long long v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Field(std::string k, unsigned v)
+      : key(std::move(k)), value(static_cast<std::uint64_t>(v)) {}
+  Field(std::string k, unsigned long v)
+      : key(std::move(k)), value(static_cast<std::uint64_t>(v)) {}
+  Field(std::string k, unsigned long long v)
+      : key(std::move(k)), value(static_cast<std::uint64_t>(v)) {}
+
+  /// The value rendered as plain text (no quoting).
+  std::string value_string() const;
+};
+
+/// A fully assembled record handed to every sink.
+struct LogRecord {
+  std::chrono::system_clock::time_point time;
+  LogLevel level = LogLevel::kInfo;
+  std::string event;
+  std::vector<Field> fields;
+};
+
+/// Destination for log records. Implementations must be safe to call from
+/// multiple threads (the Logger serializes writes per sink).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+  virtual void flush() {}
+};
+
+/// Human-readable text to stderr:
+///   2026-08-06T12:00:00Z WARN parse.row_rejected file=jobs.csv row=17
+class StderrSink : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// One JSON object per line, appended to a file. Throws ObsError if the
+/// file cannot be opened or a write fails.
+class JsonlFileSink : public LogSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  void write(const LogRecord& record) override;
+  void flush() override;
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Leveled logger fanning records out to its sinks. Cheap to query:
+/// `enabled()` is one relaxed atomic load, so disabled levels cost
+/// nothing beyond the check.
+class Logger {
+ public:
+  explicit Logger(LogLevel level = LogLevel::kWarn);
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void add_sink(std::shared_ptr<LogSink> sink);
+  void set_sinks(std::vector<std::shared_ptr<LogSink>> sinks);
+  void flush();
+
+  void log(LogLevel level, std::string_view event,
+           std::initializer_list<Field> fields = {});
+
+  void debug(std::string_view event, std::initializer_list<Field> fields = {}) {
+    log(LogLevel::kDebug, event, fields);
+  }
+  void info(std::string_view event, std::initializer_list<Field> fields = {}) {
+    log(LogLevel::kInfo, event, fields);
+  }
+  void warn(std::string_view event, std::initializer_list<Field> fields = {}) {
+    log(LogLevel::kWarn, event, fields);
+  }
+  void error(std::string_view event, std::initializer_list<Field> fields = {}) {
+    log(LogLevel::kError, event, fields);
+  }
+
+ private:
+  std::atomic<int> level_;
+  std::mutex mutex_;  // guards sinks_ and serializes writes
+  std::vector<std::shared_ptr<LogSink>> sinks_;
+};
+
+/// The process-wide logger used by all instrumented library code.
+/// Starts with a StderrSink; threshold comes from FAILMINE_LOG_LEVEL
+/// (default warn).
+Logger& logger();
+
+}  // namespace failmine::obs

@@ -1,0 +1,183 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+void Gauge::add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw failmine::DomainError("histogram needs at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw failmine::DomainError("histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_histogram_bounds() {
+  return {1,   2,   5,   10,   20,   50,   100,  200,
+          500, 1000, 2000, 5000, 10000};
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = default_histogram_bounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += json_number(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(h->count());
+    out += ",\"sum\":";
+    out += json_number(h->sum());
+    out += ",\"bounds\":[";
+    const auto& bounds = h->upper_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += json_number(bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    const auto buckets = h->bucket_counts();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += std::to_string(buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::to_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_)
+    out += name + " " + std::to_string(c->value()) + "\n";
+  for (const auto& [name, g] : gauges_)
+    out += name + " " + json_number(g->value()) + "\n";
+  for (const auto& [name, h] : histograms_)
+    out += name + " count=" + std::to_string(h->count()) +
+           " sum=" + json_number(h->sum()) + " mean=" + json_number(h->mean()) +
+           "\n";
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw failmine::ObsError("cannot open metrics export file: " + path);
+  out << to_json() << "\n";
+  out.flush();
+  if (!out) throw failmine::ObsError("write failed on metrics export: " + path);
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  // Leaked intentionally (see obs::logger()).
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace failmine::obs

@@ -1,0 +1,114 @@
+// failmine/obs/metrics.hpp
+//
+// Process-wide metrics: named counters, gauges and fixed-bucket
+// histograms.
+//
+// Instruments are created on first use and live for the life of the
+// registry, so hot paths can cache the reference:
+//
+//   static obs::Counter& rows = obs::metrics().counter("parse.lines_total");
+//   rows.add();
+//
+// All mutation paths are lock-free atomics; the registry lock is only
+// taken on instrument creation and export. Export formats: a JSON
+// document (write_json / to_json) and a flat `name value` text dump.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace failmine::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: one bucket per upper bound (inclusive), plus
+/// an implicit overflow bucket, plus running count and sum.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; throws
+  /// DomainError otherwise.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; size is upper_bounds().size() + 1 (last =
+  /// overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bucket bounds: 1-2-5 decades from 1 to 10000.
+std::vector<double> default_histogram_bounds();
+
+class MetricsRegistry {
+ public:
+  /// Returns the instrument named `name`, creating it on first use.
+  /// References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  /// Current value of a counter, or 0 if it was never touched. Handy in
+  /// tests and reports; does not create the counter.
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string to_json() const;
+  /// One `name value` line per instrument, sorted by name.
+  std::string to_text() const;
+  /// Writes to_json() to `path`; throws ObsError on failure.
+  void write_json(const std::string& path) const;
+
+  /// Zeroes every instrument (instruments themselves survive).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry used by all instrumented library code.
+MetricsRegistry& metrics();
+
+}  // namespace failmine::obs

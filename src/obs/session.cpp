@@ -1,0 +1,63 @@
+#include "obs/session.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+ObsSession::ObsSession() {
+  if (const char* env = std::getenv("FAILMINE_METRICS_OUT")) metrics_out_ = env;
+  if (const char* env = std::getenv("FAILMINE_TRACE_OUT")) trace_out_ = env;
+}
+
+ObsSession::ObsSession(int* argc, char** argv) : ObsSession() {
+  int out = 1;  // keep argv[0]
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < *argc;
+    if (std::strcmp(arg, "--log-level") == 0 && has_value) {
+      set_log_level(argv[++i]);
+    } else if (std::strcmp(arg, "--metrics-out") == 0 && has_value) {
+      set_metrics_out(argv[++i]);
+    } else if (std::strcmp(arg, "--trace-out") == 0 && has_value) {
+      set_trace_out(argv[++i]);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+}
+
+ObsSession::~ObsSession() {
+  try {
+    flush();
+  } catch (const failmine::ObsError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+  }
+}
+
+void ObsSession::set_log_level(std::string_view name) {
+  logger().set_level(log_level_from_name(name));
+}
+
+void ObsSession::set_metrics_out(std::string path) {
+  metrics_out_ = std::move(path);
+}
+
+void ObsSession::set_trace_out(std::string path) { trace_out_ = std::move(path); }
+
+void ObsSession::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (!metrics_out_.empty()) metrics().write_json(metrics_out_);
+  if (!trace_out_.empty()) tracer().write_chrome_json(trace_out_);
+}
+
+}  // namespace failmine::obs

@@ -1,0 +1,52 @@
+// failmine/obs/session.hpp
+//
+// Per-binary observability bootstrap.
+//
+// An ObsSession owns the "where do exports go" decision for one process:
+// it understands the common `--log-level LEVEL`, `--metrics-out PATH` and
+// `--trace-out PATH` flags (and the FAILMINE_METRICS_OUT /
+// FAILMINE_TRACE_OUT environment fallbacks), and writes the configured
+// exports exactly once — either on an explicit flush() (which throws
+// ObsError on failure) or best-effort at destruction.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace failmine::obs {
+
+class ObsSession {
+ public:
+  /// Picks up FAILMINE_METRICS_OUT / FAILMINE_TRACE_OUT if set.
+  ObsSession();
+
+  /// Same, then strips any `--log-level L`, `--metrics-out P` and
+  /// `--trace-out P` pairs from argv so the remaining args can go to
+  /// another parser (e.g. google-benchmark).
+  ObsSession(int* argc, char** argv);
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Writes any pending exports, swallowing ObsError (telemetry must not
+  /// turn a successful run into a crash at exit).
+  ~ObsSession();
+
+  void set_log_level(std::string_view name);  ///< throws ParseError
+  void set_metrics_out(std::string path);
+  void set_trace_out(std::string path);
+
+  const std::string& metrics_out() const { return metrics_out_; }
+  const std::string& trace_out() const { return trace_out_; }
+
+  /// Writes the configured exports now. Throws ObsError on I/O failure.
+  void flush();
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+  bool flushed_ = false;
+};
+
+}  // namespace failmine::obs

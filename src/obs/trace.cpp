@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+namespace {
+
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// Per-thread nesting depth of live spans.
+thread_local std::uint32_t tls_span_depth = 0;
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceCollector::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceCollector::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+}
+
+void TraceCollector::record(SpanRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceCollector::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t TraceCollector::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<SpanAggregate> TraceCollector::aggregates() const {
+  std::vector<SpanAggregate> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const SpanRecord& r : records_) {
+      auto it = std::find_if(out.begin(), out.end(), [&](const SpanAggregate& a) {
+        return a.name == r.name;
+      });
+      if (it == out.end()) {
+        out.push_back({r.name, 0, 0, 0});
+        it = out.end() - 1;
+      }
+      ++it->calls;
+      it->total_us += r.duration_us;
+      it->max_us = std::max(it->max_us, r.duration_us);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanAggregate& a, const SpanAggregate& b) {
+    return a.total_us > b.total_us;
+  });
+  return out;
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : records_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, r.name);
+    out += ",\"cat\":\"failmine\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(r.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(r.duration_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(r.thread_id);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(r.depth);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceCollector::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw failmine::ObsError("cannot open trace export file: " + path);
+  out << to_chrome_json() << "\n";
+  out.flush();
+  if (!out) throw failmine::ObsError("write failed on trace export: " + path);
+}
+
+std::string TraceCollector::summary_text() const {
+  const auto agg = aggregates();
+  // The % column is the share of summed span time; nested spans are
+  // counted in both themselves and their parents, so shares can exceed
+  // what a flat profile would show.
+  std::uint64_t grand_total = 0;
+  for (const SpanAggregate& a : agg) grand_total += a.total_us;
+  std::size_t capacity;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    capacity = capacity_;
+  }
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-36s %8s %12s %12s %6s\n", "span",
+                "calls", "total_ms", "max_ms", "%");
+  out += line;
+  for (const SpanAggregate& a : agg) {
+    const double share =
+        grand_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(a.total_us) /
+                  static_cast<double>(grand_total);
+    std::snprintf(line, sizeof(line), "%-36s %8llu %12.3f %12.3f %6.1f\n",
+                  a.name.c_str(), static_cast<unsigned long long>(a.calls),
+                  static_cast<double>(a.total_us) / 1000.0,
+                  static_cast<double>(a.max_us) / 1000.0, share);
+    out += line;
+  }
+  if (const std::uint64_t d = dropped(); d > 0) {
+    std::snprintf(line, sizeof(line),
+                  "(%llu spans dropped past the %zu-span capacity)\n",
+                  static_cast<unsigned long long>(d), capacity);
+    out += line;
+  }
+  return out;
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceCollector& tracer() {
+  // Leaked intentionally (see obs::logger()).
+  static TraceCollector* instance = new TraceCollector();
+  return *instance;
+}
+
+Span::Span(std::string_view name) {
+  TraceCollector& collector = tracer();
+  start_us_ = collector.now_us();
+  if (!collector.enabled()) return;
+  name_ = std::string(name);
+  depth_ = tls_span_depth++;
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  TraceCollector& collector = tracer();
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.start_us = start_us_;
+  record.duration_us = collector.now_us() - start_us_;
+  record.thread_id = this_thread_index();
+  record.depth = depth_;
+  --tls_span_depth;
+  collector.record(std::move(record));
+}
+
+std::uint64_t Span::elapsed_us() const { return tracer().now_us() - start_us_; }
+
+}  // namespace failmine::obs

@@ -1,0 +1,124 @@
+// failmine/obs/trace.hpp
+//
+// Lightweight wall-time tracing for the analysis pipeline.
+//
+// A Span is an RAII timer; nesting is tracked per thread so the exporter
+// can reconstruct the phase tree:
+//
+//   void interruption_analysis() {
+//     FAILMINE_TRACE_SPAN("e08.mtti");
+//     ...
+//   }
+//
+// Finished spans accumulate in the global TraceCollector (bounded — once
+// the capacity is reached further spans are counted as dropped rather
+// than growing without limit under benchmark loops). Exports: a
+// chrome-trace JSON document (load it at chrome://tracing or
+// https://ui.perfetto.dev) and an aggregated text summary.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace failmine::obs {
+
+/// One completed span.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;     ///< since the collector's epoch
+  std::uint64_t duration_us = 0;  ///< wall time
+  std::uint32_t thread_id = 0;    ///< dense per-process thread index
+  std::uint32_t depth = 0;        ///< nesting depth on its thread (0 = root)
+};
+
+/// Aggregate of all spans sharing a name (for the text summary).
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+class Span;
+
+/// Thread-safe store of finished spans.
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Caps the number of retained spans (default 1<<20). Spans finished
+  /// beyond the cap are counted in dropped().
+  void set_capacity(std::size_t capacity);
+
+  std::vector<SpanRecord> records() const;
+  std::size_t size() const;
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-name aggregates, sorted by total time descending.
+  std::vector<SpanAggregate> aggregates() const;
+
+  /// Chrome-trace "traceEvents" document (complete "X" events).
+  std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; throws ObsError on failure.
+  void write_chrome_json(const std::string& path) const;
+  /// Human-readable per-phase table from aggregates().
+  std::string summary_text() const;
+
+  void clear();
+
+ private:
+  friend class Span;
+  std::uint64_t now_us() const;
+  void record(SpanRecord record);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::size_t capacity_ = 1 << 20;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The process-wide collector used by FAILMINE_TRACE_SPAN.
+TraceCollector& tracer();
+
+/// RAII span recording into tracer(). Construction/destruction cost is
+/// two steady_clock reads when tracing is enabled, nothing otherwise.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Wall time since construction (works even when tracing is disabled).
+  std::uint64_t elapsed_us() const;
+
+ private:
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+#define FAILMINE_OBS_CONCAT2(a, b) a##b
+#define FAILMINE_OBS_CONCAT(a, b) FAILMINE_OBS_CONCAT2(a, b)
+/// Times the enclosing scope as one span named `name`.
+#define FAILMINE_TRACE_SPAN(name) \
+  ::failmine::obs::Span FAILMINE_OBS_CONCAT(failmine_trace_span_, __LINE__)(name)
+
+}  // namespace failmine::obs

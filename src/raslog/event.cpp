@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -105,12 +108,27 @@ RasLog RasLog::read_csv(const std::string& path,
 void RasLog::for_each_csv(const std::string& path,
                           const topology::MachineConfig& config,
                           const std::function<bool(const RasEvent&)>& callback) {
+  FAILMINE_TRACE_SPAN("raslog.read_csv");
   util::CsvReader reader(path);
   if (reader.header() != csv_header())
     throw failmine::ParseError("unexpected RAS log header in " + path);
+  obs::Counter& records = obs::metrics().counter("parse.raslog.records");
   std::vector<std::string> row;
   while (reader.next(row)) {
-    if (!callback(parse_row(row, config))) break;
+    RasEvent e;
+    try {
+      e = parse_row(row, config);
+    } catch (const failmine::Error& err) {
+      obs::metrics().counter("parse.lines_rejected").add();
+      obs::logger().warn("parse.record_rejected",
+                         {{"source", "raslog"},
+                          {"file", path},
+                          {"row", reader.rows_read() + 1},
+                          {"error", err.what()}});
+      throw;
+    }
+    records.add();
+    if (!callback(e)) break;
   }
 }
 

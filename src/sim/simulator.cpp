@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/io_model.hpp"
 #include "sim/population.hpp"
 #include "sim/workload.hpp"
@@ -63,21 +66,51 @@ std::vector<tasklog::TaskRecord> generate_tasks(
 }  // namespace
 
 SimResult simulate(const SimConfig& config) {
+  FAILMINE_TRACE_SPAN("sim.simulate");
   config.validate();
   util::Rng rng(config.seed);
 
-  const Population population(config, rng);
-  const WorkloadModel workload(config, population);
-  std::vector<joblog::JobRecord> jobs = workload.generate(rng);
+  std::vector<joblog::JobRecord> jobs;
+  {
+    FAILMINE_TRACE_SPAN("sim.workload");
+    const Population population(config, rng);
+    const WorkloadModel workload(config, population);
+    jobs = workload.generate(rng);
+  }
 
-  const FaultModel faults(config, rng);
-  std::vector<FatalEpisode> episodes = faults.apply_system_failures(jobs, rng);
-  std::vector<raslog::RasEvent> events = faults.generate_events(episodes, rng);
+  std::vector<FatalEpisode> episodes;
+  std::vector<raslog::RasEvent> events;
+  {
+    FAILMINE_TRACE_SPAN("sim.faults");
+    const FaultModel faults(config, rng);
+    episodes = faults.apply_system_failures(jobs, rng);
+    events = faults.generate_events(episodes, rng);
+  }
 
-  std::vector<tasklog::TaskRecord> tasks = generate_tasks(jobs, rng);
+  std::vector<tasklog::TaskRecord> tasks;
+  {
+    FAILMINE_TRACE_SPAN("sim.tasks");
+    tasks = generate_tasks(jobs, rng);
+  }
 
-  const IoModel io_model(config);
-  std::vector<iolog::IoRecord> io_records = io_model.generate(jobs, rng);
+  std::vector<iolog::IoRecord> io_records;
+  {
+    FAILMINE_TRACE_SPAN("sim.io");
+    const IoModel io_model(config);
+    io_records = io_model.generate(jobs, rng);
+  }
+
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("sim.jobs_generated").add(jobs.size());
+  registry.counter("sim.events_generated").add(events.size());
+  registry.counter("sim.tasks_generated").add(tasks.size());
+  registry.counter("sim.io_records_generated").add(io_records.size());
+  registry.counter("sim.episodes_generated").add(episodes.size());
+  obs::logger().info("sim.trace_generated", {{"scale", config.scale},
+                                             {"seed", config.seed},
+                                             {"jobs", jobs.size()},
+                                             {"ras_events", events.size()},
+                                             {"tasks", tasks.size()}});
 
   SimResult result;
   result.job_log = joblog::JobLog(std::move(jobs));
@@ -97,6 +130,7 @@ SimResult simulate(const SimConfig& config) {
 }
 
 void write_dataset(const SimResult& result, const std::string& directory) {
+  FAILMINE_TRACE_SPAN("sim.write_dataset");
   result.ras_log.write_csv(directory + "/ras.csv");
   result.job_log.write_csv(directory + "/jobs.csv");
   result.task_log.write_csv(directory + "/tasks.csv");
@@ -105,6 +139,7 @@ void write_dataset(const SimResult& result, const std::string& directory) {
 
 SimResult load_dataset(const std::string& directory,
                        const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("sim.load_dataset");
   SimResult result;
   result.ras_log = raslog::RasLog::read_csv(directory + "/ras.csv", machine);
   result.job_log = joblog::JobLog::read_csv(directory + "/jobs.csv");

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -68,26 +71,47 @@ void TaskLog::write_csv(const std::string& path) const {
   writer.close();
 }
 
+namespace {
+
+tasklog::TaskRecord parse_row(const std::vector<std::string>& row) {
+  TaskRecord t;
+  t.task_id = util::parse_uint(row[0]);
+  t.job_id = util::parse_uint(row[1]);
+  t.sequence = static_cast<std::uint32_t>(util::parse_uint(row[2]));
+  t.start_time = util::parse_timestamp(row[3]);
+  t.end_time = util::parse_timestamp(row[4]);
+  t.nodes_used = static_cast<std::uint32_t>(util::parse_uint(row[5]));
+  t.ranks_per_node = static_cast<std::uint32_t>(util::parse_uint(row[6]));
+  t.exit_code = static_cast<int>(util::parse_int(row[7]));
+  t.exit_signal = static_cast<int>(util::parse_int(row[8]));
+  if (t.end_time < t.start_time)
+    throw failmine::ParseError("task " + row[0] + " ends before it starts");
+  return t;
+}
+
+}  // namespace
+
 TaskLog TaskLog::read_csv(const std::string& path) {
+  FAILMINE_TRACE_SPAN("tasklog.read_csv");
   util::CsvReader reader(path);
   if (reader.header() != csv_header())
     throw failmine::ParseError("unexpected task log header in " + path);
+  obs::Counter& records = obs::metrics().counter("parse.tasklog.records");
   std::vector<TaskRecord> tasks;
   std::vector<std::string> row;
   while (reader.next(row)) {
-    TaskRecord t;
-    t.task_id = util::parse_uint(row[0]);
-    t.job_id = util::parse_uint(row[1]);
-    t.sequence = static_cast<std::uint32_t>(util::parse_uint(row[2]));
-    t.start_time = util::parse_timestamp(row[3]);
-    t.end_time = util::parse_timestamp(row[4]);
-    t.nodes_used = static_cast<std::uint32_t>(util::parse_uint(row[5]));
-    t.ranks_per_node = static_cast<std::uint32_t>(util::parse_uint(row[6]));
-    t.exit_code = static_cast<int>(util::parse_int(row[7]));
-    t.exit_signal = static_cast<int>(util::parse_int(row[8]));
-    if (t.end_time < t.start_time)
-      throw failmine::ParseError("task " + row[0] + " ends before it starts");
-    tasks.push_back(t);
+    try {
+      tasks.push_back(parse_row(row));
+    } catch (const failmine::Error& e) {
+      obs::metrics().counter("parse.lines_rejected").add();
+      obs::logger().warn("parse.record_rejected",
+                         {{"source", "tasklog"},
+                          {"file", path},
+                          {"row", reader.rows_read() + 1},
+                          {"error", e.what()}});
+      throw;
+    }
+    records.add();
   }
   return TaskLog(std::move(tasks));
 }

@@ -1,8 +1,24 @@
 #include "util/csv.hpp"
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace failmine::util {
+
+namespace {
+
+obs::Counter& lines_total_counter() {
+  static obs::Counter& c = obs::metrics().counter("parse.lines_total");
+  return c;
+}
+
+obs::Counter& lines_rejected_counter() {
+  static obs::Counter& c = obs::metrics().counter("parse.lines_rejected");
+  return c;
+}
+
+}  // namespace
 
 std::vector<std::string> split_csv_line(std::string_view line) {
   std::vector<std::string> fields;
@@ -96,12 +112,30 @@ CsvReader::CsvReader(const std::string& path) : in_(path), path_(path) {
 bool CsvReader::next(std::vector<std::string>& fields) {
   std::string line;
   if (!std::getline(in_, line)) return false;
+  lines_total_counter().add();
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  fields = split_csv_line(line);
-  if (fields.size() != header_.size())
+  try {
+    fields = split_csv_line(line);
+  } catch (const ParseError&) {
+    lines_rejected_counter().add();
+    obs::logger().warn("parse.line_rejected",
+                       {{"file", path_},
+                        {"row", rows_ + 2},
+                        {"reason", "unterminated quote"}});
+    throw;
+  }
+  if (fields.size() != header_.size()) {
+    lines_rejected_counter().add();
+    obs::logger().warn("parse.line_rejected",
+                       {{"file", path_},
+                        {"row", rows_ + 2},
+                        {"reason", "arity mismatch"},
+                        {"fields", fields.size()},
+                        {"expected", header_.size()}});
     throw ParseError("row " + std::to_string(rows_ + 2) + " of " + path_ +
                      " has " + std::to_string(fields.size()) +
                      " fields, expected " + std::to_string(header_.size()));
+  }
   ++rows_;
   return true;
 }

@@ -49,6 +49,12 @@ class CsvWriter {
 };
 
 /// Streaming CSV reader that validates the header on open.
+///
+/// Every data row read increments the `parse.lines_total` counter in the
+/// global obs::metrics() registry; rows that fail quoting or arity
+/// validation increment `parse.lines_rejected` and emit a WARN log record
+/// before the ParseError is thrown, so no malformed input vanishes
+/// silently.
 class CsvReader {
  public:
   /// Opens `path` and reads the header row. Throws IoError / ParseError.

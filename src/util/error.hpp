@@ -40,4 +40,13 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error("io error: " + what) {}
 };
 
+/// The observability subsystem failed (a log sink could not open or write
+/// its file, a metrics/trace export failed). Kept distinct from IoError so
+/// callers can decide to continue an analysis even when telemetry is
+/// broken.
+class ObsError : public Error {
+ public:
+  explicit ObsError(const std::string& what) : Error("obs error: " + what) {}
+};
+
 }  // namespace failmine

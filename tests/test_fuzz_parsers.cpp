@@ -1,5 +1,7 @@
 // Robustness (fuzz-style) tests: randomly corrupted log files must never
-// crash the parsers — every malformed input surfaces as failmine::Error.
+// crash the parsers — every malformed input surfaces as failmine::Error,
+// and rejected lines are counted in the parse.lines_rejected metric
+// instead of vanishing silently.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,8 @@
 
 #include "iolog/io_record.hpp"
 #include "joblog/job.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "raslog/event.hpp"
 #include "sim/simulator.hpp"
 #include "tasklog/task.hpp"
@@ -55,6 +59,9 @@ class FuzzParsers : public ::testing::Test {
          ("failmine_fuzz_" + std::to_string(::getpid())))
             .string());
     std::filesystem::create_directories(*dir_);
+    // Thousands of rejected rows are expected here; don't spam stderr
+    // with the per-row WARN records.
+    obs::logger().set_level(obs::LogLevel::kError);
     sim::SimConfig config = sim::SimConfig::test_scale();
     config.scale = 0.001;  // tiny but fully populated
     const auto trace = sim::simulate(config);
@@ -79,6 +86,8 @@ class FuzzParsers : public ::testing::Test {
     ASSERT_FALSE(original.empty());
     util::Rng rng(0xF022ED);
     const std::string path = *dir_ + "/fuzzed_" + name;
+    const std::uint64_t rejected_before =
+        obs::metrics().counter_value("parse.lines_rejected");
     int parsed_ok = 0;
     for (int round = 0; round < rounds; ++round) {
       std::string corrupted = original;
@@ -105,6 +114,10 @@ class FuzzParsers : public ::testing::Test {
     // And at least one mutation should have been rejected (otherwise the
     // mutator or the validation is broken).
     EXPECT_LT(parsed_ok, rounds);
+    // Rejections are not silent: they increment parse.lines_rejected.
+    EXPECT_GT(obs::metrics().counter_value("parse.lines_rejected"),
+              rejected_before)
+        << name << ": rejected rows did not reach the metrics registry";
   }
 
   static std::string* dir_;

@@ -1,0 +1,133 @@
+// Tests for the structured logger: level thresholds, sink fan-out, field
+// rendering, and the JSONL file sink (including its ObsError contract).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unistd.h>
+
+#include "obs/log.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+namespace {
+
+/// Sink that stores every record it receives.
+class CaptureSink : public LogSink {
+ public:
+  void write(const LogRecord& record) override { records.push_back(record); }
+  std::vector<LogRecord> records;
+};
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("failmine_obs_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(LogLevel, NamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff})
+    EXPECT_EQ(log_level_from_name(log_level_name(level)), level);
+  EXPECT_THROW(log_level_from_name("loud"), ParseError);
+}
+
+TEST(Logger, ThresholdFiltersRecords) {
+  Logger log(LogLevel::kWarn);
+  auto sink = std::make_shared<CaptureSink>();
+  log.add_sink(sink);
+
+  log.debug("quiet");
+  log.info("quiet");
+  log.warn("loud");
+  log.error("loud");
+  ASSERT_EQ(sink->records.size(), 2u);
+  EXPECT_EQ(sink->records[0].level, LogLevel::kWarn);
+  EXPECT_EQ(sink->records[1].level, LogLevel::kError);
+
+  log.set_level(LogLevel::kDebug);
+  log.debug("now visible");
+  EXPECT_EQ(sink->records.size(), 3u);
+
+  log.set_level(LogLevel::kOff);
+  log.error("dropped");
+  EXPECT_EQ(sink->records.size(), 3u);
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+}
+
+TEST(Logger, FieldsArriveTypedAndOrdered) {
+  Logger log(LogLevel::kInfo);
+  auto sink = std::make_shared<CaptureSink>();
+  log.add_sink(sink);
+
+  log.info("parse.row_rejected", {{"file", "jobs.csv"},
+                                  {"row", 17},
+                                  {"ratio", 0.5},
+                                  {"fatal", false},
+                                  {"count", std::size_t{42}}});
+  ASSERT_EQ(sink->records.size(), 1u);
+  const LogRecord& r = sink->records[0];
+  EXPECT_EQ(r.event, "parse.row_rejected");
+  ASSERT_EQ(r.fields.size(), 5u);
+  EXPECT_EQ(r.fields[0].key, "file");
+  EXPECT_EQ(r.fields[0].value_string(), "jobs.csv");
+  EXPECT_EQ(r.fields[1].value_string(), "17");
+  EXPECT_EQ(r.fields[2].value_string(), "0.5");
+  EXPECT_EQ(r.fields[3].value_string(), "false");
+  EXPECT_EQ(r.fields[4].value_string(), "42");
+}
+
+TEST(Logger, FansOutToAllSinks) {
+  Logger log(LogLevel::kInfo);
+  auto a = std::make_shared<CaptureSink>();
+  auto b = std::make_shared<CaptureSink>();
+  log.add_sink(a);
+  log.add_sink(b);
+  log.warn("event");
+  EXPECT_EQ(a->records.size(), 1u);
+  EXPECT_EQ(b->records.size(), 1u);
+}
+
+TEST(JsonlFileSink, WritesOneJsonObjectPerRecord) {
+  const std::string path = temp_path("sink.jsonl");
+  std::remove(path.c_str());
+  {
+    Logger log(LogLevel::kInfo);
+    log.add_sink(std::make_shared<JsonlFileSink>(path));
+    log.warn("parse.row_rejected", {{"file", "a\"b.csv"}, {"row", 3}});
+    log.info("second");
+    log.flush();
+  }
+  const std::string content = slurp(path);
+  // Two lines, each a JSON object.
+  ASSERT_EQ(std::count(content.begin(), content.end(), '\n'), 2);
+  EXPECT_NE(content.find("\"event\":\"parse.row_rejected\""), std::string::npos);
+  EXPECT_NE(content.find("\"file\":\"a\\\"b.csv\""), std::string::npos);
+  EXPECT_NE(content.find("\"row\":3"), std::string::npos);
+  EXPECT_NE(content.find("\"level\":\"warn\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlFileSink, UnopenablePathThrowsObsError) {
+  EXPECT_THROW(JsonlFileSink("/nonexistent_dir_for_obs_test/x.jsonl"), ObsError);
+}
+
+TEST(GlobalLogger, IsSharedAndAcceptsSinks) {
+  Logger& a = logger();
+  Logger& b = logger();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace failmine::obs

@@ -1,0 +1,166 @@
+// Tests for the metrics registry: counter/gauge/histogram semantics,
+// instrument identity across lookups, and the JSON/text exports.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("failmine_obs_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+TEST(Counter, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsDoNotLoseIncrements) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0 (inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(5.0);  // bucket 2
+  h.observe(9.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 17.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.4);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (std::uint64_t b : h.bucket_counts()) EXPECT_EQ(b, 0u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), DomainError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), DomainError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), DomainError);
+}
+
+TEST(Histogram, DefaultBoundsAreStrictlyIncreasing) {
+  const auto bounds = default_histogram_bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.total");
+  Counter& b = reg.counter("x.total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter_value("x.total"), 3u);
+  // counter_value does not create.
+  EXPECT_EQ(reg.counter_value("never.touched"), 0u);
+  Gauge& g = reg.gauge("x.gauge");
+  EXPECT_EQ(&g, &reg.gauge("x.gauge"));
+  Histogram& h = reg.histogram("x.hist");
+  EXPECT_EQ(&h, &reg.histogram("x.hist"));
+}
+
+TEST(MetricsRegistry, JsonExportContainsAllInstruments) {
+  MetricsRegistry reg;
+  reg.counter("parse.lines_total").add(120);
+  reg.gauge("sim.scale").set(0.1);
+  reg.histogram("distfit.iterations", {1, 2, 5}).observe(3);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse.lines_total\":120"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.scale\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"distfit.iterations\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  // Structurally balanced.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(MetricsRegistry, WriteJsonRoundTripsThroughDisk) {
+  MetricsRegistry reg;
+  reg.counter("a").add(7);
+  const std::string path = temp_path("metrics.json");
+  reg.write_json(path);
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), reg.to_json() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, WriteJsonBadPathThrowsObsError) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.write_json("/nonexistent_dir_for_obs_test/m.json"),
+               ObsError);
+}
+
+TEST(MetricsRegistry, TextDumpAndReset) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.gauge("a.gauge").set(1.5);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("b.count 2"), std::string::npos);
+  EXPECT_NE(text.find("a.gauge"), std::string::npos);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("b.count"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("a.gauge").value(), 0.0);
+}
+
+TEST(GlobalMetrics, IsShared) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+}  // namespace
+}  // namespace failmine::obs

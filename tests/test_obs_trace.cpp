@@ -1,0 +1,196 @@
+// Tests for the trace-span subsystem: nested-span timing monotonicity,
+// per-thread depth tracking, the chrome-trace JSON export, and the
+// bounded-capacity drop accounting.
+//
+// Spans record into the process-global tracer(), so each test clears it
+// first; the binary runs these suites single-threaded.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("failmine_obs_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+const SpanRecord* find(const std::vector<SpanRecord>& records,
+                       std::string_view name) {
+  const auto it = std::find_if(records.begin(), records.end(),
+                               [&](const SpanRecord& r) { return r.name == name; });
+  return it == records.end() ? nullptr : &*it;
+}
+
+void spin_us(std::uint64_t us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(Trace, NestedSpansAreMonotoneAndDepthTracked) {
+  tracer().clear();
+  {
+    FAILMINE_TRACE_SPAN("parent");
+    spin_us(200);
+    {
+      FAILMINE_TRACE_SPAN("child");
+      spin_us(200);
+      {
+        FAILMINE_TRACE_SPAN("grandchild");
+        spin_us(200);
+      }
+    }
+  }
+  const auto records = tracer().records();
+  ASSERT_EQ(records.size(), 3u);
+  const SpanRecord* parent = find(records, "parent");
+  const SpanRecord* child = find(records, "child");
+  const SpanRecord* grandchild = find(records, "grandchild");
+  ASSERT_TRUE(parent && child && grandchild);
+
+  // Children finish before their parent, so they are recorded first.
+  EXPECT_EQ(records[0].name, "grandchild");
+  EXPECT_EQ(records[2].name, "parent");
+
+  EXPECT_EQ(parent->depth, 0u);
+  EXPECT_EQ(child->depth, 1u);
+  EXPECT_EQ(grandchild->depth, 2u);
+
+  // Timing monotonicity: each child is contained in its parent.
+  EXPECT_LE(child->duration_us, parent->duration_us);
+  EXPECT_LE(grandchild->duration_us, child->duration_us);
+  EXPECT_GE(child->start_us, parent->start_us);
+  EXPECT_LE(child->start_us + child->duration_us,
+            parent->start_us + parent->duration_us);
+  EXPECT_GT(grandchild->duration_us, 0u);
+}
+
+TEST(Trace, SiblingSpansShareDepth) {
+  tracer().clear();
+  {
+    FAILMINE_TRACE_SPAN("root");
+    { FAILMINE_TRACE_SPAN("first"); }
+    { FAILMINE_TRACE_SPAN("second"); }
+  }
+  const auto records = tracer().records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(find(records, "first")->depth, 1u);
+  EXPECT_EQ(find(records, "second")->depth, 1u);
+  // Aggregates fold the two siblings' calls separately by name.
+  const auto aggs = tracer().aggregates();
+  const auto root = std::find_if(aggs.begin(), aggs.end(),
+                                 [](const auto& a) { return a.name == "root"; });
+  ASSERT_NE(root, aggs.end());
+  EXPECT_EQ(root->calls, 1u);
+  // root has the largest total, so it sorts first.
+  EXPECT_EQ(aggs.front().name, "root");
+}
+
+TEST(Trace, ThreadsGetDistinctIdsAndIndependentDepth) {
+  tracer().clear();
+  std::thread worker([] {
+    FAILMINE_TRACE_SPAN("worker.root");
+  });
+  worker.join();
+  {
+    FAILMINE_TRACE_SPAN("main.root");
+  }
+  const auto records = tracer().records();
+  ASSERT_EQ(records.size(), 2u);
+  const SpanRecord* a = find(records, "worker.root");
+  const SpanRecord* b = find(records, "main.root");
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->thread_id, b->thread_id);
+  EXPECT_EQ(a->depth, 0u);
+  EXPECT_EQ(b->depth, 0u);
+}
+
+TEST(Trace, DisabledCollectorRecordsNothing) {
+  tracer().clear();
+  tracer().set_enabled(false);
+  {
+    FAILMINE_TRACE_SPAN("invisible");
+  }
+  tracer().set_enabled(true);
+  EXPECT_EQ(tracer().size(), 0u);
+  EXPECT_EQ(tracer().dropped(), 0u);
+}
+
+TEST(Trace, CapacityBoundsRetainedSpans) {
+  tracer().clear();
+  tracer().set_capacity(2);
+  { FAILMINE_TRACE_SPAN("a"); }
+  { FAILMINE_TRACE_SPAN("b"); }
+  { FAILMINE_TRACE_SPAN("c"); }
+  { FAILMINE_TRACE_SPAN("d"); }
+  EXPECT_EQ(tracer().size(), 2u);
+  EXPECT_EQ(tracer().dropped(), 2u);
+  EXPECT_NE(tracer().summary_text().find("dropped"), std::string::npos);
+  tracer().set_capacity(1 << 20);
+  tracer().clear();
+  EXPECT_EQ(tracer().dropped(), 0u);
+}
+
+TEST(Trace, ChromeJsonExportIsWellFormed) {
+  tracer().clear();
+  {
+    FAILMINE_TRACE_SPAN("e08.mtti");
+    { FAILMINE_TRACE_SPAN("e08.mtti/inner"); }
+  }
+  const std::string json = tracer().to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"e08.mtti\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  const std::string path = temp_path("trace.json");
+  tracer().write_chrome_json(path);
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), json + "\n");
+  std::remove(path.c_str());
+
+  EXPECT_THROW(tracer().write_chrome_json("/nonexistent_dir_for_obs_test/t.json"),
+               ObsError);
+}
+
+TEST(Trace, SummaryTextListsSpans) {
+  tracer().clear();
+  { FAILMINE_TRACE_SPAN("phase.alpha"); }
+  { FAILMINE_TRACE_SPAN("phase.alpha"); }
+  const std::string text = tracer().summary_text();
+  EXPECT_NE(text.find("phase.alpha"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);  // two calls aggregated
+  tracer().clear();
+}
+
+TEST(Trace, ElapsedWorksEvenWhenDisabled) {
+  tracer().clear();
+  tracer().set_enabled(false);
+  Span span("timed");
+  spin_us(200);
+  EXPECT_GT(span.elapsed_us(), 0u);
+  tracer().set_enabled(true);
+}
+
+}  // namespace
+}  // namespace failmine::obs
