@@ -11,12 +11,14 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "core/joint_analyzer.hpp"
+#include "obs/log.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -47,12 +49,27 @@ class ObsSession {
   obs::ObsSession inner_;
 };
 
-inline double bench_scale() {
-  if (const char* env = std::getenv("FAILMINE_BENCH_SCALE")) {
-    const double s = std::atof(env);
-    if (s > 0) return s;
+/// Parses `text` as the bench scale. Returns the fallback — warning via
+/// the obs logger — on anything that is not a fully-consumed, finite,
+/// positive number ("0.5x", "", "abc", "-1", "inf"); std::atof would
+/// silently turn those into garbage scales or 0.
+inline double parse_bench_scale(const char* text, double fallback) {
+  char* end = nullptr;
+  const double s = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(s) || s <= 0) {
+    obs::logger().warn("bench.scale_rejected",
+                       {obs::Field("value", text),
+                        obs::Field("fallback", fallback)});
+    return fallback;
   }
-  return 0.1;
+  return s;
+}
+
+inline double bench_scale() {
+  constexpr double kDefaultScale = 0.1;
+  if (const char* env = std::getenv("FAILMINE_BENCH_SCALE"))
+    return parse_bench_scale(env, kDefaultScale);
+  return kDefaultScale;
 }
 
 inline const sim::SimConfig& dataset_config() {

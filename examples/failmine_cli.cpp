@@ -11,6 +11,11 @@
 //       similarity filtering + MTTI
 //   fit      --data DIR [--min-sample N]
 //       per-exit-class execution-length distribution study (E05)
+//   stream   --data DIR [--shards N] [--lateness SEC] [--shuffle SEC]
+//            [--seed N] [--policy block|drop] [--queue N] [--interval N]
+//       replay the dataset through the streaming pipeline in event-time
+//       order (optionally with bounded shuffle); prints periodic windowed
+//       stats to stderr and the final StreamSnapshot JSON to stdout
 //
 // Global observability options (any subcommand):
 //   --log-level debug|info|warn|error|off   stderr log threshold
@@ -20,16 +25,20 @@
 //
 // Exit status: 0 on success (and, for `report`, only if all claims pass).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <iterator>
 #include <map>
 #include <string>
 
 #include "core/report.hpp"
 #include "obs/session.hpp"
+#include "sim/replay.hpp"
 #include "sim/simulator.hpp"
+#include "stream/pipeline.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -71,18 +80,24 @@ class ArgMap {
   std::map<std::string, std::string> values_;
 };
 
-int usage() {
+/// Exit status for bad invocations (no/unknown command, argument errors).
+constexpr int kUsageExitCode = 2;
+
+void print_usage() {
   std::fprintf(stderr,
-               "usage: failmine_cli <simulate|summary|report|mtti|fit> "
+               "usage: failmine_cli <simulate|summary|report|mtti|fit|stream> "
                "[options]\n"
                "  simulate --out DIR [--scale S] [--seed N] [--days D]\n"
                "  summary  --data DIR\n"
                "  report   --data DIR [--scale S] [--format text|json]\n"
                "  mtti     --data DIR [--window SEC] [--radius LEVEL]\n"
                "  fit      --data DIR [--min-sample N]\n"
+               "  stream   --data DIR [--shards N] [--lateness SEC] "
+               "[--shuffle SEC]\n"
+               "           [--seed N] [--policy block|drop] [--queue N] "
+               "[--interval N]\n"
                "global: [--log-level LEVEL] [--metrics-out PATH] "
                "[--trace-out PATH]\n");
-  return 2;
 }
 
 sim::SimResult load(const ArgMap& args) {
@@ -197,10 +212,70 @@ int cmd_fit(const ArgMap& args) {
   return 0;
 }
 
+stream::BackpressurePolicy parse_policy(const std::string& name) {
+  if (name == "block") return stream::BackpressurePolicy::kBlock;
+  if (name == "drop") return stream::BackpressurePolicy::kDropNewest;
+  throw failmine::ParseError("unknown policy '" + name + "' (block|drop)");
+}
+
+int cmd_stream(const ArgMap& args) {
+  const auto data = load(args);
+  const long long shuffle = args.get_int("shuffle", 0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20130409));
+  auto records = shuffle > 0 ? sim::shuffled_replay(data, shuffle, seed)
+                             : sim::build_replay(data);
+
+  stream::StreamConfig config;
+  config.machine = topology::MachineConfig::mira();
+  config.shard_count =
+      static_cast<std::size_t>(args.get_int("shards", config.shard_count));
+  // Twice the shuffle skew restores exact event-time order (see
+  // sim/replay.hpp).
+  config.max_lateness_seconds = args.get_int("lateness", 2 * shuffle);
+  config.policy = parse_policy(args.get("policy", "block"));
+  config.queue_capacity = static_cast<std::size_t>(
+      args.get_int("queue", static_cast<long long>(config.queue_capacity)));
+
+  stream::StreamPipeline pipeline(config);
+  const auto interval =
+      static_cast<std::size_t>(args.get_int("interval", 100000));
+  std::size_t next_report = interval;
+  std::vector<stream::StreamRecord> chunk;
+  for (std::size_t i = 0; i < records.size();) {
+    const std::size_t n = std::min<std::size_t>(1024, records.size() - i);
+    chunk.assign(std::make_move_iterator(records.begin() + i),
+                 std::make_move_iterator(records.begin() + i + n));
+    pipeline.push_batch(std::move(chunk));
+    i += n;
+    if (interval > 0 && i >= next_report) {
+      next_report += interval;
+      const auto s = pipeline.snapshot();
+      std::fprintf(stderr,
+                   "[stream] in=%llu watermark=%lld window(%llds): jobs=%llu "
+                   "failures=%llu rate=%.3f fatal=%llu interruptions=%llu\n",
+                   static_cast<unsigned long long>(s.records_in),
+                   static_cast<long long>(s.watermark),
+                   static_cast<long long>(s.window_seconds),
+                   static_cast<unsigned long long>(s.window_jobs),
+                   static_cast<unsigned long long>(s.window_failures),
+                   s.window_failure_rate,
+                   static_cast<unsigned long long>(s.window_severity[2]),
+                   static_cast<unsigned long long>(s.interruptions));
+    }
+  }
+  pipeline.finish();
+  const auto snap = pipeline.snapshot();
+  std::fputs(snap.to_json().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) {
+    print_usage();
+    return kUsageExitCode;
+  }
   const std::string command = argv[1];
   try {
     // Strips the global observability flags. The explicit flush() after
@@ -214,14 +289,16 @@ int main(int argc, char** argv) {
     else if (command == "report") rc = cmd_report(args);
     else if (command == "mtti") rc = cmd_mtti(args);
     else if (command == "fit") rc = cmd_fit(args);
+    else if (command == "stream") rc = cmd_stream(args);
     else {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-      return usage();
+      print_usage();
+      return kUsageExitCode;
     }
     obs_session.flush();
     return rc;
   } catch (const failmine::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return kUsageExitCode;
   }
 }

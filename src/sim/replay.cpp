@@ -1,0 +1,97 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace failmine::sim {
+
+namespace {
+
+/// Stable per-source identity, the final tie-break for records sharing
+/// an event time (any fixed order works; it just has to be the same one
+/// every replay).
+std::uint64_t record_id(const stream::StreamRecord& r) {
+  switch (r.source()) {
+    case stream::RecordSource::kJob:
+      return std::get<joblog::JobRecord>(r.payload).job_id;
+    case stream::RecordSource::kTask:
+      return std::get<tasklog::TaskRecord>(r.payload).task_id;
+    case stream::RecordSource::kRas:
+      return std::get<raslog::RasEvent>(r.payload).record_id;
+    case stream::RecordSource::kIo:
+      return std::get<iolog::IoRecord>(r.payload).job_id;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<stream::StreamRecord> build_replay(const SimResult& result) {
+  std::vector<stream::StreamRecord> out;
+  out.reserve(result.job_log.size() + result.task_log.size() +
+              result.ras_log.size() + result.io_log.size());
+
+  std::unordered_map<std::uint64_t, util::UnixSeconds> job_end;
+  job_end.reserve(result.job_log.size());
+  for (const auto& job : result.job_log.jobs()) {
+    job_end.emplace(job.job_id, job.end_time);
+    out.push_back({job.end_time, 0, job});
+  }
+  for (const auto& task : result.task_log.tasks())
+    out.push_back({task.end_time, 0, task});
+  for (const auto& event : result.ras_log.events())
+    out.push_back({event.timestamp, 0, event});
+  for (const auto& io : result.io_log.records()) {
+    const auto it = job_end.find(io.job_id);
+    if (it == job_end.end())
+      throw failmine::DomainError("I/O record refers to unknown job");
+    out.push_back({it->second, 0, io});
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const stream::StreamRecord& a, const stream::StreamRecord& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.payload.index() != b.payload.index())
+                return a.payload.index() < b.payload.index();
+              return record_id(a) < record_id(b);
+            });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i].sequence = static_cast<std::uint64_t>(i);
+  return out;
+}
+
+std::vector<stream::StreamRecord> shuffled_replay(
+    const SimResult& result, std::int64_t max_skew_seconds,
+    std::uint64_t seed) {
+  if (max_skew_seconds < 0)
+    throw failmine::DomainError("replay skew must be non-negative");
+  std::vector<stream::StreamRecord> out = build_replay(result);
+
+  // Arrival time = event time + uniform skew in [-max_skew, +max_skew],
+  // drawn from a seeded engine without std::uniform_int_distribution so
+  // the shuffle is reproducible across standard libraries.
+  std::mt19937_64 rng(seed);
+  const std::uint64_t span = 2 * static_cast<std::uint64_t>(max_skew_seconds) + 1;
+  std::vector<std::int64_t> arrival(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::int64_t skew =
+        static_cast<std::int64_t>(rng() % span) - max_skew_seconds;
+    arrival[i] = out[i].time + skew;
+  }
+  std::vector<std::size_t> order(out.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (arrival[a] != arrival[b]) return arrival[a] < arrival[b];
+    return out[a].sequence < out[b].sequence;
+  });
+
+  std::vector<stream::StreamRecord> shuffled;
+  shuffled.reserve(out.size());
+  for (std::size_t i : order) shuffled.push_back(std::move(out[i]));
+  return shuffled;
+}
+
+}  // namespace failmine::sim

@@ -1,0 +1,40 @@
+// failmine/sim/replay.hpp
+//
+// Turns a simulated (or loaded) four-log dataset into the record stream a
+// live collection daemon would have produced, for feeding the streaming
+// pipeline.
+//
+// Event time is the instant each record becomes knowable: a job or task
+// record exists once it has ended (end_time), a RAS event at its
+// timestamp, and a Darshan-style I/O summary when its owning job ends.
+// `build_replay` emits the stream in exact event-time order with
+// sequence numbers assigned in that order — the reference stream for
+// batch/stream parity. `shuffled_replay` perturbs arrival order within a
+// bounded skew while keeping each record's event time and sequence
+// number, modelling collection latency; a WatermarkReorderer configured
+// with `max_lateness_seconds >= 2 * max_skew_seconds` restores the
+// exact reference order (arrival times of two records can swap while
+// their event times differ by up to twice the skew).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "stream/record.hpp"
+
+namespace failmine::sim {
+
+/// Flattens `result` into one time-ordered stream of records.
+std::vector<stream::StreamRecord> build_replay(const SimResult& result);
+
+/// `build_replay` with arrival order perturbed by a deterministic,
+/// seeded, bounded skew (each record moves by at most
+/// `max_skew_seconds` of event time). Event times and sequence numbers
+/// are unchanged — only the vector order differs.
+std::vector<stream::StreamRecord> shuffled_replay(
+    const SimResult& result, std::int64_t max_skew_seconds,
+    std::uint64_t seed);
+
+}  // namespace failmine::sim

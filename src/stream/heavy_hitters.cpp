@@ -1,0 +1,122 @@
+#include "stream/heavy_hitters.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace failmine::stream {
+
+SpaceSavingSketch::SpaceSavingSketch(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0)
+    throw failmine::DomainError("SpaceSavingSketch capacity must be positive");
+  counts_.reserve(capacity);
+}
+
+void SpaceSavingSketch::add(std::uint64_t key, std::uint64_t weight) {
+  total_weight_ += weight;
+  const auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, Entry{key, weight, 0});
+    return;
+  }
+  evict_and_insert(key, weight);
+}
+
+void SpaceSavingSketch::evict_and_insert(std::uint64_t key,
+                                         std::uint64_t weight) {
+  // O(capacity) min scan; capacities are small (tens) and the common
+  // heavy-tailed traffic hits monitored keys, so evictions are rare.
+  auto min_it = counts_.begin();
+  for (auto it = counts_.begin(); it != counts_.end(); ++it)
+    if (it->second.count < min_it->second.count ||
+        (it->second.count == min_it->second.count &&
+         it->second.key > min_it->second.key))
+      min_it = it;
+  const std::uint64_t floor = min_it->second.count;
+  counts_.erase(min_it);
+  counts_.emplace(key, Entry{key, floor + weight, floor});
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::entries() const {
+  std::vector<Entry> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, entry] : counts_) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::top(
+    std::size_t k) const {
+  std::vector<Entry> out = entries();
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void SpaceSavingSketch::merge(const SpaceSavingSketch& other) {
+  // A key absent from one (full) summary could still have accumulated up
+  // to that summary's minimum count there; fold that in as error.
+  auto min_count = [](const SpaceSavingSketch& s) -> std::uint64_t {
+    if (s.counts_.size() < s.capacity_) return 0;  // nothing was evicted
+    std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& [key, entry] : s.counts_) m = std::min(m, entry.count);
+    return m;
+  };
+  const std::uint64_t self_floor = min_count(*this);
+  const std::uint64_t other_floor = min_count(other);
+
+  std::unordered_map<std::uint64_t, Entry> merged;
+  merged.reserve(counts_.size() + other.counts_.size());
+  for (const auto& [key, entry] : counts_) {
+    Entry e = entry;
+    e.count += other_floor;
+    e.error += other_floor;
+    merged.emplace(key, e);
+  }
+  for (const auto& [key, entry] : other.counts_) {
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      Entry e = entry;
+      e.count += self_floor;
+      e.error += self_floor;
+      merged.emplace(key, e);
+    } else {
+      // Present in both: undo the unseen-floor padding for this key.
+      it->second.count += entry.count - other_floor;
+      it->second.error += entry.error - other_floor;
+    }
+  }
+
+  counts_ = std::move(merged);
+  total_weight_ += other.total_weight_;
+  merged_error_floor_ += other_floor + self_floor;
+  if (counts_.size() > capacity_) {
+    // Keep the heaviest `capacity_` keys.
+    std::vector<Entry> ordered;
+    ordered.reserve(counts_.size());
+    for (const auto& [key, entry] : counts_) ordered.push_back(entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.key < b.key;
+              });
+    counts_.clear();
+    for (std::size_t i = 0; i < capacity_; ++i)
+      counts_.emplace(ordered[i].key, ordered[i]);
+  }
+}
+
+std::uint64_t SpaceSavingSketch::error_bound() const {
+  return total_weight_ / static_cast<std::uint64_t>(capacity_) +
+         merged_error_floor_;
+}
+
+}  // namespace failmine::stream

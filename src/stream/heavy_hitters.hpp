@@ -1,0 +1,69 @@
+// failmine/stream/heavy_hitters.hpp
+//
+// Space-saving heavy-hitter sketch (Metwally et al.) for the streaming
+// concentration analyses.
+//
+// The paper's takeaway T-B is that a handful of users/projects account
+// for most failures. Batch code counts every group exactly; a stream over
+// millions of users cannot. The space-saving summary keeps a fixed number
+// of monitored keys; an unmonitored arrival evicts the key with the
+// smallest count and inherits that count as its over-estimation error.
+// Guarantees for a summary of capacity m over total weight n:
+//   * every reported count over-estimates: true <= count <= true + error,
+//     with error <= n/m;
+//   * every key with true weight > n/m is present in the summary —
+//     so the batch top-k is a subset of the reported keys whenever the
+//     k-th group's weight clears n/m (the superset property the parity
+//     tests assert).
+// merge() folds summaries from disjoint substreams (pipeline shards): a
+// key missing from one side could have accumulated at most that side's
+// minimum count, which is added to the error bound; the result is
+// truncated back to capacity.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace failmine::stream {
+
+class SpaceSavingSketch {
+ public:
+  explicit SpaceSavingSketch(std::size_t capacity);
+
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  ///< over-estimate of the true weight
+    std::uint64_t error = 0;  ///< count - error <= true weight <= count
+  };
+
+  /// Monitored keys sorted by count descending (key ascending on ties,
+  /// so output is deterministic).
+  std::vector<Entry> entries() const;
+
+  /// The `k` heaviest monitored keys.
+  std::vector<Entry> top(std::size_t k) const;
+
+  void merge(const SpaceSavingSketch& other);
+
+  std::uint64_t total_weight() const { return total_weight_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return counts_.size(); }
+
+  /// Worst-case over-estimation of any reported count (n/m, or the
+  /// accumulated bound after merges).
+  std::uint64_t error_bound() const;
+
+ private:
+  void evict_and_insert(std::uint64_t key, std::uint64_t weight);
+
+  std::size_t capacity_;
+  std::uint64_t total_weight_ = 0;
+  std::uint64_t merged_error_floor_ = 0;
+  std::unordered_map<std::uint64_t, Entry> counts_;
+};
+
+}  // namespace failmine::stream

@@ -1,0 +1,225 @@
+#include "stream/operators.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stream {
+
+namespace {
+
+std::size_t class_index(joblog::ExitClass cls) {
+  for (std::size_t i = 0; i < std::size(joblog::kAllExitClasses); ++i)
+    if (joblog::kAllExitClasses[i] == cls) return i;
+  throw failmine::DomainError("unknown exit class");
+}
+
+}  // namespace
+
+// ---- ExitBreakdownAccumulator ----------------------------------------
+
+void ExitBreakdownAccumulator::add(const joblog::JobRecord& job,
+                                   const topology::MachineConfig& machine) {
+  const std::size_t idx = class_index(job.exit_class);
+  ++jobs_[idx];
+  core_hours_[idx] += job.core_hours(machine);
+  ++total_jobs_;
+  if (job.failed()) {
+    ++total_failures_;
+    if (joblog::is_user_caused(job.exit_class)) ++user_caused_;
+    if (joblog::is_system_caused(job.exit_class)) ++system_caused_;
+  }
+}
+
+void ExitBreakdownAccumulator::merge(const ExitBreakdownAccumulator& other) {
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    jobs_[i] += other.jobs_[i];
+    core_hours_[i] += other.core_hours_[i];
+  }
+  total_jobs_ += other.total_jobs_;
+  total_failures_ += other.total_failures_;
+  user_caused_ += other.user_caused_;
+  system_caused_ += other.system_caused_;
+}
+
+core::ExitBreakdown ExitBreakdownAccumulator::finalize() const {
+  core::ExitBreakdown b;
+  b.total_jobs = total_jobs_;
+  b.total_failures = total_failures_;
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    if (jobs_[i] == 0) continue;
+    core::ExitBreakdownRow row;
+    row.exit_class = joblog::kAllExitClasses[i];
+    row.jobs = jobs_[i];
+    row.core_hours = core_hours_[i];
+    row.share_of_jobs =
+        static_cast<double>(row.jobs) / static_cast<double>(total_jobs_);
+    row.share_of_failures =
+        joblog::is_failure(row.exit_class) && total_failures_ > 0
+            ? static_cast<double>(row.jobs) /
+                  static_cast<double>(total_failures_)
+            : 0.0;
+    b.rows.push_back(row);
+  }
+  if (total_failures_ > 0) {
+    b.user_caused_share = static_cast<double>(user_caused_) /
+                          static_cast<double>(total_failures_);
+    b.system_caused_share = static_cast<double>(system_caused_) /
+                            static_cast<double>(total_failures_);
+  }
+  return b;
+}
+
+double ExitBreakdownAccumulator::total_core_hours() const {
+  double total = 0.0;
+  for (double h : core_hours_) total += h;
+  return total;
+}
+
+// ---- StreamingInterruptions ------------------------------------------
+
+StreamingInterruptions::StreamingInterruptions(core::FilterConfig config)
+    : config_(std::move(config)) {
+  if (config_.window_seconds < 0)
+    throw failmine::DomainError("filter window must be non-negative");
+}
+
+void StreamingInterruptions::add(const raslog::RasEvent& event) {
+  if (event.severity != config_.severity) return;
+  ++input_events_;
+
+  // Mirror of core::filter_events: expire open clusters whose last
+  // member fell out of the sliding window, then join the most recently
+  // opened similar cluster, else open a new one.
+  std::erase_if(open_, [&](const OpenCluster& c) {
+    return c.last_time < event.timestamp - config_.window_seconds;
+  });
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (core::spatially_similar(it->representative, event, config_)) {
+      it->last_time = event.timestamp;
+      return;
+    }
+  }
+  OpenCluster c;
+  c.representative = event;
+  c.last_time = event.timestamp;
+  open_.push_back(std::move(c));
+  first_times_.push_back(event.timestamp);
+}
+
+core::MttiResult StreamingInterruptions::mtti(util::UnixSeconds begin,
+                                              util::UnixSeconds end) const {
+  if (end <= begin) throw failmine::DomainError("empty observation window");
+  core::MttiResult r;
+  r.span_days = static_cast<double>(end - begin) /
+                static_cast<double>(util::kSecondsPerDay);
+  std::vector<util::UnixSeconds> times;
+  times.reserve(first_times_.size());
+  for (util::UnixSeconds t : first_times_)
+    if (t >= begin && t < end) times.push_back(t);
+  r.interruptions = times.size();
+  if (times.empty()) {
+    r.mtti_days = r.span_days;  // censored, as in core::compute_mtti
+    return r;
+  }
+  r.mtti_days = r.span_days / static_cast<double>(times.size());
+  for (std::size_t i = 1; i < times.size(); ++i)
+    r.intervals_days.push_back(static_cast<double>(times[i] - times[i - 1]) /
+                               static_cast<double>(util::kSecondsPerDay));
+  if (!r.intervals_days.empty()) {
+    r.mean_interval_days = stats::mean(r.intervals_days);
+    r.median_interval_days = stats::median(r.intervals_days);
+  }
+  return r;
+}
+
+// ---- ShardAggregates --------------------------------------------------
+
+ShardAggregates::ShardAggregates(const topology::MachineConfig& machine_config,
+                                 double quantile_epsilon,
+                                 std::size_t heavy_hitter_capacity)
+    : machine(machine_config),
+      runtime_sketch(quantile_epsilon),
+      users_by_failures(heavy_hitter_capacity),
+      projects_by_failures(heavy_hitter_capacity),
+      boards_by_events(heavy_hitter_capacity) {}
+
+void ShardAggregates::apply(const StreamRecord& record) {
+  ++records_by_source[static_cast<std::size_t>(record.source())];
+  switch (record.source()) {
+    case RecordSource::kJob: {
+      const auto& job = std::get<joblog::JobRecord>(record.payload);
+      exits.add(job, machine);
+      runtime_sketch.insert(static_cast<double>(job.runtime_seconds()));
+      if (job.failed()) {
+        users_by_failures.add(job.user_id);
+        projects_by_failures.add(job.project_id);
+      }
+      break;
+    }
+    case RecordSource::kTask: {
+      const auto& task = std::get<tasklog::TaskRecord>(record.payload);
+      if (task.failed()) ++task_failures;
+      break;
+    }
+    case RecordSource::kRas: {
+      const auto& event = std::get<raslog::RasEvent>(record.payload);
+      ++severity_totals[static_cast<std::size_t>(event.severity)];
+      boards_by_events.add(board_key(event.location));
+      break;
+    }
+    case RecordSource::kIo: {
+      const auto& io = std::get<iolog::IoRecord>(record.payload);
+      io_bytes_total += io.total_bytes();
+      break;
+    }
+  }
+}
+
+void ShardAggregates::merge(const ShardAggregates& other) {
+  for (std::size_t i = 0; i < kRecordSourceCount; ++i)
+    records_by_source[i] += other.records_by_source[i];
+  exits.merge(other.exits);
+  runtime_sketch.merge(other.runtime_sketch);
+  users_by_failures.merge(other.users_by_failures);
+  projects_by_failures.merge(other.projects_by_failures);
+  boards_by_events.merge(other.boards_by_events);
+  for (std::size_t i = 0; i < severity_totals.size(); ++i)
+    severity_totals[i] += other.severity_totals[i];
+  task_failures += other.task_failures;
+  io_bytes_total += other.io_bytes_total;
+}
+
+std::uint64_t board_key(const topology::Location& location) {
+  const topology::Level effective =
+      std::min(location.level(), topology::Level::kNodeBoard);
+  const topology::Location board = location.ancestor(effective);
+  std::uint64_t key = (static_cast<std::uint64_t>(board.rack_row()) << 16) |
+                      (static_cast<std::uint64_t>(board.rack_column()) << 12);
+  if (board.level() >= topology::Level::kMidplane)
+    key |= static_cast<std::uint64_t>(board.midplane()) << 8;
+  if (board.level() >= topology::Level::kNodeBoard)
+    key |= static_cast<std::uint64_t>(board.board()) | (1ULL << 20);
+  return key;
+}
+
+std::string board_key_name(std::uint64_t key) {
+  char buf[32];
+  if (key & (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "R%d%X-M%d-N%02d",
+                  static_cast<int>((key >> 16) & 0xF),
+                  static_cast<unsigned>((key >> 12) & 0xF),
+                  static_cast<int>((key >> 8) & 0xF),
+                  static_cast<int>(key & 0xFF));
+  } else {
+    std::snprintf(buf, sizeof(buf), "R%d%X-M%d",
+                  static_cast<int>((key >> 16) & 0xF),
+                  static_cast<unsigned>((key >> 12) & 0xF),
+                  static_cast<int>((key >> 8) & 0xF));
+  }
+  return buf;
+}
+
+}  // namespace failmine::stream

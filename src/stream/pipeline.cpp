@@ -1,0 +1,306 @@
+#include "stream/pipeline.hpp"
+
+#include <algorithm>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stream {
+
+namespace {
+
+obs::Counter& records_in_counter() {
+  static obs::Counter& c = obs::metrics().counter("stream.records_in");
+  return c;
+}
+obs::Counter& records_dropped_counter() {
+  static obs::Counter& c = obs::metrics().counter("stream.records_dropped");
+  return c;
+}
+obs::Counter& records_late_counter() {
+  static obs::Counter& c = obs::metrics().counter("stream.records_late");
+  return c;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("stream.queue_depth");
+  return g;
+}
+obs::Gauge& watermark_lag_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("stream.watermark_lag_s");
+  return g;
+}
+
+}  // namespace
+
+StreamPipeline::RouterState::RouterState(const StreamConfig& config)
+    : interruptions(config.filter),
+      job_window(config.window_bucket_seconds, config.window_buckets),
+      severity_window(config.window_bucket_seconds, config.window_buckets) {}
+
+StreamPipeline::Shard::Shard(const StreamConfig& config)
+    : queue(config.queue_capacity, BackpressurePolicy::kBlock),
+      aggregates(config.machine, config.quantile_epsilon,
+                 config.heavy_hitter_capacity) {}
+
+StreamPipeline::StreamPipeline(StreamConfig config)
+    : config_(std::move(config)),
+      ingest_(config_.queue_capacity, config_.policy),
+      router_(config_) {
+  if (config_.shard_count == 0)
+    throw failmine::DomainError("StreamConfig.shard_count must be positive");
+  if (config_.dispatch_batch == 0)
+    throw failmine::DomainError("StreamConfig.dispatch_batch must be positive");
+  if (config_.window_bucket_seconds <= 0 || config_.window_buckets == 0)
+    throw failmine::DomainError("StreamConfig rolling window must be non-empty");
+
+  shards_.reserve(config_.shard_count);
+  for (std::size_t i = 0; i < config_.shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>(config_));
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  router_thread_ = std::thread([this] { router_loop(); });
+
+  obs::logger().info(
+      "stream.pipeline_started",
+      {obs::Field("shards", static_cast<std::int64_t>(config_.shard_count)),
+       obs::Field("queue_capacity",
+                  static_cast<std::int64_t>(config_.queue_capacity)),
+       obs::Field("policy", backpressure_policy_name(config_.policy)),
+       obs::Field("max_lateness_s", config_.max_lateness_seconds)});
+}
+
+StreamPipeline::~StreamPipeline() { finish(); }
+
+bool StreamPipeline::push(StreamRecord record) {
+  const bool accepted = ingest_.push(std::move(record));
+  if (accepted)
+    records_in_counter().add();
+  else
+    records_dropped_counter().add();
+  return accepted;
+}
+
+std::size_t StreamPipeline::push_batch(std::vector<StreamRecord>&& records) {
+  const std::size_t offered = records.size();
+  const std::size_t accepted = ingest_.push_batch(std::move(records));
+  records_in_counter().add(accepted);
+  records_dropped_counter().add(offered - accepted);
+  return accepted;
+}
+
+void StreamPipeline::route_ordered(
+    StreamRecord&& record, std::vector<std::vector<StreamRecord>>& pending) {
+  // Caller holds router_mutex_: the record arrives here in watermark
+  // order, so the order-sensitive operators see the sorted stream.
+  switch (record.source()) {
+    case RecordSource::kJob: {
+      const auto& job = std::get<joblog::JobRecord>(record.payload);
+      if (!router_.any_event) {
+        router_.window_begin = job.submit_time;
+        router_.window_end = job.end_time;
+        router_.any_event = true;
+      } else {
+        router_.window_begin = std::min(router_.window_begin, job.submit_time);
+        router_.window_end = std::max(router_.window_end, job.end_time);
+      }
+      router_.job_window.add(record.time, 0);
+      if (job.failed()) router_.job_window.add(record.time, 1);
+      break;
+    }
+    case RecordSource::kRas: {
+      const auto& event = std::get<raslog::RasEvent>(record.payload);
+      if (!router_.any_event) {
+        router_.window_begin = event.timestamp;
+        router_.window_end = event.timestamp + 1;
+        router_.any_event = true;
+      } else {
+        router_.window_begin = std::min(router_.window_begin, event.timestamp);
+        router_.window_end = std::max(router_.window_end, event.timestamp + 1);
+      }
+      router_.severity_window.add(record.time,
+                                  static_cast<std::size_t>(event.severity));
+      router_.interruptions.add(event);
+      break;
+    }
+    case RecordSource::kTask:
+    case RecordSource::kIo:
+      break;  // nothing order-sensitive; the batch window ignores these too
+  }
+  const std::size_t shard = shard_of(record, shards_.size());
+  pending[shard].push_back(std::move(record));
+}
+
+void StreamPipeline::dispatch(std::vector<std::vector<StreamRecord>>& pending,
+                              bool force) {
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].empty()) continue;
+    if (!force && pending[i].size() < config_.dispatch_batch) continue;
+    // Shard queues block, so every accepted record reaches its worker.
+    shards_[i]->queue.push_batch(std::move(pending[i]));
+  }
+}
+
+void StreamPipeline::router_loop() {
+  WatermarkReorderer reorderer(config_.max_lateness_seconds);
+  std::vector<std::vector<StreamRecord>> pending(shards_.size());
+  std::vector<StreamRecord> batch;
+  batch.reserve(config_.dispatch_batch);
+
+  for (;;) {
+    batch.clear();
+    const std::size_t n = ingest_.pop_batch(batch, config_.dispatch_batch);
+    if (n == 0) break;  // closed and drained
+    {
+      std::lock_guard<std::mutex> lock(router_mutex_);
+      for (StreamRecord& record : batch)
+        reorderer.push(std::move(record), [&](StreamRecord&& ordered) {
+          route_ordered(std::move(ordered), pending);
+        });
+      router_.newest_seen = reorderer.newest_seen();
+      router_.watermark = reorderer.watermark();
+      router_.watermark_lag_seconds = reorderer.lag_seconds();
+      records_late_counter().add(reorderer.late_records() -
+                                 router_.late_records);
+      router_.late_records = reorderer.late_records();
+    }
+    dispatch(pending, /*force=*/false);
+
+    std::size_t depth = ingest_.size();
+    for (const auto& shard : shards_) depth += shard->queue.size();
+    queue_depth_gauge().set(static_cast<double>(depth));
+    watermark_lag_gauge().set(
+        static_cast<double>(reorderer.lag_seconds()));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(router_mutex_);
+    reorderer.flush([&](StreamRecord&& ordered) {
+      route_ordered(std::move(ordered), pending);
+    });
+    router_.watermark = reorderer.newest_seen();
+    router_.watermark_lag_seconds = 0;
+  }
+  dispatch(pending, /*force=*/true);
+  for (auto& shard : shards_) shard->queue.close();
+  watermark_lag_gauge().set(0.0);
+}
+
+void StreamPipeline::worker_loop(Shard& shard) {
+  std::vector<StreamRecord> batch;
+  batch.reserve(config_.dispatch_batch);
+  for (;;) {
+    batch.clear();
+    const std::size_t n = shard.queue.pop_batch(batch, config_.dispatch_batch);
+    if (n == 0) break;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const StreamRecord& record : batch) shard.aggregates.apply(record);
+    shard.processed += n;
+  }
+}
+
+void StreamPipeline::finish() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (finished_) return;
+  FAILMINE_TRACE_SPAN("stream.finish");
+  ingest_.close();
+  if (router_thread_.joinable()) router_thread_.join();
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  finished_ = true;
+  queue_depth_gauge().set(0.0);
+  obs::logger().info(
+      "stream.pipeline_finished",
+      {obs::Field("records_in",
+                  static_cast<std::int64_t>(ingest_.pushed())),
+       obs::Field("records_dropped",
+                  static_cast<std::int64_t>(ingest_.dropped()))});
+}
+
+StreamSnapshot StreamPipeline::snapshot() const {
+  FAILMINE_TRACE_SPAN("stream.snapshot");
+  StreamSnapshot snap;
+
+  ShardAggregates merged(config_.machine, config_.quantile_epsilon,
+                         config_.heavy_hitter_capacity);
+  std::uint64_t processed = 0;
+  std::size_t depth = ingest_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.merge(shard->aggregates);
+    processed += shard->processed;
+    depth += shard->queue.size();
+  }
+
+  snap.records_in = ingest_.pushed();
+  snap.records_dropped = ingest_.dropped();
+  snap.records_processed = processed;
+  snap.records_by_source = merged.records_by_source;
+  snap.queue_depth = depth;
+  {
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+    snap.finished = finished_;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(router_mutex_);
+    snap.records_late = router_.late_records;
+    snap.watermark = router_.watermark;
+    snap.watermark_lag_seconds = router_.watermark_lag_seconds;
+    snap.window_begin = router_.window_begin;
+    snap.window_end = router_.window_end;
+
+    const auto jobs = router_.job_window.totals(router_.newest_seen);
+    snap.window_seconds = router_.job_window.window_seconds();
+    snap.window_jobs = jobs[0];
+    snap.window_failures = jobs[1];
+    snap.window_failure_rate =
+        jobs[0] > 0 ? static_cast<double>(jobs[1]) / static_cast<double>(jobs[0])
+                    : 0.0;
+    snap.window_severity = router_.severity_window.totals(router_.newest_seen);
+
+    snap.fatal_input_events = router_.interruptions.input_events();
+    snap.interruptions = router_.interruptions.interruptions();
+    if (router_.any_event && snap.window_end > snap.window_begin)
+      snap.mtti =
+          router_.interruptions.mtti(snap.window_begin, snap.window_end);
+  }
+  snap.span_days = static_cast<double>(snap.window_end - snap.window_begin) /
+                   static_cast<double>(util::kSecondsPerDay);
+
+  snap.exit_breakdown = merged.exits.finalize();
+  snap.total_core_hours = merged.exits.total_core_hours();
+  snap.severity_totals = merged.severity_totals;
+  snap.task_failures = merged.task_failures;
+  snap.io_bytes_total = merged.io_bytes_total;
+
+  snap.runtime_samples = merged.runtime_sketch.count();
+  snap.quantile_epsilon = merged.runtime_sketch.epsilon();
+  if (!merged.runtime_sketch.empty()) {
+    snap.runtime_p50 = merged.runtime_sketch.quantile(0.50);
+    snap.runtime_p90 = merged.runtime_sketch.quantile(0.90);
+    snap.runtime_p99 = merged.runtime_sketch.quantile(0.99);
+  }
+
+  snap.heavy_hitter_error_bound =
+      std::max({merged.users_by_failures.error_bound(),
+                merged.projects_by_failures.error_bound(),
+                merged.boards_by_events.error_bound()});
+  auto numeric_top = [](const SpaceSavingSketch& sketch, const char* prefix) {
+    std::vector<TopEntry> out;
+    for (const auto& e : sketch.top(10))
+      out.push_back({e.key, prefix + std::to_string(e.key), e.count, e.error});
+    return out;
+  };
+  snap.top_users_by_failures = numeric_top(merged.users_by_failures, "user-");
+  snap.top_projects_by_failures =
+      numeric_top(merged.projects_by_failures, "project-");
+  for (const auto& e : merged.boards_by_events.top(10))
+    snap.top_boards_by_events.push_back(
+        {e.key, board_key_name(e.key), e.count, e.error});
+
+  return snap;
+}
+
+}  // namespace failmine::stream

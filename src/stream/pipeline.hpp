@@ -1,0 +1,155 @@
+// failmine/stream/pipeline.hpp
+//
+// The streaming pipeline: bounded ingestion, watermark reordering, and
+// sharded incremental analytics.
+//
+//   producers --> ingest ring --> router thread --> shard queues --> workers
+//                 (bounded,       (watermark         (bounded,       (merge-
+//                  backpressure)   reorder +          block)          able
+//                                  order-sensitive                    aggre-
+//                                  operators)                         gates)
+//
+// The router is the single consumer of the ingest ring. It restores
+// bounded out-of-order arrivals to event-time order, runs the
+// order-sensitive operators (interruption clustering for streaming MTTI,
+// rolling windows) on the ordered stream, and routes each record to a
+// shard worker by stable key (user for jobs, owning job for tasks/IO,
+// location for RAS) for the mergeable per-record work: exit-class
+// accounting, the runtime quantile sketch and the heavy-hitter sketches.
+//
+// snapshot() is safe to call at any time from any thread; it merges the
+// per-shard partials and the router state under their locks, so every
+// snapshot is a consistent prefix view. After finish() returns, the
+// snapshot is exact over the full input and (under the blocking
+// backpressure policy) matches a batch pass over the same records.
+//
+// Observability: the pipeline feeds the failmine::obs metrics registry —
+// counters `stream.records_in`, `stream.records_dropped`,
+// `stream.records_late`; gauges `stream.queue_depth` and
+// `stream.watermark_lag_s`.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/event_filter.hpp"
+#include "stream/operators.hpp"
+#include "stream/record.hpp"
+#include "stream/ring_buffer.hpp"
+#include "stream/snapshot.hpp"
+#include "stream/watermark.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::stream {
+
+struct StreamConfig {
+  topology::MachineConfig machine;
+
+  /// Number of shard workers. 1 serializes all aggregate work behind the
+  /// router; N partitions it by key hash.
+  std::size_t shard_count = 4;
+
+  /// Capacity of the ingest ring and of each shard queue.
+  std::size_t queue_capacity = 1 << 14;
+
+  /// What a full ingest ring does to producers. Shard queues always
+  /// block: once a record is accepted it is never dropped internally.
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+
+  /// Bound on out-of-order event-time skew tolerated without reordering
+  /// errors. 0 means the input is promised to be in order.
+  std::int64_t max_lateness_seconds = 900;
+
+  /// Rolling-window geometry (streaming E01/E02 views): trailing
+  /// `window_buckets * window_bucket_seconds` of event time.
+  std::int64_t window_bucket_seconds = 3600;
+  std::size_t window_buckets = 24;
+
+  /// Interruption filter for streaming MTTI (streaming E08); defaults
+  /// match the batch pipeline's FilterConfig defaults.
+  core::FilterConfig filter;
+
+  /// Rank-error bound of the runtime quantile sketch.
+  double quantile_epsilon = 0.005;
+
+  /// Monitored-key budget of each space-saving sketch.
+  std::size_t heavy_hitter_capacity = 64;
+
+  /// Records moved per queue handoff (amortizes locking).
+  std::size_t dispatch_batch = 256;
+};
+
+class StreamPipeline {
+ public:
+  explicit StreamPipeline(StreamConfig config);
+  ~StreamPipeline();
+
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  /// Offers one record. Returns false if backpressure dropped it (only
+  /// possible under kDropNewest) or the pipeline is finished.
+  bool push(StreamRecord record);
+
+  /// Offers a batch; returns how many records were accepted.
+  std::size_t push_batch(std::vector<StreamRecord>&& records);
+
+  /// Drains and stops the pipeline: closes ingestion, flushes the
+  /// reorder buffer, joins every thread. Idempotent. After this returns
+  /// snapshot() is exact over all accepted records.
+  void finish();
+
+  /// Consistent point-in-time view (see header comment).
+  StreamSnapshot snapshot() const;
+
+  const StreamConfig& config() const { return config_; }
+
+ private:
+  struct RouterState {
+    RouterState(const StreamConfig& config);
+
+    StreamingInterruptions interruptions;
+    RollingWindow<2> job_window;       ///< [0]=jobs ended, [1]=failures
+    RollingWindow<3> severity_window;  ///< INFO / WARN / FATAL
+    util::UnixSeconds window_begin = 0;
+    util::UnixSeconds window_end = 0;
+    bool any_event = false;
+    util::UnixSeconds newest_seen = 0;
+    util::UnixSeconds watermark = 0;
+    std::int64_t watermark_lag_seconds = 0;
+    std::uint64_t late_records = 0;
+  };
+
+  struct Shard {
+    Shard(const StreamConfig& config);
+
+    RingBuffer<StreamRecord> queue;
+    mutable std::mutex mutex;
+    ShardAggregates aggregates;
+    std::uint64_t processed = 0;
+    std::thread worker;
+  };
+
+  void router_loop();
+  void worker_loop(Shard& shard);
+  void route_ordered(StreamRecord&& record,
+                     std::vector<std::vector<StreamRecord>>& pending);
+  void dispatch(std::vector<std::vector<StreamRecord>>& pending, bool force);
+
+  StreamConfig config_;
+  RingBuffer<StreamRecord> ingest_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex router_mutex_;
+  RouterState router_;
+
+  std::thread router_thread_;
+  mutable std::mutex lifecycle_mutex_;
+  bool finished_ = false;
+};
+
+}  // namespace failmine::stream

@@ -1,0 +1,197 @@
+#include "stream/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace failmine::stream {
+
+GkQuantileSketch::GkQuantileSketch(double epsilon) : eps_(epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 0.5))
+    throw failmine::DomainError("GK epsilon must lie in (0, 0.5)");
+  // Flushing more often than the summary can compress just wastes sort
+  // passes; 1/(2ε) matches the capacity of one compression band.
+  buffer_capacity_ = std::max<std::size_t>(
+      64, static_cast<std::size_t>(1.0 / (2.0 * epsilon)));
+  buffer_.reserve(buffer_capacity_);
+}
+
+void GkQuantileSketch::insert(double value) {
+  buffer_.push_back(value);
+  ++count_;
+  if (buffer_.size() >= buffer_capacity_) flush();
+}
+
+std::uint64_t GkQuantileSketch::invariant_bound() const {
+  const double band = 2.0 * eps_ * static_cast<double>(count_);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(band));
+}
+
+void GkQuantileSketch::flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  // One merged pass over (sorted buffer) x (sorted tuples). A new value
+  // inserted between existing tuples gets g=1 and the loosest delta the
+  // invariant allows — always >= the exact per-position uncertainty
+  // g_next + delta_next - 1, so rank bounds never understate. New
+  // extremes get delta=0 so min/max stay exact.
+  const std::uint64_t interior_delta = invariant_bound() - 1;
+
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  std::size_t ti = 0;
+  for (double v : buffer_) {
+    while (ti < tuples_.size() && tuples_[ti].value <= v)
+      merged.push_back(tuples_[ti++]);
+    Tuple t;
+    t.value = v;
+    t.g = 1;
+    const bool is_min = merged.empty();
+    const bool is_max = ti == tuples_.size();
+    t.delta = is_min || is_max ? 0 : interior_delta;
+    merged.push_back(t);
+  }
+  while (ti < tuples_.size()) merged.push_back(tuples_[ti++]);
+  tuples_ = std::move(merged);
+  buffer_.clear();
+  compress();
+}
+
+void GkQuantileSketch::compress() const {
+  if (tuples_.size() < 3) return;
+  const std::uint64_t bound = invariant_bound();
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  // Walk from the largest value down, greedily folding each tuple into
+  // its successor while the invariant g_i + g_{i+1} + delta_{i+1} <= bound
+  // holds. The first and last tuples are kept verbatim (exact extremes).
+  out.push_back(tuples_.back());
+  for (std::size_t i = tuples_.size() - 1; i-- > 1;) {
+    Tuple& successor = out.back();
+    const Tuple& t = tuples_[i];
+    if (t.g + successor.g + successor.delta <= bound)
+      successor.g += t.g;
+    else
+      out.push_back(t);
+  }
+  out.push_back(tuples_.front());
+  std::reverse(out.begin(), out.end());
+  tuples_ = std::move(out);
+}
+
+void GkQuantileSketch::merge(const GkQuantileSketch& other) {
+  if (other.count_ == 0) return;
+  flush();
+  other.flush();
+  if (tuples_.empty()) {
+    tuples_ = other.tuples_;
+    count_ = other.count_;
+    return;
+  }
+
+  // Merge by value, recomputing each output tuple's rank bounds from both
+  // inputs: for a tuple from A,
+  //   rmin = rmin_A + rmin_B(predecessor in B)
+  //   rmax = rmax_A + (rmax_B(successor in B) - 1, or n_B past the end).
+  // Bounds add, so the merged error is eps_A*n_A + eps_B*n_B.
+  struct Bounded {
+    double value;
+    std::uint64_t rmin;
+    std::uint64_t rmax;
+  };
+  auto bounded = [](const std::vector<Tuple>& tuples) {
+    std::vector<Bounded> out;
+    out.reserve(tuples.size());
+    std::uint64_t rmin = 0;
+    for (const Tuple& t : tuples) {
+      rmin += t.g;
+      out.push_back({t.value, rmin, rmin + t.delta});
+    }
+    return out;
+  };
+  const std::vector<Bounded> a = bounded(tuples_);
+  const std::vector<Bounded> b = bounded(other.tuples_);
+  const std::uint64_t na = count_;
+  const std::uint64_t nb = other.count_;
+
+  std::vector<Bounded> combined;
+  combined.reserve(a.size() + b.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  auto take = [&](const std::vector<Bounded>& self,
+                  const std::vector<Bounded>& peer, std::size_t i,
+                  std::size_t ipeer, std::uint64_t n_peer) {
+    const std::uint64_t peer_rmin = ipeer > 0 ? peer[ipeer - 1].rmin : 0;
+    const std::uint64_t peer_rmax =
+        ipeer < peer.size() ? peer[ipeer].rmax - 1 : n_peer;
+    combined.push_back({self[i].value, self[i].rmin + peer_rmin,
+                        self[i].rmax + peer_rmax});
+  };
+  while (ia < a.size() || ib < b.size()) {
+    if (ib == b.size() || (ia < a.size() && a[ia].value <= b[ib].value)) {
+      take(a, b, ia, ib, nb);
+      ++ia;
+    } else {
+      take(b, a, ib, ia, na);
+      ++ib;
+    }
+  }
+
+  std::vector<Tuple> merged;
+  merged.reserve(combined.size());
+  std::uint64_t prev_rmin = 0;
+  for (const Bounded& t : combined) {
+    // rmin must stay strictly increasing for the g-decomposition; clamp
+    // (equal values from both inputs can tie their lower bounds).
+    const std::uint64_t rmin = std::max(t.rmin, prev_rmin + 1);
+    const std::uint64_t rmax = std::max(t.rmax, rmin);
+    merged.push_back({t.value, rmin - prev_rmin, rmax - rmin});
+    prev_rmin = rmin;
+  }
+  tuples_ = std::move(merged);
+  count_ = na + nb;
+  // Deliberately no compress() here: re-compression after a merge would
+  // widen the error beyond the documented per-shard epsilon.
+}
+
+double GkQuantileSketch::quantile(double q) const {
+  if (count_ == 0)
+    throw failmine::DomainError("quantile of an empty sketch");
+  flush();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(1, rank);
+  const double tolerance = eps_ * static_cast<double>(count_);
+
+  std::uint64_t rmin = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const std::uint64_t rmax = rmin + t.delta;
+    const double low = static_cast<double>(target) - static_cast<double>(rmin);
+    const double high = static_cast<double>(rmax) - static_cast<double>(target);
+    if (low <= tolerance && high <= tolerance) return t.value;
+  }
+  return tuples_.back().value;
+}
+
+double GkQuantileSketch::min() const {
+  if (count_ == 0) throw failmine::DomainError("min of an empty sketch");
+  flush();
+  return tuples_.front().value;
+}
+
+double GkQuantileSketch::max() const {
+  if (count_ == 0) throw failmine::DomainError("max of an empty sketch");
+  flush();
+  return tuples_.back().value;
+}
+
+std::size_t GkQuantileSketch::summary_size() const {
+  flush();
+  return tuples_.size();
+}
+
+}  // namespace failmine::stream

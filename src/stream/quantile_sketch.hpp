@@ -1,0 +1,75 @@
+// failmine/stream/quantile_sketch.hpp
+//
+// Greenwald–Khanna ε-approximate quantile summary (streaming job-runtime
+// quantiles).
+//
+// The batch toolkit answers "median failed-job runtime" by sorting every
+// runtime; a stream cannot hold them. A GK summary keeps a small sorted
+// set of tuples (value, g, Δ) maintaining, for tuple i,
+//   rmin_i = Σ_{j≤i} g_j   and   rmax_i = rmin_i + Δ_i,
+// bounds on the value's true rank, with the invariant
+// g_i + Δ_i ≤ max(1, ⌊2εn⌋). quantile(q) then returns a value whose true
+// rank is within ±εn of ⌈qn⌉ using O((1/ε)·log(εn)) memory.
+//
+// Inserts are buffered: values accumulate in a small unsorted buffer and
+// fold into the summary in one sorted merge pass (amortizing the O(s)
+// insertion cost that a tuple-per-insert implementation pays in memmove).
+//
+// merge() combines summaries built on disjoint substreams (one per
+// pipeline shard). Rank bounds add across the two inputs, so merging
+// summaries with errors ε₁n₁ and ε₂n₂ yields error ≤ ε₁n₁ + ε₂n₂ — for
+// equal ε the merged summary keeps the same ε. The merged summary is NOT
+// re-compressed (compression after merge would add another ε), so
+// snapshot-time merges preserve the documented per-shard bound.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace failmine::stream {
+
+class GkQuantileSketch {
+ public:
+  /// `epsilon` is the rank-error bound as a fraction of the stream length
+  /// (e.g. 0.005 → a p50 query returns a value of true rank p50 ± 0.5 %).
+  explicit GkQuantileSketch(double epsilon = 0.005);
+
+  void insert(double value);
+
+  /// Folds `other` into this sketch (disjoint substreams). Both sketches'
+  /// buffered values are flushed first.
+  void merge(const GkQuantileSketch& other);
+
+  /// Value whose rank is within ±epsilon()*count() of ceil(q*count()).
+  /// q is clamped to [0,1]. Throws DomainError when the sketch is empty.
+  double quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double epsilon() const { return eps_; }
+  double min() const;
+  double max() const;
+
+  /// Number of stored tuples after flushing (memory footprint probe).
+  std::size_t summary_size() const;
+
+ private:
+  struct Tuple {
+    double value = 0.0;
+    std::uint64_t g = 0;      ///< rmin increment over the previous tuple
+    std::uint64_t delta = 0;  ///< rmax - rmin for this tuple
+  };
+
+  void flush() const;     // folds buffer_ into tuples_
+  void compress() const;  // merges adjacent tuples within the invariant
+  std::uint64_t invariant_bound() const;
+
+  double eps_;
+  std::uint64_t count_ = 0;            ///< includes buffered values
+  std::size_t buffer_capacity_ = 256;
+  mutable std::vector<Tuple> tuples_;  ///< sorted by value
+  mutable std::vector<double> buffer_;
+};
+
+}  // namespace failmine::stream

@@ -1,0 +1,84 @@
+// failmine/stream/record.hpp
+//
+// The unified event type flowing through the streaming pipeline.
+//
+// A live Mira-style feed interleaves records from all four log sources
+// (Cobalt job completions, runjob task completions, RAS events, Darshan
+// I/O summaries). A StreamRecord tags one payload with its event time —
+// the instant the record becomes knowable (a job record exists only once
+// the job has ended and its exit status is recorded) — plus a sequence
+// number assigned by the emitter that provides a stable total order for
+// tie-breaking and for restoring the original order after bounded
+// out-of-order delivery.
+
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "iolog/io_record.hpp"
+#include "joblog/job.hpp"
+#include "raslog/event.hpp"
+#include "tasklog/task.hpp"
+#include "util/time.hpp"
+
+namespace failmine::stream {
+
+/// Which log source a record came from (indexes per-source counters).
+enum class RecordSource { kJob = 0, kTask = 1, kRas = 2, kIo = 3 };
+
+inline constexpr std::size_t kRecordSourceCount = 4;
+
+struct StreamRecord {
+  util::UnixSeconds time = 0;   ///< event time (not arrival time)
+  std::uint64_t sequence = 0;   ///< emitter-assigned total-order tie-break
+  std::variant<joblog::JobRecord, tasklog::TaskRecord, raslog::RasEvent,
+               iolog::IoRecord>
+      payload;
+
+  RecordSource source() const {
+    return static_cast<RecordSource>(payload.index());
+  }
+};
+
+/// SplitMix64 finalizer — cheap, well-mixed hash for shard routing.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The record's shard routing key: user hash for job records, owning-job
+/// hash for task and I/O records (so a job's records land together), and
+/// location (rack/midplane/board) hash for RAS events.
+inline std::uint64_t shard_key(const StreamRecord& record) {
+  switch (record.source()) {
+    case RecordSource::kJob:
+      return mix64(std::get<joblog::JobRecord>(record.payload).user_id);
+    case RecordSource::kTask:
+      return mix64(std::get<tasklog::TaskRecord>(record.payload).job_id);
+    case RecordSource::kIo:
+      return mix64(std::get<iolog::IoRecord>(record.payload).job_id);
+    case RecordSource::kRas: {
+      const auto& loc = std::get<raslog::RasEvent>(record.payload).location;
+      std::uint64_t packed = (static_cast<std::uint64_t>(loc.rack_row()) << 24) |
+                             (static_cast<std::uint64_t>(loc.rack_column()) << 16);
+      if (loc.level() >= topology::Level::kMidplane)
+        packed |= static_cast<std::uint64_t>(loc.midplane()) << 8;
+      if (loc.level() >= topology::Level::kNodeBoard)
+        packed |= static_cast<std::uint64_t>(loc.board());
+      return mix64(packed);
+    }
+  }
+  return 0;  // unreachable
+}
+
+inline std::size_t shard_of(const StreamRecord& record,
+                            std::size_t shard_count) {
+  return shard_count <= 1
+             ? 0
+             : static_cast<std::size_t>(shard_key(record) % shard_count);
+}
+
+}  // namespace failmine::stream

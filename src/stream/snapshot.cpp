@@ -1,0 +1,164 @@
+#include "stream/snapshot.hpp"
+
+#include "joblog/exit_status.hpp"
+#include "obs/json.hpp"
+#include "raslog/severity.hpp"
+
+namespace failmine::stream {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool comma = true) {
+  obs::append_json_string(out, key);
+  out += ':';
+  out += std::to_string(v);
+  if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, double v,
+               bool comma = true) {
+  obs::append_json_string(out, key);
+  out += ':';
+  out += obs::json_number(v);
+  if (comma) out += ',';
+}
+
+void append_severity_array(std::string& out, const char* key,
+                           const std::array<std::uint64_t, 3>& counts) {
+  obs::append_json_string(out, key);
+  out += ":{";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    obs::append_json_string(out,
+                            raslog::severity_name(raslog::kAllSeverities[i]));
+    out += ':';
+    out += std::to_string(counts[i]);
+    if (i + 1 < counts.size()) out += ',';
+  }
+  out += '}';
+}
+
+void append_top_entries(std::string& out, const char* key,
+                        const std::vector<TopEntry>& entries) {
+  obs::append_json_string(out, key);
+  out += ":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TopEntry& e = entries[i];
+    out += '{';
+    obs::append_json_string(out, "key");
+    out += ':';
+    obs::append_json_string(out, e.label);
+    out += ',';
+    append_kv(out, "count", e.count);
+    append_kv(out, "error", e.error, /*comma=*/false);
+    out += '}';
+    if (i + 1 < entries.size()) out += ',';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string StreamSnapshot::to_json() const {
+  std::string out;
+  out.reserve(2048);
+  out += '{';
+
+  obs::append_json_string(out, "ingest");
+  out += ":{";
+  append_kv(out, "records_in", records_in);
+  append_kv(out, "records_processed", records_processed);
+  append_kv(out, "records_dropped", records_dropped);
+  append_kv(out, "records_late", records_late);
+  append_kv(out, "jobs", records_by_source[0]);
+  append_kv(out, "tasks", records_by_source[1]);
+  append_kv(out, "ras_events", records_by_source[2]);
+  append_kv(out, "io_records", records_by_source[3]);
+  append_kv(out, "watermark", static_cast<std::uint64_t>(
+                                  watermark < 0 ? 0 : watermark));
+  append_kv(out, "watermark_lag_s",
+            static_cast<std::uint64_t>(
+                watermark_lag_seconds < 0 ? 0 : watermark_lag_seconds));
+  append_kv(out, "queue_depth", static_cast<std::uint64_t>(queue_depth));
+  obs::append_json_string(out, "finished");
+  out += finished ? ":true" : ":false";
+  out += "},";
+
+  obs::append_json_string(out, "window");
+  out += ":{";
+  append_kv(out, "begin", static_cast<std::uint64_t>(window_begin));
+  append_kv(out, "end", static_cast<std::uint64_t>(window_end));
+  append_kv(out, "span_days", span_days, /*comma=*/false);
+  out += "},";
+
+  obs::append_json_string(out, "exit_breakdown");
+  out += ":{";
+  append_kv(out, "total_jobs", exit_breakdown.total_jobs);
+  append_kv(out, "total_failures", exit_breakdown.total_failures);
+  append_kv(out, "user_caused_share", exit_breakdown.user_caused_share);
+  append_kv(out, "system_caused_share", exit_breakdown.system_caused_share);
+  append_kv(out, "total_core_hours", total_core_hours);
+  obs::append_json_string(out, "classes");
+  out += ":{";
+  for (std::size_t i = 0; i < exit_breakdown.rows.size(); ++i) {
+    const auto& row = exit_breakdown.rows[i];
+    obs::append_json_string(out, joblog::exit_class_name(row.exit_class));
+    out += ":{";
+    append_kv(out, "jobs", row.jobs);
+    append_kv(out, "core_hours", row.core_hours);
+    append_kv(out, "share_of_jobs", row.share_of_jobs);
+    append_kv(out, "share_of_failures", row.share_of_failures,
+              /*comma=*/false);
+    out += '}';
+    if (i + 1 < exit_breakdown.rows.size()) out += ',';
+  }
+  out += "}},";
+
+  obs::append_json_string(out, "rolling_window");
+  out += ":{";
+  append_kv(out, "window_seconds", static_cast<std::uint64_t>(window_seconds));
+  append_kv(out, "jobs", window_jobs);
+  append_kv(out, "failures", window_failures);
+  append_kv(out, "failure_rate", window_failure_rate);
+  append_severity_array(out, "severity", window_severity);
+  out += "},";
+
+  append_severity_array(out, "severity_totals", severity_totals);
+  out += ',';
+
+  obs::append_json_string(out, "interruptions");
+  out += ":{";
+  append_kv(out, "fatal_input_events", fatal_input_events);
+  append_kv(out, "count", interruptions);
+  append_kv(out, "mtti_days", mtti.mtti_days);
+  append_kv(out, "mean_interval_days", mtti.mean_interval_days);
+  append_kv(out, "median_interval_days", mtti.median_interval_days,
+            /*comma=*/false);
+  out += "},";
+
+  obs::append_json_string(out, "runtime_quantiles");
+  out += ":{";
+  append_kv(out, "samples", runtime_samples);
+  append_kv(out, "epsilon", quantile_epsilon);
+  append_kv(out, "p50_seconds", runtime_p50);
+  append_kv(out, "p90_seconds", runtime_p90);
+  append_kv(out, "p99_seconds", runtime_p99, /*comma=*/false);
+  out += "},";
+
+  obs::append_json_string(out, "heavy_hitters");
+  out += ":{";
+  append_kv(out, "error_bound", heavy_hitter_error_bound);
+  append_top_entries(out, "users_by_failures", top_users_by_failures);
+  out += ',';
+  append_top_entries(out, "projects_by_failures", top_projects_by_failures);
+  out += ',';
+  append_top_entries(out, "boards_by_events", top_boards_by_events);
+  out += "},";
+
+  append_kv(out, "task_failures", task_failures);
+  append_kv(out, "io_bytes_total", io_bytes_total, /*comma=*/false);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace failmine::stream

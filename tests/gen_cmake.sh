@@ -6,10 +6,10 @@ cd "$(dirname "$0")"
 function(failmine_test name)
   add_executable(${name} ${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    failmine_core failmine_analysis failmine_sim failmine_distfit
-    failmine_raslog failmine_joblog failmine_tasklog failmine_iolog
-    failmine_topology failmine_stats failmine_util
-    GTest::gtest GTest::gtest_main)
+    failmine_core failmine_analysis failmine_sim failmine_stream
+    failmine_distfit failmine_raslog failmine_joblog failmine_tasklog
+    failmine_iolog failmine_topology failmine_stats failmine_util
+    failmine_obs GTest::gtest GTest::gtest_main)
   target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR}/src)
   gtest_discover_tests(${name} DISCOVERY_TIMEOUT 120)
 endfunction()
@@ -18,4 +18,48 @@ HDR
   for f in test_*.cpp; do
     echo "failmine_test(${f%.cpp})"
   done
+  cat <<'FTR'
+
+# bench_common.hpp is header-only harness glue (no google-benchmark
+# symbols), so its parser can be tested without linking the benchmark lib.
+target_include_directories(test_bench_common PRIVATE
+  ${PROJECT_SOURCE_DIR}/bench)
+
+# The obs subsystem is the only one with lock-free concurrency in hot
+# paths, so its tests also run under ASan+UBSan in the tier-1 pass when
+# the toolchain supports it. The obs sources are recompiled into the
+# sanitized binaries directly so the library code itself is instrumented.
+# Skipped when FAILMINE_SANITIZE already sanitizes the whole build.
+if(NOT FAILMINE_SANITIZE)
+  include(CheckCXXSourceCompiles)
+  set(CMAKE_REQUIRED_FLAGS "-fsanitize=address,undefined")
+  set(CMAKE_REQUIRED_LINK_OPTIONS -fsanitize=address,undefined)
+  check_cxx_source_compiles("int main() { return 0; }"
+                            FAILMINE_HAVE_SANITIZERS)
+  unset(CMAKE_REQUIRED_FLAGS)
+  unset(CMAKE_REQUIRED_LINK_OPTIONS)
+  if(FAILMINE_HAVE_SANITIZERS)
+    function(failmine_sanitized_obs_test name)
+      add_executable(${name}_asan ${name}.cpp
+        ${PROJECT_SOURCE_DIR}/src/obs/log.cpp
+        ${PROJECT_SOURCE_DIR}/src/obs/metrics.cpp
+        ${PROJECT_SOURCE_DIR}/src/obs/session.cpp
+        ${PROJECT_SOURCE_DIR}/src/obs/trace.cpp)
+      target_include_directories(${name}_asan PRIVATE
+        ${PROJECT_SOURCE_DIR}/src)
+      target_compile_options(${name}_asan PRIVATE
+        -fsanitize=address,undefined -fno-omit-frame-pointer)
+      target_link_options(${name}_asan PRIVATE
+        -fsanitize=address,undefined)
+      target_link_libraries(${name}_asan PRIVATE
+        GTest::gtest GTest::gtest_main)
+      gtest_discover_tests(${name}_asan TEST_PREFIX "asan."
+                           DISCOVERY_TIMEOUT 120)
+    endfunction()
+    failmine_sanitized_obs_test(test_obs_logger)
+    failmine_sanitized_obs_test(test_obs_metrics)
+    failmine_sanitized_obs_test(test_obs_trace)
+  endif()
+endif()
+FTR
 } > CMakeLists.txt

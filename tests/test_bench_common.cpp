@@ -1,0 +1,86 @@
+// Tests for the bench harness's scale parsing: valid scales are taken
+// verbatim, anything std::strtod does not fully consume (or that is
+// non-finite / non-positive) falls back to the default with a structured
+// warning naming the rejected value.
+
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "obs/log.hpp"
+
+namespace failmine::bench {
+namespace {
+
+/// Sink that stores every record it receives.
+class CaptureSink : public obs::LogSink {
+ public:
+  void write(const obs::LogRecord& record) override {
+    records.push_back(record);
+  }
+  std::vector<obs::LogRecord> records;
+};
+
+/// Attaches a capture sink to the global logger for one test and restores
+/// a clean sink list afterwards (parse_bench_scale warns via
+/// obs::logger(), not an injectable logger).
+class BenchScaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sink_ = std::make_shared<CaptureSink>();
+    previous_level_ = obs::logger().level();
+    obs::logger().set_level(obs::LogLevel::kWarn);
+    obs::logger().set_sinks({sink_});
+  }
+  void TearDown() override {
+    obs::logger().set_sinks({});
+    obs::logger().set_level(previous_level_);
+  }
+
+  std::shared_ptr<CaptureSink> sink_;
+  obs::LogLevel previous_level_ = obs::LogLevel::kInfo;
+};
+
+TEST_F(BenchScaleTest, AcceptsFullyConsumedPositiveNumbers) {
+  EXPECT_DOUBLE_EQ(parse_bench_scale("0.5", 0.1), 0.5);
+  EXPECT_DOUBLE_EQ(parse_bench_scale("1", 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(parse_bench_scale("2e-3", 0.1), 2e-3);
+  EXPECT_DOUBLE_EQ(parse_bench_scale("  0.25", 0.1), 0.25);  // strtod skips ws
+  EXPECT_TRUE(sink_->records.empty());
+}
+
+TEST_F(BenchScaleTest, RejectsTrailingGarbage) {
+  // atof("0.5x") would silently return 0.5; the parser must refuse it so
+  // a typo'd FAILMINE_BENCH_SCALE is loud rather than half-honored.
+  EXPECT_DOUBLE_EQ(parse_bench_scale("0.5x", 0.1), 0.1);
+  ASSERT_EQ(sink_->records.size(), 1u);
+  EXPECT_EQ(sink_->records[0].event, "bench.scale_rejected");
+  ASSERT_EQ(sink_->records[0].fields.size(), 2u);
+  EXPECT_EQ(sink_->records[0].fields[0].key, "value");
+  EXPECT_EQ(sink_->records[0].fields[0].value_string(), "0.5x");
+  EXPECT_EQ(sink_->records[0].fields[1].key, "fallback");
+}
+
+TEST_F(BenchScaleTest, RejectsNonNumbersAndEmpty) {
+  EXPECT_DOUBLE_EQ(parse_bench_scale("", 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(parse_bench_scale("abc", 0.1), 0.1);
+  EXPECT_EQ(sink_->records.size(), 2u);
+}
+
+TEST_F(BenchScaleTest, RejectsNonPositiveAndNonFinite) {
+  EXPECT_DOUBLE_EQ(parse_bench_scale("-1", 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(parse_bench_scale("0", 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(parse_bench_scale("inf", 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(parse_bench_scale("nan", 0.1), 0.1);
+  EXPECT_EQ(sink_->records.size(), 4u);
+}
+
+TEST_F(BenchScaleTest, FallbackIsCallerChosen) {
+  EXPECT_DOUBLE_EQ(parse_bench_scale("bogus", 0.25), 0.25);
+}
+
+}  // namespace
+}  // namespace failmine::bench

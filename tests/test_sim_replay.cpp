@@ -1,0 +1,114 @@
+// Tests for the time-ordered replay emitter (sim -> stream bridge).
+
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace failmine::sim {
+namespace {
+
+const SimResult& trace() {
+  static const SimResult result = [] {
+    SimConfig config = SimConfig::test_scale();
+    config.scale = 0.003;
+    return simulate(config);
+  }();
+  return result;
+}
+
+TEST(Replay, EmitsEveryRecordExactlyOnce) {
+  const auto records = build_replay(trace());
+  EXPECT_EQ(records.size(), trace().job_log.size() + trace().task_log.size() +
+                                trace().ras_log.size() + trace().io_log.size());
+  std::array<std::size_t, 4> by_source{};
+  for (const auto& r : records)
+    ++by_source[static_cast<std::size_t>(r.source())];
+  EXPECT_EQ(by_source[0], trace().job_log.size());
+  EXPECT_EQ(by_source[1], trace().task_log.size());
+  EXPECT_EQ(by_source[2], trace().ras_log.size());
+  EXPECT_EQ(by_source[3], trace().io_log.size());
+}
+
+TEST(Replay, TimeOrderedWithDenseAscendingSequences) {
+  const auto records = build_replay(trace());
+  ASSERT_FALSE(records.empty());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].sequence, i);
+    if (i > 0) EXPECT_GE(records[i].time, records[i - 1].time);
+  }
+}
+
+TEST(Replay, EventTimesAreKnowabilityTimes) {
+  // Jobs and tasks surface at end_time; RAS at its timestamp; I/O
+  // records when their owning job ends.
+  std::unordered_map<std::uint64_t, util::UnixSeconds> job_end;
+  for (const auto& job : trace().job_log.jobs())
+    job_end[job.job_id] = job.end_time;
+  for (const auto& r : build_replay(trace())) {
+    switch (r.source()) {
+      case stream::RecordSource::kJob:
+        EXPECT_EQ(r.time, std::get<joblog::JobRecord>(r.payload).end_time);
+        break;
+      case stream::RecordSource::kTask:
+        EXPECT_EQ(r.time, std::get<tasklog::TaskRecord>(r.payload).end_time);
+        break;
+      case stream::RecordSource::kRas:
+        EXPECT_EQ(r.time, std::get<raslog::RasEvent>(r.payload).timestamp);
+        break;
+      case stream::RecordSource::kIo:
+        EXPECT_EQ(r.time,
+                  job_end.at(std::get<iolog::IoRecord>(r.payload).job_id));
+        break;
+    }
+  }
+}
+
+TEST(Replay, ShuffleIsDeterministicBoundedAndComplete) {
+  const auto reference = build_replay(trace());
+  const auto a = shuffled_replay(trace(), 600, 42);
+  const auto b = shuffled_replay(trace(), 600, 42);
+  const auto c = shuffled_replay(trace(), 600, 43);
+
+  ASSERT_EQ(a.size(), reference.size());
+  // Same seed -> identical order; different seed -> different order.
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i].sequence, b[i].sequence);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].sequence != c[i].sequence) {
+      differs = true;
+      break;
+    }
+  EXPECT_TRUE(differs);
+
+  // Every record is still present, with its original time and sequence.
+  std::vector<std::uint64_t> seqs;
+  for (const auto& r : a) seqs.push_back(r.sequence);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 0; i < seqs.size(); ++i) ASSERT_EQ(seqs[i], i);
+
+  // Displacement in event time is bounded: a record at position i can
+  // only have overtaken records within 2*skew of its own time.
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_LE(a[i - 1].time - a[i].time, 2 * 600);
+}
+
+TEST(Replay, ZeroSkewShuffleIsIdentity) {
+  const auto reference = build_replay(trace());
+  const auto shuffled = shuffled_replay(trace(), 0, 7);
+  ASSERT_EQ(shuffled.size(), reference.size());
+  for (std::size_t i = 0; i < shuffled.size(); ++i)
+    EXPECT_EQ(shuffled[i].sequence, reference[i].sequence);
+}
+
+TEST(Replay, NegativeSkewThrows) {
+  EXPECT_THROW(shuffled_replay(trace(), -1, 0), DomainError);
+}
+
+}  // namespace
+}  // namespace failmine::sim

@@ -1,0 +1,198 @@
+// Batch/stream parity — the correctness anchor of the streaming
+// subsystem (ISSUE: streaming E01/E02/E03/E08 vs the batch analyzer).
+//
+// On the default simulated trace, the final StreamSnapshot must:
+//   * match JointAnalyzer::exit_breakdown() exactly on every integer
+//     count and share (core-hours within float-summation tolerance);
+//   * match the batch similarity filter + MTTI exactly;
+//   * match severity totals exactly;
+//   * report runtime quantiles within the sketch's documented rank error;
+//   * report a heavy-hitter set that is a superset of the batch top-10
+//     failing users/projects;
+// and all of the above must survive a bounded out-of-order replay
+// (shuffled arrivals within the watermark lateness bound).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/joint_analyzer.hpp"
+#include "sim/replay.hpp"
+#include "sim/simulator.hpp"
+#include "stream/pipeline.hpp"
+
+namespace failmine::stream {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+const sim::SimResult& trace() {
+  static const sim::SimResult result = [] {
+    sim::SimConfig config = sim::SimConfig::test_scale();
+    config.scale = 0.005;
+    return sim::simulate(config);
+  }();
+  return result;
+}
+
+const core::JointAnalyzer& analyzer() {
+  static const core::JointAnalyzer instance(trace().job_log, trace().task_log,
+                                            trace().ras_log, trace().io_log,
+                                            kMira);
+  return instance;
+}
+
+StreamSnapshot stream_result(std::size_t shards, std::int64_t shuffle_skew) {
+  StreamConfig config;
+  config.shard_count = shards;
+  // Twice the skew restores exact event-time order (sim/replay.hpp).
+  config.max_lateness_seconds = 2 * shuffle_skew;
+  StreamPipeline pipeline(config);
+  pipeline.push_batch(shuffle_skew > 0
+                          ? sim::shuffled_replay(trace(), shuffle_skew, 99)
+                          : sim::build_replay(trace()));
+  pipeline.finish();
+  return pipeline.snapshot();
+}
+
+void expect_exit_breakdown_parity(const StreamSnapshot& snap) {
+  const core::ExitBreakdown batch = analyzer().exit_breakdown();
+  EXPECT_EQ(snap.exit_breakdown.total_jobs, batch.total_jobs);
+  EXPECT_EQ(snap.exit_breakdown.total_failures, batch.total_failures);
+  EXPECT_DOUBLE_EQ(snap.exit_breakdown.user_caused_share,
+                   batch.user_caused_share);
+  EXPECT_DOUBLE_EQ(snap.exit_breakdown.system_caused_share,
+                   batch.system_caused_share);
+  ASSERT_EQ(snap.exit_breakdown.rows.size(), batch.rows.size());
+  for (std::size_t i = 0; i < batch.rows.size(); ++i) {
+    EXPECT_EQ(snap.exit_breakdown.rows[i].exit_class, batch.rows[i].exit_class);
+    EXPECT_EQ(snap.exit_breakdown.rows[i].jobs, batch.rows[i].jobs);
+    EXPECT_DOUBLE_EQ(snap.exit_breakdown.rows[i].share_of_jobs,
+                     batch.rows[i].share_of_jobs);
+    EXPECT_DOUBLE_EQ(snap.exit_breakdown.rows[i].share_of_failures,
+                     batch.rows[i].share_of_failures);
+    EXPECT_NEAR(snap.exit_breakdown.rows[i].core_hours, batch.rows[i].core_hours,
+                1e-9 * std::max(1.0, batch.rows[i].core_hours));
+  }
+}
+
+void expect_mtti_parity(const StreamSnapshot& snap) {
+  const auto batch = analyzer().interruption_analysis(core::FilterConfig{});
+  EXPECT_EQ(snap.fatal_input_events, batch.filter.input_events);
+  EXPECT_EQ(snap.interruptions, batch.filter.clusters.size());
+  EXPECT_EQ(snap.window_begin, analyzer().window_begin());
+  EXPECT_EQ(snap.window_end, analyzer().window_end());
+  EXPECT_DOUBLE_EQ(snap.mtti.mtti_days, batch.mtti.mtti_days);
+  EXPECT_DOUBLE_EQ(snap.mtti.span_days, batch.mtti.span_days);
+  EXPECT_EQ(snap.mtti.intervals_days, batch.mtti.intervals_days);
+}
+
+void expect_severity_parity(const StreamSnapshot& snap) {
+  EXPECT_EQ(snap.severity_totals, trace().ras_log.severity_counts());
+}
+
+void expect_quantile_parity(const StreamSnapshot& snap) {
+  std::vector<double> runtimes;
+  for (const auto& job : trace().job_log.jobs())
+    runtimes.push_back(static_cast<double>(job.runtime_seconds()));
+  std::sort(runtimes.begin(), runtimes.end());
+  const double n = static_cast<double>(runtimes.size());
+  ASSERT_EQ(snap.runtime_samples, runtimes.size());
+
+  const auto check = [&](double q, double value) {
+    // The sketched value's true rank must lie within epsilon*n of the
+    // target rank — the sketch's documented bound.
+    const auto lo = std::lower_bound(runtimes.begin(), runtimes.end(), value);
+    const auto hi = std::upper_bound(runtimes.begin(), runtimes.end(), value);
+    ASSERT_NE(lo, hi) << "sketched quantile is not a stream value";
+    const double target = std::ceil(q * n);
+    const double eps_n = snap.quantile_epsilon * n;
+    EXPECT_LE(static_cast<double>(lo - runtimes.begin()) + 1, target + eps_n);
+    EXPECT_GE(static_cast<double>(hi - runtimes.begin()), target - eps_n);
+  };
+  check(0.50, snap.runtime_p50);
+  check(0.90, snap.runtime_p90);
+  check(0.99, snap.runtime_p99);
+}
+
+void expect_heavy_hitter_superset(const StreamSnapshot& snap) {
+  // Exact per-user / per-project failure counts from the batch log.
+  std::map<std::uint64_t, std::uint64_t> user_failures, project_failures;
+  for (const auto& job : trace().job_log.jobs()) {
+    if (!job.failed()) continue;
+    ++user_failures[job.user_id];
+    ++project_failures[job.project_id];
+  }
+  const auto check = [](const std::map<std::uint64_t, std::uint64_t>& exact,
+                        const std::vector<TopEntry>& reported) {
+    // Batch top-10 keys, by count desc (key asc on ties) like the sketch.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked(exact.begin(),
+                                                                exact.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    const std::size_t k = std::min<std::size_t>(10, ranked.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto it =
+          std::find_if(reported.begin(), reported.end(),
+                       [&](const TopEntry& e) { return e.key == ranked[i].first; });
+      ASSERT_NE(it, reported.end())
+          << "batch top-" << k << " key " << ranked[i].first
+          << " missing from streamed heavy hitters";
+      // Space-saving counts never undercount, and count - error is a
+      // certain lower bound on the true count.
+      EXPECT_GE(it->count, ranked[i].second);
+      EXPECT_LE(it->count - it->error, ranked[i].second);
+    }
+  };
+  check(user_failures, snap.top_users_by_failures);
+  check(project_failures, snap.top_projects_by_failures);
+}
+
+void expect_full_parity(const StreamSnapshot& snap) {
+  EXPECT_EQ(snap.records_dropped, 0u);
+  expect_exit_breakdown_parity(snap);
+  expect_mtti_parity(snap);
+  expect_severity_parity(snap);
+  expect_quantile_parity(snap);
+  expect_heavy_hitter_superset(snap);
+}
+
+TEST(StreamParity, OrderedReplaySingleShard) {
+  const auto snap = stream_result(1, 0);
+  EXPECT_EQ(snap.records_late, 0u);
+  expect_full_parity(snap);
+}
+
+TEST(StreamParity, OrderedReplayFourShards) {
+  const auto snap = stream_result(4, 0);
+  EXPECT_EQ(snap.records_late, 0u);
+  expect_full_parity(snap);
+}
+
+TEST(StreamParity, ShuffledReplayWithinWatermarkBound) {
+  // Arrivals shuffled by up to 30 minutes; lateness bound 2x that. The
+  // reorderer must restore the exact stream, so ALL batch results still
+  // match exactly.
+  const auto snap = stream_result(4, 1800);
+  EXPECT_EQ(snap.records_late, 0u);
+  expect_full_parity(snap);
+}
+
+TEST(StreamParity, TaskAndIoTotalsMatchBatchLogs) {
+  const auto snap = stream_result(2, 0);
+  std::uint64_t task_failures = 0;
+  for (const auto& t : trace().task_log.tasks())
+    if (t.failed()) ++task_failures;
+  std::uint64_t io_bytes = 0;
+  for (const auto& r : trace().io_log.records()) io_bytes += r.total_bytes();
+  EXPECT_EQ(snap.task_failures, task_failures);
+  EXPECT_EQ(snap.io_bytes_total, io_bytes);
+}
+
+}  // namespace
+}  // namespace failmine::stream

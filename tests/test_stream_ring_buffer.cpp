@@ -1,0 +1,193 @@
+// Tests for the bounded MPSC ring buffer and the watermark reorderer —
+// the ingestion edge of the streaming pipeline.
+
+#include "stream/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "stream/watermark.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stream {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0, BackpressurePolicy::kBlock), DomainError);
+}
+
+TEST(RingBuffer, FifoWithinCapacity) {
+  RingBuffer<int> ring(8, BackpressurePolicy::kBlock);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_EQ(ring.size(), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(ring.pop_batch(out, 100), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(RingBuffer, DropNewestCountsRejections) {
+  RingBuffer<int> ring(2, BackpressurePolicy::kDropNewest);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_FALSE(ring.push(3));  // full
+  EXPECT_EQ(ring.dropped(), 1u);
+  std::vector<int> out;
+  ring.pop_batch(out, 1);
+  EXPECT_TRUE(ring.push(4));  // space again
+  EXPECT_EQ(ring.pushed(), 3u);
+}
+
+TEST(RingBuffer, PushBatchDropsOnlyWhatDoesNotFit) {
+  RingBuffer<int> ring(3, BackpressurePolicy::kDropNewest);
+  EXPECT_EQ(ring.push_batch({1, 2, 3, 4, 5}), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(RingBuffer, PushAfterCloseFails) {
+  RingBuffer<int> ring(4, BackpressurePolicy::kBlock);
+  ring.push(1);
+  ring.close();
+  EXPECT_FALSE(ring.push(2));
+  std::vector<int> out;
+  EXPECT_EQ(ring.pop_batch(out, 10), 1u);  // drains what was accepted
+  EXPECT_EQ(ring.pop_batch(out, 10), 0u);  // closed-and-empty
+}
+
+TEST(RingBuffer, BlockingProducerLosesNothing) {
+  // Capacity far below the record count: producers must block, not drop.
+  constexpr int kPerProducer = 5000;
+  constexpr int kProducers = 4;
+  RingBuffer<int> ring(64, BackpressurePolicy::kBlock);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(ring.push(p * kPerProducer + i));
+    });
+
+  std::vector<int> all;
+  std::vector<int> batch;
+  while (all.size() < kProducers * kPerProducer) {
+    batch.clear();
+    ASSERT_GT(ring.pop_batch(batch, 256), 0u);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) ASSERT_EQ(all[i], i);
+}
+
+TEST(RingBuffer, OversizedPushBatchWakesSleepingConsumer) {
+  // Regression: push_batch used to defer its not_empty_ notify to the end
+  // of the batch. A batch larger than the capacity filled the ring and
+  // then slept on not_full_ with the consumer still asleep on not_empty_
+  // — a mutual wait neither side could exit.
+  constexpr std::size_t kCapacity = 32;
+  constexpr std::size_t kTotal = 10 * kCapacity;
+  RingBuffer<int> ring(kCapacity, BackpressurePolicy::kBlock);
+
+  std::vector<int> all;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (all.size() < kTotal) {
+      batch.clear();
+      if (ring.pop_batch(batch, 8) == 0) break;
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+  });
+  // Let the consumer reach its blocking wait on the empty ring before the
+  // oversized batch arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::vector<int> values(kTotal);
+  std::iota(values.begin(), values.end(), 0);
+  EXPECT_EQ(ring.push_batch(std::move(values)), kTotal);
+  consumer.join();
+
+  ASSERT_EQ(all.size(), kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i)
+    ASSERT_EQ(all[i], static_cast<int>(i));  // FIFO preserved throughout
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// ---- WatermarkReorderer ----------------------------------------------
+
+StreamRecord ras_at(util::UnixSeconds t, std::uint64_t seq) {
+  raslog::RasEvent e;
+  e.record_id = seq;
+  e.timestamp = t;
+  return {t, seq, e};
+}
+
+TEST(Watermark, RejectsNegativeLateness) {
+  EXPECT_THROW(WatermarkReorderer(-1), DomainError);
+}
+
+TEST(Watermark, ZeroLatenessPassesThroughInOrder) {
+  WatermarkReorderer r(0);
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    r.push(ras_at(100 + static_cast<util::UnixSeconds>(i), i),
+           [&](StreamRecord&& rec) { seen.push_back(rec.sequence); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.late_records(), 0u);
+}
+
+TEST(Watermark, RestoresOrderWithinBound) {
+  // Arrival order 3,1,2,4 with skew <= 10; lateness 20 restores 1,2,3,4.
+  WatermarkReorderer r(20);
+  std::vector<util::UnixSeconds> seen;
+  auto emit = [&](StreamRecord&& rec) { seen.push_back(rec.time); };
+  r.push(ras_at(103, 3), emit);
+  r.push(ras_at(101, 1), emit);
+  r.push(ras_at(102, 2), emit);
+  r.push(ras_at(140, 4), emit);  // watermark jumps to 120, releasing 101..103
+  r.flush(emit);
+  EXPECT_EQ(seen, (std::vector<util::UnixSeconds>{101, 102, 103, 140}));
+  EXPECT_EQ(r.late_records(), 0u);
+}
+
+TEST(Watermark, TiesReleaseInSequenceOrder) {
+  WatermarkReorderer r(5);
+  std::vector<std::uint64_t> seen;
+  auto emit = [&](StreamRecord&& rec) { seen.push_back(rec.sequence); };
+  r.push(ras_at(100, 2), emit);
+  r.push(ras_at(100, 1), emit);
+  r.push(ras_at(100, 3), emit);
+  r.flush(emit);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Watermark, CountsBoundViolationsButStillReleases) {
+  WatermarkReorderer r(10);
+  std::vector<util::UnixSeconds> seen;
+  auto emit = [&](StreamRecord&& rec) { seen.push_back(rec.time); };
+  r.push(ras_at(200, 1), emit);
+  r.push(ras_at(100, 2), emit);  // 90 seconds behind the watermark
+  r.flush(emit);
+  EXPECT_EQ(r.late_records(), 1u);
+  EXPECT_EQ(seen.size(), 2u);  // nothing is dropped
+}
+
+TEST(Watermark, LagTracksHeldBackSpan) {
+  WatermarkReorderer r(100);
+  auto drop = [](StreamRecord&&) {};
+  r.push(ras_at(1000, 1), drop);
+  r.push(ras_at(1050, 2), drop);
+  EXPECT_EQ(r.lag_seconds(), 50);  // 1000 is still buffered
+  EXPECT_EQ(r.watermark(), 950);
+  EXPECT_EQ(r.buffered(), 2u);
+}
+
+}  // namespace
+}  // namespace failmine::stream
