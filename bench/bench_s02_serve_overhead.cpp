@@ -1,0 +1,165 @@
+// S02 — telemetry serving overhead: streaming pipeline throughput with
+// the embedded HTTP endpoint off vs on (scraped at ~1 Hz, the cadence a
+// Prometheus scrape job would use).
+//
+// The instrumentation budget for the serve subsystem is "free at replay
+// speed": the /metrics renderer samples the registry under one short
+// lock hold and the handler pool runs off the hot path, so a live
+// scraper must not cost measurable pipeline throughput. The table
+// reports records/sec for both modes and the relative overhead; the run
+// FAILS (exit 1) when the scraped run is more than 3% slower, so a
+// regression that drags the endpoint into the hot path cannot land
+// silently.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/serve.hpp"
+#include "sim/replay.hpp"
+#include "stream/pipeline.hpp"
+
+namespace {
+
+using namespace failmine;
+
+constexpr double kMaxOverhead = 0.03;  // 3% throughput budget for serving
+
+const std::vector<stream::StreamRecord>& replay() {
+  static const std::vector<stream::StreamRecord> records = [] {
+    FAILMINE_TRACE_SPAN("bench.replay_build");
+    return sim::build_replay(bench::dataset());
+  }();
+  return records;
+}
+
+stream::StreamConfig make_config() {
+  stream::StreamConfig config;
+  config.machine = bench::dataset_config().machine;
+  config.shard_count = 4;
+  config.policy = stream::BackpressurePolicy::kBlock;
+  config.max_lateness_seconds = 0;  // replay is already event-time ordered
+  return config;
+}
+
+/// One full replay; when `serve` is set, a TelemetryServer runs for the
+/// duration and a client thread scrapes /metrics + /healthz at ~1 Hz.
+/// Returns records/sec.
+double run_pipeline(bool serve) {
+  stream::StreamPipeline pipeline(make_config());
+
+  std::unique_ptr<obs::TelemetryServer> server;
+  std::thread scraper;
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  if (serve) {
+    server = std::make_unique<obs::TelemetryServer>();
+    server->set_snapshot_handler(
+        [&pipeline] { return pipeline.snapshot().to_json(); });
+    server->set_health_handler([&pipeline] { return pipeline.healthy(); });
+    server->start();
+    scraper = std::thread([&, port = server->port()] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        if (obs::http_get(port, "/metrics").status == 200 &&
+            obs::http_get(port, "/healthz").status == 200)
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        for (int i = 0; i < 100 && !stop_scraper.load(); ++i)
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<stream::StreamRecord> batch;
+  const auto& records = replay();
+  for (std::size_t i = 0; i < records.size();) {
+    const std::size_t n = std::min<std::size_t>(1024, records.size() - i);
+    batch.assign(records.begin() + i, records.begin() + i + n);
+    pipeline.push_batch(std::move(batch));
+    i += n;
+  }
+  pipeline.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto snap = pipeline.snapshot();
+  if (serve) {
+    stop_scraper.store(true);
+    scraper.join();
+    server->stop();
+    if (scrapes.load() == 0) {
+      std::fprintf(stderr, "FATAL: scraper never completed a scrape\n");
+      std::exit(1);
+    }
+  }
+  if (snap.records_dropped != 0) {
+    std::fprintf(stderr, "FATAL: blocking policy dropped records\n");
+    std::exit(1);
+  }
+  return static_cast<double>(snap.records_in) / secs;
+}
+
+void print_table() {
+  bench::print_header("S02", "telemetry serving overhead",
+                      "pipeline records/sec with /metrics scraped at 1 Hz "
+                      "vs unobserved");
+  // Warm both paths once (simulator + lazy instrument creation), then
+  // interleave the modes and take the best of five each: a replay run is
+  // short, so on a small host a single scheduler hiccup can cost more
+  // than the whole serving budget — best-of-N compares the two modes at
+  // their undisturbed speed.
+  (void)run_pipeline(false);
+  (void)run_pipeline(true);
+  double off = 0.0, on = 0.0;
+  for (int round = 0; round < 5; ++round) {
+    off = std::max(off, run_pipeline(false));
+    on = std::max(on, run_pipeline(true));
+  }
+  const double overhead = (off - on) / off;
+  std::printf("%-12s %14s\n", "mode", "records/s");
+  std::printf("%-12s %14.0f\n", "serve off", off);
+  std::printf("%-12s %14.0f\n", "serve on", on);
+  std::printf("overhead: %.2f%% (budget %.0f%%)\n", 100.0 * overhead,
+              100.0 * kMaxOverhead);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FATAL: serving overhead %.2f%% exceeds the %.0f%% budget\n",
+                 100.0 * overhead, 100.0 * kMaxOverhead);
+    std::exit(1);
+  }
+}
+
+void BM_StreamReplayServeOff(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_pipeline(false));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayServeOff)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamReplayServeOn(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_pipeline(true));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayServeOn)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

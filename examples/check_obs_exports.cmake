@@ -1,28 +1,25 @@
 # Validates the --metrics-out / --trace-out files written by the
 # example_cli_summary smoke test: both must exist and carry the expected
 # structure (a populated parse.lines_total counter; chrome traceEvents).
+# The expected instrument names come from expected_metrics.cmake.
 # Invoked as:
 #   cmake -DMETRICS=... -DTRACE=... -P check_obs_exports.cmake
 
-foreach(var METRICS TRACE)
-  if(NOT DEFINED ${var} OR NOT EXISTS "${${var}}")
-    message(FATAL_ERROR "${var} export missing: ${${var}}")
-  endif()
-endforeach()
+include("${CMAKE_CURRENT_LIST_DIR}/expected_metrics.cmake")
 
-file(READ "${METRICS}" metrics_json)
-if(NOT metrics_json MATCHES "\"parse\\.lines_total\":([0-9]+)")
-  message(FATAL_ERROR "metrics export lacks parse.lines_total: ${METRICS}")
-endif()
-set(lines_total "${CMAKE_MATCH_1}")
+failmine_read_export(metrics_json "${METRICS}")
+failmine_read_export(trace_json "${TRACE}")
+
+failmine_metric_value(lines_total "${metrics_json}"
+                      "${FAILMINE_PARSE_LINES_COUNTER}")
 if(lines_total EQUAL 0)
-  message(FATAL_ERROR "parse.lines_total is 0 — nothing was parsed")
+  message(FATAL_ERROR "${FAILMINE_PARSE_LINES_COUNTER} is 0 — nothing was "
+                      "parsed")
 endif()
 if(NOT metrics_json MATCHES "\"counters\"")
   message(FATAL_ERROR "metrics export lacks a counters section")
 endif()
 
-file(READ "${TRACE}" trace_json)
 if(NOT trace_json MATCHES "\"traceEvents\":\\[{")
   message(FATAL_ERROR "trace export has no spans: ${TRACE}")
 endif()

@@ -1,35 +1,30 @@
 # Validates the metrics export written by the example_cli_stream smoke
 # test: the streaming pipeline must have accounted for every record
 # (stream.records_in > 0) without loss (stream.records_dropped == 0),
-# and published its gauges. Invoked as:
+# and published its gauges and latency histograms. The expected
+# instrument names come from expected_metrics.cmake. Invoked as:
 #   cmake -DMETRICS=... -P check_stream_metrics.cmake
 
-if(NOT DEFINED METRICS OR NOT EXISTS "${METRICS}")
-  message(FATAL_ERROR "METRICS export missing: ${METRICS}")
-endif()
+include("${CMAKE_CURRENT_LIST_DIR}/expected_metrics.cmake")
 
-file(READ "${METRICS}" metrics_json)
+failmine_read_export(metrics_json "${METRICS}")
 
-if(NOT metrics_json MATCHES "\"stream\\.records_in\":([0-9]+)")
-  message(FATAL_ERROR "metrics export lacks stream.records_in: ${METRICS}")
-endif()
-set(records_in "${CMAKE_MATCH_1}")
+failmine_metric_value(records_in "${metrics_json}"
+                      "${FAILMINE_STREAM_IN_COUNTER}")
 if(records_in EQUAL 0)
-  message(FATAL_ERROR "stream.records_in is 0 — nothing was streamed")
+  message(FATAL_ERROR "${FAILMINE_STREAM_IN_COUNTER} is 0 — nothing was "
+                      "streamed")
 endif()
 
-if(NOT metrics_json MATCHES "\"stream\\.records_dropped\":([0-9]+)")
-  message(FATAL_ERROR "metrics export lacks stream.records_dropped: ${METRICS}")
-endif()
-if(NOT CMAKE_MATCH_1 EQUAL 0)
-  message(FATAL_ERROR
-    "stream.records_dropped=${CMAKE_MATCH_1} under the blocking policy")
+failmine_metric_value(dropped "${metrics_json}"
+                      "${FAILMINE_STREAM_DROPPED_COUNTER}")
+if(NOT dropped EQUAL 0)
+  message(FATAL_ERROR "${FAILMINE_STREAM_DROPPED_COUNTER}=${dropped} under "
+                      "the blocking policy")
 endif()
 
-foreach(gauge "stream\\.queue_depth" "stream\\.watermark_lag_s")
-  if(NOT metrics_json MATCHES "\"${gauge}\":")
-    message(FATAL_ERROR "metrics export lacks the ${gauge} gauge: ${METRICS}")
-  endif()
-endforeach()
+failmine_require_metrics("${metrics_json}"
+  ${FAILMINE_STREAM_REQUIRED_GAUGES}
+  ${FAILMINE_STREAM_REQUIRED_HISTOGRAMS})
 
 message(STATUS "stream metrics OK: records_in=${records_in}, no drops")

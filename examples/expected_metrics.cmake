@@ -1,0 +1,55 @@
+# Shared metric-name expectations for the example smoke checks.
+#
+# include()d by check_obs_exports.cmake and check_stream_metrics.cmake
+# (and any future check script) so the instrument names the smoke tests
+# assert on live in exactly one place. The names must track what the
+# library registers — see src/stream/pipeline.hpp for the streaming
+# instruments and src/obs/serve.cpp for the server's self-metrics.
+
+# Gauges the streaming pipeline always creates (construction / router
+# startup), so any successful replay must have exported them.
+set(FAILMINE_STREAM_REQUIRED_GAUGES
+  stream.queue_depth
+  stream.watermark_lag_s
+  stream.ingest.occupancy
+  stream.reorder.buffered)
+
+# Histograms a successful replay must have exported.
+set(FAILMINE_STREAM_REQUIRED_HISTOGRAMS
+  stream.router.batch_us)
+
+# Counters whose *values* the stream check inspects.
+set(FAILMINE_STREAM_IN_COUNTER stream.records_in)
+set(FAILMINE_STREAM_DROPPED_COUNTER stream.records_dropped)
+
+# The parse counter the obs-exports check requires to be populated.
+set(FAILMINE_PARSE_LINES_COUNTER parse.lines_total)
+
+# Reads the export at `path` into `var`, failing if it is missing.
+function(failmine_read_export var path)
+  if(NOT path OR NOT EXISTS "${path}")
+    message(FATAL_ERROR "metrics export missing: ${path}")
+  endif()
+  file(READ "${path}" content)
+  set(${var} "${content}" PARENT_SCOPE)
+endfunction()
+
+# Asserts that `content` mentions every instrument named in ARGN.
+function(failmine_require_metrics content)
+  foreach(name ${ARGN})
+    string(REPLACE "." "\\." pattern "${name}")
+    if(NOT content MATCHES "\"${pattern}\":")
+      message(FATAL_ERROR "metrics export lacks ${name}")
+    endif()
+  endforeach()
+endfunction()
+
+# Extracts the integer value of instrument `name` from `content` into
+# `var`, failing if the instrument is absent.
+function(failmine_metric_value var content name)
+  string(REPLACE "." "\\." pattern "${name}")
+  if(NOT content MATCHES "\"${pattern}\":([0-9]+)")
+    message(FATAL_ERROR "metrics export lacks ${name}")
+  endif()
+  set(${var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()

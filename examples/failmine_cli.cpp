@@ -13,28 +13,42 @@
 //       per-exit-class execution-length distribution study (E05)
 //   stream   --data DIR [--shards N] [--lateness SEC] [--shuffle SEC]
 //            [--seed N] [--policy block|drop] [--queue N] [--interval N]
+//            [--serve PORT] [--serve-linger SEC]
 //       replay the dataset through the streaming pipeline in event-time
 //       order (optionally with bounded shuffle); prints periodic windowed
-//       stats to stderr and the final StreamSnapshot JSON to stdout
+//       stats to stderr and the final StreamSnapshot JSON to stdout.
+//       --serve exposes live telemetry over HTTP for the duration of the
+//       replay (port 0 picks an ephemeral port, announced on stderr):
+//       GET /metrics (Prometheus text), /snapshot (StreamSnapshot JSON),
+//       /healthz (200 ok / 503 when the stall watchdog trips) and
+//       /flightrecorder (recent log/span ring as JSONL). --serve-linger
+//       keeps the server up N seconds after the replay finishes so a
+//       scraper can collect the final state.
 //
 // Global observability options (any subcommand):
 //   --log-level debug|info|warn|error|off   stderr log threshold
 //   --metrics-out PATH   write the metrics registry as JSON on exit
 //   --trace-out PATH     write a chrome-trace JSON (chrome://tracing,
 //                        https://ui.perfetto.dev) on exit
+//   --flight-recorder PATH   dump the in-memory flight recorder ring as
+//                        JSONL to PATH if the process crashes
 //
 // Exit status: 0 on success (and, for `report`, only if all claims pass).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "core/report.hpp"
+#include "obs/serve.hpp"
 #include "obs/session.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulator.hpp"
@@ -96,8 +110,10 @@ void print_usage() {
                "[--shuffle SEC]\n"
                "           [--seed N] [--policy block|drop] [--queue N] "
                "[--interval N]\n"
+               "           [--serve PORT] [--serve-linger SEC]\n"
                "global: [--log-level LEVEL] [--metrics-out PATH] "
-               "[--trace-out PATH]\n");
+               "[--trace-out PATH]\n"
+               "        [--flight-recorder PATH]\n");
 }
 
 sim::SimResult load(const ArgMap& args) {
@@ -237,6 +253,23 @@ int cmd_stream(const ArgMap& args) {
       args.get_int("queue", static_cast<long long>(config.queue_capacity)));
 
   stream::StreamPipeline pipeline(config);
+
+  // --serve exposes live telemetry while the replay runs. Port 0 asks
+  // the kernel for an ephemeral port; either way the bound port goes to
+  // stderr so scrapers (and the e2e test) can find it.
+  std::unique_ptr<obs::TelemetryServer> server;
+  if (args.has("serve")) {
+    obs::ServeConfig serve_config;
+    serve_config.port = static_cast<std::uint16_t>(args.get_int("serve", 0));
+    server = std::make_unique<obs::TelemetryServer>(serve_config);
+    server->set_snapshot_handler(
+        [&pipeline] { return pipeline.snapshot().to_json(); });
+    server->set_health_handler([&pipeline] { return pipeline.healthy(); });
+    server->start();
+    std::fprintf(stderr, "[stream] serving telemetry on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server->port()));
+  }
+
   const auto interval =
       static_cast<std::size_t>(args.get_int("interval", 100000));
   std::size_t next_report = interval;
@@ -266,6 +299,11 @@ int cmd_stream(const ArgMap& args) {
   pipeline.finish();
   const auto snap = pipeline.snapshot();
   std::fputs(snap.to_json().c_str(), stdout);
+  if (server != nullptr) {
+    const long long linger = args.get_int("serve-linger", 0);
+    if (linger > 0) std::this_thread::sleep_for(std::chrono::seconds(linger));
+    server->stop();
+  }
   return 0;
 }
 

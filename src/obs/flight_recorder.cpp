@@ -1,0 +1,214 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw failmine::DomainError("FlightRecorder capacity must be positive");
+  slots_ = std::make_unique<Slot[]>(capacity_);
+}
+
+void FlightRecorder::record_line(std::string_view line) {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  const std::size_t n = std::min(line.size(), kSlotBytes);
+  // Seqlock write: odd generation marks the slot in flight. Two writers
+  // can only collide on one slot after a full ring wrap mid-write; the
+  // generation discipline still keeps readers from emitting the tear.
+  slot.generation.fetch_add(1, std::memory_order_acquire);
+  std::memcpy(slot.data, line.data(), n);
+  slot.length.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  slot.generation.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t FlightRecorder::read_slot(std::size_t index, char* out) const {
+  const Slot& slot = slots_[index];
+  const std::uint32_t before = slot.generation.load(std::memory_order_acquire);
+  if (before == 0 || (before & 1u) != 0) return 0;  // empty or mid-write
+  const std::size_t n = slot.length.load(std::memory_order_relaxed);
+  if (n == 0 || n > kSlotBytes) return 0;
+  std::memcpy(out, slot.data, n);
+  // Re-check: if a writer touched the slot while we copied, drop it.
+  if (slot.generation.load(std::memory_order_acquire) != before) return 0;
+  return n;
+}
+
+std::string FlightRecorder::dump() const {
+  std::string out;
+  char line[kSlotBytes];
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const std::size_t n = read_slot(i % capacity_, line);
+    if (n == 0) continue;
+    out.append(line, n);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void FlightRecorder::dump_to_fd(int fd) const {
+  char line[kSlotBytes + 1];
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const std::size_t n = read_slot(i % capacity_, line);
+    if (n == 0) continue;
+    line[n] = '\n';
+    std::size_t written = 0;
+    while (written < n + 1) {
+      const ssize_t rc = ::write(fd, line + written, n + 1 - written);
+      if (rc <= 0) return;  // nothing safe to do about it in a handler
+      written += static_cast<std::size_t>(rc);
+    }
+  }
+}
+
+void FlightRecorder::clear() {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].generation.store(0, std::memory_order_relaxed);
+    slots_[i].length.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+namespace {
+
+/// Raw pointer mirror of flight_recorder() so the signal handler never
+/// runs a function-local-static guard.
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+
+constexpr std::size_t kMaxCrashPath = 512;
+char g_crash_path[kMaxCrashPath] = {0};
+
+/// Alternate signal stack: SIGSEGV from stack overflow must not try to
+/// grow the very stack that just overflowed.
+alignas(16) char g_alt_stack[64 * 1024];
+
+void append_decimal(char* buf, std::size_t cap, std::size_t& pos, long v) {
+  char digits[24];
+  std::size_t n = 0;
+  if (v < 0) {
+    if (pos < cap) buf[pos++] = '-';
+    v = -v;
+  }
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0 && n < sizeof(digits));
+  while (n > 0 && pos < cap) buf[pos++] = digits[--n];
+}
+
+extern "C" void failmine_crash_handler(int sig) {
+  FlightRecorder* recorder = g_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr && g_crash_path[0] != '\0') {
+    const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      recorder->dump_to_fd(fd);
+      char line[64];
+      std::size_t pos = 0;
+      const char prefix[] = "{\"kind\":\"crash\",\"signal\":";
+      std::memcpy(line, prefix, sizeof(prefix) - 1);
+      pos = sizeof(prefix) - 1;
+      append_decimal(line, sizeof(line) - 2, pos, sig);
+      line[pos++] = '}';
+      line[pos++] = '\n';
+      std::size_t written = 0;
+      while (written < pos) {
+        const ssize_t rc = ::write(fd, line + written, pos - written);
+        if (rc <= 0) break;
+        written += static_cast<std::size_t>(rc);
+      }
+      ::close(fd);
+    }
+  }
+  // Restore the default disposition and re-raise so the process still
+  // dies with the original signal (core dump, wait status, ...).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void serialize_span(const SpanRecord& span) {
+  char line[256];
+  std::size_t pos = 0;
+  const auto append_literal = [&](const char* s) {
+    const std::size_t n = std::strlen(s);
+    if (pos + n <= sizeof(line)) {
+      std::memcpy(line + pos, s, n);
+      pos += n;
+    }
+  };
+  append_literal("{\"kind\":\"span\",\"name\":\"");
+  for (char c : span.name)
+    if (c != '"' && c != '\\' && pos < sizeof(line)) line[pos++] = c;
+  append_literal("\",\"start_us\":");
+  append_decimal(line, sizeof(line), pos, static_cast<long>(span.start_us));
+  append_literal(",\"dur_us\":");
+  append_decimal(line, sizeof(line), pos, static_cast<long>(span.duration_us));
+  append_literal(",\"tid\":");
+  append_decimal(line, sizeof(line), pos, span.thread_id);
+  append_literal("}");
+  flight_recorder().record_line(std::string_view(line, pos));
+}
+
+}  // namespace
+
+FlightRecorder& flight_recorder() {
+  // Leaked intentionally (see obs::logger()); mirrored into g_recorder
+  // for the signal handler.
+  static FlightRecorder* instance = [] {
+    auto* r = new FlightRecorder();
+    g_recorder.store(r, std::memory_order_release);
+    return r;
+  }();
+  return *instance;
+}
+
+void FlightRecorderSink::write(const LogRecord& record) {
+  std::string line = "{\"kind\":\"log\",";
+  // Splice the shared serialization's fields after our kind tag.
+  line += log_record_json(record).substr(1);
+  flight_recorder().record_line(line);
+}
+
+void attach_flight_recorder() {
+  static const bool attached = [] {
+    flight_recorder();  // force creation before any recording
+    logger().add_sink(std::make_shared<FlightRecorderSink>());
+    tracer().set_span_hook(&serialize_span);
+    return true;
+  }();
+  (void)attached;
+}
+
+void install_crash_dump(const std::string& path) {
+  if (path.empty() || path.size() >= kMaxCrashPath)
+    throw failmine::DomainError("crash dump path empty or too long: " + path);
+  attach_flight_recorder();
+  std::memcpy(g_crash_path, path.c_str(), path.size() + 1);
+
+  stack_t alt{};
+  alt.ss_sp = g_alt_stack;
+  alt.ss_size = sizeof(g_alt_stack);
+  ::sigaltstack(&alt, nullptr);
+
+  struct sigaction action{};
+  action.sa_handler = &failmine_crash_handler;
+  action.sa_flags = SA_ONSTACK;
+  sigemptyset(&action.sa_mask);
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE})
+    ::sigaction(sig, &action, nullptr);
+}
+
+std::string crash_dump_path() { return g_crash_path; }
+
+}  // namespace failmine::obs

@@ -1,0 +1,107 @@
+// failmine/obs/flight_recorder.hpp
+//
+// Crash-safe flight recorder: an always-on bounded ring of the last N
+// telemetry lines (log records and trace-span completions), pre-
+// serialized to JSONL at record time so a fatal-signal handler can dump
+// them with nothing but async-signal-safe calls (open/write/close).
+//
+// Each slot is a fixed-size byte buffer guarded by a seqlock-style
+// generation counter: writers bump the generation to odd, copy the
+// line, bump back to even. Readers (including the signal handler) skip
+// odd generations and re-check after copying, so a torn slot is dropped
+// rather than emitted as garbage. Recording costs one fetch_add plus a
+// bounded memcpy — no locks, no allocation — which is what lets the
+// recorder stay attached under full streaming load.
+//
+// Wiring:
+//   attach_flight_recorder()        logger sink + tracer span hook
+//   install_crash_dump(path)        SIGSEGV/SIGABRT/SIGBUS/SIGFPE handler
+//                                   dumping the ring to `path` as JSONL
+//   flight_recorder().dump()        on-demand (the /flightrecorder
+//                                   endpoint and tests)
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/log.hpp"
+
+namespace failmine::obs {
+
+class FlightRecorder {
+ public:
+  /// Longest line one slot retains; longer lines are truncated (the
+  /// bound is what makes the signal-handler dump allocation-free).
+  static constexpr std::size_t kSlotBytes = 768;
+
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one pre-serialized JSONL line (no trailing newline).
+  /// Lock-free; safe from any thread.
+  void record_line(std::string_view line);
+
+  /// Lines ever recorded (monotone; exceeds capacity once wrapped).
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// All stable slots, oldest first, one line each, newline-terminated.
+  std::string dump() const;
+
+  /// Async-signal-safe dump: writes the stable slots to `fd` with
+  /// write(2), oldest first. Usable from a fatal-signal handler.
+  void dump_to_fd(int fd) const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> generation{0};  ///< odd while being written
+    std::atomic<std::uint32_t> length{0};
+    char data[kSlotBytes];
+  };
+
+  /// Copies slot `index` into `out` (>= kSlotBytes) if it is stable;
+  /// returns the line length or 0 to skip.
+  std::size_t read_slot(std::size_t index, char* out) const;
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// The process-wide recorder dumped by the crash handler and the
+/// telemetry server.
+FlightRecorder& flight_recorder();
+
+/// LogSink adapter feeding flight_recorder() (lines are tagged
+/// "kind":"log"; span-hook lines are tagged "kind":"span").
+class FlightRecorderSink : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// Attaches flight_recorder() to the global logger (as an extra sink)
+/// and tracer (as the span hook). Idempotent.
+void attach_flight_recorder();
+
+/// Installs fatal-signal handlers (SIGSEGV, SIGABRT, SIGBUS, SIGFPE) on
+/// an alternate stack that dump flight_recorder() to `path` as JSONL —
+/// with a trailing {"kind":"crash","signal":N} line — then restore the
+/// default disposition and re-raise. Also calls
+/// attach_flight_recorder(). Throws DomainError on an over-long path.
+void install_crash_dump(const std::string& path);
+
+/// Path configured by install_crash_dump(), or "" if never installed.
+std::string crash_dump_path();
+
+}  // namespace failmine::obs

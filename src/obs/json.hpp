@@ -39,6 +39,8 @@ inline void append_json_string(std::string& out, std::string_view s) {
 
 /// Formats a double as a JSON number. Non-finite values have no JSON
 /// representation; they degrade to null so exports stay parseable.
+/// Prometheus exposition must NOT use this — it defines the spellings
+/// NaN/+Inf/-Inf; see obs/prometheus.hpp's prometheus_number().
 inline std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[32];

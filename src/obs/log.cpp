@@ -76,6 +76,23 @@ void append_field_value_json(std::string& out, const Field& field) {
 
 }  // namespace
 
+std::string log_record_json(const LogRecord& record) {
+  std::string line = "{\"time\":";
+  append_json_string(line, format_time_utc(record.time));
+  line += ",\"level\":";
+  append_json_string(line, log_level_name(record.level));
+  line += ",\"event\":";
+  append_json_string(line, record.event);
+  for (const Field& f : record.fields) {
+    line.push_back(',');
+    append_json_string(line, f.key);
+    line.push_back(':');
+    append_field_value_json(line, f);
+  }
+  line.push_back('}');
+  return line;
+}
+
 void StderrSink::write(const LogRecord& record) {
   std::string line = format_time_utc(record.time);
   line.push_back(' ');
@@ -99,20 +116,7 @@ JsonlFileSink::JsonlFileSink(const std::string& path)
 }
 
 void JsonlFileSink::write(const LogRecord& record) {
-  std::string line = "{\"time\":";
-  append_json_string(line, format_time_utc(record.time));
-  line += ",\"level\":";
-  append_json_string(line, log_level_name(record.level));
-  line += ",\"event\":";
-  append_json_string(line, record.event);
-  for (const Field& f : record.fields) {
-    line.push_back(',');
-    append_json_string(line, f.key);
-    line.push_back(':');
-    append_field_value_json(line, f);
-  }
-  line += "}\n";
-  out_ << line;
+  out_ << log_record_json(record) << "\n";
   if (!out_) throw failmine::ObsError("write failed on log sink: " + path_);
 }
 

@@ -74,6 +74,11 @@ struct LogRecord {
   std::vector<Field> fields;
 };
 
+/// `record` as a single JSON object (no trailing newline):
+/// {"time":"...","level":"warn","event":"...","field":value,...}.
+/// Shared by JsonlFileSink and the flight recorder.
+std::string log_record_json(const LogRecord& record);
+
 /// Destination for log records. Implementations must be safe to call from
 /// multiple threads (the Logger serializes writes per sink).
 class LogSink {

@@ -91,6 +91,25 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *it->second;
 }
 
+MetricsSample MetricsRegistry::sample() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSample out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.upper_bounds = h->upper_bounds();
+    s.buckets = h->bucket_counts();
+    s.count = h->count();
+    s.sum = h->sum();
+    out.histograms.emplace_back(name, std::move(s));
+  }
+  return out;
+}
+
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);

@@ -78,6 +78,25 @@ class Histogram {
 /// Default histogram bucket bounds: 1-2-5 decades from 1 to 10000.
 std::vector<double> default_histogram_bounds();
 
+/// Point-in-time copy of one histogram (bounds + per-bucket counts; the
+/// last bucket is the overflow past the largest bound).
+struct HistogramSample {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> buckets;  ///< size = upper_bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every instrument in a registry, name-sorted.
+/// Decouples exporters (Prometheus exposition, the telemetry server)
+/// from the registry lock: one lock acquisition per sample, rendering
+/// happens lock-free on the copy.
+struct MetricsSample {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSample>> histograms;
+};
+
 class MetricsRegistry {
  public:
   /// Returns the instrument named `name`, creating it on first use.
@@ -90,6 +109,9 @@ class MetricsRegistry {
   /// Current value of a counter, or 0 if it was never touched. Handy in
   /// tests and reports; does not create the counter.
   std::uint64_t counter_value(std::string_view name) const;
+
+  /// Consistent copy of every instrument (one lock hold).
+  MetricsSample sample() const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
   std::string to_json() const;

@@ -1,0 +1,67 @@
+#include "obs/prometheus.hpp"
+
+namespace failmine::obs {
+
+namespace {
+
+bool exposition_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_help_and_type(std::string& out, const std::string& exposition,
+                          const std::string& original, const char* type) {
+  out += "# HELP " + exposition + " failmine " + type + " " + original + "\n";
+  out += "# TYPE " + exposition + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9')
+    out.push_back('_');
+  for (char c : name) out.push_back(exposition_char(c) ? c : '_');
+  return out;
+}
+
+std::string render_prometheus(const MetricsSample& sample) {
+  std::string out;
+  for (const auto& [name, value] : sample.counters) {
+    const std::string expo = prometheus_name(name);
+    append_help_and_type(out, expo, name, "counter");
+    out += expo + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : sample.gauges) {
+    const std::string expo = prometheus_name(name);
+    append_help_and_type(out, expo, name, "gauge");
+    out += expo + " " + prometheus_number(value) + "\n";
+  }
+  for (const auto& [name, h] : sample.histograms) {
+    const std::string expo = prometheus_name(name);
+    append_help_and_type(out, expo, name, "histogram");
+    // The registry's inclusive upper bounds match `le` semantics
+    // directly; buckets accumulate left to right so the series is
+    // monotone and ends at le="+Inf". _count is derived from the same
+    // bucket sum (not the histogram's separate count atomic) so
+    // `_count == +Inf bucket` holds even against concurrent observes.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += expo + "_bucket{le=\"" + prometheus_number(h.upper_bounds[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    if (!h.buckets.empty()) cumulative += h.buckets.back();
+    out += expo + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += expo + "_sum " + prometheus_number(h.sum) + "\n";
+    out += expo + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  return render_prometheus(registry.sample());
+}
+
+}  // namespace failmine::obs

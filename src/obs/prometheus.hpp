@@ -1,0 +1,47 @@
+// failmine/obs/prometheus.hpp
+//
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry — what `GET /metrics` on the telemetry server returns.
+//
+// Counters and gauges render as single samples; histograms render as
+// the conventional triple: cumulative `_bucket{le="..."}` series ending
+// in `le="+Inf"`, plus `_sum` and `_count`. Instrument names use dots
+// (`stream.records_in`); exposition names replace every character
+// outside [a-zA-Z0-9_:] with `_` (`stream_records_in`).
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace failmine::obs {
+
+/// Formats a double the way the exposition format requires. Unlike
+/// json_number() (which degrades non-finite values to null, JSON having
+/// no spelling for them), Prometheus defines the spellings `NaN`,
+/// `+Inf` and `-Inf` and scrapers rely on them.
+inline std::string prometheus_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// `stream.records_in` -> `stream_records_in`: every character outside
+/// the exposition name alphabet [a-zA-Z0-9_:] becomes an underscore; a
+/// leading digit gains a `_` prefix.
+std::string prometheus_name(std::string_view name);
+
+/// Renders one consistent sample as a full exposition document
+/// (`# HELP` + `# TYPE` + samples per instrument, name-sorted).
+std::string render_prometheus(const MetricsSample& sample);
+
+/// Samples `registry` and renders it.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+}  // namespace failmine::obs

@@ -1,0 +1,298 @@
+#include "obs/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+namespace {
+
+Counter& requests_counter() {
+  static Counter& c = metrics().counter("obs.serve.requests");
+  return c;
+}
+Counter& bad_requests_counter() {
+  static Counter& c = metrics().counter("obs.serve.bad_requests");
+  return c;
+}
+Counter& rejected_counter() {
+  static Counter& c = metrics().counter("obs.serve.rejected_connections");
+  return c;
+}
+Histogram& request_us_histogram() {
+  static Histogram& h = metrics().histogram(
+      "obs.serve.request_us", {50, 100, 250, 500, 1000, 2500, 5000, 10000,
+                               25000, 50000, 100000});
+  return h;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t rc = ::send(fd, data.data() + sent, data.size() - sent,
+                              MSG_NOSIGNAL);
+    if (rc <= 0) return;  // peer went away; nothing to salvage
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+void send_response(int fd, int status, const char* reason,
+                   const char* content_type, std::string_view body) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head);
+  send_all(fd, body);
+}
+
+/// Reads until the end of the request headers (CRLFCRLF) or a small cap;
+/// returns the target path of a well-formed GET, "" otherwise.
+std::string read_request_path(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  if (request.rfind("GET ", 0) != 0) return "";
+  const std::size_t path_end = request.find(' ', 4);
+  if (path_end == std::string::npos) return "";
+  if (request.compare(path_end, 9, " HTTP/1.1", 0, 9) != 0 &&
+      request.compare(path_end, 9, " HTTP/1.0", 0, 9) != 0) {
+    // tolerate missing version only for the bare "GET /path\r\n" form
+    if (request.find("\r\n", path_end) != path_end) return "";
+  }
+  return request.substr(4, path_end - 4);
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(ServeConfig config)
+    : config_(std::move(config)) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::set_snapshot_handler(SnapshotHandler handler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_handler_ = std::move(handler);
+}
+
+void TelemetryServer::set_health_handler(HealthHandler handler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  health_handler_ = std::move(handler);
+}
+
+void TelemetryServer::start() {
+  if (listen_fd_ >= 0) return;
+  if (config_.handler_threads == 0)
+    throw failmine::DomainError("ServeConfig.handler_threads must be positive");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw failmine::ObsError("telemetry server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw failmine::ObsError("telemetry server: cannot bind 127.0.0.1:" +
+                             std::to_string(config_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+  for (std::size_t i = 0; i < config_.handler_threads; ++i)
+    workers_.emplace_back([this] { handler_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+
+  logger().info("obs.serve_started",
+                {Field("port", static_cast<std::uint64_t>(bound_port_)),
+                 Field("handlers",
+                       static_cast<std::uint64_t>(config_.handler_threads))});
+}
+
+void TelemetryServer::stop() {
+  if (listen_fd_ < 0) return;
+  // Unblocks accept(); the loop sees the failure and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  pending_cv_.notify_all();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  listen_fd_ = -1;
+  logger().info("obs.serve_stopped",
+                {Field("port", static_cast<std::uint64_t>(bound_port_)),
+                 Field("requests", requests_counter().value())});
+}
+
+void TelemetryServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed by stop()
+    timeval timeout{};
+    timeout.tv_sec = config_.receive_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    bool rejected = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.size() >= config_.max_pending)
+        rejected = true;
+      else
+        pending_.push_back(fd);
+    }
+    if (rejected) {
+      rejected_counter().add();
+      send_response(fd, 503, "Service Unavailable", "text/plain",
+                    "overloaded\n");
+      ::close(fd);
+    } else {
+      pending_cv_.notify_one();
+    }
+  }
+}
+
+void TelemetryServer::handler_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::handle_connection(int fd) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::string path = read_request_path(fd);
+  if (path.empty()) {
+    bad_requests_counter().add();
+    send_response(fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  requests_counter().add();
+
+  if (path == "/metrics") {
+    send_response(fd, 200, "OK",
+                  "text/plain; version=0.0.4; charset=utf-8",
+                  render_prometheus(metrics()));
+  } else if (path == "/snapshot") {
+    SnapshotHandler handler;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      handler = snapshot_handler_;
+    }
+    if (handler)
+      send_response(fd, 200, "OK", "application/json", handler());
+    else
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no snapshot source\n");
+  } else if (path == "/healthz") {
+    HealthHandler handler;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      handler = health_handler_;
+    }
+    const bool healthy = handler ? handler() : true;
+    if (healthy)
+      send_response(fd, 200, "OK", "text/plain", "ok\n");
+    else
+      send_response(fd, 503, "Service Unavailable", "text/plain",
+                    "unhealthy\n");
+  } else if (path == "/flightrecorder") {
+    send_response(fd, 200, "OK", "application/x-ndjson",
+                  flight_recorder().dump());
+  } else {
+    send_response(fd, 404, "Not Found", "text/plain", "not found\n");
+  }
+  request_us_histogram().observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+}
+
+HttpResponse http_get(std::uint16_t port, const std::string& path,
+                      int timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw failmine::ObsError("http_get: socket() failed");
+  timeval timeout{};
+  timeout.tv_sec = timeout_seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw failmine::ObsError("http_get: cannot connect to 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  send_all(fd, request);
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (raw.rfind("HTTP/1.", 0) != 0 || header_end == std::string::npos)
+    throw failmine::ObsError("http_get: malformed response from port " +
+                             std::to_string(port));
+  HttpResponse response;
+  response.status = std::atoi(raw.c_str() + 9);
+  response.headers = raw.substr(0, header_end);
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace failmine::obs

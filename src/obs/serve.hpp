@@ -1,0 +1,118 @@
+// failmine/obs/serve.hpp
+//
+// Embedded live-telemetry endpoint: a small blocking HTTP/1.1 server
+// (POSIX sockets, no third-party deps) exposing the process's own
+// observability state while an analysis pipeline runs:
+//
+//   GET /metrics          Prometheus text exposition of obs::metrics()
+//   GET /snapshot         caller-provided JSON (the live StreamSnapshot)
+//   GET /healthz          200 "ok" / 503 "unhealthy" from the caller's
+//                         health callback (the stream stall watchdog)
+//   GET /flightrecorder   JSONL dump of obs::flight_recorder()
+//
+// One accept thread feeds a bounded connection queue drained by a small
+// handler pool; a full queue answers 503 at accept rather than letting
+// scrapes pile up behind a slow handler. stop() (or destruction) closes
+// the listen socket, drains the queue and joins every thread, so a
+// pipeline can serve until its last snapshot and shut down cleanly.
+//
+// The server reports on itself through the registry it serves:
+// `obs.serve.requests` / `obs.serve.bad_requests` /
+// `obs.serve.rejected_connections` counters and the
+// `obs.serve.request_us` latency histogram.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace failmine::obs {
+
+struct ServeConfig {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with port() after start()).
+  std::uint16_t port = 0;
+
+  /// Handler pool size (concurrent in-flight responses).
+  std::size_t handler_threads = 2;
+
+  /// Accepted connections waiting for a handler beyond this are closed
+  /// immediately with 503.
+  std::size_t max_pending = 64;
+
+  /// Per-connection receive timeout, seconds.
+  int receive_timeout_seconds = 5;
+};
+
+class TelemetryServer {
+ public:
+  using SnapshotHandler = std::function<std::string()>;
+  using HealthHandler = std::function<bool()>;
+
+  explicit TelemetryServer(ServeConfig config = {});
+
+  /// Stops and joins (idempotent with stop()).
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Body of GET /snapshot. Unset -> 404. Called on a handler thread,
+  /// so it may take pipeline locks but must not block indefinitely.
+  void set_snapshot_handler(SnapshotHandler handler);
+
+  /// GET /healthz verdict. Unset -> always healthy.
+  void set_health_handler(HealthHandler handler);
+
+  /// Binds, listens and spawns the accept + handler threads. Throws
+  /// ObsError if the socket cannot be bound.
+  void start();
+
+  /// Closes the listen socket, drains pending connections, joins all
+  /// threads. Idempotent; called by the destructor.
+  void stop();
+
+  /// The bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return bound_port_; }
+
+  bool running() const { return listen_fd_ >= 0; }
+
+ private:
+  void accept_loop();
+  void handler_loop();
+  void handle_connection(int fd);
+
+  ServeConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+
+  std::mutex mutex_;  // guards handlers_, pending_, stopping_
+  SnapshotHandler snapshot_handler_;
+  HealthHandler health_handler_;
+  std::deque<int> pending_;
+  bool stopping_ = false;
+  std::condition_variable pending_cv_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+/// Minimal blocking HTTP/1.1 GET against 127.0.0.1:`port` — the
+/// raw-socket client the serve tests and the S02 overhead bench use (a
+/// curl equivalent without the dependency). Throws ObsError on connect
+/// or protocol failure.
+struct HttpResponse {
+  int status = 0;
+  std::string headers;  ///< raw header block
+  std::string body;
+};
+HttpResponse http_get(std::uint16_t port, const std::string& path,
+                      int timeout_seconds = 10);
+
+}  // namespace failmine::obs

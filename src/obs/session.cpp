@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -14,6 +15,8 @@ namespace failmine::obs {
 ObsSession::ObsSession() {
   if (const char* env = std::getenv("FAILMINE_METRICS_OUT")) metrics_out_ = env;
   if (const char* env = std::getenv("FAILMINE_TRACE_OUT")) trace_out_ = env;
+  if (const char* env = std::getenv("FAILMINE_FLIGHT_RECORDER"))
+    set_flight_recorder(env);
 }
 
 ObsSession::ObsSession(int* argc, char** argv) : ObsSession() {
@@ -27,6 +30,8 @@ ObsSession::ObsSession(int* argc, char** argv) : ObsSession() {
       set_metrics_out(argv[++i]);
     } else if (std::strcmp(arg, "--trace-out") == 0 && has_value) {
       set_trace_out(argv[++i]);
+    } else if (std::strcmp(arg, "--flight-recorder") == 0 && has_value) {
+      set_flight_recorder(argv[++i]);
     } else {
       argv[out++] = argv[i];
     }
@@ -52,6 +57,11 @@ void ObsSession::set_metrics_out(std::string path) {
 }
 
 void ObsSession::set_trace_out(std::string path) { trace_out_ = std::move(path); }
+
+void ObsSession::set_flight_recorder(const std::string& path) {
+  flight_recorder_out_ = path;
+  install_crash_dump(path);
+}
 
 void ObsSession::flush() {
   if (flushed_) return;

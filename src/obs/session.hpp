@@ -3,11 +3,15 @@
 // Per-binary observability bootstrap.
 //
 // An ObsSession owns the "where do exports go" decision for one process:
-// it understands the common `--log-level LEVEL`, `--metrics-out PATH` and
-// `--trace-out PATH` flags (and the FAILMINE_METRICS_OUT /
-// FAILMINE_TRACE_OUT environment fallbacks), and writes the configured
-// exports exactly once — either on an explicit flush() (which throws
-// ObsError on failure) or best-effort at destruction.
+// it understands the common `--log-level LEVEL`, `--metrics-out PATH`,
+// `--trace-out PATH` and `--flight-recorder PATH` flags (and the
+// FAILMINE_METRICS_OUT / FAILMINE_TRACE_OUT / FAILMINE_FLIGHT_RECORDER
+// environment fallbacks), and writes the configured exports exactly once
+// — either on an explicit flush() (which throws ObsError on failure) or
+// best-effort at destruction. `--flight-recorder PATH` arms the crash
+// handler: it attaches the flight recorder to the logger and tracer and
+// installs fatal-signal handlers that dump the recorder to PATH as JSONL
+// (see obs/flight_recorder.hpp).
 
 #pragma once
 
@@ -36,9 +40,14 @@ class ObsSession {
   void set_log_level(std::string_view name);  ///< throws ParseError
   void set_metrics_out(std::string path);
   void set_trace_out(std::string path);
+  /// Arms the crash-dump flight recorder immediately (not at flush).
+  void set_flight_recorder(const std::string& path);
 
   const std::string& metrics_out() const { return metrics_out_; }
   const std::string& trace_out() const { return trace_out_; }
+  const std::string& flight_recorder_out() const {
+    return flight_recorder_out_;
+  }
 
   /// Writes the configured exports now. Throws ObsError on I/O failure.
   void flush();
@@ -46,6 +55,7 @@ class ObsSession {
  private:
   std::string metrics_out_;
   std::string trace_out_;
+  std::string flight_recorder_out_;
   bool flushed_ = false;
 };
 

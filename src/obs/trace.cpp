@@ -38,6 +38,7 @@ void TraceCollector::set_capacity(std::size_t capacity) {
 }
 
 void TraceCollector::record(SpanRecord record) {
+  if (const SpanHook hook = span_hook()) hook(record);
   const std::lock_guard<std::mutex> lock(mutex_);
   if (records_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);

@@ -50,7 +50,21 @@ class Span;
 /// Thread-safe store of finished spans.
 class TraceCollector {
  public:
+  /// Called (outside the collector lock, on the finishing thread) for
+  /// every completed span while tracing is enabled — even spans past the
+  /// retention capacity, so a flight recorder keeps seeing activity
+  /// after the collector is full. A plain function pointer, stored
+  /// atomically, so installation needs no lock.
+  using SpanHook = void (*)(const SpanRecord&);
+
   TraceCollector();
+
+  void set_span_hook(SpanHook hook) {
+    span_hook_.store(hook, std::memory_order_release);
+  }
+  SpanHook span_hook() const {
+    return span_hook_.load(std::memory_order_acquire);
+  }
 
   void set_enabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
@@ -86,6 +100,7 @@ class TraceCollector {
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
+  std::atomic<SpanHook> span_hook_{nullptr};
   mutable std::mutex mutex_;
   std::vector<SpanRecord> records_;
   std::size_t capacity_ = 1 << 20;

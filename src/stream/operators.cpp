@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
 
 namespace failmine::stream {
 
 namespace {
+
+obs::Counter& interruptions_opened_counter() {
+  static obs::Counter& counter =
+      obs::metrics().counter("stream.interruptions_opened");
+  return counter;
+}
 
 std::size_t class_index(joblog::ExitClass cls) {
   for (std::size_t i = 0; i < std::size(joblog::kAllExitClasses); ++i)
@@ -107,6 +114,7 @@ void StreamingInterruptions::add(const raslog::RasEvent& event) {
   c.last_time = event.timestamp;
   open_.push_back(std::move(c));
   first_times_.push_back(event.timestamp);
+  interruptions_opened_counter().add(1);
 }
 
 core::MttiResult StreamingInterruptions::mtti(util::UnixSeconds begin,

@@ -31,6 +31,36 @@ obs::Gauge& watermark_lag_gauge() {
   static obs::Gauge& g = obs::metrics().gauge("stream.watermark_lag_s");
   return g;
 }
+obs::Gauge& reorder_buffered_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("stream.reorder.buffered");
+  return g;
+}
+obs::Gauge& stalled_shards_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("stream.stalled_shards");
+  return g;
+}
+obs::Counter& shard_stalls_counter() {
+  static obs::Counter& c = obs::metrics().counter("stream.shard_stalls");
+  return c;
+}
+obs::Histogram& router_batch_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "stream.router.batch_us",
+      {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000});
+  return h;
+}
+
+/// Microsecond bounds for the per-shard batch-apply latency histograms.
+std::vector<double> stage_latency_bounds() {
+  return {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000};
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
 
 }  // namespace
 
@@ -39,10 +69,16 @@ StreamPipeline::RouterState::RouterState(const StreamConfig& config)
       job_window(config.window_bucket_seconds, config.window_buckets),
       severity_window(config.window_bucket_seconds, config.window_buckets) {}
 
-StreamPipeline::Shard::Shard(const StreamConfig& config)
+StreamPipeline::Shard::Shard(const StreamConfig& config, std::size_t index)
     : queue(config.queue_capacity, BackpressurePolicy::kBlock),
       aggregates(config.machine, config.quantile_epsilon,
-                 config.heavy_hitter_capacity) {}
+                 config.heavy_hitter_capacity) {
+  const std::string prefix = "stream.shard" + std::to_string(index);
+  apply_us =
+      &obs::metrics().histogram(prefix + ".apply_us", stage_latency_bounds());
+  processed_counter = &obs::metrics().counter(prefix + ".processed");
+  queue.set_occupancy_gauge(&obs::metrics().gauge(prefix + ".occupancy"));
+}
 
 StreamPipeline::StreamPipeline(StreamConfig config)
     : config_(std::move(config)),
@@ -54,13 +90,20 @@ StreamPipeline::StreamPipeline(StreamConfig config)
     throw failmine::DomainError("StreamConfig.dispatch_batch must be positive");
   if (config_.window_bucket_seconds <= 0 || config_.window_buckets == 0)
     throw failmine::DomainError("StreamConfig rolling window must be non-empty");
+  if (config_.watchdog_grace_ms > 0 && config_.watchdog_poll_ms <= 0)
+    throw failmine::DomainError(
+        "StreamConfig.watchdog_poll_ms must be positive");
+
+  ingest_.set_occupancy_gauge(&obs::metrics().gauge("stream.ingest.occupancy"));
 
   shards_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i)
-    shards_.push_back(std::make_unique<Shard>(config_));
+    shards_.push_back(std::make_unique<Shard>(config_, i));
   for (auto& shard : shards_)
     shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
   router_thread_ = std::thread([this] { router_loop(); });
+  if (config_.watchdog_grace_ms > 0)
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
 
   obs::logger().info(
       "stream.pipeline_started",
@@ -152,6 +195,7 @@ void StreamPipeline::router_loop() {
     batch.clear();
     const std::size_t n = ingest_.pop_batch(batch, config_.dispatch_batch);
     if (n == 0) break;  // closed and drained
+    const auto batch_start = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(router_mutex_);
       for (StreamRecord& record : batch)
@@ -166,12 +210,14 @@ void StreamPipeline::router_loop() {
       router_.late_records = reorderer.late_records();
     }
     dispatch(pending, /*force=*/false);
+    router_batch_histogram().observe(elapsed_us(batch_start));
 
     std::size_t depth = ingest_.size();
     for (const auto& shard : shards_) depth += shard->queue.size();
     queue_depth_gauge().set(static_cast<double>(depth));
     watermark_lag_gauge().set(
         static_cast<double>(reorderer.lag_seconds()));
+    reorder_buffered_gauge().set(static_cast<double>(reorderer.buffered()));
   }
 
   {
@@ -185,18 +231,85 @@ void StreamPipeline::router_loop() {
   dispatch(pending, /*force=*/true);
   for (auto& shard : shards_) shard->queue.close();
   watermark_lag_gauge().set(0.0);
+  reorder_buffered_gauge().set(0.0);
 }
 
 void StreamPipeline::worker_loop(Shard& shard) {
   std::vector<StreamRecord> batch;
   batch.reserve(config_.dispatch_batch);
   for (;;) {
+    {
+      std::unique_lock<std::mutex> pause(shard.pause_mutex);
+      shard.pause_cv.wait(pause, [&] { return !shard.paused; });
+    }
     batch.clear();
     const std::size_t n = shard.queue.pop_batch(batch, config_.dispatch_batch);
     if (n == 0) break;
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const StreamRecord& record : batch) shard.aggregates.apply(record);
-    shard.processed += n;
+    const auto apply_start = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const StreamRecord& record : batch) shard.aggregates.apply(record);
+    }
+    shard.processed.fetch_add(n, std::memory_order_relaxed);
+    shard.apply_us->observe(elapsed_us(apply_start));
+    shard.processed_counter->add(n);
+  }
+}
+
+void StreamPipeline::pause_shard_for_test(std::size_t shard, bool paused) {
+  Shard& s = *shards_.at(shard);
+  {
+    std::lock_guard<std::mutex> lock(s.pause_mutex);
+    s.paused = paused;
+  }
+  s.pause_cv.notify_all();
+}
+
+void StreamPipeline::watchdog_loop() {
+  const auto grace = std::chrono::milliseconds(config_.watchdog_grace_ms);
+  const auto poll = std::chrono::milliseconds(config_.watchdog_poll_ms);
+  std::vector<std::uint64_t> last_processed(shards_.size(), 0);
+  std::vector<std::chrono::steady_clock::time_point> stagnant_since(
+      shards_.size(), std::chrono::steady_clock::now());
+  std::vector<bool> stalled(shards_.size(), false);
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mutex_);
+      if (watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; }))
+        break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      const std::uint64_t processed =
+          shard.processed.load(std::memory_order_relaxed);
+      const std::size_t backlog = shard.queue.size();
+      if (processed != last_processed[i] || backlog == 0) {
+        // Progress (or nothing owed): the shard is live.
+        last_processed[i] = processed;
+        stagnant_since[i] = now;
+        if (stalled[i]) {
+          stalled[i] = false;
+          stalled_shards_.fetch_sub(1, std::memory_order_relaxed);
+          stalled_shards_gauge().set(
+              static_cast<double>(stalled_shards_.load()));
+          obs::logger().info(
+              "stream.shard_recovered",
+              {obs::Field("shard", static_cast<std::uint64_t>(i))});
+        }
+      } else if (!stalled[i] && now - stagnant_since[i] >= grace) {
+        stalled[i] = true;
+        stalled_shards_.fetch_add(1, std::memory_order_relaxed);
+        stalled_shards_gauge().set(static_cast<double>(stalled_shards_.load()));
+        shard_stalls_counter().add();
+        obs::logger().warn(
+            "stream.shard_stalled",
+            {obs::Field("shard", static_cast<std::uint64_t>(i)),
+             obs::Field("queued", static_cast<std::uint64_t>(backlog)),
+             obs::Field("grace_ms", config_.watchdog_grace_ms)});
+      }
+    }
   }
 }
 
@@ -208,6 +321,13 @@ void StreamPipeline::finish() {
   if (router_thread_.joinable()) router_thread_.join();
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  stalled_shards_.store(0, std::memory_order_relaxed);
   finished_ = true;
   queue_depth_gauge().set(0.0);
   obs::logger().info(

@@ -25,16 +25,28 @@
 //
 // Observability: the pipeline feeds the failmine::obs metrics registry —
 // counters `stream.records_in`, `stream.records_dropped`,
-// `stream.records_late`; gauges `stream.queue_depth` and
-// `stream.watermark_lag_s`.
+// `stream.records_late`, `stream.shard_stalls`, per-shard
+// `stream.shard<i>.processed`; gauges `stream.queue_depth`,
+// `stream.watermark_lag_s`, `stream.reorder.buffered`,
+// `stream.stalled_shards`, `stream.ingest.occupancy`, per-shard
+// `stream.shard<i>.occupancy`; histograms `stream.router.batch_us` and
+// per-shard `stream.shard<i>.apply_us`. A stall watchdog thread watches
+// every shard: when a shard's processed counter stops advancing while
+// its queue is non-empty for the grace period, the pipeline reports
+// unhealthy (healthy() == false — the telemetry server's /healthz turns
+// 503) and logs `stream.shard_stalled` until the shard recovers.
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 #include "core/event_filter.hpp"
 #include "stream/operators.hpp"
@@ -81,6 +93,14 @@ struct StreamConfig {
 
   /// Records moved per queue handoff (amortizes locking).
   std::size_t dispatch_batch = 256;
+
+  /// Stall watchdog: a shard whose processed counter stops advancing
+  /// while its queue is non-empty for at least this long is reported
+  /// stalled. 0 disables the watchdog thread entirely.
+  std::int64_t watchdog_grace_ms = 2000;
+
+  /// How often the watchdog samples shard progress.
+  std::int64_t watchdog_poll_ms = 100;
 };
 
 class StreamPipeline {
@@ -106,6 +126,19 @@ class StreamPipeline {
   /// Consistent point-in-time view (see header comment).
   StreamSnapshot snapshot() const;
 
+  /// Stall-watchdog verdict: false while at least one shard has sat on a
+  /// non-empty queue without progress for the grace period. Wire this
+  /// into obs::TelemetryServer::set_health_handler for a live /healthz.
+  bool healthy() const {
+    return stalled_shards_.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Test hook: blocks shard `shard`'s worker before its next batch
+  /// (true) or releases it (false). Exists to let tests stall a shard
+  /// deterministically and watch the watchdog flip healthy() — never
+  /// call it in production code.
+  void pause_shard_for_test(std::size_t shard, bool paused);
+
   const StreamConfig& config() const { return config_; }
 
  private:
@@ -125,17 +158,28 @@ class StreamPipeline {
   };
 
   struct Shard {
-    Shard(const StreamConfig& config);
+    Shard(const StreamConfig& config, std::size_t index);
 
     RingBuffer<StreamRecord> queue;
     mutable std::mutex mutex;
     ShardAggregates aggregates;
-    std::uint64_t processed = 0;
+    /// Atomic so the watchdog reads progress without the shard mutex.
+    std::atomic<std::uint64_t> processed{0};
     std::thread worker;
+
+    // Per-shard instruments (registry-owned; cached at construction).
+    obs::Histogram* apply_us = nullptr;
+    obs::Counter* processed_counter = nullptr;
+
+    // Test-only pause gate (see pause_shard_for_test).
+    std::mutex pause_mutex;
+    std::condition_variable pause_cv;
+    bool paused = false;
   };
 
   void router_loop();
   void worker_loop(Shard& shard);
+  void watchdog_loop();
   void route_ordered(StreamRecord&& record,
                      std::vector<std::vector<StreamRecord>>& pending);
   void dispatch(std::vector<std::vector<StreamRecord>>& pending, bool force);
@@ -150,6 +194,12 @@ class StreamPipeline {
   std::thread router_thread_;
   mutable std::mutex lifecycle_mutex_;
   bool finished_ = false;
+
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::atomic<std::size_t> stalled_shards_{0};
 };
 
 }  // namespace failmine::stream

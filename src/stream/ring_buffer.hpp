@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace failmine::stream {
@@ -49,6 +50,15 @@ class RingBuffer {
   RingBuffer(const RingBuffer&) = delete;
   RingBuffer& operator=(const RingBuffer&) = delete;
 
+  /// Publishes the buffer's occupancy to `gauge` at the end of every
+  /// push/pop (relaxed store; nullptr disables). The gauge is not owned
+  /// and must outlive the buffer — registry instruments do.
+  void set_occupancy_gauge(obs::Gauge* gauge) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    occupancy_gauge_ = gauge;
+    if (gauge != nullptr) gauge->set(static_cast<double>(size_));
+  }
+
   /// Enqueues one value. Returns false — counting the value as dropped —
   /// if the buffer was full under kDropNewest or is closed.
   bool push(T value) {
@@ -58,6 +68,7 @@ class RingBuffer {
       return false;
     }
     place(std::move(value));
+    publish_occupancy();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -81,6 +92,7 @@ class RingBuffer {
       place(std::move(values[i]));
       ++accepted;
     }
+    publish_occupancy();
     lock.unlock();
     if (accepted > 0) not_empty_.notify_one();
     values.clear();
@@ -99,6 +111,7 @@ class RingBuffer {
       head_ = (head_ + 1) % items_.size();
     }
     size_ -= n;
+    publish_occupancy();
     lock.unlock();
     if (n > 0) not_full_.notify_all();
     return n;
@@ -157,6 +170,11 @@ class RingBuffer {
     ++pushed_;
   }
 
+  void publish_occupancy() {  // lock held
+    if (occupancy_gauge_ != nullptr)
+      occupancy_gauge_->set(static_cast<double>(size_));
+  }
+
   const BackpressurePolicy policy_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
@@ -167,6 +185,7 @@ class RingBuffer {
   bool closed_ = false;
   std::uint64_t pushed_ = 0;
   std::uint64_t dropped_ = 0;
+  obs::Gauge* occupancy_gauge_ = nullptr;
 };
 
 }  // namespace failmine::stream

@@ -50,6 +50,7 @@ class WatermarkReorderer {
     }
     if (record.time < watermark()) ++late_records_;
     if (lateness_ == 0 && heap_.empty()) {
+      ++released_records_;
       emit(std::move(record));  // in-order fast path: nothing can overtake
       return;
     }
@@ -61,6 +62,7 @@ class WatermarkReorderer {
   template <typename Emit>
   void flush(Emit&& emit) {
     while (!heap_.empty()) {
+      ++released_records_;
       emit(StreamRecord(heap_.top()));
       heap_.pop();
     }
@@ -81,6 +83,9 @@ class WatermarkReorderer {
   }
 
   std::uint64_t late_records() const { return late_records_; }
+  /// Records handed downstream so far; arrivals minus released is what
+  /// the reorder heap currently holds back (`stream.reorder.buffered`).
+  std::uint64_t released_records() const { return released_records_; }
   std::size_t buffered() const { return heap_.size(); }
   std::int64_t max_lateness_seconds() const { return lateness_; }
 
@@ -95,6 +100,7 @@ class WatermarkReorderer {
   template <typename Emit>
   void drain(util::UnixSeconds frontier, Emit&& emit) {
     while (!heap_.empty() && heap_.top().time < frontier) {
+      ++released_records_;
       emit(StreamRecord(heap_.top()));
       heap_.pop();
     }
@@ -106,6 +112,7 @@ class WatermarkReorderer {
   util::UnixSeconds max_seen_ = 0;
   bool seen_any_ = false;
   std::uint64_t late_records_ = 0;
+  std::uint64_t released_records_ = 0;
 };
 
 }  // namespace failmine::stream

@@ -1,0 +1,195 @@
+// Tests for the crash-safe flight recorder: ring semantics (wrap,
+// truncation, concurrent writers), the logger-sink and tracer-hook
+// wiring, and the fatal-signal crash dump (exercised in a gtest death
+// test so the abort happens in a child process).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("failmine_fr_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+TEST(FlightRecorder, RecordsAndDumpsInOrder) {
+  FlightRecorder rec(8);
+  rec.record_line("{\"a\":1}");
+  rec.record_line("{\"a\":2}");
+  rec.record_line("{\"a\":3}");
+  EXPECT_EQ(rec.recorded(), 3u);
+  const auto lines = lines_of(rec.dump());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"a\":2}");
+  EXPECT_EQ(lines[2], "{\"a\":3}");
+}
+
+TEST(FlightRecorder, WrapsKeepingTheNewestLines) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i)
+    rec.record_line("{\"i\":" + std::to_string(i) + "}");
+  EXPECT_EQ(rec.recorded(), 10u);
+  const auto lines = lines_of(rec.dump());
+  ASSERT_EQ(lines.size(), 4u);
+  // Oldest-first among the survivors: 6, 7, 8, 9.
+  EXPECT_EQ(lines[0], "{\"i\":6}");
+  EXPECT_EQ(lines[3], "{\"i\":9}");
+}
+
+TEST(FlightRecorder, TruncatesOverlongLines) {
+  FlightRecorder rec(2);
+  const std::string big(FlightRecorder::kSlotBytes * 2, 'x');
+  rec.record_line(big);
+  const auto lines = lines_of(rec.dump());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].size(), FlightRecorder::kSlotBytes);
+  EXPECT_EQ(lines[0], std::string(FlightRecorder::kSlotBytes, 'x'));
+}
+
+TEST(FlightRecorder, ClearEmptiesTheRing) {
+  FlightRecorder rec(4);
+  rec.record_line("{}");
+  rec.clear();
+  EXPECT_EQ(rec.dump(), "");
+}
+
+TEST(FlightRecorder, DumpToFdMatchesDump) {
+  FlightRecorder rec(4);
+  rec.record_line("{\"x\":1}");
+  rec.record_line("{\"x\":2}");
+  const std::string path = temp_path("fd_dump.jsonl");
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  rec.dump_to_fd(fd);
+  ::close(fd);
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), rec.dump());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverProduceTornLines) {
+  FlightRecorder rec(16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&rec, t] {
+      const std::string line(64, static_cast<char>('a' + t));
+      for (int i = 0; i < kPerThread; ++i) rec.record_line(line);
+    });
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const std::string& line : lines_of(rec.dump())) {
+        ASSERT_EQ(line.size(), 64u);
+        // A torn line would mix characters from two writers.
+        EXPECT_EQ(line, std::string(64, line[0]));
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(rec.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(FlightRecorderWiring, LogRecordsAndSpansLandInTheGlobalRing) {
+  attach_flight_recorder();
+  flight_recorder().clear();
+  logger().warn("fr.test_event", {{"k", "v"}});
+  { Span span("fr.test_span"); }
+  const std::string dump = flight_recorder().dump();
+  EXPECT_NE(dump.find("\"kind\":\"log\""), std::string::npos);
+  EXPECT_NE(dump.find("fr.test_event"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(dump.find("fr.test_span"), std::string::npos);
+}
+
+TEST(FlightRecorderWiring, AttachIsIdempotent) {
+  attach_flight_recorder();
+  attach_flight_recorder();
+  flight_recorder().clear();
+  logger().warn("fr.once", {});
+  const auto lines = lines_of(flight_recorder().dump());
+  std::size_t hits = 0;
+  for (const auto& line : lines)
+    if (line.find("fr.once") != std::string::npos) ++hits;
+  EXPECT_EQ(hits, 1u);  // one sink, not one per attach call
+}
+
+TEST(CrashDump, RejectsOverlongPath) {
+  EXPECT_THROW(install_crash_dump(std::string(4096, 'p')), DomainError);
+}
+
+using CrashDumpDeathTest = ::testing::Test;
+
+TEST(CrashDumpDeathTest, AbortDumpsTheRingAsJsonl) {
+  // Default ("fast") death-test style: the child is forked right here,
+  // so it inherits `path` (the threadsafe style would re-run the test
+  // body and recompute it under the child's pid).
+  const std::string path = temp_path("crash.jsonl");
+  std::remove(path.c_str());
+  // The child installs the handler, records context, then aborts; the
+  // parent checks the dump the handler wrote on the way down.
+  EXPECT_DEATH(
+      {
+        install_crash_dump(path);
+        flight_recorder().record_line("{\"kind\":\"log\",\"msg\":\"pre\"}");
+        logger().error("fr.crashing", {{"detail", "on purpose"}});
+        std::abort();
+      },
+      "");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler did not write " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto lines = lines_of(ss.str());
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(ss.str().find("\"msg\":\"pre\""), std::string::npos);
+  EXPECT_NE(ss.str().find("fr.crashing"), std::string::npos);
+  // Every line is a JSON object; the last one names the fatal signal.
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_EQ(lines.back(),
+            "{\"kind\":\"crash\",\"signal\":" + std::to_string(SIGABRT) + "}");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace failmine::obs

@@ -1,0 +1,188 @@
+// Tests for the Prometheus text exposition renderer: number spelling
+// (the exposition format keeps NaN/Inf where JSON degrades them to
+// null), name sanitization, and the histogram triple — cumulative
+// buckets must be monotone and `_count` must equal the `+Inf` bucket.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace failmine::obs {
+namespace {
+
+// ---- prometheus_number vs json_number ---------------------------------
+
+TEST(PrometheusNumber, SpellsNonFiniteValues) {
+  EXPECT_EQ(prometheus_number(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+  EXPECT_EQ(prometheus_number(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(prometheus_number(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+}
+
+TEST(PrometheusNumber, FiniteValuesRoundTrip) {
+  EXPECT_EQ(prometheus_number(0.0), "0");
+  EXPECT_EQ(prometheus_number(42.0), "42");
+  // %.17g preserves the value exactly.
+  EXPECT_DOUBLE_EQ(std::stod(prometheus_number(0.1)), 0.1);
+  EXPECT_DOUBLE_EQ(std::stod(prometheus_number(-1.5e300)), -1.5e300);
+}
+
+TEST(PrometheusNumber, JsonNumberDegradesWherePrometheusDoesNot) {
+  // The two formats must stay deliberately different: JSON has no
+  // spelling for non-finite doubles, the exposition format does.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_NE(prometheus_number(std::numeric_limits<double>::quiet_NaN()),
+            json_number(std::numeric_limits<double>::quiet_NaN()));
+}
+
+// ---- prometheus_name ---------------------------------------------------
+
+TEST(PrometheusName, ReplacesCharactersOutsideTheAlphabet) {
+  EXPECT_EQ(prometheus_name("stream.records_in"), "stream_records_in");
+  EXPECT_EQ(prometheus_name("a.b-c d"), "a_b_c_d");
+  EXPECT_EQ(prometheus_name("already_fine:subsystem"),
+            "already_fine:subsystem");
+}
+
+TEST(PrometheusName, PrefixesLeadingDigit) {
+  EXPECT_EQ(prometheus_name("2fast"), "_2fast");
+}
+
+// ---- renderer ----------------------------------------------------------
+
+TEST(RenderPrometheus, CountersAndGaugesRenderWithHelpAndType) {
+  MetricsRegistry reg;
+  reg.counter("x.total").add(7);
+  reg.gauge("x.level").set(2.5);
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("# HELP x_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE x_total counter"), std::string::npos);
+  EXPECT_NE(text.find("\nx_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE x_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("\nx_level 2.5\n"), std::string::npos);
+}
+
+TEST(RenderPrometheus, GaugeNonFiniteValuesUseExpositionSpelling) {
+  MetricsRegistry reg;
+  reg.gauge("weird").set(std::numeric_limits<double>::infinity());
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("\nweird +Inf\n"), std::string::npos);
+  EXPECT_EQ(text.find("null"), std::string::npos);
+}
+
+/// Parses every `NAME_bucket{le="..."} N` sample of `NAME` in order.
+std::vector<std::pair<std::string, std::uint64_t>> parse_buckets(
+    const std::string& text, const std::string& name) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::istringstream in(text);
+  std::string line;
+  const std::string prefix = name + "_bucket{le=\"";
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t quote = line.find('"', prefix.size());
+    if (quote == std::string::npos) {
+      ADD_FAILURE() << "malformed bucket line: " << line;
+      continue;
+    }
+    const std::string le = line.substr(prefix.size(), quote - prefix.size());
+    const std::string value = line.substr(line.find('}') + 2);
+    out.emplace_back(le, std::stoull(value));
+  }
+  return out;
+}
+
+/// Finds `NAME VALUE` and returns VALUE as uint64.
+std::uint64_t parse_sample(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(name + " ", 0) == 0)
+      return std::stoull(line.substr(name.size() + 1));
+  ADD_FAILURE() << "sample " << name << " not found";
+  return 0;
+}
+
+TEST(RenderPrometheus, HistogramBucketsAreCumulativeAndMonotone) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat.us", {1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(4.0);
+  h.observe(100.0);  // overflow
+  const std::string text = render_prometheus(reg);
+
+  const auto buckets = parse_buckets(text, "lat_us");
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(buckets[0].first, "1");
+  EXPECT_EQ(buckets[1].first, "2");
+  EXPECT_EQ(buckets[2].first, "5");
+  EXPECT_EQ(buckets[3].first, "+Inf");
+  // Cumulative: 1, 2, 3, 4.
+  EXPECT_EQ(buckets[0].second, 1u);
+  EXPECT_EQ(buckets[1].second, 2u);
+  EXPECT_EQ(buckets[2].second, 3u);
+  EXPECT_EQ(buckets[3].second, 4u);
+  for (std::size_t i = 1; i < buckets.size(); ++i)
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second);
+
+  EXPECT_EQ(parse_sample(text, "lat_us_count"), 4u);
+  EXPECT_NE(text.find("lat_us_sum 106\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos);
+}
+
+TEST(RenderPrometheus, HistogramCountEqualsInfBucket) {
+  // The exposition contract scrapers rely on: `_count` == the `+Inf`
+  // bucket, and the bucket series is monotone. The renderer derives both
+  // from the same per-bucket snapshot, so the invariant holds even when
+  // the histogram is being observed concurrently.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("concurrent.us", {10.0, 100.0, 1000.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      h.observe(static_cast<double>(++i % 2000));
+  });
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = render_prometheus(reg);
+    const auto buckets = parse_buckets(text, "concurrent_us");
+    ASSERT_EQ(buckets.size(), 4u);
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+      EXPECT_GE(buckets[i].second, buckets[i - 1].second) << "round " << round;
+    EXPECT_EQ(parse_sample(text, "concurrent_us_count"),
+              buckets.back().second)
+        << "round " << round;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(RenderPrometheus, SampleOverloadMatchesRegistryOverload) {
+  MetricsRegistry reg;
+  reg.counter("a").add(1);
+  reg.gauge("b").set(2.0);
+  reg.histogram("c", {1.0}).observe(0.5);
+  EXPECT_EQ(render_prometheus(reg.sample()), render_prometheus(reg));
+}
+
+TEST(RenderPrometheus, EmptyRegistryRendersEmptyDocument) {
+  MetricsRegistry reg;
+  EXPECT_EQ(render_prometheus(reg), "");
+}
+
+}  // namespace
+}  // namespace failmine::obs

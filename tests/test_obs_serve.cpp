@@ -1,0 +1,161 @@
+// Tests for the embedded telemetry server: ephemeral-port binding, the
+// four routes, content types, error paths (404 / 400), the health
+// callback flipping /healthz between 200 and 503, and clean
+// stop()/restart semantics. Uses only the obs subsystem so the same
+// source also runs under the sanitized test variant.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/serve.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+namespace {
+
+TEST(TelemetryServer, BindsAnEphemeralPortAndStops) {
+  TelemetryServer server;
+  EXPECT_FALSE(server.running());
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(TelemetryServer, StopWithoutStartIsHarmless) {
+  TelemetryServer server;
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(TelemetryServer, MetricsEndpointServesPrometheusText) {
+  metrics().counter("serve_test.hits").add(3);
+  TelemetryServer server;
+  server.start();
+  const HttpResponse r = http_get(server.port(), "/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE serve_test_hits counter"), std::string::npos);
+  EXPECT_NE(r.body.find("serve_test_hits 3"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServer, SnapshotEndpointUsesTheHandler) {
+  TelemetryServer server;
+  server.start();
+  // Unset handler -> 404.
+  EXPECT_EQ(http_get(server.port(), "/snapshot").status, 404);
+  server.set_snapshot_handler([] { return std::string("{\"live\":true}"); });
+  const HttpResponse r = http_get(server.port(), "/snapshot");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  EXPECT_EQ(r.body, "{\"live\":true}");
+  server.stop();
+}
+
+TEST(TelemetryServer, HealthzFollowsTheCallback) {
+  std::atomic<bool> healthy{true};
+  TelemetryServer server;
+  server.set_health_handler([&healthy] { return healthy.load(); });
+  server.start();
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+  EXPECT_EQ(http_get(server.port(), "/healthz").body, "ok\n");
+  healthy.store(false);
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 503);
+  EXPECT_EQ(http_get(server.port(), "/healthz").body, "unhealthy\n");
+  healthy.store(true);
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+  server.stop();
+}
+
+TEST(TelemetryServer, HealthzDefaultsHealthyWithoutCallback) {
+  TelemetryServer server;
+  server.start();
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+  server.stop();
+}
+
+TEST(TelemetryServer, FlightRecorderEndpointDumpsTheRing) {
+  flight_recorder().clear();
+  flight_recorder().record_line("{\"kind\":\"log\",\"event\":\"serve.seen\"}");
+  TelemetryServer server;
+  server.start();
+  const HttpResponse r = http_get(server.port(), "/flightrecorder");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(r.body.find("serve.seen"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServer, UnknownPathIs404) {
+  TelemetryServer server;
+  server.start();
+  EXPECT_EQ(http_get(server.port(), "/no/such/route").status, 404);
+  server.stop();
+}
+
+TEST(TelemetryServer, SelfMetricsCountRequests) {
+  TelemetryServer server;
+  server.start();
+  const std::uint64_t before = metrics().counter_value("obs.serve.requests");
+  (void)http_get(server.port(), "/healthz");
+  (void)http_get(server.port(), "/healthz");
+  const std::uint64_t after = metrics().counter_value("obs.serve.requests");
+  EXPECT_GE(after, before + 2);
+  server.stop();
+}
+
+TEST(TelemetryServer, ConcurrentScrapesAllSucceed) {
+  TelemetryServer server;
+  server.start();
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i)
+    clients.emplace_back([&server, &ok] {
+      for (int round = 0; round < 5; ++round)
+        if (http_get(server.port(), "/metrics").status == 200) ok.fetch_add(1);
+    });
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok.load(), kClients * 5);
+  server.stop();
+}
+
+TEST(TelemetryServer, RestartBindsANewPort) {
+  TelemetryServer server;
+  server.start();
+  const std::uint16_t first = server.port();
+  EXPECT_GT(first, 0);
+  server.stop();
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+  server.stop();
+}
+
+TEST(TelemetryServer, ExplicitPortConflictThrowsObsError) {
+  TelemetryServer first;
+  first.start();
+  ServeConfig conflicting;
+  conflicting.port = first.port();
+  TelemetryServer second(conflicting);
+  EXPECT_THROW(second.start(), ObsError);
+  first.stop();
+}
+
+TEST(HttpGet, ConnectFailureThrowsObsError) {
+  // Port 1 on loopback is essentially never listening.
+  EXPECT_THROW(http_get(1, "/metrics", 1), ObsError);
+}
+
+}  // namespace
+}  // namespace failmine::obs
