@@ -27,11 +27,14 @@ namespace failmine::bench {
 
 /// Per-binary observability bootstrap for the bench mains. Construct it
 /// first thing in main(), BEFORE benchmark::Initialize, so the shared
-/// obs flags (--log-level, --metrics-out, --trace-out) are stripped from
-/// argv before google-benchmark rejects them. On destruction it prints
-/// the per-phase wall-time breakdown of everything traced during the run
-/// (dataset build, each analysis span, benchmark iterations) and writes
-/// the JSON exports if requested.
+/// obs flags (--log-level, --metrics-out, --trace-out, --profile-out)
+/// are stripped from argv before google-benchmark rejects them. On
+/// destruction it prints the per-phase wall-time breakdown of everything
+/// traced during the run (dataset build, each analysis span, benchmark
+/// iterations) and writes the JSON exports if requested. Setting
+/// FAILMINE_PROFILE=out.folded[:HZ] in the environment (handled by the
+/// wrapped obs::ObsSession) CPU-profiles the whole bench run and writes
+/// flamegraph-ready folded stacks next to the table output.
 class ObsSession {
  public:
   ObsSession(int* argc, char** argv) : inner_(argc, argv) {}

@@ -1,0 +1,49 @@
+# Validates the folded-stack export written by the example_cli_profile
+# smoke test: the file must be non-empty, every line must be a
+# collapsed stack in Brendan Gregg folded format ("frame;frame;... N"),
+# and the whole-run capture must have caught the streaming pipeline at
+# work — at least one stack from a named pipeline thread ("fm.") running
+# under a stream.* span. Invoked as:
+#   cmake -DFOLDED=... -P check_profile_export.cmake
+
+if(NOT FOLDED OR NOT EXISTS "${FOLDED}")
+  message(FATAL_ERROR "profile export missing: ${FOLDED}")
+endif()
+file(STRINGS "${FOLDED}" lines)
+list(LENGTH lines line_count)
+if(line_count EQUAL 0)
+  message(FATAL_ERROR "profile export is empty: ${FOLDED}")
+endif()
+
+set(total 0)
+set(stream_span_lines 0)
+set(pipeline_thread_lines 0)
+foreach(line IN LISTS lines)
+  # Count after the LAST space: demangled frames may themselves contain
+  # spaces (template argument lists), which folded consumers tolerate.
+  if(NOT line MATCHES "^.+ ([0-9]+)$")
+    message(FATAL_ERROR "not a folded stack line: '${line}'")
+  endif()
+  math(EXPR total "${total} + ${CMAKE_MATCH_1}")
+  if(line MATCHES ";span:stream\\.")
+    math(EXPR stream_span_lines "${stream_span_lines} + 1")
+  endif()
+  if(line MATCHES "^fm\\.")
+    math(EXPR pipeline_thread_lines "${pipeline_thread_lines} + 1")
+  endif()
+endforeach()
+
+if(total EQUAL 0)
+  message(FATAL_ERROR "profile export has zero samples: ${FOLDED}")
+endif()
+if(stream_span_lines EQUAL 0)
+  message(FATAL_ERROR "no stack carries a stream.* span — the capture "
+                      "missed the pipeline: ${FOLDED}")
+endif()
+if(pipeline_thread_lines EQUAL 0)
+  message(FATAL_ERROR "no stack from a named pipeline thread (fm.*): "
+                      "${FOLDED}")
+endif()
+
+message(STATUS "profile export OK: ${total} samples over ${line_count} "
+               "stacks (${stream_span_lines} on stream.* spans)")

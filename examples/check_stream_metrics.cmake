@@ -27,4 +27,13 @@ failmine_require_metrics("${metrics_json}"
   ${FAILMINE_STREAM_REQUIRED_GAUGES}
   ${FAILMINE_STREAM_REQUIRED_HISTOGRAMS})
 
+# The replay runs with --serve, so the server's pre-registered
+# self-metrics (request counters, latency histogram, profiler counters
+# and the per-path label family) must all be in the export too.
+failmine_require_metrics("${metrics_json}"
+  ${FAILMINE_SERVE_REQUIRED_COUNTERS}
+  ${FAILMINE_SERVE_REQUIRED_HISTOGRAMS})
+failmine_require_metric_prefix("${metrics_json}"
+  "${FAILMINE_SERVE_LABELED_REQUESTS_PREFIX}")
+
 message(STATUS "stream metrics OK: records_in=${records_in}, no drops")

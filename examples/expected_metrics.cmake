@@ -25,6 +25,24 @@ set(FAILMINE_STREAM_DROPPED_COUNTER stream.records_dropped)
 # The parse counter the obs-exports check requires to be populated.
 set(FAILMINE_PARSE_LINES_COUNTER parse.lines_total)
 
+# Self-metrics the telemetry server pre-registers at start(), so any
+# replay run with --serve must have exported them (even all-zero): the
+# request totals, the request-latency histogram and the sampling
+# profiler's counters.
+set(FAILMINE_SERVE_REQUIRED_COUNTERS
+  obs.serve.requests
+  obs.serve.bad_requests
+  obs.serve.rejected_connections
+  obs.profile.samples
+  obs.profile.dropped
+  obs.profile.truncated_stacks)
+set(FAILMINE_SERVE_REQUIRED_HISTOGRAMS
+  obs.serve.latency_us)
+# Per-endpoint counters carry the path as an inline label
+# (`obs.serve.requests{path="/metrics"}`); the JSON export escapes the
+# inner quotes, so checks match on this prefix rather than a full name.
+set(FAILMINE_SERVE_LABELED_REQUESTS_PREFIX "obs\\.serve\\.requests{path=")
+
 # Reads the export at `path` into `var`, failing if it is missing.
 function(failmine_read_export var path)
   if(NOT path OR NOT EXISTS "${path}")
@@ -42,6 +60,15 @@ function(failmine_require_metrics content)
       message(FATAL_ERROR "metrics export lacks ${name}")
     endif()
   endforeach()
+endfunction()
+
+# Asserts that `content` mentions at least one instrument whose name
+# starts with `prefix` (an escaped regex fragment — used for the inline
+# label-block spelling, whose quotes are escaped in the JSON export).
+function(failmine_require_metric_prefix content prefix)
+  if(NOT content MATCHES "\"${prefix}")
+    message(FATAL_ERROR "metrics export lacks any ${prefix} instrument")
+  endif()
 endfunction()
 
 # Extracts the integer value of instrument `name` from `content` into

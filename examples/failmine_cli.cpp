@@ -20,10 +20,11 @@
 //       --serve exposes live telemetry over HTTP for the duration of the
 //       replay (port 0 picks an ephemeral port, announced on stderr):
 //       GET /metrics (Prometheus text), /snapshot (StreamSnapshot JSON),
-//       /healthz (200 ok / 503 when the stall watchdog trips) and
-//       /flightrecorder (recent log/span ring as JSONL). --serve-linger
-//       keeps the server up N seconds after the replay finishes so a
-//       scraper can collect the final state.
+//       /healthz (200 ok / 503 when the stall watchdog trips),
+//       /flightrecorder (recent log/span ring as JSONL) and /profile
+//       (timed CPU capture, ?seconds=N&hz=H&fmt=folded|json).
+//       --serve-linger keeps the server up N seconds after the replay
+//       finishes so a scraper can collect the final state.
 //
 // Global observability options (any subcommand):
 //   --log-level debug|info|warn|error|off   stderr log threshold
@@ -32,6 +33,10 @@
 //                        https://ui.perfetto.dev) on exit
 //   --flight-recorder PATH   dump the in-memory flight recorder ring as
 //                        JSONL to PATH if the process crashes
+//   --profile-out PATH[:HZ]  sample the whole run with the in-process
+//                        CPU profiler (default 99 Hz) and write folded
+//                        stacks to PATH (flamegraph.pl / speedscope);
+//                        the per-span CPU table prints to stderr
 //
 // Exit status: 0 on success (and, for `report`, only if all claims pass).
 
@@ -113,7 +118,7 @@ void print_usage() {
                "           [--serve PORT] [--serve-linger SEC]\n"
                "global: [--log-level LEVEL] [--metrics-out PATH] "
                "[--trace-out PATH]\n"
-               "        [--flight-recorder PATH]\n");
+               "        [--flight-recorder PATH] [--profile-out PATH[:HZ]]\n");
 }
 
 sim::SimResult load(const ArgMap& args) {

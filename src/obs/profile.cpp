@@ -1,0 +1,725 @@
+#include "obs/profile.hpp"
+
+#include <dlfcn.h>
+#include <pthread.h>
+#include <sched.h>
+#include <signal.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define FAILMINE_HAVE_EXECINFO 1
+#else
+#define FAILMINE_HAVE_EXECINFO 0
+#endif
+
+#include <cxxabi.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+// Older glibc headers spell the SIGEV_THREAD_ID target field only
+// through the union member.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+// The handler follows frame-pointer chains through stack memory the
+// sanitizers have not blessed (redzones of foreign frames on a corrupt
+// chain); every candidate dereference is bounds- and alignment-checked
+// against the thread's stack instead.
+#if defined(__GNUC__) || defined(__clang__)
+#define FAILMINE_NO_SANITIZE \
+  __attribute__((no_sanitize("address", "thread", "undefined")))
+#else
+#define FAILMINE_NO_SANITIZE
+#endif
+
+namespace failmine::obs {
+
+namespace {
+
+constexpr std::size_t kMaxFrames = 48;
+constexpr std::size_t kMaxSpanLabels = SpanLabelStack::kMaxDepth;
+constexpr std::size_t kLabelBytes = 48;
+constexpr std::size_t kThreadNameBytes = 16;  // pthread name limit
+
+/// One captured stack. Filled entirely inside the signal handler; read
+/// only after stop() has observed every handler leave (g_inflight == 0),
+/// so no per-slot synchronization is needed.
+struct Sample {
+  std::uint32_t thread_index = 0;
+  std::uint32_t frame_count = 0;
+  std::uint32_t span_count = 0;
+  void* frames[kMaxFrames];              ///< [0] = innermost PC
+  char spans[kMaxSpanLabels][kLabelBytes];  ///< [0] = outermost label
+};
+
+/// Per-attached-thread registry entry. `index` is stable for the entry's
+/// lifetime (samples reference entries by index); dead entries are
+/// recycled for new threads only between captures.
+struct ThreadEntry {
+  std::uint32_t index = 0;
+  pthread_t handle{};
+  pid_t tid = 0;
+  char name[kThreadNameBytes] = "";
+  std::uintptr_t stack_lo = 0;
+  std::uintptr_t stack_hi = 0;
+  timer_t timer{};
+  bool timer_armed = false;  ///< guarded by registry_mutex()
+  bool alive = true;         ///< guarded by registry_mutex()
+};
+
+// Leaked singletons (never destroyed): thread-exit TLS destructors and
+// the crash path may run during static teardown.
+std::mutex& registry_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+std::vector<std::unique_ptr<ThreadEntry>>& registry() {
+  static auto* v = new std::vector<std::unique_ptr<ThreadEntry>>();
+  return *v;
+}
+
+// ---- handler-visible capture state ---------------------------------
+// `g_capturing` gates the handler; `g_inflight` lets stop() wait out
+// handlers that are mid-sample before it reads or frees the ring.
+std::atomic<bool> g_capturing{false};
+std::atomic<int> g_inflight{0};
+std::atomic<std::uint64_t> g_next{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::uint64_t> g_truncated{0};
+std::atomic<bool> g_use_backtrace{false};
+std::atomic<int> g_hz{99};
+Sample* g_ring = nullptr;  ///< stable while g_capturing; owned below
+std::size_t g_capacity = 0;
+
+constinit thread_local ThreadEntry* tls_entry = nullptr;
+
+void disarm_locked(ThreadEntry& entry) {
+  if (!entry.timer_armed) return;
+  ::timer_delete(entry.timer);
+  entry.timer_armed = false;
+}
+
+bool arm_locked(ThreadEntry& entry, int hz) {
+  if (entry.timer_armed) return true;
+  clockid_t clock;
+  if (::pthread_getcpuclockid(entry.handle, &clock) != 0) return false;
+  sigevent event{};
+  event.sigev_notify = SIGEV_THREAD_ID;
+  event.sigev_signo = SIGPROF;
+  event.sigev_notify_thread_id = entry.tid;
+  if (::timer_create(clock, &event, &entry.timer) != 0) return false;
+  const long interval_ns = 1000000000L / hz;
+  itimerspec spec{};
+  spec.it_interval.tv_sec = interval_ns / 1000000000L;
+  spec.it_interval.tv_nsec = interval_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+  if (::timer_settime(entry.timer, 0, &spec, nullptr) != 0) {
+    ::timer_delete(entry.timer);
+    return false;
+  }
+  entry.timer_armed = true;
+  return true;
+}
+
+/// Disarms this thread's timer and retires its registry entry at thread
+/// exit (armed via the odr-use in profile_attach_this_thread).
+struct ThreadDetachGuard {
+  ~ThreadDetachGuard() {
+    if (tls_entry == nullptr) return;
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    disarm_locked(*tls_entry);
+    tls_entry->alive = false;
+    tls_entry = nullptr;
+  }
+};
+thread_local ThreadDetachGuard tls_detach_guard;
+
+/// async-signal-safe bounded string copy (no strncpy: it pads).
+void copy_label(char* out, const char* in) {
+  std::size_t i = 0;
+  for (; i + 1 < kLabelBytes && in[i] != '\0'; ++i) out[i] = in[i];
+  out[i] = '\0';
+}
+
+/// Frame-pointer walk from the interrupted context. Every dereference is
+/// checked against the thread's stack bounds and pointer alignment, and
+/// the chain must strictly ascend, so a corrupt frame ends the walk
+/// instead of faulting.
+FAILMINE_NO_SANITIZE
+void capture_frames_fp(Sample& sample, const ThreadEntry& entry,
+                       void* ucontext) {
+  std::uint32_t n = 0;
+  void* pc = nullptr;
+  std::uintptr_t fp = 0;
+#if defined(__x86_64__)
+  auto* uc = static_cast<ucontext_t*>(ucontext);
+  pc = reinterpret_cast<void*>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  auto* uc = static_cast<ucontext_t*>(ucontext);
+  pc = reinterpret_cast<void*>(uc->uc_mcontext.pc);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)ucontext;
+  fp = reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+#endif
+  if (pc != nullptr) sample.frames[n++] = pc;
+  const std::uintptr_t lo = entry.stack_lo;
+  const std::uintptr_t hi = entry.stack_hi;
+  while (n < kMaxFrames && fp >= lo && fp + 2 * sizeof(void*) <= hi &&
+         (fp & (sizeof(void*) - 1)) == 0) {
+    auto* frame = reinterpret_cast<void**>(fp);
+    void* ret = frame[1];
+    if (ret == nullptr) break;
+    sample.frames[n++] = ret;
+    const auto next = reinterpret_cast<std::uintptr_t>(frame[0]);
+    if (next <= fp) break;  // frames must walk up the stack
+    fp = next;
+  }
+  if (n == kMaxFrames) g_truncated.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) sample.frames[n++] = nullptr;  // symbolizes as "(unknown)"
+  sample.frame_count = n;
+}
+
+#if FAILMINE_HAVE_EXECINFO
+void capture_frames_backtrace(Sample& sample) {
+  void* raw[kMaxFrames];
+  int depth = ::backtrace(raw, static_cast<int>(kMaxFrames));
+  // Drop this function, the handler and the signal trampoline.
+  constexpr int kSkip = 3;
+  const int first = depth > kSkip ? kSkip : 0;
+  std::uint32_t n = 0;
+  for (int i = first; i < depth; ++i) sample.frames[n++] = raw[i];
+  if (depth == static_cast<int>(kMaxFrames))
+    g_truncated.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) sample.frames[n++] = nullptr;
+  sample.frame_count = n;
+}
+#endif
+
+void fill_sample(Sample& sample, const ThreadEntry& entry, void* ucontext) {
+  sample.thread_index = entry.index;
+  const SpanLabelStack& labels = this_thread_span_labels();
+  std::uint32_t depth = labels.depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (depth > kMaxSpanLabels) depth = kMaxSpanLabels;
+  sample.span_count = depth;
+  for (std::uint32_t i = 0; i < depth; ++i)
+    copy_label(sample.spans[i], labels.labels[i]);
+#if FAILMINE_HAVE_EXECINFO
+  if (g_use_backtrace.load(std::memory_order_relaxed)) {
+    capture_frames_backtrace(sample);
+    return;
+  }
+#endif
+  capture_frames_fp(sample, entry, ucontext);
+}
+
+void sigprof_handler(int, siginfo_t*, void* ucontext) {
+  const int saved_errno = errno;
+  if (g_capturing.load(std::memory_order_acquire)) {
+    g_inflight.fetch_add(1, std::memory_order_acq_rel);
+    // Re-check after raising inflight: stop() lowers the flag and then
+    // waits for inflight to drain, so a handler racing past the first
+    // check must not touch the ring once the flag is down.
+    if (g_capturing.load(std::memory_order_acquire)) {
+      ThreadEntry* entry = tls_entry;
+      if (entry != nullptr) {
+        const std::uint64_t slot =
+            g_next.fetch_add(1, std::memory_order_relaxed);
+        if (slot < g_capacity)
+          fill_sample(g_ring[slot], *entry, ucontext);
+        else
+          g_dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    g_inflight.fetch_sub(1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+
+/// Installs the SIGPROF handler once and leaves it installed for the
+/// process lifetime: restoring the default disposition could let a
+/// late-delivered timer signal (queued before timer_delete) kill the
+/// process. The idle handler costs one atomic load.
+void install_handler() {
+  static const bool installed = [] {
+    struct sigaction action{};
+    action.sa_sigaction = sigprof_handler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    return ::sigaction(SIGPROF, &action, nullptr) == 0;
+  }();
+  if (!installed)
+    throw failmine::ObsError("profiler: cannot install SIGPROF handler");
+}
+
+// ---- offline symbolization (stop() time only) ----------------------
+
+std::string hex_address(const void* pc) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%zx",
+                reinterpret_cast<std::size_t>(pc));
+  return buf;
+}
+
+/// Resolves one PC to a display name: demangled symbol via dladdr,
+/// module+offset when the symbol table has nothing, bare hex otherwise.
+/// `return_address` backs the PC up one byte first so a call's return
+/// address resolves to the calling function, not whatever follows it.
+std::string symbolize(const void* pc, bool return_address) {
+  if (pc == nullptr) return "(unknown)";
+  const void* lookup = return_address
+                           ? static_cast<const char*>(pc) - 1
+                           : pc;
+  Dl_info info{};
+  if (::dladdr(lookup, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Folded format reserves ';' (frame separator); argument lists only
+    // add noise to flamegraphs.
+    if (const std::size_t paren = name.find('('); paren != std::string::npos &&
+                                                  paren > 0)
+      name.resize(paren);
+    std::replace(name.begin(), name.end(), ';', ':');
+    return name;
+  }
+  if (info.dli_fname != nullptr) {
+    std::string module = info.dli_fname;
+    if (const std::size_t slash = module.rfind('/');
+        slash != std::string::npos)
+      module.erase(0, slash + 1);
+    const auto offset = static_cast<std::size_t>(
+        static_cast<const char*>(pc) - static_cast<char*>(info.dli_fbase));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "+0x%zx", offset);
+    return module + buf;
+  }
+  return hex_address(pc);
+}
+
+Counter& samples_counter() {
+  static Counter& c = metrics().counter("obs.profile.samples");
+  return c;
+}
+Counter& dropped_counter() {
+  static Counter& c = metrics().counter("obs.profile.dropped");
+  return c;
+}
+Counter& truncated_counter() {
+  static Counter& c = metrics().counter("obs.profile.truncated_stacks");
+  return c;
+}
+
+// ---- capture lifecycle state (guarded by lifecycle_mutex()) --------
+std::mutex& lifecycle_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+bool g_running = false;
+ProfileConfig g_config;
+std::unique_ptr<Sample[]> g_ring_owner;
+std::chrono::steady_clock::time_point g_started_at;
+
+ProfileConfig sanitize(ProfileConfig config) {
+  config.hz = std::clamp(config.hz, 1, 1000);
+  config.max_samples = std::max<std::size_t>(config.max_samples, 16);
+  return config;
+}
+
+}  // namespace
+
+void profile_attach_this_thread() {
+  if (tls_entry != nullptr) return;
+  (void)tls_detach_guard;  // odr-use: arm the thread-exit detach hook
+  pthread_t self = ::pthread_self();
+  char name[kThreadNameBytes] = "";
+  (void)::pthread_getname_np(self, name, sizeof(name));
+  std::uintptr_t stack_lo = 0, stack_hi = 0;
+  pthread_attr_t attr;
+  if (::pthread_getattr_np(self, &attr) == 0) {
+    void* lo = nullptr;
+    std::size_t size = 0;
+    if (::pthread_attr_getstack(&attr, &lo, &size) == 0) {
+      stack_lo = reinterpret_cast<std::uintptr_t>(lo);
+      stack_hi = stack_lo + size;
+    }
+    (void)::pthread_attr_destroy(&attr);
+  }
+
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  ThreadEntry* entry = nullptr;
+  if (!g_capturing.load(std::memory_order_relaxed)) {
+    // Recycle a dead slot so bench loops that churn pipelines (and
+    // therefore threads) do not grow the registry without bound. Never
+    // while capturing: in-ring samples reference entries by index.
+    for (auto& candidate : registry())
+      if (!candidate->alive) {
+        entry = candidate.get();
+        break;
+      }
+  }
+  if (entry == nullptr) {
+    registry().push_back(std::make_unique<ThreadEntry>());
+    entry = registry().back().get();
+    entry->index = static_cast<std::uint32_t>(registry().size() - 1);
+  }
+  entry->handle = self;
+  entry->tid = static_cast<pid_t>(::gettid());
+  std::memcpy(entry->name, name, sizeof(entry->name));
+  entry->stack_lo = stack_lo;
+  entry->stack_hi = stack_hi;
+  entry->alive = true;
+  entry->timer_armed = false;
+  if (g_capturing.load(std::memory_order_relaxed))
+    (void)arm_locked(*entry, g_hz.load(std::memory_order_relaxed));
+  tls_entry = entry;
+}
+
+Profiler& Profiler::instance() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+bool Profiler::running() const {
+  return g_capturing.load(std::memory_order_acquire);
+}
+
+bool Profiler::start(const ProfileConfig& config) {
+  profile_attach_this_thread();
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_mutex());
+  if (g_running) return false;
+  install_handler();
+  g_config = sanitize(config);
+#if FAILMINE_HAVE_EXECINFO
+  if (g_config.use_backtrace) {
+    // First backtrace() call may load libgcc (malloc, dlopen); force it
+    // here, outside the signal handler.
+    void* warmup[4];
+    (void)::backtrace(warmup, 4);
+  }
+#else
+  g_config.use_backtrace = false;
+#endif
+  // Pre-create the self-metrics so they are scrapeable mid-capture.
+  (void)samples_counter();
+  (void)dropped_counter();
+  (void)truncated_counter();
+
+  g_ring_owner = std::make_unique<Sample[]>(g_config.max_samples);
+  g_ring = g_ring_owner.get();
+  g_capacity = g_config.max_samples;
+  g_next.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_truncated.store(0, std::memory_order_relaxed);
+  g_use_backtrace.store(g_config.use_backtrace, std::memory_order_relaxed);
+  g_hz.store(g_config.hz, std::memory_order_relaxed);
+  g_started_at = std::chrono::steady_clock::now();
+
+  std::size_t armed = 0;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    // Raise the flag before arming so the first timer tick is captured;
+    // late attachers arm themselves against the same flag.
+    g_capturing.store(true, std::memory_order_release);
+    for (auto& entry : registry()) {
+      if (!entry->alive) continue;
+      // Thread names are often assigned after attach; re-read them now
+      // so folded stacks carry current identity.
+      (void)::pthread_getname_np(entry->handle, entry->name,
+                                 sizeof(entry->name));
+      if (arm_locked(*entry, g_config.hz)) ++armed;
+    }
+  }
+  g_running = true;
+  logger().info("obs.profile_started",
+                {Field("hz", g_config.hz),
+                 Field("threads", static_cast<std::uint64_t>(armed)),
+                 Field("ring", static_cast<std::uint64_t>(g_capacity)),
+                 Field("backtrace", g_config.use_backtrace)});
+  return true;
+}
+
+ProfileReport Profiler::stop() {
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_mutex());
+  ProfileReport report;
+  if (!g_running) return report;
+
+  // Order matters: quiesce the handler first, then kill the timers, then
+  // wait out any handler already past the gate before touching the ring.
+  g_capturing.store(false, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    for (auto& entry : registry()) disarm_locked(*entry);
+  }
+  while (g_inflight.load(std::memory_order_acquire) != 0) ::sched_yield();
+
+  const std::uint64_t attempts = g_next.load(std::memory_order_relaxed);
+  const auto stored = static_cast<std::size_t>(
+      std::min<std::uint64_t>(attempts, g_capacity));
+  report.hz = g_config.hz;
+  report.duration_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_started_at)
+          .count();
+  report.samples = stored;
+  report.dropped = g_dropped.load(std::memory_order_relaxed);
+  report.truncated_stacks = g_truncated.load(std::memory_order_relaxed);
+
+  std::vector<std::string> thread_names;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    thread_names.reserve(registry().size());
+    for (const auto& entry : registry())
+      thread_names.emplace_back(entry->name[0] != '\0' ? entry->name
+                                                       : "(thread)");
+  }
+
+  struct SpanAgg {
+    std::uint64_t self = 0;
+    std::uint64_t total = 0;
+  };
+  std::map<std::string, std::uint64_t> folded;
+  std::map<std::string, SpanAgg> spans;
+  std::unordered_map<const void*, std::string> symbols;
+  symbols.reserve(1024);
+  std::string line;
+  for (std::size_t i = 0; i < stored; ++i) {
+    const Sample& sample = g_ring[i];
+    line.clear();
+    line += sample.thread_index < thread_names.size()
+                ? thread_names[sample.thread_index]
+                : "(thread)";
+    // Span frames right under the thread root: the flamegraph groups by
+    // span before fanning out into code frames.
+    for (std::uint32_t s = 0; s < sample.span_count; ++s) {
+      line += ";span:";
+      line += sample.spans[s];
+    }
+    for (std::uint32_t f = sample.frame_count; f-- > 0;) {
+      const void* pc = sample.frames[f];
+      auto [it, inserted] = symbols.try_emplace(pc);
+      if (inserted) it->second = symbolize(pc, /*return_address=*/f != 0);
+      line += ';';
+      line += it->second;
+    }
+    ++folded[line];
+
+    if (sample.span_count == 0) {
+      ++spans["(no span)"].self;
+      ++spans["(no span)"].total;
+    } else {
+      ++spans[sample.spans[sample.span_count - 1]].self;
+      for (std::uint32_t s = 0; s < sample.span_count; ++s) {
+        bool seen = false;  // count recursive spans once per sample
+        for (std::uint32_t t = 0; t < s; ++t)
+          if (std::strcmp(sample.spans[t], sample.spans[s]) == 0) {
+            seen = true;
+            break;
+          }
+        if (!seen) ++spans[sample.spans[s]].total;
+      }
+    }
+  }
+
+  report.stacks.reserve(folded.size());
+  for (auto& [stack, count] : folded) report.stacks.push_back({stack, count});
+  std::sort(report.stacks.begin(), report.stacks.end(),
+            [](const FoldedStack& a, const FoldedStack& b) {
+              return a.count != b.count ? a.count > b.count
+                                        : a.stack < b.stack;
+            });
+  report.spans.reserve(spans.size());
+  for (auto& [name, agg] : spans) {
+    SpanCpu cpu;
+    cpu.name = name;
+    cpu.self_samples = agg.self;
+    cpu.total_samples = agg.total;
+    cpu.self_seconds = static_cast<double>(agg.self) / report.hz;
+    cpu.total_seconds = static_cast<double>(agg.total) / report.hz;
+    report.spans.push_back(std::move(cpu));
+  }
+  std::sort(report.spans.begin(), report.spans.end(),
+            [](const SpanCpu& a, const SpanCpu& b) {
+              return a.total_samples != b.total_samples
+                         ? a.total_samples > b.total_samples
+                         : a.name < b.name;
+            });
+
+  samples_counter().add(report.samples);
+  dropped_counter().add(report.dropped);
+  truncated_counter().add(report.truncated_stacks);
+
+  g_ring = nullptr;
+  g_capacity = 0;
+  g_ring_owner.reset();
+  g_running = false;
+  logger().info("obs.profile_stopped",
+                {Field("samples", report.samples),
+                 Field("dropped", report.dropped),
+                 Field("unique_stacks",
+                       static_cast<std::uint64_t>(report.stacks.size()))});
+  return report;
+}
+
+std::string ProfileReport::folded() const {
+  std::string out;
+  for (const FoldedStack& entry : stacks) {
+    out += entry.stack;
+    out += ' ';
+    out += std::to_string(entry.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProfileReport::span_table_text() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "profile: span CPU attribution (%d Hz, %llu samples, "
+                "%.2fs wall, %llu dropped)\n",
+                hz, static_cast<unsigned long long>(samples),
+                duration_seconds,
+                static_cast<unsigned long long>(dropped));
+  out += line;
+  std::snprintf(line, sizeof(line), "%-36s %10s %10s %9s %9s %6s\n", "span",
+                "self", "total", "self_s", "total_s", "self%");
+  out += line;
+  for (const SpanCpu& cpu : spans) {
+    const double share =
+        samples == 0 ? 0.0
+                     : 100.0 * static_cast<double>(cpu.self_samples) /
+                           static_cast<double>(samples);
+    std::snprintf(line, sizeof(line), "%-36s %10llu %10llu %9.3f %9.3f %6.1f\n",
+                  cpu.name.c_str(),
+                  static_cast<unsigned long long>(cpu.self_samples),
+                  static_cast<unsigned long long>(cpu.total_samples),
+                  cpu.self_seconds, cpu.total_seconds, share);
+    out += line;
+  }
+  return out;
+}
+
+std::string ProfileReport::to_json() const {
+  std::string out = "{\"hz\":" + std::to_string(hz);
+  out += ",\"duration_s\":" + json_number(duration_seconds);
+  out += ",\"samples\":" + std::to_string(samples);
+  out += ",\"dropped\":" + std::to_string(dropped);
+  out += ",\"truncated_stacks\":" + std::to_string(truncated_stacks);
+  out += ",\"stacks\":[";
+  bool first = true;
+  for (const FoldedStack& entry : stacks) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"stack\":";
+    append_json_string(out, entry.stack);
+    out += ",\"count\":" + std::to_string(entry.count) + "}";
+  }
+  out += "],\"spans\":[";
+  first = true;
+  for (const SpanCpu& cpu : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, cpu.name);
+    out += ",\"self_samples\":" + std::to_string(cpu.self_samples);
+    out += ",\"total_samples\":" + std::to_string(cpu.total_samples);
+    out += ",\"self_s\":" + json_number(cpu.self_seconds);
+    out += ",\"total_s\":" + json_number(cpu.total_seconds) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void ProfileReport::write_folded(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw failmine::ObsError("cannot open profile export file: " + path);
+  out << folded();
+  out.flush();
+  if (!out)
+    throw failmine::ObsError("write failed on profile export: " + path);
+}
+
+std::pair<std::string, int> parse_profile_spec(std::string_view spec,
+                                               int default_hz) {
+  std::string path(spec);
+  int hz = default_hz;
+  if (const std::size_t colon = path.rfind(':');
+      colon != std::string::npos && colon + 1 < path.size() &&
+      path.find('/', colon) == std::string::npos) {
+    const std::string rate = path.substr(colon + 1);
+    if (!rate.empty() &&
+        std::all_of(rate.begin(), rate.end(),
+                    [](char c) { return c >= '0' && c <= '9'; })) {
+      hz = std::atoi(rate.c_str());
+      if (hz <= 0)
+        throw failmine::ParseError("profile spec rate must be positive: " +
+                                   std::string(spec));
+      path.resize(colon);
+    } else {
+      throw failmine::ParseError("malformed profile spec (PATH[:HZ]): " +
+                                 std::string(spec));
+    }
+  }
+  if (path.empty())
+    throw failmine::ParseError("profile spec needs a path: " +
+                               std::string(spec));
+  return {std::move(path), hz};
+}
+
+ProfileSession::ProfileSession(const std::string& spec, int default_hz) {
+  auto [path, hz] = parse_profile_spec(spec, default_hz);
+  path_ = std::move(path);
+  ProfileConfig config;
+  config.hz = hz;
+  if (!Profiler::instance().start(config))
+    throw failmine::ObsError(
+        "profiler already running; cannot start session for " + path_);
+  active_ = true;
+}
+
+ProfileSession::~ProfileSession() {
+  try {
+    finish();
+  } catch (const failmine::ObsError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+  }
+}
+
+ProfileReport ProfileSession::finish() {
+  if (!active_) return {};
+  active_ = false;
+  ProfileReport report = Profiler::instance().stop();
+  report.write_folded(path_);
+  return report;
+}
+
+}  // namespace failmine::obs

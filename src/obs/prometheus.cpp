@@ -15,6 +15,38 @@ void append_help_and_type(std::string& out, const std::string& exposition,
   out += "# TYPE " + exposition + " " + type + "\n";
 }
 
+/// A registry name with an inline label block ("family{path=\"x\"}") split
+/// into the sanitized family name and the verbatim label block. The
+/// registry itself is label-unaware; this spelling convention (used by
+/// obs.serve.requests{path=...}) is resolved here, at render time.
+struct SplitName {
+  std::string family;  ///< exposition-sanitized
+  std::string labels;  ///< "{...}" verbatim, or ""
+};
+
+SplitName split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}')
+    return {prometheus_name(name), ""};
+  return {prometheus_name(std::string_view(name).substr(0, brace)),
+          name.substr(brace)};
+}
+
+/// Emits HELP/TYPE once per family: labelled series of the same family
+/// are adjacent in the name-sorted sample ('{' sorts above every name
+/// character used here), so tracking the previous family suffices.
+void append_family_header(std::string& out, std::string& last_family,
+                          const SplitName& split, const std::string& original,
+                          const char* type) {
+  if (split.family == last_family) return;
+  last_family = split.family;
+  append_help_and_type(out, split.family,
+                       split.labels.empty()
+                           ? original
+                           : original.substr(0, original.find('{')),
+                       type);
+}
+
 }  // namespace
 
 std::string prometheus_name(std::string_view name) {
@@ -28,15 +60,17 @@ std::string prometheus_name(std::string_view name) {
 
 std::string render_prometheus(const MetricsSample& sample) {
   std::string out;
+  std::string last_family;
   for (const auto& [name, value] : sample.counters) {
-    const std::string expo = prometheus_name(name);
-    append_help_and_type(out, expo, name, "counter");
-    out += expo + " " + std::to_string(value) + "\n";
+    const SplitName split = split_labels(name);
+    append_family_header(out, last_family, split, name, "counter");
+    out += split.family + split.labels + " " + std::to_string(value) + "\n";
   }
+  last_family.clear();
   for (const auto& [name, value] : sample.gauges) {
-    const std::string expo = prometheus_name(name);
-    append_help_and_type(out, expo, name, "gauge");
-    out += expo + " " + prometheus_number(value) + "\n";
+    const SplitName split = split_labels(name);
+    append_family_header(out, last_family, split, name, "gauge");
+    out += split.family + split.labels + " " + prometheus_number(value) + "\n";
   }
   for (const auto& [name, h] : sample.histograms) {
     const std::string expo = prometheus_name(name);

@@ -8,6 +8,13 @@
 // in `le="+Inf"`, plus `_sum` and `_count`. Instrument names use dots
 // (`stream.records_in`); exposition names replace every character
 // outside [a-zA-Z0-9_:] with `_` (`stream_records_in`).
+//
+// The label-unaware registry can still feed labelled exposition: a
+// counter or gauge registered with an inline label block in its name
+// (`obs.serve.requests{path="/metrics"}`) renders as a real labelled
+// series — the family part is sanitized, the `{...}` block passes
+// through verbatim, and `# HELP`/`# TYPE` are emitted once per family
+// (label variants sort adjacently in the name-sorted sample).
 
 #pragma once
 

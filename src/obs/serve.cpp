@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +15,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/prometheus.hpp"
 #include "util/error.hpp"
 
@@ -32,11 +35,54 @@ Counter& rejected_counter() {
   static Counter& c = metrics().counter("obs.serve.rejected_connections");
   return c;
 }
-Histogram& request_us_histogram() {
+Histogram& latency_us_histogram() {
   static Histogram& h = metrics().histogram(
-      "obs.serve.request_us", {50, 100, 250, 500, 1000, 2500, 5000, 10000,
+      "obs.serve.latency_us", {50, 100, 250, 500, 1000, 2500, 5000, 10000,
                                25000, 50000, 100000});
   return h;
+}
+
+/// The routes the server answers; everything else aggregates under
+/// "other" so per-path counters stay bounded-cardinality no matter what
+/// clients probe for.
+constexpr const char* kRoutes[] = {"/metrics", "/snapshot", "/healthz",
+                                   "/flightrecorder", "/profile"};
+
+/// Per-endpoint request counter, encoded with the label inside the
+/// metric name (`obs.serve.requests{path="/metrics"}`). The registry is
+/// label-unaware; the Prometheus renderer splits the name at '{' and
+/// emits the brace block as a real label set (see prometheus.cpp).
+Counter& path_counter(std::string_view route) {
+  std::string name = "obs.serve.requests{path=\"";
+  name += route;
+  name += "\"}";
+  return metrics().counter(name);
+}
+
+void count_request(const std::string& route) {
+  requests_counter().add();
+  const bool known = std::any_of(
+      std::begin(kRoutes), std::end(kRoutes),
+      [&](const char* r) { return route == r; });
+  path_counter(known ? route : "other").add();
+}
+
+/// Parses "key=value" pairs out of a query string; returns `fallback`
+/// when the key is absent or its value is empty.
+std::string query_param(std::string_view query, std::string_view key,
+                        std::string_view fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    if (const std::size_t eq = pair.find('=');
+        eq != std::string_view::npos && pair.substr(0, eq) == key &&
+        eq + 1 < pair.size())
+      return std::string(pair.substr(eq + 1));
+    pos = end + 1;
+  }
+  return std::string(fallback);
 }
 
 void send_all(int fd, std::string_view data) {
@@ -123,13 +169,34 @@ void TelemetryServer::start() {
   bound_port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
 
+  // Pre-create every self-metric (including the per-path counters and
+  // the profiler's) so a first scrape — or an unscraped --metrics-out
+  // export — already lists the full family at zero.
+  (void)requests_counter();
+  (void)bad_requests_counter();
+  (void)rejected_counter();
+  (void)latency_us_histogram();
+  for (const char* route : kRoutes) (void)path_counter(route);
+  (void)path_counter("other");
+  (void)metrics().counter("obs.profile.samples");
+  (void)metrics().counter("obs.profile.dropped");
+  (void)metrics().counter("obs.profile.truncated_stacks");
+
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = false;
   }
   for (std::size_t i = 0; i < config_.handler_threads; ++i)
-    workers_.emplace_back([this] { handler_loop(); });
-  accept_thread_ = std::thread([this] { accept_loop(); });
+    workers_.emplace_back([this] {
+      (void)::pthread_setname_np(::pthread_self(), "fm.serve");
+      profile_attach_this_thread();
+      handler_loop();
+    });
+  accept_thread_ = std::thread([this] {
+    (void)::pthread_setname_np(::pthread_self(), "fm.accept");
+    profile_attach_this_thread();
+    accept_loop();
+  });
 
   logger().info("obs.serve_started",
                 {Field("port", static_cast<std::uint64_t>(bound_port_)),
@@ -205,13 +272,17 @@ void TelemetryServer::handler_loop() {
 
 void TelemetryServer::handle_connection(int fd) {
   const auto start = std::chrono::steady_clock::now();
-  const std::string path = read_request_path(fd);
-  if (path.empty()) {
+  const std::string target = read_request_path(fd);
+  if (target.empty()) {
     bad_requests_counter().add();
     send_response(fd, 400, "Bad Request", "text/plain", "bad request\n");
     return;
   }
-  requests_counter().add();
+  const std::size_t question = target.find('?');
+  const std::string path = target.substr(0, question);
+  const std::string query =
+      question == std::string::npos ? "" : target.substr(question + 1);
+  count_request(path);
 
   if (path == "/metrics") {
     send_response(fd, 200, "OK",
@@ -243,13 +314,61 @@ void TelemetryServer::handle_connection(int fd) {
   } else if (path == "/flightrecorder") {
     send_response(fd, 200, "OK", "application/x-ndjson",
                   flight_recorder().dump());
+  } else if (path == "/profile") {
+    handle_profile(fd, query);
   } else {
     send_response(fd, 404, "Not Found", "text/plain", "not found\n");
   }
-  request_us_histogram().observe(static_cast<double>(
+  latency_us_histogram().observe(static_cast<double>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count()));
+}
+
+void TelemetryServer::handle_profile(int fd, const std::string& query) {
+  const double seconds = std::clamp(
+      std::atof(query_param(query, "seconds", "1").c_str()), 0.05, 60.0);
+  const int hz =
+      std::clamp(std::atoi(query_param(query, "hz", "99").c_str()), 1, 1000);
+  const std::string fmt = query_param(query, "fmt", "folded");
+  if (fmt != "folded" && fmt != "json") {
+    bad_requests_counter().add();
+    send_response(fd, 400, "Bad Request", "text/plain",
+                  "fmt must be folded or json\n");
+    return;
+  }
+
+  ProfileConfig config;
+  config.hz = hz;
+  if (!Profiler::instance().start(config)) {
+    send_response(fd, 409, "Conflict", "text/plain", "profiler busy\n");
+    return;
+  }
+
+  // Timed capture, sliced so a server stop() during a long capture only
+  // waits one slice, not the full window.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            deadline - now, std::chrono::milliseconds(25)));
+  }
+  const ProfileReport report = Profiler::instance().stop();
+
+  if (fmt == "json")
+    send_response(fd, 200, "OK", "application/json", report.to_json());
+  else
+    send_response(fd, 200, "OK", "text/plain; charset=utf-8",
+                  report.folded());
 }
 
 HttpResponse http_get(std::uint16_t port, const std::string& path,

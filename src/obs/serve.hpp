@@ -9,6 +9,11 @@
 //   GET /healthz          200 "ok" / 503 "unhealthy" from the caller's
 //                         health callback (the stream stall watchdog)
 //   GET /flightrecorder   JSONL dump of obs::flight_recorder()
+//   GET /profile          timed CPU capture via obs::profile —
+//                         ?seconds=N (0.05–60, default 1), ?hz=H
+//                         (1–1000, default 99), ?fmt=folded|json.
+//                         Answers 409 Conflict while another capture
+//                         (from any entry point) is running.
 //
 // One accept thread feeds a bounded connection queue drained by a small
 // handler pool; a full queue answers 503 at accept rather than letting
@@ -17,9 +22,12 @@
 // pipeline can serve until its last snapshot and shut down cleanly.
 //
 // The server reports on itself through the registry it serves:
-// `obs.serve.requests` / `obs.serve.bad_requests` /
+// `obs.serve.requests` (total), per-endpoint
+// `obs.serve.requests{path="..."}` counters (unknown paths aggregate
+// under path="other"), `obs.serve.bad_requests` /
 // `obs.serve.rejected_connections` counters and the
-// `obs.serve.request_us` latency histogram.
+// `obs.serve.latency_us` request-latency histogram — all pre-registered
+// at start() so exports list the full family before the first scrape.
 
 #pragma once
 
@@ -87,6 +95,7 @@ class TelemetryServer {
   void accept_loop();
   void handler_loop();
   void handle_connection(int fd);
+  void handle_profile(int fd, const std::string& query);
 
   ServeConfig config_;
   int listen_fd_ = -1;

@@ -7,6 +7,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -17,6 +18,7 @@ ObsSession::ObsSession() {
   if (const char* env = std::getenv("FAILMINE_TRACE_OUT")) trace_out_ = env;
   if (const char* env = std::getenv("FAILMINE_FLIGHT_RECORDER"))
     set_flight_recorder(env);
+  if (const char* env = std::getenv("FAILMINE_PROFILE")) set_profile_out(env);
 }
 
 ObsSession::ObsSession(int* argc, char** argv) : ObsSession() {
@@ -32,6 +34,8 @@ ObsSession::ObsSession(int* argc, char** argv) : ObsSession() {
       set_trace_out(argv[++i]);
     } else if (std::strcmp(arg, "--flight-recorder") == 0 && has_value) {
       set_flight_recorder(argv[++i]);
+    } else if (std::strcmp(arg, "--profile-out") == 0 && has_value) {
+      set_profile_out(argv[++i]);
     } else {
       argv[out++] = argv[i];
     }
@@ -63,9 +67,22 @@ void ObsSession::set_flight_recorder(const std::string& path) {
   install_crash_dump(path);
 }
 
+void ObsSession::set_profile_out(const std::string& spec) {
+  profile_ = std::make_unique<ProfileSession>(spec);
+}
+
 void ObsSession::flush() {
   if (flushed_) return;
   flushed_ = true;
+  // Profile first: finish() bumps the obs.profile.* counters, which the
+  // metrics export below should include.
+  if (profile_) {
+    const ProfileReport report = profile_->finish();
+    if (report.samples > 0 || report.dropped > 0)
+      std::fputs(report.span_table_text().c_str(), stderr);
+    std::fprintf(stderr, "profile: folded stacks -> %s\n",
+                 profile_->path().c_str());
+  }
   if (!metrics_out_.empty()) metrics().write_json(metrics_out_);
   if (!trace_out_.empty()) tracer().write_chrome_json(trace_out_);
 }

@@ -4,21 +4,29 @@
 //
 // An ObsSession owns the "where do exports go" decision for one process:
 // it understands the common `--log-level LEVEL`, `--metrics-out PATH`,
-// `--trace-out PATH` and `--flight-recorder PATH` flags (and the
-// FAILMINE_METRICS_OUT / FAILMINE_TRACE_OUT / FAILMINE_FLIGHT_RECORDER
+// `--trace-out PATH`, `--flight-recorder PATH` and
+// `--profile-out PATH[:HZ]` flags (and the FAILMINE_METRICS_OUT /
+// FAILMINE_TRACE_OUT / FAILMINE_FLIGHT_RECORDER / FAILMINE_PROFILE
 // environment fallbacks), and writes the configured exports exactly once
 // — either on an explicit flush() (which throws ObsError on failure) or
 // best-effort at destruction. `--flight-recorder PATH` arms the crash
 // handler: it attaches the flight recorder to the logger and tracer and
 // installs fatal-signal handlers that dump the recorder to PATH as JSONL
-// (see obs/flight_recorder.hpp).
+// (see obs/flight_recorder.hpp). `--profile-out PATH[:HZ]` starts a
+// whole-run CPU capture (obs/profile.hpp) immediately; flush() stops it,
+// writes the folded stacks to PATH and prints the per-span CPU table to
+// stderr — before the metrics export, so obs.profile.* totals land in
+// `--metrics-out` too.
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 namespace failmine::obs {
+
+class ProfileSession;
 
 class ObsSession {
  public:
@@ -42,12 +50,17 @@ class ObsSession {
   void set_trace_out(std::string path);
   /// Arms the crash-dump flight recorder immediately (not at flush).
   void set_flight_recorder(const std::string& path);
+  /// Starts a whole-run CPU capture now; `spec` is "PATH[:HZ]". Throws
+  /// ParseError on a malformed spec, ObsError if a capture is already
+  /// running.
+  void set_profile_out(const std::string& spec);
 
   const std::string& metrics_out() const { return metrics_out_; }
   const std::string& trace_out() const { return trace_out_; }
   const std::string& flight_recorder_out() const {
     return flight_recorder_out_;
   }
+  bool profiling() const { return profile_ != nullptr; }
 
   /// Writes the configured exports now. Throws ObsError on I/O failure.
   void flush();
@@ -56,6 +69,7 @@ class ObsSession {
   std::string metrics_out_;
   std::string trace_out_;
   std::string flight_recorder_out_;
+  std::unique_ptr<ProfileSession> profile_;
   bool flushed_ = false;
 };
 

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
@@ -21,7 +22,16 @@ std::uint32_t this_thread_index() {
 /// Per-thread nesting depth of live spans.
 thread_local std::uint32_t tls_span_depth = 0;
 
+/// Signal-handler-visible stack of active span names (see trace.hpp).
+/// constinit guarantees static TLS with no initialization guard, which
+/// is what makes reading it from the SIGPROF handler safe.
+constinit thread_local SpanLabelStack tls_span_labels{{}, {0}};
+
 }  // namespace
+
+const SpanLabelStack& this_thread_span_labels() noexcept {
+  return tls_span_labels;
+}
 
 TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -168,10 +178,29 @@ Span::Span(std::string_view name) {
   name_ = std::string(name);
   depth_ = tls_span_depth++;
   active_ = true;
+  // Any thread that opens spans becomes sampleable (no-op after the
+  // first call on a thread).
+  profile_attach_this_thread();
+  SpanLabelStack& labels = tls_span_labels;
+  const std::uint32_t d = labels.depth.load(std::memory_order_relaxed);
+  if (d < SpanLabelStack::kMaxDepth) {
+    labels.labels[d] = name_.c_str();
+    std::atomic_signal_fence(std::memory_order_release);
+    labels.depth.store(d + 1, std::memory_order_relaxed);
+    label_pushed_ = true;
+  }
 }
 
 Span::~Span() {
   if (!active_) return;
+  if (label_pushed_) {
+    // Retire the label before name_ is moved out below: once depth drops
+    // the handler cannot read the (soon dangling) pointer.
+    SpanLabelStack& labels = tls_span_labels;
+    labels.depth.store(labels.depth.load(std::memory_order_relaxed) - 1,
+                       std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_release);
+  }
   TraceCollector& collector = tracer();
   SpanRecord record;
   record.name = std::move(name_);

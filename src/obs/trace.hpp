@@ -110,6 +110,26 @@ class TraceCollector {
 /// The process-wide collector used by FAILMINE_TRACE_SPAN.
 TraceCollector& tracer();
 
+/// Fixed-depth stack of the calling thread's *active* span names,
+/// maintained by Span and readable from a signal handler running on the
+/// same thread — the sampling profiler (obs/profile.hpp) tags every
+/// sample with it. `labels[i]` points at the live Span's name for depth
+/// i; entries at or above `depth` are stale. Ordering discipline: a
+/// pointer is published before `depth` is raised and `depth` is lowered
+/// before the name dies (with signal fences in between), so the handler
+/// never observes a dangling pointer. Spans nested deeper than kMaxDepth
+/// are simply not labelled.
+struct SpanLabelStack {
+  static constexpr std::uint32_t kMaxDepth = 8;
+  const char* labels[kMaxDepth];
+  std::atomic<std::uint32_t> depth;
+};
+
+/// The calling thread's label stack. Constant-initialized TLS, so it is
+/// safe to read from a signal handler even on a thread that never opened
+/// a span.
+const SpanLabelStack& this_thread_span_labels() noexcept;
+
 /// RAII span recording into tracer(). Construction/destruction cost is
 /// two steady_clock reads when tracing is enabled, nothing otherwise.
 class Span {
@@ -128,6 +148,7 @@ class Span {
   std::uint64_t start_us_ = 0;
   std::uint32_t depth_ = 0;
   bool active_ = false;
+  bool label_pushed_ = false;  ///< this span occupies a SpanLabelStack slot
 };
 
 #define FAILMINE_OBS_CONCAT2(a, b) a##b

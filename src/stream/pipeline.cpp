@@ -1,15 +1,27 @@
 #include "stream/pipeline.hpp"
 
+#include <pthread.h>
+
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace failmine::stream {
 
 namespace {
+
+/// Names the calling thread (<=15 chars + NUL, the pthread limit) and
+/// registers it with the sampling profiler, so folded stacks from
+/// obs::profile carry pipeline-role identity ("fm.shard3;...").
+void name_and_attach(const char* name) {
+  (void)::pthread_setname_np(::pthread_self(), name);
+  obs::profile_attach_this_thread();
+}
 
 obs::Counter& records_in_counter() {
   static obs::Counter& c = obs::metrics().counter("stream.records_in");
@@ -99,8 +111,9 @@ StreamPipeline::StreamPipeline(StreamConfig config)
   shards_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i)
     shards_.push_back(std::make_unique<Shard>(config_, i));
-  for (auto& shard : shards_)
-    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->worker = std::thread(
+        [this, s = shards_[i].get(), i] { worker_loop(*s, i); });
   router_thread_ = std::thread([this] { router_loop(); });
   if (config_.watchdog_grace_ms > 0)
     watchdog_thread_ = std::thread([this] { watchdog_loop(); });
@@ -186,6 +199,7 @@ void StreamPipeline::dispatch(std::vector<std::vector<StreamRecord>>& pending,
 }
 
 void StreamPipeline::router_loop() {
+  name_and_attach("fm.router");
   WatermarkReorderer reorderer(config_.max_lateness_seconds);
   std::vector<std::vector<StreamRecord>> pending(shards_.size());
   std::vector<StreamRecord> batch;
@@ -197,6 +211,7 @@ void StreamPipeline::router_loop() {
     if (n == 0) break;  // closed and drained
     const auto batch_start = std::chrono::steady_clock::now();
     {
+      FAILMINE_TRACE_SPAN("stream.router.batch");
       std::lock_guard<std::mutex> lock(router_mutex_);
       for (StreamRecord& record : batch)
         reorderer.push(std::move(record), [&](StreamRecord&& ordered) {
@@ -234,7 +249,10 @@ void StreamPipeline::router_loop() {
   reorder_buffered_gauge().set(0.0);
 }
 
-void StreamPipeline::worker_loop(Shard& shard) {
+void StreamPipeline::worker_loop(Shard& shard, std::size_t index) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "fm.shard%zu", index);
+  name_and_attach(name);
   std::vector<StreamRecord> batch;
   batch.reserve(config_.dispatch_batch);
   for (;;) {
@@ -247,6 +265,7 @@ void StreamPipeline::worker_loop(Shard& shard) {
     if (n == 0) break;
     const auto apply_start = std::chrono::steady_clock::now();
     {
+      FAILMINE_TRACE_SPAN("stream.shard.apply");
       std::lock_guard<std::mutex> lock(shard.mutex);
       for (const StreamRecord& record : batch) shard.aggregates.apply(record);
     }
@@ -266,6 +285,7 @@ void StreamPipeline::pause_shard_for_test(std::size_t shard, bool paused) {
 }
 
 void StreamPipeline::watchdog_loop() {
+  name_and_attach("fm.watchdog");
   const auto grace = std::chrono::milliseconds(config_.watchdog_grace_ms);
   const auto poll = std::chrono::milliseconds(config_.watchdog_poll_ms);
   std::vector<std::uint64_t> last_processed(shards_.size(), 0);

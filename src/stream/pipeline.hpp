@@ -35,6 +35,13 @@
 // its queue is non-empty for the grace period, the pipeline reports
 // unhealthy (healthy() == false — the telemetry server's /healthz turns
 // 503) and logs `stream.shard_stalled` until the shard recovers.
+//
+// Every pipeline thread names itself (pthread_setname_np: "fm.router",
+// "fm.shard<i>", "fm.watchdog") and registers with the sampling profiler
+// (obs/profile.hpp), and the hot loops run under `stream.router.batch` /
+// `stream.shard.apply` spans — so a live `GET /profile` capture yields
+// folded stacks keyed by pipeline role and a per-span CPU table that
+// names the stream stages.
 
 #pragma once
 
@@ -178,7 +185,7 @@ class StreamPipeline {
   };
 
   void router_loop();
-  void worker_loop(Shard& shard);
+  void worker_loop(Shard& shard, std::size_t index);
   void watchdog_loop();
   void route_ordered(StreamRecord&& record,
                      std::vector<std::vector<StreamRecord>>& pending);

@@ -1,8 +1,10 @@
 // Tests for the embedded telemetry server: ephemeral-port binding, the
-// four routes, content types, error paths (404 / 400), the health
-// callback flipping /healthz between 200 and 503, and clean
-// stop()/restart semantics. Uses only the obs subsystem so the same
-// source also runs under the sanitized test variant.
+// routes, content types, error paths (404 / 400), the health callback
+// flipping /healthz between 200 and 503, the per-path request counters
+// and latency histogram, and clean stop()/restart semantics. Uses only
+// the obs subsystem so the same source also runs under the sanitized
+// test variant. (/profile itself is covered end-to-end in
+// test_stream_profile_e2e.cpp and test_obs_profile.cpp.)
 
 #include <gtest/gtest.h>
 
@@ -111,6 +113,59 @@ TEST(TelemetryServer, SelfMetricsCountRequests) {
   (void)http_get(server.port(), "/healthz");
   const std::uint64_t after = metrics().counter_value("obs.serve.requests");
   EXPECT_GE(after, before + 2);
+  server.stop();
+}
+
+TEST(TelemetryServer, PerPathCountersAndLatencyHistogram) {
+  TelemetryServer server;
+  server.start();
+  const std::uint64_t healthz_before =
+      metrics().counter_value("obs.serve.requests{path=\"/healthz\"}");
+  const std::uint64_t other_before =
+      metrics().counter_value("obs.serve.requests{path=\"other\"}");
+  const std::uint64_t latency_before =
+      metrics().histogram("obs.serve.latency_us").count();
+  (void)http_get(server.port(), "/healthz");
+  (void)http_get(server.port(), "/no/such/route");  // unknowns -> "other"
+  EXPECT_EQ(metrics().counter_value("obs.serve.requests{path=\"/healthz\"}"),
+            healthz_before + 1);
+  EXPECT_EQ(metrics().counter_value("obs.serve.requests{path=\"other\"}"),
+            other_before + 1);
+  EXPECT_GE(metrics().histogram("obs.serve.latency_us").count(),
+            latency_before + 2);
+
+  // The labelled counters render as real labelled exposition series with
+  // one HELP/TYPE header for the whole family.
+  const std::string body = http_get(server.port(), "/metrics").body;
+  EXPECT_NE(body.find("obs_serve_requests{path=\"/healthz\"} "),
+            std::string::npos);
+  EXPECT_NE(body.find("obs_serve_requests{path=\"/metrics\"} "),
+            std::string::npos);
+  std::size_t headers = 0;
+  for (std::size_t pos = body.find("# TYPE obs_serve_requests counter");
+       pos != std::string::npos;
+       pos = body.find("# TYPE obs_serve_requests counter", pos + 1))
+    ++headers;
+  EXPECT_EQ(headers, 1u);
+  server.stop();
+}
+
+TEST(TelemetryServer, RouteCountersArePreRegistered) {
+  TelemetryServer server;
+  server.start();
+  // Without a single request, the metrics body already lists every
+  // route's counter (pre-registered at start) so dashboards can build
+  // the full family from the first scrape of a fresh process — and the
+  // one scrape this makes must not create anything new.
+  const std::string body = http_get(server.port(), "/metrics").body;
+  for (const char* route :
+       {"/metrics", "/snapshot", "/healthz", "/flightrecorder", "/profile"})
+    EXPECT_NE(body.find("obs_serve_requests{path=\"" + std::string(route) +
+                        "\"} "),
+              std::string::npos)
+        << route;
+  EXPECT_NE(body.find("obs_profile_samples "), std::string::npos);
+  EXPECT_NE(body.find("obs_serve_latency_us_bucket"), std::string::npos);
   server.stop();
 }
 
