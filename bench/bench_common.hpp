@@ -75,6 +75,23 @@ inline double bench_scale() {
   return kDefaultScale;
 }
 
+/// Ingest options for benches that load datasets from disk. Defaults to
+/// the parallel mmap engine at hardware concurrency; override the worker
+/// count with FAILMINE_INGEST_THREADS=<N> (1 = serial reader).
+inline ingest::LoadOptions ingest_options() {
+  ingest::LoadOptions options;
+  if (const char* env = std::getenv("FAILMINE_INGEST_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 0)
+      options.threads = static_cast<unsigned>(n);
+    else
+      obs::logger().warn("bench.ingest_threads_rejected",
+                         {obs::Field("value", env)});
+  }
+  return options;
+}
+
 inline const sim::SimConfig& dataset_config() {
   static const sim::SimConfig config = [] {
     sim::SimConfig c;

@@ -19,6 +19,13 @@ endif()
 if(NOT metrics_json MATCHES "\"counters\"")
   message(FATAL_ERROR "metrics export lacks a counters section")
 endif()
+# The default load path is the parallel mmap ingest engine, so its
+# instruments must be present and bytes_mapped populated.
+failmine_require_metrics("${metrics_json}" ${FAILMINE_INGEST_REQUIRED_COUNTERS})
+failmine_metric_value(bytes_mapped "${metrics_json}" "ingest.bytes_mapped")
+if(bytes_mapped EQUAL 0)
+  message(FATAL_ERROR "ingest.bytes_mapped is 0 — the ingest engine never ran")
+endif()
 
 if(NOT trace_json MATCHES "\"traceEvents\":\\[{")
   message(FATAL_ERROR "trace export has no spans: ${TRACE}")

@@ -25,6 +25,13 @@ set(FAILMINE_STREAM_DROPPED_COUNTER stream.records_dropped)
 # The parse counter the obs-exports check requires to be populated.
 set(FAILMINE_PARSE_LINES_COUNTER parse.lines_total)
 
+# Counters the parallel mmap ingest engine registers on every batch load
+# (src/ingest/loader.cpp) — the default --data loading path, so a summary
+# run must have exported them.
+set(FAILMINE_INGEST_REQUIRED_COUNTERS
+  ingest.bytes_mapped
+  ingest.chunks)
+
 # Self-metrics the telemetry server pre-registers at start(), so any
 # replay run with --serve must have exported them (even all-zero): the
 # request totals, the request-latency histogram and the sampling

@@ -26,6 +26,11 @@
 //       --serve-linger keeps the server up N seconds after the replay
 //       finishes so a scraper can collect the final state.
 //
+// Global loading options (any subcommand reading --data DIR):
+//   --ingest-threads N   worker threads for the parallel mmap CSV ingest
+//                        engine (0 = hardware concurrency, the default;
+//                        1 = the serial line-oriented reader)
+//
 // Global observability options (any subcommand):
 //   --log-level debug|info|warn|error|off   stderr log threshold
 //   --metrics-out PATH   write the metrics registry as JSON on exit
@@ -116,15 +121,19 @@ void print_usage() {
                "           [--seed N] [--policy block|drop] [--queue N] "
                "[--interval N]\n"
                "           [--serve PORT] [--serve-linger SEC]\n"
-               "global: [--log-level LEVEL] [--metrics-out PATH] "
-               "[--trace-out PATH]\n"
-               "        [--flight-recorder PATH] [--profile-out PATH[:HZ]]\n");
+               "global: [--ingest-threads N] [--log-level LEVEL] "
+               "[--metrics-out PATH]\n"
+               "        [--trace-out PATH] [--flight-recorder PATH] "
+               "[--profile-out PATH[:HZ]]\n");
 }
 
 sim::SimResult load(const ArgMap& args) {
   const std::string dir = args.get("data", "");
   if (dir.empty()) throw failmine::ParseError("--data DIR is required");
-  return sim::load_dataset(dir, topology::MachineConfig::mira());
+  ingest::LoadOptions options;
+  options.threads =
+      static_cast<unsigned>(std::max(0LL, args.get_int("ingest-threads", 0)));
+  return sim::load_dataset(dir, topology::MachineConfig::mira(), options);
 }
 
 core::JointAnalyzer make_analyzer(const sim::SimResult& data) {

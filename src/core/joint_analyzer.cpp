@@ -14,20 +14,21 @@ JointAnalyzer::JointAnalyzer(const joblog::JobLog& jobs,
                              const topology::MachineConfig& machine)
     : jobs_(jobs), tasks_(tasks), ras_(ras), io_(io), machine_(machine) {
   if (jobs.empty()) throw failmine::DomainError("JointAnalyzer needs jobs");
-}
-
-util::UnixSeconds JointAnalyzer::window_begin() const {
+  // One pass over the job log fixes the observation window for good; the
+  // accessors used to rescan the whole log on every call, which turned
+  // per-job loops calling them quadratic.
   util::UnixSeconds lo = jobs_.jobs().front().submit_time;
-  for (const auto& j : jobs_.jobs()) lo = std::min(lo, j.submit_time);
-  if (!ras_.empty()) lo = std::min(lo, ras_.events().front().timestamp);
-  return lo;
-}
-
-util::UnixSeconds JointAnalyzer::window_end() const {
   util::UnixSeconds hi = jobs_.jobs().front().end_time;
-  for (const auto& j : jobs_.jobs()) hi = std::max(hi, j.end_time);
-  if (!ras_.empty()) hi = std::max(hi, ras_.events().back().timestamp + 1);
-  return hi;
+  for (const auto& j : jobs_.jobs()) {
+    lo = std::min(lo, j.submit_time);
+    hi = std::max(hi, j.end_time);
+  }
+  if (!ras_.empty()) {
+    lo = std::min(lo, ras_.events().front().timestamp);
+    hi = std::max(hi, ras_.events().back().timestamp + 1);
+  }
+  window_begin_ = lo;
+  window_end_ = hi;
 }
 
 DatasetSummary JointAnalyzer::dataset_summary() const {

@@ -87,9 +87,11 @@ class JointAnalyzer {
   };
   RasCorrelations ras_user_correlations() const;
 
-  /// Observation window inferred from the job log.
-  util::UnixSeconds window_begin() const;
-  util::UnixSeconds window_end() const;
+  /// Observation window inferred from the job and RAS logs. Computed once
+  /// at construction (the logs are immutable for the analyzer's lifetime)
+  /// — these are O(1) accessors, safe to call in per-job loops.
+  util::UnixSeconds window_begin() const { return window_begin_; }
+  util::UnixSeconds window_end() const { return window_end_; }
 
   const topology::MachineConfig& machine() const { return machine_; }
   const joblog::JobLog& jobs() const { return jobs_; }
@@ -105,6 +107,8 @@ class JointAnalyzer {
   // By value: MachineConfig is a handful of ints, and holding a reference
   // would silently dangle when callers pass MachineConfig::mira() inline.
   topology::MachineConfig machine_;
+  util::UnixSeconds window_begin_ = 0;
+  util::UnixSeconds window_end_ = 0;
 };
 
 }  // namespace failmine::core

@@ -1,0 +1,84 @@
+// failmine/ingest/chunk.hpp
+//
+// Quote-aware chunking of a CSV byte range for parallel parsing.
+//
+// plan_chunks cuts a buffer of CSV records into roughly equal pieces that
+// each start and end on a *record* boundary — a newline outside quotes.
+// A naive newline split would shear records in half whenever a quoted
+// field contains '\n'; resolving a candidate boundary therefore needs the
+// quote parity (inside/outside a quoted field) at that offset. Because
+// every '"' byte toggles the RFC 4180 state machine, parity at any offset
+// is just the cumulative count of quote bytes before it — one vectorized
+// std::count pass over the buffer, no per-byte state machine. From each
+// candidate we then scan forward (with the known parity) to the first
+// record-terminating newline.
+//
+// CsvCursor iterates the records inside one chunk: it yields each record
+// as a string_view with the terminating '\n' (and a trailing '\r', for
+// CRLF input) stripped, treating newlines inside quotes as field content.
+// Concatenating the cursors of all chunks in order visits exactly the
+// records of the whole buffer, in order — the invariant the parallel
+// loader's determinism rests on.
+
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace failmine::ingest {
+
+/// One newline-aligned, quote-balanced piece of a CSV buffer.
+struct Chunk {
+  std::string_view data;   ///< whole records, including their terminators
+  std::size_t index = 0;   ///< position in file order
+};
+
+/// Default minimum chunk size: below this, extra chunks cost more in
+/// scheduling than they win in parallelism.
+inline constexpr std::size_t kDefaultMinChunkBytes = 64 * 1024;
+
+/// Splits `data` (zero or more CSV records, no header) into at most
+/// `target_chunks` record-aligned chunks of at least `min_chunk_bytes`
+/// each (except possibly the last). The concatenation of the returned
+/// chunks is exactly `data`. An empty input yields no chunks.
+std::vector<Chunk> plan_chunks(std::string_view data,
+                               std::size_t target_chunks,
+                               std::size_t min_chunk_bytes =
+                                   kDefaultMinChunkBytes);
+
+/// Iterates records in a chunk (see file comment for the contract).
+class CsvCursor {
+ public:
+  explicit CsvCursor(std::string_view data) : data_(data) {}
+
+  /// Advances to the next record; false at end of chunk. `record` gets
+  /// the record's text without its line terminator. A record whose
+  /// quotes never close runs to the end of the chunk (split_csv_fields
+  /// then reports the unterminated quote).
+  bool next(std::string_view& record) {
+    if (pos_ >= data_.size()) return false;
+    const std::size_t start = pos_;
+    bool in_quotes = false;
+    std::size_t i = pos_;
+    while (i < data_.size()) {
+      const char c = data_[i];
+      if (c == '"')
+        in_quotes = !in_quotes;
+      else if (c == '\n' && !in_quotes)
+        break;
+      ++i;
+    }
+    std::size_t end = i;
+    pos_ = i < data_.size() ? i + 1 : i;  // consume the '\n', if any
+    if (end > start && data_[end - 1] == '\r') --end;
+    record = data_.substr(start, end - start);
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace failmine::ingest

@@ -1,0 +1,112 @@
+#include "ingest/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace failmine::ingest {
+
+namespace {
+
+/// Drains `fd` into `buffer` (used for pipes and as the mmap fallback).
+void read_all(int fd, const std::string& path, std::vector<char>& buffer) {
+  constexpr std::size_t kReadChunk = 1 << 20;
+  for (;;) {
+    const std::size_t old_size = buffer.size();
+    buffer.resize(old_size + kReadChunk);
+    const ssize_t n = ::read(fd, buffer.data() + old_size, kReadChunk);
+    if (n < 0) {
+      if (errno == EINTR) {
+        buffer.resize(old_size);
+        continue;
+      }
+      throw IoError("read failed: " + path + ": " + std::strerror(errno));
+    }
+    buffer.resize(old_size + static_cast<std::size_t>(n));
+    if (n == 0) return;
+  }
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path, bool force_stream) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw IoError("cannot open for reading: " + path);
+
+  struct stat st {};
+  const bool regular = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+  const auto file_size = regular ? static_cast<std::size_t>(st.st_size) : 0;
+
+  if (regular && !force_stream && file_size > 0) {
+    void* mapping =
+        ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping != MAP_FAILED) {
+      // Advisory only: ignore failures, the mapping still works.
+      ::madvise(mapping, file_size, MADV_SEQUENTIAL);
+      ::close(fd);
+      data_ = mapping;
+      size_ = file_size;
+      mapped_ = true;
+      return;
+    }
+    // Fall through to the read() path on any mmap failure.
+  }
+
+  try {
+    if (regular) buffer_.reserve(file_size);
+    read_all(fd, path, buffer_);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  data_ = buffer_.data();
+  size_ = buffer_.size();
+  mapped_ = false;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() noexcept {
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<void*>(data_), size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  buffer_.clear();
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      buffer_(std::move(other.buffer_)) {
+  if (!mapped_) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  buffer_ = std::move(other.buffer_);
+  if (!mapped_) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+}  // namespace failmine::ingest

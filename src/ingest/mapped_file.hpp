@@ -1,0 +1,57 @@
+// failmine/ingest/mapped_file.hpp
+//
+// Read-only whole-file view with zero-copy mmap fast path.
+//
+// Regular files are mapped with mmap(PROT_READ, MAP_PRIVATE) and advised
+// MADV_SEQUENTIAL, so the kernel readahead streams the log through the
+// page cache while the parser walks it without a single user-space copy.
+// Inputs that cannot be mapped — pipes, sockets, other non-regular files,
+// or any mmap failure — fall back to buffering the whole stream through
+// read(2), so every path that accepts a file name also accepts
+// /dev/stdin or a process substitution. Either way the caller sees one
+// contiguous string_view.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace failmine::ingest {
+
+class MappedFile {
+ public:
+  /// Opens `path`. `force_stream` skips mmap and takes the read(2)
+  /// fallback even for regular files (used by tests and the bench to
+  /// exercise the fallback). Throws IoError when the file cannot be
+  /// opened or read.
+  explicit MappedFile(const std::string& path, bool force_stream = false);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The whole file. Valid for the lifetime of this object.
+  std::string_view view() const {
+    if (size_ == 0) return {};
+    return {static_cast<const char*>(data_), size_};
+  }
+  std::size_t size() const { return size_; }
+
+  /// True when view() is an mmap'd region, false when it was buffered
+  /// through the read() fallback.
+  bool mapped() const { return mapped_; }
+
+ private:
+  void reset() noexcept;
+
+  const void* data_ = nullptr;  ///< mapping or buffer_.data()
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<char> buffer_;  ///< backing store for the fallback path
+};
+
+}  // namespace failmine::ingest

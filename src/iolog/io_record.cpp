@@ -69,7 +69,10 @@ void IoLog::write_csv(const std::string& path) const {
 
 namespace {
 
-iolog::IoRecord parse_row(const std::vector<std::string>& row) {
+// Row is std::vector<std::string> (serial reader) or util::FieldVec
+// (ingest engine); both index to something convertible to string_view.
+template <class Row>
+iolog::IoRecord parse_row(const Row& row) {
   IoRecord r;
   r.job_id = util::parse_uint(row[0]);
   r.bytes_read = util::parse_uint(row[1]);
@@ -83,8 +86,15 @@ iolog::IoRecord parse_row(const std::vector<std::string>& row) {
 
 }  // namespace
 
-IoLog IoLog::read_csv(const std::string& path) {
+IoLog IoLog::read_csv(const std::string& path,
+                      const ingest::LoadOptions& options,
+                      ingest::Engine engine) {
   FAILMINE_TRACE_SPAN("iolog.read_csv");
+  if (!ingest::use_serial_reader(options, engine)) {
+    return IoLog(ingest::load_csv<IoRecord>(
+        path, csv_header(), "iolog", "I/O log", "parse.iolog.records",
+        [](const util::FieldVec& row) { return parse_row(row); }, options));
+  }
   util::CsvReader reader(path);
   if (reader.header() != csv_header())
     throw failmine::ParseError("unexpected I/O log header in " + path);

@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ingest/loader.hpp"
+
 namespace failmine::iolog {
 
 /// Aggregated I/O counters of one job.
@@ -50,7 +52,13 @@ class IoLog {
   const IoRecord& by_job(std::uint64_t job_id) const;
 
   void write_csv(const std::string& path) const;
-  static IoLog read_csv(const std::string& path);
+
+  /// Reads a log written by write_csv. Defaults to the parallel mmap
+  /// ingest engine; `options.threads == 1` (or Engine::kSerial) selects
+  /// the serial reader. Both paths produce identical results.
+  static IoLog read_csv(const std::string& path,
+                        const ingest::LoadOptions& options = {},
+                        ingest::Engine engine = ingest::Engine::kAuto);
 
  private:
   std::vector<IoRecord> records_;

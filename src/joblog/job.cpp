@@ -115,12 +115,15 @@ void JobLog::write_csv(const std::string& path) const {
 
 namespace {
 
-JobRecord parse_row(const std::vector<std::string>& row) {
+// Row is std::vector<std::string> (serial reader) or util::FieldVec
+// (ingest engine); both index to something convertible to string_view.
+template <class Row>
+JobRecord parse_row(const Row& row) {
   JobRecord j;
   j.job_id = util::parse_uint(row[0]);
   j.user_id = static_cast<std::uint32_t>(util::parse_uint(row[1]));
   j.project_id = static_cast<std::uint32_t>(util::parse_uint(row[2]));
-  j.queue = row[3];
+  j.queue = std::string(row[3]);
   j.submit_time = util::parse_timestamp(row[4]);
   j.start_time = util::parse_timestamp(row[5]);
   j.end_time = util::parse_timestamp(row[6]);
@@ -132,21 +135,31 @@ JobRecord parse_row(const std::vector<std::string>& row) {
   j.exit_class = exit_class_from_name(row[12]);
   j.partition_first_midplane = static_cast<int>(util::parse_int(row[13]));
   if (j.end_time < j.start_time)
-    throw failmine::ParseError("job " + row[0] + " ends before it starts");
+    throw failmine::ParseError("job " + std::string(row[0]) +
+                               " ends before it starts");
   if (j.start_time < j.submit_time)
-    throw failmine::ParseError("job " + row[0] + " starts before submission");
+    throw failmine::ParseError("job " + std::string(row[0]) +
+                               " starts before submission");
   return j;
 }
 
 }  // namespace
 
-JobLog JobLog::read_csv(const std::string& path) {
-  std::vector<JobRecord> jobs;
-  for_each_csv(path, [&](const JobRecord& j) {
-    jobs.push_back(j);
-    return true;
-  });
-  return JobLog(std::move(jobs));
+JobLog JobLog::read_csv(const std::string& path,
+                        const ingest::LoadOptions& options,
+                        ingest::Engine engine) {
+  if (ingest::use_serial_reader(options, engine)) {
+    std::vector<JobRecord> jobs;
+    for_each_csv(path, [&](const JobRecord& j) {
+      jobs.push_back(j);
+      return true;
+    });
+    return JobLog(std::move(jobs));
+  }
+  FAILMINE_TRACE_SPAN("joblog.read_csv");
+  return JobLog(ingest::load_csv<JobRecord>(
+      path, csv_header(), "joblog", "job log", "parse.joblog.records",
+      [](const util::FieldVec& row) { return parse_row(row); }, options));
 }
 
 void JobLog::for_each_csv(

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ingest/loader.hpp"
 #include "joblog/exit_status.hpp"
 #include "topology/machine.hpp"
 #include "topology/partition.hpp"
@@ -78,7 +79,13 @@ class JobLog {
   double span_days() const;
 
   void write_csv(const std::string& path) const;
-  static JobLog read_csv(const std::string& path);
+
+  /// Reads a log written by write_csv. Defaults to the parallel mmap
+  /// ingest engine; `options.threads == 1` (or Engine::kSerial) selects
+  /// the serial reader. Both paths produce identical results.
+  static JobLog read_csv(const std::string& path,
+                         const ingest::LoadOptions& options = {},
+                         ingest::Engine engine = ingest::Engine::kAuto);
 
   /// Streams a CSV job log row by row in O(1) memory; `callback` returns
   /// false to stop early.

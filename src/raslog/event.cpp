@@ -78,31 +78,43 @@ void RasLog::write_csv(const std::string& path) const {
 
 namespace {
 
-raslog::RasEvent parse_row(const std::vector<std::string>& row,
+// Row is std::vector<std::string> (serial reader) or util::FieldVec
+// (ingest engine); both index to something convertible to string_view.
+template <class Row>
+raslog::RasEvent parse_row(const Row& row,
                            const topology::MachineConfig& config) {
   RasEvent e;
   e.record_id = util::parse_uint(row[0]);
   e.timestamp = util::parse_timestamp(row[1]);
-  e.message_id = row[2];
+  e.message_id = std::string(row[2]);
   e.severity = severity_from_name(row[3]);
   e.component = component_from_name(row[4]);
   e.category = category_from_name(row[5]);
   e.location = topology::Location::parse(row[6], config);
   if (!row[7].empty()) e.job_id = util::parse_uint(row[7]);
-  e.text = row[8];
+  e.text = std::string(row[8]);
   return e;
 }
 
 }  // namespace
 
 RasLog RasLog::read_csv(const std::string& path,
-                        const topology::MachineConfig& config) {
-  std::vector<RasEvent> events;
-  for_each_csv(path, config, [&](const RasEvent& e) {
-    events.push_back(e);
-    return true;
-  });
-  return RasLog(std::move(events));
+                        const topology::MachineConfig& config,
+                        const ingest::LoadOptions& options,
+                        ingest::Engine engine) {
+  if (ingest::use_serial_reader(options, engine)) {
+    std::vector<RasEvent> events;
+    for_each_csv(path, config, [&](const RasEvent& e) {
+      events.push_back(e);
+      return true;
+    });
+    return RasLog(std::move(events));
+  }
+  FAILMINE_TRACE_SPAN("raslog.read_csv");
+  return RasLog(ingest::load_csv<RasEvent>(
+      path, csv_header(), "raslog", "RAS log", "parse.raslog.records",
+      [&config](const util::FieldVec& row) { return parse_row(row, config); },
+      options));
 }
 
 void RasLog::for_each_csv(const std::string& path,

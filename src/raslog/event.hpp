@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/loader.hpp"
 #include "raslog/category.hpp"
 #include "raslog/component.hpp"
 #include "raslog/severity.hpp"
@@ -68,8 +69,15 @@ class RasLog {
 
   /// Reads a log written by write_csv, validating every field against the
   /// machine config and catalog. Throws ParseError / IoError.
+  ///
+  /// By default the file is loaded by the parallel mmap ingest engine
+  /// (ingest/loader.hpp) with `options.threads` workers; `options.threads
+  /// == 1` (or Engine::kSerial) selects the line-oriented serial reader.
+  /// Both paths produce identical events, metrics and diagnostics.
   static RasLog read_csv(const std::string& path,
-                         const topology::MachineConfig& config);
+                         const topology::MachineConfig& config,
+                         const ingest::LoadOptions& options = {},
+                         ingest::Engine engine = ingest::Engine::kAuto);
 
   /// Streams a CSV log row by row without materializing it: `callback` is
   /// invoked once per event in file order. Returning false stops early.

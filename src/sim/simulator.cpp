@@ -138,13 +138,16 @@ void write_dataset(const SimResult& result, const std::string& directory) {
 }
 
 SimResult load_dataset(const std::string& directory,
-                       const topology::MachineConfig& machine) {
+                       const topology::MachineConfig& machine,
+                       const ingest::LoadOptions& options) {
   FAILMINE_TRACE_SPAN("sim.load_dataset");
   SimResult result;
-  result.ras_log = raslog::RasLog::read_csv(directory + "/ras.csv", machine);
-  result.job_log = joblog::JobLog::read_csv(directory + "/jobs.csv");
-  result.task_log = tasklog::TaskLog::read_csv(directory + "/tasks.csv");
-  result.io_log = iolog::IoLog::read_csv(directory + "/io.csv");
+  result.ras_log =
+      raslog::RasLog::read_csv(directory + "/ras.csv", machine, options);
+  result.job_log = joblog::JobLog::read_csv(directory + "/jobs.csv", options);
+  result.task_log =
+      tasklog::TaskLog::read_csv(directory + "/tasks.csv", options);
+  result.io_log = iolog::IoLog::read_csv(directory + "/io.csv", options);
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "ingest/loader.hpp"
 #include "iolog/io_record.hpp"
 #include "joblog/job.hpp"
 #include "raslog/event.hpp"
@@ -43,7 +44,10 @@ void write_dataset(const SimResult& result, const std::string& directory);
 
 /// Loads a dataset previously written by write_dataset. `episodes` comes
 /// back empty (ground truth is not part of the log schema, as in reality).
+/// All four logs load through the parallel mmap ingest engine by default;
+/// `options` tunes it (threads == 1 selects the serial readers).
 SimResult load_dataset(const std::string& directory,
-                       const topology::MachineConfig& machine);
+                       const topology::MachineConfig& machine,
+                       const ingest::LoadOptions& options = {});
 
 }  // namespace failmine::sim

@@ -73,7 +73,10 @@ void TaskLog::write_csv(const std::string& path) const {
 
 namespace {
 
-tasklog::TaskRecord parse_row(const std::vector<std::string>& row) {
+// Row is std::vector<std::string> (serial reader) or util::FieldVec
+// (ingest engine); both index to something convertible to string_view.
+template <class Row>
+tasklog::TaskRecord parse_row(const Row& row) {
   TaskRecord t;
   t.task_id = util::parse_uint(row[0]);
   t.job_id = util::parse_uint(row[1]);
@@ -85,14 +88,22 @@ tasklog::TaskRecord parse_row(const std::vector<std::string>& row) {
   t.exit_code = static_cast<int>(util::parse_int(row[7]));
   t.exit_signal = static_cast<int>(util::parse_int(row[8]));
   if (t.end_time < t.start_time)
-    throw failmine::ParseError("task " + row[0] + " ends before it starts");
+    throw failmine::ParseError("task " + std::string(row[0]) +
+                               " ends before it starts");
   return t;
 }
 
 }  // namespace
 
-TaskLog TaskLog::read_csv(const std::string& path) {
+TaskLog TaskLog::read_csv(const std::string& path,
+                          const ingest::LoadOptions& options,
+                          ingest::Engine engine) {
   FAILMINE_TRACE_SPAN("tasklog.read_csv");
+  if (!ingest::use_serial_reader(options, engine)) {
+    return TaskLog(ingest::load_csv<TaskRecord>(
+        path, csv_header(), "tasklog", "task log", "parse.tasklog.records",
+        [](const util::FieldVec& row) { return parse_row(row); }, options));
+  }
   util::CsvReader reader(path);
   if (reader.header() != csv_header())
     throw failmine::ParseError("unexpected task log header in " + path);

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ingest/loader.hpp"
 #include "joblog/exit_status.hpp"
 #include "util/time.hpp"
 
@@ -57,7 +58,13 @@ class TaskLog {
   std::size_t task_count(std::uint64_t job_id) const;
 
   void write_csv(const std::string& path) const;
-  static TaskLog read_csv(const std::string& path);
+
+  /// Reads a log written by write_csv. Defaults to the parallel mmap
+  /// ingest engine; `options.threads == 1` (or Engine::kSerial) selects
+  /// the serial reader. Both paths produce identical results.
+  static TaskLog read_csv(const std::string& path,
+                          const ingest::LoadOptions& options = {},
+                          ingest::Engine engine = ingest::Engine::kAuto);
 
  private:
   std::vector<TaskRecord> tasks_;

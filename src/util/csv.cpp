@@ -1,5 +1,7 @@
 #include "util/csv.hpp"
 
+#include <algorithm>
+
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -18,41 +20,150 @@ obs::Counter& lines_rejected_counter() {
   return c;
 }
 
-}  // namespace
-
-std::vector<std::string> split_csv_line(std::string_view line) {
-  std::vector<std::string> fields;
-  std::string current;
+// The one RFC 4180 quote state machine, shared by split_csv_line and
+// split_csv_fields. Emits each field as a sequence of byte segments, all
+// pointing into `line`: unquoted runs, quoted runs, and 1-byte segments
+// for escaped quotes ("" collapses to one '"', which is itself a byte of
+// the input). Sink contract:
+//   void begin_field();
+//   void segment(const char* data, std::size_t len);
+//   void end_field();
+// Throws ParseError when the line ends inside an open quote.
+template <class Sink>
+void scan_csv_line(std::string_view line, Sink& sink) {
+  const char* const base = line.data();
   bool in_quotes = false;
+  std::size_t run_start = 0;
   std::size_t i = 0;
+  sink.begin_field();
+  const auto flush_run = [&](std::size_t end) {
+    if (end > run_start) sink.segment(base + run_start, end - run_start);
+  };
   while (i < line.size()) {
     const char c = line[i];
     if (in_quotes) {
       if (c == '"') {
+        flush_run(i);
         if (i + 1 < line.size() && line[i + 1] == '"') {
-          current.push_back('"');
+          sink.segment(base + i, 1);  // escaped quote: keep one '"'
           ++i;
         } else {
           in_quotes = false;
         }
-      } else {
-        current.push_back(c);
+        run_start = i + 1;
       }
+      ++i;
+    } else if (c == '"') {
+      flush_run(i);
+      in_quotes = true;
+      run_start = i + 1;
+      ++i;
+    } else if (c == ',') {
+      flush_run(i);
+      sink.end_field();
+      sink.begin_field();
+      run_start = i + 1;
+      ++i;
     } else {
-      if (c == '"') {
-        in_quotes = true;
-      } else if (c == ',') {
-        fields.push_back(std::move(current));
-        current.clear();
-      } else {
-        current.push_back(c);
-      }
+      ++i;
     }
-    ++i;
   }
   if (in_quotes) throw ParseError("unterminated quote in CSV line");
-  fields.push_back(std::move(current));
+  flush_run(i);
+  sink.end_field();
+}
+
+/// Sink materializing std::string fields into a reused vector. Appends
+/// whole segments (never per-character growth) and reuses each string's
+/// capacity across rows.
+class StringSink {
+ public:
+  explicit StringSink(std::vector<std::string>& out) : out_(out) {}
+
+  void begin_field() {
+    if (count_ == out_.size()) out_.emplace_back();
+    current_ = &out_[count_];
+    current_->clear();
+  }
+  void segment(const char* data, std::size_t len) {
+    current_->append(data, len);
+  }
+  void end_field() { ++count_; }
+
+  void finish() { out_.resize(count_); }
+
+ private:
+  std::vector<std::string>& out_;
+  std::string* current_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace
+
+void split_csv_line(std::string_view line, std::vector<std::string>& fields) {
+  StringSink sink(fields);
+  scan_csv_line(line, sink);
+  sink.finish();
+}
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  // One comma count up front sizes the vector for the common case (quoted
+  // commas over-reserve slightly; harmless).
+  fields.reserve(
+      static_cast<std::size_t>(std::count(line.begin(), line.end(), ',')) + 1);
+  split_csv_line(line, fields);
   return fields;
+}
+
+void split_csv_fields(std::string_view line, FieldVec& out) {
+  out.clear();
+  out.base_ = line.data();
+
+  // Sink recording zero-copy refs. A field made of one contiguous segment
+  // stays a view into `line`; multi-segment fields (escaped quotes, or
+  // text both inside and outside quotes) are concatenated into the
+  // FieldVec's scratch buffer. Refs store offsets, not pointers, so
+  // scratch growth cannot dangle them.
+  struct ViewSink {
+    FieldVec& out;
+    const char* base;
+    std::size_t nsegs = 0;
+    const char* first_data = nullptr;
+    std::size_t first_len = 0;
+    std::size_t scratch_start = 0;
+
+    void begin_field() { nsegs = 0; }
+    void segment(const char* data, std::size_t len) {
+      if (nsegs == 0) {
+        first_data = data;
+        first_len = len;
+      } else {
+        if (nsegs == 1) {
+          scratch_start = out.scratch_.size();
+          out.scratch_.append(first_data, first_len);
+        }
+        out.scratch_.append(data, len);
+      }
+      ++nsegs;
+    }
+    void end_field() {
+      FieldVec::Ref r;
+      if (nsegs <= 1) {
+        r.begin = nsegs == 0 ? 0
+                             : static_cast<std::size_t>(first_data - base);
+        r.len = nsegs == 0 ? 0 : first_len;
+        r.in_scratch = false;
+      } else {
+        r.begin = scratch_start;
+        r.len = out.scratch_.size() - scratch_start;
+        r.in_scratch = true;
+      }
+      out.push(r);
+    }
+  } sink{out, line.data()};
+
+  scan_csv_line(line, sink);
 }
 
 std::string escape_csv_field(std::string_view field) {
@@ -110,12 +221,11 @@ CsvReader::CsvReader(const std::string& path) : in_(path), path_(path) {
 }
 
 bool CsvReader::next(std::vector<std::string>& fields) {
-  std::string line;
-  if (!std::getline(in_, line)) return false;
+  if (!std::getline(in_, line_)) return false;
   lines_total_counter().add();
-  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (!line_.empty() && line_.back() == '\r') line_.pop_back();
   try {
-    fields = split_csv_line(line);
+    split_csv_line(line_, fields);
   } catch (const ParseError&) {
     lines_rejected_counter().add();
     obs::logger().warn("parse.line_rejected",

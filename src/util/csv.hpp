@@ -7,6 +7,14 @@
 // The reader is line-oriented (log records never span lines once quoted
 // newlines are escaped by the writer, which the log libraries guarantee by
 // sanitizing free-text fields).
+//
+// Two splitting APIs share one quote state machine:
+//  * split_csv_line materializes std::string fields (the streaming
+//    CsvReader path);
+//  * split_csv_fields yields std::string_view fields into a caller-owned
+//    FieldVec, copying bytes only for fields that need quote unescaping —
+//    the allocation-free hot path of the parallel ingest engine
+//    (ingest/loader.hpp).
 
 #pragma once
 
@@ -18,9 +26,70 @@
 
 namespace failmine::util {
 
+/// Reusable list of zero-copy CSV fields. Each field is a string_view
+/// pointing either into the line handed to split_csv_fields (fields that
+/// need no unescaping — the overwhelming majority) or into an internal
+/// scratch buffer (fields containing escaped quotes, whose bytes differ
+/// from the raw input). Reusing one FieldVec across rows makes the
+/// steady-state parse allocation-free: the ref vector and the scratch
+/// buffer keep their capacity across clear().
+///
+/// Views are invalidated by the next split_csv_fields call and by the
+/// death of the line buffer they were parsed from.
+class FieldVec {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::string_view operator[](std::size_t i) const {
+    const Ref& r = refs_[i];
+    if (r.len == 0) return {};
+    return {(r.in_scratch ? scratch_.data() : base_) + r.begin, r.len};
+  }
+
+  void clear() {
+    size_ = 0;
+    scratch_.clear();
+    base_ = nullptr;
+  }
+
+ private:
+  friend void split_csv_fields(std::string_view line, FieldVec& out);
+
+  struct Ref {
+    std::size_t begin = 0;
+    std::size_t len = 0;
+    bool in_scratch = false;
+  };
+
+  void push(Ref r) {
+    if (size_ == refs_.size())
+      refs_.push_back(r);
+    else
+      refs_[size_] = r;
+    ++size_;
+  }
+
+  std::vector<Ref> refs_;
+  std::size_t size_ = 0;
+  std::string scratch_;
+  const char* base_ = nullptr;
+};
+
 /// Splits one CSV line into fields, honouring RFC 4180 quoting.
 /// Throws ParseError on unterminated quotes.
 std::vector<std::string> split_csv_line(std::string_view line);
+
+/// As above, but reuses `fields` (and each element's capacity) instead of
+/// allocating a fresh vector per row — the CsvReader::next fast path.
+void split_csv_line(std::string_view line, std::vector<std::string>& fields);
+
+/// Zero-copy split: fields become string_views into `line` (or into
+/// `out`'s scratch buffer for fields with escaped quotes). `line` may
+/// contain quoted newlines — any byte inside quotes is field content.
+/// Throws ParseError on unterminated quotes. Shares the quote state
+/// machine with split_csv_line, so the two agree on every input.
+void split_csv_fields(std::string_view line, FieldVec& out);
 
 /// Quotes a field if (and only if) it needs quoting.
 std::string escape_csv_field(std::string_view field);
@@ -62,8 +131,9 @@ class CsvReader {
 
   const std::vector<std::string>& header() const { return header_; }
 
-  /// Reads the next record into `fields`. Returns false at end of file.
-  /// Throws ParseError if a row's arity differs from the header's.
+  /// Reads the next record into `fields`, reusing its capacity. Returns
+  /// false at end of file. Throws ParseError if a row's arity differs
+  /// from the header's.
   bool next(std::vector<std::string>& fields);
 
   std::size_t rows_read() const { return rows_; }
@@ -73,6 +143,7 @@ class CsvReader {
   std::vector<std::string> header_;
   std::size_t rows_ = 0;
   std::string path_;
+  std::string line_;  ///< getline target, reused across rows
 };
 
 }  // namespace failmine::util

@@ -1,0 +1,204 @@
+// Serial vs parallel ingest parity on a real simulated trace: for all
+// four log types the mmap engine must produce element-wise identical
+// records at every thread count, identical parse.* metric deltas, and —
+// on corrupted input — the identical error the serial reader throws.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ingest/loader.hpp"
+#include "iolog/io_record.hpp"
+#include "joblog/job.hpp"
+#include "obs/metrics.hpp"
+#include "raslog/event.hpp"
+#include "sim/simulator.hpp"
+#include "tasklog/task.hpp"
+#include "util/error.hpp"
+
+namespace failmine {
+namespace {
+
+ingest::LoadOptions mapped_options(unsigned threads) {
+  ingest::LoadOptions options;
+  options.threads = threads;
+  // A tiny floor keeps the plan genuinely multi-chunk even on the small
+  // test-scale CSVs.
+  options.min_chunk_bytes = 512;
+  return options;
+}
+
+struct ParseDeltas {
+  std::uint64_t lines_total;
+  std::uint64_t lines_rejected;
+  std::uint64_t records;
+
+  static ParseDeltas snap(const char* records_counter) {
+    obs::MetricsRegistry& m = obs::metrics();
+    return {m.counter("parse.lines_total").value(),
+            m.counter("parse.lines_rejected").value(),
+            m.counter(records_counter).value()};
+  }
+  ParseDeltas since(const ParseDeltas& base) const {
+    return {lines_total - base.lines_total,
+            lines_rejected - base.lines_rejected, records - base.records};
+  }
+  friend bool operator==(const ParseDeltas&, const ParseDeltas&) = default;
+};
+
+class IngestParity : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("failmine_ingest_parity_" + std::to_string(::getpid())))
+            .string());
+    std::filesystem::create_directories(*dir_);
+    sim::SimConfig config = sim::SimConfig::test_scale();
+    config.scale = 0.002;
+    trace_ = new sim::SimResult(sim::simulate(config));
+    machine_ = new topology::MachineConfig(config.machine);
+    sim::write_dataset(*trace_, *dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete trace_;
+    delete machine_;
+    delete dir_;
+    trace_ = nullptr;
+    machine_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static std::string path(const char* name) { return *dir_ + "/" + name; }
+
+  static std::string* dir_;
+  static sim::SimResult* trace_;
+  static topology::MachineConfig* machine_;
+};
+
+std::string* IngestParity::dir_ = nullptr;
+sim::SimResult* IngestParity::trace_ = nullptr;
+topology::MachineConfig* IngestParity::machine_ = nullptr;
+
+/// Loads one log serially and through the mmap engine at 1, 2 and 8
+/// threads, asserting identical record sequences and parse.* deltas.
+/// `load` is `Records(const ingest::LoadOptions&, ingest::Engine)`.
+template <class LoadFn>
+void expect_parity(const char* records_counter, LoadFn&& load) {
+  ParseDeltas before = ParseDeltas::snap(records_counter);
+  const auto serial =
+      load(ingest::LoadOptions{}, ingest::Engine::kSerial);
+  const ParseDeltas serial_delta =
+      ParseDeltas::snap(records_counter).since(before);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    before = ParseDeltas::snap(records_counter);
+    const auto parallel = load(mapped_options(threads), ingest::Engine::kMapped);
+    const ParseDeltas delta = ParseDeltas::snap(records_counter).since(before);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      ASSERT_EQ(parallel[i], serial[i])
+          << "threads=" << threads << " record=" << i;
+    EXPECT_EQ(delta, serial_delta) << "threads=" << threads;
+  }
+}
+
+TEST_F(IngestParity, RasLogMatchesSerial) {
+  expect_parity("parse.raslog.records",
+                [](const ingest::LoadOptions& o, ingest::Engine e) {
+                  return raslog::RasLog::read_csv(path("ras.csv"), *machine_, o,
+                                                  e)
+                      .events();
+                });
+}
+
+TEST_F(IngestParity, JobLogMatchesSerial) {
+  expect_parity("parse.joblog.records",
+                [](const ingest::LoadOptions& o, ingest::Engine e) {
+                  return joblog::JobLog::read_csv(path("jobs.csv"), o, e).jobs();
+                });
+}
+
+TEST_F(IngestParity, TaskLogMatchesSerial) {
+  expect_parity("parse.tasklog.records",
+                [](const ingest::LoadOptions& o, ingest::Engine e) {
+                  return tasklog::TaskLog::read_csv(path("tasks.csv"), o, e)
+                      .tasks();
+                });
+}
+
+TEST_F(IngestParity, IoLogMatchesSerial) {
+  expect_parity("parse.iolog.records",
+                [](const ingest::LoadOptions& o, ingest::Engine e) {
+                  return iolog::IoLog::read_csv(path("io.csv"), o, e).records();
+                });
+}
+
+TEST_F(IngestParity, StreamFallbackMatchesMapped) {
+  ingest::LoadOptions mapped = mapped_options(4);
+  ingest::LoadOptions streamed = mapped;
+  streamed.force_stream = true;
+  EXPECT_EQ(joblog::JobLog::read_csv(path("jobs.csv"), mapped,
+                                     ingest::Engine::kMapped)
+                .jobs(),
+            joblog::JobLog::read_csv(path("jobs.csv"), streamed,
+                                     ingest::Engine::kMapped)
+                .jobs());
+}
+
+TEST_F(IngestParity, LoadDatasetDefaultsToIngestEngine) {
+  obs::MetricsRegistry& m = obs::metrics();
+  const std::uint64_t bytes_before = m.counter("ingest.bytes_mapped").value();
+  const sim::SimResult loaded = sim::load_dataset(*dir_, *machine_);
+  EXPECT_EQ(loaded.job_log.size(), trace_->job_log.size());
+  EXPECT_EQ(loaded.ras_log.size(), trace_->ras_log.size());
+  EXPECT_EQ(loaded.task_log.size(), trace_->task_log.size());
+  EXPECT_EQ(loaded.io_log.size(), trace_->io_log.size());
+  // The default path goes through the mmap engine, so the ingest
+  // counters must have advanced by at least the four files' bytes.
+  EXPECT_GT(m.counter("ingest.bytes_mapped").value(), bytes_before);
+}
+
+TEST_F(IngestParity, CorruptedRowFailsIdenticallyToSerial) {
+  // Append a malformed row (wrong arity) to a copy of the job log; the
+  // parallel engine must reject it with the serial reader's exact
+  // message and metric deltas.
+  const std::string corrupted = *dir_ + "/jobs_corrupted.csv";
+  std::filesystem::copy_file(path("jobs.csv"), corrupted,
+                             std::filesystem::copy_options::overwrite_existing);
+  { std::ofstream(corrupted, std::ios::app) << "999,bad,row\n"; }
+
+  std::string serial_error;
+  ParseDeltas before = ParseDeltas::snap("parse.joblog.records");
+  try {
+    joblog::JobLog::read_csv(corrupted, {}, ingest::Engine::kSerial);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    serial_error = e.what();
+  }
+  const ParseDeltas serial_delta =
+      ParseDeltas::snap("parse.joblog.records").since(before);
+  EXPECT_EQ(serial_delta.lines_rejected, 1u);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    before = ParseDeltas::snap("parse.joblog.records");
+    try {
+      joblog::JobLog::read_csv(corrupted, mapped_options(threads),
+                               ingest::Engine::kMapped);
+      FAIL() << "expected ParseError (threads=" << threads << ")";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(std::string(e.what()), serial_error)
+          << "threads=" << threads;
+    }
+    EXPECT_EQ(ParseDeltas::snap("parse.joblog.records").since(before),
+              serial_delta)
+        << "threads=" << threads;
+  }
+  std::filesystem::remove(corrupted);
+}
+
+}  // namespace
+}  // namespace failmine
