@@ -1,0 +1,146 @@
+// S05 — causal-tracing + alerting overhead: streaming pipeline
+// throughput with trace sampling off vs sampling 1-in-100 records while
+// the alert engine evaluates the default rules in the background.
+//
+// The tracer's budget is "one hash and one branch" on the non-sampled
+// path: maybe_begin() hashes the record sequence and bails, every stage
+// guards on `record.trace != 0`, and only the ~1% of sampled records
+// touch the slot atomics and the stage histograms (plus the exemplar
+// seqlock). The table reports records/sec for both modes and the
+// relative overhead; the run FAILS (exit 1) when the traced replay is
+// more than 5% slower, so a regression that makes the hot path
+// expensive (an allocation, a lock, unconditional stamping) cannot land
+// silently.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/alerts.hpp"
+#include "obs/causal.hpp"
+#include "sim/replay.hpp"
+#include "stream/pipeline.hpp"
+
+namespace {
+
+using namespace failmine;
+
+constexpr double kMaxOverhead = 0.05;  // 5% budget at 1% sampling
+
+const std::vector<stream::StreamRecord>& replay() {
+  static const std::vector<stream::StreamRecord> records = [] {
+    FAILMINE_TRACE_SPAN("bench.replay_build");
+    return sim::build_replay(bench::dataset());
+  }();
+  return records;
+}
+
+stream::StreamConfig make_config(bool traced) {
+  stream::StreamConfig config;
+  config.machine = bench::dataset_config().machine;
+  config.shard_count = 4;
+  config.policy = stream::BackpressurePolicy::kBlock;
+  config.max_lateness_seconds = 0;  // replay is already event-time ordered
+  config.trace_sample_period = traced ? 100 : 0;
+  return config;
+}
+
+/// One full replay; when `traced` is set, 1-in-100 records carry a
+/// causal trace stamped at all five stages AND the alert engine
+/// evaluates the default rule set every 50 ms. Returns records/sec.
+double run_pipeline(bool traced) {
+  if (traced) {
+    obs::alerts().set_rules(obs::default_alert_rules());
+    obs::alerts().start(/*poll_ms=*/50);
+  }
+
+  stream::StreamPipeline pipeline(make_config(traced));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<stream::StreamRecord> batch;
+  const auto& records = replay();
+  for (std::size_t i = 0; i < records.size();) {
+    const std::size_t n = std::min<std::size_t>(1024, records.size() - i);
+    batch.assign(records.begin() + i, records.begin() + i + n);
+    pipeline.push_batch(std::move(batch));
+    i += n;
+  }
+  pipeline.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto snap = pipeline.snapshot();
+  if (traced) {
+    obs::alerts().stop();
+    if (obs::causal_tracer().sampled() == 0) {
+      std::fprintf(stderr, "FATAL: traced replay sampled no records\n");
+      std::exit(1);
+    }
+  }
+  if (snap.records_dropped != 0) {
+    std::fprintf(stderr, "FATAL: blocking policy dropped records\n");
+    std::exit(1);
+  }
+  return static_cast<double>(snap.records_in) / secs;
+}
+
+void print_table() {
+  bench::print_header("S05", "causal tracing + alerting overhead",
+                      "pipeline records/sec with 1% trace sampling and the "
+                      "alert engine active vs both off");
+  // Warm both paths once (simulator + histogram creation), then
+  // interleave the modes and take the best of five each: a replay run is
+  // short, so a single scheduler hiccup can cost more than the whole
+  // tracing budget — best-of-N compares the two modes at their
+  // undisturbed speed.
+  (void)run_pipeline(false);
+  (void)run_pipeline(true);
+  double off = 0.0, on = 0.0;
+  for (int round = 0; round < 5; ++round) {
+    off = std::max(off, run_pipeline(false));
+    on = std::max(on, run_pipeline(true));
+  }
+  const double overhead = (off - on) / off;
+  std::printf("%-12s %14s\n", "mode", "records/s");
+  std::printf("%-12s %14.0f\n", "trace off", off);
+  std::printf("%-12s %14.0f\n", "trace 1%", on);
+  std::printf("overhead: %.2f%% (budget %.0f%%)\n", 100.0 * overhead,
+              100.0 * kMaxOverhead);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FATAL: tracing overhead %.2f%% exceeds the %.0f%% budget\n",
+                 100.0 * overhead, 100.0 * kMaxOverhead);
+    std::exit(1);
+  }
+}
+
+void BM_StreamReplayTraceOff(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_pipeline(false));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayTraceOff)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamReplayTraceOn(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_pipeline(true));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayTraceOn)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -36,4 +36,19 @@ failmine_require_metrics("${metrics_json}"
 failmine_require_metric_prefix("${metrics_json}"
   "${FAILMINE_SERVE_LABELED_REQUESTS_PREFIX}")
 
+# Causal tracing is on by default and the alert engine runs the built-in
+# rules, so their instruments (and the process gauges every export
+# refreshes) must be present too. The sampled counter must be non-zero:
+# the replay is far longer than the sampling period.
+failmine_require_metrics("${metrics_json}"
+  ${FAILMINE_CAUSAL_REQUIRED_HISTOGRAMS}
+  ${FAILMINE_ALERTS_REQUIRED_METRICS}
+  ${FAILMINE_PROCESS_REQUIRED_GAUGES})
+failmine_metric_value(traces_sampled "${metrics_json}"
+                      "${FAILMINE_CAUSAL_SAMPLED_COUNTER}")
+if(traces_sampled EQUAL 0)
+  message(FATAL_ERROR "${FAILMINE_CAUSAL_SAMPLED_COUNTER} is 0 — causal "
+                      "sampling never fired over the replay")
+endif()
+
 message(STATUS "stream metrics OK: records_in=${records_in}, no drops")

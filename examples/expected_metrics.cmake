@@ -22,6 +22,32 @@ set(FAILMINE_STREAM_REQUIRED_HISTOGRAMS
 set(FAILMINE_STREAM_IN_COUNTER stream.records_in)
 set(FAILMINE_STREAM_DROPPED_COUNTER stream.records_dropped)
 
+# Causal-tracing instruments the pipeline's tracer configures at
+# construction (src/obs/causal.cpp): one latency histogram per stage
+# after emit, the end-to-end histogram, and the sampled-trace counter.
+# They exist (possibly all-zero) whenever trace sampling is enabled,
+# which is the stream example's default.
+set(FAILMINE_CAUSAL_REQUIRED_HISTOGRAMS
+  causal.stage.ring_us
+  causal.stage.reorder_us
+  causal.stage.shard_us
+  causal.stage.apply_us
+  causal.e2e_us)
+set(FAILMINE_CAUSAL_SAMPLED_COUNTER causal.sampled)
+
+# Alert-engine instruments (src/obs/alerts.cpp) — the stream example
+# always runs the engine over the built-in rule set.
+set(FAILMINE_ALERTS_REQUIRED_METRICS
+  obs.alerts.firing
+  obs.alerts.evaluations
+  obs.alerts.transitions)
+
+# Process-level gauges update_process_metrics() maintains on every
+# export and scrape (src/obs/metrics.cpp).
+set(FAILMINE_PROCESS_REQUIRED_GAUGES
+  process_start_time_seconds
+  failmine_uptime_seconds)
+
 # The parse counter the obs-exports check requires to be populated.
 set(FAILMINE_PARSE_LINES_COUNTER parse.lines_total)
 

@@ -13,18 +13,26 @@
 //       per-exit-class execution-length distribution study (E05)
 //   stream   --data DIR [--shards N] [--lateness SEC] [--shuffle SEC]
 //            [--seed N] [--policy block|drop] [--queue N] [--interval N]
-//            [--serve PORT] [--serve-linger SEC]
+//            [--serve PORT] [--serve-linger SEC] [--trace-sample N]
+//            [--alert-rules PATH]
 //       replay the dataset through the streaming pipeline in event-time
 //       order (optionally with bounded shuffle); prints periodic windowed
 //       stats to stderr and the final StreamSnapshot JSON to stdout.
 //       --serve exposes live telemetry over HTTP for the duration of the
 //       replay (port 0 picks an ephemeral port, announced on stderr):
-//       GET /metrics (Prometheus text), /snapshot (StreamSnapshot JSON),
-//       /healthz (200 ok / 503 when the stall watchdog trips),
+//       GET /metrics (Prometheus text; ?format=openmetrics adds trace-id
+//       exemplars), /snapshot (StreamSnapshot JSON), /healthz (200/503
+//       JSON with the firing-alert count), /trace?id=HEX (stage timeline
+//       of a sampled record), /alerts (SLO rule states),
 //       /flightrecorder (recent log/span ring as JSONL) and /profile
 //       (timed CPU capture, ?seconds=N&hz=H&fmt=folded|json).
 //       --serve-linger keeps the server up N seconds after the replay
 //       finishes so a scraper can collect the final state.
+//       --trace-sample N samples 1-in-N records for causal tracing
+//       (default 100; 0 disables) and prints the end-of-run
+//       critical-path report to stderr. --alert-rules PATH replaces the
+//       built-in alert rules (see obs/alerts.hpp for the grammar); the
+//       engine evaluates every 500 ms while the replay runs.
 //
 // Global loading options (any subcommand reading --data DIR):
 //   --ingest-threads N   worker threads for the parallel mmap CSV ingest
@@ -58,6 +66,8 @@
 #include <thread>
 
 #include "core/report.hpp"
+#include "obs/alerts.hpp"
+#include "obs/causal.hpp"
 #include "obs/serve.hpp"
 #include "obs/session.hpp"
 #include "sim/replay.hpp"
@@ -120,7 +130,9 @@ void print_usage() {
                "[--shuffle SEC]\n"
                "           [--seed N] [--policy block|drop] [--queue N] "
                "[--interval N]\n"
-               "           [--serve PORT] [--serve-linger SEC]\n"
+               "           [--serve PORT] [--serve-linger SEC] "
+               "[--trace-sample N]\n"
+               "           [--alert-rules PATH]\n"
                "global: [--ingest-threads N] [--log-level LEVEL] "
                "[--metrics-out PATH]\n"
                "        [--trace-out PATH] [--flight-recorder PATH] "
@@ -265,8 +277,20 @@ int cmd_stream(const ArgMap& args) {
   config.policy = parse_policy(args.get("policy", "block"));
   config.queue_capacity = static_cast<std::size_t>(
       args.get_int("queue", static_cast<long long>(config.queue_capacity)));
+  config.trace_sample_period = static_cast<std::uint32_t>(std::max(
+      0LL, (long long)args.get_int("trace-sample",
+                                   config.trace_sample_period)));
 
   stream::StreamPipeline pipeline(config);
+
+  // SLO/alert engine: built-in rules unless --alert-rules overrides
+  // them. Runs for the duration of the replay (plus any --serve-linger,
+  // so a scraper can read final /alerts state).
+  const std::string rules_path = args.get("alert-rules", "");
+  obs::alerts().set_rules(rules_path.empty()
+                              ? obs::default_alert_rules()
+                              : obs::load_alert_rules_file(rules_path));
+  obs::alerts().start(/*poll_ms=*/500);
 
   // --serve exposes live telemetry while the replay runs. Port 0 asks
   // the kernel for an ephemeral port; either way the bound port goes to
@@ -313,11 +337,14 @@ int cmd_stream(const ArgMap& args) {
   pipeline.finish();
   const auto snap = pipeline.snapshot();
   std::fputs(snap.to_json().c_str(), stdout);
+  if (obs::causal_tracer().enabled())
+    std::fputs(obs::causal_tracer().critical_path_text().c_str(), stderr);
   if (server != nullptr) {
     const long long linger = args.get_int("serve-linger", 0);
     if (linger > 0) std::this_thread::sleep_for(std::chrono::seconds(linger));
     server->stop();
   }
+  obs::alerts().stop();
   return 0;
 }
 

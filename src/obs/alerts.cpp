@@ -1,0 +1,431 @@
+#include "obs/alerts.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+namespace {
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool compare(double value, AlertOp op, double threshold) {
+  switch (op) {
+    case AlertOp::kGt: return value > threshold;
+    case AlertOp::kGe: return value >= threshold;
+    case AlertOp::kLt: return value < threshold;
+    case AlertOp::kLe: return value <= threshold;
+  }
+  return false;
+}
+
+Gauge& firing_gauge() {
+  static Gauge& g = metrics().gauge("obs.alerts.firing");
+  return g;
+}
+Counter& evaluations_counter() {
+  static Counter& c = metrics().counter("obs.alerts.evaluations");
+  return c;
+}
+Counter& transitions_counter() {
+  static Counter& c = metrics().counter("obs.alerts.transitions");
+  return c;
+}
+
+}  // namespace
+
+std::string_view alert_fn_name(AlertFn fn) {
+  switch (fn) {
+    case AlertFn::kValue: return "value";
+    case AlertFn::kRate: return "rate";
+    case AlertFn::kP50: return "p50";
+    case AlertFn::kP90: return "p90";
+    case AlertFn::kP99: return "p99";
+  }
+  return "?";
+}
+
+std::string_view alert_op_name(AlertOp op) {
+  switch (op) {
+    case AlertOp::kGt: return ">";
+    case AlertOp::kGe: return ">=";
+    case AlertOp::kLt: return "<";
+    case AlertOp::kLe: return "<=";
+  }
+  return "?";
+}
+
+std::string_view alert_state_name(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+    case AlertState::kResolved: return "resolved";
+  }
+  return "?";
+}
+
+std::string AlertRule::expression() const {
+  std::string out(alert_fn_name(fn));
+  out += '(';
+  out += metric;
+  out += ") ";
+  out += alert_op_name(op);
+  out += ' ';
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", threshold);
+  out += buf;
+  if (for_ms > 0) {
+    std::snprintf(buf, sizeof(buf), " for %gs",
+                  static_cast<double>(for_ms) / 1000.0);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<AlertRule> parse_alert_rules(std::string_view text) {
+  std::vector<AlertRule> rules;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  const auto fail = [&](const std::string& why) {
+    throw failmine::ParseError("alert rule line " + std::to_string(line_no) +
+                               ": " + why);
+  };
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    AlertRule rule;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) fail("missing ':' after rule name");
+    rule.name = std::string(trim(line.substr(0, colon)));
+    if (rule.name.empty()) fail("empty rule name");
+    std::string_view rest = trim(line.substr(colon + 1));
+
+    const std::size_t open = rest.find('(');
+    const std::size_t close = rest.find(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open)
+      fail("expected fn(metric)");
+    const std::string_view fn = trim(rest.substr(0, open));
+    if (fn == "value") rule.fn = AlertFn::kValue;
+    else if (fn == "rate") rule.fn = AlertFn::kRate;
+    else if (fn == "p50") rule.fn = AlertFn::kP50;
+    else if (fn == "p90") rule.fn = AlertFn::kP90;
+    else if (fn == "p99") rule.fn = AlertFn::kP99;
+    else fail("unknown fn '" + std::string(fn) +
+              "' (value|rate|p50|p90|p99)");
+    rule.metric = std::string(trim(rest.substr(open + 1, close - open - 1)));
+    if (rule.metric.empty()) fail("empty metric name");
+    rest = trim(rest.substr(close + 1));
+
+    if (rest.rfind(">=", 0) == 0) { rule.op = AlertOp::kGe; rest = trim(rest.substr(2)); }
+    else if (rest.rfind("<=", 0) == 0) { rule.op = AlertOp::kLe; rest = trim(rest.substr(2)); }
+    else if (rest.rfind(">", 0) == 0) { rule.op = AlertOp::kGt; rest = trim(rest.substr(1)); }
+    else if (rest.rfind("<", 0) == 0) { rule.op = AlertOp::kLt; rest = trim(rest.substr(1)); }
+    else fail("expected comparison (> >= < <=)");
+
+    std::size_t parsed = 0;
+    try {
+      rule.threshold = std::stod(std::string(rest), &parsed);
+    } catch (const std::exception&) {
+      fail("unparseable threshold");
+    }
+    rest = trim(rest.substr(parsed));
+
+    if (!rest.empty()) {
+      if (rest.rfind("for", 0) != 0) fail("trailing garbage '" +
+                                          std::string(rest) + "'");
+      rest = trim(rest.substr(3));
+      double duration = 0.0;
+      try {
+        duration = std::stod(std::string(rest), &parsed);
+      } catch (const std::exception&) {
+        fail("unparseable 'for' duration");
+      }
+      const std::string_view unit = trim(rest.substr(parsed));
+      if (unit == "s" || unit.empty())
+        rule.for_ms = static_cast<std::int64_t>(duration * 1000.0);
+      else if (unit == "ms")
+        rule.for_ms = static_cast<std::int64_t>(duration);
+      else
+        fail("unknown duration unit '" + std::string(unit) + "' (s|ms)");
+      if (rule.for_ms < 0) fail("'for' duration must be non-negative");
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<AlertRule> load_alert_rules_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw failmine::ObsError("cannot open alert rules file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_alert_rules(ss.str());
+}
+
+std::vector<AlertRule> default_alert_rules() {
+  // Built-in SLOs every stream run starts from: any drop burn is a
+  // breach under the blocking policy, a stalled shard mirrors the
+  // watchdog into the alert surface, and the shard-apply p99 guards
+  // the per-batch latency budget.
+  return parse_alert_rules(
+      "stream-drops: rate(stream.records_dropped) > 0\n"
+      "stream-shard-stalled: value(stream.stalled_shards) > 0\n"
+      "stream-apply-p99: p99(stream.shard0.apply_us) > 100000 for 5s\n");
+}
+
+AlertEngine::AlertEngine(MetricsRegistry* registry) : registry_(registry) {}
+
+AlertEngine::~AlertEngine() { stop(); }
+
+void AlertEngine::set_rules(std::vector<AlertRule> rules) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  rules_.reserve(rules.size());
+  for (AlertRule& rule : rules) {
+    RuleState state;
+    state.rule = std::move(rule);
+    state.state_since_ms = steady_now_ms();
+    rules_.push_back(std::move(state));
+  }
+  firing_.store(0, std::memory_order_relaxed);
+  firing_gauge().set(0.0);
+}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RuleState state;
+  state.rule = std::move(rule);
+  state.state_since_ms = steady_now_ms();
+  rules_.push_back(std::move(state));
+}
+
+std::size_t AlertEngine::rule_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rules_.size();
+}
+
+void AlertEngine::start(std::int64_t poll_ms) {
+  if (poll_ms <= 0)
+    throw failmine::DomainError("alert poll interval must be positive");
+  if (running_.load(std::memory_order_relaxed)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this, poll_ms] { loop(poll_ms); });
+}
+
+void AlertEngine::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+bool AlertEngine::running() const {
+  return running_.load(std::memory_order_relaxed);
+}
+
+void AlertEngine::loop(std::int64_t poll_ms) {
+  for (;;) {
+    evaluate_now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(poll_ms),
+                          [this] { return stop_; }))
+      return;
+  }
+}
+
+std::optional<double> AlertEngine::extract(RuleState& state,
+                                           const MetricsSample& sample,
+                                           std::int64_t now_ms) {
+  const AlertRule& rule = state.rule;
+  switch (rule.fn) {
+    case AlertFn::kValue: {
+      for (const auto& [name, value] : sample.counters)
+        if (name == rule.metric) return static_cast<double>(value);
+      for (const auto& [name, value] : sample.gauges)
+        if (name == rule.metric) return value;
+      return std::nullopt;
+    }
+    case AlertFn::kRate: {
+      for (const auto& [name, value] : sample.counters) {
+        if (name != rule.metric) continue;
+        const double current = static_cast<double>(value);
+        if (!state.has_prev || now_ms <= state.prev_ms) {
+          state.has_prev = true;
+          state.prev_counter = current;
+          state.prev_ms = now_ms;
+          return std::nullopt;  // no baseline yet
+        }
+        const double per_second =
+            (current - state.prev_counter) /
+            (static_cast<double>(now_ms - state.prev_ms) / 1000.0);
+        state.prev_counter = current;
+        state.prev_ms = now_ms;
+        return std::max(0.0, per_second);
+      }
+      return std::nullopt;
+    }
+    case AlertFn::kP50:
+    case AlertFn::kP90:
+    case AlertFn::kP99: {
+      const double q = rule.fn == AlertFn::kP50   ? 0.50
+                       : rule.fn == AlertFn::kP90 ? 0.90
+                                                  : 0.99;
+      for (const auto& [name, hist] : sample.histograms)
+        if (name == rule.metric) {
+          if (hist.count == 0) return std::nullopt;  // no data, no verdict
+          return histogram_quantile(hist, q);
+        }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void AlertEngine::evaluate_locked(std::int64_t now_ms) {
+  const MetricsSample sample =
+      (registry_ != nullptr ? *registry_ : metrics()).sample();
+  std::size_t firing_count = 0;
+  for (RuleState& rs : rules_) {
+    const std::optional<double> value = extract(rs, sample, now_ms);
+    rs.has_value = value.has_value();
+    if (value) rs.last_value = *value;
+    const bool breach =
+        value && compare(*value, rs.rule.op, rs.rule.threshold);
+
+    AlertState next = rs.state;
+    switch (rs.state) {
+      case AlertState::kInactive:
+      case AlertState::kResolved:
+        if (breach) {
+          rs.pending_since_ms = now_ms;
+          next = rs.rule.for_ms == 0 ? AlertState::kFiring
+                                     : AlertState::kPending;
+        }
+        break;
+      case AlertState::kPending:
+        if (!breach)
+          next = AlertState::kInactive;
+        else if (now_ms - rs.pending_since_ms >= rs.rule.for_ms)
+          next = AlertState::kFiring;
+        break;
+      case AlertState::kFiring:
+        if (!breach) next = AlertState::kResolved;
+        break;
+    }
+    if (next != rs.state) {
+      rs.state = next;
+      rs.state_since_ms = now_ms;
+      transitions_counter().add();
+      if (next == AlertState::kFiring)
+        logger().warn("obs.alert_firing",
+                      {Field("rule", rs.rule.name),
+                       Field("value", rs.last_value),
+                       Field("threshold", rs.rule.threshold)});
+      else if (next == AlertState::kResolved)
+        logger().info("obs.alert_resolved", {Field("rule", rs.rule.name)});
+    }
+    if (rs.state == AlertState::kFiring) ++firing_count;
+  }
+  firing_.store(firing_count, std::memory_order_relaxed);
+  firing_gauge().set(static_cast<double>(firing_count));
+  evaluations_counter().add();
+}
+
+void AlertEngine::evaluate_now() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  evaluate_locked(steady_now_ms());
+}
+
+std::vector<AlertStatus> AlertEngine::status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t now_ms = steady_now_ms();
+  std::vector<AlertStatus> out;
+  out.reserve(rules_.size());
+  for (const RuleState& rs : rules_) {
+    AlertStatus status;
+    status.rule = rs.rule;
+    status.state = rs.state;
+    status.has_value = rs.has_value;
+    status.last_value = rs.last_value;
+    status.since_ms = std::max<std::int64_t>(0, now_ms - rs.state_since_ms);
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::string AlertEngine::to_json() const {
+  const std::vector<AlertStatus> statuses = status();
+  std::string out = "{\"firing\":";
+  out += std::to_string(firing());
+  out += ",\"rules\":[";
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    const AlertStatus& s = statuses[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    append_json_string(out, s.rule.name);
+    out += ",\"expr\":";
+    append_json_string(out, s.rule.expression());
+    out += ",\"state\":";
+    append_json_string(out, std::string(alert_state_name(s.state)));
+    out += ",\"value\":";
+    out += s.has_value ? json_number(s.last_value) : "null";
+    out += ",\"threshold\":";
+    out += json_number(s.rule.threshold);
+    out += ",\"for_ms\":";
+    out += std::to_string(s.rule.for_ms);
+    out += ",\"since_ms\":";
+    out += std::to_string(s.since_ms);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+AlertEngine& alerts() {
+  // Leaked intentionally (see obs::logger()).
+  static AlertEngine* instance = new AlertEngine();
+  return *instance;
+}
+
+}  // namespace failmine::obs

@@ -1,0 +1,164 @@
+// failmine/obs/alerts.hpp
+//
+// Declarative SLO/alert rules evaluated against the metrics registry.
+//
+// A rule names an instrument, an extraction function, a comparison and
+// a threshold, optionally with a hold duration ("for"), in a one-line
+// grammar (rule files and built-in defaults share it):
+//
+//   <name>: <fn>(<metric>) <op> <threshold> [for <seconds>s]
+//
+//   fn  value  counter or gauge absolute value
+//       rate   counter increase per second between two evaluations
+//              (burn rate; the first evaluation has no baseline and
+//              never fires)
+//       p50 | p90 | p99
+//              histogram quantile via cumulative-bucket interpolation
+//   op  >  >=  <  <=
+//
+//   # comments and blank lines are ignored
+//   stream-drops: rate(stream.records_dropped) > 0
+//   shard-apply-p99: p99(stream.shard0.apply_us) > 50000 for 10s
+//
+// The engine samples the registry on a background thread (start(); the
+// poll interval is configurable, tests run it synchronously with
+// evaluate_now()) and walks each rule through the conventional state
+// machine: inactive -> pending (condition true, hold not yet served) ->
+// firing -> resolved (condition cleared after firing; a fresh breach
+// re-enters pending). Missing instruments evaluate as "no data" and
+// never fire.
+//
+// Exposure: status() / to_json() back the telemetry server's
+// `GET /alerts`; firing() is a lock-free count for the /healthz body's
+// `alerts_firing` field; the engine also maintains the
+// `obs.alerts.firing` gauge and `obs.alerts.evaluations` /
+// `obs.alerts.transitions` counters, and logs every transition.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace failmine::obs {
+
+enum class AlertFn { kValue, kRate, kP50, kP90, kP99 };
+enum class AlertOp { kGt, kGe, kLt, kLe };
+enum class AlertState { kInactive, kPending, kFiring, kResolved };
+
+std::string_view alert_fn_name(AlertFn fn);
+std::string_view alert_op_name(AlertOp op);
+std::string_view alert_state_name(AlertState state);
+
+struct AlertRule {
+  std::string name;
+  AlertFn fn = AlertFn::kValue;
+  std::string metric;
+  AlertOp op = AlertOp::kGt;
+  double threshold = 0.0;
+  std::int64_t for_ms = 0;  ///< hold duration before pending -> firing
+
+  /// The rule's expression back in grammar form (minus the name).
+  std::string expression() const;
+};
+
+/// One rule's live status as of the last evaluation.
+struct AlertStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kInactive;
+  bool has_value = false;   ///< false when the metric is absent / no rate yet
+  double last_value = 0.0;  ///< extracted value at the last evaluation
+  std::int64_t since_ms = 0;  ///< ms the rule has been in this state
+};
+
+/// Parses the rule grammar above; throws ParseError naming the line on
+/// malformed input.
+std::vector<AlertRule> parse_alert_rules(std::string_view text);
+
+/// Reads and parses a rule file; throws ObsError if unreadable.
+std::vector<AlertRule> load_alert_rules_file(const std::string& path);
+
+/// The built-in defaults a stream run starts with when no --alert-rules
+/// file overrides them: drop burn rate, stalled shards, and sustained
+/// ingest-ring saturation.
+std::vector<AlertRule> default_alert_rules();
+
+class AlertEngine {
+ public:
+  /// Evaluates against `registry`, or the process-global metrics()
+  /// when null.
+  explicit AlertEngine(MetricsRegistry* registry = nullptr);
+  ~AlertEngine();
+
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+  /// Replaces the rule set (resets every rule's state).
+  void set_rules(std::vector<AlertRule> rules);
+  void add_rule(AlertRule rule);
+  std::size_t rule_count() const;
+
+  /// Spawns the background evaluation thread. Idempotent.
+  void start(std::int64_t poll_ms = 1000);
+  /// Stops and joins the thread. Idempotent; called by the destructor.
+  void stop();
+  bool running() const;
+
+  /// One synchronous evaluation pass (what the thread runs per tick).
+  /// Usable without start() — tests and one-shot checks drive it
+  /// directly.
+  void evaluate_now();
+
+  /// Number of rules currently firing (lock-free; safe from any
+  /// thread, e.g. the /healthz handler).
+  std::size_t firing() const {
+    return firing_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<AlertStatus> status() const;
+
+  /// {"firing":N,"rules":[{"name":...,"expr":...,"state":...,...},...]}
+  std::string to_json() const;
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    AlertState state = AlertState::kInactive;
+    bool has_value = false;
+    double last_value = 0.0;
+    std::int64_t state_since_ms = 0;    ///< steady ms of last transition
+    std::int64_t pending_since_ms = 0;  ///< steady ms the breach began
+    bool has_prev = false;              ///< rate baseline captured
+    double prev_counter = 0.0;
+    std::int64_t prev_ms = 0;
+  };
+
+  void loop(std::int64_t poll_ms);
+  static std::optional<double> extract(RuleState& state,
+                                       const MetricsSample& sample,
+                                       std::int64_t now_ms);
+  void evaluate_locked(std::int64_t now_ms);
+
+  MetricsRegistry* registry_;
+  mutable std::mutex mutex_;  // guards rules_ and the stop flag
+  std::vector<RuleState> rules_;
+  std::atomic<std::size_t> firing_{0};
+
+  std::thread thread_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::atomic<bool> running_{false};
+};
+
+/// The process-wide engine the CLI and the telemetry server share.
+AlertEngine& alerts();
+
+}  // namespace failmine::obs

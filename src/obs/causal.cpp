@@ -1,0 +1,294 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+
+namespace {
+
+/// SplitMix64 finalizer (same construction as stream::mix64; obs cannot
+/// depend on stream, and the few lines are cheaper than a new layer).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Queue-delay bounds: stage latencies span sub-microsecond handoffs to
+/// multi-second backpressure waits, so the buckets cover 1us..1s in a
+/// 1-2.5-5 ladder.
+std::vector<double> causal_latency_bounds() {
+  return {1,    2,    5,     10,    25,    50,     100,    250,    500,
+          1000, 2500, 5000,  10000, 25000, 50000,  100000, 250000, 500000,
+          1000000};
+}
+
+}  // namespace
+
+std::string causal_trace_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool parse_trace_id(std::string_view text, std::uint64_t& id) {
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X'))
+    text.remove_prefix(2);
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t out = 0;
+  for (const char c : text) {
+    out <<= 4;
+    if (c >= '0' && c <= '9') out |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return false;
+  }
+  id = out;
+  return true;
+}
+
+std::string CausalTimeline::to_json() const {
+  std::string out = "{\"trace_id\":";
+  append_json_string(out, causal_trace_id_hex(trace_id));
+  out += ",\"key\":";
+  out += std::to_string(key);
+  out += ",\"stages\":[";
+  for (std::size_t i = 0; i < stamps.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"stage\":";
+    append_json_string(out, stamps[i].stage);
+    out += ",\"at_us\":";
+    out += std::to_string(stamps[i].at_us);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+void CausalTracer::configure(std::vector<std::string> stage_names,
+                             std::uint32_t sample_period,
+                             std::size_t capacity) {
+  if (stage_names.empty() || stage_names.size() > kCausalMaxStages)
+    throw failmine::DomainError("causal tracer needs 1.." +
+                                std::to_string(kCausalMaxStages) + " stages");
+  if (capacity == 0)
+    throw failmine::DomainError("causal tracer capacity must be positive");
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Quiesce the hot path while the slot ring is replaced.
+  sample_period_.store(0, std::memory_order_release);
+  stages_ = std::move(stage_names);
+  stage_hists_.fill(nullptr);
+  for (std::size_t s = 1; s < stages_.size(); ++s)
+    stage_hists_[s] = &metrics().histogram("causal.stage." + stages_[s] + "_us",
+                                           causal_latency_bounds());
+  e2e_hist_ = &metrics().histogram("causal.e2e_us", causal_latency_bounds());
+  sampled_counter_ = &metrics().counter("causal.sampled");
+
+  slots_storage_ = std::make_unique<Slot[]>(capacity);
+  slots_.store(slots_storage_.get(), std::memory_order_release);
+  capacity_.store(capacity, std::memory_order_release);
+  stage_count_.store(static_cast<std::uint32_t>(stages_.size()),
+                     std::memory_order_release);
+  next_slot_.store(0, std::memory_order_relaxed);
+  sampled_.store(0, std::memory_order_relaxed);
+  sample_period_.store(sample_period, std::memory_order_release);
+}
+
+std::uint32_t CausalTracer::maybe_begin(std::uint64_t key) {
+  const std::uint32_t period = sample_period_.load(std::memory_order_relaxed);
+  if (period == 0) return 0;
+  if (period > 1 && mix(key) % period != 0) return 0;
+
+  Slot* slots = slots_.load(std::memory_order_acquire);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (slots == nullptr || cap == 0) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      next_slot_.fetch_add(1, std::memory_order_relaxed) % cap);
+  Slot& slot = slots[idx];
+
+  // Invalidate first so find() never pairs the new stamps with the
+  // recycled slot's old id.
+  slot.trace_id.store(0, std::memory_order_release);
+  const std::uint32_t stages = stage_count_.load(std::memory_order_relaxed);
+  for (std::uint32_t s = 1; s < stages; ++s)
+    slot.at_us[s].store(0, std::memory_order_relaxed);
+  slot.key.store(key, std::memory_order_relaxed);
+  slot.at_us[0].store(steady_now_us(), std::memory_order_relaxed);
+  // A second mix round decorrelates the id from the residue structure
+  // the sampling decision imposed on mix(key).
+  std::uint64_t id = mix(mix(key) ^ 0xda3e39cb94b95bdbULL);
+  if (id == 0) id = 1;
+  slot.trace_id.store(id, std::memory_order_release);
+
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  if (sampled_counter_ != nullptr) sampled_counter_->add();
+  return static_cast<std::uint32_t>(idx) + 1;
+}
+
+void CausalTracer::stamp(std::uint32_t ref, std::size_t stage) {
+  if (ref == 0) return;
+  Slot* slots = slots_.load(std::memory_order_acquire);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  const std::uint32_t stages = stage_count_.load(std::memory_order_relaxed);
+  if (slots == nullptr || cap == 0 || stage == 0 || stage >= stages) return;
+  Slot& slot = slots[(ref - 1) % cap];
+
+  const std::uint64_t now = steady_now_us();
+  const std::uint64_t prev =
+      slot.at_us[stage - 1].load(std::memory_order_relaxed);
+  slot.at_us[stage].store(now, std::memory_order_release);
+  const std::uint64_t id = slot.trace_id.load(std::memory_order_relaxed);
+  if (prev != 0 && now >= prev && stage_hists_[stage] != nullptr)
+    stage_hists_[stage]->observe(static_cast<double>(now - prev), id);
+  if (stage + 1 == stages && e2e_hist_ != nullptr) {
+    const std::uint64_t begin = slot.at_us[0].load(std::memory_order_relaxed);
+    if (begin != 0 && now >= begin)
+      e2e_hist_->observe(static_cast<double>(now - begin), id);
+  }
+}
+
+std::uint64_t CausalTracer::trace_id_of(std::uint32_t ref) const {
+  if (ref == 0) return 0;
+  Slot* slots = slots_.load(std::memory_order_acquire);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (slots == nullptr || cap == 0) return 0;
+  return slots[(ref - 1) % cap].trace_id.load(std::memory_order_acquire);
+}
+
+std::optional<CausalTimeline> CausalTracer::find(
+    std::uint64_t trace_id) const {
+  if (trace_id == 0) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot* slots = slots_.load(std::memory_order_acquire);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < cap; ++i) {
+    Slot& slot = slots[i];
+    if (slot.trace_id.load(std::memory_order_acquire) != trace_id) continue;
+    CausalTimeline timeline;
+    timeline.trace_id = trace_id;
+    timeline.key = slot.key.load(std::memory_order_relaxed);
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      const std::uint64_t at = slot.at_us[s].load(std::memory_order_acquire);
+      if (at != 0) timeline.stamps.push_back({stages_[s], at});
+    }
+    // The slot may have been recycled mid-read; only a still-matching
+    // id vouches for the stamps belonging to this trace.
+    if (slot.trace_id.load(std::memory_order_acquire) != trace_id) continue;
+    return timeline;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> CausalTracer::stage_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stages_;
+}
+
+std::vector<CausalStageStat> CausalTracer::stage_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CausalStageStat> out;
+  double total_sum = 0.0;
+  for (std::size_t s = 1; s < stages_.size(); ++s) {
+    const Histogram* h = stage_hists_[s];
+    if (h == nullptr) continue;
+    HistogramSample sample;
+    sample.upper_bounds = h->upper_bounds();
+    sample.buckets = h->bucket_counts();
+    CausalStageStat stat;
+    stat.stage = stages_[s];
+    stat.count = h->count();
+    stat.mean_us = h->mean();
+    stat.p50_us = histogram_quantile(sample, 0.50);
+    stat.p99_us = histogram_quantile(sample, 0.99);
+    stat.share = h->sum();  // raw for now; normalized below
+    total_sum += h->sum();
+    out.push_back(std::move(stat));
+  }
+  for (CausalStageStat& stat : out)
+    stat.share = total_sum > 0.0 ? stat.share / total_sum : 0.0;
+  return out;
+}
+
+std::string CausalTracer::critical_path_text() const {
+  const std::vector<CausalStageStat> stats = stage_stats();
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "causal trace report: %llu sampled records (period %u)\n",
+                static_cast<unsigned long long>(sampled()),
+                sample_period());
+  out += line;
+  if (stats.empty()) return out + "  (no stages configured)\n";
+  std::snprintf(line, sizeof(line), "  %-10s %10s %12s %12s %12s %7s\n",
+                "stage", "count", "p50_us", "p99_us", "mean_us", "share");
+  out += line;
+  const CausalStageStat* dominant = nullptr;
+  for (const CausalStageStat& stat : stats) {
+    std::snprintf(line, sizeof(line),
+                  "  %-10s %10llu %12.1f %12.1f %12.1f %6.1f%%\n",
+                  stat.stage.c_str(),
+                  static_cast<unsigned long long>(stat.count), stat.p50_us,
+                  stat.p99_us, stat.mean_us, 100.0 * stat.share);
+    out += line;
+    if (dominant == nullptr || stat.share > dominant->share) dominant = &stat;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (e2e_hist_ != nullptr && e2e_hist_->count() > 0) {
+      HistogramSample sample;
+      sample.upper_bounds = e2e_hist_->upper_bounds();
+      sample.buckets = e2e_hist_->bucket_counts();
+      std::snprintf(line, sizeof(line),
+                    "  end-to-end: count=%llu p50=%.1fus p99=%.1fus\n",
+                    static_cast<unsigned long long>(e2e_hist_->count()),
+                    histogram_quantile(sample, 0.50),
+                    histogram_quantile(sample, 0.99));
+      out += line;
+    }
+  }
+  if (dominant != nullptr && dominant->count > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  critical path: %s dominates (%.1f%% of sampled stage "
+                  "time)\n",
+                  dominant->stage.c_str(), 100.0 * dominant->share);
+    out += line;
+  }
+  return out;
+}
+
+void CausalTracer::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot* slots = slots_.load(std::memory_order_acquire);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < cap; ++i) {
+    slots[i].trace_id.store(0, std::memory_order_relaxed);
+    slots[i].key.store(0, std::memory_order_relaxed);
+    for (auto& at : slots[i].at_us) at.store(0, std::memory_order_relaxed);
+  }
+  next_slot_.store(0, std::memory_order_relaxed);
+  sampled_.store(0, std::memory_order_relaxed);
+}
+
+CausalTracer& causal_tracer() {
+  // Leaked intentionally (see obs::logger()).
+  static CausalTracer* instance = new CausalTracer();
+  return *instance;
+}
+
+}  // namespace failmine::obs

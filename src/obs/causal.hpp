@@ -1,0 +1,177 @@
+// failmine/obs/causal.hpp
+//
+// Causal (per-record) tracing: sampled end-to-end trace contexts that
+// ride a record through a multi-stage pipeline and attribute its
+// latency to the stage that spent it.
+//
+// Thread-scoped spans (obs/trace.hpp) answer "what is this thread
+// doing"; they cannot follow one record across the ingest ring, the
+// reorder heap and a shard queue. The CausalTracer can: the emitter
+// calls maybe_begin(key) — a deterministic hash of the record's stable
+// key selects ~1/sample_period of records, so repeated runs sample the
+// same records — and gets back a small integer trace ref (0 means "not
+// sampled": the non-sampled path costs one hash and one branch, no
+// allocation, no atomics). Each downstream stage calls stamp(ref, stage)
+// which records a steady-clock timestamp in the trace's slot and feeds
+// the stage-to-stage delta into a per-stage latency histogram in the
+// metrics registry, attaching the trace id as an exemplar (rendered by
+// the OpenMetrics exposition, see prometheus.hpp). The final stage also
+// observes the end-to-end latency.
+//
+// Slots live in a fixed ring of atomics: begin() claims the next slot
+// round-robin, so a trace stays resolvable (find(trace_id), the
+// /trace?id= endpoint) until capacity newer samples have overwritten
+// it. All slot fields are individually atomic — a racing reader may see
+// a trace mid-write (it re-checks the id before and after reading), but
+// never tears a value, so the tracer is safe to scrape while the
+// pipeline runs.
+//
+// Registry instruments (created by configure()):
+//   causal.sampled                 counter of sampled records
+//   causal.stage.<name>_us         latency histogram per non-emit stage
+//   causal.e2e_us                  emit -> final-stage latency
+//
+// critical_path_text() / stage_stats() summarize the histograms into
+// the end-of-run report: per-stage p50/p99 and each stage's share of
+// the total sampled latency, naming the dominant stage.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace failmine::obs {
+
+class Counter;
+class Histogram;
+
+/// Upper bound on configure()'s stage list (slot stamps are a fixed
+/// array so begin/stamp never allocate).
+inline constexpr std::size_t kCausalMaxStages = 8;
+
+/// One stage timestamp of a resolved trace (microseconds on the
+/// process-wide steady clock, so stamps are comparable across threads).
+struct CausalStamp {
+  std::string stage;
+  std::uint64_t at_us = 0;
+};
+
+/// Full stage timeline of one sampled record.
+struct CausalTimeline {
+  std::uint64_t trace_id = 0;
+  std::uint64_t key = 0;  ///< the record key passed to maybe_begin()
+  std::vector<CausalStamp> stamps;  ///< stage order; unset stages omitted
+
+  /// {"trace_id":"...","key":N,"stages":[{"stage":"...","at_us":N},...]}
+  std::string to_json() const;
+};
+
+/// Latency summary of one non-emit stage (from its registry histogram).
+struct CausalStageStat {
+  std::string stage;
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double share = 0.0;  ///< this stage's fraction of summed stage time
+};
+
+class CausalTracer {
+ public:
+  /// (Re)defines the stage list, sampling period and slot capacity, and
+  /// creates the registry histograms. `stage_names[0]` is the emission
+  /// stage (stamped by maybe_begin); each later stage gets a
+  /// `causal.stage.<name>_us` histogram fed by stamp(). A period of 0
+  /// disables sampling entirely. Clears any previously recorded traces.
+  /// Throws DomainError on an empty/oversized stage list or zero
+  /// capacity.
+  void configure(std::vector<std::string> stage_names,
+                 std::uint32_t sample_period, std::size_t capacity = 4096);
+
+  std::uint32_t sample_period() const {
+    return sample_period_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const { return sample_period() != 0; }
+
+  /// Sampling decision + emission stamp. Returns 0 (not sampled — by
+  /// far the common case, and free of side effects) unless `key` hashes
+  /// into the 1/sample_period sample; then claims a slot, stamps stage
+  /// 0 and returns the slot's trace ref (pass it to stamp()).
+  std::uint32_t maybe_begin(std::uint64_t key);
+
+  /// Stamps stage `stage` (1-based relative to configure()'s list) on
+  /// the trace behind `ref`, observing the delta from the previous
+  /// stage into the stage histogram (with the trace id as exemplar).
+  /// The last stage also observes end-to-end latency. No-op on ref 0.
+  void stamp(std::uint32_t ref, std::size_t stage);
+
+  /// The trace id behind a live ref (0 for ref 0).
+  std::uint64_t trace_id_of(std::uint32_t ref) const;
+
+  /// Resolves a sampled trace by id while its slot has not been
+  /// recycled; stamps are returned in stage order.
+  std::optional<CausalTimeline> find(std::uint64_t trace_id) const;
+
+  /// Total records sampled since configure().
+  std::uint64_t sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<std::string> stage_names() const;
+
+  /// Per-stage latency summary from the registry histograms (one row
+  /// per non-emit stage, plus shares of the summed stage time).
+  std::vector<CausalStageStat> stage_stats() const;
+
+  /// Human-readable end-of-run critical-path report: the per-stage
+  /// table plus end-to-end p50/p99 and the dominant stage.
+  std::string critical_path_text() const;
+
+  /// Drops every recorded trace and zeroes the sampled counter; keeps
+  /// the configured stages (histograms are registry-owned and survive).
+  void reset();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> key{0};
+    std::array<std::atomic<std::uint64_t>, kCausalMaxStages> at_us{};
+  };
+
+  // configure() must not race the hot path: it is called before a
+  // pipeline starts stamping (thread creation publishes the raw
+  // pointers below). find()/stage_stats() may race stamping freely —
+  // they only touch atomics and mutex-guarded configuration.
+  mutable std::mutex mutex_;  // guards stages_ for configure/find/report
+  std::vector<std::string> stages_;
+  std::array<Histogram*, kCausalMaxStages> stage_hists_{};  ///< [1..count)
+  Histogram* e2e_hist_ = nullptr;
+  Counter* sampled_counter_ = nullptr;
+  std::unique_ptr<Slot[]> slots_storage_;
+  std::atomic<Slot*> slots_{nullptr};
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::uint32_t> stage_count_{0};
+  std::atomic<std::uint32_t> sample_period_{0};
+  std::atomic<std::uint64_t> next_slot_{0};
+  std::atomic<std::uint64_t> sampled_{0};
+};
+
+/// The process-wide tracer every instrumented pipeline stamps into.
+CausalTracer& causal_tracer();
+
+/// Canonical 16-hex-digit spelling of a trace id (what exemplars and
+/// /trace?id= use).
+std::string causal_trace_id_hex(std::uint64_t id);
+
+/// Parses the hex spelling (with or without a leading 0x). Returns
+/// false on malformed input.
+bool parse_trace_id(std::string_view text, std::uint64_t& id);
+
+}  // namespace failmine::obs

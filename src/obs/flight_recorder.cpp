@@ -148,8 +148,18 @@ void serialize_span(const SpanRecord& span) {
     }
   };
   append_literal("{\"kind\":\"span\",\"name\":\"");
-  for (char c : span.name)
-    if (c != '"' && c != '\\' && pos < sizeof(line)) line[pos++] = c;
+  // JSON string escaping within the fixed buffer: quote and backslash
+  // become two-character escapes, control characters degrade to '?'
+  // (this runs on the span hot path; \uXXXX is not worth it here).
+  for (char c : span.name) {
+    if (c == '"' || c == '\\') {
+      if (pos + 1 >= sizeof(line)) break;
+      line[pos++] = '\\';
+      line[pos++] = c;
+    } else if (pos < sizeof(line)) {
+      line[pos++] = static_cast<unsigned char>(c) < 0x20 ? '?' : c;
+    }
+  }
   append_literal("\",\"start_us\":");
   append_decimal(line, sizeof(line), pos, static_cast<long>(span.start_us));
   append_literal(",\"dur_us\":");

@@ -1,12 +1,23 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 
 #include "obs/json.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
+
+namespace {
+
+double unix_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 void Gauge::add(double delta) {
   double current = value_.load(std::memory_order_relaxed);
@@ -23,18 +34,37 @@ Histogram::Histogram(std::vector<double> upper_bounds)
       std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
     throw failmine::DomainError("histogram bounds must be strictly increasing");
   buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  exemplars_ = std::make_unique<ExemplarSlot[]>(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
 }
 
-void Histogram::observe(double v) {
+std::size_t Histogram::bucket_index(double v) const {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double current = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(current, current + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::observe(double v, std::uint64_t exemplar_trace_id) {
+  observe(v);
+  if (exemplar_trace_id == 0) return;
+  ExemplarSlot& slot = exemplars_[bucket_index(v)];
+  std::uint32_t gen = slot.gen.load(std::memory_order_relaxed);
+  if ((gen & 1u) != 0) return;  // another tagger mid-write: skip
+  if (!slot.gen.compare_exchange_strong(gen, gen + 1,
+                                        std::memory_order_acquire))
+    return;
+  slot.value.store(v, std::memory_order_relaxed);
+  slot.trace_id.store(exemplar_trace_id, std::memory_order_relaxed);
+  slot.unix_seconds.store(unix_now_seconds(), std::memory_order_relaxed);
+  slot.gen.store(gen + 2, std::memory_order_release);
 }
 
 double Histogram::mean() const {
@@ -49,11 +79,59 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const ExemplarSlot& slot = exemplars_[i];
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint32_t before = slot.gen.load(std::memory_order_acquire);
+      if ((before & 1u) != 0) continue;  // write in flight
+      Exemplar e;
+      e.value = slot.value.load(std::memory_order_relaxed);
+      e.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      e.unix_seconds = slot.unix_seconds.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.gen.load(std::memory_order_relaxed) != before) continue;
+      out[i] = e;
+      break;
+    }
+  }
+  return out;
+}
+
 void Histogram::reset() {
-  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+    exemplars_[i].trace_id.store(0, std::memory_order_relaxed);
+    exemplars_[i].value.store(0.0, std::memory_order_relaxed);
+    exemplars_[i].unix_seconds.store(0.0, std::memory_order_relaxed);
+  }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double histogram_quantile(const HistogramSample& sample, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : sample.buckets) total += b;
+  if (total == 0 || sample.upper_bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < sample.upper_bounds.size(); ++i) {
+    const std::uint64_t in_bucket = i < sample.buckets.size() ? sample.buckets[i] : 0;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lower = i == 0 ? 0.0 : sample.upper_bounds[i - 1];
+      const double upper = sample.upper_bounds[i];
+      if (in_bucket == 0) return upper;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  // Target rank lives in the overflow bucket: clamp to the top bound.
+  return sample.upper_bounds.back();
 }
 
 std::vector<double> default_histogram_bounds() {
@@ -103,6 +181,7 @@ MetricsSample MetricsRegistry::sample() const {
     HistogramSample s;
     s.upper_bounds = h->upper_bounds();
     s.buckets = h->bucket_counts();
+    s.exemplars = h->exemplars();
     s.count = h->count();
     s.sum = h->sum();
     out.histograms.emplace_back(name, std::move(s));
@@ -197,6 +276,19 @@ MetricsRegistry& metrics() {
   // Leaked intentionally (see obs::logger()).
   static MetricsRegistry* instance = new MetricsRegistry();
   return *instance;
+}
+
+void update_process_metrics() {
+  // Anchored at the first call (the obs layer coming up), which for the
+  // CLI and the benches is within milliseconds of exec.
+  static const double start_unix = unix_now_seconds();
+  static const auto start_steady = std::chrono::steady_clock::now();
+  metrics().gauge("process_start_time_seconds").set(start_unix);
+  metrics()
+      .gauge("failmine_uptime_seconds")
+      .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_steady)
+               .count());
 }
 
 }  // namespace failmine::obs

@@ -49,6 +49,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One exemplar: the most recent observation that landed in a bucket,
+/// tagged with the trace id that produced it. The OpenMetrics renderer
+/// attaches these to the bucket series so a dashboard's "p99 spiked"
+/// panel links straight to a concrete traced record (`/trace?id=`).
+struct Exemplar {
+  double value = 0.0;
+  std::uint64_t trace_id = 0;  ///< 0 = no exemplar recorded
+  double unix_seconds = 0.0;   ///< wall-clock time of the observation
+};
+
 /// Fixed-bucket histogram: one bucket per upper bound (inclusive), plus
 /// an implicit overflow bucket, plus running count and sum.
 class Histogram {
@@ -59,6 +69,13 @@ class Histogram {
 
   void observe(double v);
 
+  /// observe() that also remembers (v, trace_id, now) as the containing
+  /// bucket's exemplar. Lock-free: concurrent taggers of the same
+  /// bucket race via a generation CAS and the loser simply skips the
+  /// exemplar update (any recent exemplar is as good as another). A
+  /// trace_id of 0 degrades to a plain observe().
+  void observe(double v, std::uint64_t exemplar_trace_id);
+
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
@@ -66,11 +83,27 @@ class Histogram {
   /// Per-bucket counts; size is upper_bounds().size() + 1 (last =
   /// overflow).
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Per-bucket exemplars (same indexing as bucket_counts()); entries
+  /// with trace_id == 0 carry none.
+  std::vector<Exemplar> exemplars() const;
   void reset();
 
  private:
+  /// Seqlock-style exemplar slot built entirely from atomics (a racing
+  /// reader may observe a torn *generation* and retry, never a torn
+  /// value), so scraping under TSan while the pipeline stamps is clean.
+  struct ExemplarSlot {
+    std::atomic<std::uint32_t> gen{0};  ///< odd while a write is in flight
+    std::atomic<double> value{0.0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<double> unix_seconds{0.0};
+  };
+
+  std::size_t bucket_index(double v) const;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::unique_ptr<ExemplarSlot[]> exemplars_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
@@ -83,9 +116,17 @@ std::vector<double> default_histogram_bounds();
 struct HistogramSample {
   std::vector<double> upper_bounds;
   std::vector<std::uint64_t> buckets;  ///< size = upper_bounds.size() + 1
+  std::vector<Exemplar> exemplars;     ///< same indexing; may be empty
   std::uint64_t count = 0;
   double sum = 0.0;
 };
+
+/// Quantile estimate (q in [0, 1]) from a histogram sample: walks the
+/// cumulative bucket counts and interpolates linearly inside the
+/// containing bucket. Mass in the overflow bucket clamps to the largest
+/// bound (the sample carries no upper edge to interpolate toward).
+/// Returns 0 for an empty histogram.
+double histogram_quantile(const HistogramSample& sample, double q);
 
 /// Point-in-time copy of every instrument in a registry, name-sorted.
 /// Decouples exporters (Prometheus exposition, the telemetry server)
@@ -132,5 +173,14 @@ class MetricsRegistry {
 
 /// The process-wide registry used by all instrumented library code.
 MetricsRegistry& metrics();
+
+/// Registers (first call) and refreshes the process-lifetime gauges in
+/// the global registry: `process_start_time_seconds` (unix time the obs
+/// layer first came up — the conventional Prometheus name, already in
+/// the exposition alphabet) and `failmine_uptime_seconds` (seconds
+/// since). Called by the telemetry server per /metrics scrape and by
+/// ObsSession at flush, so both live scrapes and file exports carry
+/// fresh uptime.
+void update_process_metrics();
 
 }  // namespace failmine::obs

@@ -1,5 +1,7 @@
 #include "obs/prometheus.hpp"
 
+#include "obs/causal.hpp"
+
 namespace failmine::obs {
 
 namespace {
@@ -58,7 +60,14 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
-std::string render_prometheus(const MetricsSample& sample) {
+namespace {
+
+/// Shared body of the two expositions. `with_exemplars` is the only
+/// divergence: OpenMetrics bucket lines append `# {trace_id="..."} v ts`
+/// while 0.0.4 must stay exemplar-free (its parsers treat a mid-line
+/// `#` as garbage).
+std::string render_exposition(const MetricsSample& sample,
+                              bool with_exemplars) {
   std::string out;
   std::string last_family;
   for (const auto& [name, value] : sample.counters) {
@@ -81,21 +90,46 @@ std::string render_prometheus(const MetricsSample& sample) {
     // bucket sum (not the histogram's separate count atomic) so
     // `_count == +Inf bucket` holds even against concurrent observes.
     std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+    for (std::size_t i = 0; i <= h.upper_bounds.size(); ++i) {
+      const bool overflow = i == h.upper_bounds.size();
       cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
-      out += expo + "_bucket{le=\"" + prometheus_number(h.upper_bounds[i]) +
-             "\"} " + std::to_string(cumulative) + "\n";
+      out += expo + "_bucket{le=\"" +
+             (overflow ? "+Inf" : prometheus_number(h.upper_bounds[i])) +
+             "\"} " + std::to_string(cumulative);
+      // An exemplar belongs to the bucket whose observation it
+      // recorded, so its value never exceeds that bucket's `le`.
+      if (with_exemplars && i < h.exemplars.size() &&
+          h.exemplars[i].trace_id != 0) {
+        const Exemplar& e = h.exemplars[i];
+        out += " # {trace_id=\"" + causal_trace_id_hex(e.trace_id) + "\"} " +
+               prometheus_number(e.value) + " " +
+               prometheus_number(e.unix_seconds);
+      }
+      out.push_back('\n');
     }
-    if (!h.buckets.empty()) cumulative += h.buckets.back();
-    out += expo + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
     out += expo + "_sum " + prometheus_number(h.sum) + "\n";
     out += expo + "_count " + std::to_string(cumulative) + "\n";
   }
+  if (with_exemplars) out += "# EOF\n";
   return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSample& sample) {
+  return render_exposition(sample, false);
 }
 
 std::string render_prometheus(const MetricsRegistry& registry) {
   return render_prometheus(registry.sample());
+}
+
+std::string render_openmetrics(const MetricsSample& sample) {
+  return render_exposition(sample, true);
+}
+
+std::string render_openmetrics(const MetricsRegistry& registry) {
+  return render_openmetrics(registry.sample());
 }
 
 }  // namespace failmine::obs

@@ -51,4 +51,23 @@ std::string render_prometheus(const MetricsSample& sample);
 /// Samples `registry` and renders it.
 std::string render_prometheus(const MetricsRegistry& registry);
 
+/// OpenMetrics 1.0 rendering of the same sample — what
+/// `GET /metrics?format=openmetrics` returns. Identical family/series
+/// layout to render_prometheus() plus what 0.0.4 cannot express:
+/// histogram bucket lines carry their latest exemplar
+/// (`... # {trace_id="<16 hex>"} <value> <unix ts>`, resolvable via the
+/// server's /trace endpoint) and the document ends with the mandatory
+/// `# EOF` terminator. Deliberately non-strict in one respect: series
+/// keep their registry names rather than gaining the `_total` suffix
+/// OpenMetrics prescribes for counters, so the two expositions stay
+/// name-compatible for the dashboards in examples/.
+std::string render_openmetrics(const MetricsSample& sample);
+
+/// Samples `registry` and renders it as OpenMetrics.
+std::string render_openmetrics(const MetricsRegistry& registry);
+
+/// The content type an OpenMetrics response must declare.
+inline constexpr std::string_view kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
 }  // namespace failmine::obs

@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/alerts.hpp"
+#include "obs/causal.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -46,7 +48,8 @@ Histogram& latency_us_histogram() {
 /// "other" so per-path counters stay bounded-cardinality no matter what
 /// clients probe for.
 constexpr const char* kRoutes[] = {"/metrics", "/snapshot", "/healthz",
-                                   "/flightrecorder", "/profile"};
+                                   "/flightrecorder", "/profile",
+                                   "/trace", "/alerts"};
 
 /// Per-endpoint request counter, encoded with the label inside the
 /// metric name (`obs.serve.requests{path="/metrics"}`). The registry is
@@ -181,6 +184,10 @@ void TelemetryServer::start() {
   (void)metrics().counter("obs.profile.samples");
   (void)metrics().counter("obs.profile.dropped");
   (void)metrics().counter("obs.profile.truncated_stacks");
+  (void)metrics().gauge("obs.alerts.firing");
+  (void)metrics().counter("obs.alerts.evaluations");
+  (void)metrics().counter("obs.alerts.transitions");
+  update_process_metrics();  // process_start_time_seconds + uptime
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -285,9 +292,14 @@ void TelemetryServer::handle_connection(int fd) {
   count_request(path);
 
   if (path == "/metrics") {
-    send_response(fd, 200, "OK",
-                  "text/plain; version=0.0.4; charset=utf-8",
-                  render_prometheus(metrics()));
+    update_process_metrics();  // fresh uptime on every scrape
+    if (query_param(query, "format", "prometheus") == "openmetrics")
+      send_response(fd, 200, "OK", std::string(kOpenMetricsContentType).c_str(),
+                    render_openmetrics(metrics()));
+    else
+      send_response(fd, 200, "OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(metrics()));
   } else if (path == "/snapshot") {
     SnapshotHandler handler;
     {
@@ -306,16 +318,36 @@ void TelemetryServer::handle_connection(int fd) {
       handler = health_handler_;
     }
     const bool healthy = handler ? handler() : true;
+    // JSON body: status plus the alert engine's firing count, so one
+    // probe answers both "is the pipeline stuck" (the status code,
+    // driven by the health callback alone) and "is any SLO burning".
+    const std::string body =
+        std::string("{\"status\":\"") + (healthy ? "ok" : "unhealthy") +
+        "\",\"alerts_firing\":" + std::to_string(alerts().firing()) + "}\n";
     if (healthy)
-      send_response(fd, 200, "OK", "text/plain", "ok\n");
+      send_response(fd, 200, "OK", "application/json", body);
     else
-      send_response(fd, 503, "Service Unavailable", "text/plain",
-                    "unhealthy\n");
+      send_response(fd, 503, "Service Unavailable", "application/json", body);
   } else if (path == "/flightrecorder") {
     send_response(fd, 200, "OK", "application/x-ndjson",
                   flight_recorder().dump());
   } else if (path == "/profile") {
     handle_profile(fd, query);
+  } else if (path == "/trace") {
+    const std::string id_text = query_param(query, "id", "");
+    std::uint64_t id = 0;
+    if (id_text.empty() || !parse_trace_id(id_text, id)) {
+      bad_requests_counter().add();
+      send_response(fd, 400, "Bad Request", "text/plain",
+                    "need ?id=<16 hex digits>\n");
+    } else if (const auto timeline = causal_tracer().find(id)) {
+      send_response(fd, 200, "OK", "application/json", timeline->to_json());
+    } else {
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "trace not found (not sampled, or slot recycled)\n");
+    }
+  } else if (path == "/alerts") {
+    send_response(fd, 200, "OK", "application/json", alerts().to_json());
   } else {
     send_response(fd, 404, "Not Found", "text/plain", "not found\n");
   }

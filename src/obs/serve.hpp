@@ -4,10 +4,21 @@
 // (POSIX sockets, no third-party deps) exposing the process's own
 // observability state while an analysis pipeline runs:
 //
-//   GET /metrics          Prometheus text exposition of obs::metrics()
+//   GET /metrics          Prometheus text exposition of obs::metrics();
+//                         ?format=openmetrics switches to OpenMetrics
+//                         with histogram exemplars (trace ids). Every
+//                         scrape refreshes process_start_time_seconds /
+//                         failmine_uptime_seconds.
 //   GET /snapshot         caller-provided JSON (the live StreamSnapshot)
-//   GET /healthz          200 "ok" / 503 "unhealthy" from the caller's
-//                         health callback (the stream stall watchdog)
+//   GET /healthz          200/503 from the caller's health callback (the
+//                         stream stall watchdog); JSON body carries
+//                         "status" and the alert engine's
+//                         "alerts_firing" count
+//   GET /trace?id=<hex>   stage timeline of one sampled causal trace
+//                         (obs/causal.hpp) — the ids exemplars carry;
+//                         404 once the trace's slot has been recycled
+//   GET /alerts           alert-rule engine status (obs/alerts.hpp):
+//                         every rule with state/value/threshold, JSON
 //   GET /flightrecorder   JSONL dump of obs::flight_recorder()
 //   GET /profile          timed CPU capture via obs::profile —
 //                         ?seconds=N (0.05–60, default 1), ?hz=H

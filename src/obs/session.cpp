@@ -14,6 +14,9 @@
 namespace failmine::obs {
 
 ObsSession::ObsSession() {
+  // Anchor process_start_time_seconds as early as possible (the gauge's
+  // epoch is the first update_process_metrics() call).
+  update_process_metrics();
   if (const char* env = std::getenv("FAILMINE_METRICS_OUT")) metrics_out_ = env;
   if (const char* env = std::getenv("FAILMINE_TRACE_OUT")) trace_out_ = env;
   if (const char* env = std::getenv("FAILMINE_FLIGHT_RECORDER"))
@@ -83,6 +86,7 @@ void ObsSession::flush() {
     std::fprintf(stderr, "profile: folded stacks -> %s\n",
                  profile_->path().c_str());
   }
+  update_process_metrics();  // final uptime reading for the export
   if (!metrics_out_.empty()) metrics().write_json(metrics_out_);
   if (!trace_out_.empty()) tracer().write_chrome_json(trace_out_);
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/causal.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -67,6 +68,21 @@ std::vector<double> stage_latency_bounds() {
   return {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000};
 }
 
+/// Causal-trace stage indices, matching the stage list the pipeline
+/// constructor hands to obs::causal_tracer().configure(). Stage 0
+/// (emit) is stamped by maybe_begin itself.
+enum CausalStage : std::size_t {
+  kCausalEmit = 0,     ///< record accepted into the ingest ring
+  kCausalRing = 1,     ///< router popped it off the ring
+  kCausalReorder = 2,  ///< watermark reorderer released it in order
+  kCausalShard = 3,    ///< shard worker dequeued it
+  kCausalApply = 4,    ///< incremental aggregates applied it
+};
+
+std::vector<std::string> causal_stage_names() {
+  return {"emit", "ring", "reorder", "shard", "apply"};
+}
+
 double elapsed_us(std::chrono::steady_clock::time_point since) {
   return static_cast<double>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -108,6 +124,11 @@ StreamPipeline::StreamPipeline(StreamConfig config)
 
   ingest_.set_occupancy_gauge(&obs::metrics().gauge("stream.ingest.occupancy"));
 
+  // (Re)arm the process-wide causal tracer before any thread can stamp:
+  // thread creation below publishes the tracer's internal pointers.
+  obs::causal_tracer().configure(causal_stage_names(),
+                                 config_.trace_sample_period);
+
   shards_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i)
     shards_.push_back(std::make_unique<Shard>(config_, i));
@@ -130,6 +151,10 @@ StreamPipeline::StreamPipeline(StreamConfig config)
 StreamPipeline::~StreamPipeline() { finish(); }
 
 bool StreamPipeline::push(StreamRecord record) {
+  // Sampling keys on the emitter-assigned sequence: stable across runs,
+  // unique across sources. Not sampled (the common case) costs one hash
+  // and one branch.
+  record.trace = obs::causal_tracer().maybe_begin(record.sequence);
   const bool accepted = ingest_.push(std::move(record));
   if (accepted)
     records_in_counter().add();
@@ -140,6 +165,8 @@ bool StreamPipeline::push(StreamRecord record) {
 
 std::size_t StreamPipeline::push_batch(std::vector<StreamRecord>&& records) {
   const std::size_t offered = records.size();
+  for (StreamRecord& record : records)
+    record.trace = obs::causal_tracer().maybe_begin(record.sequence);
   const std::size_t accepted = ingest_.push_batch(std::move(records));
   records_in_counter().add(accepted);
   records_dropped_counter().add(offered - accepted);
@@ -184,6 +211,8 @@ void StreamPipeline::route_ordered(
     case RecordSource::kIo:
       break;  // nothing order-sensitive; the batch window ignores these too
   }
+  if (record.trace != 0)
+    obs::causal_tracer().stamp(record.trace, kCausalReorder);
   const std::size_t shard = shard_of(record, shards_.size());
   pending[shard].push_back(std::move(record));
 }
@@ -213,10 +242,13 @@ void StreamPipeline::router_loop() {
     {
       FAILMINE_TRACE_SPAN("stream.router.batch");
       std::lock_guard<std::mutex> lock(router_mutex_);
-      for (StreamRecord& record : batch)
+      for (StreamRecord& record : batch) {
+        if (record.trace != 0)
+          obs::causal_tracer().stamp(record.trace, kCausalRing);
         reorderer.push(std::move(record), [&](StreamRecord&& ordered) {
           route_ordered(std::move(ordered), pending);
         });
+      }
       router_.newest_seen = reorderer.newest_seen();
       router_.watermark = reorderer.watermark();
       router_.watermark_lag_seconds = reorderer.lag_seconds();
@@ -267,7 +299,13 @@ void StreamPipeline::worker_loop(Shard& shard, std::size_t index) {
     {
       FAILMINE_TRACE_SPAN("stream.shard.apply");
       std::lock_guard<std::mutex> lock(shard.mutex);
-      for (const StreamRecord& record : batch) shard.aggregates.apply(record);
+      for (const StreamRecord& record : batch) {
+        if (record.trace != 0)
+          obs::causal_tracer().stamp(record.trace, kCausalShard);
+        shard.aggregates.apply(record);
+        if (record.trace != 0)
+          obs::causal_tracer().stamp(record.trace, kCausalApply);
+      }
     }
     shard.processed.fetch_add(n, std::memory_order_relaxed);
     shard.apply_us->observe(elapsed_us(apply_start));
@@ -439,6 +477,19 @@ StreamSnapshot StreamPipeline::snapshot() const {
   for (const auto& e : merged.boards_by_events.top(10))
     snap.top_boards_by_events.push_back(
         {e.key, board_key_name(e.key), e.count, e.error});
+
+  obs::CausalTracer& tracer = obs::causal_tracer();
+  snap.trace_sample_period = tracer.sample_period();
+  if (tracer.enabled()) {
+    snap.traces_sampled = tracer.sampled();
+    snap.causal_stages = tracer.stage_stats();
+    obs::Histogram& e2e = obs::metrics().histogram("causal.e2e_us");
+    obs::HistogramSample e2e_sample;
+    e2e_sample.upper_bounds = e2e.upper_bounds();
+    e2e_sample.buckets = e2e.bucket_counts();
+    snap.causal_e2e_p50_us = obs::histogram_quantile(e2e_sample, 0.50);
+    snap.causal_e2e_p99_us = obs::histogram_quantile(e2e_sample, 0.99);
+  }
 
   return snap;
 }

@@ -108,6 +108,16 @@ struct StreamConfig {
 
   /// How often the watchdog samples shard progress.
   std::int64_t watchdog_poll_ms = 100;
+
+  /// Causal-trace sampling: 1-in-N records (deterministic hash of the
+  /// record sequence) carries a trace context that is stamped at every
+  /// stage (emit -> ring -> reorder -> shard -> apply), feeding the
+  /// `causal.stage.<name>_us` / `causal.e2e_us` histograms, their
+  /// OpenMetrics exemplars and the /trace endpoint (obs/causal.hpp).
+  /// 0 disables tracing entirely (the non-sampled path is one hash and
+  /// one branch per record). The pipeline constructor (re)configures the
+  /// process-wide obs::causal_tracer() with this period.
+  std::uint32_t trace_sample_period = 100;
 };
 
 class StreamPipeline {

@@ -35,6 +35,10 @@ struct StreamRecord {
   std::variant<joblog::JobRecord, tasklog::TaskRecord, raslog::RasEvent,
                iolog::IoRecord>
       payload;
+  /// Causal-trace ref from obs::CausalTracer::maybe_begin (0 for the
+  /// ~99% of records that are not sampled). Declared last so existing
+  /// `{time, sequence, payload}` aggregate initializers stay valid.
+  std::uint32_t trace = 0;
 
   RecordSource source() const {
     return static_cast<RecordSource>(payload.index());

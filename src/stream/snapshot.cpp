@@ -156,8 +156,32 @@ std::string StreamSnapshot::to_json() const {
   out += "},";
 
   append_kv(out, "task_failures", task_failures);
-  append_kv(out, "io_bytes_total", io_bytes_total, /*comma=*/false);
-  out += "}\n";
+  append_kv(out, "io_bytes_total", io_bytes_total);
+
+  obs::append_json_string(out, "causal");
+  out += ":{";
+  append_kv(out, "sample_period", static_cast<std::uint64_t>(trace_sample_period));
+  append_kv(out, "sampled", traces_sampled);
+  append_kv(out, "e2e_p50_us", causal_e2e_p50_us);
+  append_kv(out, "e2e_p99_us", causal_e2e_p99_us);
+  obs::append_json_string(out, "stages");
+  out += ":[";
+  for (std::size_t i = 0; i < causal_stages.size(); ++i) {
+    const obs::CausalStageStat& s = causal_stages[i];
+    out += '{';
+    obs::append_json_string(out, "stage");
+    out += ':';
+    obs::append_json_string(out, s.stage);
+    out += ',';
+    append_kv(out, "count", s.count);
+    append_kv(out, "p50_us", s.p50_us);
+    append_kv(out, "p99_us", s.p99_us);
+    append_kv(out, "mean_us", s.mean_us);
+    append_kv(out, "share", s.share, /*comma=*/false);
+    out += '}';
+    if (i + 1 < causal_stages.size()) out += ',';
+  }
+  out += "]}}\n";
   return out;
 }
 

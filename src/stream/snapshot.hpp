@@ -18,6 +18,7 @@
 
 #include "core/joint_analyzer.hpp"
 #include "core/mtti.hpp"
+#include "obs/causal.hpp"
 #include "util/time.hpp"
 
 namespace failmine::stream {
@@ -82,6 +83,13 @@ struct StreamSnapshot {
   // -- misc per-source aggregates ---------------------------------------
   std::uint64_t task_failures = 0;
   std::uint64_t io_bytes_total = 0;
+
+  // -- causal tracing (sampled per-record stage latency) ----------------
+  std::uint32_t trace_sample_period = 0;  ///< 0 when tracing is off
+  std::uint64_t traces_sampled = 0;
+  std::vector<obs::CausalStageStat> causal_stages;  ///< ring/reorder/...
+  double causal_e2e_p50_us = 0.0;  ///< emit -> apply, sampled records
+  double causal_e2e_p99_us = 0.0;
 
   /// Machine-readable form (single JSON object, newline-terminated).
   std::string to_json() const;

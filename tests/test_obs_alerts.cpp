@@ -1,0 +1,267 @@
+// Tests for obs::alerts — the rule grammar, the extraction functions
+// (value / rate / quantile), the pending->firing->resolved state
+// machine, and the JSON surface behind GET /alerts.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/alerts.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+namespace {
+
+std::filesystem::path temp_path(const char* name) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("failmine_alerts_") + std::to_string(::getpid()) + "_" +
+          name);
+}
+
+// ---- grammar -----------------------------------------------------------
+
+TEST(AlertRuleParser, ParsesFullGrammar) {
+  const auto rules = parse_alert_rules(
+      "# comment line\n"
+      "\n"
+      "drops: rate(stream.records_dropped) > 0\n"
+      "  p99-slo : p99(stream.shard0.apply_us) >= 5e4 for 10s  # trailing\n"
+      "level-low: value(stream.queue_depth) < 1 for 250ms\n");
+  ASSERT_EQ(rules.size(), 3u);
+
+  EXPECT_EQ(rules[0].name, "drops");
+  EXPECT_EQ(rules[0].fn, AlertFn::kRate);
+  EXPECT_EQ(rules[0].metric, "stream.records_dropped");
+  EXPECT_EQ(rules[0].op, AlertOp::kGt);
+  EXPECT_EQ(rules[0].threshold, 0.0);
+  EXPECT_EQ(rules[0].for_ms, 0);
+
+  EXPECT_EQ(rules[1].name, "p99-slo");
+  EXPECT_EQ(rules[1].fn, AlertFn::kP99);
+  EXPECT_EQ(rules[1].op, AlertOp::kGe);
+  EXPECT_EQ(rules[1].threshold, 5e4);
+  EXPECT_EQ(rules[1].for_ms, 10000);
+
+  EXPECT_EQ(rules[2].fn, AlertFn::kValue);
+  EXPECT_EQ(rules[2].op, AlertOp::kLt);
+  EXPECT_EQ(rules[2].for_ms, 250);
+}
+
+TEST(AlertRuleParser, ExpressionRoundTrips) {
+  const auto rules =
+      parse_alert_rules("x: p90(lat.us) > 250 for 2s\ny: value(g) <= 1\n");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].expression(), "p90(lat.us) > 250 for 2s");
+  EXPECT_EQ(rules[1].expression(), "value(g) <= 1");
+  // Round-trip: re-parsing "name: expression()" yields the same rule.
+  const auto again = parse_alert_rules("x: " + rules[0].expression() + "\n");
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].fn, rules[0].fn);
+  EXPECT_EQ(again[0].metric, rules[0].metric);
+  EXPECT_EQ(again[0].threshold, rules[0].threshold);
+  EXPECT_EQ(again[0].for_ms, rules[0].for_ms);
+}
+
+TEST(AlertRuleParser, RejectsMalformedLinesWithLineNumbers) {
+  const auto expect_fail = [](const char* text, const char* what) {
+    try {
+      parse_alert_rules(text);
+      ADD_FAILURE() << "expected ParseError for: " << text;
+    } catch (const failmine::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("no colon here\n", "missing ':'");
+  expect_fail("x: frobnicate(m) > 1\n", "unknown fn");
+  expect_fail("x: value() > 1\n", "empty metric");
+  expect_fail("x: value(m) ~ 1\n", "comparison");
+  expect_fail("x: value(m) > banana\n", "threshold");
+  expect_fail("x: value(m) > 1 for 5 fortnights\n", "unit");
+  expect_fail("ok: value(m) > 1\nbad line\n", "line 2");
+}
+
+TEST(AlertRuleParser, LoadsFromFileAndDefaultsParse) {
+  const auto path = temp_path("rules");
+  {
+    std::ofstream out(path);
+    out << "a: value(m) > 1\n";
+  }
+  const auto rules = load_alert_rules_file(path.string());
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name, "a");
+  std::filesystem::remove(path);
+
+  EXPECT_THROW(load_alert_rules_file("/nonexistent/alert/rules"),
+               failmine::ObsError);
+
+  const auto defaults = default_alert_rules();
+  EXPECT_GE(defaults.size(), 3u);
+  for (const auto& rule : defaults) EXPECT_FALSE(rule.name.empty());
+}
+
+// ---- engine ------------------------------------------------------------
+
+TEST(AlertEngine, ValueRuleFiresAndResolves) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules("depth: value(q.depth) > 10\n"));
+
+  reg.gauge("q.depth").set(5.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 0u);
+  ASSERT_EQ(engine.status().size(), 1u);
+  EXPECT_EQ(engine.status()[0].state, AlertState::kInactive);
+
+  reg.gauge("q.depth").set(25.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  EXPECT_EQ(engine.status()[0].state, AlertState::kFiring);
+  EXPECT_EQ(engine.status()[0].last_value, 25.0);
+
+  reg.gauge("q.depth").set(3.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 0u);
+  EXPECT_EQ(engine.status()[0].state, AlertState::kResolved);
+
+  // A fresh breach re-enters from resolved.
+  reg.gauge("q.depth").set(99.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.status()[0].state, AlertState::kFiring);
+}
+
+TEST(AlertEngine, MissingMetricNeverFires) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules("ghost: value(not.there) > 0\n"));
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 0u);
+  EXPECT_FALSE(engine.status()[0].has_value);
+  EXPECT_NE(engine.to_json().find("\"value\":null"), std::string::npos);
+}
+
+TEST(AlertEngine, RateRuleNeedsABaselineThenMeasuresDelta) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules("burn: rate(drops) > 0\n"));
+
+  reg.counter("drops").add(100);
+  engine.evaluate_now();  // first evaluation only captures the baseline
+  EXPECT_EQ(engine.firing(), 0u);
+  EXPECT_FALSE(engine.status()[0].has_value);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.evaluate_now();  // no increase since the baseline
+  EXPECT_EQ(engine.firing(), 0u);
+
+  reg.counter("drops").add(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  EXPECT_GT(engine.status()[0].last_value, 0.0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.evaluate_now();  // counter flat again -> resolved
+  EXPECT_EQ(engine.firing(), 0u);
+  EXPECT_EQ(engine.status()[0].state, AlertState::kResolved);
+}
+
+TEST(AlertEngine, QuantileRuleUsesHistogramAndSkipsEmpty) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules("slow: p99(lat.us) > 100\n"));
+
+  (void)reg.histogram("lat.us", {10.0, 100.0, 1000.0});
+  engine.evaluate_now();  // histogram exists but is empty: no verdict
+  EXPECT_EQ(engine.firing(), 0u);
+  EXPECT_FALSE(engine.status()[0].has_value);
+
+  for (int i = 0; i < 100; ++i) reg.histogram("lat.us").observe(500.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  EXPECT_GT(engine.status()[0].last_value, 100.0);
+}
+
+TEST(AlertEngine, ForDurationHoldsInPendingBeforeFiring) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules("held: value(g) > 0 for 50ms\n"));
+
+  reg.gauge("g").set(1.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.status()[0].state, AlertState::kPending);
+  EXPECT_EQ(engine.firing(), 0u);
+
+  // Condition clears during the hold: back to inactive, not firing.
+  reg.gauge("g").set(0.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.status()[0].state, AlertState::kInactive);
+
+  // Breach that survives the hold fires.
+  reg.gauge("g").set(1.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.status()[0].state, AlertState::kPending);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  engine.evaluate_now();
+  EXPECT_EQ(engine.status()[0].state, AlertState::kFiring);
+  EXPECT_EQ(engine.firing(), 1u);
+}
+
+TEST(AlertEngine, ToJsonListsEveryRule) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(
+      parse_alert_rules("one: value(a) > 1\ntwo: rate(b) > 2 for 3s\n"));
+  reg.gauge("a").set(5.0);
+  engine.evaluate_now();
+  const std::string json = engine.to_json();
+  EXPECT_NE(json.find("\"firing\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"one\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"firing\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"two\""), std::string::npos);
+  EXPECT_NE(json.find("\"expr\":\"rate(b) > 2 for 3s\""), std::string::npos);
+  EXPECT_NE(json.find("\"for_ms\":3000"), std::string::npos);
+}
+
+TEST(AlertEngine, BackgroundThreadEvaluatesAndStopsCleanly) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules("hot: value(g) > 0\n"));
+  reg.gauge("g").set(1.0);
+  engine.start(/*poll_ms=*/5);
+  EXPECT_TRUE(engine.running());
+  engine.start(5);  // idempotent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (engine.firing() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(engine.firing(), 1u);
+  engine.stop();
+  EXPECT_FALSE(engine.running());
+  engine.stop();  // idempotent
+}
+
+TEST(AlertEngine, SetRulesResetsStateAndFiringCount) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules("x: value(g) > 0\n"));
+  reg.gauge("g").set(1.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  engine.set_rules(parse_alert_rules("y: value(g) < 0\n"));
+  EXPECT_EQ(engine.firing(), 0u);
+  EXPECT_EQ(engine.rule_count(), 1u);
+  engine.add_rule(parse_alert_rules("z: value(g) > 100\n")[0]);
+  EXPECT_EQ(engine.rule_count(), 2u);
+}
+
+}  // namespace
+}  // namespace failmine::obs

@@ -1,0 +1,237 @@
+// Tests for obs::causal — sampled per-record trace contexts.
+//
+// The stage histograms live in the process-global metrics registry and
+// survive reconfiguration, so each test that asserts on histogram
+// counts uses test-unique stage names (a fresh configure() zeroes the
+// slot ring and the sampled counter, not the histograms).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/causal.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace failmine::obs {
+namespace {
+
+TEST(CausalTraceIdHex, RoundTrips) {
+  EXPECT_EQ(causal_trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(causal_trace_id_hex(0xdeadbeefULL), "00000000deadbeef");
+  std::uint64_t id = 0;
+  ASSERT_TRUE(parse_trace_id(causal_trace_id_hex(0x1234abcd5678ef90ULL), id));
+  EXPECT_EQ(id, 0x1234abcd5678ef90ULL);
+}
+
+TEST(CausalTraceIdHex, ParseAcceptsPrefixAndRejectsGarbage) {
+  std::uint64_t id = 0;
+  EXPECT_TRUE(parse_trace_id("0xff", id));
+  EXPECT_EQ(id, 0xffu);
+  EXPECT_TRUE(parse_trace_id("FF", id));
+  EXPECT_EQ(id, 0xffu);
+  EXPECT_FALSE(parse_trace_id("", id));
+  EXPECT_FALSE(parse_trace_id("0x", id));
+  EXPECT_FALSE(parse_trace_id("xyz", id));
+  EXPECT_FALSE(parse_trace_id("12345678901234567", id));  // 17 digits
+}
+
+TEST(CausalTracer, ConfigureValidates) {
+  CausalTracer tracer;
+  EXPECT_THROW(tracer.configure({}, 1), failmine::DomainError);
+  EXPECT_THROW(
+      tracer.configure(std::vector<std::string>(kCausalMaxStages + 1, "s"), 1),
+      failmine::DomainError);
+  EXPECT_THROW(tracer.configure({"a", "b"}, 1, /*capacity=*/0),
+               failmine::DomainError);
+}
+
+TEST(CausalTracer, PeriodZeroDisablesSampling) {
+  CausalTracer tracer;
+  tracer.configure({"in", "out"}, /*sample_period=*/0);
+  EXPECT_FALSE(tracer.enabled());
+  for (std::uint64_t key = 0; key < 1000; ++key)
+    EXPECT_EQ(tracer.maybe_begin(key), 0u);
+  EXPECT_EQ(tracer.sampled(), 0u);
+}
+
+TEST(CausalTracer, PeriodOneSamplesEverythingDeterministically) {
+  CausalTracer tracer;
+  tracer.configure({"t1a", "t1b"}, /*sample_period=*/1);
+  for (std::uint64_t key = 0; key < 64; ++key)
+    EXPECT_NE(tracer.maybe_begin(key), 0u) << key;
+  EXPECT_EQ(tracer.sampled(), 64u);
+}
+
+TEST(CausalTracer, SamplingIsDeterministicAndRoughlyOneInPeriod) {
+  CausalTracer tracer;
+  tracer.configure({"t2a", "t2b"}, /*sample_period=*/100, /*capacity=*/8192);
+  std::set<std::uint64_t> sampled_keys;
+  const std::uint64_t n = 100000;
+  for (std::uint64_t key = 0; key < n; ++key)
+    if (tracer.maybe_begin(key) != 0) sampled_keys.insert(key);
+  // Hash sampling: ~1% with generous slack.
+  EXPECT_GT(sampled_keys.size(), n / 200);
+  EXPECT_LT(sampled_keys.size(), n / 50);
+  // Deterministic: the same keys sample again after a reconfigure.
+  tracer.configure({"t2a", "t2b"}, 100, 8192);
+  for (std::uint64_t key = 0; key < n; ++key) {
+    const bool sampled = tracer.maybe_begin(key) != 0;
+    EXPECT_EQ(sampled, sampled_keys.contains(key)) << key;
+  }
+}
+
+TEST(CausalTracer, StampBuildsMonotoneTimelineResolvableById) {
+  CausalTracer& tracer = causal_tracer();
+  tracer.configure({"emit", "mid", "done"}, /*sample_period=*/1);
+  const std::uint32_t ref = tracer.maybe_begin(42);
+  ASSERT_NE(ref, 0u);
+  const std::uint64_t id = tracer.trace_id_of(ref);
+  ASSERT_NE(id, 0u);
+  tracer.stamp(ref, 1);
+  tracer.stamp(ref, 2);
+
+  const auto timeline = tracer.find(id);
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_EQ(timeline->trace_id, id);
+  EXPECT_EQ(timeline->key, 42u);
+  ASSERT_EQ(timeline->stamps.size(), 3u);
+  EXPECT_EQ(timeline->stamps[0].stage, "emit");
+  EXPECT_EQ(timeline->stamps[1].stage, "mid");
+  EXPECT_EQ(timeline->stamps[2].stage, "done");
+  for (std::size_t i = 1; i < timeline->stamps.size(); ++i)
+    EXPECT_GE(timeline->stamps[i].at_us, timeline->stamps[i - 1].at_us);
+
+  const std::string json = timeline->to_json();
+  EXPECT_NE(json.find("\"trace_id\":\"" + causal_trace_id_hex(id) + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"done\""), std::string::npos);
+}
+
+TEST(CausalTracer, FindMissesUnknownAndRecycledIds) {
+  CausalTracer tracer;
+  tracer.configure({"t3a", "t3b"}, 1, /*capacity=*/2);
+  EXPECT_FALSE(tracer.find(0xabcdef).has_value());
+  const std::uint32_t ref = tracer.maybe_begin(1);
+  const std::uint64_t id = tracer.trace_id_of(ref);
+  EXPECT_TRUE(tracer.find(id).has_value());
+  // Capacity 2: two more samples recycle the first slot.
+  (void)tracer.maybe_begin(2);
+  (void)tracer.maybe_begin(3);
+  EXPECT_FALSE(tracer.find(id).has_value());
+}
+
+TEST(CausalTracer, StampFeedsStageAndEndToEndHistograms) {
+  CausalTracer tracer;
+  tracer.configure({"t4emit", "t4hop", "t4end"}, 1);
+  Histogram& hop = metrics().histogram("causal.stage.t4hop_us");
+  Histogram& end = metrics().histogram("causal.stage.t4end_us");
+  Histogram& e2e = metrics().histogram("causal.e2e_us");
+  const std::uint64_t hop_before = hop.count();
+  const std::uint64_t end_before = end.count();
+  const std::uint64_t e2e_before = e2e.count();
+
+  const std::uint32_t ref = tracer.maybe_begin(7);
+  ASSERT_NE(ref, 0u);
+  tracer.stamp(ref, 1);
+  tracer.stamp(ref, 2);  // last stage: also observes e2e
+
+  EXPECT_EQ(hop.count(), hop_before + 1);
+  EXPECT_EQ(end.count(), end_before + 1);
+  EXPECT_EQ(e2e.count(), e2e_before + 1);
+
+  // The exemplar on the stage histogram carries this trace's id.
+  const std::vector<Exemplar> exemplars = hop.exemplars();
+  const std::uint64_t id = tracer.trace_id_of(ref);
+  bool found = false;
+  for (const Exemplar& e : exemplars) found |= e.trace_id == id;
+  EXPECT_TRUE(found);
+}
+
+TEST(CausalTracer, StampIgnoresInvalidRefsAndStages) {
+  CausalTracer tracer;
+  tracer.configure({"t5a", "t5b"}, 1);
+  tracer.stamp(0, 1);          // ref 0: the not-sampled path
+  const std::uint32_t ref = tracer.maybe_begin(9);
+  tracer.stamp(ref, 0);        // stage 0 is maybe_begin's
+  tracer.stamp(ref, 99);       // out of range
+  const auto timeline = tracer.find(tracer.trace_id_of(ref));
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_EQ(timeline->stamps.size(), 1u);  // only the emit stamp
+}
+
+TEST(CausalTracer, StageStatsNormalizeShares) {
+  CausalTracer tracer;
+  tracer.configure({"t6a", "t6b", "t6c"}, 1);
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    const std::uint32_t ref = tracer.maybe_begin(key);
+    tracer.stamp(ref, 1);
+    tracer.stamp(ref, 2);
+  }
+  const auto stats = tracer.stage_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].stage, "t6b");
+  EXPECT_EQ(stats[1].stage, "t6c");
+  double share_sum = 0.0;
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.count, 32u);
+    EXPECT_GE(s.share, 0.0);
+    EXPECT_LE(s.share, 1.0);
+    share_sum += s.share;
+  }
+  // Shares sum to 1 whenever any stage time was recorded at all.
+  if (share_sum > 0.0) EXPECT_NEAR(share_sum, 1.0, 1e-9);
+
+  const std::string report = tracer.critical_path_text();
+  EXPECT_NE(report.find("32 sampled records"), std::string::npos);
+  EXPECT_NE(report.find("t6b"), std::string::npos);
+  EXPECT_NE(report.find("end-to-end"), std::string::npos);
+}
+
+TEST(CausalTracer, ResetDropsTracesButKeepsConfiguration) {
+  CausalTracer tracer;
+  tracer.configure({"t7a", "t7b"}, 1);
+  const std::uint32_t ref = tracer.maybe_begin(5);
+  const std::uint64_t id = tracer.trace_id_of(ref);
+  ASSERT_TRUE(tracer.find(id).has_value());
+  tracer.reset();
+  EXPECT_FALSE(tracer.find(id).has_value());
+  EXPECT_EQ(tracer.sampled(), 0u);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_NE(tracer.maybe_begin(5), 0u);  // still sampling
+}
+
+TEST(CausalTracer, ConcurrentStampAndScrapeIsSafe) {
+  CausalTracer tracer;
+  tracer.configure({"t8a", "t8b", "t8c"}, 1, /*capacity=*/64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t key = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint32_t ref = tracer.maybe_begin(++key);
+      tracer.stamp(ref, 1);
+      tracer.stamp(ref, 2);
+    }
+  });
+  // Readers race the writer: every resolved timeline must be internally
+  // consistent (monotone stamps, matching id) even while slots recycle.
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint64_t key = 1; key < 32; ++key) {
+      const auto timeline = tracer.find(tracer.trace_id_of(
+          static_cast<std::uint32_t>(key % 64 + 1)));
+      if (!timeline.has_value()) continue;
+      for (std::size_t i = 1; i < timeline->stamps.size(); ++i)
+        EXPECT_GE(timeline->stamps[i].at_us, timeline->stamps[i - 1].at_us);
+    }
+    (void)tracer.stage_stats();
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace failmine::obs

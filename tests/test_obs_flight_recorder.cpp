@@ -139,6 +139,28 @@ TEST(FlightRecorderWiring, LogRecordsAndSpansLandInTheGlobalRing) {
   EXPECT_NE(dump.find("fr.test_span"), std::string::npos);
 }
 
+TEST(FlightRecorderWiring, SpanNamesWithJsonMetacharactersStayValid) {
+  // Regression: serialize_span used to drop '"' and '\\' from span names
+  // outright; they must now land as two-character JSON escapes so every
+  // ring line stays parseable.
+  attach_flight_recorder();
+  flight_recorder().clear();
+  { Span span("fr.esc\"quote\\slash"); }
+  { Span span("fr.ctl\x01name"); }
+  const std::string dump = flight_recorder().dump();
+  EXPECT_NE(dump.find("fr.esc\\\"quote\\\\slash"), std::string::npos) << dump;
+  // Control characters are replaced, never emitted raw.
+  EXPECT_EQ(dump.find('\x01'), std::string::npos);
+  EXPECT_NE(dump.find("fr.ctl?name"), std::string::npos);
+  // Each span line still has balanced quotes (even count).
+  for (const auto& line : lines_of(dump)) {
+    std::size_t unescaped = 0;
+    for (std::size_t i = 0; i < line.size(); ++i)
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++unescaped;
+    EXPECT_EQ(unescaped % 2, 0u) << line;
+  }
+}
+
 TEST(FlightRecorderWiring, AttachIsIdempotent) {
   attach_flight_recorder();
   attach_flight_recorder();

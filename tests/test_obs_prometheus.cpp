@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
@@ -182,6 +183,59 @@ TEST(RenderPrometheus, SampleOverloadMatchesRegistryOverload) {
 TEST(RenderPrometheus, EmptyRegistryRendersEmptyDocument) {
   MetricsRegistry reg;
   EXPECT_EQ(render_prometheus(reg), "");
+}
+
+// ---- OpenMetrics variant ----------------------------------------------
+
+TEST(RenderOpenMetrics, TerminatesWithEofAndMatchesPrometheusOtherwise) {
+  MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.gauge("b").set(1.5);
+  const std::string om = render_openmetrics(reg);
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+  // Without exemplars the body is the 0.0.4 exposition plus the EOF line.
+  EXPECT_EQ(om, render_prometheus(reg) + "# EOF\n");
+}
+
+TEST(RenderOpenMetrics, ExemplarAttachesToTheObservedBucketOnly) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ex.us", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0, /*exemplar_trace_id=*/0xabc123ULL);
+  const std::string om = render_openmetrics(reg);
+
+  // The le="100" bucket (where 50.0 landed) carries the exemplar.
+  const std::string hex = causal_trace_id_hex(0xabc123ULL);
+  const std::size_t pos = om.find("ex_us_bucket{le=\"100\"} 2 # {trace_id=\"" +
+                                  hex + "\"} 50");
+  EXPECT_NE(pos, std::string::npos) << om;
+  // Other buckets stay bare.
+  EXPECT_NE(om.find("ex_us_bucket{le=\"10\"} 1\n"), std::string::npos);
+
+  // The 0.0.4 exposition must never leak exemplar syntax: the e2e
+  // scraper contract rejects '#' inside sample lines.
+  const std::string plain = render_prometheus(reg);
+  EXPECT_EQ(plain.find("trace_id"), std::string::npos);
+  EXPECT_NE(plain.find("ex_us_bucket{le=\"100\"} 2\n"), std::string::npos);
+}
+
+TEST(RenderOpenMetrics, OverflowBucketCanCarryAnExemplar) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("of.us", {1.0});
+  h.observe(999.0, /*exemplar_trace_id=*/0x77ULL);
+  const std::string om = render_openmetrics(reg);
+  EXPECT_NE(om.find("of_us_bucket{le=\"+Inf\"} 1 # {trace_id=\"" +
+                    causal_trace_id_hex(0x77) + "\"}"),
+            std::string::npos)
+      << om;
+}
+
+TEST(RenderOpenMetrics, ContentTypeConstantIsOpenMetrics) {
+  EXPECT_NE(std::string(kOpenMetricsContentType).find("openmetrics-text"),
+            std::string::npos);
+  EXPECT_NE(std::string(kOpenMetricsContentType).find("version=1.0.0"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -14,6 +14,10 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
+#include "obs/alerts.hpp"
+#include "obs/causal.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/serve.hpp"
@@ -69,11 +73,15 @@ TEST(TelemetryServer, HealthzFollowsTheCallback) {
   TelemetryServer server;
   server.set_health_handler([&healthy] { return healthy.load(); });
   server.start();
-  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
-  EXPECT_EQ(http_get(server.port(), "/healthz").body, "ok\n");
+  HttpResponse r = http_get(server.port(), "/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(r.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"alerts_firing\":"), std::string::npos);
   healthy.store(false);
-  EXPECT_EQ(http_get(server.port(), "/healthz").status, 503);
-  EXPECT_EQ(http_get(server.port(), "/healthz").body, "unhealthy\n");
+  r = http_get(server.port(), "/healthz");
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("\"status\":\"unhealthy\""), std::string::npos);
   healthy.store(true);
   EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
   server.stop();
@@ -158,14 +166,107 @@ TEST(TelemetryServer, RouteCountersArePreRegistered) {
   // the full family from the first scrape of a fresh process — and the
   // one scrape this makes must not create anything new.
   const std::string body = http_get(server.port(), "/metrics").body;
-  for (const char* route :
-       {"/metrics", "/snapshot", "/healthz", "/flightrecorder", "/profile"})
+  for (const char* route : {"/metrics", "/snapshot", "/healthz",
+                            "/flightrecorder", "/profile", "/trace",
+                            "/alerts"})
     EXPECT_NE(body.find("obs_serve_requests{path=\"" + std::string(route) +
                         "\"} "),
               std::string::npos)
         << route;
   EXPECT_NE(body.find("obs_profile_samples "), std::string::npos);
   EXPECT_NE(body.find("obs_serve_latency_us_bucket"), std::string::npos);
+  // Alert-engine instruments and the process gauges ride along.
+  EXPECT_NE(body.find("obs_alerts_firing "), std::string::npos);
+  EXPECT_NE(body.find("process_start_time_seconds "), std::string::npos);
+  EXPECT_NE(body.find("failmine_uptime_seconds "), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServer, ProcessMetricsRefreshPerScrape) {
+  TelemetryServer server;
+  server.start();
+  (void)http_get(server.port(), "/metrics");
+  const double start1 = metrics().gauge("process_start_time_seconds").value();
+  const double up1 = metrics().gauge("failmine_uptime_seconds").value();
+  EXPECT_GT(start1, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (void)http_get(server.port(), "/metrics");
+  const double start2 = metrics().gauge("process_start_time_seconds").value();
+  const double up2 = metrics().gauge("failmine_uptime_seconds").value();
+  EXPECT_EQ(start1, start2);  // the start anchor never moves
+  EXPECT_GT(up2, up1);        // uptime advances between scrapes
+  server.stop();
+}
+
+TEST(TelemetryServer, TraceEndpointResolvesSampledIds) {
+  causal_tracer().configure({"serve_a", "serve_b"}, /*sample_period=*/1);
+  const std::uint32_t ref = causal_tracer().maybe_begin(1234);
+  ASSERT_NE(ref, 0u);
+  causal_tracer().stamp(ref, 1);
+  const std::uint64_t id = causal_tracer().trace_id_of(ref);
+
+  TelemetryServer server;
+  server.start();
+  const HttpResponse hit =
+      http_get(server.port(), "/trace?id=" + causal_trace_id_hex(id));
+  EXPECT_EQ(hit.status, 200);
+  EXPECT_NE(hit.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(hit.body.find(causal_trace_id_hex(id)), std::string::npos);
+  EXPECT_NE(hit.body.find("\"stage\":\"serve_b\""), std::string::npos);
+
+  EXPECT_EQ(http_get(server.port(), "/trace?id=ffffffffffffffff").status,
+            404);
+  EXPECT_EQ(http_get(server.port(), "/trace").status, 400);
+  EXPECT_EQ(http_get(server.port(), "/trace?id=nothex").status, 400);
+  server.stop();
+}
+
+TEST(TelemetryServer, AlertsEndpointServesEngineState) {
+  alerts().set_rules(parse_alert_rules(
+      "serve-test-alert: value(serve_test.alert_gauge) > 5\n"));
+  metrics().gauge("serve_test.alert_gauge").set(10.0);
+  alerts().evaluate_now();
+
+  TelemetryServer server;
+  server.start();
+  const HttpResponse r = http_get(server.port(), "/alerts");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(r.body.find("\"name\":\"serve-test-alert\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"state\":\"firing\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"firing\":1"), std::string::npos);
+
+  // The firing count also shows in the /healthz body.
+  EXPECT_NE(http_get(server.port(), "/healthz").body.find(
+                "\"alerts_firing\":1"),
+            std::string::npos);
+  server.stop();
+  alerts().set_rules({});  // leave no firing state behind for other tests
+}
+
+TEST(TelemetryServer, OpenMetricsFormatCarriesExemplars) {
+  causal_tracer().configure({"om_a", "om_b"}, /*sample_period=*/1);
+  const std::uint32_t ref = causal_tracer().maybe_begin(77);
+  ASSERT_NE(ref, 0u);
+  causal_tracer().stamp(ref, 1);
+  const std::string hex =
+      causal_trace_id_hex(causal_tracer().trace_id_of(ref));
+
+  TelemetryServer server;
+  server.start();
+  const HttpResponse om =
+      http_get(server.port(), "/metrics?format=openmetrics");
+  EXPECT_EQ(om.status, 200);
+  EXPECT_NE(om.headers.find("application/openmetrics-text"),
+            std::string::npos);
+  EXPECT_NE(om.body.find("# EOF\n"), std::string::npos);
+  EXPECT_NE(om.body.find("# {trace_id=\"" + hex + "\"}"), std::string::npos);
+
+  // The default exposition must stay exemplar-free 0.0.4.
+  const HttpResponse plain = http_get(server.port(), "/metrics");
+  EXPECT_NE(plain.headers.find("version=0.0.4"), std::string::npos);
+  EXPECT_EQ(plain.body.find("trace_id="), std::string::npos);
+  EXPECT_EQ(plain.body.find("# EOF"), std::string::npos);
   server.stop();
 }
 

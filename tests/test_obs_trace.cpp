@@ -173,6 +173,21 @@ TEST(Trace, ChromeJsonExportIsWellFormed) {
                ObsError);
 }
 
+TEST(Trace, ChromeJsonExportEscapesSpanNames) {
+  // Regression: span names holding quotes or backslashes (file paths on
+  // exotic platforms, user-provided labels) must not break the JSON.
+  tracer().clear();
+  { Span span("quoted\"name\\with\\slashes"); }
+  const std::string json = tracer().to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"quoted\\\"name\\\\with\\\\slashes\""),
+            std::string::npos)
+      << json;
+  // Still structurally balanced after escaping.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  tracer().clear();
+}
+
 TEST(Trace, SummaryTextListsSpans) {
   tracer().clear();
   { FAILMINE_TRACE_SPAN("phase.alpha"); }

@@ -16,7 +16,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/serve.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulator.hpp"
@@ -116,7 +118,8 @@ TEST(StreamServeE2E, LiveEndpointsDuringAndAfterReplay) {
   ASSERT_TRUE(eventually([&] { return !pipeline.healthy(); }))
       << "watchdog never flagged the paused shard";
   EXPECT_EQ(obs::http_get(port, "/healthz").status, 503);
-  EXPECT_EQ(obs::http_get(port, "/healthz").body, "unhealthy\n");
+  EXPECT_NE(obs::http_get(port, "/healthz").body.find("\"status\":\"unhealthy\""),
+            std::string::npos);
 
   // The stall shows up in the metrics and (via the warn log) in the
   // flight recorder.
@@ -125,17 +128,32 @@ TEST(StreamServeE2E, LiveEndpointsDuringAndAfterReplay) {
             std::string::npos);
   const std::string recorder = obs::http_get(port, "/flightrecorder").body;
   EXPECT_NE(recorder.find("stream.shard_stalled"), std::string::npos);
+  const std::uint64_t stalls_at_peak = static_cast<std::uint64_t>(
+      obs::metrics().counter("stream.shard_stalls").value());
+  EXPECT_GE(stalls_at_peak, 1u);
 
   // --- release: health recovers, the rest of the replay drains -------
   pipeline.pause_shard_for_test(0, false);
   ASSERT_TRUE(eventually([&] { return pipeline.healthy(); }))
       << "watchdog never cleared the released shard";
-  EXPECT_EQ(obs::http_get(port, "/healthz").status, 200);
+  const obs::HttpResponse recovered = obs::http_get(port, "/healthz");
+  EXPECT_EQ(recovered.status, 200);
+  EXPECT_NE(recovered.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(recovered.body.find("\"alerts_firing\":"), std::string::npos);
 
   pipeline.push_batch(std::move(rest));
   pipeline.finish();
 
   // --- after finish(): still serving, still healthy, exact snapshot --
+  // The recovered shard keeps processing; sitting past several grace
+  // periods must NOT re-fire the stall counter (regression: the watchdog
+  // once re-armed on a frozen-but-empty queue after recovery).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_TRUE(pipeline.healthy());
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                obs::metrics().counter("stream.shard_stalls").value()),
+            stalls_at_peak)
+      << "stall counter re-fired after recovery";
   EXPECT_EQ(obs::http_get(port, "/healthz").status, 200);
   const obs::HttpResponse metrics = obs::http_get(port, "/metrics");
   EXPECT_EQ(metrics.status, 200);
@@ -164,6 +182,81 @@ TEST(StreamServeE2E, WatchdogIgnoresIdleShards) {
   pipeline.pause_shard_for_test(0, false);
   pipeline.finish();
   EXPECT_TRUE(pipeline.healthy());
+}
+
+/// Collects the 16-hex trace ids from exemplar suffixes on lines of
+/// `metric_prefix` in an OpenMetrics document.
+std::vector<std::string> exemplar_ids(const std::string& om,
+                                      const std::string& metric_prefix) {
+  std::vector<std::string> out;
+  std::istringstream in(om);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(metric_prefix, 0) != 0) continue;
+    const std::size_t pos = line.find("trace_id=\"");
+    if (pos == std::string::npos) continue;
+    out.push_back(line.substr(pos + 10, 16));
+  }
+  return out;
+}
+
+TEST(StreamServeE2E, CausalTraceParityAcrossTheFullPipeline) {
+  // Trace parity: every resolved sampled record shows a stage-monotone
+  // emit→ring→reorder→shard→apply timeline, and the exemplar ids the
+  // OpenMetrics scrape advertises resolve through GET /trace.
+  StreamConfig config = serve_config();
+  config.trace_sample_period = 8;
+  StreamPipeline pipeline(config);
+  obs::TelemetryServer server;
+  server.set_snapshot_handler(
+      [&pipeline] { return pipeline.snapshot().to_json(); });
+  server.start();
+  const std::uint16_t port = server.port();
+
+  auto records = sim::build_replay(trace());
+  const std::size_t total = records.size();
+  pipeline.push_batch(std::move(records));
+  pipeline.finish();
+
+  const obs::CausalTracer& tracer = obs::causal_tracer();
+  ASSERT_GT(tracer.sampled(), 0u) << "replay sampled no traces";
+  EXPECT_LT(tracer.sampled(), total);  // it IS sampling, not tracing all
+
+  // The snapshot carries the causal section with per-stage stats.
+  const std::string snap = obs::http_get(port, "/snapshot").body;
+  EXPECT_NE(snap.find("\"causal\":{\"sample_period\":8"), std::string::npos);
+  EXPECT_NE(snap.find("\"stage\":\"apply\""), std::string::npos);
+
+  const std::string om =
+      obs::http_get(port, "/metrics?format=openmetrics").body;
+  const auto ids = exemplar_ids(om, "causal_e2e_us_bucket");
+  ASSERT_FALSE(ids.empty()) << "no exemplars on the e2e histogram";
+  std::size_t resolved = 0;
+  for (const std::string& hex : ids) {
+    const obs::HttpResponse r = obs::http_get(port, "/trace?id=" + hex);
+    // A bucket untouched by THIS replay can hold an exemplar from an
+    // earlier pipeline whose slots a reconfigure wiped; those 404.
+    if (r.status != 200) continue;
+    ++resolved;
+    std::uint64_t id = 0;
+    ASSERT_TRUE(obs::parse_trace_id(hex, id));
+    const auto timeline = tracer.find(id);
+    ASSERT_TRUE(timeline.has_value());
+    ASSERT_EQ(timeline->stamps.size(), 5u) << hex;
+    EXPECT_EQ(timeline->stamps[0].stage, "emit");
+    EXPECT_EQ(timeline->stamps[1].stage, "ring");
+    EXPECT_EQ(timeline->stamps[2].stage, "reorder");
+    EXPECT_EQ(timeline->stamps[3].stage, "shard");
+    EXPECT_EQ(timeline->stamps[4].stage, "apply");
+    for (std::size_t i = 1; i < timeline->stamps.size(); ++i)
+      EXPECT_GE(timeline->stamps[i].at_us, timeline->stamps[i - 1].at_us)
+          << hex;
+    EXPECT_NE(r.body.find("\"stage\":\"apply\""), std::string::npos);
+  }
+  // The most recent e2e observation is always a live slot, so at least
+  // one advertised exemplar must have resolved.
+  EXPECT_GE(resolved, 1u);
+  server.stop();
 }
 
 }  // namespace
