@@ -17,10 +17,14 @@
 #include <memory>
 #include <string>
 
+#include "analysis/cooccurrence.hpp"
+#include "core/checkpoint.hpp"
 #include "core/joint_analyzer.hpp"
+#include "core/lead_time.hpp"
 #include "obs/log.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
+#include "predict/config.hpp"
 #include "sim/simulator.hpp"
 
 namespace failmine::bench {
@@ -117,6 +121,54 @@ inline const core::JointAnalyzer& analyzer() {
                                dataset_config().machine);
   }();
   return instance;
+}
+
+// ---- shared analysis fragments ----------------------------------------
+// The X02 / X07 / X08 tables and the P01 online-prediction scoreboard
+// all measure the same quantities; these helpers keep the inputs (and
+// their caching) in one place so the offline references and the
+// streaming results stay comparable. The canonical horizons / window /
+// checkpoint-cost constants live in predict/config.hpp.
+
+/// The default-filtered interruption clusters of the bench trace
+/// (deduplicated FATALs — the denominator of X02 and P01).
+inline const std::vector<core::EventCluster>& interruption_clusters() {
+  static const std::vector<core::EventCluster> clusters = [] {
+    FAILMINE_TRACE_SPAN("bench.interruption_filter");
+    return analyzer().interruption_analysis(core::FilterConfig{})
+        .filter.clusters;
+  }();
+  return clusters;
+}
+
+/// Offline WARN->FATAL lead times at one horizon (the X02 rows and the
+/// parity reference of bench_p01 / the stream parity test).
+inline core::LeadTimeResult lead_times_at(std::int64_t horizon_seconds) {
+  core::LeadTimeConfig config;
+  config.horizon_seconds = horizon_seconds;
+  return core::warning_lead_times(analyzer().ras(), interruption_clusters(),
+                                  config);
+}
+
+/// The co-occurrence configuration X07 reports with (window from the
+/// canonical constant, everything else default).
+inline analysis::CooccurrenceConfig cooccurrence_config() {
+  analysis::CooccurrenceConfig config;
+  config.window_seconds = predict::kCooccurrenceWindowSeconds;
+  return config;
+}
+
+/// The X08 checkpoint-advisor table at the canonical write cost and
+/// reference runtime (also the static baseline of P01's policy
+/// scoreboard).
+inline const std::vector<core::CheckpointAdvice>& checkpoint_advice() {
+  static const std::vector<core::CheckpointAdvice> advice = [] {
+    FAILMINE_TRACE_SPAN("bench.checkpoint_advice");
+    return core::recommend_checkpoints(analyzer().jobs(),
+                                       predict::kCheckpointWriteSeconds,
+                                       predict::kReferenceRuntimeSeconds);
+  }();
+  return advice;
 }
 
 inline void print_header(const char* experiment, const char* title,

@@ -1,0 +1,245 @@
+// P01 — online failure prediction + adaptive checkpointing scoreboard.
+// Streams the bench trace through the pipeline with the PredictOperator
+// attached and reports what the paper-style offline studies look like
+// when computed live:
+//   * streamed WARN->FATAL lead-time distribution, checked for EXACT
+//     parity against the offline X02 result (same clusters, same leads,
+//     same medians — the run FAILS on any divergence);
+//   * alert precision/recall at the fixed lead-time horizons;
+//   * end-of-job risk scoring quality against ground truth;
+//   * the adaptive checkpoint policy's core-hours saved vs the static
+//     Daly policy (X08's advisor applied per job) and vs no checkpoints.
+// Finally it gates the cost of all of this: replay throughput with
+// --predict on must stay within 5% of the plain pipeline (best-of-5
+// interleaved, like the S05 tracing gate), else the run FAILS (exit 1).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "predict/operator.hpp"
+#include "sim/replay.hpp"
+#include "stream/pipeline.hpp"
+
+namespace {
+
+using namespace failmine;
+
+constexpr double kMaxOverhead = 0.05;  // 5% throughput budget
+
+const std::vector<stream::StreamRecord>& replay() {
+  static const std::vector<stream::StreamRecord> records = [] {
+    FAILMINE_TRACE_SPAN("bench.replay_build");
+    return sim::build_replay(bench::dataset());
+  }();
+  return records;
+}
+
+predict::PredictConfig predict_config() {
+  predict::PredictConfig config;
+  config.machine = bench::dataset_config().machine;
+  return config;
+}
+
+stream::StreamConfig make_config(
+    const std::shared_ptr<predict::PredictOperator>& op) {
+  stream::StreamConfig config;
+  config.machine = bench::dataset_config().machine;
+  config.shard_count = 4;
+  config.policy = stream::BackpressurePolicy::kBlock;
+  config.max_lateness_seconds = 0;  // replay is already event-time ordered
+  config.trace_sample_period = 0;   // isolate the predictor's cost
+  config.router_operator = op;
+  return config;
+}
+
+/// One full replay; returns records/sec. When `op` is set the predictor
+/// runs inline on the router thread.
+double run_pipeline(const std::shared_ptr<predict::PredictOperator>& op) {
+  stream::StreamPipeline pipeline(make_config(op));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<stream::StreamRecord> batch;
+  const auto& records = replay();
+  for (std::size_t i = 0; i < records.size();) {
+    const std::size_t n = std::min<std::size_t>(1024, records.size() - i);
+    batch.assign(records.begin() + i, records.begin() + i + n);
+    pipeline.push_batch(std::move(batch));
+    i += n;
+  }
+  pipeline.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto snap = pipeline.snapshot();
+  if (snap.records_dropped != 0) {
+    std::fprintf(stderr, "FATAL: blocking policy dropped records\n");
+    std::exit(1);
+  }
+  return static_cast<double>(snap.records_in) / secs;
+}
+
+/// Streamed-vs-batch lead-time parity: any divergence is a bug in the
+/// watermark-deferred scoring window, and the whole point of P01 is that
+/// the online numbers ARE the offline numbers.
+void check_parity(const predict::PredictOperator& op) {
+  const auto offline =
+      bench::lead_times_at(predict::kDefaultPrecursorHorizonSeconds);
+  const auto streamed = op.miner().lead_time_result();
+  bool ok = offline.with_precursor == streamed.with_precursor &&
+            offline.without_precursor == streamed.without_precursor &&
+            offline.per_interruption.size() == streamed.per_interruption.size();
+  if (ok)
+    for (std::size_t i = 0; i < offline.per_interruption.size(); ++i) {
+      const auto& a = offline.per_interruption[i];
+      const auto& b = streamed.per_interruption[i];
+      if (a.lead_seconds != b.lead_seconds ||
+          a.warn_message_id != b.warn_message_id) {
+        ok = false;
+        break;
+      }
+    }
+  if (!ok || offline.median_lead_seconds != streamed.median_lead_seconds ||
+      offline.mean_lead_seconds != streamed.mean_lead_seconds) {
+    std::fprintf(stderr,
+                 "FATAL: streamed lead times diverge from batch X02 "
+                 "(offline %llu+%llu median %.1f, streamed %llu+%llu "
+                 "median %.1f)\n",
+                 static_cast<unsigned long long>(offline.with_precursor),
+                 static_cast<unsigned long long>(offline.without_precursor),
+                 offline.median_lead_seconds,
+                 static_cast<unsigned long long>(streamed.with_precursor),
+                 static_cast<unsigned long long>(streamed.without_precursor),
+                 streamed.median_lead_seconds);
+    std::exit(1);
+  }
+  std::printf("parity: streamed lead times == batch X02 over %zu "
+              "interruptions (coverage %.1f%%, median %.0fs)\n",
+              streamed.per_interruption.size(), 100.0 * streamed.coverage,
+              streamed.median_lead_seconds);
+}
+
+void print_table() {
+  bench::print_header("P01", "online failure prediction + adaptive "
+                      "checkpointing",
+                      "extension: X02/X07/X08 as a live stream subsystem");
+
+  auto op = std::make_shared<predict::PredictOperator>(predict_config());
+  (void)run_pipeline(op);
+  const auto snap = op->snapshot();
+
+  check_parity(*op);
+
+  std::printf("\nalert quality (%llu alerts emitted, %llu graded):\n",
+              static_cast<unsigned long long>(snap.alerts),
+              static_cast<unsigned long long>(snap.alerts_graded));
+  std::printf("%-14s %12s %12s\n", "lead horizon", "precision", "recall");
+  std::printf("%-14s %11.1f%% %11.1f%%\n", "any",
+              100.0 * snap.alert_precision, 100.0 * snap.alert_recall);
+  for (const auto& h : snap.horizons)
+    std::printf(">= %-5llds     %11.1f%% %11.1f%%\n",
+                static_cast<long long>(h.horizon_seconds), 100.0 * h.precision,
+                100.0 * h.recall);
+
+  std::printf("\nper-job risk scoring (%llu jobs, threshold %.1f, "
+              "target = system-caused ends):\n",
+              static_cast<unsigned long long>(snap.jobs_scored),
+              predict_config().risk.flag_threshold);
+  std::printf("  precision %.1f%%  recall %.1f%%  (tp=%llu fp=%llu fn=%llu "
+              "tn=%llu)\n",
+              100.0 * snap.risk_precision, 100.0 * snap.risk_recall,
+              static_cast<unsigned long long>(snap.risk_tp),
+              static_cast<unsigned long long>(snap.risk_fp),
+              static_cast<unsigned long long>(snap.risk_fn),
+              static_cast<unsigned long long>(snap.risk_tn));
+  std::printf("  mean risk: failed %.3f vs ok %.3f; flag lead p50 %.0fs "
+              "p90 %.0fs\n",
+              snap.mean_risk_failed, snap.mean_risk_ok,
+              snap.flag_lead_p50_seconds, snap.flag_lead_p90_seconds);
+
+  std::printf("\ncheckpoint policy (hazard %.3e/node-s, %llu kills):\n",
+              snap.hazard_per_node_second,
+              static_cast<unsigned long long>(snap.system_kills));
+  std::printf("%-10s %8s %12s %14s %12s %14s\n", "policy", "jobs", "ckpted",
+              "overhead (ch)", "lost (ch)", "waste (ch)");
+  for (const auto& row : snap.policies)
+    std::printf("%-10s %8llu %12llu %14.1f %12.1f %14.1f\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.jobs),
+                static_cast<unsigned long long>(row.checkpointed),
+                row.overhead_core_hours, row.lost_core_hours,
+                row.waste_core_hours);
+  std::printf("adaptive saves %.1f core-hours vs static Daly "
+              "(%.1f vs no checkpoints)\n",
+              snap.saved_vs_static_core_hours, snap.saved_vs_none_core_hours);
+
+  // Context: the offline X08 advisor's per-allocation optimum at the
+  // same write cost / reference runtime (the static policy's table).
+  const auto& advice = bench::checkpoint_advice();
+  if (!advice.empty()) {
+    const auto& full = advice.back();
+    std::printf("(offline X08 at %u nodes: ckpt every %.2f h, waste %.2f%% "
+                "vs %.2f%% bare)\n",
+                full.nodes, full.optimal_interval_hours,
+                100.0 * full.waste_at_optimum, 100.0 * full.waste_without);
+  }
+
+  // Throughput gate: the predictor must ride along within 5%. Warm both
+  // modes, then best-of-5 interleaved (see bench_s05 for the rationale:
+  // a replay is short, so one scheduler hiccup outweighs the budget).
+  (void)run_pipeline(nullptr);
+  double off = 0.0, on = 0.0;
+  for (int round = 0; round < 5; ++round) {
+    off = std::max(off, run_pipeline(nullptr));
+    on = std::max(
+        on, run_pipeline(
+                std::make_shared<predict::PredictOperator>(predict_config())));
+  }
+  const double overhead = (off - on) / off;
+  std::printf("\n%-12s %14s\n", "mode", "records/s");
+  std::printf("%-12s %14.0f\n", "predict off", off);
+  std::printf("%-12s %14.0f\n", "predict on", on);
+  std::printf("overhead: %.2f%% (budget %.0f%%)\n", 100.0 * overhead,
+              100.0 * kMaxOverhead);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FATAL: prediction overhead %.2f%% exceeds the %.0f%% "
+                 "budget\n",
+                 100.0 * overhead, 100.0 * kMaxOverhead);
+    std::exit(1);
+  }
+}
+
+void BM_StreamReplayPredictOff(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_pipeline(nullptr));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayPredictOff)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamReplayPredictOn(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(
+        std::make_shared<predict::PredictOperator>(predict_config())));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayPredictOn)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

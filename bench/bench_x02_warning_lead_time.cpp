@@ -14,30 +14,24 @@ namespace {
 using namespace failmine;
 
 void print_table() {
-  const auto& a = bench::analyzer();
   bench::print_header("X02", "warning lead time before interruptions",
                       "extension: precursor WARNs of filtered FATAL clusters");
-  const auto filtered = a.interruption_analysis(core::FilterConfig{});
 
-  for (std::int64_t horizon : {900LL, 3600LL, 7200LL, 86400LL}) {
-    core::LeadTimeConfig config;
-    config.horizon_seconds = horizon;
-    const auto r =
-        core::warning_lead_times(a.ras(), filtered.filter.clusters, config);
+  for (std::int64_t horizon : predict::kLeadTimeHorizonsSeconds) {
+    const auto r = bench::lead_times_at(horizon);
     std::printf("horizon %6llds: coverage %5.1f%%  median lead %7.0fs  "
                 "mean %7.0fs\n",
                 static_cast<long long>(horizon), 100.0 * r.coverage,
                 r.median_lead_seconds, r.mean_lead_seconds);
   }
 
-  core::LeadTimeConfig config;
-  config.horizon_seconds = 7200;
   const auto r =
-      core::warning_lead_times(a.ras(), filtered.filter.clusters, config);
+      bench::lead_times_at(predict::kDefaultPrecursorHorizonSeconds);
   std::map<std::string, int> by_message;
   for (const auto& p : r.per_interruption)
     if (p.lead_seconds) ++by_message[p.warn_message_id];
-  std::printf("\nprecursor WARN message ids (7200s horizon):\n");
+  std::printf("\nprecursor WARN message ids (%llds horizon):\n",
+              static_cast<long long>(predict::kDefaultPrecursorHorizonSeconds));
   for (const auto& [msg, count] : by_message)
     std::printf("  %s  %d\n", msg.c_str(), count);
   std::printf("interruptions without any precursor: %llu of %zu\n",
@@ -47,9 +41,9 @@ void print_table() {
 
 void BM_LeadTimes(benchmark::State& state) {
   const auto& a = bench::analyzer();
-  const auto filtered = a.interruption_analysis(core::FilterConfig{});
+  const auto& clusters = bench::interruption_clusters();
   for (auto _ : state) {
-    auto r = core::warning_lead_times(a.ras(), filtered.filter.clusters);
+    auto r = core::warning_lead_times(a.ras(), clusters);
     benchmark::DoNotOptimize(r);
   }
 }

@@ -15,8 +15,10 @@ void print_table() {
   const auto& log = bench::dataset().ras_log;
   bench::print_header("X07", "category co-occurrence (error propagation)",
                       "extension: lift matrix of WARN+/FATAL event pairs");
-  analysis::CooccurrenceConfig config;
-  const auto r = analysis::category_cooccurrence(log, config);
+  // The window comes from the shared constant so the offline lift matrix
+  // and the online predictor measure propagation over the same horizon.
+  const auto r =
+      analysis::category_cooccurrence(log, bench::cooccurrence_config());
   std::printf("qualifying events (WARN+): %llu over %.0f days\n",
               static_cast<unsigned long long>(r.qualifying_events),
               r.span_seconds / 86400.0);
@@ -45,8 +47,9 @@ void print_table() {
 
 void BM_Cooccurrence(benchmark::State& state) {
   const auto& log = bench::dataset().ras_log;
+  const auto config = bench::cooccurrence_config();
   for (auto _ : state) {
-    auto r = analysis::category_cooccurrence(log);
+    auto r = analysis::category_cooccurrence(log, config);
     benchmark::DoNotOptimize(r);
   }
 }

@@ -21,10 +21,12 @@ void print_table() {
               "= %.3e per node-second\n",
               static_cast<unsigned long long>(hazard.system_kills),
               hazard.node_seconds, hazard.per_node_second);
-  std::printf("(checkpoint write assumed 600 s; bare-run comparison at 48 h)\n\n");
+  std::printf("(checkpoint write assumed %.0f s; bare-run comparison at "
+              "%.0f h)\n\n",
+              predict::kCheckpointWriteSeconds,
+              predict::kReferenceRuntimeSeconds / 3600.0);
 
-  const auto advice =
-      core::recommend_checkpoints(a.jobs(), 600.0, 48.0 * 3600.0);
+  const auto& advice = bench::checkpoint_advice();
   std::printf("%-10s %14s %16s %12s %12s\n", "nodes", "job MTBF (h)",
               "ckpt every (h)", "waste@opt", "waste bare");
   for (const auto& row : advice) {
@@ -42,7 +44,9 @@ void print_table() {
 void BM_RecommendCheckpoints(benchmark::State& state) {
   const auto& a = bench::analyzer();
   for (auto _ : state) {
-    auto advice = core::recommend_checkpoints(a.jobs());
+    auto advice = core::recommend_checkpoints(
+        a.jobs(), predict::kCheckpointWriteSeconds,
+        predict::kReferenceRuntimeSeconds);
     benchmark::DoNotOptimize(advice);
   }
 }

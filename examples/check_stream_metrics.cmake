@@ -36,6 +36,19 @@ failmine_require_metrics("${metrics_json}"
 failmine_require_metric_prefix("${metrics_json}"
   "${FAILMINE_SERVE_LABELED_REQUESTS_PREFIX}")
 
+# The replay runs with --predict, so the prediction subsystem's
+# instruments must be present and the operator must have observed every
+# routed record.
+failmine_require_metrics("${metrics_json}"
+  ${FAILMINE_PREDICT_REQUIRED_COUNTERS}
+  ${FAILMINE_PREDICT_REQUIRED_HISTOGRAMS})
+failmine_metric_value(predict_records "${metrics_json}"
+                      "${FAILMINE_PREDICT_RECORDS_COUNTER}")
+if(predict_records EQUAL 0)
+  message(FATAL_ERROR "${FAILMINE_PREDICT_RECORDS_COUNTER} is 0 — the "
+                      "predictor never observed a record")
+endif()
+
 # Causal tracing is on by default and the alert engine runs the built-in
 # rules, so their instruments (and the process gauges every export
 # refreshes) must be present too. The sampled counter must be non-zero:

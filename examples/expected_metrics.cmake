@@ -42,6 +42,22 @@ set(FAILMINE_ALERTS_REQUIRED_METRICS
   obs.alerts.evaluations
   obs.alerts.transitions)
 
+# Prediction-subsystem instruments (src/predict/operator.cpp) — present
+# whenever the stream replay runs with --predict, which the stream smoke
+# test does. predict.records must be non-zero: the operator sees every
+# routed record.
+set(FAILMINE_PREDICT_REQUIRED_COUNTERS
+  predict.records
+  predict.warns
+  predict.interruptions
+  predict.alerts
+  predict.jobs_scored)
+set(FAILMINE_PREDICT_REQUIRED_HISTOGRAMS
+  predict.lead_time_s
+  predict.risk_score
+  predict.flag_lead_s)
+set(FAILMINE_PREDICT_RECORDS_COUNTER predict.records)
+
 # Process-level gauges update_process_metrics() maintains on every
 # export and scrape (src/obs/metrics.cpp).
 set(FAILMINE_PROCESS_REQUIRED_GAUGES

@@ -14,7 +14,7 @@
 //   stream   --data DIR [--shards N] [--lateness SEC] [--shuffle SEC]
 //            [--seed N] [--policy block|drop] [--queue N] [--interval N]
 //            [--serve PORT] [--serve-linger SEC] [--trace-sample N]
-//            [--alert-rules PATH]
+//            [--alert-rules PATH] [--predict]
 //       replay the dataset through the streaming pipeline in event-time
 //       order (optionally with bounded shuffle); prints periodic windowed
 //       stats to stderr and the final StreamSnapshot JSON to stdout.
@@ -33,6 +33,11 @@
 //       critical-path report to stderr. --alert-rules PATH replaces the
 //       built-in alert rules (see obs/alerts.hpp for the grammar); the
 //       engine evaluates every 500 ms while the replay runs.
+//       --predict attaches the online failure-prediction subsystem
+//       (src/predict): precursor mining, per-job risk scoring and the
+//       adaptive checkpoint policy run inline on the router thread. The
+//       final snapshot gains a "predict" section, a summary goes to
+//       stderr, and with --serve GET /predict serves the live state.
 //
 // Global loading options (any subcommand reading --data DIR):
 //   --ingest-threads N   worker threads for the parallel mmap CSV ingest
@@ -62,11 +67,13 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 
 #include "core/report.hpp"
 #include "obs/alerts.hpp"
+#include "predict/operator.hpp"
 #include "obs/causal.hpp"
 #include "obs/serve.hpp"
 #include "obs/session.hpp"
@@ -79,17 +86,25 @@ namespace {
 
 using namespace failmine;
 
-/// Minimal --key value argument parser.
+/// Minimal --key value argument parser. A few flags are boolean and
+/// take no value (listed in kBooleanFlags); everything else consumes
+/// the next argv entry.
 class ArgMap {
  public:
   ArgMap(int argc, char** argv, int first) {
+    static const std::set<std::string> kBooleanFlags = {"predict"};
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0)
         throw failmine::ParseError("expected --option, got '" + key + "'");
+      const std::string name = key.substr(2);
+      if (kBooleanFlags.contains(name)) {
+        values_[name] = "1";
+        continue;
+      }
       if (i + 1 >= argc)
         throw failmine::ParseError("missing value for " + key);
-      values_[key.substr(2)] = argv[++i];
+      values_[name] = argv[++i];
     }
   }
 
@@ -132,7 +147,7 @@ void print_usage() {
                "[--interval N]\n"
                "           [--serve PORT] [--serve-linger SEC] "
                "[--trace-sample N]\n"
-               "           [--alert-rules PATH]\n"
+               "           [--alert-rules PATH] [--predict]\n"
                "global: [--ingest-threads N] [--log-level LEVEL] "
                "[--metrics-out PATH]\n"
                "        [--trace-out PATH] [--flight-recorder PATH] "
@@ -281,6 +296,20 @@ int cmd_stream(const ArgMap& args) {
       0LL, (long long)args.get_int("trace-sample",
                                    config.trace_sample_period)));
 
+  // --predict attaches the failure-prediction subsystem as a router
+  // operator: precursor mining, per-job risk scoring and the adaptive
+  // checkpoint policy all run inline with the replay (predict/README in
+  // DESIGN.md). Its live state is the "predict" snapshot section and,
+  // with --serve, GET /predict.
+  std::shared_ptr<predict::PredictOperator> predict_op;
+  if (args.has("predict")) {
+    predict::PredictConfig pc;
+    pc.machine = config.machine;
+    pc.filter = config.filter;
+    predict_op = std::make_shared<predict::PredictOperator>(pc);
+    config.router_operator = predict_op;
+  }
+
   stream::StreamPipeline pipeline(config);
 
   // SLO/alert engine: built-in rules unless --alert-rules overrides
@@ -302,6 +331,9 @@ int cmd_stream(const ArgMap& args) {
     server = std::make_unique<obs::TelemetryServer>(serve_config);
     server->set_snapshot_handler(
         [&pipeline] { return pipeline.snapshot().to_json(); });
+    if (predict_op != nullptr)
+      server->set_predict_handler(
+          [&pipeline] { return pipeline.operator_snapshot_json() + "\n"; });
     server->set_health_handler([&pipeline] { return pipeline.healthy(); });
     server->start();
     std::fprintf(stderr, "[stream] serving telemetry on 127.0.0.1:%u\n",
@@ -337,6 +369,28 @@ int cmd_stream(const ArgMap& args) {
   pipeline.finish();
   const auto snap = pipeline.snapshot();
   std::fputs(snap.to_json().c_str(), stdout);
+  if (predict_op != nullptr) {
+    // Safe to read directly: finish() has run, the router thread has
+    // joined, and the operator is quiescent.
+    const auto ps = predict_op->snapshot();
+    std::fprintf(stderr,
+                 "[predict] records=%llu warns=%llu interruptions=%llu "
+                 "alerts=%llu jobs=%llu\n",
+                 static_cast<unsigned long long>(ps.records),
+                 static_cast<unsigned long long>(ps.warns),
+                 static_cast<unsigned long long>(ps.interruptions),
+                 static_cast<unsigned long long>(ps.alerts),
+                 static_cast<unsigned long long>(ps.jobs_scored));
+    std::fprintf(stderr,
+                 "[predict] alert precision=%.3f recall=%.3f  risk "
+                 "precision=%.3f recall=%.3f\n",
+                 ps.alert_precision, ps.alert_recall, ps.risk_precision,
+                 ps.risk_recall);
+    std::fprintf(stderr,
+                 "[predict] policy saved vs static: %.1f core-hours "
+                 "(vs none: %.1f)\n",
+                 ps.saved_vs_static_core_hours, ps.saved_vs_none_core_hours);
+  }
   if (obs::causal_tracer().enabled())
     std::fputs(obs::causal_tracer().critical_path_text().c_str(), stderr);
   if (server != nullptr) {

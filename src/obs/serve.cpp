@@ -49,7 +49,7 @@ Histogram& latency_us_histogram() {
 /// clients probe for.
 constexpr const char* kRoutes[] = {"/metrics", "/snapshot", "/healthz",
                                    "/flightrecorder", "/profile",
-                                   "/trace", "/alerts"};
+                                   "/trace", "/alerts", "/predict"};
 
 /// Per-endpoint request counter, encoded with the label inside the
 /// metric name (`obs.serve.requests{path="/metrics"}`). The registry is
@@ -140,6 +140,11 @@ TelemetryServer::~TelemetryServer() { stop(); }
 void TelemetryServer::set_snapshot_handler(SnapshotHandler handler) {
   const std::lock_guard<std::mutex> lock(mutex_);
   snapshot_handler_ = std::move(handler);
+}
+
+void TelemetryServer::set_predict_handler(SnapshotHandler handler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  predict_handler_ = std::move(handler);
 }
 
 void TelemetryServer::set_health_handler(HealthHandler handler) {
@@ -311,6 +316,17 @@ void TelemetryServer::handle_connection(int fd) {
     else
       send_response(fd, 404, "Not Found", "text/plain",
                     "no snapshot source\n");
+  } else if (path == "/predict") {
+    SnapshotHandler handler;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      handler = predict_handler_;
+    }
+    if (handler)
+      send_response(fd, 200, "OK", "application/json", handler());
+    else
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no predictor attached\n");
   } else if (path == "/healthz") {
     HealthHandler handler;
     {

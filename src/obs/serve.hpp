@@ -19,6 +19,10 @@
 //                         404 once the trace's slot has been recycled
 //   GET /alerts           alert-rule engine status (obs/alerts.hpp):
 //                         every rule with state/value/threshold, JSON
+//   GET /predict          live failure-prediction state (top at-risk
+//                         jobs, precision/recall/lead-time summary,
+//                         checkpoint-policy scoreboard) when a predictor
+//                         is attached (failmine_cli stream --predict)
 //   GET /flightrecorder   JSONL dump of obs::flight_recorder()
 //   GET /profile          timed CPU capture via obs::profile —
 //                         ?seconds=N (0.05–60, default 1), ?hz=H
@@ -86,6 +90,10 @@ class TelemetryServer {
   /// so it may take pipeline locks but must not block indefinitely.
   void set_snapshot_handler(SnapshotHandler handler);
 
+  /// Body of GET /predict — the prediction subsystem's live JSON (wire
+  /// StreamPipeline::operator_snapshot_json here). Unset -> 404.
+  void set_predict_handler(SnapshotHandler handler);
+
   /// GET /healthz verdict. Unset -> always healthy.
   void set_health_handler(HealthHandler handler);
 
@@ -114,6 +122,7 @@ class TelemetryServer {
 
   std::mutex mutex_;  // guards handlers_, pending_, stopping_
   SnapshotHandler snapshot_handler_;
+  SnapshotHandler predict_handler_;
   HealthHandler health_handler_;
   std::deque<int> pending_;
   bool stopping_ = false;

@@ -1,0 +1,120 @@
+#include "predict/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace failmine::predict {
+
+CheckpointPolicy::CheckpointPolicy(const PolicyConfig& config,
+                                   const topology::MachineConfig& machine)
+    : config_(config),
+      machine_(machine),
+      intervals_(config.quantile_epsilon) {
+  if (config_.checkpoint_write_seconds <= 0)
+    throw failmine::DomainError("checkpoint write cost must be positive");
+  if (config_.min_interval_seconds <= 0 ||
+      config_.max_interval_seconds < config_.min_interval_seconds)
+    throw failmine::DomainError("policy interval bounds are inverted");
+  if (config_.max_risk_multiplier < 1.0)
+    throw failmine::DomainError("max risk multiplier must be >= 1");
+}
+
+void CheckpointPolicy::on_interruption(util::UnixSeconds first_time) {
+  if (interruptions_ == 0)
+    first_interruption_ = first_time;
+  else
+    intervals_.insert(static_cast<double>(first_time - last_interruption_));
+  last_interruption_ = first_time;
+  ++interruptions_;
+}
+
+double CheckpointPolicy::hazard_per_node_second() const {
+  if (system_kills_ == 0 || node_seconds_ <= 0) return 0.0;
+  return static_cast<double>(system_kills_) / node_seconds_;
+}
+
+double CheckpointPolicy::job_mtbf(std::uint32_t nodes) const {
+  if (nodes == 0) return 0.0;
+  const double hazard = hazard_per_node_second();
+  if (hazard > 0) return 1.0 / (hazard * static_cast<double>(nodes));
+  // Cold start: derive a machine-level rate from the deduplicated
+  // interruption arrivals (needs at least one gap), then scale exposure
+  // to the job's share of the machine.
+  if (interruptions_ >= 2 && last_interruption_ > first_interruption_) {
+    const double mean_gap =
+        static_cast<double>(last_interruption_ - first_interruption_) /
+        static_cast<double>(interruptions_ - 1);
+    const double machine_nodes = static_cast<double>(machine_.total_nodes());
+    return mean_gap * machine_nodes / static_cast<double>(nodes);
+  }
+  return 0.0;
+}
+
+void CheckpointPolicy::charge(PolicyCost& cost, const joblog::JobRecord& job,
+                              double interval_seconds,
+                              bool system_failed) const {
+  ++cost.jobs;
+  const double runtime = static_cast<double>(job.runtime_seconds());
+  const double core_seconds_per_second =
+      static_cast<double>(job.nodes_used) *
+      static_cast<double>(machine_.cores_per_node);
+
+  double overhead_seconds = 0.0;
+  double lost_seconds = 0.0;
+  if (interval_seconds > 0 && interval_seconds < runtime) {
+    ++cost.checkpointed;
+    cost.interval_sum_seconds += interval_seconds;
+    const double writes = std::floor(runtime / interval_seconds);
+    overhead_seconds = writes * config_.checkpoint_write_seconds;
+    if (system_failed)
+      lost_seconds = std::fmod(runtime, interval_seconds);
+  } else {
+    // No checkpoints taken (policy "none", an interval past the runtime,
+    // or an unknown hazard): a system kill loses the whole run.
+    if (interval_seconds > 0) {
+      ++cost.checkpointed;
+      cost.interval_sum_seconds += interval_seconds;
+    }
+    if (system_failed) lost_seconds = runtime;
+  }
+  cost.overhead_core_hours +=
+      overhead_seconds * core_seconds_per_second / 3600.0;
+  cost.lost_core_hours += lost_seconds * core_seconds_per_second / 3600.0;
+}
+
+PolicyDecision CheckpointPolicy::score_job(const joblog::JobRecord& job,
+                                           bool system_failed,
+                                           double risk_multiplier) {
+  PolicyDecision decision;
+  decision.risk_multiplier =
+      std::clamp(risk_multiplier, 1.0, config_.max_risk_multiplier);
+  decision.job_mtbf_seconds = job_mtbf(job.nodes_used);
+
+  if (decision.job_mtbf_seconds > 0) {
+    const double delta = config_.checkpoint_write_seconds;
+    decision.static_interval_seconds =
+        std::clamp(core::daly_interval(delta, decision.job_mtbf_seconds),
+                   config_.min_interval_seconds, config_.max_interval_seconds);
+    decision.adaptive_interval_seconds = std::clamp(
+        core::daly_interval(
+            delta, decision.job_mtbf_seconds / decision.risk_multiplier),
+        config_.min_interval_seconds, config_.max_interval_seconds);
+  }
+
+  charge(none_, job, 0.0, system_failed);
+  charge(static_, job, decision.static_interval_seconds, system_failed);
+  charge(adaptive_, job, decision.adaptive_interval_seconds, system_failed);
+
+  // Update the hazard exposure only after deciding, so the decision for
+  // this job never used its own outcome.
+  node_seconds_ += static_cast<double>(job.nodes_used) *
+                   static_cast<double>(job.runtime_seconds());
+  if (system_failed) ++system_kills_;
+
+  return decision;
+}
+
+}  // namespace failmine::predict

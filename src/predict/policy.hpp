@@ -1,0 +1,127 @@
+// failmine/predict/policy.hpp
+//
+// Adaptive checkpoint policy, scored online against the sim twin's
+// ground truth.
+//
+// The static X08 advisor computes one Daly-optimal interval per
+// allocation size from the whole log's hazard. The online policy does
+// the same computation incrementally — the hazard estimate is the
+// running system-kills / node-seconds ratio over jobs scored SO FAR (it
+// converges to core::estimate_hazard's batch value at end of stream) —
+// and then scales each job's effective MTBF down by its live risk
+// multiplier, so high-risk jobs checkpoint more aggressively.
+//
+// Every job end is scored under three policies with the recorded
+// outcome as ground truth:
+//   none      lose the whole runtime if the system killed the job;
+//   static    checkpoint every tau_s = daly(delta, M_job): pay
+//             floor(R/tau_s) writes, lose at most the last segment;
+//   adaptive  same, at tau_a = daly(delta, M_job / risk_multiplier),
+//             clamped to the configured interval bounds.
+// Waste is charged in core-hours (nodes * cores/node * seconds / 3600).
+// "Saved vs static" is the P01 headline.
+//
+// Cold start: until the first system kill is observed the hazard is
+// unknown; the policy falls back to the interruption-interval rate from
+// the streaming GK sketch of inter-interruption gaps (>= 2 clusters),
+// else recommends no checkpoints.
+
+#pragma once
+
+#include <cstdint>
+
+#include "joblog/job.hpp"
+#include "predict/config.hpp"
+#include "stream/quantile_sketch.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::predict {
+
+/// Accumulated cost of one policy over all scored jobs.
+struct PolicyCost {
+  std::uint64_t jobs = 0;             ///< jobs scored under the policy
+  std::uint64_t checkpointed = 0;     ///< jobs given a finite interval
+  double overhead_core_hours = 0.0;   ///< checkpoint writes
+  double lost_core_hours = 0.0;       ///< recompute after system kills
+  double interval_sum_seconds = 0.0;  ///< over checkpointed jobs
+
+  double waste_core_hours() const {
+    return overhead_core_hours + lost_core_hours;
+  }
+  double mean_interval_seconds() const {
+    return checkpointed > 0
+               ? interval_sum_seconds / static_cast<double>(checkpointed)
+               : 0.0;
+  }
+};
+
+/// One job's recommendation (what /predict shows for at-risk jobs).
+struct PolicyDecision {
+  double static_interval_seconds = 0.0;    ///< 0 = no checkpoints
+  double adaptive_interval_seconds = 0.0;  ///< 0 = no checkpoints
+  double risk_multiplier = 1.0;
+  double job_mtbf_seconds = 0.0;  ///< 0 = hazard unknown
+};
+
+class CheckpointPolicy {
+ public:
+  CheckpointPolicy(const PolicyConfig& config,
+                   const topology::MachineConfig& machine);
+
+  /// Feeds one deduplicated interruption (cluster open) time.
+  void on_interruption(util::UnixSeconds first_time);
+
+  /// Scores one finished job under all three policies and updates the
+  /// hazard exposure afterwards (the decision never sees the job's own
+  /// outcome).
+  PolicyDecision score_job(const joblog::JobRecord& job, bool system_failed,
+                           double risk_multiplier);
+
+  // -- scoreboard --------------------------------------------------------
+  const PolicyCost& cost_none() const { return none_; }
+  const PolicyCost& cost_static() const { return static_; }
+  const PolicyCost& cost_adaptive() const { return adaptive_; }
+  double saved_vs_static_core_hours() const {
+    return static_.waste_core_hours() - adaptive_.waste_core_hours();
+  }
+  double saved_vs_none_core_hours() const {
+    return none_.waste_core_hours() - adaptive_.waste_core_hours();
+  }
+
+  // -- hazard state ------------------------------------------------------
+  /// Running hazard per node-second (0 until the first system kill; then
+  /// identical to core::estimate_hazard over the jobs scored so far, up
+  /// to floating-point summation order).
+  double hazard_per_node_second() const;
+  std::uint64_t system_kills() const { return system_kills_; }
+  double node_seconds() const { return node_seconds_; }
+  const stream::GkQuantileSketch& interval_sketch() const {
+    return intervals_;
+  }
+
+ private:
+  /// Job MTBF in seconds from the best available hazard source, or 0
+  /// when nothing is known yet.
+  double job_mtbf(std::uint32_t nodes) const;
+
+  /// Charges `job` run under a fixed interval (0 = none) to `cost`.
+  void charge(PolicyCost& cost, const joblog::JobRecord& job,
+              double interval_seconds, bool system_failed) const;
+
+  PolicyConfig config_;
+  topology::MachineConfig machine_;
+
+  std::uint64_t system_kills_ = 0;
+  double node_seconds_ = 0.0;
+
+  stream::GkQuantileSketch intervals_;  ///< inter-interruption gaps, seconds
+  std::uint64_t interruptions_ = 0;
+  util::UnixSeconds first_interruption_ = 0;
+  util::UnixSeconds last_interruption_ = 0;
+
+  PolicyCost none_;
+  PolicyCost static_;
+  PolicyCost adaptive_;
+};
+
+}  // namespace failmine::predict

@@ -1,0 +1,240 @@
+#include "predict/risk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topology/partition.hpp"
+#include "util/error.hpp"
+
+namespace failmine::predict {
+
+// ---- LocationPressure --------------------------------------------------
+
+LocationPressure::LocationPressure(double tau_seconds) : tau_(tau_seconds) {
+  if (tau_ <= 0)
+    throw failmine::DomainError("pressure decay tau must be positive");
+}
+
+double LocationPressure::decayed(const Cell& cell, util::UnixSeconds t) const {
+  if (cell.value == 0.0) return 0.0;
+  if (t <= cell.last) return cell.value;
+  return cell.value * std::exp(-static_cast<double>(t - cell.last) / tau_);
+}
+
+void LocationPressure::bump(int midplane, double amount, util::UnixSeconds t) {
+  if (midplane < 0) return;
+  if (static_cast<std::size_t>(midplane) >= cells_.size())
+    cells_.resize(static_cast<std::size_t>(midplane) + 1);
+  Cell& cell = cells_[static_cast<std::size_t>(midplane)];
+  cell.value = decayed(cell, t) + amount;
+  cell.last = std::max(cell.last, t);
+}
+
+double LocationPressure::value_at(int midplane, util::UnixSeconds t) const {
+  if (midplane < 0 || static_cast<std::size_t>(midplane) >= cells_.size())
+    return 0.0;
+  return decayed(cells_[static_cast<std::size_t>(midplane)], t);
+}
+
+// ---- UserHistory -------------------------------------------------------
+
+UserHistory::UserHistory(std::size_t capacity, double propensity_cap)
+    : cap_(propensity_cap),
+      jobs_by_user_(capacity),
+      failures_by_user_(capacity) {}
+
+void UserHistory::record_job(std::uint32_t user_id, bool system_failed) {
+  jobs_by_user_.add(user_id);
+  ++jobs_total_;
+  if (system_failed) {
+    failures_by_user_.add(user_id);
+    ++failures_total_;
+  }
+}
+
+double UserHistory::propensity_ratio(std::uint32_t user_id) const {
+  if (jobs_total_ == 0 || failures_total_ == 0) return 1.0;
+  const auto jobs = jobs_by_user_.find(user_id);
+  if (!jobs || jobs->count == 0) return 1.0;  // unmonitored: assume average
+  const auto failures = failures_by_user_.find(user_id);
+  const double user_rate =
+      static_cast<double>(failures ? failures->count : 0) /
+      static_cast<double>(jobs->count);
+  const double global_rate = static_cast<double>(failures_total_) /
+                             static_cast<double>(jobs_total_);
+  return std::clamp(user_rate / global_rate, 0.0, cap_);
+}
+
+// ---- JobRiskScorer -----------------------------------------------------
+
+JobRiskScorer::JobRiskScorer(const RiskConfig& config,
+                             const topology::MachineConfig& machine)
+    : config_(config), machine_(machine) {
+  if (config_.task_decay_tau_seconds <= 0)
+    throw failmine::DomainError("task decay tau must be positive");
+  if (config_.max_live_jobs == 0)
+    throw failmine::DomainError("max_live_jobs must be positive");
+}
+
+double JobRiskScorer::decayed_task_score(const LiveJob& job,
+                                         util::UnixSeconds t) const {
+  if (t <= job.last_update) return job.task_score;
+  return job.task_score *
+         std::exp(-static_cast<double>(t - job.last_update) /
+                  config_.task_decay_tau_seconds);
+}
+
+void JobRiskScorer::evict_stalest() {
+  auto stalest = live_.begin();
+  for (auto it = live_.begin(); it != live_.end(); ++it)
+    if (it->second.last_update < stalest->second.last_update ||
+        (it->second.last_update == stalest->second.last_update &&
+         it->first < stalest->first))
+      stalest = it;
+  live_.erase(stalest);
+  ++evictions_;
+}
+
+void JobRiskScorer::observe_task(const tasklog::TaskRecord& task,
+                                 util::UnixSeconds t) {
+  auto it = live_.find(task.job_id);
+  if (it == live_.end()) {
+    // Same-stamp task of a job already scored at `t`: its job record
+    // sorted first and retired the entry. Don't resurrect the dead.
+    if (t == last_retired_time_ &&
+        std::find(retired_now_.begin(), retired_now_.end(), task.job_id) !=
+            retired_now_.end())
+      return;
+    if (live_.size() >= config_.max_live_jobs) evict_stalest();
+    LiveJob fresh;
+    fresh.job_id = task.job_id;
+    fresh.first_seen = t;
+    fresh.last_update = t;
+    it = live_.emplace(task.job_id, fresh).first;
+  }
+  LiveJob& job = it->second;
+  job.task_score = decayed_task_score(job, t);
+  job.last_update = std::max(job.last_update, t);
+  ++job.tasks_seen;
+  if (task.failed()) {
+    ++job.tasks_failed;
+    job.task_score += config_.task_fail_weight;
+    if (job.flagged_at == 0 && job.task_score >= config_.live_flag_threshold)
+      job.flagged_at = t;
+  }
+}
+
+double JobRiskScorer::partition_sum(const LocationPressure& pressure,
+                                    const joblog::JobRecord& job,
+                                    util::UnixSeconds t) const {
+  // A record with no node count has no spatial footprint to read.
+  if (job.nodes_used == 0) return 0.0;
+  const int first = job.partition_first_midplane;
+  const int count = topology::midplanes_for_nodes(job.nodes_used, machine_);
+  double sum = 0.0;
+  for (int mp = first; mp < first + count; ++mp)
+    sum += pressure.value_at(mp, t);
+  return sum;
+}
+
+RiskAssessment JobRiskScorer::score_job_end(const joblog::JobRecord& job,
+                                            util::UnixSeconds t,
+                                            const LocationPressure& warn_pressure,
+                                            const LocationPressure& health,
+                                            const UserHistory& users) {
+  RiskAssessment a;
+
+  const auto it = live_.find(job.job_id);
+  if (it != live_.end()) {
+    const LiveJob& live = it->second;
+    a.task_component = config_.w_task * decayed_task_score(live, t);
+    if (live.flagged_at != 0) {
+      a.flagged_live = true;
+      a.flag_lead_seconds = t - live.flagged_at;
+    }
+  }
+
+  a.warn_component = config_.w_warn * partition_sum(warn_pressure, job, t);
+  a.health_component = config_.w_health * partition_sum(health, job, t);
+  a.user_component =
+      config_.w_user *
+      std::max(0.0, users.propensity_ratio(job.user_id) - 1.0);
+  a.risk = a.task_component + a.warn_component + a.user_component +
+           a.health_component;
+  a.flagged = a.flagged_live || a.risk >= config_.flag_threshold;
+
+  if (it != live_.end()) live_.erase(it);
+  if (t != last_retired_time_) {
+    last_retired_time_ = t;
+    retired_now_.clear();
+  }
+  retired_now_.push_back(job.job_id);
+  return a;
+}
+
+void JobRiskScorer::record_outcome(const RiskAssessment& assessment,
+                                   bool failed) {
+  ++jobs_scored_;
+  if (failed) {
+    ++failed_jobs_;
+    risk_sum_failed_ += assessment.risk;
+    if (assessment.flagged) {
+      ++tp_;
+      // Only a live (task-signal) flag carries real advance warning; a
+      // risk-threshold flag at the end record has zero lead by design.
+      if (assessment.flagged_live)
+        flag_leads_.insert(static_cast<double>(assessment.flag_lead_seconds));
+    } else {
+      ++fn_;
+    }
+  } else {
+    risk_sum_ok_ += assessment.risk;
+    if (assessment.flagged)
+      ++fp_;
+    else
+      ++tn_;
+  }
+}
+
+std::vector<LiveJob> JobRiskScorer::top_live(std::size_t k,
+                                             util::UnixSeconds t) const {
+  std::vector<LiveJob> jobs;
+  jobs.reserve(live_.size());
+  for (const auto& [id, job] : live_) {
+    LiveJob decayed = job;
+    decayed.task_score = decayed_task_score(job, t);
+    jobs.push_back(decayed);
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const LiveJob& a, const LiveJob& b) {
+    if (a.task_score != b.task_score) return a.task_score > b.task_score;
+    return a.job_id < b.job_id;
+  });
+  if (jobs.size() > k) jobs.resize(k);
+  return jobs;
+}
+
+double JobRiskScorer::precision() const {
+  const std::uint64_t flagged = tp_ + fp_;
+  return flagged > 0
+             ? static_cast<double>(tp_) / static_cast<double>(flagged)
+             : 0.0;
+}
+
+double JobRiskScorer::recall() const {
+  const std::uint64_t failed = tp_ + fn_;
+  return failed > 0 ? static_cast<double>(tp_) / static_cast<double>(failed)
+                    : 0.0;
+}
+
+double JobRiskScorer::mean_risk_failed() const {
+  return failed_jobs_ > 0
+             ? risk_sum_failed_ / static_cast<double>(failed_jobs_)
+             : 0.0;
+}
+
+double JobRiskScorer::mean_risk_ok() const {
+  const std::uint64_t ok = jobs_scored_ - failed_jobs_;
+  return ok > 0 ? risk_sum_ok_ / static_cast<double>(ok) : 0.0;
+}
+
+}  // namespace failmine::predict

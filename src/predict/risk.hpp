@@ -1,0 +1,179 @@
+// failmine/predict/risk.hpp
+//
+// Per-job failure-risk scoring over the live stream.
+//
+// Three strictly-causal signal families fold into one score:
+//  * task trouble — runjob task completions carry the job id, so a job's
+//    own failed tasks are visible while it runs. A decayed per-job score
+//    crossing `live_flag_threshold` flags the job online; the flag lead
+//    (job end - first crossing) is the predictor's measured warning time
+//    against ground truth (a system-caused exit at the end record);
+//  * environment — two per-midplane exponentially-decayed pressure maps
+//    (recent WARNs; recent fatal interruptions) evaluated over the job's
+//    partition at its end record. Job records sort before the fatal
+//    burst that kills them at the same timestamp, so end-time evaluation
+//    never reads the failure it is predicting;
+//  * history — space-saving sketches of jobs and system-caused failures
+//    by user (the reused heavy-hitters machinery); a user's failure rate
+//    relative to the global rate is their propensity ratio. The sketch
+//    is updated AFTER the job is scored, keeping the signal causal.
+//
+// Single-threaded by contract, driven by PredictOperator.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "joblog/job.hpp"
+#include "predict/config.hpp"
+#include "stream/heavy_hitters.hpp"
+#include "stream/quantile_sketch.hpp"
+#include "tasklog/task.hpp"
+#include "topology/location.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::predict {
+
+/// Per-midplane exponentially-decayed event pressure. Bounded by the
+/// machine's midplane count, so no eviction is needed: cells live in a
+/// flat array grown on first touch, keeping the per-job partition scan
+/// an index walk instead of hash probes.
+class LocationPressure {
+ public:
+  explicit LocationPressure(double tau_seconds);
+
+  void bump(int midplane, double amount, util::UnixSeconds t);
+  double value_at(int midplane, util::UnixSeconds t) const;
+  std::size_t tracked() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    double value = 0.0;
+    util::UnixSeconds last = 0;
+  };
+  double decayed(const Cell& cell, util::UnixSeconds t) const;
+
+  double tau_;
+  std::vector<Cell> cells_;  ///< indexed by global midplane
+};
+
+/// Streaming user failure-propensity from the heavy-hitters sketches.
+class UserHistory {
+ public:
+  explicit UserHistory(std::size_t capacity, double propensity_cap);
+
+  /// Accounts one finished job. Call AFTER scoring it.
+  void record_job(std::uint32_t user_id, bool system_failed);
+
+  /// User failure rate over the global rate, in [0, cap]. 1.0 when the
+  /// user is unmonitored or no global signal exists yet.
+  double propensity_ratio(std::uint32_t user_id) const;
+
+  std::uint64_t jobs_total() const { return jobs_total_; }
+  std::uint64_t failures_total() const { return failures_total_; }
+
+ private:
+  double cap_;
+  stream::SpaceSavingSketch jobs_by_user_;
+  stream::SpaceSavingSketch failures_by_user_;
+  std::uint64_t jobs_total_ = 0;
+  std::uint64_t failures_total_ = 0;
+};
+
+/// One scored job end.
+struct RiskAssessment {
+  double risk = 0.0;  ///< weighted component sum
+  double task_component = 0.0;
+  double warn_component = 0.0;
+  double user_component = 0.0;
+  double health_component = 0.0;
+  bool flagged_live = false;          ///< task score crossed while running
+  bool flagged = false;               ///< live flag OR risk >= flag_threshold
+  std::int64_t flag_lead_seconds = 0; ///< end - first crossing (if flagged)
+};
+
+/// A currently-running job as seen through its task stream.
+struct LiveJob {
+  std::uint64_t job_id = 0;
+  util::UnixSeconds first_seen = 0;
+  util::UnixSeconds last_update = 0;
+  double task_score = 0.0;  ///< decayed failed-task weight, as of last_update
+  util::UnixSeconds flagged_at = 0;  ///< 0 = not flagged
+  std::uint32_t tasks_seen = 0;
+  std::uint32_t tasks_failed = 0;
+};
+
+class JobRiskScorer {
+ public:
+  JobRiskScorer(const RiskConfig& config,
+                const topology::MachineConfig& machine);
+
+  /// One task completion in watermark order.
+  void observe_task(const tasklog::TaskRecord& task, util::UnixSeconds t);
+
+  /// Scores a job at its end record and retires its live entry. The
+  /// pressure maps and history are read-only here; the caller updates
+  /// them afterwards.
+  RiskAssessment score_job_end(const joblog::JobRecord& job,
+                               util::UnixSeconds t,
+                               const LocationPressure& warn_pressure,
+                               const LocationPressure& health,
+                               const UserHistory& users);
+
+  /// Accounts the scored job against ground truth. The caller passes the
+  /// outcome the subsystem predicts: whether the job ended system-caused
+  /// (the interruption class checkpointing mitigates), not mere job
+  /// failure — user-caused aborts are the user's bug, not the machine's.
+  void record_outcome(const RiskAssessment& assessment, bool failed);
+
+  // -- live state --------------------------------------------------------
+  std::size_t live_jobs() const { return live_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// The `k` riskiest live jobs by decayed task score at time `t`
+  /// (descending; job id ascending on ties for determinism).
+  std::vector<LiveJob> top_live(std::size_t k, util::UnixSeconds t) const;
+
+  // -- scoreboard --------------------------------------------------------
+  std::uint64_t jobs_scored() const { return jobs_scored_; }
+  std::uint64_t true_positives() const { return tp_; }
+  std::uint64_t false_positives() const { return fp_; }
+  std::uint64_t false_negatives() const { return fn_; }
+  std::uint64_t true_negatives() const { return tn_; }
+  double precision() const;
+  double recall() const;
+  double mean_risk_failed() const;
+  double mean_risk_ok() const;
+  const stream::GkQuantileSketch& flag_lead_sketch() const {
+    return flag_leads_;
+  }
+
+ private:
+  double decayed_task_score(const LiveJob& job, util::UnixSeconds t) const;
+  double partition_sum(const LocationPressure& pressure,
+                       const joblog::JobRecord& job, util::UnixSeconds t) const;
+  void evict_stalest();
+
+  RiskConfig config_;
+  topology::MachineConfig machine_;
+  std::unordered_map<std::uint64_t, LiveJob> live_;
+  std::uint64_t evictions_ = 0;
+
+  // Task records stamped at the exact second their job ended sort after
+  // the job record (which scores and retires the live entry); remembering
+  // the ids retired at the current timestamp keeps those post-mortem
+  // tasks from resurrecting dead entries and bloating the live table.
+  util::UnixSeconds last_retired_time_ = -1;
+  std::vector<std::uint64_t> retired_now_;
+
+  std::uint64_t jobs_scored_ = 0;
+  std::uint64_t tp_ = 0, fp_ = 0, fn_ = 0, tn_ = 0;
+  double risk_sum_failed_ = 0.0;
+  double risk_sum_ok_ = 0.0;
+  std::uint64_t failed_jobs_ = 0;
+  stream::GkQuantileSketch flag_leads_;  ///< seconds, flagged true positives
+};
+
+}  // namespace failmine::predict

@@ -1,0 +1,165 @@
+#include "predict/snapshot.hpp"
+
+#include "obs/json.hpp"
+
+namespace failmine::predict {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool comma = true) {
+  obs::append_json_string(out, key);
+  out += ':';
+  out += std::to_string(v);
+  if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, double v,
+               bool comma = true) {
+  obs::append_json_string(out, key);
+  out += ':';
+  out += obs::json_number(v);
+  if (comma) out += ',';
+}
+
+}  // namespace
+
+std::string PredictSnapshot::to_json() const {
+  std::string out;
+  out.reserve(2048);
+  out += '{';
+
+  append_kv(out, "records", records);
+  append_kv(out, "warns", warns);
+  append_kv(out, "interruptions", interruptions);
+  append_kv(out, "alerts", alerts);
+  obs::append_json_string(out, "finished");
+  out += finished ? ":true," : ":false,";
+
+  obs::append_json_string(out, "lead_time");
+  out += ":{";
+  append_kv(out, "with_precursor", with_precursor);
+  append_kv(out, "without_precursor", without_precursor);
+  append_kv(out, "coverage", coverage);
+  append_kv(out, "median_seconds", median_lead_seconds);
+  append_kv(out, "mean_seconds", mean_lead_seconds);
+  append_kv(out, "p10_seconds", lead_p10_seconds);
+  append_kv(out, "p90_seconds", lead_p90_seconds);
+  append_kv(out, "pending_clusters",
+            static_cast<std::uint64_t>(pending_clusters));
+  append_kv(out, "pending_alerts", static_cast<std::uint64_t>(pending_alerts),
+            /*comma=*/false);
+  out += "},";
+
+  obs::append_json_string(out, "alerting");
+  out += ":{";
+  append_kv(out, "emitted", alerts);
+  append_kv(out, "graded", alerts_graded);
+  append_kv(out, "matched", alerts_matched);
+  append_kv(out, "precision", alert_precision);
+  append_kv(out, "clusters_alerted", clusters_alerted);
+  append_kv(out, "recall", alert_recall);
+  obs::append_json_string(out, "horizons");
+  out += ":[";
+  for (std::size_t i = 0; i < horizons.size(); ++i) {
+    const HorizonStat& h = horizons[i];
+    out += '{';
+    append_kv(out, "horizon_seconds",
+              static_cast<std::uint64_t>(h.horizon_seconds));
+    append_kv(out, "clusters_predicted", h.clusters_predicted);
+    append_kv(out, "recall", h.recall);
+    append_kv(out, "alerts_matched", h.alerts_matched);
+    append_kv(out, "precision", h.precision, /*comma=*/false);
+    out += '}';
+    if (i + 1 < horizons.size()) out += ',';
+  }
+  out += "],";
+  obs::append_json_string(out, "categories");
+  out += ":[";
+  for (std::size_t i = 0; i < categories.size(); ++i) {
+    const CategoryStat& c = categories[i];
+    out += '{';
+    obs::append_json_string(out, "category");
+    out += ':';
+    obs::append_json_string(out, c.category);
+    out += ',';
+    append_kv(out, "warns", c.warns);
+    append_kv(out, "hits", c.hits);
+    append_kv(out, "score", c.score);
+    obs::append_json_string(out, "alerting");
+    out += c.alerting ? ":true" : ":false";
+    out += '}';
+    if (i + 1 < categories.size()) out += ',';
+  }
+  out += "]},";
+
+  obs::append_json_string(out, "risk");
+  out += ":{";
+  append_kv(out, "jobs_scored", jobs_scored);
+  append_kv(out, "true_positives", risk_tp);
+  append_kv(out, "false_positives", risk_fp);
+  append_kv(out, "false_negatives", risk_fn);
+  append_kv(out, "true_negatives", risk_tn);
+  append_kv(out, "precision", risk_precision);
+  append_kv(out, "recall", risk_recall);
+  append_kv(out, "flag_lead_p50_seconds", flag_lead_p50_seconds);
+  append_kv(out, "flag_lead_p90_seconds", flag_lead_p90_seconds);
+  append_kv(out, "mean_risk_failed", mean_risk_failed);
+  append_kv(out, "mean_risk_ok", mean_risk_ok);
+  append_kv(out, "live_jobs", live_jobs);
+  append_kv(out, "evictions", live_evictions);
+  obs::append_json_string(out, "top_at_risk");
+  out += ":[";
+  for (std::size_t i = 0; i < top_at_risk.size(); ++i) {
+    const TopJobStat& j = top_at_risk[i];
+    out += '{';
+    append_kv(out, "job_id", j.job_id);
+    append_kv(out, "task_score", j.task_score);
+    append_kv(out, "tasks_seen", static_cast<std::uint64_t>(j.tasks_seen));
+    append_kv(out, "tasks_failed", static_cast<std::uint64_t>(j.tasks_failed));
+    obs::append_json_string(out, "flagged");
+    out += j.flagged ? ":true," : ":false,";
+    append_kv(out, "first_seen",
+              static_cast<std::uint64_t>(j.first_seen < 0 ? 0 : j.first_seen),
+              /*comma=*/false);
+    out += '}';
+    if (i + 1 < top_at_risk.size()) out += ',';
+  }
+  out += "]},";
+
+  obs::append_json_string(out, "policy");
+  out += ":{";
+  append_kv(out, "hazard_per_node_second", hazard_per_node_second);
+  append_kv(out, "system_kills", system_kills);
+  append_kv(out, "node_seconds", node_seconds);
+  append_kv(out, "interval_samples", interval_samples);
+  append_kv(out, "interval_p50_days", interval_p50_days);
+  append_kv(out, "interval_p90_days", interval_p90_days);
+  obs::append_json_string(out, "costs");
+  out += ":[";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const PolicyRow& p = policies[i];
+    out += '{';
+    obs::append_json_string(out, "name");
+    out += ':';
+    obs::append_json_string(out, p.name);
+    out += ',';
+    append_kv(out, "jobs", p.jobs);
+    append_kv(out, "checkpointed", p.checkpointed);
+    append_kv(out, "overhead_core_hours", p.overhead_core_hours);
+    append_kv(out, "lost_core_hours", p.lost_core_hours);
+    append_kv(out, "waste_core_hours", p.waste_core_hours);
+    append_kv(out, "mean_interval_seconds", p.mean_interval_seconds,
+              /*comma=*/false);
+    out += '}';
+    if (i + 1 < policies.size()) out += ',';
+  }
+  out += "],";
+  append_kv(out, "saved_vs_static_core_hours", saved_vs_static_core_hours);
+  append_kv(out, "saved_vs_none_core_hours", saved_vs_none_core_hours,
+            /*comma=*/false);
+  out += "}}";
+  return out;
+}
+
+}  // namespace failmine::predict

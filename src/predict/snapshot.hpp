@@ -1,0 +1,116 @@
+// failmine/predict/snapshot.hpp
+//
+// Point-in-time view of the prediction subsystem: the lead-time
+// distribution, alert precision/recall at the fixed horizons, the live
+// risk scoreboard with the top at-risk jobs, and the checkpoint-policy
+// cost ledger. PredictOperator assembles one under the router lock; the
+// JSON form backs GET /predict and the "predict" section spliced into
+// StreamSnapshot.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace failmine::predict {
+
+/// Alert quality at one fixed lead-time horizon L.
+struct HorizonStat {
+  std::int64_t horizon_seconds = 0;
+  std::uint64_t clusters_predicted = 0;  ///< interruptions alerted >= L early
+  double recall = 0.0;                   ///< of resolved interruptions
+  std::uint64_t alerts_matched = 0;      ///< graded alerts with lead >= L
+  double precision = 0.0;                ///< of graded alerts
+};
+
+/// Live precursor score of one RAS category.
+struct CategoryStat {
+  std::string category;
+  std::uint64_t warns = 0;
+  std::uint64_t hits = 0;
+  double score = 0.0;
+  bool alerting = false;  ///< currently past the alert thresholds
+};
+
+/// One of the top at-risk live jobs.
+struct TopJobStat {
+  std::uint64_t job_id = 0;
+  double task_score = 0.0;
+  std::uint32_t tasks_seen = 0;
+  std::uint32_t tasks_failed = 0;
+  bool flagged = false;
+  util::UnixSeconds first_seen = 0;
+};
+
+/// One row of the checkpoint-policy cost ledger.
+struct PolicyRow {
+  std::string name;  ///< "none", "static", "adaptive"
+  std::uint64_t jobs = 0;
+  std::uint64_t checkpointed = 0;
+  double overhead_core_hours = 0.0;
+  double lost_core_hours = 0.0;
+  double waste_core_hours = 0.0;
+  double mean_interval_seconds = 0.0;
+};
+
+struct PredictSnapshot {
+  // -- stream accounting -------------------------------------------------
+  std::uint64_t records = 0;        ///< records observed in watermark order
+  std::uint64_t warns = 0;
+  std::uint64_t interruptions = 0;  ///< deduplicated clusters opened
+  std::uint64_t alerts = 0;         ///< alerts emitted
+  bool finished = false;
+
+  // -- precursor lead times (streamed X02) -------------------------------
+  std::uint64_t with_precursor = 0;
+  std::uint64_t without_precursor = 0;
+  double coverage = 0.0;
+  double median_lead_seconds = 0.0;
+  double mean_lead_seconds = 0.0;
+  double lead_p10_seconds = 0.0;
+  double lead_p90_seconds = 0.0;
+  std::size_t pending_clusters = 0;  ///< watermark has not passed them yet
+  std::size_t pending_alerts = 0;
+
+  // -- alert precision / recall ------------------------------------------
+  std::uint64_t alerts_graded = 0;
+  std::uint64_t alerts_matched = 0;
+  double alert_precision = 0.0;
+  std::uint64_t clusters_alerted = 0;
+  double alert_recall = 0.0;
+  std::vector<HorizonStat> horizons;
+  std::vector<CategoryStat> categories;
+
+  // -- per-job risk scoreboard -------------------------------------------
+  std::uint64_t jobs_scored = 0;
+  std::uint64_t risk_tp = 0, risk_fp = 0, risk_fn = 0, risk_tn = 0;
+  double risk_precision = 0.0;
+  double risk_recall = 0.0;
+  double flag_lead_p50_seconds = 0.0;
+  double flag_lead_p90_seconds = 0.0;
+  double mean_risk_failed = 0.0;
+  double mean_risk_ok = 0.0;
+  std::uint64_t live_jobs = 0;
+  std::uint64_t live_evictions = 0;
+  std::vector<TopJobStat> top_at_risk;
+
+  // -- checkpoint policy -------------------------------------------------
+  double hazard_per_node_second = 0.0;
+  std::uint64_t system_kills = 0;
+  double node_seconds = 0.0;
+  std::uint64_t interval_samples = 0;
+  double interval_p50_days = 0.0;
+  double interval_p90_days = 0.0;
+  std::vector<PolicyRow> policies;
+  double saved_vs_static_core_hours = 0.0;
+  double saved_vs_none_core_hours = 0.0;
+
+  /// One JSON object, no trailing newline (spliced into StreamSnapshot's
+  /// JSON and served raw on /predict).
+  std::string to_json() const;
+};
+
+}  // namespace failmine::predict

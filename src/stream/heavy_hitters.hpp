@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,14 @@ class SpaceSavingSketch {
 
   /// The `k` heaviest monitored keys.
   std::vector<Entry> top(std::size_t k) const;
+
+  /// Point lookup of one monitored key (nullopt when unmonitored — i.e.
+  /// its true weight is at most error_bound()).
+  std::optional<Entry> find(std::uint64_t key) const {
+    const auto it = counts_.find(key);
+    if (it == counts_.end()) return std::nullopt;
+    return it->second;
+  }
 
   void merge(const SpaceSavingSketch& other);
 

@@ -211,6 +211,7 @@ void StreamPipeline::route_ordered(
     case RecordSource::kIo:
       break;  // nothing order-sensitive; the batch window ignores these too
   }
+  if (config_.router_operator) config_.router_operator->observe(record);
   if (record.trace != 0)
     obs::causal_tracer().stamp(record.trace, kCausalReorder);
   const std::size_t shard = shard_of(record, shards_.size());
@@ -274,6 +275,7 @@ void StreamPipeline::router_loop() {
     });
     router_.watermark = reorderer.newest_seen();
     router_.watermark_lag_seconds = 0;
+    if (config_.router_operator) config_.router_operator->finish();
   }
   dispatch(pending, /*force=*/true);
   for (auto& shard : shards_) shard->queue.close();
@@ -478,6 +480,10 @@ StreamSnapshot StreamPipeline::snapshot() const {
     snap.top_boards_by_events.push_back(
         {e.key, board_key_name(e.key), e.count, e.error});
 
+  if (config_.router_operator)
+    snap.sections.emplace_back(config_.router_operator->section_name(),
+                               operator_snapshot_json());
+
   obs::CausalTracer& tracer = obs::causal_tracer();
   snap.trace_sample_period = tracer.sample_period();
   if (tracer.enabled()) {
@@ -492,6 +498,12 @@ StreamSnapshot StreamPipeline::snapshot() const {
   }
 
   return snap;
+}
+
+std::string StreamPipeline::operator_snapshot_json() const {
+  if (!config_.router_operator) return std::string();
+  std::lock_guard<std::mutex> lock(router_mutex_);
+  return config_.router_operator->snapshot_json();
 }
 
 }  // namespace failmine::stream

@@ -59,6 +59,7 @@
 #include "stream/operators.hpp"
 #include "stream/record.hpp"
 #include "stream/ring_buffer.hpp"
+#include "stream/router_operator.hpp"
 #include "stream/snapshot.hpp"
 #include "stream/watermark.hpp"
 #include "topology/machine.hpp"
@@ -118,6 +119,12 @@ struct StreamConfig {
   /// one branch per record). The pipeline constructor (re)configures the
   /// process-wide obs::causal_tracer() with this period.
   std::uint32_t trace_sample_period = 100;
+
+  /// Optional order-sensitive operator run by the router on the exact
+  /// watermark-ordered stream (see router_operator.hpp for the threading
+  /// contract). Its snapshot JSON is spliced into StreamSnapshot under
+  /// section_name(). The predictor (`--predict`) plugs in here.
+  std::shared_ptr<RouterOperator> router_operator;
 };
 
 class StreamPipeline {
@@ -142,6 +149,12 @@ class StreamPipeline {
 
   /// Consistent point-in-time view (see header comment).
   StreamSnapshot snapshot() const;
+
+  /// Live JSON snapshot of the attached RouterOperator, taken under the
+  /// router mutex (empty string when no operator is configured). This is
+  /// the only thread-safe way to read the operator while the pipeline is
+  /// running — it backs the telemetry server's /predict endpoint.
+  std::string operator_snapshot_json() const;
 
   /// Stall-watchdog verdict: false while at least one shard has sat on a
   /// non-empty queue without progress for the grace period. Wire this

@@ -181,7 +181,16 @@ std::string StreamSnapshot::to_json() const {
     out += '}';
     if (i + 1 < causal_stages.size()) out += ',';
   }
-  out += "]}}\n";
+  out += "]}";
+
+  for (const auto& [name, json] : sections) {
+    out += ',';
+    obs::append_json_string(out, name);
+    out += ':';
+    out += json.empty() ? "{}" : json;
+  }
+
+  out += "}\n";
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/joint_analyzer.hpp"
@@ -90,6 +91,13 @@ struct StreamSnapshot {
   std::vector<obs::CausalStageStat> causal_stages;  ///< ring/reorder/...
   double causal_e2e_p50_us = 0.0;  ///< emit -> apply, sampled records
   double causal_e2e_p99_us = 0.0;
+
+  // -- attached router operators ----------------------------------------
+  /// (section name, pre-serialized JSON object) pairs spliced verbatim
+  /// into to_json() — how plug-in operators (stream/router_operator.hpp,
+  /// e.g. the predictor) surface their state without the stream library
+  /// knowing their schema.
+  std::vector<std::pair<std::string, std::string>> sections;
 
   /// Machine-readable form (single JSON object, newline-terminated).
   std::string to_json() const;

@@ -1,0 +1,139 @@
+// Batch/stream parity for the prediction subsystem — the correctness
+// anchor of src/predict (ISSUE P01).
+//
+// On a simulated trace, the PredictOperator riding the real pipeline
+// must reproduce the OFFLINE X02 lead-time study exactly: same
+// deduplicated interruptions, same per-interruption precursor
+// attribution (lead and message id), same medians. And because the miner
+// scores against watermark time, not arrival time, the entire predict
+// snapshot must be bit-identical between an ordered replay and a seeded
+// skew-shuffled replay within the lateness bound.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/joint_analyzer.hpp"
+#include "core/lead_time.hpp"
+#include "predict/operator.hpp"
+#include "sim/replay.hpp"
+#include "sim/simulator.hpp"
+#include "stream/pipeline.hpp"
+
+namespace failmine::predict {
+namespace {
+
+const topology::MachineConfig kMira = topology::MachineConfig::mira();
+
+const sim::SimResult& trace() {
+  static const sim::SimResult result = [] {
+    sim::SimConfig config = sim::SimConfig::test_scale();
+    config.scale = 0.005;
+    return sim::simulate(config);
+  }();
+  return result;
+}
+
+const core::JointAnalyzer& analyzer() {
+  static const core::JointAnalyzer instance(trace().job_log, trace().task_log,
+                                            trace().ras_log, trace().io_log,
+                                            kMira);
+  return instance;
+}
+
+core::LeadTimeResult offline_lead_times() {
+  const auto filtered = analyzer().interruption_analysis(core::FilterConfig{});
+  core::LeadTimeConfig config;
+  config.horizon_seconds = kDefaultPrecursorHorizonSeconds;
+  return core::warning_lead_times(analyzer().ras(), filtered.filter.clusters,
+                                  config);
+}
+
+/// Runs the full pipeline with the predictor attached and returns the
+/// operator (quiescent after finish()).
+std::shared_ptr<PredictOperator> stream_predict(std::size_t shards,
+                                                std::int64_t shuffle_skew) {
+  PredictConfig predict_config;
+  predict_config.machine = kMira;
+  auto op = std::make_shared<PredictOperator>(predict_config);
+
+  stream::StreamConfig config;
+  config.shard_count = shards;
+  config.max_lateness_seconds = 2 * shuffle_skew;
+  config.router_operator = op;
+  stream::StreamPipeline pipeline(config);
+  pipeline.push_batch(shuffle_skew > 0
+                          ? sim::shuffled_replay(trace(), shuffle_skew, 99)
+                          : sim::build_replay(trace()));
+  pipeline.finish();
+  EXPECT_EQ(pipeline.snapshot().records_dropped, 0u);
+  return op;
+}
+
+void expect_exact_lead_time_parity(const PredictOperator& op) {
+  const auto batch = offline_lead_times();
+  const auto streamed = op.miner().lead_time_result();
+
+  ASSERT_EQ(streamed.per_interruption.size(), batch.per_interruption.size());
+  EXPECT_EQ(streamed.with_precursor, batch.with_precursor);
+  EXPECT_EQ(streamed.without_precursor, batch.without_precursor);
+  for (std::size_t i = 0; i < batch.per_interruption.size(); ++i) {
+    const auto& b = batch.per_interruption[i];
+    const auto& s = streamed.per_interruption[i];
+    EXPECT_EQ(s.interruption_time, b.interruption_time) << "interruption " << i;
+    EXPECT_EQ(s.lead_seconds, b.lead_seconds) << "interruption " << i;
+    EXPECT_EQ(s.warn_message_id, b.warn_message_id) << "interruption " << i;
+  }
+  EXPECT_DOUBLE_EQ(streamed.coverage, batch.coverage);
+  EXPECT_DOUBLE_EQ(streamed.median_lead_seconds, batch.median_lead_seconds);
+  EXPECT_DOUBLE_EQ(streamed.mean_lead_seconds, batch.mean_lead_seconds);
+}
+
+TEST(PredictParity, OrderedReplayMatchesBatchLeadTimes) {
+  const auto op = stream_predict(2, 0);
+  expect_exact_lead_time_parity(*op);
+
+  // The miner's interruption count must equal the batch filter's.
+  const auto filtered = analyzer().interruption_analysis(core::FilterConfig{});
+  EXPECT_EQ(op->miner().clusters_resolved(), filtered.filter.clusters.size());
+  EXPECT_EQ(op->miner().pending_clusters(), 0u);
+
+  // Every job in the trace was scored, none left live.
+  const auto snap = op->snapshot();
+  EXPECT_EQ(snap.jobs_scored, trace().job_log.size());
+  EXPECT_EQ(snap.risk_tp + snap.risk_fp + snap.risk_fn + snap.risk_tn,
+            snap.jobs_scored);
+  EXPECT_EQ(snap.policies.size(), 3u);
+  EXPECT_EQ(snap.policies[0].jobs, trace().job_log.size());
+}
+
+TEST(PredictParity, ShuffledReplayMatchesBatchLeadTimes) {
+  // Arrivals shuffled by up to 30 minutes (seeded), lateness bound 2x:
+  // the reorderer restores exact watermark order, and the miner's
+  // deferred scoring window must make the result identical — including
+  // WARNs whose timestamp equals the fatal's but which arrive after it.
+  const auto op = stream_predict(4, 1800);
+  expect_exact_lead_time_parity(*op);
+}
+
+TEST(PredictParity, ShuffledSnapshotIsBitIdenticalToOrdered) {
+  const auto ordered = stream_predict(2, 0);
+  const auto shuffled = stream_predict(4, 1800);
+  EXPECT_EQ(ordered->snapshot_json(), shuffled->snapshot_json());
+}
+
+TEST(PredictParity, HazardConvergesToBatchEstimate) {
+  const auto op = stream_predict(2, 0);
+  const auto batch = core::estimate_hazard(analyzer().jobs());
+  EXPECT_EQ(op->policy().system_kills(), batch.system_kills);
+  EXPECT_NEAR(op->policy().node_seconds(), batch.node_seconds,
+              1e-6 * batch.node_seconds);
+  if (batch.system_kills > 0)
+    EXPECT_NEAR(op->policy().hazard_per_node_second(), batch.per_node_second,
+                1e-9 * batch.per_node_second);
+}
+
+}  // namespace
+}  // namespace failmine::predict
