@@ -1,0 +1,209 @@
+// S06 — embedded time-series store overhead and fidelity: streaming
+// pipeline throughput with the tsdb scraper off vs scraping every
+// registry instrument at 1 Hz, plus a virtual-clock fidelity pass over
+// a full replay.
+//
+// Three gates (exit 1 on violation, so regressions cannot land
+// silently):
+//
+//   1. overhead   — the scraped replay may be at most 5% slower than
+//                   the bare one (best-of-5, interleaved, like S05);
+//   2. footprint  — the compressed store must average < 2 bytes per
+//                   raw sample at a 1 s scrape over the whole replay;
+//   3. fidelity   — rate()/increase() over tiled 1 m windows of
+//                   `stream.records_processed` must reconcile EXACTLY
+//                   with the cumulative counter: Gorilla compression is
+//                   lossless and the windowed math telescopes, so the
+//                   sum of windowed increases equals the final counter
+//                   delta bit-for-bit.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tsdb.hpp"
+#include "sim/replay.hpp"
+#include "stream/pipeline.hpp"
+
+namespace {
+
+using namespace failmine;
+
+constexpr double kMaxOverhead = 0.05;       // 5% budget at a 1 s scrape
+constexpr double kMaxBytesPerSample = 2.0;  // compressed footprint gate
+
+const std::vector<stream::StreamRecord>& replay() {
+  static const std::vector<stream::StreamRecord> records = [] {
+    FAILMINE_TRACE_SPAN("bench.replay_build");
+    return sim::build_replay(bench::dataset());
+  }();
+  return records;
+}
+
+stream::StreamConfig make_config() {
+  stream::StreamConfig config;
+  config.machine = bench::dataset_config().machine;
+  config.shard_count = 4;
+  config.policy = stream::BackpressurePolicy::kBlock;
+  config.max_lateness_seconds = 0;  // replay is already event-time ordered
+  config.trace_sample_period = 0;
+  return config;
+}
+
+/// One full replay; with `scraped` the global store samples every
+/// instrument at 1 Hz in the background. Returns records/sec.
+double run_pipeline(bool scraped) {
+  if (scraped) obs::tsdb().start(/*interval_ms=*/1000);
+
+  stream::StreamPipeline pipeline(make_config());
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<stream::StreamRecord> batch;
+  const auto& records = replay();
+  for (std::size_t i = 0; i < records.size();) {
+    const std::size_t n = std::min<std::size_t>(1024, records.size() - i);
+    batch.assign(records.begin() + i, records.begin() + i + n);
+    pipeline.push_batch(std::move(batch));
+    i += n;
+  }
+  pipeline.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (scraped) obs::tsdb().stop();
+  const auto snap = pipeline.snapshot();
+  if (snap.records_dropped != 0) {
+    std::fprintf(stderr, "FATAL: blocking policy dropped records\n");
+    std::exit(1);
+  }
+  return static_cast<double>(snap.records_in) / secs;
+}
+
+/// Virtual-clock fidelity pass: a private store scrapes the global
+/// registry once per pushed batch at a synthetic 1 s cadence, so the
+/// stored history is deterministic regardless of wall-clock speed.
+/// Checks the footprint and exact-reconciliation gates.
+void run_fidelity_pass() {
+  constexpr std::int64_t kT0 = 1'700'000'040'000;
+  constexpr std::int64_t kWindowMs = 60'000;
+  const double counter_before = static_cast<double>(
+      obs::metrics().counter("stream.records_processed").value());
+
+  obs::TsdbStore store;  // defaults scrape the global metrics()
+  std::int64_t t = kT0;
+  store.scrape_once(t);  // baseline before any traffic
+
+  stream::StreamPipeline pipeline(make_config());
+  std::vector<stream::StreamRecord> batch;
+  const auto& records = replay();
+  for (std::size_t i = 0; i < records.size();) {
+    const std::size_t n = std::min<std::size_t>(1024, records.size() - i);
+    batch.assign(records.begin() + i, records.begin() + i + n);
+    pipeline.push_batch(std::move(batch));
+    i += n;
+    store.scrape_once(t += 1000);
+  }
+  pipeline.finish();
+  store.scrape_once(t += 1000);  // end state after the drain
+
+  const auto stats = store.stats();
+  const double bytes_per_sample =
+      static_cast<double>(stats.raw_bytes_written) /
+      static_cast<double>(stats.samples);
+
+  // Tile 1 m windows over the whole span (rounded up to a whole number
+  // of windows past the newest sample; empty trailing windows
+  // contribute 0 by the telescoping baseline rule).
+  const std::int64_t span = t - kT0;
+  const std::int64_t windows = (span + kWindowMs - 1) / kWindowMs;
+  double tiled = 0.0;
+  for (std::int64_t w = 1; w <= windows; ++w) {
+    const auto inc = store.increase_over("stream.records_processed",
+                                         kT0 + w * kWindowMs, kWindowMs);
+    if (inc) tiled += inc->increase;
+  }
+  const double counter_after = static_cast<double>(
+      obs::metrics().counter("stream.records_processed").value());
+  const double expect = counter_after - counter_before;
+
+  std::printf("fidelity: %zu series, %llu samples, %.3f B/sample "
+              "(budget %.1f)\n",
+              stats.series, static_cast<unsigned long long>(stats.samples),
+              bytes_per_sample, kMaxBytesPerSample);
+  std::printf("reconcile: sum(increase[1m]) = %.0f, counter delta = %.0f, "
+              "replayed = %zu\n",
+              tiled, expect, records.size());
+  if (bytes_per_sample >= kMaxBytesPerSample) {
+    std::fprintf(stderr,
+                 "FATAL: %.3f bytes/sample exceeds the %.1f budget\n",
+                 bytes_per_sample, kMaxBytesPerSample);
+    std::exit(1);
+  }
+  if (tiled != expect) {  // exact: lossless codec + telescoping windows
+    std::fprintf(stderr,
+                 "FATAL: windowed increases (%.6f) do not reconcile with "
+                 "the cumulative counter (%.6f)\n",
+                 tiled, expect);
+    std::exit(1);
+  }
+}
+
+void print_table() {
+  bench::print_header("S06", "time-series store overhead",
+                      "pipeline records/sec with the 1 Hz tsdb scraper on "
+                      "vs off, plus compression/fidelity gates");
+  // Warm both paths once, then interleave best-of-5 (see S05 for why).
+  (void)run_pipeline(false);
+  (void)run_pipeline(true);
+  double off = 0.0, on = 0.0;
+  for (int round = 0; round < 5; ++round) {
+    off = std::max(off, run_pipeline(false));
+    on = std::max(on, run_pipeline(true));
+  }
+  const double overhead = (off - on) / off;
+  std::printf("%-12s %14s\n", "mode", "records/s");
+  std::printf("%-12s %14.0f\n", "scrape off", off);
+  std::printf("%-12s %14.0f\n", "scrape 1s", on);
+  std::printf("overhead: %.2f%% (budget %.0f%%)\n", 100.0 * overhead,
+              100.0 * kMaxOverhead);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FATAL: tsdb scrape overhead %.2f%% exceeds the %.0f%% "
+                 "budget\n",
+                 100.0 * overhead, 100.0 * kMaxOverhead);
+    std::exit(1);
+  }
+  run_fidelity_pass();
+}
+
+void BM_StreamReplayScrapeOff(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_pipeline(false));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayScrapeOff)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamReplayScrapeOn(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_pipeline(true));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replay().size()));
+}
+BENCHMARK(BM_StreamReplayScrapeOn)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  failmine::bench::ObsSession obs_session(&argc, argv);
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -49,6 +49,21 @@ if(predict_records EQUAL 0)
                       "predictor never observed a record")
 endif()
 
+# The replay runs with --tsdb, so the store's self-metrics must be in
+# the export with at least one stored sample, and the /query + /series
+# per-endpoint request counters must have been pre-registered.
+failmine_require_metrics("${metrics_json}" ${FAILMINE_TSDB_REQUIRED_METRICS})
+failmine_metric_value(tsdb_samples "${metrics_json}"
+                      "${FAILMINE_TSDB_SAMPLES_COUNTER}")
+if(tsdb_samples EQUAL 0)
+  message(FATAL_ERROR "${FAILMINE_TSDB_SAMPLES_COUNTER} is 0 — the scraper "
+                      "never stored a sample")
+endif()
+failmine_require_substring("${metrics_json}"
+  "${FAILMINE_SERVE_QUERY_REQUESTS_NAME}")
+failmine_require_substring("${metrics_json}"
+  "${FAILMINE_SERVE_SERIES_REQUESTS_NAME}")
+
 # Causal tracing is on by default and the alert engine runs the built-in
 # rules, so their instruments (and the process gauges every export
 # refreshes) must be present too. The sampled counter must be non-zero:

@@ -92,6 +92,25 @@ set(FAILMINE_SERVE_REQUIRED_HISTOGRAMS
 # inner quotes, so checks match on this prefix rather than a full name.
 set(FAILMINE_SERVE_LABELED_REQUESTS_PREFIX "obs\\.serve\\.requests{path=")
 
+# Time-series store self-metrics (src/obs/tsdb.cpp): synced into the
+# scraped registry on every scrape, so any replay run with --tsdb (the
+# stream smoke test's default) must have exported them, with at least
+# one sample stored.
+set(FAILMINE_TSDB_REQUIRED_METRICS
+  tsdb.samples
+  tsdb.series
+  tsdb.bytes
+  tsdb.dropped)
+set(FAILMINE_TSDB_SAMPLES_COUNTER tsdb.samples)
+
+# Exact exported spellings of the per-endpoint request counters the tsdb
+# HTTP surface pre-registers at start() (the JSON export escapes the
+# label quotes, hence the literal backslashes).
+set(FAILMINE_SERVE_QUERY_REQUESTS_NAME
+    "obs.serve.requests{path=\\\"/query\\\"}")
+set(FAILMINE_SERVE_SERIES_REQUESTS_NAME
+    "obs.serve.requests{path=\\\"/series\\\"}")
+
 # Reads the export at `path` into `var`, failing if it is missing.
 function(failmine_read_export var path)
   if(NOT path OR NOT EXISTS "${path}")
@@ -117,6 +136,15 @@ endfunction()
 function(failmine_require_metric_prefix content prefix)
   if(NOT content MATCHES "\"${prefix}")
     message(FATAL_ERROR "metrics export lacks any ${prefix} instrument")
+  endif()
+endfunction()
+
+# Asserts that `content` contains `needle` verbatim (no regex) — used
+# for the escaped inline-label spellings, which are painful as regexes.
+function(failmine_require_substring content needle)
+  string(FIND "${content}" "${needle}" found_at)
+  if(found_at EQUAL -1)
+    message(FATAL_ERROR "metrics export lacks ${needle}")
   endif()
 endfunction()
 

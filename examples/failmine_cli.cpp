@@ -14,7 +14,7 @@
 //   stream   --data DIR [--shards N] [--lateness SEC] [--shuffle SEC]
 //            [--seed N] [--policy block|drop] [--queue N] [--interval N]
 //            [--serve PORT] [--serve-linger SEC] [--trace-sample N]
-//            [--alert-rules PATH] [--predict]
+//            [--alert-rules PATH] [--predict] [--tsdb[=SECONDS]]
 //       replay the dataset through the streaming pipeline in event-time
 //       order (optionally with bounded shuffle); prints periodic windowed
 //       stats to stderr and the final StreamSnapshot JSON to stdout.
@@ -38,6 +38,15 @@
 //       adaptive checkpoint policy run inline on the router thread. The
 //       final snapshot gains a "predict" section, a summary goes to
 //       stderr, and with --serve GET /predict serves the live state.
+//       --tsdb[=SECONDS] enables the embedded time-series store
+//       (obs/tsdb): a background thread scrapes every metric into
+//       compressed in-memory history at the given interval (default 1 s,
+//       floor 0.05 s). The alert engine switches to true windowed
+//       evaluation against the stored history, --serve gains GET /query
+//       (range/instant expressions, see obs/tsdb_query.hpp for the
+//       grammar) and GET /series, the final snapshot gains a "tsdb"
+//       stats section, and an ASCII sparkline trend report (throughput,
+//       queue depth, failure rate, router p99) prints to stderr at exit.
 //
 // Global loading options (any subcommand reading --data DIR):
 //   --ingest-threads N   worker threads for the parallel mmap CSV ingest
@@ -77,6 +86,8 @@
 #include "obs/causal.hpp"
 #include "obs/serve.hpp"
 #include "obs/session.hpp"
+#include "obs/tsdb.hpp"
+#include "obs/tsdb_query.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulator.hpp"
 #include "stream/pipeline.hpp"
@@ -86,18 +97,25 @@ namespace {
 
 using namespace failmine;
 
-/// Minimal --key value argument parser. A few flags are boolean and
-/// take no value (listed in kBooleanFlags); everything else consumes
-/// the next argv entry.
+/// Minimal --key value / --key=value argument parser. A few flags are
+/// boolean and take no value (listed in kBooleanFlags); everything else
+/// consumes the next argv entry unless it was spelled --key=value.
 class ArgMap {
  public:
   ArgMap(int argc, char** argv, int first) {
-    static const std::set<std::string> kBooleanFlags = {"predict"};
+    static const std::set<std::string> kBooleanFlags = {"predict", "tsdb"};
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0)
         throw failmine::ParseError("expected --option, got '" + key + "'");
       const std::string name = key.substr(2);
+      // --key=value spelling lets a boolean-ish flag carry an optional
+      // value (--tsdb vs --tsdb=0.25).
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        values_[name.substr(0, eq)] = name.substr(eq + 1);
+        continue;
+      }
       if (kBooleanFlags.contains(name)) {
         values_[name] = "1";
         continue;
@@ -147,7 +165,8 @@ void print_usage() {
                "[--interval N]\n"
                "           [--serve PORT] [--serve-linger SEC] "
                "[--trace-sample N]\n"
-               "           [--alert-rules PATH] [--predict]\n"
+               "           [--alert-rules PATH] [--predict] "
+               "[--tsdb[=SECONDS]]\n"
                "global: [--ingest-threads N] [--log-level LEVEL] "
                "[--metrics-out PATH]\n"
                "        [--trace-out PATH] [--flight-recorder PATH] "
@@ -312,6 +331,19 @@ int cmd_stream(const ArgMap& args) {
 
   stream::StreamPipeline pipeline(config);
 
+  // --tsdb[=SECONDS] attaches the embedded time-series store: a
+  // background thread scrapes every registry instrument into compressed
+  // in-memory chunks (obs/tsdb.hpp), which backs --serve's /query and
+  // /series endpoints, windowed alert evaluation, and the end-of-run
+  // trend report. Started before the alert engine so rules evaluate
+  // against history from their first poll.
+  const bool tsdb_enabled = args.has("tsdb");
+  if (tsdb_enabled) {
+    const double seconds = std::max(0.05, args.get_double("tsdb", 1.0));
+    obs::tsdb().start(static_cast<std::int64_t>(seconds * 1000.0));
+    obs::alerts().set_history(&obs::tsdb());
+  }
+
   // SLO/alert engine: built-in rules unless --alert-rules overrides
   // them. Runs for the duration of the replay (plus any --serve-linger,
   // so a scraper can read final /alerts state).
@@ -367,8 +399,25 @@ int cmd_stream(const ArgMap& args) {
     }
   }
   pipeline.finish();
-  const auto snap = pipeline.snapshot();
+  auto snap = pipeline.snapshot();
+  if (tsdb_enabled) {
+    // stop() takes a final scrape, so the stored history covers the
+    // exact end-of-replay counter state; /query keeps serving the
+    // stored data through any --serve-linger window.
+    obs::tsdb().stop();
+    snap.sections.emplace_back("tsdb", obs::tsdb().stats_json());
+  }
   std::fputs(snap.to_json().c_str(), stdout);
+  if (tsdb_enabled)
+    std::fputs(obs::tsdb_trend_report(
+                   obs::tsdb(),
+                   {"rate(stream.records_in[10s])",
+                    "rate(stream.records_processed[10s])",
+                    "value(stream.queue_depth)",
+                    "value(stream.window.failure_rate)",
+                    "p99(stream.router.batch_us[30s])"})
+                   .c_str(),
+               stderr);
   if (predict_op != nullptr) {
     // Safe to read directly: finish() has run, the router thread has
     // joined, and the operator is quiescent.

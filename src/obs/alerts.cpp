@@ -8,6 +8,7 @@
 
 #include "obs/json.hpp"
 #include "obs/log.hpp"
+#include "obs/tsdb.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
@@ -89,6 +90,17 @@ std::string AlertRule::expression() const {
   std::string out(alert_fn_name(fn));
   out += '(';
   out += metric;
+  if (window_ms > 0) {
+    char wbuf[32];
+    if (window_ms % 1000 == 0) {
+      std::snprintf(wbuf, sizeof(wbuf), "[%llds]",
+                    static_cast<long long>(window_ms / 1000));
+    } else {
+      std::snprintf(wbuf, sizeof(wbuf), "[%lldms]",
+                    static_cast<long long>(window_ms));
+    }
+    out += wbuf;
+  }
   out += ") ";
   out += alert_op_name(op);
   out += ' ';
@@ -145,7 +157,32 @@ std::vector<AlertRule> parse_alert_rules(std::string_view text) {
     else if (fn == "p99") rule.fn = AlertFn::kP99;
     else fail("unknown fn '" + std::string(fn) +
               "' (value|rate|p50|p90|p99)");
-    rule.metric = std::string(trim(rest.substr(open + 1, close - open - 1)));
+    std::string_view metric = trim(rest.substr(open + 1, close - open - 1));
+    if (!metric.empty() && metric.back() == ']') {
+      const std::size_t bracket = metric.rfind('[');
+      if (bracket == std::string_view::npos) fail("unbalanced ']' in metric");
+      const std::string spec(
+          trim(metric.substr(bracket + 1, metric.size() - bracket - 2)));
+      std::size_t wparsed = 0;
+      double wnum = 0.0;
+      try {
+        wnum = std::stod(spec, &wparsed);
+      } catch (const std::exception&) {
+        fail("unparseable window '" + spec + "'");
+      }
+      const std::string_view wunit = trim(std::string_view(spec).substr(wparsed));
+      if (wunit == "s" || wunit.empty())
+        rule.window_ms = static_cast<std::int64_t>(wnum * 1000.0);
+      else if (wunit == "ms")
+        rule.window_ms = static_cast<std::int64_t>(wnum);
+      else if (wunit == "m")
+        rule.window_ms = static_cast<std::int64_t>(wnum * 60'000.0);
+      else
+        fail("unknown window unit '" + std::string(wunit) + "' (ms|s|m)");
+      if (rule.window_ms <= 0) fail("window must be positive");
+      metric = trim(metric.substr(0, bracket));
+    }
+    rule.metric = std::string(metric);
     if (rule.metric.empty()) fail("empty metric name");
     rest = trim(rest.substr(close + 1));
 
@@ -274,10 +311,21 @@ void AlertEngine::loop(std::int64_t poll_ms) {
   }
 }
 
+void AlertEngine::set_history(TsdbStore* history) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  history_ = history;
+}
+
 std::optional<double> AlertEngine::extract(RuleState& state,
                                            const MetricsSample& sample,
-                                           std::int64_t now_ms) {
+                                           std::int64_t now_ms) const {
   const AlertRule& rule = state.rule;
+  // With stored history attached, windowed rules read it exclusively —
+  // an absent series means the metric never existed, the same "no
+  // data" verdict the registry lookup would give.
+  const bool history = history_ != nullptr && history_->has_data();
+  const std::int64_t window =
+      rule.window_ms > 0 ? rule.window_ms : kDefaultAlertWindowMs;
   switch (rule.fn) {
     case AlertFn::kValue: {
       for (const auto& [name, value] : sample.counters)
@@ -287,6 +335,14 @@ std::optional<double> AlertEngine::extract(RuleState& state,
       return std::nullopt;
     }
     case AlertFn::kRate: {
+      if (history) {
+        const std::int64_t t = history_->latest_ms();
+        const auto inc = history_->increase_over(rule.metric, t, window);
+        if (!inc.has_value() || inc->covered_ms <= 0) return std::nullopt;
+        return std::max(
+            0.0, inc->increase /
+                     (static_cast<double>(inc->covered_ms) / 1000.0));
+      }
       for (const auto& [name, value] : sample.counters) {
         if (name != rule.metric) continue;
         const double current = static_cast<double>(value);
@@ -311,6 +367,12 @@ std::optional<double> AlertEngine::extract(RuleState& state,
       const double q = rule.fn == AlertFn::kP50   ? 0.50
                        : rule.fn == AlertFn::kP90 ? 0.90
                                                   : 0.99;
+      if (history) {
+        // Windowed bucket deltas: abstains (nullopt) when the window
+        // saw no observations, exactly like the empty-histogram case.
+        return history_->windowed_quantile(rule.metric, q,
+                                           history_->latest_ms(), window);
+      }
       for (const auto& [name, hist] : sample.histograms)
         if (name == rule.metric) {
           if (hist.count == 0) return std::nullopt;  // no data, no verdict

@@ -6,19 +6,29 @@
 // a threshold, optionally with a hold duration ("for"), in a one-line
 // grammar (rule files and built-in defaults share it):
 //
-//   <name>: <fn>(<metric>) <op> <threshold> [for <seconds>s]
+//   <name>: <fn>(<metric>[window]) <op> <threshold> [for <seconds>s]
 //
 //   fn  value  counter or gauge absolute value
-//       rate   counter increase per second between two evaluations
-//              (burn rate; the first evaluation has no baseline and
-//              never fires)
+//       rate   counter burn rate in events/second
 //       p50 | p90 | p99
-//              histogram quantile via cumulative-bucket interpolation
+//              histogram quantile
 //   op  >  >=  <  <=
 //
 //   # comments and blank lines are ignored
-//   stream-drops: rate(stream.records_dropped) > 0
+//   stream-drops: rate(stream.records_dropped[30s]) > 0
 //   shard-apply-p99: p99(stream.shard0.apply_us) > 50000 for 10s
+//
+// With a time-series store attached (set_history(), the CLI wires the
+// global obs::tsdb() when --tsdb is on), rate rules evaluate the
+// reset-aware counter increase over the trailing window (default 60 s,
+// kDefaultAlertWindowMs) of *stored history*, and quantile rules
+// interpolate from windowed bucket deltas — so a latency spike moves
+// p99 immediately instead of drowning in lifetime-cumulative buckets.
+// Without history the legacy semantics apply: rate falls back to the
+// delta between consecutive evaluations (the first evaluation has no
+// baseline and never fires) and quantiles read the lifetime buckets.
+// The [window] suffix is accepted either way but only meaningful with
+// history.
 //
 // The engine samples the registry on a background thread (start(); the
 // poll interval is configurable, tests run it synchronously with
@@ -50,6 +60,12 @@
 
 namespace failmine::obs {
 
+class TsdbStore;
+
+/// Window a history-backed rate/quantile rule evaluates over when the
+/// rule does not name one with a [window] suffix.
+inline constexpr std::int64_t kDefaultAlertWindowMs = 60'000;
+
 enum class AlertFn { kValue, kRate, kP50, kP90, kP99 };
 enum class AlertOp { kGt, kGe, kLt, kLe };
 enum class AlertState { kInactive, kPending, kFiring, kResolved };
@@ -65,6 +81,7 @@ struct AlertRule {
   AlertOp op = AlertOp::kGt;
   double threshold = 0.0;
   std::int64_t for_ms = 0;  ///< hold duration before pending -> firing
+  std::int64_t window_ms = 0;  ///< history window; 0 = kDefaultAlertWindowMs
 
   /// The rule's expression back in grammar form (minus the name).
   std::string expression() const;
@@ -106,6 +123,11 @@ class AlertEngine {
   void add_rule(AlertRule rule);
   std::size_t rule_count() const;
 
+  /// Attaches (or detaches, with nullptr) a time-series store. While
+  /// the store has data, rate and quantile rules evaluate against its
+  /// windowed history; see the header comment for the semantics.
+  void set_history(TsdbStore* history);
+
   /// Spawns the background evaluation thread. Idempotent.
   void start(std::int64_t poll_ms = 1000);
   /// Stops and joins the thread. Idempotent; called by the destructor.
@@ -142,12 +164,12 @@ class AlertEngine {
   };
 
   void loop(std::int64_t poll_ms);
-  static std::optional<double> extract(RuleState& state,
-                                       const MetricsSample& sample,
-                                       std::int64_t now_ms);
+  std::optional<double> extract(RuleState& state, const MetricsSample& sample,
+                                std::int64_t now_ms) const;
   void evaluate_locked(std::int64_t now_ms);
 
   MetricsRegistry* registry_;
+  TsdbStore* history_ = nullptr;  // guarded by mutex_
   mutable std::mutex mutex_;  // guards rules_ and the stop flag
   std::vector<RuleState> rules_;
   std::atomic<std::size_t> firing_{0};

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -19,6 +20,8 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/tsdb.hpp"
+#include "obs/tsdb_query.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
@@ -49,7 +52,8 @@ Histogram& latency_us_histogram() {
 /// clients probe for.
 constexpr const char* kRoutes[] = {"/metrics", "/snapshot", "/healthz",
                                    "/flightrecorder", "/profile",
-                                   "/trace", "/alerts", "/predict"};
+                                   "/trace", "/alerts", "/predict",
+                                   "/query", "/series"};
 
 /// Per-endpoint request counter, encoded with the label inside the
 /// metric name (`obs.serve.requests{path="/metrics"}`). The registry is
@@ -86,6 +90,31 @@ std::string query_param(std::string_view query, std::string_view key,
     pos = end + 1;
   }
   return std::string(fallback);
+}
+
+/// %xx / '+' decoding for query-string values (the /query expression
+/// carries brackets, quotes and braces).
+std::string url_decode(std::string_view s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && hex(s[i + 1]) >= 0 &&
+               hex(s[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
 }
 
 void send_all(int fd, std::string_view data) {
@@ -128,6 +157,66 @@ std::string read_request_path(int fd) {
     if (request.find("\r\n", path_end) != path_end) return "";
   }
   return request.substr(4, path_end - 4);
+}
+
+/// GET /query?expr=...&start=...&end=...&step=... against the global
+/// time-series store. Times are unix seconds; defaults are the trailing
+/// 5 minutes ending at the newest scrape, ~240 steps — and an *instant*
+/// evaluation at the newest scrape when neither start nor step is given.
+void handle_query(int fd, const std::string& query) {
+  TsdbStore& store = tsdb();
+  if (!store.has_data()) {
+    send_response(fd, 404, "Not Found", "text/plain",
+                  "tsdb not enabled (run with --tsdb)\n");
+    return;
+  }
+  const std::string expr = url_decode(query_param(query, "expr", ""));
+  if (expr.empty()) {
+    bad_requests_counter().add();
+    send_response(fd, 400, "Bad Request", "text/plain",
+                  "need ?expr=<expression>\n");
+    return;
+  }
+  const std::string start_text = query_param(query, "start", "");
+  const std::string step_text = query_param(query, "step", "");
+  const double latest_s = static_cast<double>(store.latest_ms()) / 1000.0;
+  const double end_s =
+      std::atof(query_param(query, "end", std::to_string(latest_s)).c_str());
+  double start_s =
+      start_text.empty() ? end_s - 300.0 : std::atof(start_text.c_str());
+  if (start_text.empty() && step_text.empty()) start_s = end_s;  // instant
+  const double step_s =
+      step_text.empty() ? std::max((end_s - start_s) / 240.0, 0.001)
+                        : std::atof(step_text.c_str());
+  if (!(step_s > 0.0) || end_s < start_s) {
+    bad_requests_counter().add();
+    send_response(fd, 400, "Bad Request", "text/plain",
+                  "need start <= end and step > 0\n");
+    return;
+  }
+  if ((end_s - start_s) / step_s > 100'000.0) {
+    bad_requests_counter().add();
+    send_response(fd, 400, "Bad Request", "text/plain",
+                  "too many steps (raise step or narrow the range)\n");
+    return;
+  }
+  const auto to_ms = [](double seconds) {
+    return static_cast<std::int64_t>(std::llround(seconds * 1000.0));
+  };
+  try {
+    const TsdbQuery parsed = parse_tsdb_query(expr);
+    const TsdbQueryResult result =
+        eval_tsdb_query(store, parsed, to_ms(start_s), to_ms(end_s),
+                        std::max<std::int64_t>(to_ms(step_s), 1));
+    send_response(fd, 200, "OK", "application/json",
+                  tsdb_query_json(expr, to_ms(start_s), to_ms(end_s),
+                                  std::max<std::int64_t>(to_ms(step_s), 1),
+                                  result));
+  } catch (const failmine::Error& e) {
+    bad_requests_counter().add();
+    send_response(fd, 400, "Bad Request", "text/plain",
+                  std::string(e.what()) + "\n");
+  }
 }
 
 }  // namespace
@@ -364,6 +453,15 @@ void TelemetryServer::handle_connection(int fd) {
     }
   } else if (path == "/alerts") {
     send_response(fd, 200, "OK", "application/json", alerts().to_json());
+  } else if (path == "/query") {
+    handle_query(fd, query);
+  } else if (path == "/series") {
+    if (tsdb().has_data())
+      send_response(fd, 200, "OK", "application/json",
+                    tsdb_series_json(tsdb()));
+    else
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "tsdb not enabled (run with --tsdb)\n");
   } else {
     send_response(fd, 404, "Not Found", "text/plain", "not found\n");
   }

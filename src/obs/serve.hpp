@@ -23,6 +23,17 @@
 //                         jobs, precision/recall/lead-time summary,
 //                         checkpoint-policy scoreboard) when a predictor
 //                         is attached (failmine_cli stream --predict)
+//   GET /query            range/instant expressions over the embedded
+//                         time-series store (obs/tsdb_query.hpp) —
+//                         ?expr=rate(stream.records_in[1m]) (URL-encoded)
+//                         &start=&end= (unix seconds, default: trailing
+//                         5 min ending at the newest scrape) &step=
+//                         (seconds). 404 until obs::tsdb() has data,
+//                         400 with the parser's message on a bad expr
+//   GET /series           stored-series inventory: per-series type,
+//                         sample count, resident bytes and time range,
+//                         plus store-level stats; 404 until the store
+//                         has data
 //   GET /flightrecorder   JSONL dump of obs::flight_recorder()
 //   GET /profile          timed CPU capture via obs::profile —
 //                         ?seconds=N (0.05–60, default 1), ?hz=H

@@ -1,0 +1,99 @@
+// failmine/obs/tsdb_query.hpp
+//
+// Expression layer over obs::tsdb — a deliberately small PromQL-shaped
+// grammar evaluated against the store's compressed history:
+//
+//   expr     := [agg '('] [fn '('] selector [window] [')'] [')']
+//   agg      := sum | avg | min | max          (pointwise across series)
+//   fn       := value | rate | increase | pNN  (NN in 1..99)
+//   selector := metric name, '*' globs and inline {labels} allowed
+//   window   := '[' N (ms|s|m|h) ']'           (defaults to the step)
+//
+// Examples:
+//   rate(stream.records_processed[1m])
+//   sum(rate(stream.shard*.processed[30s]))
+//   p99(stream.router.batch_us[30s])           — from windowed bucket
+//                                                deltas, never lifetime
+//   value(stream.queue_depth)
+//
+// `rate` is `increase` divided by the window in seconds, so tiled
+// windows reconcile exactly with the cumulative counter. Quantile
+// functions match the store's `<base>.bucket{le="..."}` series,
+// compute per-bucket increases over the window and run the shared
+// histogram_quantile on the deltas.
+//
+// The same engine backs `GET /query` / `GET /series` on obs::serve and
+// the CLI's end-of-run sparkline trend report.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsdb.hpp"
+
+namespace failmine::obs {
+
+enum class TsdbAgg { kNone, kSum, kAvg, kMin, kMax };
+enum class TsdbFn { kValue, kRate, kIncrease, kQuantile };
+
+struct TsdbQuery {
+  TsdbAgg agg = TsdbAgg::kNone;
+  TsdbFn fn = TsdbFn::kValue;
+  double quantile = 0.0;  ///< for kQuantile, in (0, 1)
+  std::string selector;
+  std::int64_t window_ms = 0;  ///< 0 = default to the query step
+};
+
+/// Parses an expression; throws failmine::ParseError with a pointed
+/// message on malformed input.
+TsdbQuery parse_tsdb_query(std::string_view expr);
+
+/// Canonical rendering of a parsed query (used as the output series
+/// name for aggregations).
+std::string tsdb_query_to_string(const TsdbQuery& q);
+
+/// '*'-glob match (no other metacharacters).
+bool tsdb_glob_match(std::string_view pattern, std::string_view text);
+
+struct TsdbQuerySeries {
+  std::string name;
+  std::vector<TsdbPoint> points;
+};
+
+struct TsdbQueryResult {
+  std::vector<TsdbQuerySeries> series;
+};
+
+/// Evaluates `q` on the step grid start, start+step, ..., end
+/// (inclusive; instant queries pass start == end). Steps with no data
+/// are omitted rather than emitted as gaps.
+TsdbQueryResult eval_tsdb_query(const TsdbStore& store, const TsdbQuery& q,
+                                std::int64_t start_ms, std::int64_t end_ms,
+                                std::int64_t step_ms);
+
+/// {"expr":...,"start":s,"end":e,"step":s,"series":[{"name":...,
+///  "points":[[unix_seconds,value],...]},...]} — the /query body.
+std::string tsdb_query_json(const std::string& expr, std::int64_t start_ms,
+                            std::int64_t end_ms, std::int64_t step_ms,
+                            const TsdbQueryResult& result);
+
+/// {"stats":{...},"series":[...]} — the /series body.
+std::string tsdb_series_json(const TsdbStore& store);
+
+/// Renders `points` as a fixed-width UTF-8 sparkline (▁▂▃▄▅▆▇█), one
+/// column per equal time slice, scaled to the series' finite min/max;
+/// empty slices render as spaces.
+std::string render_sparkline(const std::vector<TsdbPoint>& points,
+                             std::size_t width);
+
+/// Multi-line end-of-run trend report: one sparkline row per
+/// expression, evaluated over the store's full retained span.
+/// Expressions that fail to parse or match nothing are skipped.
+std::string tsdb_trend_report(const TsdbStore& store,
+                              const std::vector<std::string>& exprs,
+                              std::size_t width = 44);
+
+}  // namespace failmine::obs

@@ -36,6 +36,18 @@ obs::Counter& records_late_counter() {
   static obs::Counter& c = obs::metrics().counter("stream.records_late");
   return c;
 }
+obs::Counter& records_processed_counter() {
+  static obs::Counter& c = obs::metrics().counter("stream.records_processed");
+  return c;
+}
+obs::Gauge& window_failure_rate_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("stream.window.failure_rate");
+  return g;
+}
+obs::Gauge& window_fatal_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("stream.window.fatal");
+  return g;
+}
 obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& g = obs::metrics().gauge("stream.queue_depth");
   return g;
@@ -123,6 +135,14 @@ StreamPipeline::StreamPipeline(StreamConfig config)
         "StreamConfig.watchdog_poll_ms must be positive");
 
   ingest_.set_occupancy_gauge(&obs::metrics().gauge("stream.ingest.occupancy"));
+
+  // Touch the cross-shard instruments up front so time-series scrapes
+  // (obs::tsdb) see them from the very first sample — the reconciliation
+  // guarantee for rate(stream.records_processed) needs a zero baseline
+  // captured before any batch lands.
+  (void)records_processed_counter();
+  (void)window_failure_rate_gauge();
+  (void)window_fatal_gauge();
 
   // (Re)arm the process-wide causal tracer before any thread can stamp:
   // thread creation below publishes the tracer's internal pointers.
@@ -256,6 +276,17 @@ void StreamPipeline::router_loop() {
       records_late_counter().add(reorderer.late_records() -
                                  router_.late_records);
       router_.late_records = reorderer.late_records();
+
+      // Rolling-window health gauges: the E01 failure-rate and FATAL
+      // pressure trends, refreshed per batch so the time-series store
+      // captures them as they evolve instead of only at snapshot time.
+      const auto jobs = router_.job_window.totals(router_.newest_seen);
+      window_failure_rate_gauge().set(
+          jobs[0] > 0
+              ? static_cast<double>(jobs[1]) / static_cast<double>(jobs[0])
+              : 0.0);
+      window_fatal_gauge().set(static_cast<double>(
+          router_.severity_window.totals(router_.newest_seen)[2]));
     }
     dispatch(pending, /*force=*/false);
     router_batch_histogram().observe(elapsed_us(batch_start));
@@ -312,6 +343,7 @@ void StreamPipeline::worker_loop(Shard& shard, std::size_t index) {
     shard.processed.fetch_add(n, std::memory_order_relaxed);
     shard.apply_us->observe(elapsed_us(apply_start));
     shard.processed_counter->add(n);
+    records_processed_counter().add(n);
   }
 }
 

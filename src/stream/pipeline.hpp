@@ -25,10 +25,13 @@
 //
 // Observability: the pipeline feeds the failmine::obs metrics registry —
 // counters `stream.records_in`, `stream.records_dropped`,
-// `stream.records_late`, `stream.shard_stalls`, per-shard
-// `stream.shard<i>.processed`; gauges `stream.queue_depth`,
-// `stream.watermark_lag_s`, `stream.reorder.buffered`,
-// `stream.stalled_shards`, `stream.ingest.occupancy`, per-shard
+// `stream.records_late`, `stream.records_processed` (cross-shard total,
+// the canonical throughput series for obs::tsdb range queries),
+// `stream.shard_stalls`, per-shard `stream.shard<i>.processed`; gauges
+// `stream.queue_depth`, `stream.watermark_lag_s`,
+// `stream.reorder.buffered`, `stream.stalled_shards`,
+// `stream.ingest.occupancy`, rolling-window trends
+// `stream.window.failure_rate` / `stream.window.fatal`, per-shard
 // `stream.shard<i>.occupancy`; histograms `stream.router.batch_us` and
 // per-shard `stream.shard<i>.apply_us`. A stall watchdog thread watches
 // every shard: when a shard's processed counter stops advancing while

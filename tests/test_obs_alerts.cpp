@@ -15,6 +15,7 @@
 
 #include "obs/alerts.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tsdb.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
@@ -68,6 +69,47 @@ TEST(AlertRuleParser, ExpressionRoundTrips) {
   EXPECT_EQ(again[0].metric, rules[0].metric);
   EXPECT_EQ(again[0].threshold, rules[0].threshold);
   EXPECT_EQ(again[0].for_ms, rules[0].for_ms);
+}
+
+TEST(AlertRuleParser, ParsesAndRoundTripsWindowSuffixes) {
+  const auto rules = parse_alert_rules(
+      "a: rate(drops[30s]) > 1\n"
+      "b: p99(lat.us[1500ms]) >= 2 for 5s\n"
+      "c: rate(burn[2m]) > 3\n"
+      "d: rate(no.window) > 4\n");
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].window_ms, 30'000);
+  EXPECT_EQ(rules[0].metric, "drops");
+  EXPECT_EQ(rules[1].window_ms, 1'500);
+  EXPECT_EQ(rules[1].metric, "lat.us");
+  EXPECT_EQ(rules[1].for_ms, 5'000);
+  EXPECT_EQ(rules[2].window_ms, 120'000);
+  EXPECT_EQ(rules[3].window_ms, 0);  // 0 = kDefaultAlertWindowMs at eval
+
+  EXPECT_EQ(rules[0].expression(), "rate(drops[30s]) > 1");
+  EXPECT_EQ(rules[1].expression(), "p99(lat.us[1500ms]) >= 2 for 5s");
+  for (const auto& rule : rules) {
+    const auto again = parse_alert_rules("x: " + rule.expression() + "\n");
+    ASSERT_EQ(again.size(), 1u) << rule.expression();
+    EXPECT_EQ(again[0].metric, rule.metric);
+    EXPECT_EQ(again[0].window_ms, rule.window_ms) << rule.expression();
+  }
+}
+
+TEST(AlertRuleParser, RejectsMalformedWindows) {
+  const auto expect_fail = [](const char* text, const char* what) {
+    try {
+      parse_alert_rules(text);
+      ADD_FAILURE() << "expected ParseError for: " << text;
+    } catch (const failmine::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("x: rate(m[5q]) > 1\n", "window unit");
+  expect_fail("x: rate(m[xs]) > 1\n", "window");
+  expect_fail("x: rate(m[-5s]) > 1\n", "positive");
+  expect_fail("x: rate(m]) > 1\n", "']'");
 }
 
 TEST(AlertRuleParser, RejectsMalformedLinesWithLineNumbers) {
@@ -261,6 +303,84 @@ TEST(AlertEngine, SetRulesResetsStateAndFiringCount) {
   EXPECT_EQ(engine.rule_count(), 1u);
   engine.add_rule(parse_alert_rules("z: value(g) > 100\n")[0]);
   EXPECT_EQ(engine.rule_count(), 2u);
+}
+
+// ---- history-backed evaluation (obs::tsdb) -----------------------------
+
+// Virtual-clock origin for the manually scraped stores below.
+constexpr std::int64_t kT0 = 1'700'000'040'000;
+
+TEST(AlertEngineHistory, RateEvaluatesStoredWindowOnFirstPass) {
+  MetricsRegistry reg;
+  auto& drops = reg.counter("drops");
+  TsdbConfig tc;
+  tc.registry = &reg;
+  TsdbStore store(tc);
+  AlertEngine engine(&reg);
+  engine.set_history(&store);
+  engine.set_rules(parse_alert_rules("burn: rate(drops[60s]) > 5\n"));
+
+  // No scrapes yet: the attached store is ignored and the legacy path
+  // needs its consecutive-evaluation baseline, so no verdict.
+  engine.evaluate_now();
+  EXPECT_FALSE(engine.status()[0].has_value);
+
+  drops.add(1000);
+  store.scrape_once(kT0);
+  drops.add(600);
+  store.scrape_once(kT0 + 60'000);
+
+  // One evaluation suffices: 600 events over the stored 60 s window.
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  EXPECT_TRUE(engine.status()[0].has_value);
+  EXPECT_DOUBLE_EQ(engine.status()[0].last_value, 10.0);
+
+  // Detaching the store falls back to the legacy baseline semantics.
+  engine.set_history(nullptr);
+  engine.set_rules(parse_alert_rules("burn: rate(drops[60s]) > 5\n"));
+  engine.evaluate_now();
+  EXPECT_FALSE(engine.status()[0].has_value);
+}
+
+TEST(AlertEngineHistory, LatencySpikeFiresOnlyViaWindowedBuckets) {
+  // The regression this PR exists for: a p99 rule reading
+  // lifetime-cumulative buckets never sees a short spike, because the
+  // spike's 50 observations drown in 100k historical fast ones. The
+  // windowed-bucket-delta path must fire on the same data.
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat.us", {100.0, 1000.0, 100000.0});
+  for (int i = 0; i < 100000; ++i) h.observe(10.0);
+
+  TsdbConfig tc;
+  tc.registry = &reg;
+  TsdbStore store(tc);
+  store.scrape_once(kT0);  // baseline scrape covers the fast flood
+  for (int i = 0; i < 50; ++i) h.observe(50'000.0);  // the spike
+  store.scrape_once(kT0 + 60'000);
+
+  const char* kRule = "slow: p99(lat.us[1m]) > 1000\n";
+
+  AlertEngine lifetime(&reg);  // no history attached
+  lifetime.set_rules(parse_alert_rules(kRule));
+  lifetime.evaluate_now();
+  EXPECT_EQ(lifetime.firing(), 0u);
+  EXPECT_TRUE(lifetime.status()[0].has_value);
+  EXPECT_LE(lifetime.status()[0].last_value, 100.0);
+
+  AlertEngine windowed(&reg);
+  windowed.set_history(&store);
+  windowed.set_rules(parse_alert_rules(kRule));
+  windowed.evaluate_now();
+  EXPECT_EQ(windowed.firing(), 1u);
+  EXPECT_GT(windowed.status()[0].last_value, 1000.0);
+
+  // A later window with no observations abstains ("no data"), it does
+  // not report a p99 of 0.
+  store.scrape_once(kT0 + 600'000);
+  windowed.evaluate_now();
+  EXPECT_EQ(windowed.firing(), 0u);
+  EXPECT_FALSE(windowed.status()[0].has_value);
 }
 
 }  // namespace
