@@ -4,10 +4,71 @@
 # and published its gauges and latency histograms. The expected
 # instrument names come from expected_metrics.cmake. Invoked as:
 #   cmake -DMETRICS=... -P check_stream_metrics.cmake
+# or, for the fleet-mode smoke test (stream --fleet N), as:
+#   cmake -DMETRICS=... -DFLEET=N -P check_stream_metrics.cmake
+# where every pipeline instrument must instead appear once per twin
+# under its twin="t<i>" label and never under the bare family name.
 
 include("${CMAKE_CURRENT_LIST_DIR}/expected_metrics.cmake")
 
 failmine_read_export(metrics_json "${METRICS}")
+
+if(FLEET)
+  # Fleet replay: per-twin label-disambiguated accounting. Each twin
+  # must have streamed records under its own label without loss...
+  math(EXPR fleet_last "${FLEET} - 1")
+  foreach(i RANGE ${fleet_last})
+    failmine_fleet_metric_name(in_name "${FAILMINE_STREAM_IN_COUNTER}" "t${i}")
+    failmine_labeled_metric_value(twin_in "${metrics_json}" "${in_name}")
+    if(twin_in EQUAL 0)
+      message(FATAL_ERROR "${in_name} is 0 — twin t${i} streamed nothing")
+    endif()
+    failmine_fleet_metric_name(dropped_name
+                               "${FAILMINE_STREAM_DROPPED_COUNTER}" "t${i}")
+    failmine_labeled_metric_value(twin_dropped "${metrics_json}"
+                                  "${dropped_name}")
+    if(NOT twin_dropped EQUAL 0)
+      message(FATAL_ERROR "${dropped_name}=${twin_dropped} under the "
+                          "blocking policy")
+    endif()
+    foreach(family ${FAILMINE_STREAM_REQUIRED_GAUGES}
+                   ${FAILMINE_STREAM_REQUIRED_HISTOGRAMS}
+                   stream.window.failure_rate)
+      failmine_fleet_metric_name(name "${family}" "t${i}")
+      failmine_require_substring("${metrics_json}" "${name}")
+    endforeach()
+  endforeach()
+  # ...and the bare family spellings must be absent: the twin label is
+  # the isolation mechanism, not decoration on top of shared counters.
+  foreach(family ${FAILMINE_STREAM_IN_COUNTER}
+                 ${FAILMINE_STREAM_DROPPED_COUNTER}
+                 ${FAILMINE_STREAM_REQUIRED_GAUGES})
+    string(REPLACE "." "\\." pattern "${family}")
+    if(metrics_json MATCHES "\"${pattern}\":")
+      message(FATAL_ERROR "fleet export has bare ${family} — twin labels "
+                          "are not isolating the pipelines")
+    endif()
+  endforeach()
+
+  # The fleet replay runs with --serve (including the pre-registered
+  # /fleet route counter), --tsdb and the built-in per-twin alert rules.
+  failmine_require_metrics("${metrics_json}"
+    ${FAILMINE_SERVE_REQUIRED_COUNTERS}
+    ${FAILMINE_SERVE_REQUIRED_HISTOGRAMS}
+    ${FAILMINE_ALERTS_REQUIRED_METRICS}
+    ${FAILMINE_PROCESS_REQUIRED_GAUGES}
+    ${FAILMINE_TSDB_REQUIRED_METRICS})
+  failmine_require_substring("${metrics_json}"
+    "${FAILMINE_SERVE_FLEET_REQUESTS_NAME}")
+  failmine_metric_value(tsdb_samples "${metrics_json}"
+                        "${FAILMINE_TSDB_SAMPLES_COUNTER}")
+  if(tsdb_samples EQUAL 0)
+    message(FATAL_ERROR "${FAILMINE_TSDB_SAMPLES_COUNTER} is 0 — the "
+                        "scraper never stored a sample")
+  endif()
+  message(STATUS "fleet metrics OK: ${FLEET} twins isolated, no drops")
+  return()
+endif()
 
 failmine_metric_value(records_in "${metrics_json}"
                       "${FAILMINE_STREAM_IN_COUNTER}")

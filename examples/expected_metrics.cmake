@@ -100,7 +100,8 @@ set(FAILMINE_TSDB_REQUIRED_METRICS
   tsdb.samples
   tsdb.series
   tsdb.bytes
-  tsdb.dropped)
+  tsdb.dropped
+  tsdb.dropped_series)
 set(FAILMINE_TSDB_SAMPLES_COUNTER tsdb.samples)
 
 # Exact exported spellings of the per-endpoint request counters the tsdb
@@ -110,6 +111,16 @@ set(FAILMINE_SERVE_QUERY_REQUESTS_NAME
     "obs.serve.requests{path=\\\"/query\\\"}")
 set(FAILMINE_SERVE_SERIES_REQUESTS_NAME
     "obs.serve.requests{path=\\\"/series\\\"}")
+set(FAILMINE_SERVE_FLEET_REQUESTS_NAME
+    "obs.serve.requests{path=\\\"/fleet\\\"}")
+
+# Fleet-mode spellings: each twin's pipeline instruments carry the twin
+# label inline (`stream.records_in{twin="t0"}` — quotes escaped in the
+# JSON export). The check script derives the per-twin names from these
+# family spellings, so the label convention lives in one place.
+function(failmine_fleet_metric_name var family twin)
+  set(${var} "${family}{twin=\\\"${twin}\\\"}" PARENT_SCOPE)
+endfunction()
 
 # Reads the export at `path` into `var`, failing if it is missing.
 function(failmine_read_export var path)
@@ -154,6 +165,26 @@ function(failmine_metric_value var content name)
   string(REPLACE "." "\\." pattern "${name}")
   if(NOT content MATCHES "\"${pattern}\":([0-9]+)")
     message(FATAL_ERROR "metrics export lacks ${name}")
+  endif()
+  set(${var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+# Extracts the integer value of the instrument spelled exactly `name`
+# into `var` — the labeled-spelling variant of failmine_metric_value.
+# Inline label blocks are full of regex metacharacters (braces, escaped
+# quotes), so this matches the literal name and parses the digits that
+# follow it instead of building a pattern.
+function(failmine_labeled_metric_value var content name)
+  set(needle "\"${name}\":")
+  string(FIND "${content}" "${needle}" found_at)
+  if(found_at EQUAL -1)
+    message(FATAL_ERROR "metrics export lacks ${name}")
+  endif()
+  string(LENGTH "${needle}" needle_len)
+  math(EXPR value_at "${found_at} + ${needle_len}")
+  string(SUBSTRING "${content}" ${value_at} 24 tail)
+  if(NOT tail MATCHES "^([0-9]+)")
+    message(FATAL_ERROR "metrics export has no integer value for ${name}")
   endif()
   set(${var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
 endfunction()

@@ -47,6 +47,14 @@
 //       grammar) and GET /series, the final snapshot gains a "tsdb"
 //       stats section, and an ASCII sparkline trend report (throughput,
 //       queue depth, failure rate, router p99) prints to stderr at exit.
+//       --fleet N runs N digital twins in one process, each replaying
+//       its own in-process simulation (seed+i, diverging sizes, an
+//       elevated failure mix on the last twin). Every pipeline
+//       instrument carries a twin="t<i>" label, /query understands
+//       `sum by (twin) (rate(stream.records_in{twin=~"*"}[1m]))`,
+//       --serve gains GET /fleet (per-twin rollup + merged cross-fleet
+//       heavy hitters), and the twin-selector alert rules fire
+//       independently per twin. The fleet rollup JSON goes to stdout.
 //
 // Global loading options (any subcommand reading --data DIR):
 //   --ingest-threads N   worker threads for the parallel mmap CSV ingest
@@ -90,6 +98,7 @@
 #include "obs/tsdb_query.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulator.hpp"
+#include "stream/fleet.hpp"
 #include "stream/pipeline.hpp"
 #include "util/error.hpp"
 
@@ -167,6 +176,11 @@ void print_usage() {
                "[--trace-sample N]\n"
                "           [--alert-rules PATH] [--predict] "
                "[--tsdb[=SECONDS]]\n"
+               "  stream   --fleet N [--scale S] [--seed N] [...stream "
+               "options]\n"
+               "           N in-process twins with twin=\"t<i>\"-labeled "
+               "metrics\n"
+               "           (simulates per-twin data; --data not needed)\n"
                "global: [--ingest-threads N] [--log-level LEVEL] "
                "[--metrics-out PATH]\n"
                "        [--trace-out PATH] [--flight-recorder PATH] "
@@ -294,13 +308,10 @@ stream::BackpressurePolicy parse_policy(const std::string& name) {
   throw failmine::ParseError("unknown policy '" + name + "' (block|drop)");
 }
 
-int cmd_stream(const ArgMap& args) {
-  const auto data = load(args);
-  const long long shuffle = args.get_int("shuffle", 0);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20130409));
-  auto records = shuffle > 0 ? sim::shuffled_replay(data, shuffle, seed)
-                             : sim::build_replay(data);
-
+/// Shared by the single-pipeline and fleet stream modes: the pipeline
+/// knobs every twin inherits.
+stream::StreamConfig stream_config_from(const ArgMap& args,
+                                        long long shuffle) {
   stream::StreamConfig config;
   config.machine = topology::MachineConfig::mira();
   config.shard_count =
@@ -314,6 +325,138 @@ int cmd_stream(const ArgMap& args) {
   config.trace_sample_period = static_cast<std::uint32_t>(std::max(
       0LL, (long long)args.get_int("trace-sample",
                                    config.trace_sample_period)));
+  return config;
+}
+
+/// stream --fleet=N: N digital twins in one process, each replaying its
+/// own in-process simulation (seed+i, sizes diverging with i, and an
+/// elevated user-failure mix on the last twin so per-twin failure rates
+/// visibly diverge). Every twin's instruments carry twin="t<i>" labels,
+/// so /metrics, /query (`sum by (twin) (...)`), /fleet and the
+/// per-label-group alert rules all separate the twins; the final
+/// fleet_json() rollup goes to stdout.
+int cmd_stream_fleet(const ArgMap& args) {
+  const std::size_t twin_count = static_cast<std::size_t>(
+      std::max(1LL, (long long)args.get_int("fleet", 2)));
+  const long long shuffle = args.get_int("shuffle", 0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20130409));
+  const double scale = args.get_double("scale", 0.01);
+
+  // Per-twin divergent workloads, simulated in process (--data is not
+  // required in fleet mode).
+  std::vector<std::vector<stream::StreamRecord>> replays(twin_count);
+  for (std::size_t i = 0; i < twin_count; ++i) {
+    sim::SimConfig sc = sim::SimConfig::test_scale();
+    sc.scale = scale * (1.0 + 0.2 * static_cast<double>(i));
+    sc.seed = seed + i;
+    if (twin_count > 1 && i + 1 == twin_count)
+      sc.user_failure_probability *= 1.5;  // the divergence-demo twin
+    const auto trace = sim::simulate(sc);
+    replays[i] = shuffle > 0
+                     ? sim::shuffled_replay(trace, shuffle, seed + i)
+                     : sim::build_replay(trace);
+    std::fprintf(stderr, "[fleet] twin t%zu: %zu records (seed %llu)\n", i,
+                 replays[i].size(),
+                 static_cast<unsigned long long>(sc.seed));
+  }
+
+  stream::FleetConfig fleet_config;
+  fleet_config.twin_count = twin_count;
+  fleet_config.base = stream_config_from(args, shuffle);
+  stream::StreamFleet fleet(fleet_config);
+
+  const bool tsdb_enabled = args.has("tsdb");
+  if (tsdb_enabled) {
+    const double seconds = std::max(0.05, args.get_double("tsdb", 1.0));
+    obs::tsdb().start(static_cast<std::int64_t>(seconds * 1000.0));
+    obs::alerts().set_history(&obs::tsdb());
+  }
+
+  // Fleet alert rules: twin-selector spellings of the built-in SLOs, so
+  // each rule expands to one independent state machine per twin.
+  const std::string rules_path = args.get("alert-rules", "");
+  obs::alerts().set_rules(
+      rules_path.empty()
+          ? obs::parse_alert_rules(
+                "stream-drops: rate(stream.records_dropped{twin=~\"*\"}) > 0\n"
+                "stream-shard-stalled: "
+                "value(stream.stalled_shards{twin=~\"*\"}) > 0\n")
+          : obs::load_alert_rules_file(rules_path));
+  obs::alerts().start(/*poll_ms=*/500);
+
+  std::unique_ptr<obs::TelemetryServer> server;
+  if (args.has("serve")) {
+    obs::ServeConfig serve_config;
+    serve_config.port = static_cast<std::uint16_t>(args.get_int("serve", 0));
+    server = std::make_unique<obs::TelemetryServer>(serve_config);
+    server->set_fleet_handler([&fleet] { return fleet.fleet_json(); });
+    server->set_snapshot_handler(
+        [&fleet] { return fleet.twin(0).snapshot().to_json(); });
+    server->set_health_handler([&fleet] { return fleet.healthy(); });
+    server->start();
+    std::fprintf(stderr, "[fleet] serving telemetry on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server->port()));
+  }
+
+  // Round-robin feeding keeps every twin live at once — the whole point
+  // of fleet mode — instead of replaying twins back to back.
+  std::vector<std::size_t> pos(twin_count, 0);
+  std::vector<stream::StreamRecord> chunk;
+  for (bool any = true; any;) {
+    any = false;
+    for (std::size_t i = 0; i < twin_count; ++i) {
+      auto& replay = replays[i];
+      if (pos[i] >= replay.size()) continue;
+      any = true;
+      const std::size_t n =
+          std::min<std::size_t>(1024, replay.size() - pos[i]);
+      chunk.assign(std::make_move_iterator(replay.begin() + pos[i]),
+                   std::make_move_iterator(replay.begin() + pos[i] + n));
+      fleet.twin(i).push_batch(std::move(chunk));
+      pos[i] += n;
+    }
+  }
+  fleet.finish();
+
+  if (tsdb_enabled) obs::tsdb().stop();
+  std::fputs(fleet.fleet_json().c_str(), stdout);
+  for (std::size_t i = 0; i < twin_count; ++i) {
+    const auto s = fleet.twin(i).snapshot();
+    std::fprintf(stderr,
+                 "[fleet] t%zu: in=%llu processed=%llu window rate=%.3f "
+                 "interruptions=%llu\n",
+                 i, static_cast<unsigned long long>(s.records_in),
+                 static_cast<unsigned long long>(s.records_processed),
+                 s.window_failure_rate,
+                 static_cast<unsigned long long>(s.interruptions));
+  }
+  if (tsdb_enabled)
+    std::fputs(
+        obs::tsdb_trend_report(
+            obs::tsdb(),
+            {"sum(rate(stream.records_in{twin=~\"*\"}[10s]))",
+             "sum by (twin) (rate(stream.records_processed{twin=~\"*\"}[10s]))",
+             "sum by (twin) (value(stream.window.failure_rate{twin=~\"*\"}))"})
+            .c_str(),
+        stderr);
+  if (server != nullptr) {
+    const long long linger = args.get_int("serve-linger", 0);
+    if (linger > 0) std::this_thread::sleep_for(std::chrono::seconds(linger));
+    server->stop();
+  }
+  obs::alerts().stop();
+  return 0;
+}
+
+int cmd_stream(const ArgMap& args) {
+  if (args.has("fleet")) return cmd_stream_fleet(args);
+  const auto data = load(args);
+  const long long shuffle = args.get_int("shuffle", 0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20130409));
+  auto records = shuffle > 0 ? sim::shuffled_replay(data, shuffle, seed)
+                             : sim::build_replay(data);
+
+  stream::StreamConfig config = stream_config_from(args, shuffle);
 
   // --predict attaches the failure-prediction subsystem as a router
   // operator: precursor mining, per-job risk scoring and the adaptive

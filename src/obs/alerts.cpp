@@ -9,6 +9,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/tsdb.hpp"
+#include "obs/tsdb_query.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
@@ -51,6 +52,43 @@ Counter& evaluations_counter() {
 Counter& transitions_counter() {
   static Counter& c = metrics().counter("obs.alerts.transitions");
   return c;
+}
+
+/// Series the rule's metric selector matches in the current sample —
+/// the rule's label groups this round. A blockless metric keeps the
+/// legacy full-name-glob semantics (a plain name matches only itself).
+std::vector<std::string> discover_groups(const AlertRule& rule,
+                                         const MetricsSample& sample) {
+  TsdbSelector sel;
+  try {
+    sel = parse_tsdb_selector(rule.metric);
+  } catch (const failmine::ParseError&) {
+    return {};  // malformed selector: fall through to the no-data group
+  }
+  const auto matches = [&](const std::string& name) {
+    if (sel.has_block) return tsdb_selector_matches(sel, name);
+    return tsdb_glob_match(rule.metric, name);
+  };
+  std::vector<std::string> out;
+  switch (rule.fn) {
+    case AlertFn::kValue:
+      for (const auto& [name, value] : sample.counters)
+        if (matches(name)) out.push_back(name);
+      for (const auto& [name, value] : sample.gauges)
+        if (matches(name)) out.push_back(name);
+      break;
+    case AlertFn::kRate:
+      for (const auto& [name, value] : sample.counters)
+        if (matches(name)) out.push_back(name);
+      break;
+    case AlertFn::kP50:
+    case AlertFn::kP90:
+    case AlertFn::kP99:
+      for (const auto& [name, hist] : sample.histograms)
+        if (matches(name)) out.push_back(name);
+      break;
+  }
+  return out;
 }
 
 }  // namespace
@@ -254,7 +292,6 @@ void AlertEngine::set_rules(std::vector<AlertRule> rules) {
   for (AlertRule& rule : rules) {
     RuleState state;
     state.rule = std::move(rule);
-    state.state_since_ms = steady_now_ms();
     rules_.push_back(std::move(state));
   }
   firing_.store(0, std::memory_order_relaxed);
@@ -265,7 +302,6 @@ void AlertEngine::add_rule(AlertRule rule) {
   const std::lock_guard<std::mutex> lock(mutex_);
   RuleState state;
   state.rule = std::move(rule);
-  state.state_since_ms = steady_now_ms();
   rules_.push_back(std::move(state));
 }
 
@@ -316,10 +352,15 @@ void AlertEngine::set_history(TsdbStore* history) {
   history_ = history;
 }
 
-std::optional<double> AlertEngine::extract(RuleState& state,
+std::optional<double> AlertEngine::extract(const AlertRule& rule,
+                                           const std::string& series,
+                                           GroupState& group,
                                            const MetricsSample& sample,
                                            std::int64_t now_ms) const {
-  const AlertRule& rule = state.rule;
+  // The synthetic no-data group ("") falls back to the rule's metric
+  // spelling, so a plain-name rule whose instrument appears later
+  // behaves exactly as before.
+  const std::string& metric = series.empty() ? rule.metric : series;
   // With stored history attached, windowed rules read it exclusively —
   // an absent series means the metric never existed, the same "no
   // data" verdict the registry lookup would give.
@@ -329,34 +370,34 @@ std::optional<double> AlertEngine::extract(RuleState& state,
   switch (rule.fn) {
     case AlertFn::kValue: {
       for (const auto& [name, value] : sample.counters)
-        if (name == rule.metric) return static_cast<double>(value);
+        if (name == metric) return static_cast<double>(value);
       for (const auto& [name, value] : sample.gauges)
-        if (name == rule.metric) return value;
+        if (name == metric) return value;
       return std::nullopt;
     }
     case AlertFn::kRate: {
       if (history) {
         const std::int64_t t = history_->latest_ms();
-        const auto inc = history_->increase_over(rule.metric, t, window);
+        const auto inc = history_->increase_over(metric, t, window);
         if (!inc.has_value() || inc->covered_ms <= 0) return std::nullopt;
         return std::max(
             0.0, inc->increase /
                      (static_cast<double>(inc->covered_ms) / 1000.0));
       }
       for (const auto& [name, value] : sample.counters) {
-        if (name != rule.metric) continue;
+        if (name != metric) continue;
         const double current = static_cast<double>(value);
-        if (!state.has_prev || now_ms <= state.prev_ms) {
-          state.has_prev = true;
-          state.prev_counter = current;
-          state.prev_ms = now_ms;
+        if (!group.has_prev || now_ms <= group.prev_ms) {
+          group.has_prev = true;
+          group.prev_counter = current;
+          group.prev_ms = now_ms;
           return std::nullopt;  // no baseline yet
         }
         const double per_second =
-            (current - state.prev_counter) /
-            (static_cast<double>(now_ms - state.prev_ms) / 1000.0);
-        state.prev_counter = current;
-        state.prev_ms = now_ms;
+            (current - group.prev_counter) /
+            (static_cast<double>(now_ms - group.prev_ms) / 1000.0);
+        group.prev_counter = current;
+        group.prev_ms = now_ms;
         return std::max(0.0, per_second);
       }
       return std::nullopt;
@@ -370,11 +411,11 @@ std::optional<double> AlertEngine::extract(RuleState& state,
       if (history) {
         // Windowed bucket deltas: abstains (nullopt) when the window
         // saw no observations, exactly like the empty-histogram case.
-        return history_->windowed_quantile(rule.metric, q,
-                                           history_->latest_ms(), window);
+        return history_->windowed_quantile(metric, q, history_->latest_ms(),
+                                           window);
       }
       for (const auto& [name, hist] : sample.histograms)
-        if (name == rule.metric) {
+        if (name == metric) {
           if (hist.count == 0) return std::nullopt;  // no data, no verdict
           return histogram_quantile(hist, q);
         }
@@ -389,45 +430,69 @@ void AlertEngine::evaluate_locked(std::int64_t now_ms) {
       (registry_ != nullptr ? *registry_ : metrics()).sample();
   std::size_t firing_count = 0;
   for (RuleState& rs : rules_) {
-    const std::optional<double> value = extract(rs, sample, now_ms);
-    rs.has_value = value.has_value();
-    if (value) rs.last_value = *value;
-    const bool breach =
-        value && compare(*value, rs.rule.op, rs.rule.threshold);
+    // This round's label groups: freshly matched series plus every
+    // group seen before (registry instruments never disappear, so a
+    // breached-then-quiet twin keeps reporting its resolved state).
+    std::vector<std::string> series = discover_groups(rs.rule, sample);
+    for (const auto& [name, group] : rs.groups) {
+      if (name.empty()) continue;
+      if (std::find(series.begin(), series.end(), name) == series.end())
+        series.push_back(name);
+    }
+    if (series.empty()) {
+      series.push_back("");  // synthetic no-data group
+    } else {
+      rs.groups.erase("");  // real matches retire the synthetic group
+    }
 
-    AlertState next = rs.state;
-    switch (rs.state) {
-      case AlertState::kInactive:
-      case AlertState::kResolved:
-        if (breach) {
-          rs.pending_since_ms = now_ms;
-          next = rs.rule.for_ms == 0 ? AlertState::kFiring
-                                     : AlertState::kPending;
-        }
-        break;
-      case AlertState::kPending:
-        if (!breach)
-          next = AlertState::kInactive;
-        else if (now_ms - rs.pending_since_ms >= rs.rule.for_ms)
-          next = AlertState::kFiring;
-        break;
-      case AlertState::kFiring:
-        if (!breach) next = AlertState::kResolved;
-        break;
+    for (const std::string& name : series) {
+      const auto [it, inserted] = rs.groups.try_emplace(name);
+      GroupState& g = it->second;
+      if (inserted) g.state_since_ms = now_ms;
+      const std::optional<double> value =
+          extract(rs.rule, name, g, sample, now_ms);
+      g.has_value = value.has_value();
+      if (value) g.last_value = *value;
+      const bool breach =
+          value && compare(*value, rs.rule.op, rs.rule.threshold);
+
+      AlertState next = g.state;
+      switch (g.state) {
+        case AlertState::kInactive:
+        case AlertState::kResolved:
+          if (breach) {
+            g.pending_since_ms = now_ms;
+            next = rs.rule.for_ms == 0 ? AlertState::kFiring
+                                       : AlertState::kPending;
+          }
+          break;
+        case AlertState::kPending:
+          if (!breach)
+            next = AlertState::kInactive;
+          else if (now_ms - g.pending_since_ms >= rs.rule.for_ms)
+            next = AlertState::kFiring;
+          break;
+        case AlertState::kFiring:
+          if (!breach) next = AlertState::kResolved;
+          break;
+      }
+      if (next != g.state) {
+        g.state = next;
+        g.state_since_ms = now_ms;
+        transitions_counter().add();
+        if (next == AlertState::kFiring)
+          logger().warn("obs.alert_firing",
+                        {Field("rule", rs.rule.name),
+                         Field("series", name.empty() ? rs.rule.metric : name),
+                         Field("value", g.last_value),
+                         Field("threshold", rs.rule.threshold)});
+        else if (next == AlertState::kResolved)
+          logger().info("obs.alert_resolved",
+                        {Field("rule", rs.rule.name),
+                         Field("series", name.empty() ? rs.rule.metric : name)});
+      }
+      if (g.state == AlertState::kFiring) ++firing_count;
     }
-    if (next != rs.state) {
-      rs.state = next;
-      rs.state_since_ms = now_ms;
-      transitions_counter().add();
-      if (next == AlertState::kFiring)
-        logger().warn("obs.alert_firing",
-                      {Field("rule", rs.rule.name),
-                       Field("value", rs.last_value),
-                       Field("threshold", rs.rule.threshold)});
-      else if (next == AlertState::kResolved)
-        logger().info("obs.alert_resolved", {Field("rule", rs.rule.name)});
-    }
-    if (rs.state == AlertState::kFiring) ++firing_count;
   }
   firing_.store(firing_count, std::memory_order_relaxed);
   firing_gauge().set(static_cast<double>(firing_count));
@@ -445,13 +510,24 @@ std::vector<AlertStatus> AlertEngine::status() const {
   std::vector<AlertStatus> out;
   out.reserve(rules_.size());
   for (const RuleState& rs : rules_) {
-    AlertStatus status;
-    status.rule = rs.rule;
-    status.state = rs.state;
-    status.has_value = rs.has_value;
-    status.last_value = rs.last_value;
-    status.since_ms = std::max<std::int64_t>(0, now_ms - rs.state_since_ms);
-    out.push_back(std::move(status));
+    if (rs.groups.empty()) {
+      // Not yet evaluated: report the rule once, inactive, no data.
+      AlertStatus status;
+      status.rule = rs.rule;
+      status.series = rs.rule.metric;
+      out.push_back(std::move(status));
+      continue;
+    }
+    for (const auto& [name, g] : rs.groups) {
+      AlertStatus status;
+      status.rule = rs.rule;
+      status.series = name.empty() ? rs.rule.metric : name;
+      status.state = g.state;
+      status.has_value = g.has_value;
+      status.last_value = g.last_value;
+      status.since_ms = std::max<std::int64_t>(0, now_ms - g.state_since_ms);
+      out.push_back(std::move(status));
+    }
   }
   return out;
 }
@@ -468,6 +544,8 @@ std::string AlertEngine::to_json() const {
     append_json_string(out, s.rule.name);
     out += ",\"expr\":";
     append_json_string(out, s.rule.expression());
+    out += ",\"series\":";
+    append_json_string(out, s.series);
     out += ",\"state\":";
     append_json_string(out, std::string(alert_state_name(s.state)));
     out += ",\"value\":";

@@ -38,6 +38,16 @@
 // re-enters pending). Missing instruments evaluate as "no data" and
 // never fire.
 //
+// Rules are label-group aware: the metric is a tsdb selector, and every
+// series it matches gets its own independent state machine ("group").
+// `value(stream.stalled_shards{twin=~"*"}) > 0` therefore fires once
+// per stalled twin while healthy twins stay inactive. A selector
+// without a `{...}` block keeps the legacy full-name-glob semantics, so
+// a plain metric name is exactly one group and nothing changes. A rule
+// matching no series at all evaluates a single synthetic no-data group
+// (so `GET /alerts` always shows at least one row per rule); firing()
+// counts firing *groups*.
+//
 // Exposure: status() / to_json() back the telemetry server's
 // `GET /alerts`; firing() is a lock-free count for the /healthz body's
 // `alerts_firing` field; the engine also maintains the
@@ -49,6 +59,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -87,13 +98,15 @@ struct AlertRule {
   std::string expression() const;
 };
 
-/// One rule's live status as of the last evaluation.
+/// One label group's live status as of the last evaluation. A rule
+/// whose selector matches several series contributes several statuses.
 struct AlertStatus {
   AlertRule rule;
+  std::string series;  ///< the matched series (rule.metric when no match)
   AlertState state = AlertState::kInactive;
   bool has_value = false;   ///< false when the metric is absent / no rate yet
   double last_value = 0.0;  ///< extracted value at the last evaluation
-  std::int64_t since_ms = 0;  ///< ms the rule has been in this state
+  std::int64_t since_ms = 0;  ///< ms the group has been in this state
 };
 
 /// Parses the rule grammar above; throws ParseError naming the line on
@@ -139,20 +152,22 @@ class AlertEngine {
   /// directly.
   void evaluate_now();
 
-  /// Number of rules currently firing (lock-free; safe from any
+  /// Number of label groups currently firing (lock-free; safe from any
   /// thread, e.g. the /healthz handler).
   std::size_t firing() const {
     return firing_.load(std::memory_order_relaxed);
   }
 
+  /// One entry per label group per rule, in rule order.
   std::vector<AlertStatus> status() const;
 
   /// {"firing":N,"rules":[{"name":...,"expr":...,"state":...,...},...]}
   std::string to_json() const;
 
  private:
-  struct RuleState {
-    AlertRule rule;
+  /// The state machine of one matched series. The map key is the series
+  /// name; "" is the synthetic no-data group of an unmatched rule.
+  struct GroupState {
     AlertState state = AlertState::kInactive;
     bool has_value = false;
     double last_value = 0.0;
@@ -163,8 +178,15 @@ class AlertEngine {
     std::int64_t prev_ms = 0;
   };
 
+  struct RuleState {
+    AlertRule rule;
+    std::map<std::string, GroupState> groups;
+  };
+
   void loop(std::int64_t poll_ms);
-  std::optional<double> extract(RuleState& state, const MetricsSample& sample,
+  std::optional<double> extract(const AlertRule& rule,
+                                const std::string& series, GroupState& group,
+                                const MetricsSample& sample,
                                 std::int64_t now_ms) const;
   void evaluate_locked(std::int64_t now_ms);
 

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/json.hpp"
+#include "obs/labels.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
@@ -167,6 +168,22 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
              .first;
   }
   return *it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view family,
+                                  const std::vector<MetricLabel>& labels) {
+  return counter(labeled_name(family, labels));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view family,
+                              const std::vector<MetricLabel>& labels) {
+  return gauge(labeled_name(family, labels));
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view family,
+                                      const std::vector<MetricLabel>& labels,
+                                      std::vector<double> upper_bounds) {
+  return histogram(labeled_name(family, labels), std::move(upper_bounds));
 }
 
 MetricsSample MetricsRegistry::sample() const {

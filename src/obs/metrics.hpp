@@ -138,6 +138,15 @@ struct MetricsSample {
   std::vector<std::pair<std::string, HistogramSample>> histograms;
 };
 
+/// One dimension of a labeled instrument (`twin="t3"`). The registry
+/// stays keyed by flat name: labeled instruments spell their labels
+/// inline in the canonical form rendered by obs::labeled_name()
+/// (labels.hpp), which every label-aware consumer parses back out.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
 class MetricsRegistry {
  public:
   /// Returns the instrument named `name`, creating it on first use.
@@ -146,6 +155,20 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name,
                        std::vector<double> upper_bounds = {});
+
+  /// Labeled variants: the instrument named `family{k="v",...}` in the
+  /// canonical inline spelling (keys sorted, values escaped). An empty
+  /// label set degrades to the bare family name, so callers can thread
+  /// one label vector through both legacy and fleet configurations.
+  /// (The histogram overload has no bounds default: a braced bounds
+  /// list on the bare overload must never be overload-ambiguous.)
+  Counter& counter(std::string_view family,
+                   const std::vector<MetricLabel>& labels);
+  Gauge& gauge(std::string_view family,
+               const std::vector<MetricLabel>& labels);
+  Histogram& histogram(std::string_view family,
+                       const std::vector<MetricLabel>& labels,
+                       std::vector<double> upper_bounds);
 
   /// Current value of a counter, or 0 if it was never touched. Handy in
   /// tests and reports; does not create the counter.

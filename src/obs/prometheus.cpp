@@ -1,6 +1,7 @@
 #include "obs/prometheus.hpp"
 
 #include "obs/causal.hpp"
+#include "obs/labels.hpp"
 
 namespace failmine::obs {
 
@@ -30,8 +31,23 @@ SplitName split_labels(const std::string& name) {
   const std::size_t brace = name.find('{');
   if (brace == std::string::npos || name.back() != '}')
     return {prometheus_name(name), ""};
-  return {prometheus_name(std::string_view(name).substr(0, brace)),
-          name.substr(brace)};
+  ParsedMetricName parsed;
+  if (!parse_metric_name(name, parsed) || parsed.labels.empty())
+    // Unparseable block: keep the legacy verbatim pass-through rather
+    // than dropping the instrument.
+    return {prometheus_name(std::string_view(name).substr(0, brace)),
+            name.substr(brace)};
+  // Re-render the block so hostile values arrive fully escaped (`\\`,
+  // `\"`, `\n`) — the registry spelling itself only guarantees what its
+  // writer escaped.
+  std::string block = "{";
+  for (std::size_t i = 0; i < parsed.labels.size(); ++i) {
+    if (i > 0) block.push_back(',');
+    block += prometheus_name(parsed.labels[i].key) + "=\"" +
+             escape_label_value(parsed.labels[i].value) + "\"";
+  }
+  block.push_back('}');
+  return {prometheus_name(parsed.family), std::move(block)};
 }
 
 /// Emits HELP/TYPE once per family: labelled series of the same family
@@ -81,9 +97,16 @@ std::string render_exposition(const MetricsSample& sample,
     append_family_header(out, last_family, split, name, "gauge");
     out += split.family + split.labels + " " + prometheus_number(value) + "\n";
   }
+  last_family.clear();
   for (const auto& [name, h] : sample.histograms) {
-    const std::string expo = prometheus_name(name);
-    append_help_and_type(out, expo, name, "histogram");
+    const SplitName split = split_labels(name);
+    append_family_header(out, last_family, split, name, "histogram");
+    // A labeled histogram's bucket series carry the instrument labels
+    // alongside `le`: `family_bucket{twin="t3",le="10"}`.
+    const std::string bucket_open =
+        split.labels.empty()
+            ? "{"
+            : split.labels.substr(0, split.labels.size() - 1) + ",";
     // The registry's inclusive upper bounds match `le` semantics
     // directly; buckets accumulate left to right so the series is
     // monotone and ends at le="+Inf". _count is derived from the same
@@ -93,7 +116,7 @@ std::string render_exposition(const MetricsSample& sample,
     for (std::size_t i = 0; i <= h.upper_bounds.size(); ++i) {
       const bool overflow = i == h.upper_bounds.size();
       cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
-      out += expo + "_bucket{le=\"" +
+      out += split.family + "_bucket" + bucket_open + "le=\"" +
              (overflow ? "+Inf" : prometheus_number(h.upper_bounds[i])) +
              "\"} " + std::to_string(cumulative);
       // An exemplar belongs to the bucket whose observation it
@@ -107,8 +130,10 @@ std::string render_exposition(const MetricsSample& sample,
       }
       out.push_back('\n');
     }
-    out += expo + "_sum " + prometheus_number(h.sum) + "\n";
-    out += expo + "_count " + std::to_string(cumulative) + "\n";
+    out += split.family + "_sum" + split.labels + " " +
+           prometheus_number(h.sum) + "\n";
+    out += split.family + "_count" + split.labels + " " +
+           std::to_string(cumulative) + "\n";
   }
   if (with_exemplars) out += "# EOF\n";
   return out;

@@ -9,12 +9,15 @@
 // (`stream.records_in`); exposition names replace every character
 // outside [a-zA-Z0-9_:] with `_` (`stream_records_in`).
 //
-// The label-unaware registry can still feed labelled exposition: a
-// counter or gauge registered with an inline label block in its name
-// (`obs.serve.requests{path="/metrics"}`) renders as a real labelled
-// series — the family part is sanitized, the `{...}` block passes
-// through verbatim, and `# HELP`/`# TYPE` are emitted once per family
-// (label variants sort adjacently in the name-sorted sample).
+// The label-unaware registry can still feed labelled exposition: an
+// instrument registered with an inline label block in its name
+// (`obs.serve.requests{path="/metrics"}`, or any labeled_name()
+// spelling) renders as a real labelled series — the family part is
+// sanitized, the `{...}` block is re-rendered with full value escaping
+// (`\\`, `\"`, `\n`), and `# HELP`/`# TYPE` are emitted once per family
+// (label variants sort adjacently in the name-sorted sample). Labeled
+// histograms render their instrument labels on every bucket/_sum/_count
+// series, with `le` appended after them on the bucket lines.
 
 #pragma once
 

@@ -53,7 +53,7 @@ Histogram& latency_us_histogram() {
 constexpr const char* kRoutes[] = {"/metrics", "/snapshot", "/healthz",
                                    "/flightrecorder", "/profile",
                                    "/trace", "/alerts", "/predict",
-                                   "/query", "/series"};
+                                   "/query", "/series", "/fleet"};
 
 /// Per-endpoint request counter, encoded with the label inside the
 /// metric name (`obs.serve.requests{path="/metrics"}`). The registry is
@@ -93,28 +93,32 @@ std::string query_param(std::string_view query, std::string_view key,
 }
 
 /// %xx / '+' decoding for query-string values (the /query expression
-/// carries brackets, quotes and braces).
-std::string url_decode(std::string_view s) {
+/// carries braces, quotes, `=~` and `[window]` suffixes, which curl
+/// clients URL-encode). Returns false on a malformed %-escape
+/// (truncated or non-hex) so the caller answers 400 instead of feeding
+/// a silently mangled expression to the parser.
+bool url_decode(std::string_view s, std::string& out) {
   auto hex = [](char c) -> int {
     if (c >= '0' && c <= '9') return c - '0';
     if (c >= 'a' && c <= 'f') return c - 'a' + 10;
     if (c >= 'A' && c <= 'F') return c - 'A' + 10;
     return -1;
   };
-  std::string out;
+  out.clear();
   out.reserve(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '+') {
       out.push_back(' ');
-    } else if (s[i] == '%' && i + 2 < s.size() && hex(s[i + 1]) >= 0 &&
-               hex(s[i + 2]) >= 0) {
+    } else if (s[i] == '%') {
+      if (i + 2 >= s.size() || hex(s[i + 1]) < 0 || hex(s[i + 2]) < 0)
+        return false;
       out.push_back(static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2])));
       i += 2;
     } else {
       out.push_back(s[i]);
     }
   }
-  return out;
+  return true;
 }
 
 void send_all(int fd, std::string_view data) {
@@ -170,7 +174,13 @@ void handle_query(int fd, const std::string& query) {
                   "tsdb not enabled (run with --tsdb)\n");
     return;
   }
-  const std::string expr = url_decode(query_param(query, "expr", ""));
+  std::string expr;
+  if (!url_decode(query_param(query, "expr", ""), expr)) {
+    bad_requests_counter().add();
+    send_response(fd, 400, "Bad Request", "text/plain",
+                  "malformed %-escape in expr\n");
+    return;
+  }
   if (expr.empty()) {
     bad_requests_counter().add();
     send_response(fd, 400, "Bad Request", "text/plain",
@@ -234,6 +244,11 @@ void TelemetryServer::set_snapshot_handler(SnapshotHandler handler) {
 void TelemetryServer::set_predict_handler(SnapshotHandler handler) {
   const std::lock_guard<std::mutex> lock(mutex_);
   predict_handler_ = std::move(handler);
+}
+
+void TelemetryServer::set_fleet_handler(SnapshotHandler handler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fleet_handler_ = std::move(handler);
 }
 
 void TelemetryServer::set_health_handler(HealthHandler handler) {
@@ -416,6 +431,17 @@ void TelemetryServer::handle_connection(int fd) {
     else
       send_response(fd, 404, "Not Found", "text/plain",
                     "no predictor attached\n");
+  } else if (path == "/fleet") {
+    SnapshotHandler handler;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      handler = fleet_handler_;
+    }
+    if (handler)
+      send_response(fd, 200, "OK", "application/json", handler());
+    else
+      send_response(fd, 404, "Not Found", "text/plain",
+                    "no fleet attached (run with --fleet)\n");
   } else if (path == "/healthz") {
     HealthHandler handler;
     {

@@ -23,6 +23,10 @@
 //                         jobs, precision/recall/lead-time summary,
 //                         checkpoint-policy scoreboard) when a predictor
 //                         is attached (failmine_cli stream --predict)
+//   GET /fleet            cross-twin rollup when a fleet is attached
+//                         (failmine_cli stream --fleet=N): per-twin
+//                         health/snapshot summaries plus the merged
+//                         top-users-by-failures heavy-hitter sketch
 //   GET /query            range/instant expressions over the embedded
 //                         time-series store (obs/tsdb_query.hpp) —
 //                         ?expr=rate(stream.records_in[1m]) (URL-encoded)
@@ -105,6 +109,10 @@ class TelemetryServer {
   /// StreamPipeline::operator_snapshot_json here). Unset -> 404.
   void set_predict_handler(SnapshotHandler handler);
 
+  /// Body of GET /fleet — the cross-twin rollup JSON (wire
+  /// StreamFleet::fleet_json here). Unset -> 404.
+  void set_fleet_handler(SnapshotHandler handler);
+
   /// GET /healthz verdict. Unset -> always healthy.
   void set_health_handler(HealthHandler handler);
 
@@ -134,6 +142,7 @@ class TelemetryServer {
   std::mutex mutex_;  // guards handlers_, pending_, stopping_
   SnapshotHandler snapshot_handler_;
   SnapshotHandler predict_handler_;
+  SnapshotHandler fleet_handler_;
   HealthHandler health_handler_;
   std::deque<int> pending_;
   bool stopping_ = false;

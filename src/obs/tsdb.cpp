@@ -13,6 +13,7 @@
 #include <limits>
 
 #include "json.hpp"
+#include "labels.hpp"
 
 namespace failmine::obs {
 
@@ -33,10 +34,22 @@ std::int64_t floor_bucket(std::int64_t t, std::int64_t res) {
   return q * res;
 }
 
-std::string bucket_series_name(const std::string& base, double bound) {
+/// Bucket series spelling for a scraped histogram: `le` always leads
+/// the block (so prefix scans on `family.bucket{le="` find every label
+/// variant), the instrument's own labels follow.
+std::string bucket_series_name(const ParsedMetricName& parsed,
+                               const std::string& le) {
+  std::string out = parsed.family + ".bucket{le=\"" + le + "\"";
+  for (const MetricLabel& label : parsed.labels)
+    out += "," + label.key + "=\"" + escape_label_value(label.value) + "\"";
+  out.push_back('}');
+  return out;
+}
+
+std::string bucket_series_name(const ParsedMetricName& parsed, double bound) {
   char le[32];
   std::snprintf(le, sizeof(le), "%g", bound);
-  return base + ".bucket{le=\"" + le + "\"}";
+  return bucket_series_name(parsed, std::string(le));
 }
 
 }  // namespace
@@ -431,15 +444,23 @@ void TsdbStore::scrape_once(std::int64_t unix_ms) {
     append_sample(name, false, unix_ms, v);
   }
   for (const auto& [name, h] : s.histograms) {
-    append_sample(name + ".count", true, unix_ms,
-                  static_cast<double>(h.count));
-    append_sample(name + ".sum", true, unix_ms, h.sum);
-    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
-      append_sample(bucket_series_name(name, h.upper_bounds[i]), true, unix_ms,
-                    static_cast<double>(h.buckets[i]));
+    // A labeled histogram keeps its labels on every sub-series:
+    // `family.count{twin="t3"}`, `family.bucket{le="10",twin="t3"}`.
+    ParsedMetricName parsed;
+    if (!parse_metric_name(name, parsed)) {
+      parsed.family = name;
+      parsed.labels.clear();
     }
-    append_sample(name + ".bucket{le=\"+Inf\"}", true, unix_ms,
-                  static_cast<double>(h.buckets.back()));
+    const std::string block = label_block(parsed.labels);
+    append_sample(parsed.family + ".count" + block, true, unix_ms,
+                  static_cast<double>(h.count));
+    append_sample(parsed.family + ".sum" + block, true, unix_ms, h.sum);
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      append_sample(bucket_series_name(parsed, h.upper_bounds[i]), true,
+                    unix_ms, static_cast<double>(h.buckets[i]));
+    }
+    append_sample(bucket_series_name(parsed, std::string("+Inf")), true,
+                  unix_ms, static_cast<double>(h.buckets.back()));
   }
   if (first_ms_.load(std::memory_order_relaxed) == 0) {
     first_ms_.store(unix_ms, std::memory_order_release);
@@ -458,6 +479,9 @@ void TsdbStore::scrape_once(std::int64_t unix_ms) {
   if (st.samples > samples_c.value()) samples_c.add(st.samples - samples_c.value());
   Counter& dropped_c = registry_->counter("tsdb.dropped");
   if (st.dropped > dropped_c.value()) dropped_c.add(st.dropped - dropped_c.value());
+  Counter& dropped_series_c = registry_->counter("tsdb.dropped_series");
+  if (st.dropped_series > dropped_series_c.value())
+    dropped_series_c.add(st.dropped_series - dropped_series_c.value());
 }
 
 void TsdbStore::append_sample(const std::string& name, bool counter,
@@ -472,13 +496,30 @@ void TsdbStore::append_sample(const std::string& name, bool counter,
     } else if (series_.size() >= config_.max_series) {
       budget_dropped = true;
     } else {
-      auto owned = std::make_unique<Series>(name, counter, config_);
-      series = owned.get();
-      series_.emplace(name, std::move(owned));
+      // Per-family cardinality budget: all label sets (bucket spellings
+      // included) of one family share a fixed series allowance.
+      const std::string_view family =
+          std::string_view(name).substr(0, name.find('{'));
+      auto fit = family_counts_.find(family);
+      const std::size_t in_family = fit == family_counts_.end() ? 0 : fit->second;
+      if (config_.max_label_sets_per_family > 0 &&
+          in_family >= config_.max_label_sets_per_family) {
+        budget_dropped = true;
+      } else {
+        auto owned = std::make_unique<Series>(name, counter, config_);
+        series = owned.get();
+        series_.emplace(name, std::move(owned));
+        if (fit == family_counts_.end()) {
+          family_counts_.emplace(std::string(family), 1);
+        } else {
+          ++fit->second;
+        }
+      }
     }
   }
   if (budget_dropped) {
     dropped_total_.fetch_add(1, std::memory_order_relaxed);
+    dropped_series_total_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   std::int64_t resident_delta = 0;
@@ -526,7 +567,9 @@ std::optional<TsdbIncrease> TsdbStore::increase_over(
 std::optional<double> TsdbStore::windowed_quantile(std::string_view base,
                                                    double q, std::int64_t t_ms,
                                                    std::int64_t window_ms) const {
-  const std::string prefix = std::string(base) + ".bucket{le=\"";
+  ParsedMetricName want;
+  if (!parse_metric_name(base, want)) return std::nullopt;
+  const std::string prefix = want.family + ".bucket{le=\"";
   std::vector<std::pair<double, std::string>> finite;
   std::string inf_name;
   {
@@ -534,12 +577,21 @@ std::optional<double> TsdbStore::windowed_quantile(std::string_view base,
     for (auto it = series_.lower_bound(prefix);
          it != series_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
          ++it) {
-      const std::string le = it->first.substr(
-          prefix.size(), it->first.size() - prefix.size() - 2);  // strip "}
-      if (le == "+Inf") {
+      ParsedMetricName got;
+      if (!parse_metric_name(it->first, got)) continue;
+      const std::string* le = got.find("le");
+      if (le == nullptr) continue;
+      // The bucket must belong to this base: its labels minus `le` are
+      // exactly the base's labels (a bare base selects only unlabeled
+      // buckets, a labeled base only its own twin's).
+      std::vector<MetricLabel> rest;
+      for (const MetricLabel& label : got.labels)
+        if (label.key != "le") rest.push_back(label);
+      if (!same_labels(std::move(rest), want.labels)) continue;
+      if (*le == "+Inf") {
         inf_name = it->first;
       } else {
-        finite.emplace_back(std::strtod(le.c_str(), nullptr), it->first);
+        finite.emplace_back(std::strtod(le->c_str(), nullptr), it->first);
       }
     }
   }
@@ -601,6 +653,7 @@ TsdbStats TsdbStore::stats() const {
   }
   st.samples = samples_total_.load(std::memory_order_relaxed);
   st.dropped = dropped_total_.load(std::memory_order_relaxed);
+  st.dropped_series = dropped_series_total_.load(std::memory_order_relaxed);
   st.resident_bytes = (resident_bits_.load(std::memory_order_relaxed) + 7) / 8;
   st.raw_bytes_written = (raw_bits_.load(std::memory_order_relaxed) + 7) / 8;
   st.scrapes = scrapes_.load(std::memory_order_relaxed);
@@ -612,14 +665,16 @@ TsdbStats TsdbStore::stats() const {
 
 std::string TsdbStore::stats_json() const {
   const TsdbStats st = stats();
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "{\"series\":%zu,\"samples\":%" PRIu64 ",\"dropped\":%" PRIu64
+                ",\"dropped_series\":%" PRIu64
                 ",\"resident_bytes\":%" PRIu64 ",\"raw_bytes_written\":%" PRIu64
                 ",\"scrapes\":%" PRIu64
                 ",\"scrape_interval_ms\":%" PRId64 ",\"first_unix_ms\":%" PRId64
                 ",\"latest_unix_ms\":%" PRId64 "}",
-                st.series, st.samples, st.dropped, st.resident_bytes,
+                st.series, st.samples, st.dropped, st.dropped_series,
+                st.resident_bytes,
                 st.raw_bytes_written, st.scrapes, st.scrape_interval_ms,
                 st.first_ms, st.latest_ms);
   return buf;

@@ -289,6 +289,12 @@ struct TsdbConfig {
   std::int64_t mid_resolution_ms = 10'000;
   std::int64_t coarse_resolution_ms = 60'000;
   std::size_t max_series = 8192;  ///< further series are counted as dropped
+  /// Cardinality budget per metric family: at most this many distinct
+  /// series (label sets, bucket spellings included) may share one family
+  /// name. Keeps a hostile or runaway label dimension from evicting the
+  /// rest of the store; rejected series are accounted in
+  /// `dropped_series`. 0 disables the per-family budget.
+  std::size_t max_label_sets_per_family = 64;
   MetricsRegistry* registry = nullptr;  ///< nullptr = the global metrics()
 };
 
@@ -296,6 +302,10 @@ struct TsdbStats {
   std::size_t series = 0;
   std::uint64_t samples = 0;  ///< raw samples appended over the store's life
   std::uint64_t dropped = 0;  ///< series-budget and non-monotonic drops
+  /// Samples rejected because a series budget (global max_series or the
+  /// per-family label-cardinality budget) refused to create their
+  /// series; a strict subset of `dropped`.
+  std::uint64_t dropped_series = 0;
   std::uint64_t resident_bytes = 0;      ///< compressed bytes currently held
   std::uint64_t raw_bytes_written = 0;   ///< cumulative raw-ring payload bytes
   std::uint64_t scrapes = 0;
@@ -358,9 +368,12 @@ class TsdbStore {
   /// Quantile from *windowed* bucket deltas: for every stored series
   /// `base.bucket{le="..."}` computes the increase over
   /// (t - window_ms, t], assembles a HistogramSample from the deltas
-  /// and runs histogram_quantile on it. Returns nullopt when no bucket
-  /// series exist or the window saw no observations — callers should
-  /// abstain rather than alert on 0.
+  /// and runs histogram_quantile on it. Label-aware: a labeled base
+  /// (`family{twin="t3"}`) selects only the bucket series whose labels
+  /// minus `le` match the base's, and a bare base only the unlabeled
+  /// buckets. Returns nullopt when no bucket series exist or the window
+  /// saw no observations — callers should abstain rather than alert
+  /// on 0.
   std::optional<double> windowed_quantile(std::string_view base, double q,
                                           std::int64_t t_ms,
                                           std::int64_t window_ms) const;
@@ -394,6 +407,9 @@ class TsdbStore {
 
   mutable std::mutex series_mutex_;
   std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+  /// Distinct series per family name (the part before any `{`), guarded
+  /// by series_mutex_ — backs the per-family cardinality budget.
+  std::map<std::string, std::size_t, std::less<>> family_counts_;
 
   std::mutex scrape_mutex_;  ///< serializes manual and thread scrapes
   std::atomic<std::int64_t> first_ms_{0};
@@ -401,6 +417,7 @@ class TsdbStore {
   std::atomic<std::int64_t> scrape_interval_ms_{0};
   std::atomic<std::uint64_t> samples_total_{0};
   std::atomic<std::uint64_t> dropped_total_{0};
+  std::atomic<std::uint64_t> dropped_series_total_{0};
   std::atomic<std::uint64_t> resident_bits_{0};
   std::atomic<std::uint64_t> raw_bits_{0};
   std::atomic<std::uint64_t> scrapes_{0};

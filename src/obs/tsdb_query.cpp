@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <set>
 
 #include "json.hpp"
@@ -160,13 +161,54 @@ TsdbQuery parse_tsdb_query(std::string_view expr) {
   std::string_view s = trim(expr);
   if (s.empty()) fail(expr, "empty expression");
 
+  // Grouped aggregation head: agg 'by' '(' label,... ')' '(' inner ')'.
+  // split_call() cannot see this shape (the ident is followed by the by
+  // clause, not '('), so it is peeled off here first.
+  {
+    std::size_t i = 0;
+    while (i < s.size() && is_ident_char(s[i])) ++i;
+    std::string_view rest = trim(s.substr(i));
+    TsdbAgg agg = TsdbAgg::kNone;
+    if (i > 0 && rest.size() > 2 && rest.substr(0, 2) == "by" &&
+        !is_ident_char(rest[2]) && parse_agg(s.substr(0, i), agg)) {
+      rest = trim(rest.substr(2));
+      if (rest.empty() || rest.front() != '(')
+        fail(expr, "expected '(' after 'by'");
+      const std::size_t close = rest.find(')');
+      if (close == std::string_view::npos)
+        fail(expr, "unbalanced '(' in by clause");
+      std::string_view list = rest.substr(1, close - 1);
+      while (true) {
+        const std::size_t comma = list.find(',');
+        const std::string_view item =
+            trim(comma == std::string_view::npos ? list : list.substr(0, comma));
+        if (item.empty())
+          fail(expr, "empty label in by (...) clause");
+        for (char c : item) {
+          if (!is_ident_char(c))
+            fail(expr, std::string("bad character '") + c + "' in by clause");
+        }
+        q.by.emplace_back(item);
+        if (comma == std::string_view::npos) break;
+        list = list.substr(comma + 1);
+      }
+      rest = trim(rest.substr(close + 1));
+      if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')')
+        fail(expr, "expected '(expr)' after the by clause");
+      q.agg = agg;
+      s = trim(rest.substr(1, rest.size() - 2));
+    }
+  }
+
   std::string_view ident, inner;
   if (split_call(s, ident, inner)) {
-    if (parse_agg(ident, q.agg)) {
+    if (q.agg == TsdbAgg::kNone && parse_agg(ident, q.agg)) {
       s = inner;
       if (!split_call(s, ident, inner)) {
         ident = {};
       }
+    } else if (q.agg != TsdbAgg::kNone && parse_agg(ident, q.agg)) {
+      fail(expr, "nested aggregation inside a by (...) clause");
     }
     if (!ident.empty()) {
       if (!parse_fn(ident, q.fn, q.quantile)) {
@@ -207,11 +249,12 @@ TsdbQuery parse_tsdb_query(std::string_view expr) {
   for (char c : s) {
     if (!(is_ident_char(c) || c == '.' || c == '*' || c == '{' || c == '}' ||
           c == '=' || c == '"' || c == '+' || c == '-' || c == '/' ||
-          c == ':')) {
+          c == ':' || c == '~' || c == ',' || c == '\\')) {
       fail(expr, std::string("bad character '") + c + "' in selector");
     }
   }
   q.selector = std::string(s);
+  parse_tsdb_selector(q.selector);  // validate the label block up front
   return q;
 }
 
@@ -224,7 +267,109 @@ std::string tsdb_query_to_string(const TsdbQuery& q) {
     inner = fn_call_name(q, q.selector, q.window_ms);
   }
   if (q.agg == TsdbAgg::kNone) return inner;
-  return std::string(agg_name(q.agg)) + "(" + inner + ")";
+  std::string out = agg_name(q.agg);
+  if (!q.by.empty()) {
+    out += " by (";
+    for (std::size_t i = 0; i < q.by.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += q.by[i];
+    }
+    out += ") ";
+  }
+  return out + "(" + inner + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Selectors
+// ---------------------------------------------------------------------------
+
+bool TsdbSelector::matches_key(std::string_view key) const {
+  for (const TsdbLabelMatcher& m : matchers)
+    if (m.key == key) return true;
+  return false;
+}
+
+TsdbSelector parse_tsdb_selector(std::string_view selector) {
+  const auto bad = [&](const std::string& why) -> void {
+    throw failmine::ParseError("tsdb selector \"" + std::string(selector) +
+                               "\": " + why);
+  };
+  TsdbSelector out;
+  const std::size_t brace = selector.find('{');
+  if (brace == std::string_view::npos) {
+    out.family = std::string(selector);
+    return out;
+  }
+  out.has_block = true;
+  // An empty family part (`{twin="t3"}`) selects any family.
+  if (brace > 0) out.family = std::string(selector.substr(0, brace));
+  if (selector.back() != '}') bad("label block must end with '}'");
+  std::string_view body = selector.substr(brace + 1, selector.size() - brace - 2);
+  while (!body.empty()) {
+    TsdbLabelMatcher m;
+    std::size_t i = 0;
+    while (i < body.size() && is_ident_char(body[i])) ++i;
+    if (i == 0) bad("expected a label name");
+    m.key = std::string(body.substr(0, i));
+    body.remove_prefix(i);
+    if (body.size() >= 2 && body[0] == '=' && body[1] == '~') {
+      m.is_glob = true;
+      body.remove_prefix(2);
+    } else if (!body.empty() && body[0] == '=') {
+      body.remove_prefix(1);
+    } else {
+      bad("expected '=' or '=~' after label \"" + m.key + "\"");
+    }
+    if (body.empty() || body.front() != '"')
+      bad("expected a quoted value for label \"" + m.key + "\"");
+    body.remove_prefix(1);
+    std::string escaped;
+    while (!body.empty() && body.front() != '"') {
+      if (body.front() == '\\') {
+        if (body.size() < 2) bad("dangling '\\' in label value");
+        escaped.push_back(body[0]);
+        escaped.push_back(body[1]);
+        body.remove_prefix(2);
+      } else {
+        escaped.push_back(body.front());
+        body.remove_prefix(1);
+      }
+    }
+    if (body.empty()) bad("unterminated value for label \"" + m.key + "\"");
+    body.remove_prefix(1);  // closing quote
+    m.value = unescape_label_value(escaped);
+    out.matchers.push_back(std::move(m));
+    if (!body.empty()) {
+      if (body.front() != ',') bad("expected ',' between matchers");
+      body.remove_prefix(1);
+      if (body.empty()) bad("trailing ',' in label block");
+    }
+  }
+  return out;
+}
+
+bool tsdb_selector_matches(const TsdbSelector& sel,
+                           const ParsedMetricName& series) {
+  if (!tsdb_glob_match(sel.family, series.family)) return false;
+  for (const TsdbLabelMatcher& m : sel.matchers) {
+    const std::string* v = series.find(m.key);
+    if (m.is_glob) {
+      if (v == nullptr || !tsdb_glob_match(m.value, *v)) return false;
+    } else if ((v == nullptr ? std::string_view() : std::string_view(*v)) !=
+               m.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool tsdb_selector_matches(const TsdbSelector& sel, std::string_view name) {
+  ParsedMetricName series;
+  if (!parse_metric_name(name, series)) {
+    series.family = std::string(name);
+    series.labels.clear();
+  }
+  return tsdb_selector_matches(sel, series);
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +381,8 @@ namespace {
 /// One evaluated series before aggregation: values indexed by step.
 struct Evaluated {
   std::string name;
-  std::vector<double> values;  // NaN = absent
+  std::vector<MetricLabel> labels;  // parsed input labels (for `by`)
+  std::vector<double> values;       // NaN = absent
 };
 
 std::vector<std::int64_t> step_grid(std::int64_t start, std::int64_t end,
@@ -253,18 +399,30 @@ void eval_plain(const TsdbStore& store, const TsdbQuery& q,
       q.window_ms > 0 ? q.window_ms
                       : std::max<std::int64_t>(
                             5 * store.scrape_interval_ms(), window);
+  const TsdbSelector sel = parse_tsdb_selector(q.selector);
   for (const auto& name : store.series_names()) {
-    if (name.find(std::string(kBucketInfix)) != std::string::npos &&
-        q.selector.find('{') == std::string::npos) {
-      continue;  // bucket sub-series only match explicit {le=...} selectors
+    ParsedMetricName series;
+    if (!parse_metric_name(name, series)) {
+      series.family = name;
+      series.labels.clear();
     }
-    if (!tsdb_glob_match(q.selector, name)) continue;
+    if (!sel.has_block) {
+      // Legacy blockless selector: full-name glob, bucket sub-series
+      // excluded (they only match explicit {le=...} selectors).
+      if (name.find(std::string(kBucketInfix)) != std::string::npos) continue;
+      if (!tsdb_glob_match(q.selector, name)) continue;
+    } else {
+      // Bucket sub-series stay hidden unless the selector asks for `le`.
+      if (series.find("le") != nullptr && !sel.matches_key("le")) continue;
+      if (!tsdb_selector_matches(sel, series)) continue;
+    }
     const std::int64_t lookback = std::max(window, staleness);
     const auto pts =
         store.read_series(name, grid.front() - lookback - 1, grid.back());
     if (pts.empty()) continue;
     Evaluated ev;
     ev.name = fn_call_name(q, name, window);
+    ev.labels = series.labels;
     ev.values.assign(grid.size(), std::numeric_limits<double>::quiet_NaN());
     bool any = false;
     for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -290,37 +448,71 @@ void eval_plain(const TsdbStore& store, const TsdbQuery& q,
 void eval_quantile(const TsdbStore& store, const TsdbQuery& q,
                    const std::vector<std::int64_t>& grid, std::int64_t window,
                    std::vector<Evaluated>& out) {
+  const TsdbSelector sel = parse_tsdb_selector(q.selector);
   const auto names = store.series_names();
-  std::set<std::string> bases;
+  // A quantile base is (family minus ".bucket", labels minus le); the
+  // canonical labeled spelling keys the grouping so each twin's buckets
+  // assemble their own histogram.
+  struct Bucket {
+    double bound;
+    bool inf;
+    std::string name;
+  };
+  struct Base {
+    std::vector<MetricLabel> labels;
+    std::vector<Bucket> buckets;
+  };
+  std::map<std::string, Base> bases;
+  constexpr std::string_view kBucketSuffix = ".bucket";
   for (const auto& name : names) {
-    const std::size_t pos = name.find(std::string(kBucketInfix));
-    if (pos == std::string::npos) continue;
-    const std::string base = name.substr(0, pos);
-    if (tsdb_glob_match(q.selector, base)) bases.insert(base);
+    ParsedMetricName parsed;
+    if (!parse_metric_name(name, parsed)) continue;
+    if (parsed.family.size() <= kBucketSuffix.size() ||
+        parsed.family.compare(parsed.family.size() - kBucketSuffix.size(),
+                              kBucketSuffix.size(), kBucketSuffix) != 0)
+      continue;
+    const std::string* le = parsed.find("le");
+    if (le == nullptr) continue;
+    ParsedMetricName base;
+    base.family =
+        parsed.family.substr(0, parsed.family.size() - kBucketSuffix.size());
+    for (const MetricLabel& label : parsed.labels)
+      if (label.key != "le") base.labels.push_back(label);
+    if (sel.has_block) {
+      if (!tsdb_selector_matches(sel, base)) continue;
+    } else if (!tsdb_glob_match(q.selector,
+                                labeled_name(base.family, base.labels))) {
+      continue;
+    }
+    Bucket b;
+    b.inf = *le == "+Inf";
+    b.bound = b.inf ? std::numeric_limits<double>::infinity()
+                    : std::strtod(le->c_str(), nullptr);
+    b.name = name;
+    Base& slot = bases[labeled_name(base.family, base.labels)];
+    slot.labels = base.labels;
+    slot.buckets.push_back(std::move(b));
   }
-  for (const auto& base : bases) {
-    struct Bucket {
+  for (auto& [base_name, base] : bases) {
+    struct LoadedBucket {
       double bound;
       bool inf;
       std::vector<TsdbPoint> pts;
     };
-    std::vector<Bucket> buckets;
-    const std::string prefix = base + std::string(kBucketInfix);
-    for (const auto& name : names) {
-      if (name.compare(0, prefix.size(), prefix) != 0) continue;
-      const std::string le =
-          name.substr(prefix.size(), name.size() - prefix.size() - 2);
-      Bucket b;
-      b.inf = le == "+Inf";
-      b.bound = b.inf ? std::numeric_limits<double>::infinity()
-                      : std::strtod(le.c_str(), nullptr);
-      b.pts = store.read_series(name, grid.front() - window - 1, grid.back());
-      buckets.push_back(std::move(b));
+    std::vector<LoadedBucket> buckets;
+    buckets.reserve(base.buckets.size());
+    for (const Bucket& b : base.buckets) {
+      buckets.push_back(
+          {b.bound, b.inf,
+           store.read_series(b.name, grid.front() - window - 1, grid.back())});
     }
     std::sort(buckets.begin(), buckets.end(),
-              [](const Bucket& a, const Bucket& b) { return a.bound < b.bound; });
+              [](const LoadedBucket& a, const LoadedBucket& b) {
+                return a.bound < b.bound;
+              });
     Evaluated ev;
-    ev.name = fn_call_name(q, base, window);
+    ev.name = fn_call_name(q, base_name, window);
+    ev.labels = base.labels;
     ev.values.assign(grid.size(), std::numeric_limits<double>::quiet_NaN());
     bool any = false;
     for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -368,34 +560,53 @@ TsdbQueryResult eval_tsdb_query(const TsdbStore& store, const TsdbQuery& q,
   }
 
   if (q.agg != TsdbAgg::kNone) {
-    Evaluated agg;
-    agg.name = tsdb_query_to_string(q);
-    agg.values.assign(grid.size(), std::numeric_limits<double>::quiet_NaN());
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      double acc = 0.0;
-      std::size_t n = 0;
-      for (const auto& ev : evaluated) {
-        const double v = ev.values[i];
-        if (std::isnan(v)) continue;
-        if (n == 0) {
-          acc = v;
-        } else {
-          switch (q.agg) {
-            case TsdbAgg::kSum:
-            case TsdbAgg::kAvg: acc += v; break;
-            case TsdbAgg::kMin: acc = std::min(acc, v); break;
-            case TsdbAgg::kMax: acc = std::max(acc, v); break;
-            case TsdbAgg::kNone: break;
-          }
-        }
-        ++n;
+    // Group inputs by the tuple of `by (...)` label values (a missing
+    // label reads as ""); no by clause means one group holding
+    // everything, which reproduces the ungrouped aggregation exactly.
+    std::map<std::string, std::vector<const Evaluated*>> groups;
+    for (const auto& ev : evaluated) {
+      std::vector<MetricLabel> key;
+      for (const std::string& label : q.by) {
+        MetricLabel kv;
+        kv.key = label;
+        for (const MetricLabel& have : ev.labels)
+          if (have.key == label) kv.value = have.value;
+        key.push_back(std::move(kv));
       }
-      if (n == 0) continue;
-      if (q.agg == TsdbAgg::kAvg) acc /= static_cast<double>(n);
-      agg.values[i] = acc;
+      groups[label_block(std::move(key))].push_back(&ev);
     }
-    evaluated.clear();
-    evaluated.push_back(std::move(agg));
+    std::vector<Evaluated> grouped;
+    const std::string base_name = tsdb_query_to_string(q);
+    for (const auto& [block, members] : groups) {
+      Evaluated agg;
+      agg.name = base_name + block;
+      agg.values.assign(grid.size(), std::numeric_limits<double>::quiet_NaN());
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        double acc = 0.0;
+        std::size_t n = 0;
+        for (const Evaluated* ev : members) {
+          const double v = ev->values[i];
+          if (std::isnan(v)) continue;
+          if (n == 0) {
+            acc = v;
+          } else {
+            switch (q.agg) {
+              case TsdbAgg::kSum:
+              case TsdbAgg::kAvg: acc += v; break;
+              case TsdbAgg::kMin: acc = std::min(acc, v); break;
+              case TsdbAgg::kMax: acc = std::max(acc, v); break;
+              case TsdbAgg::kNone: break;
+            }
+          }
+          ++n;
+        }
+        if (n == 0) continue;
+        if (q.agg == TsdbAgg::kAvg) acc /= static_cast<double>(n);
+        agg.values[i] = acc;
+      }
+      grouped.push_back(std::move(agg));
+    }
+    evaluated = std::move(grouped);
   }
 
   for (auto& ev : evaluated) {
@@ -523,14 +734,14 @@ std::string tsdb_trend_report(const TsdbStore& store,
   const std::int64_t step = std::max<std::int64_t>(
       {(t1 - t0) / static_cast<std::int64_t>(width),
        store.scrape_interval_ms(), 1});
-  std::size_t label_width = 0;
-  for (const auto& e : exprs) label_width = std::max(label_width, e.size());
-  std::string out;
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "tsdb trend — %.1fs span, %llu samples\n",
-                (t1 - t0) / 1000.0,
-                static_cast<unsigned long long>(store.stats().samples));
-  out += buf;
+  // Evaluate first: a by-grouped or multi-series expression contributes
+  // one sparkline row per output series (labeled by the series name),
+  // and the label column must be sized across all of them.
+  struct Row {
+    std::string label;
+    std::vector<TsdbPoint> points;
+  };
+  std::vector<Row> rows;
   for (const auto& expr : exprs) {
     TsdbQueryResult r;
     try {
@@ -539,12 +750,26 @@ std::string tsdb_trend_report(const TsdbStore& store,
     } catch (const failmine::Error&) {
       continue;
     }
-    if (r.series.empty() || r.series.front().points.empty()) continue;
-    const auto& pts = r.series.front().points;
+    for (auto& series : r.series) {
+      if (series.points.empty()) continue;
+      rows.push_back({r.series.size() == 1 ? expr : series.name,
+                      std::move(series.points)});
+    }
+  }
+  std::size_t label_width = 0;
+  for (const auto& row : rows)
+    label_width = std::max(label_width, row.label.size());
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "tsdb trend — %.1fs span, %llu samples\n",
+                (t1 - t0) / 1000.0,
+                static_cast<unsigned long long>(store.stats().samples));
+  out += buf;
+  for (const auto& row : rows) {
     double mn = std::numeric_limits<double>::infinity();
     double mx = -std::numeric_limits<double>::infinity();
     double last = 0.0;
-    for (const auto& p : pts) {
+    for (const auto& p : row.points) {
       if (!std::isfinite(p.value)) continue;
       mn = std::min(mn, p.value);
       mx = std::max(mx, p.value);
@@ -552,9 +777,9 @@ std::string tsdb_trend_report(const TsdbStore& store,
     }
     if (!std::isfinite(mn)) continue;
     out += "  ";
-    out += expr;
-    out.append(label_width - expr.size() + 2, ' ');
-    out += render_sparkline(pts, width);
+    out += row.label;
+    out.append(label_width - row.label.size() + 2, ' ');
+    out += render_sparkline(row.points, width);
     std::snprintf(buf, sizeof(buf), "  min=%.6g max=%.6g last=%.6g\n", mn, mx,
                   last);
     out += buf;

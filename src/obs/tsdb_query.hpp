@@ -3,24 +3,39 @@
 // Expression layer over obs::tsdb — a deliberately small PromQL-shaped
 // grammar evaluated against the store's compressed history:
 //
-//   expr     := [agg '('] [fn '('] selector [window] [')'] [')']
+//   expr     := [agg [by] '('] [fn '('] selector [window] [')'] [')']
 //   agg      := sum | avg | min | max          (pointwise across series)
+//   by       := 'by' '(' label (',' label)* ')'  (group the aggregation)
 //   fn       := value | rate | increase | pNN  (NN in 1..99)
-//   selector := metric name, '*' globs and inline {labels} allowed
+//   selector := family glob, optionally '{' matcher (',' matcher)* '}'
+//   matcher  := key '=' '"' value '"'          (exact; absent label = "")
+//             | key '=~' '"' glob '"'          (label present + '*'-glob)
 //   window   := '[' N (ms|s|m|h) ']'           (defaults to the step)
 //
 // Examples:
 //   rate(stream.records_processed[1m])
 //   sum(rate(stream.shard*.processed[30s]))
+//   sum by (twin) (rate(stream.records_in{twin=~"*"}[1m]))
+//   value(stream.window.failure_rate{twin="t3"})
 //   p99(stream.router.batch_us[30s])           — from windowed bucket
 //                                                deltas, never lifetime
 //   value(stream.queue_depth)
+//
+// A selector without a `{...}` block keeps the legacy behavior: a
+// '*'-glob over the full series name (which therefore never matches a
+// labeled series unless the glob spells the block out). A selector
+// with a block matches the family glob against the series family and
+// every matcher against its parsed labels, so `{twin=~"*"}` means "any
+// series carrying a twin label" and extra labels on the series do not
+// block a match. Aggregating `by (label)` emits one output series per
+// distinct value tuple, named `<expr>{label="value",...}`.
 //
 // `rate` is `increase` divided by the window in seconds, so tiled
 // windows reconcile exactly with the cumulative counter. Quantile
 // functions match the store's `<base>.bucket{le="..."}` series,
 // compute per-bucket increases over the window and run the shared
-// histogram_quantile on the deltas.
+// histogram_quantile on the deltas; a labeled histogram's buckets
+// (`family.bucket{le="...",twin="..."}`) stay grouped per label set.
 //
 // The same engine backs `GET /query` / `GET /series` on obs::serve and
 // the CLI's end-of-run sparkline trend report.
@@ -32,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "labels.hpp"
 #include "tsdb.hpp"
 
 namespace failmine::obs {
@@ -44,7 +60,8 @@ struct TsdbQuery {
   TsdbFn fn = TsdbFn::kValue;
   double quantile = 0.0;  ///< for kQuantile, in (0, 1)
   std::string selector;
-  std::int64_t window_ms = 0;  ///< 0 = default to the query step
+  std::vector<std::string> by;  ///< labels of the `by (...)` clause
+  std::int64_t window_ms = 0;   ///< 0 = default to the query step
 };
 
 /// Parses an expression; throws failmine::ParseError with a pointed
@@ -57,6 +74,40 @@ std::string tsdb_query_to_string(const TsdbQuery& q);
 
 /// '*'-glob match (no other metacharacters).
 bool tsdb_glob_match(std::string_view pattern, std::string_view text);
+
+/// One label matcher inside a selector: `key="value"` (exact; a series
+/// without the label matches value "") or `key=~"glob"` (the label must
+/// be present and its value '*'-glob-match).
+struct TsdbLabelMatcher {
+  std::string key;
+  std::string value;
+  bool is_glob = false;
+};
+
+/// A parsed series selector: a '*'-glob over the family name plus zero
+/// or more label matchers. Shared by the query engine and the alert
+/// engine's per-label-group rule expansion.
+struct TsdbSelector {
+  std::string family = "*";
+  std::vector<TsdbLabelMatcher> matchers;
+  bool has_block = false;  ///< the selector spelled a `{...}` block
+
+  /// True when any matcher targets `key`.
+  bool matches_key(std::string_view key) const;
+};
+
+/// Parses a selector; throws failmine::ParseError on a malformed label
+/// block.
+TsdbSelector parse_tsdb_selector(std::string_view selector);
+
+/// True when a series (family + parsed labels) satisfies the selector.
+/// Extra labels on the series never block a match.
+bool tsdb_selector_matches(const TsdbSelector& sel,
+                           const ParsedMetricName& series);
+
+/// Convenience overload: parses `name` first (an unparseable name is
+/// treated as a bare family).
+bool tsdb_selector_matches(const TsdbSelector& sel, std::string_view name);
 
 struct TsdbQuerySeries {
   std::string name;
@@ -89,9 +140,10 @@ std::string tsdb_series_json(const TsdbStore& store);
 std::string render_sparkline(const std::vector<TsdbPoint>& points,
                              std::size_t width);
 
-/// Multi-line end-of-run trend report: one sparkline row per
-/// expression, evaluated over the store's full retained span.
-/// Expressions that fail to parse or match nothing are skipped.
+/// Multi-line end-of-run trend report: one sparkline row per output
+/// series (so a `sum by (twin)` expression renders one labeled row per
+/// twin), evaluated over the store's full retained span. Expressions
+/// that fail to parse or match nothing are skipped.
 std::string tsdb_trend_report(const TsdbStore& store,
                               const std::vector<std::string>& exprs,
                               std::size_t width = 44);

@@ -1,0 +1,91 @@
+// failmine/stream/fleet.hpp
+//
+// Fleet mode: several streaming pipelines ("twins") in one process,
+// each a digital twin of the machine replaying its own record stream —
+// different seeds, scales or failure mixes — sharing a single metrics
+// registry, time-series store, alert engine and telemetry server.
+//
+// Isolation comes from the twin label: every pipeline instrument of
+// twin i is registered as `family{twin="t<i>"}` (StreamConfig.twin), so
+// N twins produce N disjoint label-disambiguated series per family
+// instead of colliding on shared counters. Cross-twin views then fall
+// out of the label-aware query layer:
+//
+//   sum by (twin) (rate(stream.records_in{twin=~"*"}[1m]))
+//   value(stream.window.failure_rate{twin="t3"})
+//
+// and the alert engine's per-label-group rules fire independently per
+// twin (a stalled t2 flips only `...{twin="t2"}`).
+//
+// The fleet configures the process-wide causal tracer exactly once (via
+// the first twin's constructor) and clears configure_tracer on the
+// rest, so twin N cannot clobber the stage table mid-run.
+//
+// fleet_json() is the body of the telemetry server's GET /fleet: a
+// per-twin health/snapshot rollup (ingest accounting, rolling-window
+// failure rate — byte-identical to the same twin's StreamSnapshot
+// fields) plus the cross-fleet heavy-hitter view, built by merging the
+// twins' users-by-failures space-saving sketches; the merge keeps the
+// sketch's superset property and error bound, so a user heavy across
+// the whole fleet is reported even if no single twin ranks them first.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/pipeline.hpp"
+
+namespace failmine::stream {
+
+struct FleetConfig {
+  /// Number of twins; each gets StreamConfig.twin = "t0".."tN-1".
+  std::size_t twin_count = 2;
+
+  /// Per-twin pipeline configuration. `twin` and `configure_tracer` are
+  /// overwritten per twin; everything else is shared.
+  StreamConfig base;
+};
+
+class StreamFleet {
+ public:
+  /// Constructs and starts every twin pipeline. Throws DomainError on a
+  /// zero twin_count.
+  explicit StreamFleet(FleetConfig config);
+  ~StreamFleet();
+
+  StreamFleet(const StreamFleet&) = delete;
+  StreamFleet& operator=(const StreamFleet&) = delete;
+
+  std::size_t size() const { return twins_.size(); }
+  StreamPipeline& twin(std::size_t i) { return *twins_.at(i); }
+  const StreamPipeline& twin(std::size_t i) const { return *twins_.at(i); }
+  static std::string twin_name(std::size_t i);
+
+  /// Drains and stops every twin (idempotent, like
+  /// StreamPipeline::finish).
+  void finish();
+
+  /// False while any twin's stall watchdog reports a stalled shard —
+  /// the fleet-level /healthz verdict.
+  bool healthy() const;
+
+  /// The cross-fleet users-by-failures sketch: every twin's shard
+  /// sketches merged into one fixed-capacity summary.
+  SpaceSavingSketch merged_users_by_failures() const;
+
+  /// {"twins":[{"name":...,"healthy":...,"records_in":...,
+  ///  "window_failure_rate":...},...],"fleet":{...}} — the /fleet body
+  /// (newline-terminated). Snapshot fields are taken from each twin's
+  /// StreamSnapshot under its locks, so they match a concurrent
+  /// GET /snapshot of that twin exactly.
+  std::string fleet_json() const;
+
+ private:
+  FleetConfig config_;
+  std::vector<std::unique_ptr<StreamPipeline>> twins_;
+};
+
+}  // namespace failmine::stream

@@ -24,57 +24,6 @@ void name_and_attach(const char* name) {
   obs::profile_attach_this_thread();
 }
 
-obs::Counter& records_in_counter() {
-  static obs::Counter& c = obs::metrics().counter("stream.records_in");
-  return c;
-}
-obs::Counter& records_dropped_counter() {
-  static obs::Counter& c = obs::metrics().counter("stream.records_dropped");
-  return c;
-}
-obs::Counter& records_late_counter() {
-  static obs::Counter& c = obs::metrics().counter("stream.records_late");
-  return c;
-}
-obs::Counter& records_processed_counter() {
-  static obs::Counter& c = obs::metrics().counter("stream.records_processed");
-  return c;
-}
-obs::Gauge& window_failure_rate_gauge() {
-  static obs::Gauge& g = obs::metrics().gauge("stream.window.failure_rate");
-  return g;
-}
-obs::Gauge& window_fatal_gauge() {
-  static obs::Gauge& g = obs::metrics().gauge("stream.window.fatal");
-  return g;
-}
-obs::Gauge& queue_depth_gauge() {
-  static obs::Gauge& g = obs::metrics().gauge("stream.queue_depth");
-  return g;
-}
-obs::Gauge& watermark_lag_gauge() {
-  static obs::Gauge& g = obs::metrics().gauge("stream.watermark_lag_s");
-  return g;
-}
-obs::Gauge& reorder_buffered_gauge() {
-  static obs::Gauge& g = obs::metrics().gauge("stream.reorder.buffered");
-  return g;
-}
-obs::Gauge& stalled_shards_gauge() {
-  static obs::Gauge& g = obs::metrics().gauge("stream.stalled_shards");
-  return g;
-}
-obs::Counter& shard_stalls_counter() {
-  static obs::Counter& c = obs::metrics().counter("stream.shard_stalls");
-  return c;
-}
-obs::Histogram& router_batch_histogram() {
-  static obs::Histogram& h = obs::metrics().histogram(
-      "stream.router.batch_us",
-      {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000});
-  return h;
-}
-
 /// Microsecond bounds for the per-shard batch-apply latency histograms.
 std::vector<double> stage_latency_bounds() {
   return {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000};
@@ -109,15 +58,17 @@ StreamPipeline::RouterState::RouterState(const StreamConfig& config)
       job_window(config.window_bucket_seconds, config.window_buckets),
       severity_window(config.window_bucket_seconds, config.window_buckets) {}
 
-StreamPipeline::Shard::Shard(const StreamConfig& config, std::size_t index)
+StreamPipeline::Shard::Shard(const StreamConfig& config, std::size_t index,
+                             const std::vector<obs::MetricLabel>& labels)
     : queue(config.queue_capacity, BackpressurePolicy::kBlock),
       aggregates(config.machine, config.quantile_epsilon,
                  config.heavy_hitter_capacity) {
   const std::string prefix = "stream.shard" + std::to_string(index);
-  apply_us =
-      &obs::metrics().histogram(prefix + ".apply_us", stage_latency_bounds());
-  processed_counter = &obs::metrics().counter(prefix + ".processed");
-  queue.set_occupancy_gauge(&obs::metrics().gauge(prefix + ".occupancy"));
+  apply_us = &obs::metrics().histogram(prefix + ".apply_us", labels,
+                                       stage_latency_bounds());
+  processed_counter = &obs::metrics().counter(prefix + ".processed", labels);
+  queue.set_occupancy_gauge(
+      &obs::metrics().gauge(prefix + ".occupancy", labels));
 }
 
 StreamPipeline::StreamPipeline(StreamConfig config)
@@ -134,24 +85,42 @@ StreamPipeline::StreamPipeline(StreamConfig config)
     throw failmine::DomainError(
         "StreamConfig.watchdog_poll_ms must be positive");
 
-  ingest_.set_occupancy_gauge(&obs::metrics().gauge("stream.ingest.occupancy"));
+  if (!config_.twin.empty()) labels_.push_back({"twin", config_.twin});
 
-  // Touch the cross-shard instruments up front so time-series scrapes
-  // (obs::tsdb) see them from the very first sample — the reconciliation
-  // guarantee for rate(stream.records_processed) needs a zero baseline
-  // captured before any batch lands.
-  (void)records_processed_counter();
-  (void)window_failure_rate_gauge();
-  (void)window_fatal_gauge();
+  // Resolve every pipeline-wide instrument once, twin label applied.
+  // Doing it up front also means time-series scrapes (obs::tsdb) see
+  // them from the very first sample — the reconciliation guarantee for
+  // rate(stream.records_processed) needs a zero baseline captured
+  // before any batch lands.
+  obs::MetricsRegistry& reg = obs::metrics();
+  inst_.records_in = &reg.counter("stream.records_in", labels_);
+  inst_.records_dropped = &reg.counter("stream.records_dropped", labels_);
+  inst_.records_late = &reg.counter("stream.records_late", labels_);
+  inst_.records_processed = &reg.counter("stream.records_processed", labels_);
+  inst_.window_failure_rate =
+      &reg.gauge("stream.window.failure_rate", labels_);
+  inst_.window_fatal = &reg.gauge("stream.window.fatal", labels_);
+  inst_.queue_depth = &reg.gauge("stream.queue_depth", labels_);
+  inst_.watermark_lag = &reg.gauge("stream.watermark_lag_s", labels_);
+  inst_.reorder_buffered = &reg.gauge("stream.reorder.buffered", labels_);
+  inst_.stalled_shards = &reg.gauge("stream.stalled_shards", labels_);
+  inst_.shard_stalls = &reg.counter("stream.shard_stalls", labels_);
+  inst_.router_batch_us = &reg.histogram(
+      "stream.router.batch_us", labels_,
+      {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000});
+  ingest_.set_occupancy_gauge(&reg.gauge("stream.ingest.occupancy", labels_));
 
   // (Re)arm the process-wide causal tracer before any thread can stamp:
-  // thread creation below publishes the tracer's internal pointers.
-  obs::causal_tracer().configure(causal_stage_names(),
-                                 config_.trace_sample_period);
+  // thread creation below publishes the tracer's internal pointers. A
+  // fleet configures it once itself and clears configure_tracer on its
+  // member pipelines.
+  if (config_.configure_tracer)
+    obs::causal_tracer().configure(causal_stage_names(),
+                                   config_.trace_sample_period);
 
   shards_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i)
-    shards_.push_back(std::make_unique<Shard>(config_, i));
+    shards_.push_back(std::make_unique<Shard>(config_, i, labels_));
   for (std::size_t i = 0; i < shards_.size(); ++i)
     shards_[i]->worker = std::thread(
         [this, s = shards_[i].get(), i] { worker_loop(*s, i); });
@@ -177,9 +146,9 @@ bool StreamPipeline::push(StreamRecord record) {
   record.trace = obs::causal_tracer().maybe_begin(record.sequence);
   const bool accepted = ingest_.push(std::move(record));
   if (accepted)
-    records_in_counter().add();
+    inst_.records_in->add();
   else
-    records_dropped_counter().add();
+    inst_.records_dropped->add();
   return accepted;
 }
 
@@ -188,8 +157,8 @@ std::size_t StreamPipeline::push_batch(std::vector<StreamRecord>&& records) {
   for (StreamRecord& record : records)
     record.trace = obs::causal_tracer().maybe_begin(record.sequence);
   const std::size_t accepted = ingest_.push_batch(std::move(records));
-  records_in_counter().add(accepted);
-  records_dropped_counter().add(offered - accepted);
+  inst_.records_in->add(accepted);
+  inst_.records_dropped->add(offered - accepted);
   return accepted;
 }
 
@@ -273,7 +242,7 @@ void StreamPipeline::router_loop() {
       router_.newest_seen = reorderer.newest_seen();
       router_.watermark = reorderer.watermark();
       router_.watermark_lag_seconds = reorderer.lag_seconds();
-      records_late_counter().add(reorderer.late_records() -
+      inst_.records_late->add(reorderer.late_records() -
                                  router_.late_records);
       router_.late_records = reorderer.late_records();
 
@@ -281,22 +250,22 @@ void StreamPipeline::router_loop() {
       // pressure trends, refreshed per batch so the time-series store
       // captures them as they evolve instead of only at snapshot time.
       const auto jobs = router_.job_window.totals(router_.newest_seen);
-      window_failure_rate_gauge().set(
+      inst_.window_failure_rate->set(
           jobs[0] > 0
               ? static_cast<double>(jobs[1]) / static_cast<double>(jobs[0])
               : 0.0);
-      window_fatal_gauge().set(static_cast<double>(
+      inst_.window_fatal->set(static_cast<double>(
           router_.severity_window.totals(router_.newest_seen)[2]));
     }
     dispatch(pending, /*force=*/false);
-    router_batch_histogram().observe(elapsed_us(batch_start));
+    inst_.router_batch_us->observe(elapsed_us(batch_start));
 
     std::size_t depth = ingest_.size();
     for (const auto& shard : shards_) depth += shard->queue.size();
-    queue_depth_gauge().set(static_cast<double>(depth));
-    watermark_lag_gauge().set(
+    inst_.queue_depth->set(static_cast<double>(depth));
+    inst_.watermark_lag->set(
         static_cast<double>(reorderer.lag_seconds()));
-    reorder_buffered_gauge().set(static_cast<double>(reorderer.buffered()));
+    inst_.reorder_buffered->set(static_cast<double>(reorderer.buffered()));
   }
 
   {
@@ -310,8 +279,8 @@ void StreamPipeline::router_loop() {
   }
   dispatch(pending, /*force=*/true);
   for (auto& shard : shards_) shard->queue.close();
-  watermark_lag_gauge().set(0.0);
-  reorder_buffered_gauge().set(0.0);
+  inst_.watermark_lag->set(0.0);
+  inst_.reorder_buffered->set(0.0);
 }
 
 void StreamPipeline::worker_loop(Shard& shard, std::size_t index) {
@@ -343,7 +312,7 @@ void StreamPipeline::worker_loop(Shard& shard, std::size_t index) {
     shard.processed.fetch_add(n, std::memory_order_relaxed);
     shard.apply_us->observe(elapsed_us(apply_start));
     shard.processed_counter->add(n);
-    records_processed_counter().add(n);
+    inst_.records_processed->add(n);
   }
 }
 
@@ -384,7 +353,7 @@ void StreamPipeline::watchdog_loop() {
         if (stalled[i]) {
           stalled[i] = false;
           stalled_shards_.fetch_sub(1, std::memory_order_relaxed);
-          stalled_shards_gauge().set(
+          inst_.stalled_shards->set(
               static_cast<double>(stalled_shards_.load()));
           obs::logger().info(
               "stream.shard_recovered",
@@ -393,8 +362,8 @@ void StreamPipeline::watchdog_loop() {
       } else if (!stalled[i] && now - stagnant_since[i] >= grace) {
         stalled[i] = true;
         stalled_shards_.fetch_add(1, std::memory_order_relaxed);
-        stalled_shards_gauge().set(static_cast<double>(stalled_shards_.load()));
-        shard_stalls_counter().add();
+        inst_.stalled_shards->set(static_cast<double>(stalled_shards_.load()));
+        inst_.shard_stalls->add();
         obs::logger().warn(
             "stream.shard_stalled",
             {obs::Field("shard", static_cast<std::uint64_t>(i)),
@@ -421,7 +390,7 @@ void StreamPipeline::finish() {
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
   stalled_shards_.store(0, std::memory_order_relaxed);
   finished_ = true;
-  queue_depth_gauge().set(0.0);
+  inst_.queue_depth->set(0.0);
   obs::logger().info(
       "stream.pipeline_finished",
       {obs::Field("records_in",
@@ -530,6 +499,15 @@ StreamSnapshot StreamPipeline::snapshot() const {
   }
 
   return snap;
+}
+
+SpaceSavingSketch StreamPipeline::users_by_failures_sketch() const {
+  SpaceSavingSketch merged(config_.heavy_hitter_capacity);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.merge(shard->aggregates.users_by_failures);
+  }
+  return merged;
 }
 
 std::string StreamPipeline::operator_snapshot_json() const {

@@ -33,7 +33,10 @@
 // `stream.ingest.occupancy`, rolling-window trends
 // `stream.window.failure_rate` / `stream.window.fatal`, per-shard
 // `stream.shard<i>.occupancy`; histograms `stream.router.batch_us` and
-// per-shard `stream.shard<i>.apply_us`. A stall watchdog thread watches
+// per-shard `stream.shard<i>.apply_us`. When StreamConfig.twin is set
+// every one of these carries a `twin` label
+// (`stream.records_in{twin="t0"}`), so a fleet of pipelines in one
+// process keeps disjoint series. A stall watchdog thread watches
 // every shard: when a shard's processed counter stops advancing while
 // its queue is non-empty for the grace period, the pipeline reports
 // unhealthy (healthy() == false — the telemetry server's /healthz turns
@@ -71,6 +74,20 @@ namespace failmine::stream {
 
 struct StreamConfig {
   topology::MachineConfig machine;
+
+  /// Fleet identity. Empty (the default) keeps the legacy bare metric
+  /// spellings (`stream.records_in`, ...). Non-empty stamps every
+  /// pipeline instrument with a `twin` label
+  /// (`stream.records_in{twin="t0"}`), so several pipelines in one
+  /// process register disjoint series instead of colliding on shared
+  /// counters.
+  std::string twin;
+
+  /// Whether the constructor (re)configures the process-wide
+  /// obs::causal_tracer(). A fleet configures the tracer once and turns
+  /// this off for its member pipelines so twin N does not clobber the
+  /// stage table while twin M is stamping.
+  bool configure_tracer = true;
 
   /// Number of shard workers. 1 serializes all aggregate work behind the
   /// router; N partitions it by key hash.
@@ -172,6 +189,12 @@ class StreamPipeline {
   /// call it in production code.
   void pause_shard_for_test(std::size_t shard, bool paused);
 
+  /// The merged users-by-failures space-saving sketch across all shards
+  /// (taken under the shard locks). The fleet layer merges these across
+  /// twins for the /fleet cross-fleet heavy-hitter view; the per-twin
+  /// guarantees (superset property, error bound) survive the merge.
+  SpaceSavingSketch users_by_failures_sketch() const;
+
   const StreamConfig& config() const { return config_; }
 
  private:
@@ -191,7 +214,8 @@ class StreamPipeline {
   };
 
   struct Shard {
-    Shard(const StreamConfig& config, std::size_t index);
+    Shard(const StreamConfig& config, std::size_t index,
+          const std::vector<obs::MetricLabel>& labels);
 
     RingBuffer<StreamRecord> queue;
     mutable std::mutex mutex;
@@ -210,6 +234,26 @@ class StreamPipeline {
     bool paused = false;
   };
 
+  /// Pipeline-wide instruments, resolved once at construction with the
+  /// twin label applied (registry-owned; plain pointers are stable for
+  /// the registry's lifetime). Replaces the former function-local
+  /// statics, which pinned every pipeline in the process to one shared
+  /// series.
+  struct Instruments {
+    obs::Counter* records_in = nullptr;
+    obs::Counter* records_dropped = nullptr;
+    obs::Counter* records_late = nullptr;
+    obs::Counter* records_processed = nullptr;
+    obs::Gauge* window_failure_rate = nullptr;
+    obs::Gauge* window_fatal = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* watermark_lag = nullptr;
+    obs::Gauge* reorder_buffered = nullptr;
+    obs::Gauge* stalled_shards = nullptr;
+    obs::Counter* shard_stalls = nullptr;
+    obs::Histogram* router_batch_us = nullptr;
+  };
+
   void router_loop();
   void worker_loop(Shard& shard, std::size_t index);
   void watchdog_loop();
@@ -218,6 +262,8 @@ class StreamPipeline {
   void dispatch(std::vector<std::vector<StreamRecord>>& pending, bool force);
 
   StreamConfig config_;
+  std::vector<obs::MetricLabel> labels_;  ///< {} or {{"twin", config_.twin}}
+  Instruments inst_;
   RingBuffer<StreamRecord> ingest_;
   std::vector<std::unique_ptr<Shard>> shards_;
 

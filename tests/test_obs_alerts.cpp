@@ -305,6 +305,100 @@ TEST(AlertEngine, SetRulesResetsStateAndFiringCount) {
   EXPECT_EQ(engine.rule_count(), 2u);
 }
 
+// ---- per-label-group evaluation ----------------------------------------
+
+TEST(AlertEngineGroups, SelectorRulesFirePerLabelGroup) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(parse_alert_rules(
+      "depth: value(q.depth{twin=~\"*\"}) > 10\n"));
+  reg.gauge("q.depth", {{"twin", "t0"}}).set(5.0);
+  reg.gauge("q.depth", {{"twin", "t1"}}).set(25.0);
+
+  // One rule, two matched series, independent state machines.
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  const auto status = engine.status();
+  ASSERT_EQ(status.size(), 2u);
+  for (const auto& s : status) {
+    EXPECT_EQ(s.rule.name, "depth");
+    if (s.series == "q.depth{twin=\"t1\"}") {
+      EXPECT_EQ(s.state, AlertState::kFiring);
+      EXPECT_DOUBLE_EQ(s.last_value, 25.0);
+    } else {
+      EXPECT_EQ(s.series, "q.depth{twin=\"t0\"}");
+      EXPECT_EQ(s.state, AlertState::kInactive);
+    }
+  }
+  EXPECT_NE(engine.to_json().find("\"series\":\"q.depth{twin=\\\"t1\\\"}\""),
+            std::string::npos);
+
+  // Groups resolve independently: t1 clears while t0 breaches.
+  reg.gauge("q.depth", {{"twin", "t1"}}).set(1.0);
+  reg.gauge("q.depth", {{"twin", "t0"}}).set(99.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  for (const auto& s : engine.status()) {
+    if (s.series == "q.depth{twin=\"t0\"}")
+      EXPECT_EQ(s.state, AlertState::kFiring);
+    else
+      EXPECT_EQ(s.state, AlertState::kResolved);
+  }
+}
+
+TEST(AlertEngineGroups, NewLabelGroupsJoinARunningRule) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(
+      parse_alert_rules("ghost: value(g.depth{twin=~\"*\"}) > 0\n"));
+
+  // No matching series yet: a single synthetic no-data group keyed by
+  // the rule's own selector.
+  engine.evaluate_now();
+  ASSERT_EQ(engine.status().size(), 1u);
+  EXPECT_EQ(engine.status()[0].series, "g.depth{twin=~\"*\"}");
+  EXPECT_FALSE(engine.status()[0].has_value);
+  EXPECT_EQ(engine.firing(), 0u);
+
+  // The first real match retires the synthetic group; a later twin
+  // joins as its own group without disturbing the first.
+  reg.gauge("g.depth", {{"twin", "t0"}}).set(1.0);
+  engine.evaluate_now();
+  ASSERT_EQ(engine.status().size(), 1u);
+  EXPECT_EQ(engine.status()[0].series, "g.depth{twin=\"t0\"}");
+  EXPECT_EQ(engine.firing(), 1u);
+
+  reg.gauge("g.depth", {{"twin", "t7"}}).set(2.0);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.status().size(), 2u);
+  EXPECT_EQ(engine.firing(), 2u);
+}
+
+TEST(AlertEngineGroups, RateRulesKeepPerGroupBaselines) {
+  MetricsRegistry reg;
+  AlertEngine engine(&reg);
+  engine.set_rules(
+      parse_alert_rules("burn: rate(drops{twin=~\"*\"}) > 0\n"));
+  auto& a = reg.counter("drops", {{"twin", "t0"}});
+  auto& b = reg.counter("drops", {{"twin", "t1"}});
+  a.add(100);
+  b.add(100);
+  engine.evaluate_now();  // baselines only
+  EXPECT_EQ(engine.firing(), 0u);
+
+  // Only t1's counter moves: only t1's group may fire.
+  b.add(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  for (const auto& s : engine.status()) {
+    if (s.series == "drops{twin=\"t1\"}")
+      EXPECT_EQ(s.state, AlertState::kFiring);
+    else
+      EXPECT_NE(s.state, AlertState::kFiring) << s.series;
+  }
+}
+
 // ---- history-backed evaluation (obs::tsdb) -----------------------------
 
 // Virtual-clock origin for the manually scraped stores below.

@@ -15,6 +15,7 @@
 
 #include "obs/causal.hpp"
 #include "obs/json.hpp"
+#include "obs/labels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 
@@ -183,6 +184,53 @@ TEST(RenderPrometheus, SampleOverloadMatchesRegistryOverload) {
 TEST(RenderPrometheus, EmptyRegistryRendersEmptyDocument) {
   MetricsRegistry reg;
   EXPECT_EQ(render_prometheus(reg), "");
+}
+
+// ---- label escaping ----------------------------------------------------
+
+TEST(PrometheusLabels, EscapeCoversBackslashQuoteAndNewline) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(unescape_label_value("a\\\\b\\\"c\\nd"), "a\\b\"c\nd");
+  // Lenient decode: an unknown escape yields the bare character.
+  EXPECT_EQ(unescape_label_value("a\\xb"), "axb");
+}
+
+TEST(PrometheusLabels, HostileLabelValueRoundTripsThroughExposition) {
+  // The regression this exists for: a label value holding every escape
+  // class at once (backslash, quote, newline). The newline is the
+  // dangerous one — emitted raw it splits the sample line and corrupts
+  // the whole exposition document.
+  const std::string hostile = "a\\b\"c\nd";
+  MetricsRegistry reg;
+  reg.counter("fleet.hits", {{"twin", hostile}}).add(3);
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("fleet_hits{twin=\"a\\\\b\\\"c\\nd\"} 3"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside a sample line: every line must
+  // still end in a value.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos) << text;
+
+  // The canonical inline spelling parses back to the original value.
+  ParsedMetricName parsed;
+  ASSERT_TRUE(
+      parse_metric_name(labeled_name("fleet.hits", {{"twin", hostile}}),
+                        parsed));
+  EXPECT_EQ(parsed.family, "fleet.hits");
+  ASSERT_NE(parsed.find("twin"), nullptr);
+  EXPECT_EQ(*parsed.find("twin"), hostile);
+}
+
+TEST(PrometheusLabels, LabeledHistogramRendersEscapedBucketLines) {
+  MetricsRegistry reg;
+  reg.histogram("lat.us", {{"twin", "t\"0"}}, {10.0}).observe(5.0);
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("lat_us_bucket{twin=\"t\\\"0\",le=\"10\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_us_count{twin=\"t\\\"0\"} 1"), std::string::npos)
+      << text;
 }
 
 // ---- OpenMetrics variant ----------------------------------------------

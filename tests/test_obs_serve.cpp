@@ -21,6 +21,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/serve.hpp"
+#include "obs/tsdb.hpp"
 #include "util/error.hpp"
 
 namespace failmine::obs {
@@ -267,6 +268,84 @@ TEST(TelemetryServer, OpenMetricsFormatCarriesExemplars) {
   EXPECT_NE(plain.headers.find("version=0.0.4"), std::string::npos);
   EXPECT_EQ(plain.body.find("trace_id="), std::string::npos);
   EXPECT_EQ(plain.body.find("# EOF"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServer, QueryPercentDecodesLabelSelectorCharacters) {
+  // The label-selector grammar leans on characters curl percent-encodes
+  // by default ({, }, ", ~, [, ], spaces), so GET /query must decode
+  // the expr parameter before parsing. One counter carries a hostile
+  // label value (backslash, quote, newline) to prove the escaped
+  // spelling survives the decode + matcher-unescape round trip.
+  metrics().counter("pctq.jobs", {{"twin", "t-0"}}).add(7);
+  metrics().counter("pctq.hostile", {{"twin", "a\\b\"c\nd"}}).add(9);
+  tsdb().scrape_once(1'700'000'040'000);
+  metrics().counter("pctq.jobs", {{"twin", "t-0"}}).add(5);
+  tsdb().scrape_once(1'700'000'100'000);
+
+  TelemetryServer server;
+  server.start();
+  const auto port = server.port();
+  // value(pctq.jobs{twin="t-0"}) with every reserved character encoded.
+  const HttpResponse r = http_get(
+      port,
+      "/query?expr=value%28pctq.jobs%7Btwin%3D%22t-0%22%7D%29");
+  EXPECT_EQ(r.status, 200) << r.body;
+  EXPECT_NE(r.body.find("12"), std::string::npos) << r.body;
+
+  // value(pctq.hostile{twin="a\\b\"c\nd"}) — the matcher spells the
+  // value in escaped form and must decode back to the raw one.
+  const HttpResponse hostile = http_get(
+      port,
+      "/query?expr=value%28pctq.hostile%7Btwin%3D%22"
+      "a%5C%5Cb%5C%22c%5Cnd%22%7D%29");
+  EXPECT_EQ(hostile.status, 200) << hostile.body;
+  EXPECT_NE(hostile.body.find("9"), std::string::npos) << hostile.body;
+  // And the same hostile series is intact in the /metrics exposition.
+  const std::string exposition = http_get(port, "/metrics").body;
+  EXPECT_NE(exposition.find("pctq_hostile{twin=\"a\\\\b\\\"c\\nd\"} 9"),
+            std::string::npos);
+
+  // sum by (twin) (increase(pctq.jobs{twin=~"*"}[1m])) — the full
+  // aggregation spelling survives encoding too.
+  const HttpResponse agg = http_get(
+      port,
+      "/query?expr=sum%20by%20%28twin%29%20%28increase%28pctq.jobs"
+      "%7Btwin%3D~%22*%22%7D%5B1m%5D%29%29");
+  EXPECT_EQ(agg.status, 200) << agg.body;
+  EXPECT_NE(agg.body.find("{twin=\\\"t-0\\\"}"), std::string::npos)
+      << agg.body;
+
+  // Malformed escapes are a 400 with a pointed message, not a mangled
+  // expression handed to the parser.
+  for (const char* path :
+       {"/query?expr=value(x)%2", "/query?expr=%zzvalue(x)"}) {
+    const HttpResponse bad = http_get(port, path);
+    EXPECT_EQ(bad.status, 400) << path;
+    EXPECT_NE(bad.body.find("malformed %-escape"), std::string::npos)
+        << bad.body;
+  }
+  server.stop();
+}
+
+TEST(TelemetryServer, FleetEndpointNeedsAHandler) {
+  TelemetryServer server;
+  server.start();
+  const HttpResponse missing = http_get(server.port(), "/fleet");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("no fleet attached (run with --fleet)"),
+            std::string::npos)
+      << missing.body;
+
+  server.set_fleet_handler([] { return std::string("{\"twins\":[]}"); });
+  const HttpResponse r = http_get(server.port(), "/fleet");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  EXPECT_EQ(r.body, "{\"twins\":[]}");
+
+  // The route has its own pre-registered per-path request counter.
+  EXPECT_GE(metrics().counter_value("obs.serve.requests{path=\"/fleet\"}"),
+            2u);
   server.stop();
 }
 

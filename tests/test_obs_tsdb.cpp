@@ -546,6 +546,176 @@ TEST(TsdbQueryEval, SparklineAndTrendReport) {
   EXPECT_EQ(report.find("not.there"), std::string::npos) << report;
 }
 
+// ---- labels ------------------------------------------------------------
+
+TEST(TsdbStore, PerFamilyLabelBudgetDropsAndCounts) {
+  MetricsRegistry reg;
+  for (const char* twin : {"a", "b", "c", "d", "e"})
+    reg.counter("f", {{"twin", twin}}).add(1);
+  auto config = test_config(&reg);
+  config.max_label_sets_per_family = 2;
+  TsdbStore store(config);
+  store.scrape_once(kT0);
+  EXPECT_EQ(store.stats().dropped_series, 3u);
+  EXPECT_GT(reg.counter_value("tsdb.dropped_series"), 0u);
+
+  // The two admitted label sets stay fully queryable.
+  const auto q = parse_tsdb_query("value(f{twin=~\"*\"})");
+  EXPECT_EQ(eval_tsdb_query(store, q, kT0, kT0, 1000).series.size(), 2u);
+
+  // The budget is per family: a fresh family gets its own allowance,
+  // while f's over-budget sets are dropped again on every scrape.
+  reg.counter("g", {{"twin", "a"}}).add(1);
+  reg.counter("g", {{"twin", "b"}}).add(1);
+  store.scrape_once(kT0 + 1000);
+  const auto q2 = parse_tsdb_query("value(g{twin=~\"*\"})");
+  EXPECT_EQ(
+      eval_tsdb_query(store, q2, kT0 + 1000, kT0 + 1000, 1000).series.size(),
+      2u);
+  EXPECT_EQ(store.stats().dropped_series, 6u);
+  EXPECT_NE(store.stats_json().find("\"dropped_series\":"),
+            std::string::npos);
+}
+
+TEST(TsdbQueryParse, LabelSelectorsAndByClause) {
+  auto q = parse_tsdb_query(
+      "sum by (twin) (rate(stream.records_in{twin=~\"*\"}[1m]))");
+  EXPECT_EQ(q.agg, TsdbAgg::kSum);
+  EXPECT_EQ(q.fn, TsdbFn::kRate);
+  ASSERT_EQ(q.by.size(), 1u);
+  EXPECT_EQ(q.by[0], "twin");
+  EXPECT_EQ(q.window_ms, 60'000);
+  EXPECT_EQ(tsdb_query_to_string(q),
+            "sum by (twin) (rate(stream.records_in{twin=~\"*\"}[1m]))");
+
+  // Re-parsing the canonical rendering is a fixed point.
+  const auto again = parse_tsdb_query(tsdb_query_to_string(q));
+  EXPECT_EQ(again.by, q.by);
+  EXPECT_EQ(again.selector, q.selector);
+
+  EXPECT_TRUE(parse_tsdb_query("avg(value(g{twin=\"t0\"}))").by.empty());
+
+  for (const char* expr :
+       {"sum by (twin) (sum(x))",       // nested aggregation
+        "by (twin) (value(x))",         // by without an aggregator
+        "sum by () (value(x))",         // empty by list
+        "value(f{twin=\"t0\")",         // unterminated block
+        "value(f{twin~\"t0\"})",        // bad matcher operator
+        "value(f{twin=t0})"}) {         // unquoted value
+    EXPECT_THROW((void)parse_tsdb_query(expr), failmine::ParseError) << expr;
+  }
+}
+
+TEST(TsdbQueryParse, SelectorMatchingSemantics) {
+  const auto sel = parse_tsdb_selector("stream.*{twin=~\"t*\",zone=\"z1\"}");
+  EXPECT_TRUE(sel.has_block);
+  EXPECT_EQ(sel.family, "stream.*");
+  EXPECT_TRUE(sel.matches_key("twin"));
+  EXPECT_FALSE(sel.matches_key("le"));
+
+  // Matchers: `=~` needs the label present and glob-matching; `=` treats
+  // an absent label as ""; extra labels never block a match.
+  EXPECT_TRUE(tsdb_selector_matches(
+      sel, "stream.records_in{twin=\"t3\",zone=\"z1\",extra=\"x\"}"));
+  EXPECT_FALSE(tsdb_selector_matches(sel, "stream.records_in{zone=\"z1\"}"));
+  EXPECT_FALSE(
+      tsdb_selector_matches(sel, "stream.records_in{twin=\"t3\"}"));
+  EXPECT_FALSE(
+      tsdb_selector_matches(sel, "other.records_in{twin=\"t3\",zone=\"z1\"}"));
+
+  const auto exact = parse_tsdb_selector("g{zone=\"\"}");
+  EXPECT_TRUE(tsdb_selector_matches(exact, "g"));  // absent matches ""
+  const auto bare = parse_tsdb_selector("g");
+  EXPECT_FALSE(bare.has_block);
+  EXPECT_TRUE(tsdb_selector_matches(bare, "g"));
+}
+
+TEST(TsdbQueryEval, LabelSelectorsAndByGrouping) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("f", {{"twin", "a"}});
+  auto& b = reg.counter("f", {{"twin", "b"}});
+  auto& bare = reg.counter("f");
+  TsdbStore store(test_config(&reg));
+  store.scrape_once(kT0);
+  for (int i = 1; i <= 10; ++i) {
+    a.add(2);
+    b.add(3);
+    bare.add(5);
+    store.scrape_once(kT0 + i * 1000);
+  }
+
+  // Blockless selector: legacy full-name glob, labeled series invisible.
+  const auto legacy = parse_tsdb_query("increase(f[10s])");
+  auto result = eval_tsdb_query(store, legacy, kT0 + 10'000, kT0 + 10'000,
+                                10'000);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.series[0].points[0].value, 50.0);
+
+  // Block selector: label-aware, bare series invisible to `=~`.
+  const auto summed =
+      parse_tsdb_query("sum(increase(f{twin=~\"*\"}[10s]))");
+  result = eval_tsdb_query(store, summed, kT0 + 10'000, kT0 + 10'000, 10'000);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.series[0].points[0].value, 50.0);  // 20 + 30
+
+  // by (twin): one output series per label value, each carrying the
+  // group's label block in its name.
+  const auto grouped =
+      parse_tsdb_query("sum by (twin) (increase(f{twin=~\"*\"}[10s]))");
+  result = eval_tsdb_query(store, grouped, kT0 + 10'000, kT0 + 10'000,
+                           10'000);
+  ASSERT_EQ(result.series.size(), 2u);
+  for (const auto& series : result.series) {
+    ASSERT_EQ(series.points.size(), 1u);
+    if (series.name.find("{twin=\"a\"}") != std::string::npos)
+      EXPECT_DOUBLE_EQ(series.points[0].value, 20.0);
+    else if (series.name.find("{twin=\"b\"}") != std::string::npos)
+      EXPECT_DOUBLE_EQ(series.points[0].value, 30.0);
+    else
+      ADD_FAILURE() << "unexpected group " << series.name;
+  }
+
+  // Exact matcher: a single series.
+  const auto exact = parse_tsdb_query("increase(f{twin=\"a\"}[10s])");
+  result = eval_tsdb_query(store, exact, kT0 + 10'000, kT0 + 10'000, 10'000);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.series[0].points[0].value, 20.0);
+}
+
+TEST(TsdbQueryEval, LabeledHistogramQuantilesStayPerTwin) {
+  MetricsRegistry reg;
+  auto& fast = reg.histogram("lat.us", {{"twin", "a"}},
+                             {100.0, 1000.0, 100000.0});
+  auto& slow = reg.histogram("lat.us", {{"twin", "b"}},
+                             {100.0, 1000.0, 100000.0});
+  TsdbStore store(test_config(&reg));
+  store.scrape_once(kT0);
+  for (int i = 0; i < 1000; ++i) fast.observe(10.0);
+  for (int i = 0; i < 1000; ++i) slow.observe(50'000.0);
+  store.scrape_once(kT0 + 60'000);
+
+  // Each twin's buckets stay grouped per label set: twin a's p99 lands
+  // in its fastest bucket, twin b's in the slow one — no cross-twin
+  // bucket merging.
+  const auto q = parse_tsdb_query("p99(lat.us{twin=~\"*\"}[1m])");
+  const auto result =
+      eval_tsdb_query(store, q, kT0 + 60'000, kT0 + 60'000, 60'000);
+  ASSERT_EQ(result.series.size(), 2u);
+  for (const auto& series : result.series) {
+    ASSERT_EQ(series.points.size(), 1u) << series.name;
+    if (series.name.find("{twin=\"a\"}") != std::string::npos)
+      EXPECT_LE(series.points[0].value, 100.0) << series.name;
+    else
+      EXPECT_GT(series.points[0].value, 1000.0) << series.name;
+  }
+
+  // The store-level windowed quantile resolves labeled bases too.
+  const auto wq = store.windowed_quantile("lat.us{twin=\"b\"}", 0.99,
+                                          kT0 + 60'000, 60'000);
+  ASSERT_TRUE(wq.has_value());
+  EXPECT_GT(*wq, 1000.0);
+}
+
 // ---- concurrency -------------------------------------------------------
 
 TEST(TsdbConcurrency, ConcurrentScrapeAndReadIsTearFree) {
@@ -585,6 +755,65 @@ TEST(TsdbConcurrency, ConcurrentScrapeAndReadIsTearFree) {
   for (auto& th : readers) th.join();
   EXPECT_GT(reads.load(), 0u);
   EXPECT_EQ(store.stats().scrapes, 4000u);
+}
+
+TEST(TsdbConcurrency, LabelCardinalityPressureStaysTearFree) {
+  // Two twins' hot counters (inside the per-family budget) advance
+  // under concurrent readers while a rotating probe family blows its
+  // label-set budget on every scrape — eviction accounting must not
+  // tear the surviving labeled series.
+  MetricsRegistry reg;
+  auto& t0 = reg.counter("hot", {{"twin", "t0"}});
+  auto& t1 = reg.counter("hot", {{"twin", "t1"}});
+  auto config = test_config(&reg);
+  config.raw_chunks = 2;  // force constant chunk recycling under readers
+  config.max_label_sets_per_family = 4;
+  TsdbStore store(config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      const std::string name =
+          r % 2 == 0 ? "hot{twin=\"t0\"}" : "hot{twin=\"t1\"}";
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto to = store.latest_ms();
+        const auto pts = store.read_series(name, 0, to + 1'000'000);
+        for (std::size_t i = 1; i < pts.size(); ++i) {
+          ASSERT_LT(pts[i - 1].t_ms, pts[i].t_ms);
+          // Counters are monotone; a torn read would show regressions.
+          ASSERT_LE(pts[i - 1].value, pts[i].value);
+        }
+        (void)store.increase_over(name, to, 30'000);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::int64_t t = kT0;
+  for (int i = 0; i < 3000; ++i) {
+    t0.add(static_cast<std::uint64_t>(i % 7) + 1);
+    t1.add(static_cast<std::uint64_t>(i % 11) + 1);
+    // 8 probe label sets rotate through a 4-set budget: every scrape
+    // admits some and drops the rest, exercising the eviction path
+    // while the readers traverse the hot series.
+    reg.counter("probe", {{"zone", "z" + std::to_string(i % 8)}}).add(1);
+    store.scrape_once(t += 1000);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_GT(reads.load(), 0u);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.scrapes, 3000u);
+  EXPECT_GT(stats.dropped_series, 0u);
+  // The budget never evicted the hot twins: both are still readable
+  // right up to the final scrape tick (chunk recycling trims history,
+  // never the live head).
+  for (const char* name : {"hot{twin=\"t0\"}", "hot{twin=\"t1\"}"}) {
+    const auto survivors = store.read_series(name, 0, t + 1);
+    ASSERT_FALSE(survivors.empty()) << name;
+    EXPECT_EQ(survivors.back().t_ms, t) << name;
+  }
 }
 
 // ---- HTTP surface ------------------------------------------------------

@@ -1,0 +1,294 @@
+// End-to-end tests for fleet mode: N digital-twin pipelines in one
+// process, isolated by the twin label. Covers the label-disambiguated
+// instrument registration (no cross-twin collisions), the GET /fleet
+// rollup matching each twin's own StreamSnapshot, `sum by (twin)`
+// queries over the shared time-series store reproducing per-twin ingest
+// accounting exactly, and the alert engine's per-label-group rules — a
+// stalled twin fires only its own `{twin="..."}` group and flips only
+// the fleet-level health verdict.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/alerts.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/serve.hpp"
+#include "obs/tsdb.hpp"
+#include "obs/tsdb_query.hpp"
+#include "sim/replay.hpp"
+#include "sim/simulator.hpp"
+#include "stream/fleet.hpp"
+#include "util/error.hpp"
+
+namespace failmine::stream {
+namespace {
+
+constexpr std::int64_t kT0 = 1'700'000'040'000;
+
+const sim::SimResult& trace() {
+  static const sim::SimResult result = [] {
+    sim::SimConfig config = sim::SimConfig::test_scale();
+    config.scale = 0.004;
+    return sim::simulate(config);
+  }();
+  return result;
+}
+
+FleetConfig fleet_config(std::size_t twins) {
+  FleetConfig config;
+  config.twin_count = twins;
+  config.base.shard_count = 2;
+  config.base.queue_capacity = 1 << 13;
+  config.base.max_lateness_seconds = 0;
+  // Tight watchdog so the stall test converges quickly.
+  config.base.watchdog_grace_ms = 100;
+  config.base.watchdog_poll_ms = 20;
+  return config;
+}
+
+/// Polls `predicate` until true or ~2 s elapse.
+bool eventually(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 200; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+std::string twin_series(const std::string& family, const std::string& twin) {
+  return family + "{twin=\"" + twin + "\"}";
+}
+
+TEST(FleetLabels, TwinInstrumentsAreDisjointPerTwin) {
+  EXPECT_THROW(StreamFleet(FleetConfig{0, {}}), failmine::DomainError);
+  EXPECT_EQ(StreamFleet::twin_name(0), "t0");
+  EXPECT_EQ(StreamFleet::twin_name(11), "t11");
+
+  StreamFleet fleet(fleet_config(3));
+  ASSERT_EQ(fleet.size(), 3u);
+
+  // Feed each twin a different-sized slice of the same replay so their
+  // counters must diverge if (and only if) registration is per-twin.
+  auto records = sim::build_replay(trace());
+  ASSERT_GE(records.size(), 300u);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const std::size_t n = 100 * (i + 1);
+    std::vector<StreamRecord> slice(records.begin(),
+                                    records.begin() + n);
+    fleet.twin(i).push_batch(std::move(slice));
+  }
+  fleet.finish();
+
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto snap = fleet.twin(i).snapshot();
+    EXPECT_EQ(snap.records_in, 100 * (i + 1)) << i;
+    // The labeled counter is the twin's own — byte-for-byte the value
+    // its snapshot reports, untouched by the other twins' replays.
+    EXPECT_EQ(obs::metrics().counter_value(
+                  twin_series("stream.records_in", StreamFleet::twin_name(i))),
+              snap.records_in)
+        << i;
+  }
+  EXPECT_TRUE(fleet.healthy());
+}
+
+TEST(FleetE2E, FleetEndpointAndByTwinQueriesMatchSnapshots) {
+  StreamFleet fleet(fleet_config(2));
+
+  // Baseline scrape after construction: every twin-labeled series
+  // exists at zero before any traffic.
+  obs::tsdb().scrape_once(kT0);
+
+  auto records = sim::build_replay(trace());
+  const std::size_t half = records.size() / 2;
+  std::vector<StreamRecord> head(
+      std::make_move_iterator(records.begin()),
+      std::make_move_iterator(records.begin() + half));
+  std::vector<StreamRecord> tail(
+      std::make_move_iterator(records.begin() + half),
+      std::make_move_iterator(records.end()));
+  fleet.twin(0).push_batch(std::move(head));
+  fleet.twin(1).push_batch(std::move(tail));
+  fleet.finish();
+  obs::tsdb().scrape_once(kT0 + 60'000);
+
+  const auto snap0 = fleet.twin(0).snapshot();
+  const auto snap1 = fleet.twin(1).snapshot();
+  ASSERT_GT(snap0.records_in, 0u);
+  ASSERT_GT(snap1.records_in, 0u);
+
+  // sum by (twin) over the shared store: one output series per twin,
+  // each reproducing that twin's own ingest accounting exactly.
+  const auto q = obs::parse_tsdb_query(
+      "sum by (twin) (increase(stream.records_in{twin=~\"*\"}[1m]))");
+  const auto result = obs::eval_tsdb_query(obs::tsdb(), q, kT0 + 60'000,
+                                           kT0 + 60'000, 60'000);
+  // One output group per twin. A direct (non-ctest) run shares the
+  // process-wide registry with the other fleet tests, so twins they
+  // registered may add zero-increase groups; this fleet's two twins
+  // must be present and exact either way.
+  ASSERT_GE(result.series.size(), 2u);
+  std::size_t matched = 0;
+  for (const auto& series : result.series) {
+    const bool is_t0 =
+        series.name.find("{twin=\"t0\"}") != std::string::npos;
+    const bool is_t1 =
+        series.name.find("{twin=\"t1\"}") != std::string::npos;
+    if (!is_t0 && !is_t1) continue;
+    ++matched;
+    ASSERT_EQ(series.points.size(), 1u) << series.name;
+    const auto expected = is_t0 ? snap0.records_in : snap1.records_in;
+    EXPECT_DOUBLE_EQ(series.points[0].value,
+                     static_cast<double>(expected))
+        << series.name;
+  }
+  EXPECT_EQ(matched, 2u);
+
+  // Per-twin failure-rate gauges answer exact-match selectors.
+  for (const char* twin : {"t0", "t1"}) {
+    const auto rate_q = obs::parse_tsdb_query(
+        "value(stream.window.failure_rate{twin=\"" + std::string(twin) +
+        "\"})");
+    const auto rate = obs::eval_tsdb_query(obs::tsdb(), rate_q,
+                                           kT0 + 60'000, kT0 + 60'000, 1000);
+    ASSERT_EQ(rate.series.size(), 1u) << twin;
+    ASSERT_EQ(rate.series[0].points.size(), 1u) << twin;
+    EXPECT_DOUBLE_EQ(
+        rate.series[0].points[0].value,
+        obs::metrics()
+            .gauge(twin_series("stream.window.failure_rate", twin))
+            .value())
+        << twin;
+  }
+
+  // GET /fleet: 404 with a pointed message until a fleet is attached,
+  // then the per-twin rollup whose fields match the snapshots exactly.
+  obs::TelemetryServer server;
+  server.start();
+  const std::uint16_t port = server.port();
+  const obs::HttpResponse missing = obs::http_get(port, "/fleet");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("no fleet attached"), std::string::npos);
+
+  server.set_fleet_handler([&fleet] { return fleet.fleet_json(); });
+  const obs::HttpResponse r = obs::http_get(port, "/fleet");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(r.body.find("\"name\":\"t0\""), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("\"name\":\"t1\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"records_in\":" +
+                        std::to_string(snap0.records_in)),
+            std::string::npos)
+      << r.body;
+  EXPECT_NE(r.body.find("\"records_in\":" +
+                        std::to_string(snap1.records_in)),
+            std::string::npos);
+  EXPECT_NE(r.body.find("\"window_failure_rate\":" +
+                        obs::json_number(snap0.window_failure_rate)),
+            std::string::npos)
+      << r.body;
+  EXPECT_NE(r.body.find("\"twin_count\":2"), std::string::npos);
+  EXPECT_NE(r.body.find("\"healthy_twins\":2"), std::string::npos);
+  EXPECT_NE(r.body.find(
+                "\"records_in\":" +
+                std::to_string(snap0.records_in + snap1.records_in)),
+            std::string::npos)
+      << r.body;
+  EXPECT_NE(r.body.find("\"top_users_by_failures\":["), std::string::npos);
+
+  // The merged heavy-hitter sketch covers the whole fleet's weight.
+  const auto merged = fleet.merged_users_by_failures();
+  EXPECT_EQ(merged.total_weight(),
+            fleet.twin(0).users_by_failures_sketch().total_weight() +
+                fleet.twin(1).users_by_failures_sketch().total_weight());
+  server.stop();
+}
+
+TEST(FleetAlerts, StalledTwinFiresOnlyItsOwnGroupAndHealth) {
+  StreamFleet fleet(fleet_config(2));
+  obs::AlertEngine engine(&obs::metrics());
+  engine.set_rules(obs::parse_alert_rules(
+      "fleet-stall: value(stream.stalled_shards{twin=~\"*\"}) > 0\n"));
+
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 0u);
+  // One group per twin, up front. (>= because a direct non-ctest run
+  // shares the registry with the other fleet tests' twins.)
+  ASSERT_GE(engine.status().size(), 2u);
+
+  obs::TelemetryServer server;
+  server.set_health_handler([&fleet] { return fleet.healthy(); });
+  server.start();
+  EXPECT_EQ(obs::http_get(server.port(), "/healthz").status, 200);
+
+  // Pause one shard of twin 1 and feed it a bounded slice: its queue
+  // stays non-empty while the processed counter freezes, which is what
+  // the watchdog flags. Twin 0 keeps replaying, unaffected.
+  auto records = sim::build_replay(trace());
+  const std::size_t slice = std::min<std::size_t>(1024, records.size());
+  std::vector<StreamRecord> head(records.begin(), records.begin() + slice);
+  fleet.twin(1).pause_shard_for_test(0, true);
+  fleet.twin(1).push_batch(std::move(head));
+  fleet.twin(0).push_batch(std::move(records));
+
+  ASSERT_TRUE(eventually([&] { return !fleet.twin(1).healthy(); }))
+      << "watchdog never flagged the paused twin";
+  EXPECT_TRUE(fleet.twin(0).healthy());
+  EXPECT_FALSE(fleet.healthy());
+  EXPECT_EQ(obs::http_get(server.port(), "/healthz").status, 503);
+
+  // Exactly one label group fires: twin 1's. Twin 0's group stays
+  // inactive even though both match the same rule selector.
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 1u);
+  bool saw_t0 = false;
+  bool saw_t1 = false;
+  for (const auto& s : engine.status()) {
+    if (s.series == twin_series("stream.stalled_shards", "t1")) {
+      saw_t1 = true;
+      EXPECT_EQ(s.state, obs::AlertState::kFiring);
+      EXPECT_GE(s.last_value, 1.0);
+    } else if (s.series == twin_series("stream.stalled_shards", "t0")) {
+      saw_t0 = true;
+      EXPECT_EQ(s.state, obs::AlertState::kInactive);
+    } else {
+      // Other tests' twins in a shared-process run: never firing.
+      EXPECT_NE(s.state, obs::AlertState::kFiring) << s.series;
+    }
+  }
+  EXPECT_TRUE(saw_t0);
+  EXPECT_TRUE(saw_t1);
+  const std::string json = engine.to_json();
+  EXPECT_NE(json.find("\"series\":\"stream.stalled_shards{twin=\\\"t1\\\"}\""),
+            std::string::npos)
+      << json;
+
+  // Release: only twin 1's group transitions (firing -> resolved), the
+  // fleet health verdict recovers, and the replay drains cleanly.
+  fleet.twin(1).pause_shard_for_test(0, false);
+  ASSERT_TRUE(eventually([&] { return fleet.healthy(); }))
+      << "watchdog never cleared the released twin";
+  EXPECT_EQ(obs::http_get(server.port(), "/healthz").status, 200);
+  engine.evaluate_now();
+  EXPECT_EQ(engine.firing(), 0u);
+  for (const auto& s : engine.status()) {
+    if (s.series == twin_series("stream.stalled_shards", "t1"))
+      EXPECT_EQ(s.state, obs::AlertState::kResolved);
+    else if (s.series == twin_series("stream.stalled_shards", "t0"))
+      EXPECT_EQ(s.state, obs::AlertState::kInactive);
+  }
+  fleet.finish();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace failmine::stream
