@@ -14,10 +14,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "analysis/cooccurrence.hpp"
+#include "columnar/builder.hpp"
+#include "columnar/engine.hpp"
 #include "core/checkpoint.hpp"
 #include "core/joint_analyzer.hpp"
 #include "core/lead_time.hpp"
@@ -39,9 +42,36 @@ namespace failmine::bench {
 /// FAILMINE_PROFILE=out.folded[:HZ] in the environment (handled by the
 /// wrapped obs::ObsSession) CPU-profiles the whole bench run and writes
 /// flamegraph-ready folded stacks next to the table output.
+/// Backend switch for the experiment benches: --columnar (stripped from
+/// argv by ObsSession before google-benchmark sees it) or
+/// FAILMINE_COLUMNAR=1 in the environment runs the shared analyses on
+/// the SoA tables and vectorized kernels instead of the row containers.
+inline bool& columnar_backend() {
+  static bool enabled = [] {
+    const char* env = std::getenv("FAILMINE_COLUMNAR");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+inline const char* backend_name() {
+  return columnar_backend() ? "columnar" : "row";
+}
+
 class ObsSession {
  public:
-  ObsSession(int* argc, char** argv) : inner_(argc, argv) {}
+  ObsSession(int* argc, char** argv) : inner_(argc, argv) {
+    // Strip --columnar here (google-benchmark rejects unknown flags).
+    for (int i = 1; i < *argc;) {
+      if (std::strcmp(argv[i], "--columnar") == 0) {
+        columnar_backend() = true;
+        for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+        --*argc;
+      } else {
+        ++i;
+      }
+    }
+  }
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
@@ -121,6 +151,65 @@ inline const core::JointAnalyzer& analyzer() {
                                dataset_config().machine);
   }();
   return instance;
+}
+
+/// The SoA twin of dataset(): the simulated logs rebuilt as sealed
+/// columnar tables (single-chunk builders — determinism is trivial).
+inline const columnar::ColumnarDataset& columnar_dataset() {
+  static const columnar::ColumnarDataset tables = [] {
+    FAILMINE_TRACE_SPAN("bench.columnar_build");
+    const auto& d = dataset();
+    columnar::ColumnarDataset out;
+    {
+      columnar::JobTableBuilder b;
+      b.reserve(d.job_log.size());
+      for (const auto& j : d.job_log.jobs()) b.add(j);
+      std::vector<columnar::JobTableBuilder> chunks;
+      chunks.push_back(std::move(b));
+      out.jobs = columnar::JobTableBuilder::merge(std::move(chunks));
+    }
+    {
+      columnar::TaskTableBuilder b;
+      b.reserve(d.task_log.size());
+      for (const auto& t : d.task_log.tasks()) b.add(t);
+      std::vector<columnar::TaskTableBuilder> chunks;
+      chunks.push_back(std::move(b));
+      out.tasks = columnar::TaskTableBuilder::merge(std::move(chunks));
+    }
+    {
+      columnar::RasTableBuilder b(dataset_config().machine);
+      b.reserve(d.ras_log.size());
+      for (const auto& e : d.ras_log.events()) b.add(e);
+      std::vector<columnar::RasTableBuilder> chunks;
+      chunks.push_back(std::move(b));
+      out.ras = columnar::RasTableBuilder::merge(std::move(chunks));
+    }
+    {
+      columnar::IoTableBuilder b;
+      b.reserve(d.io_log.size());
+      for (const auto& r : d.io_log.records()) b.add(r);
+      std::vector<columnar::IoTableBuilder> chunks;
+      chunks.push_back(std::move(b));
+      out.io = columnar::IoTableBuilder::merge(std::move(chunks));
+    }
+    return out;
+  }();
+  return tables;
+}
+
+/// The representation-agnostic query surface for the E-benches: the
+/// backend picked by --columnar / FAILMINE_COLUMNAR, identical results
+/// either way (columnar parity contract).
+inline const columnar::QueryEngine& query_engine() {
+  static const columnar::QueryEngine engine = [] {
+    if (columnar_backend())
+      return columnar::QueryEngine(columnar_dataset(),
+                                   dataset_config().machine);
+    return columnar::QueryEngine(dataset().job_log, dataset().task_log,
+                                 dataset().ras_log, dataset().io_log,
+                                 dataset_config().machine);
+  }();
+  return engine;
 }
 
 // ---- shared analysis fragments ----------------------------------------

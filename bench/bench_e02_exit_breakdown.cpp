@@ -12,10 +12,10 @@ namespace {
 using namespace failmine;
 
 void print_table() {
-  const auto& a = bench::analyzer();
-  const auto b = a.exit_breakdown();
+  const auto b = bench::query_engine().exit_breakdown();
   bench::print_header("E02", "job exit-status breakdown",
                       "Table 2 / Fig. 2; abstract: 99,245 failures, 99.4% user-caused");
+  std::printf("backend: %s\n", bench::backend_name());
   std::printf("%-20s %10s %9s %9s %14s\n", "exit class", "jobs", "of jobs",
               "of fails", "core-hours");
   for (const auto& row : b.rows) {
@@ -38,9 +38,9 @@ void print_table() {
 }
 
 void BM_ExitBreakdown(benchmark::State& state) {
-  const auto& a = bench::analyzer();
+  const auto& engine = bench::query_engine();
   for (auto _ : state) {
-    auto b = a.exit_breakdown();
+    auto b = engine.exit_breakdown();
     benchmark::DoNotOptimize(b);
   }
 }

@@ -29,11 +29,12 @@ void print_group(const char* label,
 }
 
 void print_table() {
-  const auto& a = bench::analyzer();
+  const auto& engine = bench::query_engine();
   bench::print_header("E03", "failure concentration across users/projects",
                       "Fig: failures per user and per project (CDF / Lorenz)");
-  const auto users = analysis::per_user_stats(a.jobs(), a.machine());
-  const auto projects = analysis::per_project_stats(a.jobs(), a.machine());
+  std::printf("backend: %s\n", bench::backend_name());
+  const auto users = engine.per_user_stats();
+  const auto projects = engine.per_project_stats();
   print_group("user", users);
   print_group("project", projects);
 
@@ -52,17 +53,16 @@ void print_table() {
 }
 
 void BM_PerUserStats(benchmark::State& state) {
-  const auto& a = bench::analyzer();
+  const auto& engine = bench::query_engine();
   for (auto _ : state) {
-    auto stats = analysis::per_user_stats(a.jobs(), a.machine());
+    auto stats = engine.per_user_stats();
     benchmark::DoNotOptimize(stats);
   }
 }
 BENCHMARK(BM_PerUserStats)->Unit(benchmark::kMillisecond);
 
 void BM_Concentration(benchmark::State& state) {
-  const auto& a = bench::analyzer();
-  const auto stats = analysis::per_user_stats(a.jobs(), a.machine());
+  const auto stats = bench::query_engine().per_user_stats();
   for (auto _ : state) {
     auto c = analysis::concentration(stats, analysis::GroupMetric::kFailures);
     benchmark::DoNotOptimize(c);

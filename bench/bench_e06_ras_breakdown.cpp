@@ -4,8 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include <map>
-
+#include "analysis/ras_breakdown.hpp"
 #include "bench_common.hpp"
 #include "raslog/message_catalog.hpp"
 
@@ -14,31 +13,26 @@ namespace {
 using namespace failmine;
 
 void print_table() {
-  const auto& log = bench::dataset().ras_log;
+  const auto b = bench::query_engine().ras_breakdown();
   bench::print_header("E06", "RAS event breakdown",
                       "Table: events by severity x component x category");
-  const auto sev = log.severity_counts();
-  const double total = static_cast<double>(log.size());
+  std::printf("backend: %s\n", bench::backend_name());
+  const auto& sev = b.by_severity;
+  const double total = static_cast<double>(b.total_events);
   std::printf("severity   INFO=%llu (%.2f%%)  WARN=%llu (%.2f%%)  FATAL=%llu (%.3f%%)\n",
               static_cast<unsigned long long>(sev[0]), 100.0 * sev[0] / total,
               static_cast<unsigned long long>(sev[1]), 100.0 * sev[1] / total,
               static_cast<unsigned long long>(sev[2]), 100.0 * sev[2] / total);
 
-  std::map<raslog::Component, std::array<std::uint64_t, 3>> by_component;
-  std::map<raslog::Category, std::array<std::uint64_t, 3>> by_category;
-  for (const auto& e : log.events()) {
-    ++by_component[e.component][static_cast<std::size_t>(e.severity)];
-    ++by_category[e.category][static_cast<std::size_t>(e.severity)];
-  }
   std::printf("\n%-12s %10s %10s %10s\n", "component", "INFO", "WARN", "FATAL");
-  for (const auto& [component, counts] : by_component)
+  for (const auto& [component, counts] : b.by_component)
     std::printf("%-12s %10llu %10llu %10llu\n",
                 raslog::component_name(component).c_str(),
                 static_cast<unsigned long long>(counts[0]),
                 static_cast<unsigned long long>(counts[1]),
                 static_cast<unsigned long long>(counts[2]));
   std::printf("\n%-12s %10s %10s %10s\n", "category", "INFO", "WARN", "FATAL");
-  for (const auto& [category, counts] : by_category)
+  for (const auto& [category, counts] : b.by_category)
     std::printf("%-12s %10llu %10llu %10llu\n",
                 raslog::category_name(category).c_str(),
                 static_cast<unsigned long long>(counts[0]),
@@ -46,14 +40,14 @@ void print_table() {
                 static_cast<unsigned long long>(counts[2]));
 }
 
-void BM_SeverityCounts(benchmark::State& state) {
-  const auto& log = bench::dataset().ras_log;
+void BM_RasBreakdown(benchmark::State& state) {
+  const auto& engine = bench::query_engine();
   for (auto _ : state) {
-    auto counts = log.severity_counts();
-    benchmark::DoNotOptimize(counts);
+    auto b = engine.ras_breakdown();
+    benchmark::DoNotOptimize(b);
   }
 }
-BENCHMARK(BM_SeverityCounts)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RasBreakdown)->Unit(benchmark::kMillisecond);
 
 void BM_FilterFatal(benchmark::State& state) {
   const auto& log = bench::dataset().ras_log;

@@ -23,15 +23,16 @@ void print_profile(const char* label, const analysis::HourlyProfile& p) {
 }
 
 void print_table() {
-  const auto& a = bench::analyzer();
+  const auto& engine = bench::query_engine();
   bench::print_header("E11", "temporal patterns",
                       "Fig: diurnal/weekly/monthly series of jobs and events");
+  std::printf("backend: %s\n", bench::backend_name());
   std::printf("hour-of-day profiles (0..23):\n");
-  print_profile("submissions", analysis::submissions_by_hour(a.jobs()));
-  print_profile("failures", analysis::failures_by_hour(a.jobs()));
-  print_profile("RAS events", analysis::events_by_hour(a.ras()));
+  print_profile("submissions", engine.submissions_by_hour());
+  print_profile("failures", engine.failures_by_hour());
+  print_profile("RAS events", engine.events_by_hour());
 
-  const auto weekday = analysis::submissions_by_weekday(a.jobs());
+  const auto weekday = engine.submissions_by_weekday();
   std::printf("\nsubmissions by weekday (Mon..Sun):");
   for (auto c : weekday) std::printf(" %llu", static_cast<unsigned long long>(c));
   std::printf("\n  weekend dampening: Sat+Sun vs weekday mean = %.2f\n",
@@ -41,8 +42,8 @@ void print_table() {
                    5.0));
 
   const auto origin = bench::dataset_config().observation_start;
-  const auto monthly = analysis::monthly_submissions(a.jobs(), origin);
-  const auto monthly_fail = analysis::monthly_failures(a.jobs(), origin);
+  const auto monthly = engine.monthly_submissions(origin);
+  const auto monthly_fail = engine.monthly_failures(origin);
   std::printf("\nfirst 12 months (submissions / failures):\n");
   for (std::size_t m = 0; m < std::min<std::size_t>(12, monthly.size()); ++m)
     std::printf("  month %2zu: %6llu / %llu\n", m,
@@ -53,19 +54,19 @@ void print_table() {
 }
 
 void BM_HourlyProfiles(benchmark::State& state) {
-  const auto& a = bench::analyzer();
+  const auto& engine = bench::query_engine();
   for (auto _ : state) {
-    auto p = analysis::submissions_by_hour(a.jobs());
+    auto p = engine.submissions_by_hour();
     benchmark::DoNotOptimize(p);
   }
 }
 BENCHMARK(BM_HourlyProfiles)->Unit(benchmark::kMillisecond);
 
 void BM_MonthlySeries(benchmark::State& state) {
-  const auto& a = bench::analyzer();
+  const auto& engine = bench::query_engine();
   const auto origin = bench::dataset_config().observation_start;
   for (auto _ : state) {
-    auto m = analysis::monthly_submissions(a.jobs(), origin);
+    auto m = engine.monthly_submissions(origin);
     benchmark::DoNotOptimize(m);
   }
 }

@@ -3,7 +3,9 @@
 # structure (a populated parse.lines_total counter; chrome traceEvents).
 # The expected instrument names come from expected_metrics.cmake.
 # Invoked as:
-#   cmake -DMETRICS=... -DTRACE=... -P check_obs_exports.cmake
+#   cmake -DMETRICS=... -DTRACE=... [-DCOLUMNAR=1] -P check_obs_exports.cmake
+# With -DCOLUMNAR=1 the run under test loaded through the SoA tables, so
+# the columnar build counters/spans replace the row-container spans.
 
 include("${CMAKE_CURRENT_LIST_DIR}/expected_metrics.cmake")
 
@@ -27,11 +29,28 @@ if(bytes_mapped EQUAL 0)
   message(FATAL_ERROR "ingest.bytes_mapped is 0 — the ingest engine never ran")
 endif()
 
+if(COLUMNAR)
+  # The SoA path must have merged the chunk builders (columnar.* build
+  # counters, rows populated) and answered E01 with the columnar kernel.
+  failmine_require_metrics("${metrics_json}"
+                           ${FAILMINE_COLUMNAR_REQUIRED_COUNTERS})
+  failmine_metric_value(columnar_rows "${metrics_json}"
+                        "${FAILMINE_COLUMNAR_ROWS_COUNTER}")
+  if(columnar_rows EQUAL 0)
+    message(FATAL_ERROR "${FAILMINE_COLUMNAR_ROWS_COUNTER} is 0 — the "
+                        "columnar builder never ran")
+  endif()
+  set(required_spans "columnar.build" "columnar.e01.dataset_summary")
+else()
+  set(required_spans "joblog.read_csv" "e01.dataset_summary")
+endif()
+
 if(NOT trace_json MATCHES "\"traceEvents\":\\[{")
   message(FATAL_ERROR "trace export has no spans: ${TRACE}")
 endif()
-foreach(span "joblog.read_csv" "e01.dataset_summary")
-  if(NOT trace_json MATCHES "\"name\":\"${span}\"")
+foreach(span ${required_spans})
+  string(REPLACE "." "\\." span_pattern "${span}")
+  if(NOT trace_json MATCHES "\"name\":\"${span_pattern}\"")
     message(FATAL_ERROR "trace export lacks the ${span} span")
   endif()
 endforeach()

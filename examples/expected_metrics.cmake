@@ -74,6 +74,15 @@ set(FAILMINE_INGEST_REQUIRED_COUNTERS
   ingest.bytes_mapped
   ingest.chunks)
 
+# Counters the columnar table builder flushes on every merge
+# (src/columnar/builder.cpp) — present whenever a dataset was loaded
+# with --columnar, with columnar.rows matching the ingested row count.
+set(FAILMINE_COLUMNAR_REQUIRED_COUNTERS
+  columnar.rows
+  columnar.bytes
+  columnar.dict_entries)
+set(FAILMINE_COLUMNAR_ROWS_COUNTER columnar.rows)
+
 # Self-metrics the telemetry server pre-registers at start(), so any
 # replay run with --serve must have exported them (even all-zero): the
 # request totals, the request-latency histogram and the sampling

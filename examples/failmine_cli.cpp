@@ -3,8 +3,10 @@
 // Subcommands:
 //   simulate --out DIR [--scale S] [--seed N] [--days D]
 //       generate a four-log dataset as CSV files
-//   summary  --data DIR
-//       dataset totals (E01)
+//   summary  --data DIR [--columnar]
+//       dataset totals (E01); --columnar loads the SoA tables and runs
+//       the vectorized kernels instead of the row-oriented analyzer
+//       (identical output by the columnar parity contract)
 //   report   --data DIR [--scale S]
 //       machine-checkable takeaway report against the paper's claims
 //   mtti     --data DIR [--window SEC] [--radius rack|midplane|board|card]
@@ -88,6 +90,8 @@
 #include <string>
 #include <thread>
 
+#include "columnar/engine.hpp"
+#include "columnar/load.hpp"
 #include "core/report.hpp"
 #include "obs/alerts.hpp"
 #include "predict/operator.hpp"
@@ -112,7 +116,8 @@ using namespace failmine;
 class ArgMap {
  public:
   ArgMap(int argc, char** argv, int first) {
-    static const std::set<std::string> kBooleanFlags = {"predict", "tsdb"};
+    static const std::set<std::string> kBooleanFlags = {"columnar", "predict",
+                                                        "tsdb"};
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0)
@@ -164,7 +169,7 @@ void print_usage() {
                "usage: failmine_cli <simulate|summary|report|mtti|fit|stream> "
                "[options]\n"
                "  simulate --out DIR [--scale S] [--seed N] [--days D]\n"
-               "  summary  --data DIR\n"
+               "  summary  --data DIR [--columnar]\n"
                "  report   --data DIR [--scale S] [--format text|json]\n"
                "  mtti     --data DIR [--window SEC] [--radius LEVEL]\n"
                "  fit      --data DIR [--min-sample N]\n"
@@ -187,13 +192,22 @@ void print_usage() {
                "[--profile-out PATH[:HZ]]\n");
 }
 
-sim::SimResult load(const ArgMap& args) {
-  const std::string dir = args.get("data", "");
-  if (dir.empty()) throw failmine::ParseError("--data DIR is required");
+ingest::LoadOptions load_options(const ArgMap& args) {
   ingest::LoadOptions options;
   options.threads =
       static_cast<unsigned>(std::max(0LL, args.get_int("ingest-threads", 0)));
-  return sim::load_dataset(dir, topology::MachineConfig::mira(), options);
+  return options;
+}
+
+std::string data_dir(const ArgMap& args) {
+  const std::string dir = args.get("data", "");
+  if (dir.empty()) throw failmine::ParseError("--data DIR is required");
+  return dir;
+}
+
+sim::SimResult load(const ArgMap& args) {
+  return sim::load_dataset(data_dir(args), topology::MachineConfig::mira(),
+                           load_options(args));
 }
 
 core::JointAnalyzer make_analyzer(const sim::SimResult& data) {
@@ -223,9 +237,19 @@ int cmd_simulate(const ArgMap& args) {
 }
 
 int cmd_summary(const ArgMap& args) {
-  const auto data = load(args);
-  const auto analyzer = make_analyzer(data);
-  const auto s = analyzer.dataset_summary();
+  // --columnar parses straight into the SoA tables and answers E01
+  // through the columnar QueryEngine; the printed lines are identical
+  // to the row path by the kernel parity contract (columnar/analyses).
+  core::DatasetSummary s;
+  if (args.has("columnar")) {
+    const auto machine = topology::MachineConfig::mira();
+    const auto dataset =
+        columnar::load_dataset(data_dir(args), machine, load_options(args));
+    s = columnar::QueryEngine(dataset, machine).dataset_summary();
+  } else {
+    const auto data = load(args);
+    s = make_analyzer(data).dataset_summary();
+  }
   std::printf("span            %.1f days\n", s.span_days);
   std::printf("jobs            %llu\n", static_cast<unsigned long long>(s.jobs));
   std::printf("tasks           %llu\n", static_cast<unsigned long long>(s.tasks));

@@ -12,11 +12,11 @@ namespace failmine::analysis {
 namespace {
 
 template <typename KeyOf>
-std::vector<GroupStats> aggregate(const joblog::JobLog& log,
+std::vector<GroupStats> aggregate(const std::vector<joblog::JobRecord>& jobs,
                                   const topology::MachineConfig& machine,
                                   KeyOf key_of) {
   std::unordered_map<std::uint32_t, GroupStats> by_key;
-  for (const auto& job : log.jobs()) {
+  for (const auto& job : jobs) {
     GroupStats& g = by_key[key_of(job)];
     g.group_id = key_of(job);
     ++g.jobs;
@@ -42,15 +42,26 @@ std::vector<GroupStats> aggregate(const joblog::JobLog& log,
 
 std::vector<GroupStats> per_user_stats(const joblog::JobLog& log,
                                        const topology::MachineConfig& machine) {
-  FAILMINE_TRACE_SPAN("e03.user_stats.per_user");
-  return aggregate(log, machine,
-                   [](const joblog::JobRecord& j) { return j.user_id; });
+  return per_user_stats(log.jobs(), machine);
 }
 
 std::vector<GroupStats> per_project_stats(const joblog::JobLog& log,
                                           const topology::MachineConfig& machine) {
+  return per_project_stats(log.jobs(), machine);
+}
+
+std::vector<GroupStats> per_user_stats(const std::vector<joblog::JobRecord>& jobs,
+                                       const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("e03.user_stats.per_user");
+  return aggregate(jobs, machine,
+                   [](const joblog::JobRecord& j) { return j.user_id; });
+}
+
+std::vector<GroupStats> per_project_stats(
+    const std::vector<joblog::JobRecord>& jobs,
+    const topology::MachineConfig& machine) {
   FAILMINE_TRACE_SPAN("e03.user_stats.per_project");
-  return aggregate(log, machine,
+  return aggregate(jobs, machine,
                    [](const joblog::JobRecord& j) { return j.project_id; });
 }
 

@@ -1,0 +1,326 @@
+#include "columnar/analyses.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "columnar/kernels.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace failmine::columnar {
+
+namespace {
+
+constexpr std::size_t kNumExitClasses = std::size(joblog::kAllExitClasses);
+constexpr std::size_t kNumSeverities = std::size(raslog::kAllSeverities);
+constexpr std::size_t kNumComponents = std::size(raslog::kAllComponents);
+constexpr std::size_t kNumCategories = std::size(raslog::kAllCategories);
+
+/// Same expression, same evaluation order as JobRecord::core_hours.
+double core_hours_of_row(const JobTable& t, std::size_t i, double cores) {
+  return static_cast<double>(t.nodes_used[i]) * cores *
+         (static_cast<double>(t.runtime_seconds[i]) / 3600.0);
+}
+
+/// Dense group accumulation over a u32 id column. Ids are dense small
+/// integers in practice; past this many slots the scan falls back to a
+/// hash map rather than allocating a huge sparse array.
+constexpr std::size_t kMaxDenseGroups = 16u << 20;
+
+/// Per-class flags, indexed by exit-class code. The scan adds the flag
+/// values unconditionally instead of branching on is_failure /
+/// is_user_caused — those branches are data-dependent on a skewed exit
+/// mix and mispredict badly at scan scale. `fail_mult` preserves the
+/// row path's f64 bit parity: `x += ch * 0.0` leaves a non-negative
+/// accumulator bit-identical (the sum never goes through -0.0), and
+/// `ch * 1.0 == ch` exactly.
+struct ClassFlags {
+  std::array<std::uint64_t, kNumExitClasses> fail{};
+  std::array<std::uint64_t, kNumExitClasses> user{};
+  std::array<std::uint64_t, kNumExitClasses> system{};
+  std::array<double, kNumExitClasses> fail_mult{};
+};
+
+const ClassFlags& class_flags() {
+  static const ClassFlags flags = [] {
+    ClassFlags f;
+    for (std::size_t c = 0; c < kNumExitClasses; ++c) {
+      const joblog::ExitClass cls = joblog::kAllExitClasses[c];
+      f.fail[c] = joblog::is_failure(cls) ? 1 : 0;
+      f.user[c] = joblog::is_failure(cls) && joblog::is_user_caused(cls) ? 1 : 0;
+      f.system[c] =
+          joblog::is_failure(cls) && joblog::is_system_caused(cls) ? 1 : 0;
+      f.fail_mult[c] = joblog::is_failure(cls) ? 1.0 : 0.0;
+    }
+    return f;
+  }();
+  return flags;
+}
+
+std::vector<analysis::GroupStats> group_stats(
+    const JobTable& t, const topology::MachineConfig& machine,
+    const std::vector<std::uint32_t>& ids) {
+  const double cores = static_cast<double>(machine.cores_per_node);
+  const std::size_t n = t.rows();
+  const std::size_t slots = static_cast<std::size_t>(kernels::max_u32(ids)) + 1;
+  const ClassFlags& fl = class_flags();
+
+  // slot_of must have set g.group_id by the time the slot is emitted;
+  // the hot loop itself never writes it.
+  auto accumulate = [&](auto&& slot_of) {
+    for (std::size_t i = 0; i < n; ++i) {
+      analysis::GroupStats& g = slot_of(ids[i]);
+      ++g.jobs;
+      const double ch = core_hours_of_row(t, i, cores);
+      const std::uint8_t c = t.exit_class_code[i];
+      g.core_hours += ch;
+      g.failed_core_hours += ch * fl.fail_mult[c];
+      g.failures += fl.fail[c];
+      g.user_caused_failures += fl.user[c];
+      g.system_caused_failures += fl.system[c];
+    }
+  };
+
+  std::vector<analysis::GroupStats> out;
+  if (n == 0) return out;
+  if (slots <= kMaxDenseGroups) {
+    std::vector<analysis::GroupStats> dense(slots);
+    accumulate([&](std::uint32_t id) -> analysis::GroupStats& {
+      return dense[id];
+    });
+    for (std::size_t id = 0; id < slots; ++id) {
+      if (dense[id].jobs == 0) continue;
+      dense[id].group_id = static_cast<std::uint32_t>(id);
+      out.push_back(dense[id]);
+    }
+    // dense emission is already ascending by group id
+    return out;
+  }
+  std::unordered_map<std::uint32_t, analysis::GroupStats> sparse;
+  accumulate([&](std::uint32_t id) -> analysis::GroupStats& {
+    analysis::GroupStats& g = sparse[id];
+    g.group_id = id;
+    return g;
+  });
+  out.reserve(sparse.size());
+  for (const auto& [id, g] : sparse) out.push_back(g);
+  std::sort(out.begin(), out.end(),
+            [](const analysis::GroupStats& a, const analysis::GroupStats& b) {
+              return a.group_id < b.group_id;
+            });
+  return out;
+}
+
+}  // namespace
+
+core::DatasetSummary dataset_summary(const ColumnarDataset& ds,
+                                     const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("columnar.e01.dataset_summary");
+  const JobTable& jobs = ds.jobs;
+  if (jobs.rows() == 0)
+    throw failmine::DomainError("dataset summary needs jobs");
+  // Observation window: first submit to last end, widened by the RAS
+  // span — the same rule as the JointAnalyzer constructor.
+  util::UnixSeconds lo = jobs.start_time.front() - jobs.wait_seconds.front();
+  util::UnixSeconds hi = lo;
+  double total_core_hours = 0.0;
+  const double cores = static_cast<double>(machine.cores_per_node);
+  jobs.start_time.for_each([&](std::size_t i, util::UnixSeconds start) {
+    lo = std::min(lo, start - jobs.wait_seconds[i]);
+    hi = std::max(hi, start + jobs.runtime_seconds[i]);
+    total_core_hours += core_hours_of_row(jobs, i, cores);
+  });
+  if (ds.ras.rows() > 0) {
+    lo = std::min(lo, ds.ras.timestamp.front());
+    hi = std::max(hi, ds.ras.timestamp.back() + 1);
+  }
+
+  core::DatasetSummary s;
+  s.span_days = static_cast<double>(hi - lo) /
+                static_cast<double>(util::kSecondsPerDay);
+  s.jobs = jobs.rows();
+  s.tasks = ds.tasks.rows();
+  s.ras_events = ds.ras.rows();
+  for (std::size_t sev = 0; sev < kNumSeverities; ++sev)
+    s.ras_by_severity[sev] = ds.ras.severity_bits[sev].count();
+  s.io_records = ds.io.rows();
+  s.total_core_hours = total_core_hours;
+  return s;
+}
+
+core::ExitBreakdown exit_breakdown(const JobTable& jobs,
+                                   const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("columnar.e02.exit_breakdown");
+  core::ExitBreakdown b;
+  b.total_jobs = jobs.rows();
+  const std::vector<std::uint64_t> counts =
+      kernels::count_by_key(jobs.exit_class_code, kNumExitClasses);
+  const double cores = static_cast<double>(machine.cores_per_node);
+  const std::vector<double> hours = kernels::sum_by_key(
+      jobs.exit_class_code, kNumExitClasses,
+      [&](std::size_t i) { return core_hours_of_row(jobs, i, cores); });
+
+  std::uint64_t user_caused = 0;
+  std::uint64_t system_caused = 0;
+  for (std::size_t c = 0; c < kNumExitClasses; ++c) {
+    const auto cls = joblog::kAllExitClasses[c];
+    if (!joblog::is_failure(cls)) continue;
+    b.total_failures += counts[c];
+    if (joblog::is_user_caused(cls)) user_caused += counts[c];
+    if (joblog::is_system_caused(cls)) system_caused += counts[c];
+  }
+  for (std::size_t c = 0; c < kNumExitClasses; ++c) {
+    const auto cls = joblog::kAllExitClasses[c];
+    if (counts[c] == 0) continue;
+    core::ExitBreakdownRow row;
+    row.exit_class = cls;
+    row.jobs = counts[c];
+    row.core_hours = hours[c];
+    row.share_of_jobs =
+        static_cast<double>(row.jobs) / static_cast<double>(b.total_jobs);
+    row.share_of_failures =
+        joblog::is_failure(cls) && b.total_failures > 0
+            ? static_cast<double>(row.jobs) /
+                  static_cast<double>(b.total_failures)
+            : 0.0;
+    b.rows.push_back(row);
+  }
+  if (b.total_failures > 0) {
+    b.user_caused_share = static_cast<double>(user_caused) /
+                          static_cast<double>(b.total_failures);
+    b.system_caused_share = static_cast<double>(system_caused) /
+                            static_cast<double>(b.total_failures);
+  }
+  return b;
+}
+
+std::vector<analysis::GroupStats> per_user_stats(
+    const JobTable& jobs, const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("columnar.e03.per_user");
+  return group_stats(jobs, machine, jobs.user_id);
+}
+
+std::vector<analysis::GroupStats> per_project_stats(
+    const JobTable& jobs, const topology::MachineConfig& machine) {
+  FAILMINE_TRACE_SPAN("columnar.e03.per_project");
+  return group_stats(jobs, machine, jobs.project_id);
+}
+
+analysis::RasBreakdown ras_breakdown(const RasTable& ras) {
+  FAILMINE_TRACE_SPAN("columnar.e06.ras_breakdown");
+  analysis::RasBreakdown b;
+  b.total_events = ras.rows();
+  const std::vector<std::uint64_t> by_sev =
+      kernels::count_by_key(ras.severity_code, kNumSeverities);
+  for (std::size_t sev = 0; sev < kNumSeverities; ++sev)
+    b.by_severity[sev] = by_sev[sev];
+
+  const std::vector<std::uint64_t> comp_sev = kernels::count_by_key_pair(
+      ras.component_code, kNumComponents, ras.severity_code, kNumSeverities);
+  for (std::size_t c = 0; c < kNumComponents; ++c) {
+    analysis::SeverityCounts counts{};
+    std::uint64_t total = 0;
+    for (std::size_t sev = 0; sev < kNumSeverities; ++sev) {
+      counts[sev] = comp_sev[c * kNumSeverities + sev];
+      total += counts[sev];
+    }
+    if (total > 0) b.by_component[raslog::kAllComponents[c]] = counts;
+  }
+  const std::vector<std::uint64_t> cat_sev = kernels::count_by_key_pair(
+      ras.category_code, kNumCategories, ras.severity_code, kNumSeverities);
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    analysis::SeverityCounts counts{};
+    std::uint64_t total = 0;
+    for (std::size_t sev = 0; sev < kNumSeverities; ++sev) {
+      counts[sev] = cat_sev[c * kNumSeverities + sev];
+      total += counts[sev];
+    }
+    if (total > 0) b.by_category[raslog::kAllCategories[c]] = counts;
+  }
+  return b;
+}
+
+analysis::HourlyProfile submissions_by_hour(const JobTable& jobs) {
+  FAILMINE_TRACE_SPAN("columnar.e11.submissions_by_hour");
+  analysis::HourlyProfile p{};
+  jobs.start_time.for_each([&](std::size_t i, util::UnixSeconds start) {
+    ++p[static_cast<std::size_t>(
+        util::hour_of_day(start - jobs.wait_seconds[i]))];
+  });
+  return p;
+}
+
+analysis::WeekdayProfile submissions_by_weekday(const JobTable& jobs) {
+  FAILMINE_TRACE_SPAN("columnar.e11.submissions_by_weekday");
+  analysis::WeekdayProfile p{};
+  jobs.start_time.for_each([&](std::size_t i, util::UnixSeconds start) {
+    ++p[static_cast<std::size_t>(
+        util::day_of_week(start - jobs.wait_seconds[i]))];
+  });
+  return p;
+}
+
+analysis::HourlyProfile failures_by_hour(const JobTable& jobs) {
+  FAILMINE_TRACE_SPAN("columnar.e11.failures_by_hour");
+  analysis::HourlyProfile p{};
+  jobs.start_time.for_each([&](std::size_t i, util::UnixSeconds start) {
+    if (jobs.failed.test(i))
+      ++p[static_cast<std::size_t>(
+          util::hour_of_day(start + jobs.runtime_seconds[i]))];
+  });
+  return p;
+}
+
+analysis::HourlyProfile events_by_hour(const RasTable& ras) {
+  FAILMINE_TRACE_SPAN("columnar.e11.events_by_hour");
+  analysis::HourlyProfile p{};
+  ras.timestamp.for_each([&](std::size_t, util::UnixSeconds t) {
+    ++p[static_cast<std::size_t>(util::hour_of_day(t))];
+  });
+  return p;
+}
+
+namespace {
+
+void bump_month(std::vector<std::uint64_t>& series, util::UnixSeconds origin,
+                util::UnixSeconds t) {
+  const int idx = util::month_index(origin, t);
+  if (idx < 0) return;
+  if (static_cast<std::size_t>(idx) >= series.size())
+    series.resize(static_cast<std::size_t>(idx) + 1, 0);
+  ++series[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> monthly_submissions(const JobTable& jobs,
+                                               util::UnixSeconds origin) {
+  std::vector<std::uint64_t> series;
+  jobs.start_time.for_each([&](std::size_t i, util::UnixSeconds start) {
+    bump_month(series, origin, start - jobs.wait_seconds[i]);
+  });
+  return series;
+}
+
+std::vector<std::uint64_t> monthly_failures(const JobTable& jobs,
+                                            util::UnixSeconds origin) {
+  std::vector<std::uint64_t> series;
+  jobs.start_time.for_each([&](std::size_t i, util::UnixSeconds start) {
+    if (jobs.failed.test(i))
+      bump_month(series, origin, start + jobs.runtime_seconds[i]);
+  });
+  return series;
+}
+
+std::vector<std::uint64_t> monthly_fatal_events(const RasTable& ras,
+                                                util::UnixSeconds origin) {
+  std::vector<std::uint64_t> series;
+  constexpr auto kFatal = static_cast<std::size_t>(raslog::Severity::kFatal);
+  ras.timestamp.for_each([&](std::size_t i, util::UnixSeconds t) {
+    if (ras.severity_bits[kFatal].test(i)) bump_month(series, origin, t);
+  });
+  return series;
+}
+
+}  // namespace failmine::columnar

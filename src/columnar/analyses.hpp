@@ -1,0 +1,61 @@
+// failmine/columnar/analyses.hpp
+//
+// Columnar backends for the hot JointAnalyzer paths: E02 exit
+// breakdown, E03 user/project concentration, E06 RAS breakdown and E11
+// temporal rates. Each returns the same result type as its row-path
+// counterpart (core::ExitBreakdown, analysis::GroupStats, ...) and is
+// bit-exact against it: counts are exact, and every f64 accumulator
+// receives the same addends in the same order as the row scan (forward
+// row order per key — see columnar/kernels.hpp), so even the
+// floating-point sums match to the last bit.
+//
+// The scans touch only the columns an analysis needs: E02 reads 9
+// bytes per job (exit class u8, runtime u32, nodes u32) instead of a
+// ~100-byte JobRecord; E06 reads 2 code bytes per RAS event.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/ras_breakdown.hpp"
+#include "analysis/temporal.hpp"
+#include "analysis/user_stats.hpp"
+#include "columnar/table.hpp"
+#include "core/joint_analyzer.hpp"
+#include "topology/machine.hpp"
+#include "util/time.hpp"
+
+namespace failmine::columnar {
+
+/// E01: totals across the four tables. Throws DomainError when the job
+/// table is empty, like the row-path JointAnalyzer.
+core::DatasetSummary dataset_summary(const ColumnarDataset& ds,
+                                     const topology::MachineConfig& machine);
+
+/// E02: jobs and core-hours per exit class, with cause attribution.
+core::ExitBreakdown exit_breakdown(const JobTable& jobs,
+                                   const topology::MachineConfig& machine);
+
+/// E03: per-user / per-project aggregates, ascending group id.
+std::vector<analysis::GroupStats> per_user_stats(
+    const JobTable& jobs, const topology::MachineConfig& machine);
+std::vector<analysis::GroupStats> per_project_stats(
+    const JobTable& jobs, const topology::MachineConfig& machine);
+
+/// E06: events by severity, component and category.
+analysis::RasBreakdown ras_breakdown(const RasTable& ras);
+
+/// E11: temporal profiles and monthly series.
+analysis::HourlyProfile submissions_by_hour(const JobTable& jobs);
+analysis::WeekdayProfile submissions_by_weekday(const JobTable& jobs);
+analysis::HourlyProfile failures_by_hour(const JobTable& jobs);
+analysis::HourlyProfile events_by_hour(const RasTable& ras);
+std::vector<std::uint64_t> monthly_submissions(const JobTable& jobs,
+                                               util::UnixSeconds origin);
+std::vector<std::uint64_t> monthly_failures(const JobTable& jobs,
+                                            util::UnixSeconds origin);
+std::vector<std::uint64_t> monthly_fatal_events(const RasTable& ras,
+                                                util::UnixSeconds origin);
+
+}  // namespace failmine::columnar

@@ -1,0 +1,51 @@
+#include "columnar/dictionary.hpp"
+
+#include "util/error.hpp"
+
+namespace failmine::columnar {
+
+std::uint32_t Dictionary::encode(std::string_view name) {
+  // Transparent lookup would avoid this temporary, but unordered_map's
+  // heterogeneous find needs a custom hash; the string is tiny and the
+  // hit path below dominates on real columns.
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const auto code = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), code);
+  return code;
+}
+
+std::optional<std::uint32_t> Dictionary::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::name(std::uint32_t code) const {
+  if (code >= names_.size())
+    throw failmine::DomainError("unknown dictionary code " +
+                                std::to_string(code));
+  return names_[code];
+}
+
+void Dictionary::merge_from(const Dictionary& other,
+                            std::vector<std::uint32_t>& remap) {
+  remap.clear();
+  remap.reserve(other.names_.size());
+  for (const std::string& name : other.names_)
+    remap.push_back(encode(name));
+}
+
+std::size_t Dictionary::bytes() const {
+  std::size_t total = 0;
+  for (const std::string& name : names_)
+    total += sizeof(std::string) + name.capacity();
+  // The index holds a copy of every entry plus node/bucket overhead.
+  for (const auto& [name, code] : index_)
+    total += sizeof(std::string) + name.capacity() + sizeof(code) +
+             2 * sizeof(void*);
+  return total;
+}
+
+}  // namespace failmine::columnar

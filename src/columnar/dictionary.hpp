@@ -1,0 +1,61 @@
+// failmine/columnar/dictionary.hpp
+//
+// Dictionary encoding for low-cardinality string columns.
+//
+// A Dictionary maps distinct strings to dense uint32 codes in first-seen
+// order. Columnar tables store the codes (4 bytes per row) and keep one
+// Dictionary per string column; group-bys over the column become dense
+// histogram kernels over the codes (columnar/kernels.hpp).
+//
+// Code stability across parallel builds: the ingest engine parses chunks
+// concurrently, each into its own builder with its own local dictionary,
+// and the deterministic chunk-order merge remaps every chunk's codes into
+// the first builder's dictionary. Because chunks are merged in file
+// order, the final code assignment is exactly what a serial first-seen
+// pass over the whole file would produce — for any thread count.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace failmine::columnar {
+
+class Dictionary {
+ public:
+  /// Code for `name`, appending a new entry on first sight.
+  std::uint32_t encode(std::string_view name);
+
+  /// Code for `name` if already present.
+  std::optional<std::uint32_t> find(std::string_view name) const;
+
+  /// The string behind a code; throws DomainError on an unknown code.
+  const std::string& name(std::uint32_t code) const;
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  bool empty() const { return names_.empty(); }
+
+  /// All entries in code order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Appends `other`'s entries (in other's code order, skipping ones
+  /// already present) and fills `remap` so that
+  /// `remap[other_code] == this->encode(other.name(other_code))`.
+  void merge_from(const Dictionary& other, std::vector<std::uint32_t>& remap);
+
+  /// Heap bytes held (entry strings + index).
+  std::size_t bytes() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace failmine::columnar

@@ -1,0 +1,83 @@
+#include "columnar/engine.hpp"
+
+#include "analysis/temporal.hpp"
+#include "columnar/analyses.hpp"
+
+namespace failmine::columnar {
+
+QueryEngine::QueryEngine(const joblog::JobLog& jobs,
+                         const tasklog::TaskLog& tasks,
+                         const raslog::RasLog& ras, const iolog::IoLog& io,
+                         const topology::MachineConfig& machine)
+    : jobs_(&jobs), tasks_(&tasks), ras_(&ras), io_(&io), machine_(machine) {}
+
+QueryEngine::QueryEngine(const ColumnarDataset& dataset,
+                         const topology::MachineConfig& machine)
+    : dataset_(&dataset), machine_(machine) {}
+
+core::DatasetSummary QueryEngine::dataset_summary() const {
+  if (dataset_) return columnar::dataset_summary(*dataset_, machine_);
+  return core::JointAnalyzer(*jobs_, *tasks_, *ras_, *io_, machine_)
+      .dataset_summary();
+}
+
+core::ExitBreakdown QueryEngine::exit_breakdown() const {
+  if (dataset_) return columnar::exit_breakdown(dataset_->jobs, machine_);
+  return core::JointAnalyzer(*jobs_, *tasks_, *ras_, *io_, machine_)
+      .exit_breakdown();
+}
+
+std::vector<analysis::GroupStats> QueryEngine::per_user_stats() const {
+  if (dataset_) return columnar::per_user_stats(dataset_->jobs, machine_);
+  return analysis::per_user_stats(*jobs_, machine_);
+}
+
+std::vector<analysis::GroupStats> QueryEngine::per_project_stats() const {
+  if (dataset_) return columnar::per_project_stats(dataset_->jobs, machine_);
+  return analysis::per_project_stats(*jobs_, machine_);
+}
+
+analysis::RasBreakdown QueryEngine::ras_breakdown() const {
+  if (dataset_) return columnar::ras_breakdown(dataset_->ras);
+  return analysis::ras_breakdown(*ras_);
+}
+
+analysis::HourlyProfile QueryEngine::submissions_by_hour() const {
+  if (dataset_) return columnar::submissions_by_hour(dataset_->jobs);
+  return analysis::submissions_by_hour(*jobs_);
+}
+
+analysis::WeekdayProfile QueryEngine::submissions_by_weekday() const {
+  if (dataset_) return columnar::submissions_by_weekday(dataset_->jobs);
+  return analysis::submissions_by_weekday(*jobs_);
+}
+
+analysis::HourlyProfile QueryEngine::failures_by_hour() const {
+  if (dataset_) return columnar::failures_by_hour(dataset_->jobs);
+  return analysis::failures_by_hour(*jobs_);
+}
+
+analysis::HourlyProfile QueryEngine::events_by_hour() const {
+  if (dataset_) return columnar::events_by_hour(dataset_->ras);
+  return analysis::events_by_hour(*ras_);
+}
+
+std::vector<std::uint64_t> QueryEngine::monthly_submissions(
+    util::UnixSeconds origin) const {
+  if (dataset_) return columnar::monthly_submissions(dataset_->jobs, origin);
+  return analysis::monthly_submissions(*jobs_, origin);
+}
+
+std::vector<std::uint64_t> QueryEngine::monthly_failures(
+    util::UnixSeconds origin) const {
+  if (dataset_) return columnar::monthly_failures(dataset_->jobs, origin);
+  return analysis::monthly_failures(*jobs_, origin);
+}
+
+std::vector<std::uint64_t> QueryEngine::monthly_fatal_events(
+    util::UnixSeconds origin) const {
+  if (dataset_) return columnar::monthly_fatal_events(dataset_->ras, origin);
+  return analysis::monthly_fatal_events(*ras_, origin);
+}
+
+}  // namespace failmine::columnar

@@ -1,0 +1,59 @@
+#include "columnar/kernels.hpp"
+
+namespace failmine::columnar::kernels {
+
+std::vector<std::uint64_t> count_by_key(const std::vector<std::uint8_t>& keys,
+                                        std::size_t num_keys) {
+  std::vector<std::uint64_t> sub(num_keys * 4, 0);
+  std::uint64_t* h0 = sub.data();
+  std::uint64_t* h1 = h0 + num_keys;
+  std::uint64_t* h2 = h1 + num_keys;
+  std::uint64_t* h3 = h2 + num_keys;
+  const std::size_t n = keys.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ++h0[keys[i]];
+    ++h1[keys[i + 1]];
+    ++h2[keys[i + 2]];
+    ++h3[keys[i + 3]];
+  }
+  for (; i < n; ++i) ++h0[keys[i]];
+  std::vector<std::uint64_t> out(num_keys, 0);
+  for (std::size_t k = 0; k < num_keys; ++k)
+    out[k] = h0[k] + h1[k] + h2[k] + h3[k];
+  return out;
+}
+
+std::vector<std::uint64_t> count_by_key(const std::vector<std::uint32_t>& keys,
+                                        std::size_t num_keys) {
+  std::vector<std::uint64_t> out(num_keys, 0);
+  for (const std::uint32_t k : keys) ++out[k];
+  return out;
+}
+
+std::vector<std::uint64_t> count_by_key_pair(
+    const std::vector<std::uint8_t>& a, std::size_t num_a,
+    const std::vector<std::uint8_t>& b, std::size_t num_b) {
+  std::vector<std::uint64_t> out(num_a * num_b, 0);
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i)
+    ++out[static_cast<std::size_t>(a[i]) * num_b + b[i]];
+  return out;
+}
+
+std::vector<std::uint64_t> count_by_key_masked(
+    const std::vector<std::uint8_t>& keys, std::size_t num_keys,
+    const Bitmap& mask) {
+  std::vector<std::uint64_t> out(num_keys, 0);
+  mask.for_each_set([&](std::size_t i) { ++out[keys[i]]; });
+  return out;
+}
+
+std::uint32_t max_u32(const std::vector<std::uint32_t>& v) {
+  std::uint32_t mx = 0;
+  for (const std::uint32_t x : v)
+    if (x > mx) mx = x;
+  return mx;
+}
+
+}  // namespace failmine::columnar::kernels

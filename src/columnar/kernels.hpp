@@ -1,0 +1,63 @@
+// failmine/columnar/kernels.hpp
+//
+// Vectorized scan primitives over dense key columns.
+//
+// These are the inner loops of the columnar analyses: plain chunked
+// passes over contiguous u8/u32 code columns with no branches in the
+// hot path, written so the compiler can keep them in registers and
+// autovectorize. The u8 histogram splits into four sub-histograms to
+// break the serial dependency on a single counter slot when neighboring
+// rows share a key (the common case for skewed exit classes and
+// severities), then folds them at the end.
+//
+// Precondition everywhere: every key is < num_keys. The callers pass
+// enum codes and dictionary codes, both dense by construction.
+//
+// sum_by_key accumulates each key's f64 partial sum in forward row
+// order — exactly the order a row-at-a-time scan adds that key's
+// records — which is what keeps the columnar analyses bit-identical to
+// the AoS ones.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "columnar/bitmap.hpp"
+
+namespace failmine::columnar::kernels {
+
+/// Histogram of a u8 code column (4-way unrolled sub-histograms).
+std::vector<std::uint64_t> count_by_key(const std::vector<std::uint8_t>& keys,
+                                        std::size_t num_keys);
+
+/// Histogram of a u32 code column (dictionary codes, user/project ids).
+std::vector<std::uint64_t> count_by_key(const std::vector<std::uint32_t>& keys,
+                                        std::size_t num_keys);
+
+/// Joint histogram of two u8 code columns: result[a*num_b + b].
+std::vector<std::uint64_t> count_by_key_pair(
+    const std::vector<std::uint8_t>& a, std::size_t num_a,
+    const std::vector<std::uint8_t>& b, std::size_t num_b);
+
+/// Histogram restricted to rows whose mask bit is set.
+std::vector<std::uint64_t> count_by_key_masked(
+    const std::vector<std::uint8_t>& keys, std::size_t num_keys,
+    const Bitmap& mask);
+
+/// Largest value of a u32 column (0 when empty).
+std::uint32_t max_u32(const std::vector<std::uint32_t>& v);
+
+/// Keyed f64 reduction: sums[keys[i]] += value(i) in forward row order.
+/// `value` is a callable double(std::size_t row).
+template <class Key, class ValueFn>
+std::vector<double> sum_by_key(const std::vector<Key>& keys,
+                               std::size_t num_keys, ValueFn&& value) {
+  std::vector<double> sums(num_keys, 0.0);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    sums[keys[i]] += value(i);
+  return sums;
+}
+
+}  // namespace failmine::columnar::kernels

@@ -1,0 +1,53 @@
+// failmine/columnar/load.hpp
+//
+// CSV → columnar table loaders.
+//
+// Each loader runs the shared ingest engine (ingest::load_csv_fold)
+// with a per-chunk table builder as the accumulator: worker threads
+// parse rows straight into chunk-local column vectors — no intermediate
+// AoS record vector, no second pass over the file bytes — and the
+// deterministic chunk-order merge (columnar/builder.hpp) produces the
+// sealed table. Header validation, rejected-row diagnostics, parse.*
+// counters and the thrown error on malformed input are identical to the
+// row-path read_csv loaders for any thread count.
+//
+// Contract difference from the row path: the AoS containers' finalize()
+// detects duplicate job / I/O record ids (via their lookup indexes);
+// the columnar tables carry no id index, so these loaders do not reject
+// duplicates. Inputs written by write_csv never contain them.
+
+#pragma once
+
+#include <string>
+
+#include "columnar/builder.hpp"
+#include "columnar/table.hpp"
+#include "ingest/loader.hpp"
+#include "topology/machine.hpp"
+
+namespace failmine::columnar {
+
+/// Loads a job log CSV (joblog::job_csv_header() layout).
+JobTable load_job_table(const std::string& path,
+                        const ingest::LoadOptions& options = {});
+
+/// Loads a RAS log CSV, validating locations against `config`.
+RasTable load_ras_table(const std::string& path,
+                        const topology::MachineConfig& config,
+                        const ingest::LoadOptions& options = {});
+
+/// Loads a task log CSV.
+TaskTable load_task_table(const std::string& path,
+                          const ingest::LoadOptions& options = {});
+
+/// Loads an I/O log CSV.
+IoTable load_io_table(const std::string& path,
+                      const ingest::LoadOptions& options = {});
+
+/// Loads the four standard files of a dataset directory (jobs.csv,
+/// tasks.csv, ras.csv, io.csv — the sim::write_dataset layout).
+ColumnarDataset load_dataset(const std::string& directory,
+                             const topology::MachineConfig& config,
+                             const ingest::LoadOptions& options = {});
+
+}  // namespace failmine::columnar

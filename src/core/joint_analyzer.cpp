@@ -45,18 +45,18 @@ DatasetSummary JointAnalyzer::dataset_summary() const {
   return s;
 }
 
-ExitBreakdown JointAnalyzer::exit_breakdown() const {
-  FAILMINE_TRACE_SPAN("e02.exit_breakdown");
+ExitBreakdown exit_breakdown(const std::vector<joblog::JobRecord>& jobs,
+                             const topology::MachineConfig& machine) {
   ExitBreakdown b;
-  b.total_jobs = jobs_.size();
+  b.total_jobs = jobs.size();
   std::map<joblog::ExitClass, ExitBreakdownRow> rows;
   std::uint64_t user_caused = 0;
   std::uint64_t system_caused = 0;
-  for (const auto& job : jobs_.jobs()) {
+  for (const auto& job : jobs) {
     ExitBreakdownRow& row = rows[job.exit_class];
     row.exit_class = job.exit_class;
     ++row.jobs;
-    row.core_hours += job.core_hours(machine_);
+    row.core_hours += job.core_hours(machine);
     if (job.failed()) {
       ++b.total_failures;
       if (joblog::is_user_caused(job.exit_class)) ++user_caused;
@@ -83,6 +83,11 @@ ExitBreakdown JointAnalyzer::exit_breakdown() const {
                             static_cast<double>(b.total_failures);
   }
   return b;
+}
+
+ExitBreakdown JointAnalyzer::exit_breakdown() const {
+  FAILMINE_TRACE_SPAN("e02.exit_breakdown");
+  return core::exit_breakdown(jobs_.jobs(), machine_);
 }
 
 std::vector<ClassFitRow> JointAnalyzer::runtime_distribution_study(

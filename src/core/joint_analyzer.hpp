@@ -44,6 +44,13 @@ struct ExitBreakdown {
   double system_caused_share = 0.0;  ///< of failures
 };
 
+/// E02 over a plain record vector (time order): what
+/// JointAnalyzer::exit_breakdown computes, without needing the JobLog
+/// container — shared by the row-path benches and the columnar parity
+/// tests.
+ExitBreakdown exit_breakdown(const std::vector<joblog::JobRecord>& jobs,
+                             const topology::MachineConfig& machine);
+
 /// Dataset summary (experiment E01).
 struct DatasetSummary {
   double span_days = 0.0;

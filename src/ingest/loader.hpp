@@ -27,6 +27,12 @@
 // "ingest.load" span per file and an "ingest.chunk" span per chunk (on
 // the worker thread, so chunk parsing shows up attributed in /profile
 // flamegraphs).
+//
+// load_csv_fold generalizes the per-row action: each chunk folds its
+// rows into a caller-supplied accumulator (the columnar builders use
+// this to parse straight into column vectors with no intermediate
+// record vector), while load_csv itself is the Acc = std::vector<Record>
+// instance of the fold.
 
 #pragma once
 
@@ -147,23 +153,37 @@ void flush_success(const char* records_counter, std::size_t rows);
 
 }  // namespace detail
 
-/// Parallel batch load: parses every record of `path` through `parse`
-/// (a callable `Record(const util::FieldVec&)` invoked concurrently from
-/// worker threads; it must be thread-safe and should throw
-/// failmine::Error for invalid records) and returns the records in file
-/// order. See the file comment for the determinism guarantee.
-template <class Record, class ParseFn>
-std::vector<Record> load_csv(const std::string& path,
-                             const std::vector<std::string>& expected_header,
-                             const char* source, const std::string& header_label,
-                             const char* records_counter, ParseFn&& parse,
-                             const LoadOptions& options = {}) {
+/// Generalized parallel batch load: instead of collecting records into
+/// per-chunk vectors, every chunk folds its rows into an accumulator
+/// produced by `make_acc()` (a callable `Acc()`), through `row_fn(acc,
+/// fields)` — invoked concurrently across chunks but sequentially, in
+/// file order, within one chunk. `row_fn` must be thread-safe across
+/// distinct accumulators and should throw failmine::Error for invalid
+/// rows. Returns the accumulators in chunk (= file) order.
+///
+/// This is load_csv with the "what happens per row" swapped out: header
+/// validation, chunk planning, the allocation-free field splitter, the
+/// first-failed-chunk semantics, metric flushes and diagnostics are
+/// shared code, so a fold caller (e.g. the columnar builders) inherits
+/// the same determinism guarantee — on malformed input the same
+/// exception is thrown after the same WARN record, and no accumulators
+/// are returned.
+template <class Acc, class MakeAcc, class RowFn>
+std::vector<Acc> load_csv_fold(const std::string& path,
+                               const std::vector<std::string>& expected_header,
+                               const char* source,
+                               const std::string& header_label,
+                               const char* records_counter, MakeAcc&& make_acc,
+                               RowFn&& row_fn, const LoadOptions& options = {}) {
   FAILMINE_TRACE_SPAN("ingest.load");
   detail::LoadPlan plan =
       detail::open_and_plan(path, expected_header, header_label, options);
   const std::size_t arity = plan.header.size();
 
-  std::vector<std::vector<Record>> results(plan.chunks.size());
+  std::vector<Acc> results;
+  results.reserve(plan.chunks.size());
+  for (std::size_t ci = 0; ci < plan.chunks.size(); ++ci)
+    results.push_back(make_acc());
   std::vector<detail::ChunkStats> stats(plan.chunks.size());
   // Index of the first chunk that rejected a row: chunks after it would
   // never have been read by the serial reader, so workers past it stop
@@ -174,7 +194,7 @@ std::vector<Record> load_csv(const std::string& path,
       plan.chunks.size(), effective_threads(options), [&](std::size_t ci) {
         FAILMINE_TRACE_SPAN("ingest.chunk");
         const Chunk& chunk = plan.chunks[ci];
-        std::vector<Record>& out = results[ci];
+        Acc& out = results[ci];
         detail::ChunkStats& st = stats[ci];
         util::FieldVec fields;
         CsvCursor cursor(chunk.data);
@@ -199,7 +219,7 @@ std::vector<Record> load_csv(const std::string& path,
             break;
           }
           try {
-            out.push_back(parse(fields));
+            row_fn(out, fields);
           } catch (const failmine::Error& e) {
             st.failed = true;
             st.failure.kind = detail::RowFailure::Kind::kRecord;
@@ -218,23 +238,45 @@ std::vector<Record> load_csv(const std::string& path,
         }
       });
 
-  // Merge in chunk order. The first failed chunk (in file order) wins;
-  // everything before it contributed rows, everything after it is
-  // discarded — exactly the serial reader's view of the file.
+  // The first failed chunk (in file order) wins; everything before it
+  // contributed rows, everything after it is discarded — exactly the
+  // serial reader's view of the file.
   std::size_t rows_before = 0;
-  std::size_t total_records = 0;
   for (std::size_t ci = 0; ci < plan.chunks.size(); ++ci) {
     if (stats[ci].failed)
       detail::report_failure(path, source, records_counter, arity,
                              rows_before, stats[ci].failure);
     rows_before += stats[ci].rows;
-    total_records += results[ci].size();
   }
   detail::flush_success(records_counter, rows_before);
+  return results;
+}
 
+/// Parallel batch load: parses every record of `path` through `parse`
+/// (a callable `Record(const util::FieldVec&)` invoked concurrently from
+/// worker threads; it must be thread-safe and should throw
+/// failmine::Error for invalid records) and returns the records in file
+/// order. See the file comment for the determinism guarantee.
+template <class Record, class ParseFn>
+std::vector<Record> load_csv(const std::string& path,
+                             const std::vector<std::string>& expected_header,
+                             const char* source, const std::string& header_label,
+                             const char* records_counter, ParseFn&& parse,
+                             const LoadOptions& options = {}) {
+  std::vector<std::vector<Record>> parts = load_csv_fold<std::vector<Record>>(
+      path, expected_header, source, header_label, records_counter,
+      [] { return std::vector<Record>(); },
+      [&parse](std::vector<Record>& out, const util::FieldVec& fields) {
+        out.push_back(parse(fields));
+      },
+      options);
+
+  // Merge in chunk order.
+  std::size_t total_records = 0;
+  for (const auto& part : parts) total_records += part.size();
   std::vector<Record> merged;
   merged.reserve(total_records);
-  for (auto& part : results) {
+  for (auto& part : parts) {
     merged.insert(merged.end(), std::make_move_iterator(part.begin()),
                   std::make_move_iterator(part.end()));
     part.clear();

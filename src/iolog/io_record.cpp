@@ -11,17 +11,13 @@
 
 namespace failmine::iolog {
 
-namespace {
-
-const std::vector<std::string>& csv_header() {
+const std::vector<std::string>& io_csv_header() {
   static const std::vector<std::string> header = {
       "job_id",        "bytes_read",        "bytes_written",
       "read_time_s",   "write_time_s",      "files_accessed",
       "ranks_doing_io"};
   return header;
 }
-
-}  // namespace
 
 IoLog::IoLog(std::vector<IoRecord> records) : records_(std::move(records)) {
   finalize();
@@ -52,7 +48,7 @@ const IoRecord& IoLog::by_job(std::uint64_t job_id) const {
 }
 
 void IoLog::write_csv(const std::string& path) const {
-  util::CsvWriter writer(path, csv_header());
+  util::CsvWriter writer(path, io_csv_header());
   for (const auto& r : records_) {
     writer.write_row({
         std::to_string(r.job_id),
@@ -72,8 +68,7 @@ namespace {
 // Row is std::vector<std::string> (serial reader) or util::FieldVec
 // (ingest engine); both index to something convertible to string_view.
 template <class Row>
-iolog::IoRecord parse_row(const Row& row) {
-  IoRecord r;
+void parse_row_into(const Row& row, IoRecord& r) {
   r.job_id = util::parse_uint(row[0]);
   r.bytes_read = util::parse_uint(row[1]);
   r.bytes_written = util::parse_uint(row[2]);
@@ -81,10 +76,20 @@ iolog::IoRecord parse_row(const Row& row) {
   r.write_time_seconds = util::parse_double(row[4]);
   r.files_accessed = static_cast<std::uint32_t>(util::parse_uint(row[5]));
   r.ranks_doing_io = static_cast<std::uint32_t>(util::parse_uint(row[6]));
+}
+
+template <class Row>
+iolog::IoRecord parse_row(const Row& row) {
+  IoRecord r;
+  parse_row_into(row, r);
   return r;
 }
 
 }  // namespace
+
+void parse_csv_row(const util::FieldVec& row, IoRecord& out) {
+  parse_row_into(row, out);
+}
 
 IoLog IoLog::read_csv(const std::string& path,
                       const ingest::LoadOptions& options,
@@ -92,11 +97,11 @@ IoLog IoLog::read_csv(const std::string& path,
   FAILMINE_TRACE_SPAN("iolog.read_csv");
   if (!ingest::use_serial_reader(options, engine)) {
     return IoLog(ingest::load_csv<IoRecord>(
-        path, csv_header(), "iolog", "I/O log", "parse.iolog.records",
+        path, io_csv_header(), "iolog", "I/O log", "parse.iolog.records",
         [](const util::FieldVec& row) { return parse_row(row); }, options));
   }
   util::CsvReader reader(path);
-  if (reader.header() != csv_header())
+  if (reader.header() != io_csv_header())
     throw failmine::ParseError("unexpected I/O log header in " + path);
   obs::Counter& records_counter = obs::metrics().counter("parse.iolog.records");
   std::vector<IoRecord> records;

@@ -16,6 +16,10 @@
 
 #include "ingest/loader.hpp"
 
+namespace failmine::util {
+class FieldVec;
+}  // namespace failmine::util
+
 namespace failmine::iolog {
 
 /// Aggregated I/O counters of one job.
@@ -32,6 +36,14 @@ struct IoRecord {
 
   friend bool operator==(const IoRecord&, const IoRecord&) = default;
 };
+
+/// The I/O log CSV column order.
+const std::vector<std::string>& io_csv_header();
+
+/// Parses one CSV row (io_csv_header() order) into `out` in place.
+/// Throws failmine::Error on invalid rows; `out` is unspecified
+/// afterwards.
+void parse_csv_row(const util::FieldVec& row, IoRecord& out);
 
 /// In-memory I/O log, keyed by job id. Not every job has a record —
 /// Darshan coverage on Mira was partial, which the simulator reproduces.

@@ -23,9 +23,7 @@ topology::Partition JobRecord::partition(
   return topology::Partition(partition_first_midplane, mids, config);
 }
 
-namespace {
-
-const std::vector<std::string>& csv_header() {
+const std::vector<std::string>& job_csv_header() {
   static const std::vector<std::string> header = {
       "job_id",     "user_id",   "project_id",      "queue",
       "submit_time", "start_time", "end_time",      "nodes_used",
@@ -33,8 +31,6 @@ const std::vector<std::string>& csv_header() {
       "exit_class", "partition_first_midplane"};
   return header;
 }
-
-}  // namespace
 
 JobLog::JobLog(std::vector<JobRecord> jobs) : jobs_(std::move(jobs)) { finalize(); }
 
@@ -91,7 +87,7 @@ double JobLog::span_days() const {
 }
 
 void JobLog::write_csv(const std::string& path) const {
-  util::CsvWriter writer(path, csv_header());
+  util::CsvWriter writer(path, job_csv_header());
   for (const auto& j : jobs_) {
     writer.write_row({
         std::to_string(j.job_id),
@@ -117,13 +113,14 @@ namespace {
 
 // Row is std::vector<std::string> (serial reader) or util::FieldVec
 // (ingest engine); both index to something convertible to string_view.
+// Fills `j` in place so string fields keep their capacity when the
+// caller reuses one record across rows.
 template <class Row>
-JobRecord parse_row(const Row& row) {
-  JobRecord j;
+void parse_row_into(const Row& row, JobRecord& j) {
   j.job_id = util::parse_uint(row[0]);
   j.user_id = static_cast<std::uint32_t>(util::parse_uint(row[1]));
   j.project_id = static_cast<std::uint32_t>(util::parse_uint(row[2]));
-  j.queue = std::string(row[3]);
+  j.queue = std::string_view(row[3]);
   j.submit_time = util::parse_timestamp(row[4]);
   j.start_time = util::parse_timestamp(row[5]);
   j.end_time = util::parse_timestamp(row[6]);
@@ -140,10 +137,20 @@ JobRecord parse_row(const Row& row) {
   if (j.start_time < j.submit_time)
     throw failmine::ParseError("job " + std::string(row[0]) +
                                " starts before submission");
+}
+
+template <class Row>
+JobRecord parse_row(const Row& row) {
+  JobRecord j;
+  parse_row_into(row, j);
   return j;
 }
 
 }  // namespace
+
+void parse_csv_row(const util::FieldVec& row, JobRecord& out) {
+  parse_row_into(row, out);
+}
 
 JobLog JobLog::read_csv(const std::string& path,
                         const ingest::LoadOptions& options,
@@ -158,7 +165,7 @@ JobLog JobLog::read_csv(const std::string& path,
   }
   FAILMINE_TRACE_SPAN("joblog.read_csv");
   return JobLog(ingest::load_csv<JobRecord>(
-      path, csv_header(), "joblog", "job log", "parse.joblog.records",
+      path, job_csv_header(), "joblog", "job log", "parse.joblog.records",
       [](const util::FieldVec& row) { return parse_row(row); }, options));
 }
 
@@ -167,7 +174,7 @@ void JobLog::for_each_csv(
     const std::function<bool(const JobRecord&)>& callback) {
   FAILMINE_TRACE_SPAN("joblog.read_csv");
   util::CsvReader reader(path);
-  if (reader.header() != csv_header())
+  if (reader.header() != job_csv_header())
     throw failmine::ParseError("unexpected job log header in " + path);
   obs::Counter& records = obs::metrics().counter("parse.joblog.records");
   std::vector<std::string> row;

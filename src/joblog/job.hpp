@@ -16,6 +16,10 @@
 #include "topology/partition.hpp"
 #include "util/time.hpp"
 
+namespace failmine::util {
+class FieldVec;
+}  // namespace failmine::util
+
 namespace failmine::joblog {
 
 /// One record from the job scheduling log.
@@ -51,6 +55,16 @@ struct JobRecord {
 
   friend bool operator==(const JobRecord&, const JobRecord&) = default;
 };
+
+/// The job log CSV column order (what write_csv emits and read_csv
+/// expects).
+const std::vector<std::string>& job_csv_header();
+
+/// Parses one CSV row (job_csv_header() order) into `out` in place —
+/// string fields keep their capacity across calls, so a reused record
+/// parses with no per-row allocation. Throws failmine::Error on invalid
+/// rows; `out` is unspecified afterwards.
+void parse_csv_row(const util::FieldVec& row, JobRecord& out);
 
 /// In-memory job log, ordered by start time.
 class JobLog {

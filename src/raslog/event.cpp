@@ -12,16 +12,12 @@
 
 namespace failmine::raslog {
 
-namespace {
-
-const std::vector<std::string>& csv_header() {
+const std::vector<std::string>& ras_csv_header() {
   static const std::vector<std::string> header = {
       "record_id", "timestamp", "message_id", "severity", "component",
       "category",  "location",  "job_id",     "text"};
   return header;
 }
-
-}  // namespace
 
 RasLog::RasLog(std::vector<RasEvent> events) : events_(std::move(events)) {
   finalize();
@@ -59,7 +55,7 @@ std::array<std::uint64_t, 3> RasLog::severity_counts() const {
 }
 
 void RasLog::write_csv(const std::string& path) const {
-  util::CsvWriter writer(path, csv_header());
+  util::CsvWriter writer(path, ras_csv_header());
   for (const auto& e : events_) {
     writer.write_row({
         std::to_string(e.record_id),
@@ -81,22 +77,36 @@ namespace {
 // Row is std::vector<std::string> (serial reader) or util::FieldVec
 // (ingest engine); both index to something convertible to string_view.
 template <class Row>
-raslog::RasEvent parse_row(const Row& row,
-                           const topology::MachineConfig& config) {
-  RasEvent e;
+void parse_row_into(const Row& row, const topology::MachineConfig& config,
+                    RasEvent& e) {
   e.record_id = util::parse_uint(row[0]);
   e.timestamp = util::parse_timestamp(row[1]);
-  e.message_id = std::string(row[2]);
+  e.message_id = std::string_view(row[2]);
   e.severity = severity_from_name(row[3]);
   e.component = component_from_name(row[4]);
   e.category = category_from_name(row[5]);
   e.location = topology::Location::parse(row[6], config);
-  if (!row[7].empty()) e.job_id = util::parse_uint(row[7]);
-  e.text = std::string(row[8]);
+  if (!row[7].empty())
+    e.job_id = util::parse_uint(row[7]);
+  else
+    e.job_id.reset();
+  e.text = std::string_view(row[8]);
+}
+
+template <class Row>
+raslog::RasEvent parse_row(const Row& row,
+                           const topology::MachineConfig& config) {
+  RasEvent e;
+  parse_row_into(row, config, e);
   return e;
 }
 
 }  // namespace
+
+void parse_csv_row(const util::FieldVec& row,
+                   const topology::MachineConfig& config, RasEvent& out) {
+  parse_row_into(row, config, out);
+}
 
 RasLog RasLog::read_csv(const std::string& path,
                         const topology::MachineConfig& config,
@@ -112,7 +122,7 @@ RasLog RasLog::read_csv(const std::string& path,
   }
   FAILMINE_TRACE_SPAN("raslog.read_csv");
   return RasLog(ingest::load_csv<RasEvent>(
-      path, csv_header(), "raslog", "RAS log", "parse.raslog.records",
+      path, ras_csv_header(), "raslog", "RAS log", "parse.raslog.records",
       [&config](const util::FieldVec& row) { return parse_row(row, config); },
       options));
 }
@@ -122,7 +132,7 @@ void RasLog::for_each_csv(const std::string& path,
                           const std::function<bool(const RasEvent&)>& callback) {
   FAILMINE_TRACE_SPAN("raslog.read_csv");
   util::CsvReader reader(path);
-  if (reader.header() != csv_header())
+  if (reader.header() != ras_csv_header())
     throw failmine::ParseError("unexpected RAS log header in " + path);
   obs::Counter& records = obs::metrics().counter("parse.raslog.records");
   std::vector<std::string> row;

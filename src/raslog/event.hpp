@@ -19,6 +19,10 @@
 #include "topology/machine.hpp"
 #include "util/time.hpp"
 
+namespace failmine::util {
+class FieldVec;
+}  // namespace failmine::util
+
 namespace failmine::raslog {
 
 /// One event from the RAS log.
@@ -35,6 +39,17 @@ struct RasEvent {
 
   friend bool operator==(const RasEvent&, const RasEvent&) = default;
 };
+
+/// The RAS log CSV column order.
+const std::vector<std::string>& ras_csv_header();
+
+/// Parses one CSV row (ras_csv_header() order) into `out` in place,
+/// validating the location against `config`. An empty job_id field
+/// clears out.job_id, so a reused record never leaks the previous row's
+/// association. Throws failmine::Error on invalid rows; `out` is
+/// unspecified afterwards.
+void parse_csv_row(const util::FieldVec& row,
+                   const topology::MachineConfig& config, RasEvent& out);
 
 /// In-memory RAS log: events in non-decreasing timestamp order.
 class RasLog {

@@ -1,0 +1,123 @@
+// failmine/sim/synthetic.hpp
+//
+// Deterministic synthetic job-stream generator for scan benchmarks.
+//
+// The full simulator (sim/simulator.hpp) models the paper's failure
+// processes and is paced for ~1M-row datasets; the columnar scan bench
+// (C01) needs 100M+ rows of *shaped* but not *modeled* data: ascending
+// job ids, non-decreasing start times (so the columnar timestamp column
+// delta-seals, as real sorted logs do), skewed user/project activity
+// and a paper-like exit-class mix. Each row is derived from a stateless
+// splitmix64 hash of (seed, row index), so the stream is reproducible
+// for any chunking and costs no stored state.
+//
+// The sink-callback design lets callers fill either representation
+// with no intermediate buffer: push_back into a std::vector<JobRecord>
+// for the row path, or JobTableBuilder::add for the columnar path. One
+// scratch record is reused across calls — the sink must copy what it
+// keeps.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "joblog/job.hpp"
+#include "util/time.hpp"
+
+namespace failmine::sim {
+
+struct SyntheticJobStreamConfig {
+  std::uint64_t rows = 1'000'000;
+  std::uint32_t users = 1024;
+  std::uint32_t projects = 128;
+  std::uint64_t seed = 0x5eedc01dULL;
+  util::UnixSeconds origin = 1357776000;  // 2013-01-10, early in Mira's life
+};
+
+namespace detail {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Streams `config.rows` synthetic jobs through `sink` (a callable
+/// taking `const joblog::JobRecord&`) in start-time order.
+template <class Sink>
+void generate_job_stream(const SyntheticJobStreamConfig& config, Sink&& sink) {
+  static constexpr std::array<const char*, 4> kQueues = {
+      "prod-capability", "prod-short", "prod-long", "backfill"};
+  joblog::JobRecord j;
+  util::UnixSeconds start = config.origin;
+  for (std::uint64_t i = 0; i < config.rows; ++i) {
+    const std::uint64_t r = detail::splitmix64(config.seed ^ (i * 0xd1342543de82ef95ULL));
+    const std::uint64_t r2 = detail::splitmix64(r);
+
+    j.job_id = i + 1;
+    // Quadratic skew: a few users/projects dominate the stream, like the
+    // paper's concentration takeaway (T-B).
+    const double frac =
+        static_cast<double>((r >> 16) & 0xffffff) / 16777216.0;
+    j.user_id = static_cast<std::uint32_t>(
+        static_cast<double>(config.users - 1) * frac * frac);
+    j.project_id = static_cast<std::uint32_t>(
+        static_cast<double>(config.projects - 1) * frac * frac * frac);
+    j.queue = kQueues[r % kQueues.size()];
+
+    start += static_cast<util::UnixSeconds>(r % 5);  // non-decreasing
+    j.start_time = start;
+    j.submit_time = start - static_cast<util::UnixSeconds>(r2 % 86400);
+    const std::int64_t runtime = 60 + static_cast<std::int64_t>(r2 % 43200);
+    j.end_time = start + runtime;
+    j.requested_walltime = runtime + 1800;
+
+    j.nodes_used = 512u << (r2 % 6);  // 512 .. 16384
+    j.task_count = 1 + static_cast<std::uint32_t>(r % 4);
+    j.partition_first_midplane = static_cast<int>(r2 % 96);
+
+    // Exit mix shaped like the paper: success-dominated, user-caused
+    // failures far outnumbering system-caused ones.
+    const std::uint64_t roll = r % 10000;
+    if (roll < 6280) {
+      j.exit_class = joblog::ExitClass::kSuccess;
+      j.exit_code = 0;
+      j.exit_signal = 0;
+    } else if (roll < 8280) {
+      j.exit_class = joblog::ExitClass::kUserAppError;
+      j.exit_code = 1;
+      j.exit_signal = 0;
+    } else if (roll < 8780) {
+      j.exit_class = joblog::ExitClass::kUserConfigError;
+      j.exit_code = 125;
+      j.exit_signal = 0;
+    } else if (roll < 9380) {
+      j.exit_class = joblog::ExitClass::kUserKill;
+      j.exit_code = 0;
+      j.exit_signal = 15;
+    } else if (roll < 9880) {
+      j.exit_class = joblog::ExitClass::kWalltimeLimit;
+      j.exit_code = 24;
+      j.exit_signal = 9;
+    } else if (roll < 9940) {
+      j.exit_class = joblog::ExitClass::kSystemHardware;
+      j.exit_code = 139;
+      j.exit_signal = 11;
+    } else if (roll < 9980) {
+      j.exit_class = joblog::ExitClass::kSystemSoftware;
+      j.exit_code = 135;
+      j.exit_signal = 7;
+    } else {
+      j.exit_class = joblog::ExitClass::kSystemIo;
+      j.exit_code = 5;
+      j.exit_signal = 0;
+    }
+    sink(j);
+  }
+}
+
+}  // namespace failmine::sim

@@ -11,16 +11,12 @@
 
 namespace failmine::tasklog {
 
-namespace {
-
-const std::vector<std::string>& csv_header() {
+const std::vector<std::string>& task_csv_header() {
   static const std::vector<std::string> header = {
       "task_id", "job_id",     "sequence",      "start_time", "end_time",
       "nodes_used", "ranks_per_node", "exit_code", "exit_signal"};
   return header;
 }
-
-}  // namespace
 
 TaskLog::TaskLog(std::vector<TaskRecord> tasks) : tasks_(std::move(tasks)) {
   finalize();
@@ -54,7 +50,7 @@ std::size_t TaskLog::task_count(std::uint64_t job_id) const {
 }
 
 void TaskLog::write_csv(const std::string& path) const {
-  util::CsvWriter writer(path, csv_header());
+  util::CsvWriter writer(path, task_csv_header());
   for (const auto& t : tasks_) {
     writer.write_row({
         std::to_string(t.task_id),
@@ -76,8 +72,7 @@ namespace {
 // Row is std::vector<std::string> (serial reader) or util::FieldVec
 // (ingest engine); both index to something convertible to string_view.
 template <class Row>
-tasklog::TaskRecord parse_row(const Row& row) {
-  TaskRecord t;
+void parse_row_into(const Row& row, TaskRecord& t) {
   t.task_id = util::parse_uint(row[0]);
   t.job_id = util::parse_uint(row[1]);
   t.sequence = static_cast<std::uint32_t>(util::parse_uint(row[2]));
@@ -90,10 +85,20 @@ tasklog::TaskRecord parse_row(const Row& row) {
   if (t.end_time < t.start_time)
     throw failmine::ParseError("task " + std::string(row[0]) +
                                " ends before it starts");
+}
+
+template <class Row>
+tasklog::TaskRecord parse_row(const Row& row) {
+  TaskRecord t;
+  parse_row_into(row, t);
   return t;
 }
 
 }  // namespace
+
+void parse_csv_row(const util::FieldVec& row, TaskRecord& out) {
+  parse_row_into(row, out);
+}
 
 TaskLog TaskLog::read_csv(const std::string& path,
                           const ingest::LoadOptions& options,
@@ -101,11 +106,11 @@ TaskLog TaskLog::read_csv(const std::string& path,
   FAILMINE_TRACE_SPAN("tasklog.read_csv");
   if (!ingest::use_serial_reader(options, engine)) {
     return TaskLog(ingest::load_csv<TaskRecord>(
-        path, csv_header(), "tasklog", "task log", "parse.tasklog.records",
+        path, task_csv_header(), "tasklog", "task log", "parse.tasklog.records",
         [](const util::FieldVec& row) { return parse_row(row); }, options));
   }
   util::CsvReader reader(path);
-  if (reader.header() != csv_header())
+  if (reader.header() != task_csv_header())
     throw failmine::ParseError("unexpected task log header in " + path);
   obs::Counter& records = obs::metrics().counter("parse.tasklog.records");
   std::vector<TaskRecord> tasks;

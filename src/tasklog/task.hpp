@@ -18,6 +18,10 @@
 #include "joblog/exit_status.hpp"
 #include "util/time.hpp"
 
+namespace failmine::util {
+class FieldVec;
+}  // namespace failmine::util
+
 namespace failmine::tasklog {
 
 /// One physical execution task of a job.
@@ -37,6 +41,14 @@ struct TaskRecord {
 
   friend bool operator==(const TaskRecord&, const TaskRecord&) = default;
 };
+
+/// The task log CSV column order.
+const std::vector<std::string>& task_csv_header();
+
+/// Parses one CSV row (task_csv_header() order) into `out` in place.
+/// Throws failmine::Error on invalid rows; `out` is unspecified
+/// afterwards.
+void parse_csv_row(const util::FieldVec& row, TaskRecord& out);
 
 /// In-memory task log with a per-job index.
 class TaskLog {

@@ -1,0 +1,367 @@
+// Unit tests for the columnar record store: dictionary encoding and
+// chunk merge, bitmap index, delta timestamp column, scan kernels, and
+// the builders' deterministic chunk-order merge (including a threaded
+// build, which is what the TSan CI job exercises).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "columnar/bitmap.hpp"
+#include "columnar/builder.hpp"
+#include "columnar/column.hpp"
+#include "columnar/dictionary.hpp"
+#include "columnar/kernels.hpp"
+#include "columnar/table.hpp"
+#include "obs/metrics.hpp"
+#include "sim/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace failmine::columnar {
+namespace {
+
+TEST(ColumnarDictionary, AssignsCodesInFirstSeenOrder) {
+  Dictionary d;
+  EXPECT_EQ(d.encode("prod"), 0u);
+  EXPECT_EQ(d.encode("backfill"), 1u);
+  EXPECT_EQ(d.encode("prod"), 0u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.name(0), "prod");
+  EXPECT_EQ(d.name(1), "backfill");
+  EXPECT_EQ(d.find("backfill"), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(d.find("absent"), std::nullopt);
+  EXPECT_THROW(d.name(2), DomainError);
+  EXPECT_GT(d.bytes(), 0u);
+}
+
+TEST(ColumnarDictionary, MergeMatchesSerialFirstSeenPass) {
+  // Two chunk-local dictionaries merged in chunk order must reproduce
+  // the code assignment of one serial pass over both chunks' strings.
+  const std::vector<std::string> chunk0 = {"a", "b", "a", "c"};
+  const std::vector<std::string> chunk1 = {"d", "b", "e", "a"};
+
+  Dictionary serial;
+  for (const auto& s : chunk0) serial.encode(s);
+  for (const auto& s : chunk1) serial.encode(s);
+
+  Dictionary first, second;
+  for (const auto& s : chunk0) first.encode(s);
+  std::vector<std::uint32_t> codes1;
+  for (const auto& s : chunk1) codes1.push_back(second.encode(s));
+
+  std::vector<std::uint32_t> remap;
+  first.merge_from(second, remap);
+  EXPECT_EQ(first.names(), serial.names());
+  for (std::size_t i = 0; i < chunk1.size(); ++i)
+    EXPECT_EQ(remap[codes1[i]], *serial.find(chunk1[i])) << "i=" << i;
+}
+
+TEST(ColumnarDictionary, RoundTripsCodeStringCode) {
+  Dictionary d;
+  const std::vector<std::string> values = {"x", "yy", "", "zzz"};
+  for (const auto& s : values) d.encode(s);
+  for (std::uint32_t c = 0; c < d.size(); ++c)
+    EXPECT_EQ(*d.find(d.name(c)), c);  // code -> string -> same code
+}
+
+TEST(ColumnarBitmap, SetTestCountForEach) {
+  Bitmap b(130);  // spans three words
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i : {0u, 63u, 64u, 129u}) b.set(i);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 63, 64, 129}));
+}
+
+TEST(ColumnarBitmap, LogicalAndRequiresEqualSizes) {
+  Bitmap a(70), b(70);
+  a.set(3);
+  a.set(65);
+  b.set(65);
+  const Bitmap both = Bitmap::logical_and(a, b);
+  EXPECT_EQ(both.count(), 1u);
+  EXPECT_TRUE(both.test(65));
+  Bitmap other(8);
+  EXPECT_THROW(Bitmap::logical_and(a, other), DomainError);
+}
+
+TEST(ColumnarTimestamp, DeltaEncodesNonDecreasingValues) {
+  TimestampColumn c;
+  const std::vector<util::UnixSeconds> values = {100, 100, 105, 400, 400};
+  for (auto t : values) c.push_back(t);
+  c.seal();
+  EXPECT_TRUE(c.delta_encoded());
+  EXPECT_EQ(c.decode_all(), values);
+  EXPECT_EQ(c.front(), 100);
+  EXPECT_EQ(c.back(), 400);
+  EXPECT_EQ(c.at(3), 400);
+  EXPECT_THROW(c.push_back(500), DomainError);  // sealed
+}
+
+TEST(ColumnarTimestamp, FallsBackToPlainWhenUnsorted) {
+  TimestampColumn c;
+  for (auto t : {50, 40, 60}) c.push_back(t);
+  c.seal();
+  EXPECT_FALSE(c.delta_encoded());
+  EXPECT_EQ(c.decode_all(),
+            (std::vector<util::UnixSeconds>{50, 40, 60}));  // lossless
+}
+
+TEST(ColumnarTimestamp, FallsBackToPlainOnHugeStep) {
+  TimestampColumn c;
+  c.push_back(0);
+  c.push_back(static_cast<util::UnixSeconds>(UINT32_MAX) + 1);
+  c.seal();
+  EXPECT_FALSE(c.delta_encoded());
+  EXPECT_EQ(c.back(), static_cast<util::UnixSeconds>(UINT32_MAX) + 1);
+}
+
+TEST(ColumnarKernels, CountByKeyHandlesTailRows) {
+  // 7 rows: exercises the 4-way unrolled body plus a 3-row tail.
+  const std::vector<std::uint8_t> keys = {1, 0, 1, 2, 1, 2, 1};
+  const std::vector<std::uint64_t> counts = kernels::count_by_key(keys, 3);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{1, 4, 2}));
+}
+
+TEST(ColumnarKernels, CountByKeyPairAndMasked) {
+  const std::vector<std::uint8_t> a = {0, 1, 1, 0};
+  const std::vector<std::uint8_t> b = {2, 0, 2, 2};
+  const std::vector<std::uint64_t> pair =
+      kernels::count_by_key_pair(a, 2, b, 3);
+  EXPECT_EQ(pair[0 * 3 + 2], 2u);
+  EXPECT_EQ(pair[1 * 3 + 0], 1u);
+  EXPECT_EQ(pair[1 * 3 + 2], 1u);
+
+  Bitmap mask(4);
+  mask.set(1);
+  mask.set(3);
+  const std::vector<std::uint64_t> masked =
+      kernels::count_by_key_masked(a, 2, mask);
+  EXPECT_EQ(masked, (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(ColumnarKernels, SumByKeyAccumulatesInRowOrder) {
+  const std::vector<std::uint32_t> keys = {0, 1, 0};
+  const std::vector<double> sums = kernels::sum_by_key(
+      keys, 2, [](std::size_t i) { return static_cast<double>(i + 1); });
+  EXPECT_EQ(sums, (std::vector<double>{4.0, 2.0}));
+  EXPECT_EQ(kernels::max_u32(keys), 1u);
+}
+
+joblog::JobRecord make_job(std::uint64_t id, util::UnixSeconds start,
+                           const char* queue,
+                           joblog::ExitClass cls = joblog::ExitClass::kSuccess) {
+  joblog::JobRecord j;
+  j.job_id = id;
+  j.user_id = static_cast<std::uint32_t>(id % 7);
+  j.project_id = static_cast<std::uint32_t>(id % 3);
+  j.queue = queue;
+  j.submit_time = start - 30;
+  j.start_time = start;
+  j.end_time = start + 600;
+  j.nodes_used = 512;
+  j.task_count = 1;
+  j.requested_walltime = 3600;
+  j.exit_class = cls;
+  if (is_failure(cls)) j.exit_code = 1;
+  return j;
+}
+
+TEST(ColumnarBuilder, RoundTripsJobRecords) {
+  JobTableBuilder b;
+  std::vector<joblog::JobRecord> expected;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    expected.push_back(make_job(i, 1000 + 10 * static_cast<int>(i), "prod",
+                                i % 2 ? joblog::ExitClass::kSuccess
+                                      : joblog::ExitClass::kSystemHardware));
+    b.add(expected.back());
+  }
+  std::vector<JobTableBuilder> chunks;
+  chunks.push_back(std::move(b));
+  const JobTable t = JobTableBuilder::merge(std::move(chunks));
+  ASSERT_EQ(t.rows(), expected.size());
+  EXPECT_EQ(t.to_records(), expected);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(t.row(i), expected[i]) << "row " << i;
+  EXPECT_TRUE(t.start_time.delta_encoded());
+  EXPECT_EQ(t.failed.count(), 2u);  // ids 2 and 4
+  EXPECT_GT(t.bytes(), 0u);
+}
+
+TEST(ColumnarBuilder, MergeSortsOutOfOrderChunksCanonically) {
+  // Chunks whose concatenation is NOT (start_time, job_id)-sorted: merge
+  // must gather them into canonical order, like JobLog::finalize.
+  JobTableBuilder b0, b1;
+  const joblog::JobRecord early = make_job(7, 1000, "prod");
+  const joblog::JobRecord mid = make_job(2, 2000, "backfill");
+  const joblog::JobRecord tie = make_job(1, 2000, "prod");
+  b0.add(mid);
+  b1.add(early);
+  b1.add(tie);
+  std::vector<JobTableBuilder> chunks;
+  chunks.push_back(std::move(b0));
+  chunks.push_back(std::move(b1));
+  const JobTable t = JobTableBuilder::merge(std::move(chunks));
+  EXPECT_EQ(t.to_records(),
+            (std::vector<joblog::JobRecord>{early, tie, mid}));
+  // Dictionary codes are first-seen in CHUNK order (b0 then b1),
+  // independent of the row sort: backfill=0, prod=1.
+  EXPECT_EQ(t.queue_dict.name(0), "backfill");
+  EXPECT_EQ(t.queue_dict.name(1), "prod");
+}
+
+TEST(ColumnarBuilder, RejectsTimestampSpansBeyond32Bits) {
+  JobTableBuilder b;
+  joblog::JobRecord j = make_job(1, 1000, "prod");
+  j.end_time = j.start_time + (static_cast<std::int64_t>(UINT32_MAX) + 2);
+  EXPECT_THROW(b.add(j), DomainError);
+}
+
+TEST(ColumnarBuilder, FlushesBuildMetrics) {
+  obs::MetricsRegistry& m = obs::metrics();
+  const std::uint64_t rows_before = m.counter("columnar.rows").value();
+  const std::uint64_t bytes_before = m.counter("columnar.bytes").value();
+  const std::uint64_t dict_before = m.counter("columnar.dict_entries").value();
+
+  JobTableBuilder b;
+  b.add(make_job(1, 1000, "prod"));
+  b.add(make_job(2, 1010, "backfill"));
+  std::vector<JobTableBuilder> chunks;
+  chunks.push_back(std::move(b));
+  const JobTable t = JobTableBuilder::merge(std::move(chunks));
+
+  EXPECT_EQ(m.counter("columnar.rows").value() - rows_before, t.rows());
+  EXPECT_GT(m.counter("columnar.bytes").value(), bytes_before);
+  EXPECT_EQ(m.counter("columnar.dict_entries").value() - dict_before, 2u);
+}
+
+TEST(ColumnarBuilder, ThreadedChunkBuildIsDeterministic) {
+  // Builders filled on distinct threads (no shared state), merged in
+  // chunk order, must produce the same table as one serial builder —
+  // codes included. This is the pattern the parallel CSV load runs.
+  sim::SyntheticJobStreamConfig config;
+  config.rows = 40'000;
+  config.users = 64;
+
+  JobTableBuilder serial;
+  sim::generate_job_stream(config,
+                           [&](const joblog::JobRecord& j) { serial.add(j); });
+  std::vector<JobTableBuilder> serial_chunks;
+  serial_chunks.push_back(std::move(serial));
+  const JobTable expected = JobTableBuilder::merge(std::move(serial_chunks));
+
+  // Split the same stream into 4 contiguous chunks built concurrently.
+  constexpr std::size_t kChunks = 4;
+  std::vector<JobTableBuilder> chunks(kChunks);
+  {
+    std::vector<std::thread> workers;
+    const std::uint64_t per = config.rows / kChunks;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      workers.emplace_back([&, c] {
+        const std::uint64_t begin = per * c;
+        const std::uint64_t end = c + 1 == kChunks ? config.rows : per * (c + 1);
+        std::uint64_t i = 0;
+        sim::generate_job_stream(config, [&](const joblog::JobRecord& j) {
+          if (i >= begin && i < end) chunks[c].add(j);
+          ++i;
+        });
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const JobTable merged = JobTableBuilder::merge(std::move(chunks));
+
+  ASSERT_EQ(merged.rows(), expected.rows());
+  EXPECT_EQ(merged.queue_code, expected.queue_code);
+  EXPECT_EQ(merged.queue_dict.names(), expected.queue_dict.names());
+  EXPECT_EQ(merged.job_id, expected.job_id);
+  EXPECT_EQ(merged.user_id, expected.user_id);
+  EXPECT_EQ(merged.exit_class_code, expected.exit_class_code);
+  EXPECT_EQ(merged.start_time.decode_all(), expected.start_time.decode_all());
+  EXPECT_EQ(merged.failed.words(), expected.failed.words());
+}
+
+TEST(ColumnarBuilder, RasRoundTripKeepsLocationsAligned) {
+  const topology::MachineConfig machine{};
+  RasTableBuilder b(machine);
+  std::vector<raslog::RasEvent> expected;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    raslog::RasEvent e;
+    e.record_id = i;
+    e.timestamp = 5000 + static_cast<int>(i);
+    e.message_id = i % 2 ? "00040020" : "00080030";
+    e.severity = i == 3 ? raslog::Severity::kFatal : raslog::Severity::kWarn;
+    e.component = raslog::Component::kMc;
+    e.category = raslog::Category::kSoftware;
+    e.location = i % 2 ? topology::Location::rack(0, 0)
+                       : topology::Location::rack(1, 1);
+    if (i == 2) e.job_id = 77;
+    e.text = "event text " + std::to_string(i);
+    expected.push_back(e);
+    b.add(e);
+  }
+  std::vector<RasTableBuilder> chunks;
+  chunks.push_back(std::move(b));
+  const RasTable t = RasTableBuilder::merge(std::move(chunks));
+  ASSERT_EQ(t.rows(), expected.size());
+  EXPECT_EQ(t.to_records(), expected);
+  ASSERT_EQ(t.locations.size(), t.location_dict.size());
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    EXPECT_EQ(t.locations[t.location_code[i]].to_string(),
+              t.location_dict.name(t.location_code[i]));
+  EXPECT_EQ(t.severity_bits[static_cast<std::size_t>(raslog::Severity::kFatal)]
+                .count(),
+            1u);
+  EXPECT_EQ(t.has_job.count(), 1u);
+}
+
+TEST(ColumnarBuilder, TaskAndIoRoundTrip) {
+  TaskTableBuilder tb;
+  std::vector<tasklog::TaskRecord> tasks;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    tasklog::TaskRecord r;
+    r.task_id = 100 + i;
+    r.job_id = i;
+    r.sequence = 0;
+    r.start_time = 3000 + static_cast<int>(i);
+    r.end_time = r.start_time + 120;
+    r.nodes_used = 256;
+    r.ranks_per_node = 16;
+    if (i == 2) r.exit_signal = 9;
+    tasks.push_back(r);
+    tb.add(r);
+  }
+  std::vector<TaskTableBuilder> tchunks;
+  tchunks.push_back(std::move(tb));
+  const TaskTable tt = TaskTableBuilder::merge(std::move(tchunks));
+  EXPECT_EQ(tt.to_records(), tasks);
+  EXPECT_EQ(tt.failed.count(), 1u);
+
+  IoTableBuilder ib;
+  std::vector<iolog::IoRecord> ios;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    iolog::IoRecord r;
+    r.job_id = i;
+    r.bytes_read = 1 << i;
+    r.bytes_written = 1 << (i + 1);
+    r.read_time_seconds = 0.5 * static_cast<double>(i);
+    r.write_time_seconds = 0.25;
+    r.files_accessed = 3;
+    r.ranks_doing_io = 8;
+    ios.push_back(r);
+    ib.add(r);
+  }
+  std::vector<IoTableBuilder> ichunks;
+  ichunks.push_back(std::move(ib));
+  const IoTable it = IoTableBuilder::merge(std::move(ichunks));
+  EXPECT_EQ(it.to_records(), ios);
+}
+
+}  // namespace
+}  // namespace failmine::columnar

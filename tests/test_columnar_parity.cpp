@@ -1,0 +1,282 @@
+// Row vs columnar parity: the columnar analyses and loaders must be
+// bit-exact against the row path — same counts, same f64 sums to the
+// last bit, same rejected-row diagnostics, stable dictionary codes for
+// any ingest thread count — on a simulated Mira trace (CSV round trip)
+// and on a seeded 1M-row synthetic stream (in-memory build).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ras_breakdown.hpp"
+#include "analysis/temporal.hpp"
+#include "analysis/user_stats.hpp"
+#include "columnar/analyses.hpp"
+#include "columnar/builder.hpp"
+#include "columnar/engine.hpp"
+#include "columnar/load.hpp"
+#include "core/joint_analyzer.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace failmine {
+namespace {
+
+void expect_same_breakdown(const core::ExitBreakdown& row,
+                           const core::ExitBreakdown& col) {
+  EXPECT_EQ(row.total_jobs, col.total_jobs);
+  EXPECT_EQ(row.total_failures, col.total_failures);
+  EXPECT_EQ(row.user_caused_share, col.user_caused_share);
+  EXPECT_EQ(row.system_caused_share, col.system_caused_share);
+  ASSERT_EQ(row.rows.size(), col.rows.size());
+  for (std::size_t i = 0; i < row.rows.size(); ++i) {
+    EXPECT_EQ(row.rows[i].exit_class, col.rows[i].exit_class);
+    EXPECT_EQ(row.rows[i].jobs, col.rows[i].jobs);
+    EXPECT_EQ(row.rows[i].core_hours, col.rows[i].core_hours);  // bit-exact
+    EXPECT_EQ(row.rows[i].share_of_jobs, col.rows[i].share_of_jobs);
+    EXPECT_EQ(row.rows[i].share_of_failures, col.rows[i].share_of_failures);
+  }
+}
+
+void expect_same_groups(const std::vector<analysis::GroupStats>& row,
+                        const std::vector<analysis::GroupStats>& col) {
+  ASSERT_EQ(row.size(), col.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(row[i].group_id, col[i].group_id) << "group " << i;
+    EXPECT_EQ(row[i].jobs, col[i].jobs) << "group " << i;
+    EXPECT_EQ(row[i].failures, col[i].failures) << "group " << i;
+    EXPECT_EQ(row[i].user_caused_failures, col[i].user_caused_failures);
+    EXPECT_EQ(row[i].system_caused_failures, col[i].system_caused_failures);
+    EXPECT_EQ(row[i].core_hours, col[i].core_hours) << "group " << i;
+    EXPECT_EQ(row[i].failed_core_hours, col[i].failed_core_hours)
+        << "group " << i;
+  }
+}
+
+class ColumnarParity : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("failmine_columnar_parity_" + std::to_string(::getpid())))
+            .string());
+    std::filesystem::create_directories(*dir_);
+    sim::SimConfig config = sim::SimConfig::test_scale();
+    config.scale = 0.002;
+    trace_ = new sim::SimResult(sim::simulate(config));
+    machine_ = new topology::MachineConfig(config.machine);
+    origin_ = config.observation_start;
+    sim::write_dataset(*trace_, *dir_);
+    columnar_ = new columnar::ColumnarDataset(
+        columnar::load_dataset(*dir_, *machine_));
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete columnar_;
+    delete trace_;
+    delete machine_;
+    delete dir_;
+    columnar_ = nullptr;
+    trace_ = nullptr;
+    machine_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static std::string path(const char* name) { return *dir_ + "/" + name; }
+
+  static core::JointAnalyzer analyzer() {
+    return core::JointAnalyzer(trace_->job_log, trace_->task_log,
+                               trace_->ras_log, trace_->io_log, *machine_);
+  }
+
+  static std::string* dir_;
+  static sim::SimResult* trace_;
+  static topology::MachineConfig* machine_;
+  static columnar::ColumnarDataset* columnar_;
+  static util::UnixSeconds origin_;
+};
+
+std::string* ColumnarParity::dir_ = nullptr;
+sim::SimResult* ColumnarParity::trace_ = nullptr;
+topology::MachineConfig* ColumnarParity::machine_ = nullptr;
+columnar::ColumnarDataset* ColumnarParity::columnar_ = nullptr;
+util::UnixSeconds ColumnarParity::origin_ = 0;
+
+TEST_F(ColumnarParity, LoadRoundTripsEveryTable) {
+  // Parity target is the row-path CSV load: the I/O doubles are printed
+  // at fixed precision by write_csv, so the in-memory trace is not the
+  // reference — what read_csv reconstructs is.
+  EXPECT_EQ(columnar_->jobs.to_records(), trace_->job_log.jobs());
+  EXPECT_EQ(columnar_->ras.to_records(), trace_->ras_log.events());
+  EXPECT_EQ(columnar_->tasks.to_records(), trace_->task_log.tasks());
+  EXPECT_EQ(columnar_->io.to_records(),
+            iolog::IoLog::read_csv(path("io.csv")).records());
+}
+
+TEST_F(ColumnarParity, DatasetSummaryMatches) {
+  const core::DatasetSummary row = analyzer().dataset_summary();
+  const core::DatasetSummary col =
+      columnar::dataset_summary(*columnar_, *machine_);
+  EXPECT_EQ(row.span_days, col.span_days);
+  EXPECT_EQ(row.jobs, col.jobs);
+  EXPECT_EQ(row.tasks, col.tasks);
+  EXPECT_EQ(row.ras_events, col.ras_events);
+  EXPECT_EQ(row.ras_by_severity, col.ras_by_severity);
+  EXPECT_EQ(row.io_records, col.io_records);
+  EXPECT_EQ(row.total_core_hours, col.total_core_hours);  // bit-exact
+}
+
+TEST_F(ColumnarParity, ExitBreakdownMatchesBitExactly) {
+  expect_same_breakdown(analyzer().exit_breakdown(),
+                        columnar::exit_breakdown(columnar_->jobs, *machine_));
+}
+
+TEST_F(ColumnarParity, UserAndProjectStatsMatchBitExactly) {
+  expect_same_groups(analysis::per_user_stats(trace_->job_log, *machine_),
+                     columnar::per_user_stats(columnar_->jobs, *machine_));
+  expect_same_groups(analysis::per_project_stats(trace_->job_log, *machine_),
+                     columnar::per_project_stats(columnar_->jobs, *machine_));
+}
+
+TEST_F(ColumnarParity, RasBreakdownMatches) {
+  const analysis::RasBreakdown row = analysis::ras_breakdown(trace_->ras_log);
+  const analysis::RasBreakdown col = columnar::ras_breakdown(columnar_->ras);
+  EXPECT_EQ(row.total_events, col.total_events);
+  EXPECT_EQ(row.by_severity, col.by_severity);
+  EXPECT_EQ(row.by_component, col.by_component);
+  EXPECT_EQ(row.by_category, col.by_category);
+}
+
+TEST_F(ColumnarParity, TemporalProfilesMatch) {
+  EXPECT_EQ(analysis::submissions_by_hour(trace_->job_log),
+            columnar::submissions_by_hour(columnar_->jobs));
+  EXPECT_EQ(analysis::submissions_by_weekday(trace_->job_log),
+            columnar::submissions_by_weekday(columnar_->jobs));
+  EXPECT_EQ(analysis::failures_by_hour(trace_->job_log),
+            columnar::failures_by_hour(columnar_->jobs));
+  EXPECT_EQ(analysis::events_by_hour(trace_->ras_log),
+            columnar::events_by_hour(columnar_->ras));
+  const util::UnixSeconds origin = origin_;
+  EXPECT_EQ(analysis::monthly_submissions(trace_->job_log, origin),
+            columnar::monthly_submissions(columnar_->jobs, origin));
+  EXPECT_EQ(analysis::monthly_failures(trace_->job_log, origin),
+            columnar::monthly_failures(columnar_->jobs, origin));
+  EXPECT_EQ(analysis::monthly_fatal_events(trace_->ras_log, origin),
+            columnar::monthly_fatal_events(columnar_->ras, origin));
+}
+
+TEST_F(ColumnarParity, QueryEngineBackendsAgree) {
+  const columnar::QueryEngine row(trace_->job_log, trace_->task_log,
+                                  trace_->ras_log, trace_->io_log, *machine_);
+  const columnar::QueryEngine col(*columnar_, *machine_);
+  EXPECT_FALSE(row.is_columnar());
+  EXPECT_TRUE(col.is_columnar());
+  expect_same_breakdown(row.exit_breakdown(), col.exit_breakdown());
+  expect_same_groups(row.per_user_stats(), col.per_user_stats());
+  expect_same_groups(row.per_project_stats(), col.per_project_stats());
+  EXPECT_EQ(row.dataset_summary().total_core_hours,
+            col.dataset_summary().total_core_hours);
+  EXPECT_EQ(row.ras_breakdown().by_component, col.ras_breakdown().by_component);
+  EXPECT_EQ(row.submissions_by_hour(), col.submissions_by_hour());
+  EXPECT_EQ(row.events_by_hour(), col.events_by_hour());
+}
+
+TEST_F(ColumnarParity, DictionaryCodesStableAcrossThreadCounts) {
+  ingest::LoadOptions serial;
+  serial.threads = 1;
+  ingest::LoadOptions parallel;
+  parallel.threads = 8;
+  parallel.min_chunk_bytes = 512;  // force a genuinely multi-chunk plan
+
+  const columnar::JobTable a =
+      columnar::load_job_table(path("jobs.csv"), serial);
+  const columnar::JobTable b =
+      columnar::load_job_table(path("jobs.csv"), parallel);
+  EXPECT_EQ(a.queue_dict.names(), b.queue_dict.names());
+  EXPECT_EQ(a.queue_code, b.queue_code);
+
+  const columnar::RasTable ra =
+      columnar::load_ras_table(path("ras.csv"), *machine_, serial);
+  const columnar::RasTable rb =
+      columnar::load_ras_table(path("ras.csv"), *machine_, parallel);
+  EXPECT_EQ(ra.message_dict.names(), rb.message_dict.names());
+  EXPECT_EQ(ra.message_code, rb.message_code);
+  EXPECT_EQ(ra.location_dict.names(), rb.location_dict.names());
+  EXPECT_EQ(ra.location_code, rb.location_code);
+}
+
+TEST_F(ColumnarParity, DictionaryRoundTripsAgainstRowStrings) {
+  const std::vector<joblog::JobRecord>& jobs = trace_->job_log.jobs();
+  const columnar::JobTable& t = columnar_->jobs;
+  ASSERT_EQ(t.rows(), jobs.size());
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    const std::string& decoded = t.queue_dict.name(t.queue_code[i]);
+    EXPECT_EQ(decoded, jobs[i].queue);
+    EXPECT_EQ(*t.queue_dict.find(decoded), t.queue_code[i]);
+  }
+}
+
+TEST_F(ColumnarParity, CorruptRowFailsLikeRowPathWithSameCounters) {
+  const std::string corrupted = *dir_ + "/jobs_corrupted.csv";
+  std::filesystem::copy_file(path("jobs.csv"), corrupted,
+                             std::filesystem::copy_options::overwrite_existing);
+  { std::ofstream(corrupted, std::ios::app) << "999,bad,row\n"; }
+
+  obs::MetricsRegistry& m = obs::metrics();
+  std::string row_error;
+  std::uint64_t before = m.counter("parse.lines_rejected").value();
+  try {
+    joblog::JobLog::read_csv(corrupted);
+    FAIL() << "row path accepted the corrupt row";
+  } catch (const ParseError& e) {
+    row_error = e.what();
+  }
+  const std::uint64_t row_rejected =
+      m.counter("parse.lines_rejected").value() - before;
+  EXPECT_EQ(row_rejected, 1u);
+
+  before = m.counter("parse.lines_rejected").value();
+  try {
+    columnar::load_job_table(corrupted);
+    FAIL() << "columnar path accepted the corrupt row";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()), row_error);
+  }
+  EXPECT_EQ(m.counter("parse.lines_rejected").value() - before, row_rejected);
+  std::filesystem::remove(corrupted);
+}
+
+TEST(ColumnarParityLarge, MillionRowSyntheticStreamMatchesBitExactly) {
+  sim::SyntheticJobStreamConfig config;
+  config.rows = 1'000'000;
+  const topology::MachineConfig machine{};
+
+  std::vector<joblog::JobRecord> rows;
+  rows.reserve(config.rows);
+  sim::generate_job_stream(
+      config, [&](const joblog::JobRecord& j) { rows.push_back(j); });
+  columnar::JobTableBuilder b;
+  b.reserve(config.rows);
+  sim::generate_job_stream(config,
+                           [&](const joblog::JobRecord& j) { b.add(j); });
+  std::vector<columnar::JobTableBuilder> chunks;
+  chunks.push_back(std::move(b));
+  const columnar::JobTable table =
+      columnar::JobTableBuilder::merge(std::move(chunks));
+  ASSERT_EQ(table.rows(), rows.size());
+
+  expect_same_breakdown(core::exit_breakdown(rows, machine),
+                        columnar::exit_breakdown(table, machine));
+  expect_same_groups(analysis::per_user_stats(rows, machine),
+                     columnar::per_user_stats(table, machine));
+  expect_same_groups(analysis::per_project_stats(rows, machine),
+                     columnar::per_project_stats(table, machine));
+}
+
+}  // namespace
+}  // namespace failmine
